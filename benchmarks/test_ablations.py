@@ -1,0 +1,61 @@
+"""Benchmarks: design-choice ablations (DESIGN.md per-experiment index)."""
+
+from conftest import emit
+
+from repro.experiments.ablations import (
+    render_kernel_variants,
+    render_lut_vs_coords,
+    run_block_size_ablation,
+    run_kernel_variant_ablation,
+    run_lut_vs_coords_ablation,
+    run_strategy_ablation,
+)
+from repro.utils.tables import render_table
+
+
+def test_kernel_variant_ablation(benchmark):
+    rows = benchmark.pedantic(run_kernel_variant_ablation, kwargs={'n': 1024}, rounds=1, iterations=1)
+    emit("ABLATION — kernel generations (naive / Opt 1 / Opt 2)",
+         render_kernel_variants(rows))
+    by = {r.kernel: r for r in rows}
+    assert by["global (naive)"].seconds > by["ordered (Opt 2)"].seconds
+    assert by["shared (Opt 1)"].global_transactions < by["global (naive)"].global_transactions
+    assert len({r.best_delta for r in rows}) == 1
+
+
+def test_block_size_ablation(benchmark):
+    rows = benchmark(run_block_size_ablation)
+    emit(
+        "ABLATION — block-size sweep (pr2392-sized, fixed ~28k threads)",
+        render_table(
+            ["block", "grid", "modeled scan"],
+            [(r.block_dim, r.grid_dim, f"{r.seconds * 1e6:.1f} us") for r in rows],
+        ),
+    )
+    assert len(rows) >= 4
+
+
+def test_lut_vs_coords_ablation(benchmark):
+    rows = benchmark(run_lut_vs_coords_ablation)
+    emit("ABLATION — LUT vs on-the-fly coordinates (Table I in time units)",
+         render_lut_vs_coords(rows))
+    big = [r for r in rows if r.n >= 20_000]
+    assert all(r.lut_seconds > r.coords_seconds for r in big)
+    assert any(not r.lut_fits_device for r in rows)
+
+
+def test_strategy_ablation(benchmark):
+    rows = benchmark.pedantic(run_strategy_ablation, kwargs={'n': 800}, rounds=1, iterations=1)
+    emit(
+        "ABLATION — best-improvement (paper) vs batch application (extension)",
+        render_table(
+            ["strategy", "moves", "scans", "final length", "modeled time"],
+            [
+                (r.strategy, r.moves, r.scans, r.final_length,
+                 f"{r.modeled_seconds * 1e3:.2f} ms")
+                for r in rows
+            ],
+        ),
+    )
+    by = {r.strategy: r for r in rows}
+    assert by["batch"].scans < by["best"].scans

@@ -1,0 +1,56 @@
+"""Wall-clock benchmarks of the library's own hot paths (pytest-benchmark).
+
+These measure the *simulator host*, not the modeled device — useful to
+track performance regressions of the vectorized engine itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.moves import batch_improving_moves, best_move, row_best_moves
+from repro.core.two_opt_gpu import TwoOptKernelOrdered
+from repro.gpusim.executor import launch_kernel
+from repro.gpusim.kernel import LaunchConfig
+from repro.heuristics.greedy_mf import multiple_fragment_tour
+from repro.tsplib.generators import generate_instance
+
+
+@pytest.fixture(scope="module")
+def coords2k():
+    return generate_instance(2000, seed=0).coords_float32()
+
+
+def test_bench_best_move_2000(benchmark, coords2k):
+    mv = benchmark(best_move, coords2k)
+    assert mv.i >= 0
+
+
+def test_bench_row_best_moves_2000(benchmark, coords2k):
+    bj, bd = benchmark(row_best_moves, coords2k)
+    assert bj.size == 1999
+
+
+def test_bench_batch_moves_2000(benchmark, coords2k):
+    moves = benchmark(batch_improving_moves, coords2k)
+    assert moves
+
+
+def test_bench_simulated_kernel_small(benchmark):
+    """Instrumented SIMT execution of the ordered kernel, 512 cities."""
+    from repro.gpusim.device import get_device
+
+    dev = get_device("gtx680-cuda")
+    c = generate_instance(512, seed=1).coords_float32()
+    launch = LaunchConfig(8, 128)
+
+    def run():
+        return launch_kernel(TwoOptKernelOrdered(), dev, launch, coords_ordered=c)
+
+    res = benchmark(run)
+    assert res.output[0] <= 0
+
+
+def test_bench_greedy_construction_2000(benchmark):
+    inst = generate_instance(2000, seed=2)
+    tour = benchmark(multiple_fragment_tour, inst)
+    assert np.array_equal(np.sort(tour), np.arange(2000))

@@ -1,0 +1,81 @@
+"""Benchmarks: the §VI/§VII future-work extension experiments."""
+
+from conftest import emit
+
+from repro.experiments.extensions import (
+    render_breakdown,
+    render_ihc_vs_ils,
+    render_multigpu,
+    render_pruned,
+    run_ihc_vs_ils,
+    run_multigpu_scaling,
+    run_pruned_ablation,
+    run_time_breakdown,
+)
+
+
+def test_multigpu_strong_scaling(benchmark):
+    n = 100_000
+    rows = benchmark(lambda: run_multigpu_scaling(n=n))
+    emit("EXTENSION §VI — multi-GPU tiled sweep strong scaling",
+         render_multigpu(rows, n))
+    by = {r.devices: r for r in rows}
+    assert by[8].speedup > 7
+
+
+def test_neighborhood_pruning(benchmark):
+    rows = benchmark.pedantic(
+        run_pruned_ablation, kwargs={"n": 1000, "ks": (4, 8, 16)},
+        rounds=1, iterations=1,
+    )
+    emit("EXTENSION §VII — neighborhood-pruned 2-opt", render_pruned(rows, 1000))
+    full = rows[0]
+    assert all(r.modeled_scan_s <= full.modeled_scan_s for r in rows[1:])
+
+
+def test_ihc_vs_ils(benchmark):
+    rows = benchmark.pedantic(
+        run_ihc_vs_ils, kwargs={"n": 500, "budget_s": 0.05},
+        rounds=1, iterations=1,
+    )
+    emit("EXTENSION §III — ILS vs random-restart IHC (equal modeled budget)",
+         render_ihc_vs_ils(rows, 500, 0.05))
+    by = {r.algorithm.split()[0]: r for r in rows}
+    assert by["ILS"].best_length <= by["IHC"].best_length * 1.02
+
+
+def test_time_breakdown(benchmark):
+    rows = benchmark(run_time_breakdown)
+    emit("EXTENSION — modeled kernel time breakdown", render_breakdown(rows))
+    assert rows[-1].compute_pct > 80
+
+
+def test_smart_sequential_caveat(benchmark):
+    from repro.experiments.extensions import (
+        render_smart_sequential,
+        run_smart_sequential,
+    )
+
+    n = 2000
+    rows = benchmark.pedantic(
+        run_smart_sequential, kwargs={"n": n}, rounds=1, iterations=1
+    )
+    emit("EXTENSION §VI caveat — brute force vs don't-look bits",
+         render_smart_sequential(rows, n))
+    brute, smart = rows
+    assert smart.checks < brute.checks / 100
+
+
+def test_two_half_opt_kernel(benchmark):
+    from repro.experiments.extensions import (
+        render_two_half_opt,
+        run_two_half_opt,
+    )
+
+    n = 400
+    rows = benchmark.pedantic(
+        run_two_half_opt, kwargs={"n": n}, rounds=1, iterations=1
+    )
+    emit("EXTENSION §VII — the 2.5-opt kernel, built", render_two_half_opt(rows, n))
+    two, half = rows
+    assert abs(half.final_length - two.final_length) / two.final_length < 0.10

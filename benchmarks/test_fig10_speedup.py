@@ -1,0 +1,33 @@
+"""Benchmark: regenerate the paper's Fig. 10 (speedup vs 2x Xeon E5-2690)
+and the abstract's 5-45x band vs the 6-core i7-3960X."""
+
+from conftest import emit
+
+from repro.experiments.fig10_speedup import render, run_fig10
+
+
+def test_fig10_vs_xeon(benchmark):
+    series = benchmark(run_fig10)
+    emit("FIG. 10 — speedup vs 2 x Xeon E5-2690 (Intel OpenCL)", render(series))
+    # shape: near parity for tiny problems, ~15-30x saturated
+    for s in series:
+        assert s.points[0].speedup < 5
+    best = max(s.max_speedup for s in series)
+    assert 15 <= best <= 30
+    # the GHz-edition Radeon tops the chart, as in the paper
+    top = max(series, key=lambda s: s.max_speedup)
+    assert top.device_key == "hd7970ghz-opencl"
+
+
+def test_abstract_5_to_45x_band_vs_i7(benchmark):
+    series = benchmark(
+        lambda: run_fig10(
+            devices=("gtx680-cuda",), baseline="i7-3960x-opencl",
+            sizes=(200, 500, 1000, 5000, 20_000, 100_000),
+        )
+    )
+    s = series[0]
+    emit("ABSTRACT CLAIM — GTX 680 vs 6-core i7-3960X (5-45x band)",
+         render(series))
+    assert 38 <= s.max_speedup <= 50
+    assert s.min_speedup >= 2

@@ -1,0 +1,72 @@
+"""Benchmark: regenerate the paper's Fig. 11 (ILS convergence, sw-class
+instance) and the convergence-speedup headline claims."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.fig11_ils_convergence import render, run_fig11
+
+
+@pytest.fixture(scope="module")
+def fig11(fig11_n):
+    return run_fig11(n=fig11_n, iterations=15, seed=2013)
+
+
+def test_fig11_reproduction(fig11, benchmark):
+    benchmark.pedantic(render, args=(fig11,), rounds=1, iterations=1)
+    emit(
+        f"FIG. 11 — ILS convergence (sw-class geographic instance, "
+        f"n={fig11.n}; paper uses sw24978)",
+        render(fig11),
+    )
+    # same trajectory on all devices -> same final quality
+    assert len(set(fig11.final_lengths.values())) == 1
+
+
+def test_fig11_gpu_convergence_speedups(fig11, benchmark):
+    benchmark.pedantic(lambda: fig11.speedup("gtx680-cuda", "i7-3960x-opencl"),
+                       rounds=1, iterations=1)
+    """§V/abstract: substantial GPU speedup vs parallel CPU (paper: up
+    to ~20x at full size) and a much larger one vs sequential (up to
+    ~300x at full size). At the scaled default size the bands are
+    proportionally smaller but strictly ordered."""
+    s_cpu = fig11.speedup("gtx680-cuda", "i7-3960x-opencl")
+    s_seq = fig11.speedup("gtx680-cuda", "cpu-sequential")
+    assert s_cpu is not None and s_seq is not None
+    assert s_cpu > 5
+    assert s_seq > 40
+    assert s_seq > s_cpu
+
+
+def test_fig11_time_in_local_search(fig11, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """§I: at least 90% of ILS runtime is the 2-opt search."""
+    for key, share in fig11.ils_share.items():
+        assert share >= 0.9, key
+
+
+def test_fig11_full_size_sw24978(benchmark):
+    """The genuine Fig. 11 workload: sw24978-sized geographic instance.
+
+    Uses the documented don't-look-bits host engine so the full-size run
+    completes in ~1 minute of wall clock. Skip with
+    REPRO_BENCH_SKIP_FULL_FIG11=1.
+    """
+    import os
+
+    if os.environ.get("REPRO_BENCH_SKIP_FULL_FIG11"):
+        pytest.skip("full-size Fig. 11 disabled by env")
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"n": 24978, "iterations": 2, "seed": 2013},
+        rounds=1, iterations=1,
+    )
+    s_cpu = result.speedup("gtx680-cuda", "i7-3960x-opencl")
+    s_seq = result.speedup("gtx680-cuda", "cpu-sequential")
+    emit(
+        "FIG. 11 FULL SIZE — ILS convergence at n=24978 (the paper's sw24978)",
+        render(result)
+        + f"\n\nGPU vs 6-core parallel CPU : {s_cpu:.1f}x"
+        + f"\nGPU vs sequential CPU      : {s_seq:.1f}x  (paper: up to ~300x)",
+    )
+    assert s_seq is not None and 150 < s_seq < 600
+    assert s_cpu is not None and s_cpu > 15

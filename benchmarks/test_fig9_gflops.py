@@ -1,0 +1,29 @@
+"""Benchmark: regenerate the paper's Fig. 9 (GFLOP/s vs problem size)."""
+
+from conftest import emit
+
+from repro.experiments.fig9_gflops import render, run_fig9
+
+#: §V of the paper: the two quoted sustained rates.
+PAPER_PEAKS = {"gtx680-cuda": 680.0, "hd7970-opencl": 830.0}
+
+
+def test_fig9_reproduction(benchmark):
+    series = benchmark(run_fig9)
+    body = render(series)
+    lines = ["", "paper-quoted peaks vs model:"]
+    for key, paper in PAPER_PEAKS.items():
+        s = next(x for x in series if x.device_key == key)
+        lines.append(f"  {s.device_name:24s} paper={paper:6.0f}  model={s.peak:6.1f}")
+    emit("FIG. 9 — GFLOP/s during 2-opt across devices and sizes",
+         body + "\n" + "\n".join(lines))
+
+    # shape assertions
+    for key, paper in PAPER_PEAKS.items():
+        s = next(x for x in series if x.device_key == key)
+        assert abs(s.peak - paper) / paper < 0.15, key
+    # ordering: every GPU beats every CPU at large sizes
+    cpu_keys = {"xeon-e5-2690x2-opencl", "opteron-32c-opencl"}
+    cpu_peak = max(s.peak for s in series if s.device_key in cpu_keys)
+    gpu_min = min(s.peak for s in series if s.device_key not in cpu_keys)
+    assert gpu_min > 3 * cpu_peak

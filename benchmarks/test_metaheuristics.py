@@ -1,0 +1,22 @@
+"""Benchmark: §III metaheuristic landscape (ILS vs ACO vs GA, memetic)."""
+
+from conftest import emit
+
+from repro.experiments.metaheuristics import (
+    render_metaheuristics,
+    run_metaheuristic_comparison,
+)
+
+
+def test_metaheuristic_comparison(benchmark):
+    n = 200
+    rows = benchmark.pedantic(
+        run_metaheuristic_comparison, kwargs={"n": n}, rounds=1, iterations=1
+    )
+    emit("EXTENSION §III — metaheuristic families (pure vs memetic)",
+         render_metaheuristics(rows, n))
+    by = {r.algorithm: r for r in rows}
+    assert (by["ACO + GPU 2-opt (memetic)"].best_length
+            <= by["ACO (pure)"].best_length)
+    assert (by["GA + GPU 2-opt (memetic)"].best_length
+            <= by["GA (pure)"].best_length)

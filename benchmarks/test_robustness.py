@@ -1,0 +1,15 @@
+"""Benchmark: seed-robustness of the synthetic-instance quality columns."""
+
+from conftest import emit
+
+from repro.experiments.robustness import render_robustness, run_robustness
+
+
+def test_seed_robustness(benchmark):
+    rows = benchmark.pedantic(
+        run_robustness, kwargs={"n": 400, "seeds": (0, 1, 2, 3, 4)},
+        rounds=1, iterations=1,
+    )
+    emit("ROBUSTNESS — quality across seeds (justifies single-seed tables)",
+         render_robustness(rows))
+    assert all(r.improvement_cv < 0.4 for r in rows)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Table I (LUT vs coordinate memory)."""
+
+from conftest import emit
+
+from repro.experiments.table1_memory import PAPER_TABLE1, render, run_table1
+
+
+def test_table1_reproduction(benchmark):
+    rows = benchmark(run_table1)
+    body = render(rows)
+    # append paper-vs-ours deltas
+    lines = ["", "paper vs reproduced (LUT MB):"]
+    for r in rows:
+        paper = PAPER_TABLE1[r.name][0]
+        lines.append(f"  {r.name:10s} paper={paper:8.2f}  ours={r.lut_mb:8.2f}")
+    emit("TABLE I — memory needed for a single 2-opt run", body + "\n".join(lines))
+    assert len(rows) == 12

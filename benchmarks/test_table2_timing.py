@@ -1,0 +1,94 @@
+"""Benchmark: regenerate the paper's Table II (per-instance 2-opt timing
+and quality on the modeled GTX 680).
+
+The paper's published timing rows for comparison (kernel time and total
+single-scan time, microseconds) are embedded so the bench log shows
+paper-vs-model side by side.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.table2_timing import render, run_table2
+
+#: (kernel us, total us) from the paper's Table II, GTX 680 + CUDA —
+#: the rows whose values are unambiguous in the published table. The
+#: very large rows (sw24978 and beyond) are printed by the paper in
+#: mixed ms/s/m/h units that the available text garbles, so they are
+#: reproduced as model outputs without a numeric paper comparison.
+PAPER_TIMINGS = {
+    "berlin52": (20, 81),
+    "kroE100": (21, 82),
+    "ch130": (21, 82),
+    "ch150": (23, 84),
+    "kroA200": (24, 85),
+    "ts225": (24, 85),
+    "pr299": (26, 87),
+    "pr439": (32, 93),
+    "rat783": (53, 115),
+    "vm1084": (80, 142),
+    "pr2392": (299, 363),
+    "pcb3038": (481, 547),
+    "fl3795": (723, 788),
+    "fnl4461": (746, 815),
+    "rl5915": (1009, 1079),
+    "pla7397": (1547, 1616),
+    "usa13509": (4728, 4805),
+    "d15112": (5963, 6043),
+    "d18512": (8928, 9014),
+}
+
+
+@pytest.fixture(scope="module")
+def table2_rows(max_solve_n):
+    # exhaustive scans up to max_solve_n, don't-look-bits host engine up
+    # to sw24978 scale, extrapolation beyond
+    return run_table2(max_solve_n=max_solve_n, dlb_solve_n=25_000)
+
+
+def test_table2_full_reproduction(table2_rows, benchmark):
+    benchmark.pedantic(render, args=(table2_rows,), rounds=1, iterations=1)
+    body = render(table2_rows)
+    lines = ["", "paper vs model, single-scan kernel time (us):",
+             f"  {'instance':12s} {'paper':>12s} {'model':>12s} {'ratio':>7s}"]
+    for r in table2_rows:
+        paper_kernel, _ = PAPER_TIMINGS.get(r.name, (None, None))
+        if paper_kernel is None:
+            continue
+        model = r.kernel_s * 1e6
+        lines.append(
+            f"  {r.name:12s} {paper_kernel:12,.0f} {model:12,.0f} "
+            f"{model / paper_kernel:7.2f}"
+        )
+    emit("TABLE II — 2-opt timing per instance (modeled GTX 680)",
+         body + "\n" + "\n".join(lines))
+    assert len(table2_rows) == 27
+
+
+def test_table2_shape_vs_paper(table2_rows, benchmark):
+    """Model within ~3x of every published kernel time, and the growth
+    pattern (flat floor then quadratic) preserved."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for r in table2_rows:
+        if r.name not in PAPER_TIMINGS:
+            continue
+        paper_kernel = PAPER_TIMINGS[r.name][0] * 1e-6
+        ratio = r.kernel_s / paper_kernel
+        assert 0.25 < ratio < 4.0, (r.name, ratio)
+    # growth pattern: flat launch-bound floor below ~1000 cities, then
+    # quadratic (kernel time ratio between fnl4461 and vm1084 ~ (n1/n2)^2)
+    by_name = {r.name: r for r in table2_rows}
+    assert by_name["kroA200"].kernel_s < 2.5 * by_name["berlin52"].kernel_s
+    big_ratio = by_name["fnl4461"].kernel_s / by_name["vm1084"].kernel_s
+    assert 5 < big_ratio < 40
+
+
+def test_table2_single_scan_benchmark(benchmark):
+    """Wall-clock of the actual engine scan used for Table II (pr2392)."""
+    from repro.core.moves import best_move
+    from repro.tsplib.generators import synthesize_paper_instance
+
+    inst = synthesize_paper_instance("pr2392")
+    coords = inst.coords_float32()
+    mv = benchmark(best_move, coords)
+    assert mv.j > mv.i

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Device shoot-out: one 2-opt scan across the whole simulated catalog.
+
+Reproduces the flavor of the paper's Figs. 9/10 interactively: for a
+chosen instance size, model the time of one full best-improvement scan
+on every device and rank them.
+
+Run:
+    python examples/device_shootout.py [n]
+"""
+
+import sys
+
+from repro import list_devices, get_device
+from repro.analysis.flops import gflops_for_scan
+from repro.core.local_search import LocalSearch
+from repro.gpusim.device import CPUDeviceSpec
+from repro.utils.tables import render_table
+from repro.utils.units import format_seconds
+
+
+def main(n: int = 5000) -> None:
+    rows = []
+    baseline = None
+    for key in list_devices():
+        dev = get_device(key)
+        backend = "cpu-parallel" if isinstance(dev, CPUDeviceSpec) else "gpu"
+        if key == "cpu-sequential":
+            backend = "cpu-sequential"
+        ls = LocalSearch(dev, backend=backend, include_transfers=False)
+        seconds = ls.scan_seconds(n)
+        if key == "xeon-e5-2690x2-opencl":
+            baseline = seconds
+        rows.append((key, dev.name, seconds))
+
+    assert baseline is not None
+    rows.sort(key=lambda r: r[2])
+    table = [
+        (
+            name,
+            format_seconds(seconds),
+            f"{gflops_for_scan(n, seconds):,.0f}",
+            f"{baseline / seconds:.1f}x",
+        )
+        for _key, name, seconds in rows
+    ]
+    print(
+        render_table(
+            ["device", "scan time", "GFLOP/s", "vs 2x Xeon E5-2690"],
+            table,
+            title=f"One full 2-opt scan, n={n} "
+                  f"({n * (n - 1) // 2:,} pair checks) — modeled",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5000)

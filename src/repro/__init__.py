@@ -1,0 +1,44 @@
+"""repro — reproduction of Rocki & Suda (IPDPSW 2013):
+*High Performance GPU Accelerated Local Optimization in TSP*.
+
+Public API highlights
+---------------------
+* :func:`repro.load_instance` / :func:`repro.generate_instance` /
+  :func:`repro.synthesize_paper_instance` — get a TSP instance.
+* :class:`repro.TwoOptSolver` — construct a tour and run the accelerated
+  2-opt to a local minimum on a modeled device.
+* :class:`repro.IteratedLocalSearch` — the paper's Algorithm 1.
+* :mod:`repro.gpusim` — the simulated device catalog and SIMT executor.
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.tsplib import (
+    TSPInstance,
+    generate_instance,
+    load_tsplib as load_instance,
+    synthesize_paper_instance,
+)
+from repro.tour import Tour
+from repro.core import LocalSearch, LocalSearchResult, TwoOptSolver
+from repro.ils import IteratedLocalSearch, ILSResult
+from repro.gpusim import DEVICES, get_device, list_devices
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "TSPInstance",
+    "Tour",
+    "generate_instance",
+    "load_instance",
+    "synthesize_paper_instance",
+    "LocalSearch",
+    "LocalSearchResult",
+    "TwoOptSolver",
+    "IteratedLocalSearch",
+    "ILSResult",
+    "DEVICES",
+    "get_device",
+    "list_devices",
+]

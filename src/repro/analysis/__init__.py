@@ -1,0 +1,17 @@
+"""Analysis helpers shared by the experiment drivers."""
+
+from repro.analysis.memory_table import memory_requirements, MemoryRow
+from repro.analysis.flops import scan_flops, gflops_for_scan
+from repro.analysis.speedup import speedup_series, SpeedupPoint
+from repro.analysis.convergence import ConvergenceCurve, downsample_trace
+
+__all__ = [
+    "memory_requirements",
+    "MemoryRow",
+    "scan_flops",
+    "gflops_for_scan",
+    "speedup_series",
+    "SpeedupPoint",
+    "ConvergenceCurve",
+    "downsample_trace",
+]

@@ -1,0 +1,68 @@
+"""Convergence-curve utilities for Fig. 11."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class ConvergenceCurve:
+    """A (time, length) series with a label, e.g. one Fig. 11 line."""
+
+    label: str
+    times: np.ndarray
+    lengths: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.lengths = np.asarray(self.lengths, dtype=np.float64)
+        if self.times.shape != self.lengths.shape:
+            raise ValueError("times and lengths must have the same shape")
+        if self.times.size and np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be non-decreasing")
+
+    @classmethod
+    def from_trace(cls, label: str, trace: Sequence[tuple[float, int]]) -> "ConvergenceCurve":
+        if not trace:
+            raise ValueError("empty trace")
+        t, l = zip(*trace)
+        return cls(label=label, times=np.asarray(t), lengths=np.asarray(l))
+
+    def length_at(self, t: float) -> float:
+        """Incumbent length at modeled time *t* (step interpolation)."""
+        idx = np.searchsorted(self.times, t, side="right") - 1
+        idx = int(np.clip(idx, 0, self.times.size - 1))
+        return float(self.lengths[idx])
+
+    def time_to_reach(self, target_length: float) -> float | None:
+        """First modeled time at which the length drops to *target* or below."""
+        hits = np.nonzero(self.lengths <= target_length)[0]
+        if hits.size == 0:
+            return None
+        return float(self.times[hits[0]])
+
+
+def downsample_trace(
+    trace: Sequence[tuple[float, int]], max_points: int = 200
+) -> list[tuple[float, int]]:
+    """Thin a dense trace to ~max_points while keeping first/last points."""
+    if max_points < 2:
+        raise ValueError("max_points must be >= 2")
+    if len(trace) <= max_points:
+        return list(trace)
+    idx = np.unique(np.linspace(0, len(trace) - 1, max_points).astype(int))
+    return [trace[i] for i in idx]
+
+
+def convergence_speedup(
+    fast: ConvergenceCurve, slow: ConvergenceCurve, target_length: float
+) -> float | None:
+    """How much earlier *fast* reaches *target* than *slow* (ratio)."""
+    tf = fast.time_to_reach(target_length)
+    ts = slow.time_to_reach(target_length)
+    if tf is None or ts is None or tf <= 0:
+        return None
+    return ts / tf

@@ -1,0 +1,27 @@
+"""FLOP accounting for the Fig. 9 metric (distance-calculation GFLOP/s)."""
+
+from __future__ import annotations
+
+from repro.core.pair_indexing import pair_count
+from repro.core.two_opt_gpu import _EXTRA_FLOPS_PER_PAIR
+from repro.gpusim.kernel import FLOPS_PER_DISTANCE, SPECIAL_PER_DISTANCE
+
+#: Distances evaluated per 2-opt pair check (Listing 1 called four times:
+#: d(i,i+1), d(j,j+1), d(i,j), d(i+1,j+1)).
+DISTANCES_PER_PAIR = 4
+
+#: Total floating ops per pair check, counting sqrtf as one op — the
+#: convention under which the paper reports 680/830 GFLOP/s.
+OPS_PER_PAIR = DISTANCES_PER_PAIR * (FLOPS_PER_DISTANCE + SPECIAL_PER_DISTANCE) + _EXTRA_FLOPS_PER_PAIR
+
+
+def scan_flops(n: int) -> int:
+    """Floating ops of one full best-improvement scan of an n-city tour."""
+    return pair_count(n) * OPS_PER_PAIR
+
+
+def gflops_for_scan(n: int, seconds: float) -> float:
+    """Fig. 9's y-axis: ops of one scan over its execution time."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return scan_flops(n) / seconds / 1e9

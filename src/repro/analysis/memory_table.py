@@ -1,0 +1,59 @@
+"""Table I: memory needed by the distance LUT vs raw coordinates.
+
+The paper's motivating table: an O(n²) look-up table of precomputed
+distances outgrows GPU memory almost immediately (fnl4461 already needs
+~76 MB at 4 bytes/entry), while O(n) coordinates stay in the tens of
+kilobytes — small enough for on-chip shared memory, which is the premise
+of Optimization 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tsplib.catalog import PaperInstanceInfo, table1_instances
+
+#: Table I uses 4-byte entries for both representations (int32 distances,
+#: float32 coordinate components).
+ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class MemoryRow:
+    """One Table I row."""
+
+    name: str
+    n: int
+    lut_bytes: int
+    coords_bytes: int
+
+    @property
+    def lut_mb(self) -> float:
+        """LUT size in MB (decimal, as the paper's table prints)."""
+        return self.lut_bytes / 1e6
+
+    @property
+    def coords_kb(self) -> float:
+        return self.coords_bytes / 1e3
+
+    @property
+    def ratio(self) -> float:
+        """How many times larger the LUT is."""
+        return self.lut_bytes / self.coords_bytes
+
+
+def memory_requirements(n: int, *, entry_bytes: int = ENTRY_BYTES) -> tuple[int, int]:
+    """(LUT bytes, coordinate bytes) for an n-city instance."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return n * n * entry_bytes, 2 * n * entry_bytes
+
+
+def table1_rows(instances: list[PaperInstanceInfo] | None = None) -> list[MemoryRow]:
+    """Compute Table I for the paper's 12 instances (or a custom list)."""
+    infos = instances if instances is not None else table1_instances()
+    rows = []
+    for info in infos:
+        lut, coords = memory_requirements(info.n)
+        rows.append(MemoryRow(name=info.name, n=info.n, lut_bytes=lut, coords_bytes=coords))
+    return rows

@@ -1,0 +1,56 @@
+"""Speedup computation for Fig. 10 (GPU vs the 16-core Xeon baseline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.local_search import LocalSearch
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One point of a speedup-vs-size series."""
+
+    n: int
+    device_seconds: float
+    baseline_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.device_seconds <= 0:
+            raise ValueError("device time must be positive")
+        return self.baseline_seconds / self.device_seconds
+
+
+def speedup_series(
+    device_key: str,
+    baseline_key: str,
+    sizes: Sequence[int],
+    *,
+    include_transfers: bool = False,
+) -> list[SpeedupPoint]:
+    """Model one-scan speedups of *device_key* over *baseline_key*.
+
+    Both sides run the identical scan (same pair count, same arithmetic);
+    the ratio is therefore purely a device-model comparison, matching the
+    paper's methodology in Fig. 10.
+    """
+    from repro.gpusim.device import CPUDeviceSpec, get_device
+
+    dev = get_device(device_key)
+    base = get_device(baseline_key)
+    dev_backend = "cpu-parallel" if isinstance(dev, CPUDeviceSpec) else "gpu"
+    base_backend = "cpu-parallel" if isinstance(base, CPUDeviceSpec) else "gpu"
+    dev_ls = LocalSearch(dev, backend=dev_backend, include_transfers=include_transfers)
+    base_ls = LocalSearch(base, backend=base_backend, include_transfers=include_transfers)
+    out = []
+    for n in sizes:
+        out.append(
+            SpeedupPoint(
+                n=n,
+                device_seconds=dev_ls.scan_seconds(n),
+                baseline_seconds=base_ls.scan_seconds(n),
+            )
+        )
+    return out

@@ -1,0 +1,23 @@
+"""Metaheuristic baselines from the paper's related-work section (§III).
+
+"Most of the other works related to parallel TSP solvers involves
+evolutionary and genetic programming, such as Ant Colony Optimization
+(ACO) or Genetic Algorithms (GA). ... In our opinion, our work is
+complementary ... as we do not parallelize the algorithm itself, but the
+local optimization that can [be] used by other ... algorithms."
+
+Both baselines are implemented from scratch, can run pure or *memetic*
+(embedding the accelerated 2-opt — demonstrating exactly the
+complementarity the paper claims), and are compared against ILS in the
+extension experiments.
+"""
+
+from repro.baselines.aco import AntColonyOptimizer, ACOResult
+from repro.baselines.ga import GeneticAlgorithm, GAResult
+
+__all__ = [
+    "AntColonyOptimizer",
+    "ACOResult",
+    "GeneticAlgorithm",
+    "GAResult",
+]

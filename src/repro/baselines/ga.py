@@ -1,0 +1,171 @@
+"""Genetic Algorithm for the symmetric TSP.
+
+The paper's §III cites Fujimoto & Tsutsui's GPU GA ("A Highly-Parallel
+TSP Solver for a GPU Computing Platform") as a fast but memory-limited
+competitor. This from-scratch GA uses the standard TSP operator set:
+tournament selection, Order Crossover (OX1), inversion + swap mutation,
+and elitism; the *memetic* mode polishes offspring with the accelerated
+2-opt — the hybridization the paper positions its kernel for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.local_search import LocalSearch
+from repro.errors import SolverError
+from repro.tsplib.instance import TSPInstance
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class GAResult:
+    """Outcome of a GA run."""
+
+    instance: TSPInstance
+    best_order: np.ndarray
+    best_length: int
+    generations: int
+    modeled_seconds: float
+    wall_seconds: float
+    trace: list[tuple[float, int]] = field(default_factory=list)
+
+
+def order_crossover(p1: np.ndarray, p2: np.ndarray,
+                    rng: np.random.Generator) -> np.ndarray:
+    """OX1: copy a slice of p1, fill the rest in p2's relative order."""
+    n = p1.size
+    a, b = sorted(rng.integers(0, n, size=2))
+    child = np.full(n, -1, dtype=np.int64)
+    child[a : b + 1] = p1[a : b + 1]
+    used = np.zeros(n, dtype=bool)
+    used[p1[a : b + 1]] = True
+    fill = p2[~used[p2]]
+    k = 0
+    for pos in list(range(b + 1, n)) + list(range(0, a)):
+        child[pos] = fill[k]
+        k += 1
+    return child
+
+
+def inversion_mutation(order: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Reverse a random segment (2-opt-style mutation)."""
+    n = order.size
+    a, b = sorted(rng.integers(0, n, size=2))
+    out = order.copy()
+    out[a : b + 1] = out[a : b + 1][::-1]
+    return out
+
+
+def swap_mutation(order: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Exchange two random cities."""
+    n = order.size
+    a, b = rng.integers(0, n, size=2)
+    out = order.copy()
+    out[a], out[b] = out[b], out[a]
+    return out
+
+
+class GeneticAlgorithm:
+    """Steady-generation GA with elitism and optional memetic 2-opt."""
+
+    def __init__(
+        self,
+        *,
+        population: int = 50,
+        tournament: int = 4,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.3,
+        elite: int = 2,
+        local_search: Optional[LocalSearch] = None,
+        memetic_fraction: float = 0.2,
+        seed: SeedLike = 0,
+    ) -> None:
+        if population < 4:
+            raise SolverError("population must be at least 4")
+        if elite >= population:
+            raise SolverError("elite must be smaller than the population")
+        if not (0 <= crossover_rate <= 1 and 0 <= mutation_rate <= 1):
+            raise SolverError("rates must be in [0, 1]")
+        if not (0 <= memetic_fraction <= 1):
+            raise SolverError("memetic_fraction must be in [0, 1]")
+        self.population = population
+        self.tournament = tournament
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.elite = elite
+        self.local_search = local_search
+        self.memetic_fraction = memetic_fraction
+        self.rng = ensure_rng(seed)
+
+    #: modeled per-offspring host cost (selection + OX + mutation), flops.
+    _FLOPS_PER_OFFSPRING_PER_CITY = 6.0
+
+    def _select(self, lengths: np.ndarray) -> int:
+        contenders = self.rng.integers(0, lengths.size, size=self.tournament)
+        return int(contenders[np.argmin(lengths[contenders])])
+
+    def run(
+        self,
+        instance: TSPInstance,
+        *,
+        generations: int = 100,
+    ) -> GAResult:
+        """Evolve for a fixed number of generations."""
+        if instance.coords is None:
+            raise SolverError("GA needs coordinates")
+        t0 = time.perf_counter()
+        n = instance.n
+        pop = np.stack([
+            self.rng.permutation(n).astype(np.int64)
+            for _ in range(self.population)
+        ])
+        lengths = np.array([instance.tour_length(t) for t in pop])
+        modeled = 0.0
+        trace: list[tuple[float, int]] = []
+        gen_seconds = (
+            self.population * n * self._FLOPS_PER_OFFSPRING_PER_CITY / 2e9
+        )
+
+        for _gen in range(generations):
+            order_idx = np.argsort(lengths, kind="stable")
+            new_pop = [pop[i].copy() for i in order_idx[: self.elite]]
+            while len(new_pop) < self.population:
+                p1 = pop[self._select(lengths)]
+                if self.rng.random() < self.crossover_rate:
+                    p2 = pop[self._select(lengths)]
+                    child = order_crossover(p1, p2, self.rng)
+                else:
+                    child = p1.copy()
+                if self.rng.random() < self.mutation_rate:
+                    mutate = (inversion_mutation if self.rng.random() < 0.7
+                              else swap_mutation)
+                    child = mutate(child, self.rng)
+                new_pop.append(child)
+            pop = np.stack(new_pop)
+            modeled += gen_seconds
+
+            if self.local_search is not None and self.memetic_fraction > 0:
+                k = max(1, int(round(self.memetic_fraction * self.population)))
+                lengths_tmp = np.array([instance.tour_length(t) for t in pop])
+                for i in np.argsort(lengths_tmp)[:k]:
+                    res = self.local_search.run(
+                        instance.coords[pop[i]], max_moves=2 * n
+                    )
+                    modeled += res.modeled_seconds
+                    pop[i] = pop[i][res.order]
+
+            lengths = np.array([instance.tour_length(t) for t in pop])
+            trace.append((modeled, int(lengths.min())))
+
+        best = int(np.argmin(lengths))
+        return GAResult(
+            instance=instance, best_order=pop[best],
+            best_length=int(lengths[best]), generations=generations,
+            modeled_seconds=modeled,
+            wall_seconds=time.perf_counter() - t0, trace=trace,
+        )

@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>`` / ``repro-tsp``.
+
+Commands map one-to-one onto the experiment drivers plus a ``solve``
+convenience for ad-hoc optimization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.solver import TwoOptSolver
+    from repro.tsplib.generators import generate_instance, synthesize_paper_instance
+    from repro.tsplib.parser import load_tsplib
+    from repro.utils.units import format_seconds
+
+    if args.file:
+        inst = load_tsplib(args.file)
+    elif args.paper_instance:
+        inst = synthesize_paper_instance(args.paper_instance, max_n=args.max_n)
+    else:
+        inst = generate_instance(args.n, seed=args.seed)
+    solver = TwoOptSolver(args.device, strategy=args.strategy)
+    res = solver.solve(inst, initial=args.initial)
+    s = res.search
+    print(f"instance      : {inst.name} (n={inst.n})")
+    print(f"initial length: {res.initial_length}")
+    print(f"final length  : {res.final_length} ({res.improvement_percent:.2f}% better)")
+    print(f"moves applied : {s.moves_applied} in {s.scans} scans")
+    print(f"modeled time  : {format_seconds(s.modeled_seconds)} on {solver.local_search.device.name}")
+    print(f"wall time     : {format_seconds(s.wall_seconds)} (simulator)")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1_memory import render, run_table1
+
+    print(render(run_table1()))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2_timing import render, run_table2
+
+    rows = run_table2(
+        device_key=args.device, max_solve_n=args.max_solve_n,
+        max_table_n=args.max_table_n,
+    )
+    print(render(rows))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.experiments.fig9_gflops import render, run_fig9
+
+    print(render(run_fig9()))
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    from repro.experiments.fig10_speedup import render, run_fig10
+
+    print(render(run_fig10(baseline=args.baseline)))
+    return 0
+
+
+def _cmd_fig11(args: argparse.Namespace) -> int:
+    from repro.experiments.fig11_ils_convergence import render, run_fig11
+
+    print(render(run_fig11(n=args.n, iterations=args.iterations)))
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import (
+        render_kernel_variants,
+        render_lut_vs_coords,
+        run_block_size_ablation,
+        run_kernel_variant_ablation,
+        run_lut_vs_coords_ablation,
+        run_strategy_ablation,
+    )
+    from repro.utils.tables import render_table
+
+    print(render_kernel_variants(run_kernel_variant_ablation()))
+    print()
+    rows = run_block_size_ablation()
+    print(
+        render_table(
+            ["block", "grid", "modeled scan"],
+            [(r.block_dim, r.grid_dim, f"{r.seconds * 1e6:.1f} us") for r in rows],
+            title="Ablation — block-size sweep (pr2392-sized instance)",
+        )
+    )
+    print()
+    print(render_lut_vs_coords(run_lut_vs_coords_ablation()))
+    print()
+    srows = run_strategy_ablation()
+    print(
+        render_table(
+            ["strategy", "moves", "scans", "final length", "modeled time"],
+            [
+                (r.strategy, r.moves, r.scans, r.final_length,
+                 f"{r.modeled_seconds * 1e3:.2f} ms")
+                for r in srows
+            ],
+            title="Ablation — best-improvement vs batch application",
+        )
+    )
+    return 0
+
+
+def _cmd_extensions(args: argparse.Namespace) -> int:
+    from repro.experiments.extensions import (
+        render_breakdown,
+        render_ihc_vs_ils,
+        render_multigpu,
+        render_pruned,
+        render_smart_sequential,
+        run_ihc_vs_ils,
+        run_multigpu_scaling,
+        run_pruned_ablation,
+        run_smart_sequential,
+        run_time_breakdown,
+    )
+
+    n = args.multigpu_n
+    print(render_multigpu(run_multigpu_scaling(n=n), n))
+    print()
+    print(render_pruned(run_pruned_ablation(n=args.pruned_n), args.pruned_n))
+    print()
+    print(render_ihc_vs_ils(
+        run_ihc_vs_ils(n=args.ihc_n, budget_s=args.ihc_budget),
+        args.ihc_n, args.ihc_budget,
+    ))
+    print()
+    print(render_smart_sequential(run_smart_sequential(n=args.smart_n),
+                                  args.smart_n))
+    print()
+    print(render_breakdown(run_time_breakdown()))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ReportConfig, write_report
+
+    cfg = ReportConfig(
+        max_solve_n=args.max_solve_n,
+        fig11_n=args.fig11_n,
+    )
+    write_report(args.output, cfg)
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.gpusim.device import DEVICES
+    from repro.utils.tables import render_table
+
+    rows = []
+    for key, d in DEVICES.items():
+        rows.append(
+            (key, d.name, d.api, f"{d.peak_gflops:,.0f}", f"{d.sustained_gflops:,.0f}",
+             f"{d.mem_bandwidth_gbps:.0f}")
+        )
+    print(
+        render_table(
+            ["key", "device", "API", "peak GF/s", "sustained GF/s", "GB/s"],
+            rows, title="Simulated device catalog",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    p = argparse.ArgumentParser(
+        prog="repro-tsp",
+        description="GPU-accelerated 2-opt TSP local optimization "
+                    "(Rocki & Suda, IPDPSW 2013) — simulated reproduction.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("solve", help="optimize one instance")
+    s.add_argument("--file", help="TSPLIB .tsp file to load")
+    s.add_argument("--paper-instance", help="paper instance name (synthetic stand-in)")
+    s.add_argument("--n", type=int, default=1000, help="synthetic instance size")
+    s.add_argument("--max-n", type=int, default=None, help="truncate paper instance")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--device", default="gtx680-cuda")
+    s.add_argument("--strategy", choices=["best", "batch"], default="batch")
+    s.add_argument("--initial", default="greedy",
+                   choices=["greedy", "nearest-neighbor", "random", "identity"])
+    s.set_defaults(func=_cmd_solve)
+
+    s = sub.add_parser("table1", help="reproduce Table I (memory)")
+    s.set_defaults(func=_cmd_table1)
+
+    s = sub.add_parser("table2", help="reproduce Table II (timing/quality)")
+    s.add_argument("--device", default="gtx680-cuda")
+    s.add_argument("--max-solve-n", type=int, default=2392)
+    s.add_argument("--max-table-n", type=int, default=None)
+    s.set_defaults(func=_cmd_table2)
+
+    s = sub.add_parser("fig9", help="reproduce Fig. 9 (GFLOP/s)")
+    s.set_defaults(func=_cmd_fig9)
+
+    s = sub.add_parser("fig10", help="reproduce Fig. 10 (speedup)")
+    s.add_argument("--baseline", default="xeon-e5-2690x2-opencl")
+    s.set_defaults(func=_cmd_fig10)
+
+    s = sub.add_parser("fig11", help="reproduce Fig. 11 (ILS convergence)")
+    s.add_argument("--n", type=int, default=1000)
+    s.add_argument("--iterations", type=int, default=20)
+    s.set_defaults(func=_cmd_fig11)
+
+    s = sub.add_parser("ablate", help="run the design-choice ablations")
+    s.set_defaults(func=_cmd_ablate)
+
+    s = sub.add_parser("extensions", help="run the future-work extension experiments")
+    s.add_argument("--multigpu-n", type=int, default=100_000)
+    s.add_argument("--pruned-n", type=int, default=1000)
+    s.add_argument("--ihc-n", type=int, default=500)
+    s.add_argument("--ihc-budget", type=float, default=0.05)
+    s.add_argument("--smart-n", type=int, default=2000)
+    s.set_defaults(func=_cmd_extensions)
+
+    s = sub.add_parser("report", help="run everything and write a Markdown report")
+    s.add_argument("--output", default="report.md")
+    s.add_argument("--max-solve-n", type=int, default=2392)
+    s.add_argument("--fig11-n", type=int, default=600)
+    s.set_defaults(func=_cmd_report)
+
+    s = sub.add_parser("devices", help="list the simulated device catalog")
+    s.set_defaults(func=_cmd_devices)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse *argv* and dispatch to the selected command."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

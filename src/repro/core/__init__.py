@@ -1,0 +1,79 @@
+"""The paper's core contribution: parallel 2-opt local optimization.
+
+* :mod:`repro.core.pair_indexing` — the Fig. 3 job space: linear thread
+  index ↔ (i, j) edge-pair coordinates.
+* :mod:`repro.core.moves` — the vectorized 2-opt gain engine (functional
+  ground truth the kernels are tested against, and the fast path for
+  large-instance optimization).
+* :mod:`repro.core.two_opt_gpu` — the simulated GPU kernels: naive global
+  memory, Optimization 1 (shared memory), Optimization 2 (route-ordered
+  coordinates), each with instrumented execution and closed-form stats.
+* :mod:`repro.core.tiling` — the problem-division scheme for instances
+  larger than shared memory (Fig. 7/8).
+* :mod:`repro.core.two_opt_cpu` — sequential and parallel CPU baselines.
+* :mod:`repro.core.local_search` — the driver that repeats best-improvement
+  moves to a local minimum, accumulating modeled device time.
+* :mod:`repro.core.solver` — high-level facade.
+"""
+
+from repro.core.pair_indexing import (
+    pair_count,
+    pair_from_linear,
+    linear_from_pair,
+)
+from repro.core.moves import (
+    best_move,
+    delta_for_pairs,
+    batch_improving_moves,
+    apply_moves,
+)
+from repro.core.two_opt_gpu import (
+    TwoOptKernelGlobal,
+    TwoOptKernelShared,
+    TwoOptKernelOrdered,
+    decode_payload,
+)
+from repro.core.tiling import TileSchedule, TwoOptKernelTiled, tiled_best_move
+from repro.core.two_opt_cpu import (
+    sequential_two_opt_sweep,
+    cpu_best_move,
+)
+from repro.core.local_search import LocalSearch, LocalSearchResult
+from repro.core.pruned import PrunedTwoOpt, PrunedSearchResult, pruned_scan_stats
+from repro.core.dont_look import DontLookTwoOpt, DontLookResult
+from repro.core.two_half_opt import (
+    TwoHalfOptKernel,
+    TwoHalfOptSearch,
+    best_two_h_move,
+)
+from repro.core.solver import TwoOptSolver
+
+__all__ = [
+    "pair_count",
+    "pair_from_linear",
+    "linear_from_pair",
+    "best_move",
+    "delta_for_pairs",
+    "batch_improving_moves",
+    "apply_moves",
+    "TwoOptKernelGlobal",
+    "TwoOptKernelShared",
+    "TwoOptKernelOrdered",
+    "decode_payload",
+    "TileSchedule",
+    "TwoOptKernelTiled",
+    "tiled_best_move",
+    "sequential_two_opt_sweep",
+    "cpu_best_move",
+    "LocalSearch",
+    "LocalSearchResult",
+    "PrunedTwoOpt",
+    "PrunedSearchResult",
+    "pruned_scan_stats",
+    "DontLookTwoOpt",
+    "DontLookResult",
+    "TwoHalfOptKernel",
+    "TwoHalfOptSearch",
+    "best_two_h_move",
+    "TwoOptSolver",
+]

@@ -1,0 +1,246 @@
+"""Vectorized 2-opt gain engine.
+
+This is the functional ground truth of the library: given route-ordered
+coordinates it evaluates move gains exactly as the GPU kernel does
+(float32 coordinates, ``floor(sqrtf(dx²+dy²) + 0.5)`` per Listing 1), but
+as whole-array numpy expressions blocked by rows so arbitrarily large
+instances fit in memory. The simulated kernels are property-tested to
+return bit-identical results; large-instance drivers call this engine
+directly and charge modeled device time from the kernels' closed-form
+stats (DESIGN.md "Key design decisions").
+
+Move convention: pair ``(i, j)`` with ``i < j`` removes tour edges
+``(i, i+1)`` and ``(j, (j+1) mod n)`` and reconnects as ``(i, j)`` and
+``(i+1, (j+1) mod n)``, i.e. reverses positions ``i+1 … j``. The gain is
+
+    delta(i, j) = d(c_i, c_j) + d(c_{i+1}, c_{j+1})
+                - d(c_i, c_{i+1}) - d(c_j, c_{j+1})
+
+negative delta = shorter tour. Ties between equal deltas break toward the
+lowest linear pair index (j-major, Fig. 3 order) — deterministic, unlike
+a real GPU atomic race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.pair_indexing import linear_from_pair
+
+#: Row-block size target: cells per block held in memory at once.
+_BLOCK_CELLS = 1 << 22
+
+
+def _as_coords32(coords: np.ndarray) -> np.ndarray:
+    c = np.asarray(coords)
+    if c.ndim != 2 or c.shape[1] != 2:
+        raise ValueError(f"coords must be (n, 2), got {c.shape}")
+    return np.ascontiguousarray(c, dtype=np.float32)
+
+
+def rounded_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Listing 1 in array form: float32 math, nearest-integer rounding."""
+    dx = a[..., 0] - b[..., 0]
+    dy = a[..., 1] - b[..., 1]
+    return np.floor(np.sqrt(dx * dx + dy * dy) + np.float32(0.5)).astype(np.int64)
+
+
+def next_distances(coords: np.ndarray) -> np.ndarray:
+    """d(c_k, c_{k+1 mod n}) for every position k — the tour's edge lengths."""
+    c = _as_coords32(coords)
+    return rounded_euclidean(c, np.roll(c, -1, axis=0))
+
+
+def delta_for_pairs(
+    coords: np.ndarray,
+    i: np.ndarray,
+    j: np.ndarray,
+    dnext: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Gain of the 2-opt moves at position pairs (i, j), vectorized.
+
+    This is exactly the per-thread body of the paper's kernel; the GPU
+    classes call it through instrumented memory, everything else calls it
+    directly.
+    """
+    c = _as_coords32(coords)
+    n = c.shape[0]
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    if np.any(i >= j) or np.any(i < 0) or np.any(j >= n):
+        raise ValueError("pairs must satisfy 0 <= i < j < n")
+    if dnext is None:
+        dnext = next_distances(c)
+    jp1 = (j + 1) % n
+    d_new = rounded_euclidean(c[i], c[j]) + rounded_euclidean(c[i + 1], c[jp1])
+    d_old = dnext[i] + dnext[j]
+    return d_new - d_old
+
+
+@dataclass(frozen=True)
+class Move:
+    """One evaluated 2-opt move."""
+
+    i: int
+    j: int
+    delta: int
+
+    @property
+    def improving(self) -> bool:
+        return self.delta < 0
+
+
+def best_move(
+    coords: np.ndarray,
+    dnext: Optional[np.ndarray] = None,
+    *,
+    block_cells: int = _BLOCK_CELLS,
+) -> Move:
+    """Exact best-improvement scan over all n(n-1)/2 pairs.
+
+    Blocked by rows of *i* so peak transient memory stays near
+    ``block_cells`` cells regardless of n (HPC guide: mind the cache /
+    memory footprint). Ties break toward the lowest Fig. 3 linear index.
+    """
+    c = _as_coords32(coords)
+    n = c.shape[0]
+    if n < 4:
+        raise ValueError("need at least 4 cities")
+    if dnext is None:
+        dnext = next_distances(c)
+
+    cx = c[:, 0]
+    cy = c[:, 1]
+    nxt_x = np.roll(cx, -1)
+    nxt_y = np.roll(cy, -1)
+
+    best_delta = np.int64(np.iinfo(np.int64).max)
+    best_i = -1
+    best_j = -1
+
+    rows_per_block = max(1, block_cells // max(n, 1))
+    for i0 in range(0, n - 1, rows_per_block):
+        i1 = min(i0 + rows_per_block, n - 1)
+        ii = np.arange(i0, i1)
+        # candidate columns: j in (i, n)
+        jj = np.arange(i0 + 1, n)
+        dx1 = cx[ii, None] - cx[None, jj]
+        dy1 = cy[ii, None] - cy[None, jj]
+        d1 = np.floor(np.sqrt(dx1 * dx1 + dy1 * dy1) + np.float32(0.5))
+        dx2 = nxt_x[ii, None] - nxt_x[None, jj]
+        dy2 = nxt_y[ii, None] - nxt_y[None, jj]
+        d2 = np.floor(np.sqrt(dx2 * dx2 + dy2 * dy2) + np.float32(0.5))
+        delta = (d1 + d2).astype(np.int64) - dnext[ii, None] - dnext[None, jj]
+        # mask out j <= i (upper-left triangle of the block)
+        invalid = jj[None, :] <= ii[:, None]
+        delta[invalid] = np.iinfo(np.int64).max
+        m = delta.min()
+        if m < best_delta:
+            # all block minima, tie-break by linear index
+            where_i, where_j = np.nonzero(delta == m)
+            gi = ii[where_i]
+            gj = jj[where_j]
+            k = linear_from_pair(gi, gj)
+            sel = np.argmin(k)
+            best_delta, best_i, best_j = m, int(gi[sel]), int(gj[sel])
+        elif m == best_delta and best_i >= 0:
+            where_i, where_j = np.nonzero(delta == m)
+            gi = ii[where_i]
+            gj = jj[where_j]
+            k = linear_from_pair(gi, gj)
+            sel = int(np.argmin(k))
+            if k[sel] < linear_from_pair(best_i, best_j):
+                best_i, best_j = int(gi[sel]), int(gj[sel])
+    return Move(i=best_i, j=best_j, delta=int(best_delta))
+
+
+def row_best_moves(
+    coords: np.ndarray,
+    dnext: Optional[np.ndarray] = None,
+    *,
+    block_cells: int = _BLOCK_CELLS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row best move: for every i, the j minimizing delta(i, j).
+
+    Returns ``(best_j, best_delta)`` arrays of length n-1 (rows n-1 and
+    beyond have no valid j). Feeds the batch application strategy.
+    """
+    c = _as_coords32(coords)
+    n = c.shape[0]
+    if dnext is None:
+        dnext = next_distances(c)
+    cx, cy = c[:, 0], c[:, 1]
+    nxt_x, nxt_y = np.roll(cx, -1), np.roll(cy, -1)
+
+    out_j = np.full(n - 1, -1, dtype=np.int64)
+    out_delta = np.full(n - 1, np.iinfo(np.int64).max, dtype=np.int64)
+
+    rows_per_block = max(1, block_cells // max(n, 1))
+    for i0 in range(0, n - 1, rows_per_block):
+        i1 = min(i0 + rows_per_block, n - 1)
+        ii = np.arange(i0, i1)
+        jj = np.arange(i0 + 1, n)
+        dx1 = cx[ii, None] - cx[None, jj]
+        dy1 = cy[ii, None] - cy[None, jj]
+        d1 = np.floor(np.sqrt(dx1 * dx1 + dy1 * dy1) + np.float32(0.5))
+        dx2 = nxt_x[ii, None] - nxt_x[None, jj]
+        dy2 = nxt_y[ii, None] - nxt_y[None, jj]
+        d2 = np.floor(np.sqrt(dx2 * dx2 + dy2 * dy2) + np.float32(0.5))
+        delta = (d1 + d2).astype(np.int64) - dnext[ii, None] - dnext[None, jj]
+        invalid = jj[None, :] <= ii[:, None]
+        delta[invalid] = np.iinfo(np.int64).max
+        col = np.argmin(delta, axis=1)
+        rows = np.arange(i1 - i0)
+        out_delta[ii] = delta[rows, col]
+        out_j[ii] = jj[col]
+    return out_j, out_delta
+
+
+def batch_improving_moves(
+    coords: np.ndarray,
+    *,
+    max_moves: Optional[int] = None,
+) -> list[Move]:
+    """A maximal set of non-interacting improving moves for one sweep.
+
+    Strategy (documented extension for large instances, DESIGN.md): take
+    each row's best improving move, sort by gain, and greedily accept
+    moves whose touched position intervals ``[i, j+1]`` do not overlap an
+    accepted one — disjoint reversals commute and their gains stay exact.
+    Moves closing over the tour end (j = n-1) are only accepted alone.
+    """
+    c = _as_coords32(coords)
+    n = c.shape[0]
+    bj, bd = row_best_moves(c)
+    improving = np.nonzero(bd < 0)[0]
+    if improving.size == 0:
+        return []
+    order = improving[np.argsort(bd[improving], kind="stable")]
+    taken: list[Move] = []
+    occupied = np.zeros(n + 1, dtype=bool)
+    for i in order:
+        j = int(bj[i])
+        lo, hi = int(i), j + 1  # inclusive endpoint positions
+        if hi >= n:  # wraps to position 0; accept only as the sole move
+            if taken:
+                continue
+            taken.append(Move(int(i), j, int(bd[i])))
+            break
+        if occupied[lo : hi + 1].any():
+            continue
+        occupied[lo : hi + 1] = True
+        taken.append(Move(int(i), j, int(bd[i])))
+        if max_moves is not None and len(taken) >= max_moves:
+            break
+    return taken
+
+
+def apply_moves(order: np.ndarray, moves: Sequence[Move]) -> np.ndarray:
+    """Apply non-interacting 2-opt moves to a permutation (copy returned)."""
+    out = np.asarray(order).copy()
+    for mv in moves:
+        out[mv.i + 1 : mv.j + 1] = out[mv.i + 1 : mv.j + 1][::-1]
+    return out

@@ -1,0 +1,83 @@
+"""The Fig. 3 parallelization scheme: a triangular job space.
+
+Every distinct pair of tour positions ``(i, j)`` with ``0 <= i < j < n``
+is one candidate 2-opt move. The paper flattens the strict lower triangle
+row by row — cell ``(i, j)`` gets linear index ``j*(j-1)/2 + i`` — and
+assigns linear indices to GPU threads, each thread striding by
+``blocks*threads`` (Fig. 4). This module provides the bidirectional
+mapping, vectorized (one numpy expression decodes a whole launch's worth
+of thread indices).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def pair_count(n: int) -> int:
+    """Number of candidate pairs for an *n*-city tour: n(n-1)/2.
+
+    This is the kernel's job-space size. (A handful of these are
+    degenerate no-ops — j == i+1 reverses a single element and (0, n-1)
+    reverses the whole tour — the kernel evaluates them anyway because
+    their gain is exactly 0, which keeps the index math branch-free;
+    see §IV of the paper.)
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return n * (n - 1) // 2
+
+
+def pair_from_linear(k, n: int | None = None):
+    """Decode linear job indices *k* into (i, j) pairs, ``i < j``.
+
+    Row-major over rows ``j``: row *j* holds the *j* cells
+    ``(0, j) … (j-1, j)``. The decode inverts the triangular number:
+    ``j = floor((1 + sqrt(1 + 8k)) / 2)``, ``i = k - j(j-1)/2``.
+
+    Works on scalars and arrays. ``n`` (if given) bounds-checks the input.
+    """
+    k_arr = np.asarray(k, dtype=np.int64)
+    if np.any(k_arr < 0):
+        raise ValueError("linear index must be non-negative")
+    if n is not None and np.any(k_arr >= pair_count(n)):
+        raise ValueError(f"linear index out of range for n={n}")
+    # float64 sqrt is exact enough for k < 2^52; fix up rounding explicitly.
+    j = ((1.0 + np.sqrt(1.0 + 8.0 * k_arr.astype(np.float64))) / 2.0).astype(np.int64)
+    # correct possible off-by-one from floating-point rounding
+    tri = j * (j - 1) // 2
+    too_big = tri > k_arr
+    j = j - too_big.astype(np.int64)
+    tri = j * (j - 1) // 2
+    too_small = k_arr >= tri + j
+    j = j + too_small.astype(np.int64)
+    tri = j * (j - 1) // 2
+    i = k_arr - tri
+    if np.isscalar(k) or k_arr.ndim == 0:
+        return int(i), int(j)
+    return i, j
+
+
+def linear_from_pair(i, j):
+    """Inverse of :func:`pair_from_linear`: ``k = j(j-1)/2 + i``."""
+    i_arr = np.asarray(i, dtype=np.int64)
+    j_arr = np.asarray(j, dtype=np.int64)
+    if np.any(i_arr < 0) or np.any(i_arr >= j_arr):
+        raise ValueError("pairs must satisfy 0 <= i < j")
+    k = j_arr * (j_arr - 1) // 2 + i_arr
+    if np.isscalar(i) and np.isscalar(j):
+        return int(k)
+    return k
+
+
+def iterations_per_thread(n: int, total_threads: int) -> int:
+    """The paper's §IV formula: grid-stride loop trip count.
+
+    ``iter = ceil( n(n-1)/2 / (blocks*threads) )`` — e.g. 100 for pr2392
+    on a 28×1024 launch, exactly the worked example in the paper.
+    """
+    if total_threads <= 0:
+        raise ValueError("total_threads must be positive")
+    return math.ceil(pair_count(n) / total_threads)

@@ -1,0 +1,120 @@
+"""Neighborhood-pruned 2-opt — the paper's §VII suggestion, implemented.
+
+"Also, simple ideas such as neighborhood pruning can be applied at the
+cost of the quality of the solution." (§VII)
+
+Instead of all n(n-1)/2 pairs, each scan evaluates only moves that would
+create an edge between a city and one of its k nearest neighbors — the
+classical candidate-list restriction (cf. Johnson & McGeoch). Work per
+scan drops from O(n²) to O(nk); the price is that the search stops at a
+*pruned* local minimum (no improving candidate move), which may still
+admit improving non-candidate moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.moves import Move, delta_for_pairs, next_distances
+from repro.core.two_opt_gpu import _EXTRA_FLOPS_PER_PAIR
+from repro.gpusim.kernel import FLOPS_PER_DISTANCE, SPECIAL_PER_DISTANCE
+from repro.gpusim.stats import KernelStats
+from repro.tsplib.neighbors import k_nearest_neighbors
+
+
+def pruned_scan_stats(n: int, k: int) -> KernelStats:
+    """Closed-form work for one pruned scan (n·k candidate pairs)."""
+    pairs = n * k
+    s = KernelStats(launches=1)
+    s.pair_checks = pairs
+    s.flops = pairs * (4 * FLOPS_PER_DISTANCE + _EXTRA_FLOPS_PER_PAIR)
+    s.special_ops = pairs * 4 * SPECIAL_PER_DISTANCE
+    return s
+
+
+@dataclass
+class PrunedSearchResult:
+    """Outcome of a pruned 2-opt run."""
+
+    order: np.ndarray
+    initial_length: int
+    final_length: int
+    moves_applied: int
+    scans: int
+    pair_checks: int
+    stats: KernelStats
+
+
+class PrunedTwoOpt:
+    """k-nearest-neighbor candidate-list 2-opt over one instance."""
+
+    def __init__(self, coords: np.ndarray, *, k: int = 8) -> None:
+        self.city_coords = np.ascontiguousarray(coords, dtype=np.float32)
+        self.n = self.city_coords.shape[0]
+        if self.n < 4:
+            raise ValueError("need at least 4 cities")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = min(k, self.n - 1)
+        knn = k_nearest_neighbors(self.city_coords, self.k)
+        # candidate city pairs (a, b), a != b, deduplicated canonically
+        a = np.repeat(np.arange(self.n), knn.shape[1])
+        b = knn.ravel()
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        self.candidates = np.unique(np.column_stack([lo, hi]), axis=0)
+
+    def _candidate_position_pairs(self, pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """City candidates -> current tour-position pairs (i < j)."""
+        pi = pos[self.candidates[:, 0]]
+        pj = pos[self.candidates[:, 1]]
+        i = np.minimum(pi, pj)
+        j = np.maximum(pi, pj)
+        valid = i < j  # equal never happens; guard anyway
+        return i[valid], j[valid]
+
+    def best_move(self, order: np.ndarray) -> Move:
+        """Best candidate move for the tour *order* (positions)."""
+        c = self.city_coords[order]
+        pos = np.empty(self.n, dtype=np.int64)
+        pos[order] = np.arange(self.n)
+        i, j = self._candidate_position_pairs(pos)
+        dn = next_distances(c)
+        deltas = delta_for_pairs(c, i, j, dn)
+        kbest = int(np.argmin(deltas))
+        return Move(i=int(i[kbest]), j=int(j[kbest]), delta=int(deltas[kbest]))
+
+    def run(
+        self,
+        order: Optional[np.ndarray] = None,
+        *,
+        max_moves: Optional[int] = None,
+    ) -> PrunedSearchResult:
+        """Apply best candidate moves until a pruned local minimum."""
+        order = (np.arange(self.n, dtype=np.int64) if order is None
+                 else np.asarray(order, dtype=np.int64).copy())
+        c = self.city_coords[order]
+        length = int(next_distances(c).sum())
+        initial = length
+        stats = KernelStats()
+        moves = 0
+        scans = 0
+        while True:
+            mv = self.best_move(order)
+            scans += 1
+            stats += pruned_scan_stats(self.n, self.k)
+            if mv.delta >= 0:
+                break
+            order[mv.i + 1 : mv.j + 1] = order[mv.i + 1 : mv.j + 1][::-1]
+            length += mv.delta
+            moves += 1
+            if max_moves is not None and moves >= max_moves:
+                break
+        return PrunedSearchResult(
+            order=order, initial_length=initial, final_length=length,
+            moves_applied=moves, scans=scans,
+            pair_checks=int(stats.pair_checks), stats=stats,
+        )

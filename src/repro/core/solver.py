@@ -1,0 +1,136 @@
+"""High-level facade: construct an initial tour and run 2-opt to a minimum.
+
+This is the public entry point a downstream user reaches for:
+
+>>> from repro import generate_instance, TwoOptSolver
+>>> inst = generate_instance(200, seed=1)
+>>> result = TwoOptSolver(device="gtx680-cuda").solve(inst)
+>>> result.final_length < result.initial_length
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Union
+
+import numpy as np
+
+from repro.core.local_search import (
+    Backend,
+    LocalSearch,
+    LocalSearchResult,
+    Mode,
+    Strategy,
+)
+from repro.errors import SolverError
+from repro.gpusim.kernel import LaunchConfig
+from repro.tour.tour import Tour, validate_tour
+from repro.tsplib.instance import TSPInstance
+from repro.utils.rng import SeedLike, ensure_rng
+
+InitialTour = Union[Literal["greedy", "nearest-neighbor", "random", "identity"], np.ndarray]
+
+
+@dataclass
+class SolveResult:
+    """Everything a Table II row needs about one solved instance."""
+
+    instance: TSPInstance
+    tour: Tour
+    initial_length: int
+    final_length: int
+    canonical_length: int      # via the instance's float64 metric
+    search: LocalSearchResult
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.initial_length == 0:
+            return 0.0
+        return 100.0 * (self.initial_length - self.final_length) / self.initial_length
+
+
+class TwoOptSolver:
+    """Initial-tour construction + GPU/CPU 2-opt local search."""
+
+    def __init__(
+        self,
+        device: str = "gtx680-cuda",
+        *,
+        backend: Backend = "gpu",
+        mode: Mode = "fast",
+        strategy: Strategy = "best",
+        launch: Optional[LaunchConfig] = None,
+        threads: Optional[int] = None,
+        host_engine: str = "exhaustive",
+    ) -> None:
+        self._search = LocalSearch(
+            device, backend=backend, mode=mode, strategy=strategy,
+            launch=launch, threads=threads, host_engine=host_engine,  # type: ignore[arg-type]
+        )
+
+    @property
+    def local_search(self) -> LocalSearch:
+        return self._search
+
+    def build_initial(
+        self,
+        instance: TSPInstance,
+        initial: InitialTour = "greedy",
+        *,
+        seed: SeedLike = 0,
+    ) -> np.ndarray:
+        """Construct the starting permutation (Table II uses greedy/MF)."""
+        if isinstance(initial, np.ndarray):
+            return validate_tour(initial, instance.n)
+        if initial == "identity":
+            return np.arange(instance.n, dtype=np.int64)
+        if initial == "random":
+            return ensure_rng(seed).permutation(instance.n).astype(np.int64)
+        if initial == "nearest-neighbor":
+            from repro.heuristics.nearest_neighbor import nearest_neighbor_tour
+
+            return nearest_neighbor_tour(instance, seed=seed)
+        if initial == "greedy":
+            from repro.heuristics.greedy_mf import multiple_fragment_tour
+
+            return multiple_fragment_tour(instance)
+        raise SolverError(f"unknown initial tour spec {initial!r}")
+
+    def solve(
+        self,
+        instance: TSPInstance,
+        *,
+        initial: InitialTour = "greedy",
+        seed: SeedLike = 0,
+        max_moves: Optional[int] = None,
+        max_scans: Optional[int] = None,
+    ) -> SolveResult:
+        """Optimize *instance* to a 2-opt local minimum (or a cap)."""
+        if instance.coords is None:
+            raise SolverError("solver requires coordinate instances")
+        from repro.tsplib.distances import EdgeWeightType
+
+        if instance.metric is not EdgeWeightType.EUC_2D:
+            raise SolverError(
+                f"the accelerated 2-opt implements the paper's EUC_2D "
+                f"metric (Listing 1); instance {instance.name!r} uses "
+                f"{instance.metric.value}. Convert or re-generate the "
+                f"instance with EUC_2D coordinates."
+            )
+        order0 = self.build_initial(instance, initial, seed=seed)
+        coords_ordered = instance.coords[order0]
+        result = self._search.run(
+            coords_ordered, max_moves=max_moves, max_scans=max_scans
+        )
+        # result.order permutes *positions* of the initial tour
+        final_order = order0[result.order]
+        tour = Tour(instance, final_order)
+        return SolveResult(
+            instance=instance,
+            tour=tour,
+            initial_length=result.initial_length,
+            final_length=result.final_length,
+            canonical_length=tour.length(),
+            search=result,
+        )

@@ -1,0 +1,296 @@
+"""The paper's problem-division scheme (Fig. 7/8): arbitrary instance sizes.
+
+Optimization 2 made the coordinate array route-ordered, so any contiguous
+index range is a contiguous tour segment. For instances that exceed shared
+memory, each kernel launch stages **two** coordinate sub-ranges (each at
+most half the budget — 3072 points of the 48 kB the paper quotes) and
+evaluates every pair (i ∈ range A, j ∈ range B). Sweeping all unordered
+segment pairs covers the full triangular job space exactly once, and the
+launches are independent (the paper notes they could even run on multiple
+devices).
+
+Boundary detail: evaluating pair (i, j) needs positions i+1 and j+1, so
+each staged range carries one extra trailing coordinate (the successor of
+its last position, wrapping to position 0 at the tour end).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.pair_indexing import linear_from_pair, pair_count
+from repro.core.two_opt_gpu import _NO_MOVE, _EXTRA_FLOPS_PER_PAIR, decode_payload
+from repro.gpusim.coalescing import transactions_for_sequential
+from repro.gpusim.kernel import (
+    FLOPS_PER_DISTANCE,
+    Kernel,
+    KernelContext,
+    LaunchConfig,
+    SPECIAL_PER_DISTANCE,
+)
+from repro.gpusim.stats import KernelStats
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One kernel launch: ranges [a0, a1) x [b0, b1) of tour positions."""
+
+    a0: int
+    a1: int
+    b0: int
+    b1: int
+
+    @property
+    def intra(self) -> bool:
+        return self.a0 == self.b0
+
+    @property
+    def job_count(self) -> int:
+        sa = self.a1 - self.a0
+        sb = self.b1 - self.b0
+        if self.intra:
+            return sa * (sa - 1) // 2
+        return sa * sb
+
+
+class TileSchedule:
+    """Partition of the n-city job triangle into two-range tiles."""
+
+    def __init__(self, n: int, range_size: int) -> None:
+        if range_size < 2:
+            raise ValueError("range_size must be at least 2")
+        if n < 4:
+            raise ValueError("need at least 4 cities")
+        self.n = n
+        self.range_size = range_size
+        bounds = list(range(0, n, range_size)) + [n]
+        self.segments = [(bounds[k], bounds[k + 1]) for k in range(len(bounds) - 1)]
+
+    @classmethod
+    def for_device(cls, n: int, device, *, reserve: int = 0) -> "TileSchedule":
+        """Range size from the device's shared budget (paper: 48 kB → 3072).
+
+        Two ranges of (size+1) float2 each must fit:
+        ``2 * (size+1) * 8 <= shared_mem_per_block - reserve``.
+        """
+        budget = device.shared_mem_per_block - reserve
+        size = budget // (2 * 8) - 1
+        if size < 2:
+            raise ValueError("device shared memory too small for tiling")
+        return cls(n, min(size, n))
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def num_tiles(self) -> int:
+        s = self.num_segments
+        return s * (s + 1) // 2
+
+    def tiles(self) -> Iterator[Tile]:
+        """All tiles, diagonal first then upper off-diagonals, row-major."""
+        for a in range(self.num_segments):
+            a0, a1 = self.segments[a]
+            for b in range(a, self.num_segments):
+                b0, b1 = self.segments[b]
+                yield Tile(a0=a0, a1=a1, b0=b0, b1=b1)
+
+    def total_jobs(self) -> int:
+        return sum(t.job_count for t in self.tiles())
+
+
+class TwoOptKernelTiled(Kernel):
+    """One tile's kernel: grid-stride over the tile's job space."""
+
+    name = "2opt-tiled"
+
+    def shared_bytes(self, *, tile: Tile, **_: object) -> int:
+        """Shared bytes for the tile's one or two (+1-extended) ranges."""
+        sa = tile.a1 - tile.a0 + 1
+        if tile.intra:
+            return 8 * sa
+        sb = tile.b1 - tile.b0 + 1
+        return 8 * (sa + sb)
+
+    def run(self, ctx: KernelContext, *, coords_ordered: np.ndarray, tile: Tile):
+        """Evaluate the tile's job space; return its best (delta, i, j)."""
+        c = np.ascontiguousarray(coords_ordered, dtype=np.float32)
+        n = c.shape[0]
+        if not (0 <= tile.a0 < tile.a1 <= n and 0 <= tile.b0 < tile.b1 <= n
+                and tile.a0 <= tile.b0):
+            from repro.errors import MemoryAccessError
+
+            raise MemoryAccessError(
+                f"tile {tile} out of range for n={n} coordinates"
+            )
+        g = ctx.global_array("coords_ordered", c)
+
+        sa = tile.a1 - tile.a0
+        sb = tile.b1 - tile.b0
+
+        # Stage range A (+1 successor). The successor of position p is
+        # (p+1) mod n; for a contiguous range that is simply the next row,
+        # except the final segment whose successor wraps to row 0.
+        sh_a = ctx.alloc_shared("range_a", (sa + 1, 2), np.float32)
+        self._stage(ctx, g, sh_a, tile.a0, sa, n)
+        if tile.intra:
+            sh_b = sh_a
+            b_base = tile.a0
+        else:
+            sh_b = ctx.alloc_shared("range_b", (sb + 1, 2), np.float32)
+            self._stage(ctx, g, sh_b, tile.b0, sb, n)
+            b_base = tile.b0
+        ctx.sync_threads()
+
+        jobs = tile.job_count
+        total = ctx.launch.total_threads
+        iters = math.ceil(jobs / total)
+        tid = ctx.thread_ids()
+
+        best_delta = np.full(total, _NO_MOVE, dtype=np.int64)
+        best_k = np.zeros(total, dtype=np.int64)
+
+        for it in range(iters):
+            k = tid + it * total
+            active = k < jobs
+            n_active = int(np.count_nonzero(active))
+            k_safe = np.where(active, k, 0)
+            if tile.intra:
+                from repro.core.pair_indexing import pair_from_linear
+
+                li, lj = pair_from_linear(k_safe)
+            else:
+                li = k_safe % sa
+                lj = k_safe // sa
+
+            ci = sh_a.load(li, active_mask=active)
+            ci1 = sh_a.load(li + 1, active_mask=active)
+            cj = sh_b.load(lj, active_mask=active)
+            cj1 = sh_b.load(lj + 1, active_mask=active)
+
+            d_ij = ctx.euclidean_distance(ci, cj, active=n_active)
+            d_i1j1 = ctx.euclidean_distance(ci1, cj1, active=n_active)
+            d_ii1 = ctx.euclidean_distance(ci, ci1, active=n_active)
+            d_jj1 = ctx.euclidean_distance(cj, cj1, active=n_active)
+            delta = (d_ij + d_i1j1) - (d_ii1 + d_jj1)
+            ctx.count_flops(_EXTRA_FLOPS_PER_PAIR, active_threads=n_active)
+            delta = np.where(active, delta, _NO_MOVE)
+
+            # global pair index as payload (tie-break across tiles)
+            gi = tile.a0 + li
+            gj = b_base + lj
+            payload = gj * (gj - 1) // 2 + gi
+            better = (delta < best_delta) | ((delta == best_delta) & (payload < best_k))
+            best_delta = np.where(better, delta, best_delta)
+            best_k = np.where(better, payload, best_k)
+
+        ctx.stats.iterations += iters
+        ctx.stats.pair_checks += jobs
+        delta, payload = ctx.block_reduce_best(best_delta, best_k)
+        if delta >= float(_NO_MOVE):
+            return 0, -1, -1
+        i, j = decode_payload(payload)
+        return int(delta), i, j
+
+    @staticmethod
+    def _stage(ctx: KernelContext, g, sh, start: int, size: int, n: int) -> None:
+        """Cooperatively load rows start..start+size plus the successor row."""
+        ctx.cooperative_load(g, sh, min(size + 1, n - start), offset=start)
+        if start + size >= n:  # wrap: successor of the last position is row 0
+            sh.data[size] = g.data[(start + size) % n]
+
+    def estimate_stats(self, tile: Tile, launch: LaunchConfig, device,
+                       n: Optional[int] = None) -> KernelStats:
+        """Closed-form work for one tile launch."""
+        jobs = tile.job_count
+        total = launch.total_threads
+        iters = math.ceil(jobs / total)
+        s = KernelStats(launches=1, threads_launched=total)
+        s.iterations = iters
+        s.pair_checks = jobs
+        s.flops = jobs * (4 * FLOPS_PER_DISTANCE + _EXTRA_FLOPS_PER_PAIR)
+        s.special_ops = jobs * 4 * SPECIAL_PER_DISTANCE
+        g = launch.grid_dim
+        block = launch.block_dim
+        ranges = [tile.a1 - tile.a0 + 1]
+        if not tile.intra:
+            ranges.append(tile.b1 - tile.b0 + 1)
+        for rows in ranges:
+            waves = math.ceil(rows / block)
+            tx = 0
+            remaining = rows
+            for _ in range(waves):
+                width = min(block, remaining)
+                tx += transactions_for_sequential(width, 8, warp_size=device.warp_size)
+                remaining -= width
+            s.global_load_transactions += tx * g
+            s.global_load_bytes += rows * 8 * g
+            warps_per_wave = math.ceil(min(block, rows) / device.warp_size)
+            s.shared_requests += waves * warps_per_wave * 2 * g
+            s.barriers += g
+        s.barriers += g
+        warps = math.ceil(total / device.warp_size)
+        s.shared_requests += iters * 4 * 2 * warps
+        s.bank_conflict_replays += iters * 4 * warps
+        # reduction
+        steps = max(1, int(math.ceil(math.log2(block))))
+        active = block
+        requests = 0
+        for _ in range(steps):
+            active = max(1, active // 2)
+            requests += 2 * math.ceil(active / 32)
+        s.shared_requests += requests * g
+        s.barriers += steps * g
+        s.atomics += g
+        return s
+
+
+def tiled_best_move(
+    coords_ordered: np.ndarray,
+    device,
+    launch: Optional[LaunchConfig] = None,
+    *,
+    range_size: Optional[int] = None,
+    stats: Optional[KernelStats] = None,
+):
+    """Full best-improvement scan via the tiled scheme (functional).
+
+    Launches one simulated kernel per tile and reduces across tiles on the
+    host. Returns ``(delta, i, j, per_sweep_stats)``.
+    """
+    from repro.gpusim.executor import launch_kernel
+
+    c = np.ascontiguousarray(coords_ordered, dtype=np.float32)
+    n = c.shape[0]
+    if range_size is None:
+        schedule = TileSchedule.for_device(n, device)
+    else:
+        schedule = TileSchedule(n, range_size)
+    kernel = TwoOptKernelTiled()
+    launch = launch or LaunchConfig.default_for(device)
+
+    sweep_stats = KernelStats()
+    best = (np.iinfo(np.int64).max, -1, -1)
+    for tile in schedule.tiles():
+        res = launch_kernel(
+            kernel, device, launch, stats=sweep_stats,
+            coords_ordered=c, tile=tile,
+        )
+        delta, i, j = res.output
+        if i < 0:
+            continue
+        key = (delta, linear_from_pair(i, j))
+        best_key = (
+            best[0],
+            linear_from_pair(best[1], best[2]) if best[1] >= 0 else np.iinfo(np.int64).max,
+        )
+        if key < best_key:
+            best = (delta, i, j)
+    if stats is not None:
+        stats += sweep_stats
+    return best[0] if best[1] >= 0 else 0, best[1], best[2], sweep_stats

@@ -1,0 +1,327 @@
+"""The §VII future-work kernel: 2.5-opt (2h-opt) in the SIMT model.
+
+"Our future work is to efficiently implement more complex local search
+algorithms such as 2.5-opt, 3-opt and Lin-Kernighan."
+
+2.5-opt evaluates, for every pair of tour positions (i, j), the pure
+2-opt reconnection **plus** the two single-city insertions obtainable
+from the same two edges (move city i+1 between j and j+1, or city j+1
+between i and i+1). The job space and memory behaviour are identical to
+the paper's 2-opt kernel — same triangular decode, same route-ordered
+shared-memory staging — only the per-thread arithmetic grows (11 instead
+of 4 distance evaluations), which is exactly why the paper considered it
+the natural next kernel: the GPU's spare FLOPs absorb the extra math.
+
+Components:
+
+* :func:`two_h_deltas_for_pairs` — vectorized deltas of all 3 variants;
+* :func:`best_two_h_move` — exact full-scan reference (row-blocked);
+* :class:`TwoHalfOptKernel` — the simulated SIMT kernel, bit-exact
+  against the reference (tested);
+* :class:`TwoHalfOptSearch` — descent driver with modeled device time.
+
+Move kinds are encoded in the reduction payload as ``pair_index * 4 +
+kind`` so ties break deterministically on (pair, kind).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.moves import next_distances, rounded_euclidean
+from repro.core.pair_indexing import pair_count, pair_from_linear
+from repro.core.two_opt_gpu import _NO_MOVE
+from repro.gpusim.coalescing import transactions_for_sequential
+from repro.gpusim.kernel import (
+    FLOPS_PER_DISTANCE,
+    Kernel,
+    KernelContext,
+    LaunchConfig,
+    SPECIAL_PER_DISTANCE,
+)
+from repro.gpusim.stats import KernelStats
+from repro.heuristics.two_h_opt import TwoHMove, _apply
+
+#: distance evaluations per pair check (all three variants together)
+DISTANCES_PER_PAIR = 11
+#: bookkeeping flops per pair beyond the distances
+EXTRA_FLOPS_PER_PAIR = 12
+
+KIND_NAMES = ("2opt", "insert-forward", "insert-backward")
+
+
+def two_h_deltas_for_pairs(
+    c: np.ndarray,
+    i: np.ndarray,
+    j: np.ndarray,
+    dn: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deltas of (2-opt, insert-forward, insert-backward) at pairs (i, j).
+
+    Invalid variants (boundary conditions) come back as a huge sentinel.
+    The formulas are the ones validated move-by-move in
+    :mod:`repro.heuristics.two_h_opt`.
+    """
+    c = np.ascontiguousarray(c, dtype=np.float32)
+    n = c.shape[0]
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    if dn is None:
+        dn = next_distances(c)
+    ip1 = i + 1
+    jp1 = (j + 1) % n
+    d_ij = rounded_euclidean(c[i], c[j])
+    d_i1j1 = rounded_euclidean(c[ip1], c[jp1])
+    d2 = (d_ij + d_i1j1) - dn[i] - dn[j]
+
+    big = np.int64(2**40)
+    # insert-forward: city i+1 moves between j and j+1
+    ip2 = np.minimum(i + 2, n - 1)  # clamped; masked below
+    d_i_i2 = rounded_euclidean(c[i], c[ip2])
+    d_j_i1 = rounded_euclidean(c[j], c[ip1])
+    ins_f = (d_i_i2 + d_j_i1 + d_i1j1) - dn[i] - dn[ip1] - dn[j]
+    valid_f = (i + 2 <= j) & (j < n - 1)
+    ins_f = np.where(valid_f, ins_f, big)
+
+    # insert-backward: city j+1 moves between i and i+1
+    jp2 = (j + 2) % n
+    d_j_j2 = rounded_euclidean(c[j], c[jp2])
+    d_i_j1 = rounded_euclidean(c[i], c[jp1])
+    d_j1_i1 = rounded_euclidean(c[jp1], c[ip1])
+    ins_b = (d_j_j2 + d_i_j1 + d_j1_i1) - dn[j] - dn[jp1] - dn[i]
+    valid_b = (j < n - 1) & (j > i + 1)
+    ins_b = np.where(valid_b, ins_b, big)
+    return d2, ins_f, ins_b
+
+
+def best_two_h_move(coords: np.ndarray, *, block_cells: int = 1 << 21) -> TwoHMove:
+    """Exact best 2.5-opt move over all pairs (reference implementation).
+
+    Ties break toward the lowest ``pair_index * 4 + kind`` — the same
+    deterministic rule the kernel's reduction uses.
+    """
+    c = np.ascontiguousarray(coords, dtype=np.float32)
+    n = c.shape[0]
+    if n < 5:
+        raise ValueError("need at least 5 cities for 2.5-opt")
+    dn = next_distances(c)
+    best = (np.int64(np.iinfo(np.int64).max), -1)  # (delta, payload)
+    rows_per_block = max(1, block_cells // max(n, 1))
+    for i0 in range(0, n - 1, rows_per_block):
+        i1 = min(i0 + rows_per_block, n - 1)
+        ii = np.repeat(np.arange(i0, i1), n)
+        jj = np.tile(np.arange(n), i1 - i0)
+        keep = jj > ii
+        ii, jj = ii[keep], jj[keep]
+        if ii.size == 0:
+            continue
+        d2, f, b = two_h_deltas_for_pairs(c, ii, jj, dn)
+        k = jj * (jj - 1) // 2 + ii
+        for kind, deltas in enumerate((d2, f, b)):
+            m = int(deltas.min())
+            if m > best[0]:
+                continue
+            cand = np.nonzero(deltas == m)[0]
+            payload = (k[cand] * 4 + kind).min()
+            if (m, payload) < best:
+                best = (np.int64(m), int(payload))
+    delta, payload = best
+    k, kind = divmod(payload, 4)
+    i, j = pair_from_linear(int(k))
+    return TwoHMove(kind=KIND_NAMES[kind], i=i, j=j, delta=int(delta))
+
+
+class TwoHalfOptKernel(Kernel):
+    """Simulated SIMT 2.5-opt kernel (route-ordered shared memory)."""
+
+    name = "2.5opt-ordered"
+
+    def shared_bytes(self, *, n: int, **_: object) -> int:
+        return 8 * n
+
+    def max_cities(self, device) -> int:
+        return device.shared_mem_per_block // 8
+
+    def run(self, ctx: KernelContext, *, coords_ordered: np.ndarray):
+        """Scan all pairs with all three variants; return the best TwoHMove."""
+        c = np.ascontiguousarray(coords_ordered, dtype=np.float32)
+        n = c.shape[0]
+        g = ctx.global_array("coords_ordered", c)
+        sh = ctx.alloc_shared("coords_sh", (n, 2), np.float32)
+        ctx.cooperative_load(g, sh, n)
+        ctx.sync_threads()
+
+        pairs = pair_count(n)
+        total = ctx.launch.total_threads
+        iters = math.ceil(pairs / total)
+        tid = ctx.thread_ids()
+        best_delta = np.full(total, _NO_MOVE, dtype=np.int64)
+        best_payload = np.zeros(total, dtype=np.int64)
+        dn = next_distances(c)  # device-side: recomputed per thread below
+
+        for it in range(iters):
+            k = tid + it * total
+            active = k < pairs
+            n_active = int(np.count_nonzero(active))
+            k_safe = np.where(active, k, 0)
+            i, j = pair_from_linear(k_safe)
+            # 6 coordinate loads per pair (i, i+1, i+2, j, j+1, j+2)
+            for pos in (i, i + 1, np.minimum(i + 2, n - 1),
+                        j, (j + 1) % n, (j + 2) % n):
+                sh.load(pos, active_mask=active)
+            ctx.count_flops(
+                DISTANCES_PER_PAIR * FLOPS_PER_DISTANCE + EXTRA_FLOPS_PER_PAIR,
+                active_threads=n_active,
+            )
+            ctx.count_special(
+                DISTANCES_PER_PAIR * SPECIAL_PER_DISTANCE, active_threads=n_active
+            )
+            d2, f, b = two_h_deltas_for_pairs(c, i, j, dn)
+            stacked = np.stack([d2, f, b])
+            kind = np.argmin(stacked, axis=0)
+            delta = stacked[kind, np.arange(k_safe.size)]
+            delta = np.where(active, delta, _NO_MOVE)
+            payload = k_safe * 4 + kind
+            better = (delta < best_delta) | (
+                (delta == best_delta) & (payload < best_payload)
+            )
+            best_delta = np.where(better, delta, best_delta)
+            best_payload = np.where(better, payload, best_payload)
+
+        ctx.stats.iterations += iters
+        ctx.stats.pair_checks += pairs
+        delta, payload = ctx.block_reduce_best(best_delta, best_payload)
+        if delta >= float(_NO_MOVE):
+            return None
+        k, kind = divmod(int(payload), 4)
+        i, j = pair_from_linear(k)
+        return TwoHMove(kind=KIND_NAMES[kind], i=i, j=j, delta=int(delta))
+
+    def estimate_stats(self, n: int, launch: LaunchConfig, device) -> KernelStats:
+        """Closed-form work counts for one 2.5-opt launch."""
+        pairs = pair_count(n)
+        total = launch.total_threads
+        iters = math.ceil(pairs / total)
+        s = KernelStats(launches=1, threads_launched=total)
+        s.iterations = iters
+        s.pair_checks = pairs
+        s.flops = pairs * (DISTANCES_PER_PAIR * FLOPS_PER_DISTANCE
+                           + EXTRA_FLOPS_PER_PAIR)
+        s.special_ops = pairs * DISTANCES_PER_PAIR * SPECIAL_PER_DISTANCE
+        g = launch.grid_dim
+        block = launch.block_dim
+        waves = math.ceil(n / block)
+        tx = 0
+        remaining = n
+        for _ in range(waves):
+            width = min(block, remaining)
+            tx += transactions_for_sequential(width, 8, warp_size=device.warp_size)
+            remaining -= width
+        s.global_load_transactions = tx * g
+        s.global_load_bytes = n * 8 * g
+        warps_per_wave = math.ceil(min(block, n) / device.warp_size)
+        s.shared_requests = waves * warps_per_wave * 2 * g
+        s.barriers = 2 * g
+        warps = math.ceil(total / device.warp_size)
+        s.shared_requests += iters * 6 * 2 * warps
+        s.bank_conflict_replays += iters * 6 * warps
+        steps = max(1, int(math.ceil(math.log2(block))))
+        active = block
+        requests = 0
+        for _ in range(steps):
+            active = max(1, active // 2)
+            requests += 2 * math.ceil(active / 32)
+        s.shared_requests += requests * g
+        s.barriers += steps * g
+        s.atomics += g
+        return s
+
+
+@dataclass
+class TwoHalfOptResult:
+    """Outcome of a 2.5-opt descent."""
+
+    order: np.ndarray
+    initial_length: int
+    final_length: int
+    moves_applied: int
+    kinds_used: dict
+    modeled_seconds: float
+    stats: KernelStats
+
+
+class TwoHalfOptSearch:
+    """Descend with the best 2.5-opt move per modeled launch."""
+
+    def __init__(self, device="gtx680-cuda",
+                 launch: Optional[LaunchConfig] = None) -> None:
+        from repro.gpusim.device import get_device
+
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.launch = launch or LaunchConfig.default_for(self.device)
+        self.kernel = TwoHalfOptKernel()
+
+    def run(self, coords: np.ndarray, *,
+            max_moves: Optional[int] = None) -> TwoHalfOptResult:
+        """Apply best 2.5-opt moves until none improves (or the cap)."""
+        from repro.gpusim.timing_model import predict_kernel_time
+
+        c = np.array(coords, dtype=np.float32, copy=True, order="C")
+        n = c.shape[0]
+        if n > self.kernel.max_cities(self.device):
+            raise ValueError(
+                f"n={n} exceeds the single-block 2.5-opt capacity "
+                f"{self.kernel.max_cities(self.device)}"
+            )
+        order = np.arange(n, dtype=np.int64)
+        initial = int(next_distances(c).sum())
+        length = initial
+        stats = KernelStats()
+        per_launch_stats = self.kernel.estimate_stats(n, self.launch, self.device)
+        per_launch = predict_kernel_time(
+            per_launch_stats, self.device, self.launch, shared_bytes=8 * n
+        ).total
+        modeled = 0.0
+        moves = 0
+        kinds: dict[str, int] = {}
+        while True:
+            mv = best_two_h_move(c)
+            stats += per_launch_stats
+            modeled += per_launch
+            if mv.delta >= 0:
+                break
+            order = _apply(order, mv)
+            c = _apply_coords(c, mv)
+            length += mv.delta
+            moves += 1
+            kinds[mv.kind] = kinds.get(mv.kind, 0) + 1
+            if max_moves is not None and moves >= max_moves:
+                break
+        final = int(next_distances(c).sum())
+        assert final == length, "2.5-opt bookkeeping diverged"
+        return TwoHalfOptResult(
+            order=order, initial_length=initial, final_length=final,
+            moves_applied=moves, kinds_used=kinds,
+            modeled_seconds=modeled, stats=stats,
+        )
+
+
+def _apply_coords(c: np.ndarray, mv: TwoHMove) -> np.ndarray:
+    """Apply a 2h move to the route-ordered coordinate array."""
+    if mv.kind == "2opt":
+        out = c.copy()
+        out[mv.i + 1 : mv.j + 1] = out[mv.i + 1 : mv.j + 1][::-1]
+        return out
+    if mv.kind == "insert-forward":
+        row = c[mv.i + 1].copy()
+        out = np.delete(c, mv.i + 1, axis=0)
+        return np.insert(out, mv.j, row, axis=0)
+    if mv.kind == "insert-backward":
+        row = c[mv.j + 1].copy()
+        out = np.delete(c, mv.j + 1, axis=0)
+        return np.insert(out, mv.i + 1, row, axis=0)
+    raise ValueError(f"unknown kind {mv.kind!r}")

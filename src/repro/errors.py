@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TSPLIBError(ReproError):
+    """Raised for malformed or unsupported TSPLIB input."""
+
+
+class TSPLIBFormatError(TSPLIBError):
+    """Raised when a TSPLIB file violates the TSPLIB95 grammar."""
+
+
+class UnsupportedEdgeWeightError(TSPLIBError):
+    """Raised when an EDGE_WEIGHT_TYPE / FORMAT is not implemented."""
+
+
+class TourError(ReproError):
+    """Raised for invalid tours (not a permutation, wrong length, ...)."""
+
+
+class GpuSimError(ReproError):
+    """Base class for GPU-simulator errors."""
+
+
+class LaunchConfigError(GpuSimError):
+    """Raised for invalid kernel launch configurations."""
+
+
+class SharedMemoryOverflowError(GpuSimError):
+    """Raised when a kernel requests more shared memory than the device has."""
+
+
+class MemoryAccessError(GpuSimError):
+    """Raised on out-of-bounds simulated memory accesses."""
+
+
+class DeviceNotFoundError(GpuSimError, KeyError):
+    """Raised when a device name is not present in the catalog."""
+
+
+class SolverError(ReproError):
+    """Raised when a solver is misconfigured or cannot make progress."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver receives inconsistent parameters."""

@@ -1,0 +1,57 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+Every driver returns plain dataclass rows and can render itself as an
+ASCII table; the benchmark suite (``benchmarks/``) and the CLI
+(``python -m repro``) are thin wrappers around these.
+"""
+
+from repro.experiments.table1_memory import run_table1, Table1Row
+from repro.experiments.table2_timing import run_table2, Table2Row
+from repro.experiments.fig9_gflops import run_fig9, Fig9Series
+from repro.experiments.fig10_speedup import run_fig10, Fig10Series
+from repro.experiments.fig11_ils_convergence import run_fig11, Fig11Result
+from repro.experiments.ablations import (
+    run_kernel_variant_ablation,
+    run_block_size_ablation,
+    run_lut_vs_coords_ablation,
+    run_strategy_ablation,
+)
+from repro.experiments.extensions import (
+    run_multigpu_scaling,
+    run_pruned_ablation,
+    run_ihc_vs_ils,
+    run_time_breakdown,
+    run_smart_sequential,
+    run_two_half_opt,
+)
+from repro.experiments.metaheuristics import run_metaheuristic_comparison
+from repro.experiments.robustness import run_robustness
+from repro.experiments.report import ReportConfig, generate_report, write_report
+
+__all__ = [
+    "run_table1",
+    "Table1Row",
+    "run_table2",
+    "Table2Row",
+    "run_fig9",
+    "Fig9Series",
+    "run_fig10",
+    "Fig10Series",
+    "run_fig11",
+    "Fig11Result",
+    "run_kernel_variant_ablation",
+    "run_block_size_ablation",
+    "run_lut_vs_coords_ablation",
+    "run_strategy_ablation",
+    "run_multigpu_scaling",
+    "run_pruned_ablation",
+    "run_ihc_vs_ils",
+    "run_time_breakdown",
+    "run_smart_sequential",
+    "run_two_half_opt",
+    "run_metaheuristic_comparison",
+    "run_robustness",
+    "ReportConfig",
+    "generate_report",
+    "write_report",
+]

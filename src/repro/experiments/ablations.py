@@ -1,0 +1,241 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+1. **Kernel variants** — naive global memory vs Optimization 1 (shared)
+   vs Optimization 2 (route-ordered): instrumented work counts and
+   modeled time on the same instance; shows each optimization's effect
+   (§IV's narrative, quantified).
+2. **Block-size sweep** — modeled scan time across launch configurations
+   (the paper's 28×1024 example vs alternatives).
+3. **LUT vs coordinates** — the Table I trade-off turned into time: a
+   LUT-based scan is bandwidth-bound on O(n²) random reads; the
+   coordinate kernel is compute-bound on O(n) data.
+4. **Strategy** — best-improvement (paper) vs batch application
+   (large-instance extension): moves, scans, quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.local_search import LocalSearch
+from repro.core.pair_indexing import pair_count
+from repro.core.solver import TwoOptSolver
+from repro.core.two_opt_gpu import (
+    TwoOptKernelGlobal,
+    TwoOptKernelOrdered,
+    TwoOptKernelShared,
+)
+from repro.gpusim.device import GPUDeviceSpec, get_device
+from repro.gpusim.executor import launch_kernel
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing_model import predict_kernel_time
+from repro.tsplib.generators import generate_instance
+from repro.utils.tables import render_table
+
+
+@dataclass
+class KernelVariantRow:
+    """One kernel variant's instrumented cost on the ablation instance."""
+
+    kernel: str
+    seconds: float
+    global_transactions: float
+    shared_requests: float
+    bank_conflicts: float
+    best_delta: int
+
+
+def run_kernel_variant_ablation(
+    *,
+    n: int = 512,
+    device_key: str = "gtx680-cuda",
+    launch: Optional[LaunchConfig] = None,
+    seed: int = 0,
+) -> list[KernelVariantRow]:
+    """Instrumented comparison of the three kernel generations."""
+    device = get_device(device_key)
+    assert isinstance(device, GPUDeviceSpec)
+    launch = launch or LaunchConfig(8, 256)
+    inst = generate_instance(n, seed=seed)
+    route = np.arange(n, dtype=np.int64)
+    coords = inst.coords_float32()
+
+    rows = []
+    naive = launch_kernel(
+        TwoOptKernelGlobal(), device, launch, coords=coords, route=route
+    )
+    shared = launch_kernel(
+        TwoOptKernelShared(), device, launch, coords=coords, route=route
+    )
+    ordered = launch_kernel(
+        TwoOptKernelOrdered(), device, launch, coords_ordered=coords
+    )
+    for name, res in (
+        ("global (naive)", naive),
+        ("shared (Opt 1)", shared),
+        ("ordered (Opt 2)", ordered),
+    ):
+        rows.append(
+            KernelVariantRow(
+                kernel=name,
+                seconds=res.time.total,
+                global_transactions=res.stats.global_transactions,
+                shared_requests=res.stats.shared_requests,
+                bank_conflicts=res.stats.bank_conflict_replays,
+                best_delta=res.output[0],
+            )
+        )
+    return rows
+
+
+@dataclass
+class BlockSizeRow:
+    block_dim: int
+    grid_dim: int
+    seconds: float
+
+
+def run_block_size_ablation(
+    *,
+    n: int = 2392,
+    device_key: str = "gtx680-cuda",
+    block_dims: Sequence[int] = (64, 128, 256, 512, 1024),
+) -> list[BlockSizeRow]:
+    """Modeled one-scan time across block sizes (fixed total threads)."""
+    device = get_device(device_key)
+    assert isinstance(device, GPUDeviceSpec)
+    kernel = TwoOptKernelOrdered()
+    rows = []
+    for block in block_dims:
+        if block > device.max_threads_per_block:
+            continue
+        grid = max(1, (28 * 1024) // block)
+        launch = LaunchConfig(grid, block)
+        stats = kernel.estimate_stats(n, launch, device)
+        t = predict_kernel_time(
+            stats, device, launch, shared_bytes=kernel.shared_bytes(n=n)
+        )
+        rows.append(BlockSizeRow(block_dim=block, grid_dim=grid, seconds=t.total))
+    return rows
+
+
+@dataclass
+class LutVsCoordsRow:
+    n: int
+    lut_bytes: int
+    coords_bytes: int
+    lut_seconds: float
+    coords_seconds: float
+    lut_fits_device: bool
+
+
+def run_lut_vs_coords_ablation(
+    *,
+    sizes: Sequence[int] = (100, 1000, 5000, 20_000, 50_000),
+    device_key: str = "gtx680-cuda",
+) -> list[LutVsCoordsRow]:
+    """Time model for a LUT-based scan vs the coordinate kernel.
+
+    The LUT scan replaces the 4 distance computations with 2 random
+    4-byte global reads per pair (d(i,i+1), d(j,j+1) can be cached per
+    row) — pure uncoalesced bandwidth, the access pattern the paper
+    rejects in §II-B.
+    """
+    from repro.gpusim.coalescing import expected_transactions_random
+
+    device = get_device(device_key)
+    assert isinstance(device, GPUDeviceSpec)
+    ls = LocalSearch(device, include_transfers=False)
+    rows = []
+    for n in sizes:
+        pairs = pair_count(n)
+        lut_bytes = 4 * n * n
+        launch = LaunchConfig.default_for(device)
+        stats = KernelStats(launches=1, threads_launched=launch.total_threads)
+        stats.pair_checks = pairs
+        stats.flops = pairs * 4  # index math + compare
+        total = launch.total_threads
+        iters = max(1, int(np.ceil(pairs / total)))
+        stats.global_load_transactions = (
+            expected_transactions_random(total, 4, lut_bytes) * iters * 2
+        )
+        stats.global_load_bytes = pairs * 2 * 4
+        t_lut = predict_kernel_time(stats, device, launch).total
+        rows.append(
+            LutVsCoordsRow(
+                n=n,
+                lut_bytes=lut_bytes,
+                coords_bytes=8 * n,
+                lut_seconds=t_lut,
+                coords_seconds=ls.scan_seconds(n),
+                lut_fits_device=lut_bytes <= device.global_mem_bytes,
+            )
+        )
+    return rows
+
+
+@dataclass
+class StrategyRow:
+    strategy: str
+    moves: int
+    scans: int
+    final_length: int
+    modeled_seconds: float
+
+
+def run_strategy_ablation(
+    *,
+    n: int = 600,
+    device_key: str = "gtx680-cuda",
+    seed: int = 0,
+) -> list[StrategyRow]:
+    """Best-improvement (paper) vs batch application on one instance."""
+    inst = generate_instance(n, seed=seed)
+    rows = []
+    for strategy in ("best", "batch"):
+        res = TwoOptSolver(device_key, strategy=strategy).solve(inst)  # type: ignore[arg-type]
+        rows.append(
+            StrategyRow(
+                strategy=strategy,
+                moves=res.search.moves_applied,
+                scans=res.search.scans,
+                final_length=res.final_length,
+                modeled_seconds=res.search.modeled_seconds,
+            )
+        )
+    return rows
+
+
+def render_kernel_variants(rows: list[KernelVariantRow]) -> str:
+    """ASCII table for the kernel-variant ablation."""
+    return render_table(
+        ["kernel", "modeled time", "global tx", "shared req", "bank conflicts", "best delta"],
+        [
+            (
+                r.kernel, f"{r.seconds * 1e6:.1f} us", f"{r.global_transactions:,.0f}",
+                f"{r.shared_requests:,.0f}", f"{r.bank_conflicts:,.0f}", r.best_delta,
+            )
+            for r in rows
+        ],
+        title="Ablation — kernel generations (naive -> Opt 1 -> Opt 2)",
+    )
+
+
+def render_lut_vs_coords(rows: list[LutVsCoordsRow]) -> str:
+    """ASCII table for the LUT-vs-coordinates ablation."""
+    return render_table(
+        ["n", "LUT bytes", "coords bytes", "LUT scan", "coords scan", "LUT fits GPU"],
+        [
+            (
+                r.n, f"{r.lut_bytes:,}", f"{r.coords_bytes:,}",
+                f"{r.lut_seconds * 1e3:.2f} ms", f"{r.coords_seconds * 1e3:.2f} ms",
+                "yes" if r.lut_fits_device else "NO",
+            )
+            for r in rows
+        ],
+        title="Ablation — LUT vs on-the-fly coordinates (Table I turned into time)",
+    )

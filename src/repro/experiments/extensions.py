@@ -1,0 +1,407 @@
+"""Extension experiments: the paper's §VI/§VII future-work items, built.
+
+1. **Multi-device strong scaling** — distribute the tiled sweep across
+   1/2/4/8 modeled GPUs (§VI: "dividing the 2-opt task between multiple
+   devices").
+2. **Neighborhood pruning** — k-NN candidate-list 2-opt vs the full scan
+   (§VII: "neighborhood pruning can be applied at the cost of the
+   quality of the solution").
+3. **ILS vs random-restart IHC** — the §III argument, tested at equal
+   modeled time budget against the O'Neil-style baseline.
+4. **Kernel time breakdown** — where the modeled microseconds go
+   (compute / memory / shared / overhead) across problem sizes.
+5. **Brute-force GPU vs smart sequential** — §VI's honest caveat ("the
+   fastest sequential algorithms use complex pruning schemes ... which
+   we did not use"), quantified with a Johnson–McGeoch don't-look-bits
+   2-opt on the sequential CPU model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.dont_look import DontLookTwoOpt
+from repro.core.local_search import LocalSearch
+from repro.core.pruned import PrunedTwoOpt, pruned_scan_stats
+from repro.core.two_opt_gpu import TwoOptKernelOrdered
+from repro.gpusim.device import get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.multidevice import strong_scaling
+from repro.gpusim.timing_model import predict_cpu_time, predict_kernel_time
+from repro.ils.ihc import IteratedHillClimbing
+from repro.ils.ils import IteratedLocalSearch
+from repro.ils.termination import ModeledTimeLimit
+from repro.tsplib.generators import generate_instance
+from repro.utils.tables import render_table
+
+
+# ---------------------------------------------------------------- multi-GPU
+
+@dataclass
+class MultiGpuRow:
+    devices: int
+    makespan_s: float
+    speedup: float
+    efficiency: float
+
+
+def run_multigpu_scaling(
+    *,
+    n: int = 100_000,
+    device_key: str = "gtx680-cuda",
+    device_counts: Sequence[int] = (1, 2, 4, 8),
+    policy: str = "dynamic",
+) -> list[MultiGpuRow]:
+    """Strong scaling of one tiled sweep over replicated devices."""
+    results = strong_scaling(n, device_key, device_counts=device_counts,
+                             policy=policy)  # type: ignore[arg-type]
+    single = results[0][1]
+    rows = []
+    for count, sweep in results:
+        rows.append(
+            MultiGpuRow(
+                devices=count,
+                makespan_s=sweep.makespan,
+                speedup=single.makespan / sweep.makespan,
+                efficiency=sweep.efficiency,
+            )
+        )
+    return rows
+
+
+def render_multigpu(rows: list[MultiGpuRow], n: int) -> str:
+    """ASCII table for the multi-GPU scaling experiment."""
+    return render_table(
+        ["GPUs", "sweep makespan", "speedup", "efficiency"],
+        [
+            (r.devices, f"{r.makespan_s * 1e3:.2f} ms", f"{r.speedup:.2f}x",
+             f"{r.efficiency:.0%}")
+            for r in rows
+        ],
+        title=f"EXTENSION — multi-GPU tiled sweep, n={n:,} "
+              f"(independent tile launches, dynamic queue)",
+    )
+
+
+# ------------------------------------------------------------ pruned search
+
+@dataclass
+class PrunedRow:
+    k: Optional[int]            # None = full neighborhood
+    pair_checks_per_scan: int
+    modeled_scan_s: float
+    final_length: int
+    quality_loss_pct: float
+
+
+def run_pruned_ablation(
+    *,
+    n: int = 1000,
+    ks: Sequence[int] = (4, 8, 16),
+    device_key: str = "gtx680-cuda",
+    seed: int = 0,
+) -> list[PrunedRow]:
+    """Full-scan 2-opt vs k-NN candidate-list 2-opt on one instance."""
+    inst = generate_instance(n, seed=seed)
+    coords = inst.coords_float32()
+    device = get_device(device_key)
+    launch = LaunchConfig.default_for(device)
+
+    full_ls = LocalSearch(device, strategy="batch")  # type: ignore[arg-type]
+    full = full_ls.run(coords)
+    full_scan_s = full_ls.scan_seconds(n)
+    rows = [
+        PrunedRow(
+            k=None,
+            pair_checks_per_scan=n * (n - 1) // 2,
+            modeled_scan_s=full_scan_s,
+            final_length=full.final_length,
+            quality_loss_pct=0.0,
+        )
+    ]
+    for k in ks:
+        pruned = PrunedTwoOpt(coords, k=k)
+        res = pruned.run()
+        stats = pruned_scan_stats(n, pruned.k)
+        stats.threads_launched = launch.total_threads
+        t = predict_kernel_time(stats, device, launch,
+                                shared_bytes=8 * min(n, 6144)).total
+        rows.append(
+            PrunedRow(
+                k=k,
+                pair_checks_per_scan=n * pruned.k,
+                modeled_scan_s=t,
+                final_length=res.final_length,
+                quality_loss_pct=100.0 * (res.final_length - full.final_length)
+                / full.final_length,
+            )
+        )
+    return rows
+
+
+def render_pruned(rows: list[PrunedRow], n: int) -> str:
+    """ASCII table for the neighborhood-pruning experiment."""
+    return render_table(
+        ["neighborhood", "checks/scan", "modeled scan", "final length", "vs full"],
+        [
+            (
+                "full" if r.k is None else f"k={r.k}",
+                f"{r.pair_checks_per_scan:,}",
+                f"{r.modeled_scan_s * 1e6:.1f} us",
+                r.final_length,
+                f"+{r.quality_loss_pct:.2f}%" if r.k is not None else "-",
+            )
+            for r in rows
+        ],
+        title=f"EXTENSION — neighborhood pruning (n={n}), §VII trade-off",
+    )
+
+
+# -------------------------------------------------------------- ILS vs IHC
+
+@dataclass
+class SearchComparisonRow:
+    algorithm: str
+    best_length: int
+    iterations: int
+    modeled_seconds: float
+
+
+def run_ihc_vs_ils(
+    *,
+    n: int = 500,
+    budget_s: float = 0.05,
+    device_key: str = "gtx680-cuda",
+    seed: int = 0,
+) -> list[SearchComparisonRow]:
+    """§III's argument at equal modeled budget: iterative refinement (ILS)
+    beats independent random restarts (IHC)."""
+    inst = generate_instance(n, seed=seed)
+    ls = LocalSearch(device_key, strategy="batch")  # type: ignore[arg-type]
+
+    ils = IteratedLocalSearch(
+        ls, termination=ModeledTimeLimit(budget_s), seed=seed,
+    )
+    ils_res = ils.run(inst)
+
+    ihc = IteratedHillClimbing(ls, seed=seed)
+    ihc_res = ihc.run(inst, modeled_time_budget=budget_s)
+
+    return [
+        SearchComparisonRow("ILS (paper)", ils_res.best_length,
+                            ils_res.iterations, ils_res.modeled_seconds),
+        SearchComparisonRow("IHC random restart (O'Neil-style)",
+                            ihc_res.best_length, ihc_res.restarts,
+                            ihc_res.modeled_seconds),
+    ]
+
+
+def render_ihc_vs_ils(rows: list[SearchComparisonRow], n: int, budget_s: float) -> str:
+    """ASCII table for the ILS-vs-IHC experiment."""
+    return render_table(
+        ["algorithm", "best length", "iterations/restarts", "modeled time"],
+        [
+            (r.algorithm, r.best_length, r.iterations,
+             f"{r.modeled_seconds * 1e3:.1f} ms")
+            for r in rows
+        ],
+        title=f"EXTENSION — ILS vs random-restart IHC at equal modeled "
+              f"budget (n={n}, {budget_s * 1e3:.0f} ms)",
+    )
+
+
+# ---------------------------------------------------------- time breakdown
+
+@dataclass
+class BreakdownRow:
+    n: int
+    total_s: float
+    compute_pct: float
+    memory_pct: float
+    shared_pct: float
+    overhead_pct: float
+
+
+def run_time_breakdown(
+    *,
+    sizes: Sequence[int] = (100, 500, 2000, 6000),
+    device_key: str = "gtx680-cuda",
+) -> list[BreakdownRow]:
+    """Where each modeled microsecond goes, per problem size."""
+    device = get_device(device_key)
+    launch = LaunchConfig.default_for(device)
+    kernel = TwoOptKernelOrdered()
+    rows = []
+    for n in sizes:
+        if n > kernel.max_cities(device):
+            raise ValueError("breakdown driver covers single-launch sizes")
+        stats = kernel.estimate_stats(n, launch, device)
+        tb = predict_kernel_time(stats, device, launch, shared_bytes=8 * n)
+        # components may overlap (roofline max); report share of the max
+        denom = max(tb.compute, tb.memory, tb.shared) + tb.overhead
+        rows.append(
+            BreakdownRow(
+                n=n, total_s=tb.total,
+                compute_pct=100 * tb.compute / denom,
+                memory_pct=100 * tb.memory / denom,
+                shared_pct=100 * tb.shared / denom,
+                overhead_pct=100 * tb.overhead / denom,
+            )
+        )
+    return rows
+
+
+def render_breakdown(rows: list[BreakdownRow]) -> str:
+    """ASCII table for the kernel time-breakdown experiment."""
+    return render_table(
+        ["n", "total", "compute", "memory", "shared", "overhead"],
+        [
+            (
+                r.n, f"{r.total_s * 1e6:.1f} us", f"{r.compute_pct:.0f}%",
+                f"{r.memory_pct:.0f}%", f"{r.shared_pct:.0f}%",
+                f"{r.overhead_pct:.0f}%",
+            )
+            for r in rows
+        ],
+        title="EXTENSION — modeled kernel time breakdown (GTX 680): small "
+              "launches are overhead-bound, large ones compute-bound",
+    )
+
+
+# --------------------------------------------- brute force vs smart sequential
+
+@dataclass
+class SmartSequentialRow:
+    algorithm: str
+    device: str
+    final_length: int
+    modeled_seconds: float
+    checks: float
+
+
+def run_smart_sequential(
+    *,
+    n: int = 2000,
+    seed: int = 0,
+    device_key: str = "gtx680-cuda",
+) -> list[SmartSequentialRow]:
+    """§VI's caveat, measured: brute-force-parallel vs pruned-sequential.
+
+    Both start from the same greedy tour. The GPU runs the paper's
+    exhaustive best-improvement descent; the sequential CPU runs 2-opt
+    with neighbor lists + don't-look bits. The smart code needs orders
+    of magnitude fewer checks — which is exactly why the paper does not
+    claim to beat the best sequential implementations, only every
+    *equivalent* implementation.
+    """
+    from repro.gpusim.device import get_device as _get_device
+    from repro.heuristics.greedy_mf import multiple_fragment_tour
+    from repro.tsplib.generators import generate_instance as _gen
+
+    inst = _gen(n, seed=seed)
+    start = multiple_fragment_tour(inst)
+    coords = inst.coords[start].astype(np.float32)
+
+    gpu_ls = LocalSearch(device_key, strategy="batch")  # type: ignore[arg-type]
+    gpu = gpu_ls.run(coords)
+
+    dlb = DontLookTwoOpt(coords, k=10).run()
+    seq = _get_device("cpu-sequential")
+    t_dlb = predict_cpu_time(dlb.stats, seq, working_set_bytes=8.0 * n).total
+
+    return [
+        SmartSequentialRow(
+            algorithm="brute-force 2-opt (paper)",
+            device=gpu_ls.device.name,
+            final_length=gpu.final_length,
+            modeled_seconds=gpu.modeled_seconds,
+            checks=gpu.stats.pair_checks,
+        ),
+        SmartSequentialRow(
+            algorithm="don't-look-bits 2-opt (Johnson-McGeoch)",
+            device=seq.name,
+            final_length=dlb.final_length,
+            modeled_seconds=t_dlb,
+            checks=dlb.stats.pair_checks,
+        ),
+    ]
+
+
+def render_smart_sequential(rows: list[SmartSequentialRow], n: int) -> str:
+    """ASCII table for the brute-force-vs-smart-sequential experiment."""
+    return render_table(
+        ["algorithm", "device", "final length", "checks", "modeled time"],
+        [
+            (r.algorithm, r.device, r.final_length, f"{r.checks:,.0f}",
+             f"{r.modeled_seconds * 1e3:.2f} ms")
+            for r in rows
+        ],
+        title=f"EXTENSION §VI caveat — brute-force GPU vs pruned "
+              f"sequential 2-opt (n={n}, same greedy start)",
+    )
+
+
+# --------------------------------------------------------- 2.5-opt kernel
+
+@dataclass
+class TwoHalfOptRow:
+    kernel: str
+    final_length: int
+    moves: int
+    modeled_seconds: float
+    scan_seconds: float
+
+
+def run_two_half_opt(
+    *,
+    n: int = 400,
+    seed: int = 0,
+    device_key: str = "gtx680-cuda",
+) -> list[TwoHalfOptRow]:
+    """§VII: the 2.5-opt kernel vs the paper's 2-opt kernel.
+
+    Same instance, same start. The richer neighborhood costs ~2.4x the
+    arithmetic per scan (absorbed by the GPU's spare FLOPs: the modeled
+    scan time barely moves) and every 2.5-opt minimum is automatically
+    2-opt-optimal too; the *particular* minimum each greedy trajectory
+    lands in differs by at most a few percent either way.
+    """
+    from repro.core.two_half_opt import TwoHalfOptSearch
+
+    inst = generate_instance(n, seed=seed)
+    coords = inst.coords_float32()
+
+    two = LocalSearch(device_key, strategy="best")  # type: ignore[arg-type]
+    res2 = two.run(coords)
+    half = TwoHalfOptSearch(device_key)
+    res25 = half.run(coords)
+    return [
+        TwoHalfOptRow(
+            kernel="2-opt (paper)", final_length=res2.final_length,
+            moves=res2.moves_applied, modeled_seconds=res2.modeled_seconds,
+            scan_seconds=two.scan_seconds(n),
+        ),
+        TwoHalfOptRow(
+            kernel="2.5-opt (§VII future work)", final_length=res25.final_length,
+            moves=res25.moves_applied, modeled_seconds=res25.modeled_seconds,
+            scan_seconds=res25.modeled_seconds / max(1, res25.stats.launches),
+        ),
+    ]
+
+
+def render_two_half_opt(rows: list[TwoHalfOptRow], n: int) -> str:
+    """ASCII table for the 2.5-opt-kernel experiment."""
+    return render_table(
+        ["kernel", "final length", "moves", "scan time", "total modeled"],
+        [
+            (r.kernel, r.final_length, r.moves,
+             f"{r.scan_seconds * 1e6:.1f} us",
+             f"{r.modeled_seconds * 1e3:.2f} ms")
+            for r in rows
+        ],
+        title=f"EXTENSION §VII — 2.5-opt kernel vs 2-opt kernel (n={n}, "
+              f"same greedy-free start)",
+    )

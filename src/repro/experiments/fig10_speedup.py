@@ -1,0 +1,93 @@
+"""Experiment driver for Fig. 10: GPU speedup over the 16-core Xeon.
+
+The paper plots, per problem size, the ratio of the parallel CPU
+implementation's 2-opt time (2× Xeon E5-2690, Intel OpenCL) to each GPU's
+time. Shape to reproduce: near-1 speedups for tiny instances (launch
+overhead dominates), rising to ~20× (GTX 680 CUDA) / ~25× (HD 7970 GHz)
+once the GPUs saturate. The same driver also covers the abstract's
+"5 to 45 times vs 6 cores" claim with ``baseline="i7-3960x-opencl"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.speedup import SpeedupPoint, speedup_series
+from repro.gpusim.device import get_device
+from repro.utils.tables import render_table
+
+#: The four configurations in Fig. 10's legend.
+FIG10_DEVICES = (
+    "hd7970ghz-opencl",
+    "gtx680-cuda",
+    "gtx680-opencl",
+    "hd6990-opencl",
+)
+
+DEFAULT_BASELINE = "xeon-e5-2690x2-opencl"
+DEFAULT_SIZES = (100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000)
+
+
+@dataclass
+class Fig10Series:
+    """One speedup line."""
+
+    device_key: str
+    device_name: str
+    baseline_key: str
+    points: list[SpeedupPoint] = field(default_factory=list)
+
+    @property
+    def max_speedup(self) -> float:
+        return max(p.speedup for p in self.points) if self.points else 0.0
+
+    @property
+    def min_speedup(self) -> float:
+        return min(p.speedup for p in self.points) if self.points else 0.0
+
+
+def run_fig10(
+    *,
+    devices: Sequence[str] = FIG10_DEVICES,
+    baseline: str = DEFAULT_BASELINE,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> list[Fig10Series]:
+    """Model the Fig. 10 speedup series."""
+    out = []
+    for key in devices:
+        dev = get_device(key)
+        series = Fig10Series(
+            device_key=key, device_name=dev.name, baseline_key=baseline,
+            points=speedup_series(key, baseline, sizes),
+        )
+        out.append(series)
+    return out
+
+
+def render(series: list[Fig10Series]) -> str:
+    """ASCII rendering: data table plus a drawn chart."""
+    if not series:
+        return "(no data)"
+    from repro.utils.ascii_chart import ascii_line_chart
+
+    baseline_name = get_device(series[0].baseline_key).name
+    sizes = [p.n for p in series[0].points]
+    headers = ["n"] + [s.device_name for s in series]
+    rows = []
+    for idx, n in enumerate(sizes):
+        rows.append([n] + [f"{s.points[idx].speedup:.1f}x" for s in series])
+    table = render_table(
+        headers, rows,
+        title=f"Fig. 10 — modeled 2-opt scan speedup vs {baseline_name}",
+    )
+    chart = ascii_line_chart(
+        {
+            s.device_name: ([p.n for p in s.points],
+                            [p.speedup for p in s.points])
+            for s in series
+        },
+        log_x=True, x_label="problem size", y_label="speedup",
+        title="Fig. 10 (drawn)", width=68, height=14,
+    )
+    return table + "\n\n" + chart

@@ -1,0 +1,93 @@
+"""Experiment driver for Fig. 9: sustained GFLOP/s vs problem size.
+
+For each device in the catalog and each problem size, model the time of
+one full 2-opt scan and convert to the paper's metric (floating ops of
+the distance calculations over elapsed time). Reproduces the shape of
+Fig. 9: every curve ramps up as the device fills, then plateaus at its
+sustained rate (~680 GFLOP/s GTX 680 CUDA, ~830 HD 7970, CPUs far
+below), with small sizes dominated by launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.flops import gflops_for_scan
+from repro.core.local_search import LocalSearch
+from repro.gpusim.device import CPUDeviceSpec, get_device
+from repro.utils.tables import render_table
+
+#: Device keys in the paper's Fig. 9 legend order.
+FIG9_DEVICES = (
+    "xeon-e5-2690x2-opencl",
+    "opteron-32c-opencl",
+    "gtx680-cuda",
+    "gtx680-opencl",
+    "hd5970-opencl",
+    "hd6990-opencl",
+    "hd7970-opencl",
+    "hd7970ghz-opencl",
+)
+
+DEFAULT_SIZES = (100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000, 100_000)
+
+
+@dataclass
+class Fig9Series:
+    """One line of Fig. 9."""
+
+    device_key: str
+    device_name: str
+    sizes: list[int] = field(default_factory=list)
+    gflops: list[float] = field(default_factory=list)
+
+    @property
+    def peak(self) -> float:
+        return max(self.gflops) if self.gflops else 0.0
+
+
+def run_fig9(
+    *,
+    devices: Sequence[str] = FIG9_DEVICES,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> list[Fig9Series]:
+    """Model the Fig. 9 series for *devices* across *sizes*."""
+    out = []
+    for key in devices:
+        dev = get_device(key)
+        backend = "cpu-parallel" if isinstance(dev, CPUDeviceSpec) else "gpu"
+        ls = LocalSearch(dev, backend=backend, include_transfers=False)  # type: ignore[arg-type]
+        series = Fig9Series(device_key=key, device_name=dev.name)
+        for n in sizes:
+            t = ls.scan_seconds(n)
+            series.sizes.append(n)
+            series.gflops.append(gflops_for_scan(n, t))
+        out.append(series)
+    return out
+
+
+def render(series: list[Fig9Series]) -> str:
+    """ASCII rendering: data table plus a drawn chart."""
+    if not series:
+        return "(no data)"
+    from repro.utils.ascii_chart import ascii_line_chart
+
+    sizes = series[0].sizes
+    headers = ["n"] + [s.device_name for s in series]
+    rows = []
+    for idx, n in enumerate(sizes):
+        rows.append([n] + [f"{s.gflops[idx]:.1f}" for s in series])
+    table = render_table(
+        headers, rows,
+        title="Fig. 9 — modeled GFLOP/s (distance calculation) during one "
+              "2-opt scan",
+    )
+    chart = ascii_line_chart(
+        {s.device_name: (s.sizes, s.gflops) for s in series},
+        log_x=True, x_label="problem size", y_label="GF/s",
+        title="Fig. 9 (drawn)", width=68, height=16,
+    )
+    return table + "\n\n" + chart

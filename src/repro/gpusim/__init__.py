@@ -1,0 +1,74 @@
+"""GPU SIMT simulator substrate.
+
+The paper measures CUDA/OpenCL kernels on 2012/2013-era GPUs and multicore
+CPUs. This environment has neither a GPU nor OpenCL, so — per the
+substitution rule in DESIGN.md §2 — this package provides:
+
+* a **device catalog** (:mod:`repro.gpusim.device`) with the eight devices
+  of the paper's Fig. 9 and their microarchitectural parameters;
+* a **functional executor** (:mod:`repro.gpusim.executor`) that runs kernels
+  written against a SIMT programming model (grid/blocks/threads, shared
+  memory, barriers, atomic best-reduction), numpy-vectorized across all
+  resident threads so results are exact;
+* **instrumented memory** (:mod:`repro.gpusim.memory`) that counts global
+  transactions via a coalescing analyzer and shared-memory bank conflicts;
+* an **occupancy calculator** and a **roofline + latency timing model**
+  (:mod:`repro.gpusim.timing_model`) that converts counted work into
+  predicted kernel seconds, calibrated against the paper's observed
+  GFLOP/s;
+* a **PCIe transfer model** (:mod:`repro.gpusim.transfer`) for the
+  host-to-device / device-to-host columns of Table II.
+"""
+
+from repro.gpusim.device import (
+    DeviceSpec,
+    CPUDeviceSpec,
+    GPUDeviceSpec,
+    DEVICES,
+    get_device,
+    list_devices,
+)
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.kernel import Kernel, KernelContext, LaunchConfig
+from repro.gpusim.executor import KernelResult, launch_kernel
+from repro.gpusim.memory import GlobalArray, SharedArray
+from repro.gpusim.coalescing import count_transactions
+from repro.gpusim.bank_conflicts import count_bank_conflicts
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.timing_model import predict_kernel_time, predict_cpu_time
+from repro.gpusim.transfer import transfer_time
+from repro.gpusim.multidevice import (
+    MultiDeviceSweep,
+    multi_device_sweep,
+    strong_scaling,
+)
+from repro.gpusim.trace import LaunchRecord, TraceCollector, traced_launch
+
+__all__ = [
+    "DeviceSpec",
+    "CPUDeviceSpec",
+    "GPUDeviceSpec",
+    "DEVICES",
+    "get_device",
+    "list_devices",
+    "KernelStats",
+    "Kernel",
+    "KernelContext",
+    "LaunchConfig",
+    "KernelResult",
+    "launch_kernel",
+    "GlobalArray",
+    "SharedArray",
+    "count_transactions",
+    "count_bank_conflicts",
+    "occupancy",
+    "predict_kernel_time",
+    "predict_cpu_time",
+    "transfer_time",
+    "MultiDeviceSweep",
+    "multi_device_sweep",
+    "strong_scaling",
+    "LaunchRecord",
+    "TraceCollector",
+    "traced_launch",
+]

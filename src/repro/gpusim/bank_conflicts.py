@@ -1,0 +1,76 @@
+"""Shared-memory bank-conflict analysis.
+
+Shared memory is divided into 32 four-byte banks; a warp's request replays
+once per additional address mapping to an already-used bank (different
+addresses only — broadcast of the *same* word is free). Sequential reads of
+route-ordered coordinates are conflict-free, which the paper lists as
+benefit 3 of Optimization 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BANK_COUNT = 32
+BANK_WIDTH_BYTES = 4
+
+
+def count_bank_conflicts(
+    byte_addresses: np.ndarray,
+    *,
+    warp_size: int = 32,
+    banks: int = BANK_COUNT,
+    bank_width: int = BANK_WIDTH_BYTES,
+    active_mask: np.ndarray | None = None,
+) -> int:
+    """Total replay cycles over all warps for one shared-memory request.
+
+    For each warp, the cost is ``max over banks of (#distinct words in that
+    bank)``; replays are that max minus 1. Returns the summed replays.
+    """
+    addr = np.asarray(byte_addresses, dtype=np.int64).ravel()
+    if addr.size == 0:
+        return 0
+    if active_mask is not None:
+        mask = np.asarray(active_mask, dtype=bool).ravel()
+    else:
+        mask = np.ones(addr.size, dtype=bool)
+
+    words = addr // bank_width
+    bank = words % banks
+    warp_ids = np.arange(addr.size) // warp_size
+
+    words = words[mask]
+    bank = bank[mask]
+    warp_ids = warp_ids[mask]
+    if words.size == 0:
+        return 0
+
+    # Distinct (warp, bank, word) triples, then the per-(warp, bank) counts;
+    # conflict replays per warp = max count - 1.
+    order = np.lexsort((words, bank, warp_ids))
+    w = warp_ids[order]
+    b = bank[order]
+    wd = words[order]
+    new_triple = np.ones(w.size, dtype=bool)
+    new_triple[1:] = (w[1:] != w[:-1]) | (b[1:] != b[:-1]) | (wd[1:] != wd[:-1])
+    # count distinct words per (warp, bank)
+    w2 = w[new_triple]
+    b2 = b[new_triple]
+    pair_key = w2 * banks + b2
+    _, counts = np.unique(pair_key, return_counts=True)
+    # replays per warp = (max distinct-words-in-one-bank) - 1; computing the
+    # exact per-warp max vectorized:
+    uniq_pairs = np.unique(pair_key)
+    warp_of_pair = uniq_pairs // banks
+    replays = 0
+    # group counts by warp via sort (uniq_pairs already sorted by key)
+    boundaries = np.flatnonzero(np.diff(warp_of_pair)) + 1
+    for grp in np.split(counts, boundaries):
+        replays += int(grp.max()) - 1
+    return replays
+
+
+def conflict_free(byte_addresses: np.ndarray, **kw) -> bool:
+    """True iff the request replays zero times."""
+    return count_bank_conflicts(byte_addresses, **kw) == 0

@@ -1,0 +1,112 @@
+"""Global-memory coalescing analysis.
+
+A warp's memory request is served in 128-byte segment transactions: the
+hardware coalescer merges the 32 lanes' addresses into the minimal set of
+aligned segments. Sequential float4/float2 accesses coalesce perfectly
+(1–2 transactions per warp); route-indirected gathers
+(``coords[route[k]]``) scatter across segments — which is exactly why the
+paper's Optimization 2 pre-orders coordinates on the host.
+
+The analyzer is fully vectorized: one call processes the addresses of all
+threads of a launch at once (HPC guide: no per-element Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SEGMENT_BYTES = 128
+
+
+def count_transactions(
+    byte_addresses: np.ndarray,
+    *,
+    warp_size: int = 32,
+    segment_bytes: int = SEGMENT_BYTES,
+    active_mask: np.ndarray | None = None,
+) -> int:
+    """Number of *segment_bytes* transactions needed to serve the request.
+
+    Parameters
+    ----------
+    byte_addresses:
+        1-D array, one starting byte address per thread, in thread-id order
+        (consecutive threads belong to the same warp).
+    warp_size:
+        Threads coalesced together (32 on every modeled device).
+    active_mask:
+        Optional boolean array; inactive lanes issue no address.
+
+    Returns
+    -------
+    int
+        Total transactions summed over all warps.
+    """
+    addr = np.asarray(byte_addresses, dtype=np.int64).ravel()
+    if active_mask is not None:
+        mask = np.asarray(active_mask, dtype=bool).ravel()
+        if mask.shape != addr.shape:
+            raise ValueError("active_mask shape must match addresses")
+    else:
+        mask = None
+
+    n = addr.size
+    if n == 0:
+        return 0
+
+    segments = addr // segment_bytes
+    warp_ids = np.arange(n) // warp_size
+
+    if mask is not None:
+        segments = segments[mask]
+        warp_ids = warp_ids[mask]
+        if segments.size == 0:
+            return 0
+
+    # Unique (warp, segment) pairs == transactions. Encode as a single key.
+    # Segment values fit comfortably: offset them so keys do not collide.
+    key = warp_ids * (segments.max() + 1) + segments
+    return int(np.unique(key).size)
+
+
+def transactions_for_sequential(
+    n_threads: int,
+    itemsize: int,
+    *,
+    warp_size: int = 32,
+    segment_bytes: int = SEGMENT_BYTES,
+) -> int:
+    """Closed form for perfectly sequential accesses (thread k -> element k)."""
+    if n_threads <= 0:
+        return 0
+    per_warp = max(1, (warp_size * itemsize + segment_bytes - 1) // segment_bytes)
+    full_warps, rem = divmod(n_threads, warp_size)
+    tx = full_warps * per_warp
+    if rem:
+        tx += max(1, (rem * itemsize + segment_bytes - 1) // segment_bytes)
+    return tx
+
+
+def expected_transactions_random(
+    n_threads: int,
+    itemsize: int,
+    array_bytes: int,
+    *,
+    warp_size: int = 32,
+    segment_bytes: int = SEGMENT_BYTES,
+) -> float:
+    """Expected transactions when each lane hits a uniform random element.
+
+    For a warp of *w* lanes hitting *S* segments uniformly, the expected
+    number of distinct segments is ``S * (1 - (1 - 1/S)**w)`` — up to one
+    transaction per lane when the array is large (the scattered-read cost
+    Optimization 2 removes).
+    """
+    if n_threads <= 0:
+        return 0.0
+    n_segments = max(1, array_bytes // segment_bytes)
+    w = min(warp_size, n_threads)
+    expected_per_warp = n_segments * (1.0 - (1.0 - 1.0 / n_segments) ** w)
+    # element may straddle two segments; ignore (itemsize << segment)
+    warps = -(-n_threads // warp_size)
+    return float(expected_per_warp * warps)

@@ -1,0 +1,208 @@
+"""Device catalog: the GPUs and CPUs of the paper's evaluation (Fig. 9/10).
+
+Microarchitectural numbers (core counts, clocks, bandwidths) are the public
+2012/2013 datasheet values. ``lo_efficiency`` is the single calibrated
+constant per device: the fraction of peak single-precision throughput the
+2-opt distance kernel sustains, chosen so the model reproduces the paper's
+*observed* GFLOP/s (680 GFLOP/s on GTX 680 CUDA, ~830 on HD 7970 — §V,
+Fig. 9). All other timing behaviour (small-n launch-bound floor, memory
+roofline, occupancy ramp) is derived, not fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import DeviceNotFoundError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Common interface for simulated compute devices."""
+
+    name: str
+    api: str                       # "CUDA" or "OpenCL"
+    clock_ghz: float
+    #: Fraction of peak SP throughput this workload sustains (calibrated).
+    lo_efficiency: float
+    mem_bandwidth_gbps: float      # peak DRAM bandwidth
+    mem_latency_ns: float
+
+    @property
+    def peak_gflops(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def sustained_gflops(self) -> float:
+        """Model's sustained GFLOP/s for the 2-opt distance workload."""
+        return self.peak_gflops * self.lo_efficiency
+
+    @property
+    def is_gpu(self) -> bool:
+        return isinstance(self, GPUDeviceSpec)
+
+
+@dataclass(frozen=True)
+class GPUDeviceSpec(DeviceSpec):
+    """A discrete GPU (or one die of a dual-GPU board)."""
+
+    sm_count: int = 8              # SMs / compute units
+    cores_per_sm: int = 192
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 16
+    shared_mem_per_sm: int = 48 * 1024
+    shared_mem_per_block: int = 48 * 1024
+    shared_banks: int = 32
+    #: Special-function (sqrtf) throughput relative to FMA cores.
+    sfu_ratio: float = 1.0 / 6.0
+    #: Fixed cost of one kernel launch (driver + scheduling), seconds.
+    launch_overhead_s: float = 15e-6
+    #: PCIe: effective host<->device bandwidth and per-transfer latency.
+    pcie_bandwidth_gbps: float = 10.0
+    pcie_latency_s: float = 8e-6
+    global_mem_bytes: int = 2 * 1024**3
+
+    @property
+    def core_count(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_gflops(self) -> float:
+        # 2 flops/cycle/core (FMA)
+        return self.core_count * self.clock_ghz * 2.0
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.sm_count * self.max_threads_per_sm
+
+
+@dataclass(frozen=True)
+class CPUDeviceSpec(DeviceSpec):
+    """A multicore CPU running the OpenCL (auto-vectorized) 2-opt kernel."""
+
+    cores: int = 6
+    simd_width: int = 8            # single-precision lanes (AVX = 8)
+    flops_per_lane_per_cycle: float = 2.0
+    llc_bytes: int = 15 * 1024**2
+    #: Multiplier on effective bandwidth when the working set misses LLC and
+    #: accesses are scattered (the paper: "cache efficiency is decreased
+    #: drastically" for the CPU implementation).
+    scattered_cache_penalty: float = 4.0
+    #: Per parallel-region spawn/teardown overhead, seconds.
+    parallel_overhead_s: float = 20e-6
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.cores * self.simd_width * self.flops_per_lane_per_cycle * self.clock_ghz
+
+
+def _gpu(**kw) -> GPUDeviceSpec:
+    return GPUDeviceSpec(**kw)
+
+
+def _cpu(**kw) -> CPUDeviceSpec:
+    return CPUDeviceSpec(**kw)
+
+
+#: All devices appearing in the paper's Figs. 9–10 and Table II text.
+DEVICES: Dict[str, DeviceSpec] = {
+    # GeForce GTX 680 (GK104 Kepler): 8 SMX x 192 cores @ 1.006 GHz,
+    # 192 GB/s. Paper observed 680 GFLOP/s with CUDA -> efficiency 0.22.
+    "gtx680-cuda": _gpu(
+        name="GeForce GTX 680", api="CUDA", clock_ghz=1.006,
+        sm_count=8, cores_per_sm=192, mem_bandwidth_gbps=192.0,
+        mem_latency_ns=350.0, lo_efficiency=0.220,
+        pcie_bandwidth_gbps=11.0,  # PCIe 3.0 x16 (paper: i7-3960X + PCIe 3)
+    ),
+    # Same silicon through OpenCL: Fig. 9 shows it slightly under CUDA.
+    "gtx680-opencl": _gpu(
+        name="GeForce GTX 680 (OpenCL)", api="OpenCL", clock_ghz=1.006,
+        sm_count=8, cores_per_sm=192, mem_bandwidth_gbps=192.0,
+        mem_latency_ns=350.0, lo_efficiency=0.185,
+        pcie_bandwidth_gbps=11.0, launch_overhead_s=20e-6,
+    ),
+    # Radeon HD 7970 (Tahiti GCN): 32 CU x 64 lanes @ 0.925 GHz, 264 GB/s.
+    # Paper observed ~830 GFLOP/s peak in OpenCL.
+    "hd7970-opencl": _gpu(
+        name="Radeon HD 7970", api="OpenCL", clock_ghz=0.925,
+        sm_count=32, cores_per_sm=64, mem_bandwidth_gbps=264.0,
+        mem_latency_ns=350.0, lo_efficiency=0.219,
+        shared_mem_per_sm=64 * 1024, shared_mem_per_block=32 * 1024,
+        max_threads_per_block=256, max_threads_per_sm=2560,
+        sfu_ratio=0.25, launch_overhead_s=20e-6, pcie_bandwidth_gbps=10.0,
+    ),
+    "hd7970ghz-opencl": _gpu(
+        name="Radeon HD 7970 GHz Edition", api="OpenCL", clock_ghz=1.050,
+        sm_count=32, cores_per_sm=64, mem_bandwidth_gbps=288.0,
+        mem_latency_ns=350.0, lo_efficiency=0.219,
+        shared_mem_per_sm=64 * 1024, shared_mem_per_block=32 * 1024,
+        max_threads_per_block=256, max_threads_per_sm=2560,
+        sfu_ratio=0.25, launch_overhead_s=20e-6, pcie_bandwidth_gbps=10.0,
+    ),
+    # Radeon HD 5970, one of two Cypress dies: 20 CU (VLIW5) @ 0.725 GHz.
+    "hd5970-opencl": _gpu(
+        name="Radeon HD 5970 (1 processor)", api="OpenCL", clock_ghz=0.725,
+        sm_count=20, cores_per_sm=80, mem_bandwidth_gbps=128.0,
+        mem_latency_ns=420.0, lo_efficiency=0.22,  # VLIW packing losses
+        shared_mem_per_sm=32 * 1024, shared_mem_per_block=32 * 1024,
+        max_threads_per_block=256, max_threads_per_sm=1600,
+        sfu_ratio=0.2, launch_overhead_s=22e-6, pcie_bandwidth_gbps=6.0,
+    ),
+    # Radeon HD 6990, one of two Cayman dies: 24 CU (VLIW4) @ 0.830 GHz.
+    "hd6990-opencl": _gpu(
+        name="Radeon HD 6990 (1 processor)", api="OpenCL", clock_ghz=0.830,
+        sm_count=24, cores_per_sm=64, mem_bandwidth_gbps=160.0,
+        mem_latency_ns=400.0, lo_efficiency=0.28,
+        shared_mem_per_sm=32 * 1024, shared_mem_per_block=32 * 1024,
+        max_threads_per_block=256, max_threads_per_sm=1600,
+        sfu_ratio=0.2, launch_overhead_s=22e-6, pcie_bandwidth_gbps=6.0,
+    ),
+    # Intel Core i7-3960X: 6 cores @ 3.3 GHz, AVX. The "parallel CPU code
+    # using 6 cores" of the abstract's 5-45x claim.
+    "i7-3960x-opencl": _cpu(
+        name="Intel Core i7-3960X", api="OpenCL", clock_ghz=3.3,
+        cores=6, simd_width=8, mem_bandwidth_gbps=51.2,
+        mem_latency_ns=70.0, lo_efficiency=0.048,
+        llc_bytes=15 * 1024**2,
+    ),
+    # 2 x Intel Xeon E5-2690: 16 cores @ 2.9 GHz. Fig. 10's baseline.
+    "xeon-e5-2690x2-opencl": _cpu(
+        name="2 x Xeon E5-2690", api="OpenCL", clock_ghz=2.9,
+        cores=16, simd_width=8, mem_bandwidth_gbps=102.4,
+        mem_latency_ns=80.0, lo_efficiency=0.048,
+        llc_bytes=40 * 1024**2, parallel_overhead_s=30e-6,
+    ),
+    # 32-core Opteron @ 2.3 GHz (Fig. 9's "Opteron 2.3 GHz (32 cores)").
+    "opteron-32c-opencl": _cpu(
+        name="Opteron 2.3 GHz (32 cores)", api="OpenCL", clock_ghz=2.3,
+        cores=32, simd_width=4, mem_bandwidth_gbps=102.4,
+        mem_latency_ns=95.0, lo_efficiency=0.045,
+        llc_bytes=32 * 1024**2, parallel_overhead_s=40e-6,
+    ),
+    # Sequential single-core baseline for the abstract's "up to 300x
+    # faster than the sequential CPU version" convergence claim.
+    "cpu-sequential": _cpu(
+        name="Sequential CPU (1 core, scalar)", api="C", clock_ghz=3.3,
+        cores=1, simd_width=1, mem_bandwidth_gbps=12.8,
+        mem_latency_ns=70.0, lo_efficiency=0.30,  # scalar code runs near
+        llc_bytes=15 * 1024**2, parallel_overhead_s=0.0,  # its small peak
+    ),
+}
+
+
+def get_device(key: str) -> DeviceSpec:
+    """Fetch a device by catalog key (e.g. ``"gtx680-cuda"``)."""
+    try:
+        return DEVICES[key]
+    except KeyError:
+        raise DeviceNotFoundError(
+            f"unknown device {key!r}; known: {', '.join(sorted(DEVICES))}"
+        ) from None
+
+
+def list_devices() -> list[str]:
+    """All catalog keys, GPUs first, in paper order."""
+    return list(DEVICES)

@@ -1,0 +1,54 @@
+"""Kernel launch machinery: run a kernel, collect stats, predict time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.gpusim.device import GPUDeviceSpec
+from repro.gpusim.kernel import Kernel, KernelContext, LaunchConfig
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing_model import TimeBreakdown, predict_kernel_time
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one simulated launch."""
+
+    output: Any
+    stats: KernelStats
+    time: TimeBreakdown
+
+    @property
+    def seconds(self) -> float:
+        return self.time.total
+
+
+def launch_kernel(
+    kernel: Kernel,
+    device: GPUDeviceSpec,
+    launch: Optional[LaunchConfig] = None,
+    *,
+    stats: Optional[KernelStats] = None,
+    **kwargs: Any,
+) -> KernelResult:
+    """Execute *kernel* on *device* and return output, stats, predicted time.
+
+    Parameters
+    ----------
+    stats:
+        Optional pre-existing accumulator, so a driver loop (e.g. repeated
+        2-opt launches) can aggregate across launches; the returned
+        ``KernelResult.stats`` then only covers this launch.
+    kwargs:
+        Forwarded to ``kernel.run``.
+    """
+    local = KernelStats()
+    ctx = KernelContext(device, launch or LaunchConfig.default_for(device), stats=local)
+    output = kernel.run(ctx, **kwargs)
+    time = predict_kernel_time(
+        local, device, ctx.launch, shared_bytes=ctx.shared_bytes_used
+    )
+    if stats is not None:
+        stats += local
+    return KernelResult(output=output, stats=local, time=time)

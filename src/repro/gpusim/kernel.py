@@ -1,0 +1,246 @@
+"""SIMT kernel programming model for the simulator.
+
+A :class:`Kernel` subclass implements ``run(ctx, ...)`` against a
+:class:`KernelContext` which exposes the launch geometry, instrumented
+memory, barriers, the distance helper of the paper's Listing 1, and a
+block-reduce + global-atomic "best move" reduction. Execution is
+numpy-vectorized: one context call applies a step to *all* launched
+threads at once (see :mod:`repro.gpusim` docstring).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LaunchConfigError
+from repro.gpusim.device import GPUDeviceSpec
+from repro.gpusim.memory import GlobalArray, SharedArray
+from repro.gpusim.occupancy import OccupancyResult, occupancy
+from repro.gpusim.stats import KernelStats
+
+#: Simple flops per Euclidean distance (Listing 1): 2 sub + 2 mul + 1 add +
+#: 1 add-for-rounding = 6, plus one special-function op for sqrtf.
+FLOPS_PER_DISTANCE = 6
+SPECIAL_PER_DISTANCE = 1
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """1-D launch geometry (the paper uses e.g. 28 blocks x 1024 threads)."""
+
+    grid_dim: int
+    block_dim: int
+
+    def __post_init__(self) -> None:
+        if self.grid_dim <= 0 or self.block_dim <= 0:
+            raise LaunchConfigError("grid_dim and block_dim must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+    @staticmethod
+    def default_for(device: GPUDeviceSpec) -> "LaunchConfig":
+        """A full-occupancy default: enough blocks to fill every SM.
+
+        For the GTX 680 with 1024-thread blocks this gives 28 blocks,
+        wait—(8 SMs x 2 blocks of 1024) = 16; the paper's example "28 x
+        1024" oversubscribes slightly, which is harmless. We use the
+        paper's configuration when the device allows 1024-thread blocks
+        and fall back to device limits otherwise.
+        """
+        block = min(1024, device.max_threads_per_block)
+        per_sm = max(1, device.max_threads_per_sm // block)
+        grid = device.sm_count * per_sm
+        if block == 1024:
+            grid = max(grid, 28)  # the paper's example configuration
+        return LaunchConfig(grid_dim=grid, block_dim=block)
+
+
+class KernelContext:
+    """Everything a simulated kernel may touch during one launch."""
+
+    def __init__(self, device: GPUDeviceSpec, launch: LaunchConfig,
+                 stats: Optional[KernelStats] = None) -> None:
+        self.device = device
+        self.launch = launch
+        self.stats = stats if stats is not None else KernelStats()
+        self._shared_allocated = 0
+        self.stats.launches += 1
+        self.stats.threads_launched += launch.total_threads
+
+    # -- thread geometry -----------------------------------------------------
+
+    def thread_ids(self) -> np.ndarray:
+        """Global thread ids 0..total_threads-1 in (block, thread) order."""
+        return np.arange(self.launch.total_threads, dtype=np.int64)
+
+    def block_ids(self) -> np.ndarray:
+        return self.thread_ids() // self.launch.block_dim
+
+    def lane_ids(self) -> np.ndarray:
+        """Thread index within its block."""
+        return self.thread_ids() % self.launch.block_dim
+
+    # -- memory ---------------------------------------------------------------
+
+    def global_array(self, name: str, data: np.ndarray) -> GlobalArray:
+        return GlobalArray(name, data, self.stats, warp_size=self.device.warp_size)
+
+    def alloc_shared(self, name: str, shape, dtype) -> SharedArray:
+        """Allocate a per-block shared array against the block budget."""
+        arr = SharedArray(
+            name, shape, dtype, self.stats,
+            capacity_bytes=self.device.shared_mem_per_block - self._shared_allocated,
+            warp_size=self.device.warp_size, banks=self.device.shared_banks,
+        )
+        self._shared_allocated += arr.nbytes
+        return arr
+
+    @property
+    def shared_bytes_used(self) -> int:
+        return self._shared_allocated
+
+    def cooperative_load(self, src: GlobalArray, dst: SharedArray,
+                         count: int, offset: int = 0) -> None:
+        """Stage ``src[offset:offset+count]`` into shared memory.
+
+        Models the canonical block-cooperative copy: each of the grid's
+        blocks loads the same *count* rows with ``block_dim`` threads
+        striding, so global traffic is charged once per block and the
+        data lands in (the single backing copy of) shared memory.
+        """
+        block = self.launch.block_dim
+        rows = np.arange(offset, offset + count, dtype=np.int64)
+        # one block's access pattern: sequential, block_dim-wide waves
+        row_bytes = src._row_bytes
+        from repro.gpusim.coalescing import transactions_for_sequential
+
+        waves = math.ceil(count / block)
+        tx_per_block = 0
+        remaining = count
+        for _ in range(waves):
+            width = min(block, remaining)
+            tx_per_block += transactions_for_sequential(
+                width, row_bytes, warp_size=self.device.warp_size
+            )
+            remaining -= width
+        g = self.launch.grid_dim
+        self.stats.global_load_transactions += tx_per_block * g
+        self.stats.global_load_bytes += count * row_bytes * g
+        # shared store side: sequential stores are conflict-free
+        words_per_row = max(1, row_bytes // 4)
+        warps_per_wave = math.ceil(min(block, count) / self.device.warp_size)
+        self.stats.shared_requests += waves * warps_per_wave * words_per_row * g
+        self.stats.barriers += g  # __syncthreads() after staging
+        dst.data[: count] = src.data[rows]
+
+    # -- arithmetic helpers -----------------------------------------------------
+
+    def count_flops(self, flops_per_thread: float,
+                    active_threads: Optional[int] = None) -> None:
+        n = self.launch.total_threads if active_threads is None else active_threads
+        self.stats.flops += flops_per_thread * n
+
+    def count_special(self, ops_per_thread: float,
+                      active_threads: Optional[int] = None) -> None:
+        n = self.launch.total_threads if active_threads is None else active_threads
+        self.stats.special_ops += ops_per_thread * n
+
+    def euclidean_distance(self, a: np.ndarray, b: np.ndarray,
+                           active: Optional[int] = None) -> np.ndarray:
+        """Listing 1: rounded float32 Euclidean distance, with accounting.
+
+        *a*, *b* are ``(k, 2)`` float32 coordinate rows (one per thread).
+        """
+        a32 = a.astype(np.float32, copy=False)
+        b32 = b.astype(np.float32, copy=False)
+        dx = a32[..., 0] - b32[..., 0]
+        dy = a32[..., 1] - b32[..., 1]
+        d = np.floor(np.sqrt(dx * dx + dy * dy, dtype=np.float32) + np.float32(0.5))
+        n = a32.shape[0] if a32.ndim > 1 else 1
+        k = n if active is None else active
+        self.stats.flops += FLOPS_PER_DISTANCE * k
+        self.stats.special_ops += SPECIAL_PER_DISTANCE * k
+        return d.astype(np.int64)
+
+    # -- synchronization / reduction ---------------------------------------------
+
+    def sync_threads(self) -> None:
+        """__syncthreads(): one barrier per block."""
+        self.stats.barriers += self.launch.grid_dim
+
+    def block_reduce_best(
+        self, values: np.ndarray, payload: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Find the global minimum of per-thread *values* with its payload.
+
+        Models the standard pattern: shared-memory tree reduction within
+        each block, then one global atomic per block. Ties break toward the
+        lowest payload (deterministic, unlike a real atomic race — see
+        DESIGN.md "Key design decisions").
+
+        Parameters
+        ----------
+        values:
+            ``(total_threads,)`` array to minimize.
+        payload:
+            ``(total_threads,)`` integer payload (e.g. encoded pair index).
+
+        Returns
+        -------
+        (best_value, best_payload_row)
+        """
+        launch = self.launch
+        v = np.asarray(values)
+        if v.shape[0] != launch.total_threads:
+            raise LaunchConfigError(
+                f"reduction input has {v.shape[0]} lanes, launch has "
+                f"{launch.total_threads} threads"
+            )
+        p = np.asarray(payload)
+
+        # --- accounting: tree reduction in shared memory per block
+        block = launch.block_dim
+        steps = max(1, int(math.ceil(math.log2(block))))
+        active = block
+        requests = 0
+        for _ in range(steps):
+            active = max(1, active // 2)
+            requests += 2 * math.ceil(active / self.device.warp_size)  # ld+st
+        self.stats.shared_requests += requests * launch.grid_dim
+        self.stats.barriers += steps * launch.grid_dim
+        self.stats.atomics += launch.grid_dim  # one atomicMin per block
+
+        # --- functional result, deterministic tie-break on (value, payload)
+        order = np.lexsort((p.ravel(), v.ravel()))  # primary v, secondary p
+        winner = order[0]
+        return float(v.ravel()[winner]), p.ravel()[winner]
+
+
+class Kernel:
+    """Base class for simulated kernels."""
+
+    #: human-readable kernel name (used in experiment output)
+    name: str = "kernel"
+
+    def run(self, ctx: KernelContext, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def shared_bytes(self, **kwargs) -> int:
+        """Shared memory this kernel will allocate per block (for occupancy)."""
+        return 0
+
+    def occupancy_for(self, device: GPUDeviceSpec, launch: LaunchConfig,
+                      **kwargs) -> OccupancyResult:
+        """Occupancy of this kernel under *launch* on *device*."""
+        return occupancy(
+            device,
+            block_dim=launch.block_dim,
+            grid_dim=launch.grid_dim,
+            shared_bytes_per_block=self.shared_bytes(**kwargs),
+        )

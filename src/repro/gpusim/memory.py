@@ -1,0 +1,157 @@
+"""Instrumented simulated memory.
+
+``GlobalArray`` models device global (DRAM) memory: every load/store gather
+is passed through the coalescing analyzer and recorded in the launch's
+:class:`~repro.gpusim.stats.KernelStats`. ``SharedArray`` models on-chip
+shared memory: accesses are counted as warp requests plus bank-conflict
+replays.
+
+Both execute the access *functionally* with numpy fancy indexing, so
+kernels built on them compute real results while the counters drive the
+timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MemoryAccessError, SharedMemoryOverflowError
+from repro.gpusim.bank_conflicts import count_bank_conflicts
+from repro.gpusim.coalescing import count_transactions
+from repro.gpusim.stats import KernelStats
+
+
+class GlobalArray:
+    """A named array in simulated device global memory."""
+
+    def __init__(self, name: str, data: np.ndarray, stats: KernelStats,
+                 *, warp_size: int = 32) -> None:
+        self.name = name
+        self.data = np.ascontiguousarray(data)
+        self._stats = stats
+        self._warp_size = warp_size
+        if self.data.ndim == 2:
+            # row-major rows are the addressable elements (e.g. float2 pairs)
+            self._row_bytes = self.data.shape[1] * self.data.itemsize
+        else:
+            self._row_bytes = self.data.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def _check(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        n = self.data.shape[0]
+        if idx.size and (idx.min() < 0 or idx.max() >= n):
+            raise MemoryAccessError(
+                f"global array {self.name!r}: index out of range "
+                f"[{idx.min()}, {idx.max()}] for length {n}"
+            )
+        return idx
+
+    def load(self, idx: np.ndarray, active_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Gather rows at *idx* (one index per thread, thread-id order)."""
+        idx = self._check(idx)
+        addr = idx * self._row_bytes
+        tx = count_transactions(
+            addr, warp_size=self._warp_size, active_mask=active_mask
+        )
+        active = int(idx.size if active_mask is None else np.count_nonzero(active_mask))
+        self._stats.global_load_transactions += tx
+        self._stats.global_load_bytes += active * self._row_bytes
+        return self.data[idx]
+
+    def store(self, idx: np.ndarray, values: np.ndarray,
+              active_mask: Optional[np.ndarray] = None) -> None:
+        """Scatter *values* to rows at *idx*."""
+        idx = self._check(idx)
+        addr = idx * self._row_bytes
+        tx = count_transactions(
+            addr, warp_size=self._warp_size, active_mask=active_mask
+        )
+        active = int(idx.size if active_mask is None else np.count_nonzero(active_mask))
+        self._stats.global_store_transactions += tx
+        self._stats.global_store_bytes += active * self._row_bytes
+        if active_mask is None:
+            self.data[idx] = values
+        else:
+            m = np.asarray(active_mask, dtype=bool)
+            self.data[idx[m]] = np.asarray(values)[m]
+
+
+class SharedArray:
+    """A per-block on-chip array.
+
+    In the simulated kernels of this library every block stages *identical*
+    data into its shared memory (the tour coordinates), so one backing numpy
+    array represents all blocks' copies; the **fill cost** is charged once
+    per block by :meth:`KernelContext.cooperative_load`, and per-access
+    bank-conflict accounting operates on thread-id-ordered index arrays
+    exactly as the hardware would see them.
+    """
+
+    def __init__(self, name: str, shape, dtype, stats: KernelStats, *,
+                 capacity_bytes: int, warp_size: int = 32, banks: int = 32) -> None:
+        self.name = name
+        self.data = np.zeros(shape, dtype=dtype)
+        if self.data.nbytes > capacity_bytes:
+            raise SharedMemoryOverflowError(
+                f"shared array {name!r} needs {self.data.nbytes} B, "
+                f"block limit is {capacity_bytes} B"
+            )
+        self._stats = stats
+        self._warp_size = warp_size
+        self._banks = banks
+        if self.data.ndim == 2:
+            self._row_bytes = self.data.shape[1] * self.data.itemsize
+        else:
+            self._row_bytes = self.data.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def _account(self, idx: np.ndarray, active_mask: Optional[np.ndarray]) -> None:
+        addr = np.asarray(idx, dtype=np.int64) * self._row_bytes
+        warps = (addr.size + self._warp_size - 1) // self._warp_size
+        # a float2 row touches 2 words -> 2 requests per warp
+        words_per_row = max(1, self._row_bytes // 4)
+        self._stats.shared_requests += warps * words_per_row
+        self._stats.bank_conflict_replays += count_bank_conflicts(
+            addr, warp_size=self._warp_size, banks=self._banks,
+            active_mask=active_mask,
+        )
+
+    def _check(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        n = self.data.shape[0]
+        if idx.size and (idx.min() < 0 or idx.max() >= n):
+            raise MemoryAccessError(
+                f"shared array {self.name!r}: index out of range "
+                f"[{idx.min()}, {idx.max()}] for length {n}"
+            )
+        return idx
+
+    def load(self, idx: np.ndarray, active_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        idx = self._check(idx)
+        self._account(idx, active_mask)
+        return self.data[idx]
+
+    def store(self, idx: np.ndarray, values: np.ndarray,
+              active_mask: Optional[np.ndarray] = None) -> None:
+        """Scatter *values* into the shared array (bank-accounted)."""
+        idx = self._check(idx)
+        self._account(idx, active_mask)
+        if active_mask is None:
+            self.data[idx] = values
+        else:
+            m = np.asarray(active_mask, dtype=bool)
+            self.data[idx[m]] = np.asarray(values)[m]
+
+    def fill_direct(self, values: np.ndarray) -> None:
+        """Set contents without accounting (used by cooperative_load which
+        accounts the global side and the store side itself)."""
+        self.data[: len(values)] = values

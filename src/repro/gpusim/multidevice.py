@@ -1,0 +1,179 @@
+"""Multi-device execution of the tiled 2-opt sweep — §VI's future work.
+
+"we will try to parallelize it even further by using more CPUs and GPUs
+and possibly dividing the 2-opt task between multiple devices in order
+to effectively solve larger instances."
+
+The tiling scheme's launches are independent (each tile stages its own
+two coordinate ranges), so a sweep distributes trivially: this module
+models the resulting makespan under different scheduling policies and a
+per-tile dispatch overhead, yielding the strong-scaling extension
+experiment in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Literal, Optional, Sequence
+
+from repro.errors import GpuSimError
+from repro.gpusim.device import GPUDeviceSpec, get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.timing_model import predict_kernel_time
+
+Policy = Literal["round-robin", "lpt", "dynamic"]
+
+#: Host-side cost of dispatching one tile to a device (driver call,
+#: stream selection). Charged per tile on top of the kernel time.
+DISPATCH_OVERHEAD_S = 3e-6
+
+
+@dataclass
+class DeviceLoad:
+    """Per-device outcome of a multi-device sweep."""
+
+    device_key: str
+    tiles: int
+    busy_seconds: float
+
+
+@dataclass
+class MultiDeviceSweep:
+    """Modeled execution of one tiled sweep across several devices."""
+
+    n: int
+    policy: Policy
+    loads: list[DeviceLoad] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return max((l.busy_seconds for l in self.loads), default=0.0)
+
+    @property
+    def total_work(self) -> float:
+        return sum(l.busy_seconds for l in self.loads)
+
+    def speedup_over(self, single: "MultiDeviceSweep") -> float:
+        if self.makespan <= 0:
+            raise GpuSimError("empty sweep")
+        return single.makespan / self.makespan
+
+    @property
+    def efficiency(self) -> float:
+        """Parallel efficiency: total work / (devices * makespan)."""
+        k = len(self.loads)
+        if k == 0 or self.makespan == 0:
+            return 0.0
+        return self.total_work / (k * self.makespan)
+
+
+def _tile_times(n: int, device: GPUDeviceSpec,
+                launch: Optional[LaunchConfig]) -> list[float]:
+    # imported lazily: repro.core depends on repro.gpusim, so a top-level
+    # import here would be circular
+    from repro.core.tiling import TileSchedule, TwoOptKernelTiled
+
+    kernel = TwoOptKernelTiled()
+    launch = launch or LaunchConfig.default_for(device)
+    schedule = TileSchedule.for_device(n, device)
+    times = []
+    for tile in schedule.tiles():
+        stats = kernel.estimate_stats(tile, launch, device)
+        t = predict_kernel_time(
+            stats, device, launch, shared_bytes=kernel.shared_bytes(tile=tile)
+        ).total
+        times.append(t + DISPATCH_OVERHEAD_S)
+    return times
+
+
+def multi_device_sweep(
+    n: int,
+    device_keys: Sequence[str],
+    *,
+    policy: Policy = "dynamic",
+    launch: Optional[LaunchConfig] = None,
+) -> MultiDeviceSweep:
+    """Model one full tiled 2-opt sweep of an n-city tour on *device_keys*.
+
+    Policies
+    --------
+    ``round-robin``
+        Tile t goes to device t mod k — the naive static split.
+    ``lpt``
+        Longest-Processing-Time-first static assignment (classic
+        makespan heuristic; near-optimal for this tile size mix).
+    ``dynamic``
+        Work queue: each finished device pulls the next tile — what a
+        real multi-GPU host loop would do.
+    """
+    if not device_keys:
+        raise GpuSimError("need at least one device")
+    devices = [get_device(k) for k in device_keys]
+    for d in devices:
+        if not isinstance(d, GPUDeviceSpec):
+            raise GpuSimError(f"{d.name} is not a GPU")
+
+    # Tile set is defined by the *first* device's shared capacity so all
+    # devices run the same schedule (heterogeneous capacities would need
+    # per-device schedules; homogeneous pools are the §VI scenario).
+    times = _tile_times(n, devices[0], launch)
+    k = len(devices)
+    # per-device relative speed (same tile runs slower on a slower device)
+    base_rate = devices[0].sustained_gflops
+    rel = [base_rate / d.sustained_gflops for d in devices]
+
+    busy = [0.0] * k
+    counts = [0] * k
+    if policy == "round-robin":
+        for t_idx, t in enumerate(times):
+            d = t_idx % k
+            busy[d] += t * rel[d]
+            counts[d] += 1
+    elif policy == "lpt":
+        order = sorted(range(len(times)), key=lambda i: -times[i])
+        heap = [(0.0, d) for d in range(k)]
+        heapq.heapify(heap)
+        for t_idx in order:
+            load, d = heapq.heappop(heap)
+            load += times[t_idx] * rel[d]
+            busy[d] = load
+            counts[d] += 1
+            heapq.heappush(heap, (load, d))
+    elif policy == "dynamic":
+        heap = [(0.0, d) for d in range(k)]
+        heapq.heapify(heap)
+        for t in times:  # queue order = schedule order
+            load, d = heapq.heappop(heap)
+            load += t * rel[d]
+            busy[d] = load
+            counts[d] += 1
+            heapq.heappush(heap, (load, d))
+    else:
+        raise GpuSimError(f"unknown policy {policy!r}")
+
+    return MultiDeviceSweep(
+        n=n, policy=policy,
+        loads=[
+            DeviceLoad(device_key=key, tiles=c, busy_seconds=b)
+            for key, c, b in zip(device_keys, counts, busy)
+        ],
+    )
+
+
+def strong_scaling(
+    n: int,
+    device_key: str = "gtx680-cuda",
+    *,
+    device_counts: Sequence[int] = (1, 2, 4, 8),
+    policy: Policy = "dynamic",
+) -> list[tuple[int, MultiDeviceSweep]]:
+    """Makespans for replicated identical devices — the §VI projection."""
+    single = multi_device_sweep(n, [device_key], policy=policy)
+    out = [(1, single)]
+    for c in device_counts:
+        if c == 1:
+            continue
+        sweep = multi_device_sweep(n, [device_key] * c, policy=policy)
+        out.append((c, sweep))
+    return out

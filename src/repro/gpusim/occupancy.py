@@ -1,0 +1,74 @@
+"""Occupancy calculation: how many threads a launch keeps resident.
+
+GPUs hide memory latency with thread-level parallelism; a launch that puts
+too few warps on each SM (small problems, or heavy shared-memory usage
+limiting resident blocks) cannot saturate the device. This reproduces the
+flat small-n region of the paper's Table II / Fig. 9: below ~1000 cities
+every launch costs the same ~20 μs because the device is mostly idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchConfigError
+from repro.gpusim.device import GPUDeviceSpec
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one launch."""
+
+    blocks_per_sm: int
+    resident_threads: int       # across the whole device
+    occupancy: float            # resident / device maximum, 0..1
+    limited_by: str             # "blocks" | "threads" | "shared" | "grid"
+
+
+def occupancy(
+    device: GPUDeviceSpec,
+    *,
+    block_dim: int,
+    grid_dim: int,
+    shared_bytes_per_block: int = 0,
+) -> OccupancyResult:
+    """Compute resident threads for a launch on *device*."""
+    if block_dim <= 0 or grid_dim <= 0:
+        raise LaunchConfigError("grid and block dimensions must be positive")
+    if block_dim > device.max_threads_per_block:
+        raise LaunchConfigError(
+            f"block_dim {block_dim} exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    if shared_bytes_per_block > device.shared_mem_per_block:
+        raise LaunchConfigError(
+            f"shared memory request {shared_bytes_per_block} B exceeds "
+            f"per-block limit {device.shared_mem_per_block} B"
+        )
+
+    limits = {"blocks": device.max_blocks_per_sm,
+              "threads": device.max_threads_per_sm // block_dim}
+    if shared_bytes_per_block > 0:
+        limits["shared"] = device.shared_mem_per_sm // shared_bytes_per_block
+    limited_by = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = max(0, limits[limited_by])
+    if blocks_per_sm == 0:
+        raise LaunchConfigError(
+            "launch cannot fit a single block per SM "
+            f"(limited by {limited_by})"
+        )
+
+    device_block_capacity = blocks_per_sm * device.sm_count
+    if grid_dim < device_block_capacity:
+        resident_blocks = grid_dim
+        limited_by = "grid"
+    else:
+        resident_blocks = device_block_capacity
+    resident_threads = resident_blocks * block_dim
+    max_resident = device.max_resident_threads
+    return OccupancyResult(
+        blocks_per_sm=blocks_per_sm,
+        resident_threads=resident_threads,
+        occupancy=min(1.0, resident_threads / max_resident),
+        limited_by=limited_by,
+    )

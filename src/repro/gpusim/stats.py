@@ -1,0 +1,110 @@
+"""Work counters accumulated while a simulated kernel executes.
+
+Every instrumented operation (global load/store, shared access, arithmetic
+helper, barrier, atomic) adds to a :class:`KernelStats`; the timing model
+then converts the totals into predicted seconds. Counters are plain floats
+so analytic estimates (closed-form, possibly fractional expected values)
+and instrumented counts share one type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class KernelStats:
+    """Counted work for one kernel launch (or an aggregate of launches)."""
+
+    #: Simple single-precision flops (add/sub/mul/fma-parts/compare).
+    flops: float = 0.0
+    #: Special-function ops (sqrtf, rsqrt) — slower units on every device.
+    special_ops: float = 0.0
+    #: Global-memory load transactions (128 B segments after coalescing).
+    global_load_transactions: float = 0.0
+    #: Global-memory store transactions.
+    global_store_transactions: float = 0.0
+    #: Bytes actually requested by threads from global memory (loads).
+    global_load_bytes: float = 0.0
+    #: Bytes actually requested by threads to global memory (stores).
+    global_store_bytes: float = 0.0
+    #: Shared-memory accesses (load+store), in warp-wide requests.
+    shared_requests: float = 0.0
+    #: Extra shared-memory cycles lost to bank conflicts (replays).
+    bank_conflict_replays: float = 0.0
+    #: Global atomic operations.
+    atomics: float = 0.0
+    #: __syncthreads() barriers encountered (per block).
+    barriers: float = 0.0
+    #: Grid-stride loop iterations executed (per thread).
+    iterations: float = 0.0
+    #: Number of 2-opt pair evaluations performed.
+    pair_checks: float = 0.0
+    #: Number of simulated kernel launches aggregated in this object.
+    launches: float = 0.0
+    #: Sum over launches of (threads launched).
+    threads_launched: float = 0.0
+    #: Extra metadata for experiment drivers.
+    notes: dict = field(default_factory=dict)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def total_flops(self) -> float:
+        """All floating ops including special-function ops (Fig. 9 metric)."""
+        return self.flops + self.special_ops
+
+    @property
+    def global_transactions(self) -> float:
+        return self.global_load_transactions + self.global_store_transactions
+
+    @property
+    def global_bytes(self) -> float:
+        return self.global_load_bytes + self.global_store_bytes
+
+    # -- combination -------------------------------------------------------
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Return a new stats object with *other* added in."""
+        out = KernelStats()
+        for f in fields(KernelStats):
+            if f.name == "notes":
+                continue
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        out.notes = {**self.notes, **other.notes}
+        return out
+
+    def __iadd__(self, other: "KernelStats") -> "KernelStats":
+        for f in fields(KernelStats):
+            if f.name == "notes":
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        self.notes.update(other.notes)
+        return self
+
+    def scaled(self, factor: float) -> "KernelStats":
+        """Return stats multiplied by *factor* (for analytic extrapolation)."""
+        out = KernelStats()
+        for f in fields(KernelStats):
+            if f.name == "notes":
+                continue
+            setattr(out, f.name, getattr(self, f.name) * factor)
+        out.notes = dict(self.notes)
+        return out
+
+    def approx_equal(self, other: "KernelStats", rel: float = 0.05) -> bool:
+        """True if all non-zero counters agree within relative tolerance.
+
+        Used by tests that cross-validate analytic estimates against
+        instrumented execution.
+        """
+        for f in fields(KernelStats):
+            if f.name == "notes":
+                continue
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            scale = max(abs(a), abs(b))
+            if scale == 0:
+                continue
+            if abs(a - b) / scale > rel:
+                return False
+        return True

@@ -1,0 +1,155 @@
+"""Kernel-launch tracing: a timeline of what the simulated device did.
+
+A :class:`TraceCollector` can be threaded through drivers to record one
+:class:`LaunchRecord` per simulated launch (kernel name, work counters,
+predicted time and its breakdown). Records export to JSON-lines for
+offline analysis and render as an ASCII profile — the simulator's
+equivalent of ``nvprof``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional
+
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing_model import TimeBreakdown
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One simulated kernel launch."""
+
+    index: int
+    kernel: str
+    device: str
+    grid_dim: int
+    block_dim: int
+    pair_checks: float
+    flops: float
+    global_transactions: float
+    shared_requests: float
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+
+    @classmethod
+    def from_launch(
+        cls, index: int, kernel: str, device: str,
+        grid_dim: int, block_dim: int,
+        stats: KernelStats, time: TimeBreakdown,
+    ) -> "LaunchRecord":
+        return cls(
+            index=index, kernel=kernel, device=device,
+            grid_dim=grid_dim, block_dim=block_dim,
+            pair_checks=stats.pair_checks, flops=stats.total_flops,
+            global_transactions=stats.global_transactions,
+            shared_requests=stats.shared_requests,
+            seconds=time.total, compute_seconds=time.compute,
+            memory_seconds=time.memory, overhead_seconds=time.overhead,
+        )
+
+
+class TraceCollector:
+    """Accumulates launch records; bounded to avoid unbounded growth."""
+
+    def __init__(self, *, max_records: int = 100_000) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
+        self.records: list[LaunchRecord] = []
+        self.dropped = 0
+
+    def record(self, record: LaunchRecord) -> None:
+        """Append a record, dropping beyond the bound."""
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def add_launch(self, kernel: str, device: str, grid_dim: int,
+                   block_dim: int, stats: KernelStats,
+                   time: TimeBreakdown) -> LaunchRecord:
+        """Build a record from raw launch data and store it."""
+        rec = LaunchRecord.from_launch(
+            len(self.records) + self.dropped, kernel, device,
+            grid_dim, block_dim, stats, time,
+        )
+        self.record(rec)
+        return rec
+
+    # -- aggregation ------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    @property
+    def launch_count(self) -> int:
+        return len(self.records) + self.dropped
+
+    def by_kernel(self) -> dict[str, tuple[int, float]]:
+        """kernel name -> (launches, total seconds)."""
+        out: dict[str, tuple[int, float]] = {}
+        for r in self.records:
+            count, secs = out.get(r.kernel, (0, 0.0))
+            out[r.kernel] = (count + 1, secs + r.seconds)
+        return out
+
+    # -- export -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, nvprof-csv style."""
+        return "\n".join(json.dumps(asdict(r)) for r in self.records)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceCollector":
+        tc = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            tc.record(LaunchRecord(**json.loads(line)))
+        return tc
+
+    def summary(self) -> str:
+        """ASCII profile: per-kernel totals, profiler style."""
+        if not self.records:
+            return "(no launches recorded)"
+        total = self.total_seconds
+        lines = [f"{'kernel':20s} {'launches':>9s} {'time':>12s} {'share':>7s}"]
+        for kernel, (count, secs) in sorted(
+            self.by_kernel().items(), key=lambda kv: -kv[1][1]
+        ):
+            share = secs / total if total else 0.0
+            lines.append(
+                f"{kernel:20s} {count:9d} {secs * 1e3:10.3f} ms {share:6.1%}"
+            )
+        lines.append(
+            f"{'total':20s} {self.launch_count:9d} {total * 1e3:10.3f} ms {1:6.1%}"
+        )
+        if self.dropped:
+            lines.append(f"(dropped {self.dropped} records beyond max_records)")
+        return "\n".join(lines)
+
+
+def traced_launch(
+    collector: Optional[TraceCollector],
+    kernel,
+    device,
+    launch,
+    **kwargs,
+):
+    """Like :func:`repro.gpusim.executor.launch_kernel`, with tracing."""
+    from repro.gpusim.executor import launch_kernel
+
+    result = launch_kernel(kernel, device, launch, **kwargs)
+    if collector is not None:
+        lc = launch if launch is not None else None
+        collector.add_launch(
+            kernel.name, device.name,
+            lc.grid_dim if lc else -1, lc.block_dim if lc else -1,
+            result.stats, result.time,
+        )
+    return result

@@ -1,0 +1,41 @@
+"""PCIe host<->device transfer model (Table II's copy columns).
+
+A transfer costs a fixed latency (driver call + DMA setup) plus size over
+effective bandwidth. The paper notes the transfer share shrinks as the
+problem grows — with an 8–11 GB/s link and O(n) coordinate payloads that
+falls straight out of this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import GPUDeviceSpec
+
+
+@dataclass(frozen=True)
+class TransferBreakdown:
+    """One direction of a host<->device copy."""
+
+    total: float
+    latency: float
+    wire: float
+    bytes: int
+
+
+def transfer_time(device: GPUDeviceSpec, nbytes: int) -> TransferBreakdown:
+    """Time to move *nbytes* across PCIe in one direction."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    wire = nbytes / (device.pcie_bandwidth_gbps * 1e9)
+    return TransferBreakdown(
+        total=device.pcie_latency_s + wire,
+        latency=device.pcie_latency_s,
+        wire=wire,
+        bytes=int(nbytes),
+    )
+
+
+def round_trip_time(device: GPUDeviceSpec, h2d_bytes: int, d2h_bytes: int) -> float:
+    """Host→device upload plus device→host readback, seconds."""
+    return transfer_time(device, h2d_bytes).total + transfer_time(device, d2h_bytes).total

@@ -1,0 +1,25 @@
+"""Tour construction heuristics and richer local moves.
+
+The paper's Table II starts 2-opt from a Multiple Fragment (greedy)
+tour [Bentley 1990]; its ILS starts from a random tour; its future-work
+section names Or-opt/3-opt-style moves. All are provided here.
+"""
+
+from repro.heuristics.nearest_neighbor import nearest_neighbor_tour
+from repro.heuristics.greedy_mf import multiple_fragment_tour
+from repro.heuristics.or_opt import or_opt_pass
+from repro.heuristics.three_opt import three_opt_segment_pass
+from repro.heuristics.space_filling import hilbert_tour
+from repro.heuristics.christofides import christofides_tour
+from repro.heuristics.two_h_opt import TwoHOpt, TwoHMove
+
+__all__ = [
+    "nearest_neighbor_tour",
+    "multiple_fragment_tour",
+    "or_opt_pass",
+    "three_opt_segment_pass",
+    "hilbert_tour",
+    "christofides_tour",
+    "TwoHOpt",
+    "TwoHMove",
+]

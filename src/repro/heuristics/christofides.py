@@ -1,0 +1,63 @@
+"""Christofides' 1.5-approximation (quality reference baseline).
+
+Not in the paper — provided as the classical quality yardstick against
+which construction heuristics and 2-opt minima can be judged in the
+examples and tests. Uses networkx for the MST and the min-weight
+matching on odd-degree vertices; O(n³)-ish, intended for n ≲ 1500.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.tsplib.instance import TSPInstance
+
+
+def christofides_tour(instance: TSPInstance, *, max_n: int = 2000) -> np.ndarray:
+    """Build a Christofides tour (MST + matching + shortcut Euler walk)."""
+    import networkx as nx
+
+    coords = instance.coords
+    if coords is None:
+        raise SolverError("Christofides needs coordinates")
+    n = coords.shape[0]
+    if n > max_n:
+        raise SolverError(
+            f"Christofides is O(n^3); n={n} exceeds max_n={max_n}"
+        )
+    if n < 3:
+        return np.arange(n, dtype=np.int64)
+
+    # complete graph on true Euclidean weights
+    diff = coords[:, None, :] - coords[None, :, :]
+    w = np.sqrt((diff * diff).sum(axis=2))
+    g = nx.Graph()
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j, weight=float(w[i, j]))
+
+    mst = nx.minimum_spanning_tree(g)
+    odd = [v for v, deg in mst.degree() if deg % 2 == 1]
+    # min-weight perfect matching on the odd vertices
+    odd_graph = nx.Graph()
+    for a_idx, a in enumerate(odd):
+        for b in odd[a_idx + 1 :]:
+            odd_graph.add_edge(a, b, weight=float(w[a, b]))
+    matching = nx.min_weight_matching(odd_graph)
+
+    multigraph = nx.MultiGraph(mst)
+    for a, b in matching:
+        multigraph.add_edge(a, b, weight=float(w[a, b]))
+
+    euler = nx.eulerian_circuit(multigraph, source=0)
+    seen = np.zeros(n, dtype=bool)
+    tour = []
+    for a, _b in euler:
+        if not seen[a]:
+            seen[a] = True
+            tour.append(a)
+    for v in range(n):  # isolated corner cases
+        if not seen[v]:
+            tour.append(v)
+    return np.asarray(tour, dtype=np.int64)

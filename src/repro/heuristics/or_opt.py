@@ -1,0 +1,95 @@
+"""Or-opt: relocate short segments (1–3 cities) elsewhere in the tour.
+
+One of the "more complex local search" moves the paper's future-work
+section points to. Implemented as a neighbor-list-restricted pass over
+the array tour; complements 2-opt (it can fix insertions 2-opt cannot
+express without two moves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.moves import rounded_euclidean
+from repro.tsplib.neighbors import k_nearest_neighbors
+
+
+def or_opt_pass(
+    coords: np.ndarray,
+    order: np.ndarray,
+    *,
+    segment_lengths: tuple[int, ...] = (1, 2, 3),
+    neighbor_k: int = 8,
+) -> tuple[np.ndarray, int]:
+    """One Or-opt improvement pass.
+
+    For each tour segment of the given lengths, try re-inserting it after
+    each of the k nearest neighbors of its first city; apply the first
+    improving relocation found per segment. Returns the (possibly new)
+    order and the total gain achieved (>= 0; gain is length *removed*).
+    """
+    c = np.ascontiguousarray(coords, dtype=np.float32)
+    order = np.asarray(order, dtype=np.int64).copy()
+    n = order.size
+    if n < 5:
+        return order, 0
+    knn = k_nearest_neighbors(c, neighbor_k)
+
+    pos_of = np.empty(n, dtype=np.int64)
+    pos_of[order] = np.arange(n)
+
+    def d(a: int, b: int) -> int:
+        return int(rounded_euclidean(c[a][None, :], c[b][None, :])[0])
+
+    total_gain = 0
+    for seg_len in segment_lengths:
+        p = 0
+        while p < n:
+            # segment occupies positions p .. p+seg_len-1
+            if p + seg_len >= n:  # keep the wrap case out of this pass
+                break
+            s_first = int(order[p])
+            s_last = int(order[p + seg_len - 1])
+            before = int(order[(p - 1) % n])
+            after = int(order[(p + seg_len) % n])
+            removed = d(before, s_first) + d(s_last, after) - d(before, after)
+            if removed <= 0:
+                p += 1
+                continue
+            best_gain = 0
+            best_after_city = -1
+            for cand in knn[s_first]:
+                cand = int(cand)
+                cp = int(pos_of[cand])
+                # insertion point must be outside the segment and not the
+                # position directly before it (that is a no-op)
+                if p - 1 <= cp <= p + seg_len - 1:
+                    continue
+                nxt = int(order[(cp + 1) % n])
+                if nxt == s_first:
+                    continue
+                added = d(cand, s_first) + d(s_last, nxt) - d(cand, nxt)
+                gain = removed - added
+                if gain > best_gain:
+                    best_gain = gain
+                    best_after_city = cand
+            if best_after_city >= 0:
+                order = _relocate(order, p, seg_len, int(pos_of[best_after_city]))
+                pos_of[order] = np.arange(n)
+                total_gain += best_gain
+                # stay at the same position; contents changed
+            else:
+                p += 1
+    return order, total_gain
+
+
+def _relocate(order: np.ndarray, p: int, seg_len: int, after_pos: int) -> np.ndarray:
+    """Move order[p:p+seg_len] to directly follow position after_pos."""
+    seg = order[p : p + seg_len].copy()
+    rest = np.concatenate([order[:p], order[p + seg_len :]])
+    # position of the insertion anchor within `rest`
+    if after_pos < p:
+        anchor = after_pos
+    else:
+        anchor = after_pos - seg_len
+    return np.concatenate([rest[: anchor + 1], seg, rest[anchor + 1 :]])

@@ -1,0 +1,66 @@
+"""Space-filling-curve tour construction (Hilbert order).
+
+An O(n log n) constructor that produces surprisingly good tours for very
+large instances — the practical choice for the 100k+-city rows of
+Table II, where even Multiple Fragment's k-NN machinery gets expensive.
+Sorting cities along a Hilbert curve preserves spatial locality, so the
+resulting tour is a reasonable 2-opt starting point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.tsplib.instance import TSPInstance
+
+#: Hilbert-curve resolution: the plane is quantized to 2^ORDER x 2^ORDER.
+DEFAULT_ORDER = 16
+
+
+def hilbert_d(x: np.ndarray, y: np.ndarray, order: int) -> np.ndarray:
+    """Vectorized (x, y) → Hilbert-curve distance for a 2^order grid.
+
+    Classic bit-twiddling transcribed to whole-array numpy ops (HPC
+    guide: vectorize the loop over *points*, keep the short loop over
+    *bits* in Python — it runs `order` times, not `n` times).
+    """
+    if order < 1 or order > 31:
+        raise ValueError("order must be in [1, 31]")
+    rx = np.zeros_like(x)
+    ry = np.zeros_like(y)
+    x = x.copy()
+    y = y.copy()
+    d = np.zeros(x.shape, dtype=np.int64)
+    s = 1 << (order - 1)
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # rotate quadrant
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        x_f = x.copy()
+        x = np.where(flip, s - 1 - x, x)
+        y = np.where(flip, s - 1 - y, y)
+        x2 = np.where(swap, y, x)
+        y2 = np.where(swap, x, y)
+        x, y = x2, y2
+        s >>= 1
+    return d
+
+
+def hilbert_tour(instance: TSPInstance, *, order: int = DEFAULT_ORDER) -> np.ndarray:
+    """Tour visiting cities in Hilbert-curve order."""
+    coords = instance.coords
+    if coords is None:
+        raise SolverError("space-filling construction needs coordinates")
+    n = coords.shape[0]
+    lo = coords.min(axis=0)
+    hi = coords.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    grid = (1 << order) - 1
+    q = ((coords - lo) / span * grid).astype(np.int64)
+    d = hilbert_d(q[:, 0], q[:, 1], order)
+    # stable sort: collisions (same cell) keep index order, deterministic
+    return np.argsort(d, kind="stable").astype(np.int64)

@@ -1,0 +1,89 @@
+"""A restricted 3-opt pass (the paper's future-work direction).
+
+Full 3-opt is O(n³); this implements the standard "segment re-insertion
+with reversal" subset (sometimes called 2.5-opt / or-3opt): for each pair
+of removed edges it additionally considers reinserting the intermediate
+segment reversed — the cheapest 3-opt reconnection family beyond pure
+2-opt — restricted to k-nearest-neighbor candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.moves import rounded_euclidean
+from repro.tsplib.neighbors import k_nearest_neighbors
+
+
+def three_opt_segment_pass(
+    coords: np.ndarray,
+    order: np.ndarray,
+    *,
+    neighbor_k: int = 6,
+    max_segment: int = 20,
+) -> tuple[np.ndarray, int]:
+    """One restricted 3-opt pass: relocate+reverse short segments.
+
+    Returns the improved order and total gain. Complexity is
+    O(n · k · max_segment).
+    """
+    c = np.ascontiguousarray(coords, dtype=np.float32)
+    order = np.asarray(order, dtype=np.int64).copy()
+    n = order.size
+    if n < 6:
+        return order, 0
+    knn = k_nearest_neighbors(c, neighbor_k)
+    pos_of = np.empty(n, dtype=np.int64)
+    pos_of[order] = np.arange(n)
+
+    def d(a: int, b: int) -> int:
+        return int(rounded_euclidean(c[a][None, :], c[b][None, :])[0])
+
+    total_gain = 0
+    p = 1
+    while p < n - 2:
+        improved = False
+        for seg_len in (2, 3):
+            if p + seg_len >= n:
+                continue
+            if seg_len > max_segment:
+                continue
+            s = [int(x) for x in order[p : p + seg_len]]
+            before = int(order[p - 1])
+            after = int(order[p + seg_len])
+            removed = d(before, s[0]) + d(s[-1], after) - d(before, after)
+            if removed <= 0:
+                continue
+            for cand in knn[s[0]]:
+                cand = int(cand)
+                cp = int(pos_of[cand])
+                if p - 1 <= cp <= p + seg_len:
+                    continue
+                nxt = int(order[(cp + 1) % n])
+                if nxt in s or cand in s:
+                    continue
+                # forward insertion
+                add_fwd = d(cand, s[0]) + d(s[-1], nxt) - d(cand, nxt)
+                # reversed insertion (the 3-opt extra over Or-opt)
+                add_rev = d(cand, s[-1]) + d(s[0], nxt) - d(cand, nxt)
+                reverse = add_rev < add_fwd
+                added = min(add_fwd, add_rev)
+                gain = removed - added
+                if gain > 0:
+                    seg = order[p : p + seg_len].copy()
+                    if reverse:
+                        seg = seg[::-1]
+                    rest = np.concatenate([order[:p], order[p + seg_len :]])
+                    anchor = cp if cp < p else cp - seg_len
+                    order = np.concatenate(
+                        [rest[: anchor + 1], seg, rest[anchor + 1 :]]
+                    )
+                    pos_of[order] = np.arange(n)
+                    total_gain += gain
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            p += 1
+    return order, total_gain

@@ -1,0 +1,41 @@
+"""Iterated Local Search (Algorithm 1 of the paper).
+
+The paper's headline convergence results (Fig. 11, "up to 300× faster
+than sequential CPU") come from embedding the accelerated 2-opt inside
+ILS: perturb the incumbent with a double-bridge kick, re-optimize, accept
+if better.
+"""
+
+from repro.ils.acceptance import AcceptanceCriterion, BetterAcceptance, EpsilonAcceptance
+from repro.ils.perturbation import (
+    AdaptivePerturbation,
+    DoubleBridgePerturbation,
+    SegmentReversalPerturbation,
+)
+from repro.ils.termination import (
+    IterationLimit,
+    ModeledTimeLimit,
+    NoImprovementLimit,
+    TerminationCondition,
+    WallClockLimit,
+)
+from repro.ils.ils import IteratedLocalSearch, ILSResult
+from repro.ils.ihc import IteratedHillClimbing, IHCResult
+
+__all__ = [
+    "AcceptanceCriterion",
+    "BetterAcceptance",
+    "EpsilonAcceptance",
+    "AdaptivePerturbation",
+    "DoubleBridgePerturbation",
+    "SegmentReversalPerturbation",
+    "IterationLimit",
+    "ModeledTimeLimit",
+    "NoImprovementLimit",
+    "TerminationCondition",
+    "WallClockLimit",
+    "IteratedLocalSearch",
+    "ILSResult",
+    "IteratedHillClimbing",
+    "IHCResult",
+]

@@ -1,0 +1,56 @@
+"""ILS acceptance criteria (Algorithm 1, line 7)."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+
+class AcceptanceCriterion(Protocol):
+    """Decides whether the re-optimized candidate replaces the incumbent."""
+
+    def accept(self, incumbent_length: int, candidate_length: int,
+               rng: np.random.Generator) -> bool: ...
+
+
+class BetterAcceptance:
+    """Accept only strict improvements — the classic ILS-Better rule."""
+
+    def accept(self, incumbent_length: int, candidate_length: int,
+               rng: np.random.Generator) -> bool:
+        return candidate_length < incumbent_length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BetterAcceptance()"
+
+
+class EpsilonAcceptance:
+    """Accept candidates within ``epsilon`` (relative) of the incumbent.
+
+    A mild diversification: lets the search drift across plateaus. With
+    ``epsilon=0`` it accepts equal-length candidates too.
+    """
+
+    def __init__(self, epsilon: float = 0.02) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+
+    def accept(self, incumbent_length: int, candidate_length: int,
+               rng: np.random.Generator) -> bool:
+        return candidate_length <= incumbent_length * (1.0 + self.epsilon)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EpsilonAcceptance(epsilon={self.epsilon})"
+
+
+class RandomWalkAcceptance:
+    """Always accept — turns ILS into a random walk over local minima."""
+
+    def accept(self, incumbent_length: int, candidate_length: int,
+               rng: np.random.Generator) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "RandomWalkAcceptance()"

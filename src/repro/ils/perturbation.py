@@ -1,0 +1,86 @@
+"""ILS perturbation operators (Algorithm 1, line 5)."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.tour.operations import double_bridge, segment_reversal_perturbation
+
+
+class Perturbation(Protocol):
+    """Maps an incumbent permutation to a perturbed copy."""
+
+    def __call__(self, order: np.ndarray, rng: np.random.Generator) -> np.ndarray: ...
+
+
+class DoubleBridgePerturbation:
+    """The paper's kick: a random double-bridge 4-opt move (§V).
+
+    ``kicks`` applies several independent double bridges for a stronger
+    perturbation on large instances.
+    """
+
+    def __init__(self, kicks: int = 1) -> None:
+        if kicks < 1:
+            raise ValueError("kicks must be >= 1")
+        self.kicks = kicks
+
+    def __call__(self, order: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = order
+        for _ in range(self.kicks):
+            out = double_bridge(out, rng)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DoubleBridgePerturbation(kicks={self.kicks})"
+
+
+class SegmentReversalPerturbation:
+    """Weaker kick: reverse a random segment (a random 2-opt move)."""
+
+    def __call__(self, order: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return segment_reversal_perturbation(order, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SegmentReversalPerturbation()"
+
+
+class AdaptivePerturbation:
+    """Stall-adaptive kick strength — a standard ILS refinement.
+
+    Starts with a single double bridge; every ``patience`` consecutive
+    non-improving calls escalates to one more simultaneous bridge (up to
+    ``max_kicks``), and any improvement resets to one. The caller signals
+    progress through :meth:`notify`.
+    """
+
+    def __init__(self, *, patience: int = 5, max_kicks: int = 4) -> None:
+        if patience < 1 or max_kicks < 1:
+            raise ValueError("patience and max_kicks must be >= 1")
+        self.patience = patience
+        self.max_kicks = max_kicks
+        self.kicks = 1
+        self._stall = 0
+
+    def notify(self, improved: bool) -> None:
+        """Tell the operator whether the last ILS iteration improved."""
+        if improved:
+            self.kicks = 1
+            self._stall = 0
+            return
+        self._stall += 1
+        if self._stall >= self.patience and self.kicks < self.max_kicks:
+            self.kicks += 1
+            self._stall = 0
+
+    def __call__(self, order: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = order
+        for _ in range(self.kicks):
+            out = double_bridge(out, rng)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AdaptivePerturbation(kicks={self.kicks}, "
+                f"patience={self.patience}, max_kicks={self.max_kicks})")

@@ -1,0 +1,85 @@
+"""ILS termination conditions (Algorithm 1, line 4)."""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class TerminationCondition(Protocol):
+    """Queried once per ILS iteration with the current search state."""
+
+    def should_stop(self, *, iteration: int, modeled_seconds: float,
+                    wall_seconds: float, iterations_since_improvement: int) -> bool: ...
+
+
+class IterationLimit:
+    """Stop after a fixed number of ILS iterations."""
+
+    def __init__(self, max_iterations: int) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.max_iterations = max_iterations
+
+    def should_stop(self, *, iteration: int, modeled_seconds: float,
+                    wall_seconds: float, iterations_since_improvement: int) -> bool:
+        return iteration >= self.max_iterations
+
+
+class ModeledTimeLimit:
+    """Stop once the *modeled device time* budget is exhausted.
+
+    This is how Fig. 11-style convergence curves are cut: the x-axis is
+    modeled GPU/CPU seconds, not wall time of the simulator.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        self.seconds = seconds
+
+    def should_stop(self, *, iteration: int, modeled_seconds: float,
+                    wall_seconds: float, iterations_since_improvement: int) -> bool:
+        return modeled_seconds >= self.seconds
+
+
+class WallClockLimit:
+    """Stop after real elapsed seconds (protects the benchmark harness)."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        self.seconds = seconds
+        self._t0 = time.perf_counter()
+
+    def reset(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def should_stop(self, *, iteration: int, modeled_seconds: float,
+                    wall_seconds: float, iterations_since_improvement: int) -> bool:
+        return (time.perf_counter() - self._t0) >= self.seconds
+
+
+class NoImprovementLimit:
+    """Stop after k consecutive non-improving iterations."""
+
+    def __init__(self, max_stall: int) -> None:
+        if max_stall < 1:
+            raise ValueError("max_stall must be >= 1")
+        self.max_stall = max_stall
+
+    def should_stop(self, *, iteration: int, modeled_seconds: float,
+                    wall_seconds: float, iterations_since_improvement: int) -> bool:
+        return iterations_since_improvement >= self.max_stall
+
+
+class AnyOf:
+    """Stop when any of the wrapped conditions triggers."""
+
+    def __init__(self, *conditions: TerminationCondition) -> None:
+        if not conditions:
+            raise ValueError("need at least one condition")
+        self.conditions = conditions
+
+    def should_stop(self, **state) -> bool:
+        return any(c.should_stop(**state) for c in self.conditions)

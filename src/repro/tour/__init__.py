@@ -1,0 +1,29 @@
+"""Tour representation and elementary tour operations."""
+
+from repro.tour.tour import Tour, validate_tour
+from repro.tour.operations import (
+    apply_two_opt_move,
+    double_bridge,
+    random_tour,
+    reverse_segment,
+    segment_reversal_perturbation,
+)
+from repro.tour.doubly_linked import DoublyLinkedTour
+from repro.tour.verify import VerificationReport, tours_equivalent, verify_solution
+from repro.tour.render_svg import save_tour_svg, tour_to_svg
+
+__all__ = [
+    "Tour",
+    "validate_tour",
+    "apply_two_opt_move",
+    "double_bridge",
+    "random_tour",
+    "reverse_segment",
+    "segment_reversal_perturbation",
+    "DoublyLinkedTour",
+    "VerificationReport",
+    "tours_equivalent",
+    "verify_solution",
+    "save_tour_svg",
+    "tour_to_svg",
+]

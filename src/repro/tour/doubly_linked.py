@@ -1,0 +1,87 @@
+"""Doubly-linked tour representation.
+
+The array tour pays O(n) per segment reversal; classic TSP codes therefore
+also maintain linked representations for move types whose reconnection does
+not need a physical reversal (Or-opt segment relocation, node insertion in
+the greedy construction). This implementation stores ``next``/``prev``
+arrays indexed by *city*, giving O(1) neighbor queries and O(k) splices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TourError
+from repro.tour.tour import validate_tour
+
+
+class DoublyLinkedTour:
+    """A tour as two int arrays ``nxt[city]`` / ``prv[city]``."""
+
+    __slots__ = ("nxt", "prv", "n")
+
+    def __init__(self, order: np.ndarray) -> None:
+        order = validate_tour(order)
+        self.n = order.size
+        self.nxt = np.empty(self.n, dtype=np.int64)
+        self.prv = np.empty(self.n, dtype=np.int64)
+        self.nxt[order] = np.roll(order, -1)
+        self.prv[order] = np.roll(order, 1)
+
+    # -- queries -----------------------------------------------------------
+
+    def successor(self, city: int) -> int:
+        return int(self.nxt[city])
+
+    def predecessor(self, city: int) -> int:
+        return int(self.prv[city])
+
+    def to_order(self, start: int = 0) -> np.ndarray:
+        """Materialize the permutation array, beginning at *start*."""
+        out = np.empty(self.n, dtype=np.int64)
+        c = start
+        for k in range(self.n):
+            out[k] = c
+            c = int(self.nxt[c])
+        if c != start:
+            raise TourError("linked tour is not a single cycle")
+        return out
+
+    def is_consistent(self) -> bool:
+        """True iff nxt/prv are inverse permutations forming one cycle."""
+        if not np.array_equal(self.prv[self.nxt], np.arange(self.n)):
+            return False
+        # single-cycle check via traversal
+        seen = np.zeros(self.n, dtype=bool)
+        c = 0
+        for _ in range(self.n):
+            if seen[c]:
+                return False
+            seen[c] = True
+            c = int(self.nxt[c])
+        return c == 0 and bool(seen.all())
+
+    # -- mutations ---------------------------------------------------------
+
+    def relocate_segment(self, seg_start: int, seg_end: int, after: int) -> None:
+        """Move the chain ``seg_start → … → seg_end`` to follow *after*.
+
+        The chain is spliced out (its internal links untouched) and
+        re-inserted between *after* and its successor — the Or-opt move.
+        *after* must not lie inside the segment.
+        """
+        if after == seg_start or after == seg_end:
+            raise TourError("cannot relocate a segment after itself")
+        a = int(self.prv[seg_start])
+        b = int(self.nxt[seg_end])
+        if a == seg_end:
+            raise TourError("segment covers the whole tour")
+        # splice out
+        self.nxt[a] = b
+        self.prv[b] = a
+        # splice in after `after`
+        c = int(self.nxt[after])
+        self.nxt[after] = seg_start
+        self.prv[seg_start] = after
+        self.nxt[seg_end] = c
+        self.prv[c] = seg_end

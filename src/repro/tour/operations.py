@@ -1,0 +1,75 @@
+"""Elementary tour operations: 2-opt application, perturbations.
+
+These operate on bare permutation arrays so the hot loops in the solvers
+avoid object overhead; :class:`repro.tour.Tour` wraps them for users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TourError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def reverse_segment(order: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Return *order* with positions ``start..stop`` (inclusive) reversed."""
+    n = order.size
+    if not (0 <= start <= stop < n):
+        raise TourError(f"invalid segment [{start}, {stop}] for n={n}")
+    out = order.copy()
+    out[start : stop + 1] = out[start : stop + 1][::-1]
+    return out
+
+
+def apply_two_opt_move(order: np.ndarray, i: int, j: int) -> np.ndarray:
+    """Apply the 2-opt move (i, j): remove edges (i,i+1) and (j,j+1).
+
+    Positions are tour positions with ``0 <= i < j < n``; the segment
+    ``i+1 .. j`` is reversed, reconnecting as (i,j) and (i+1,j+1) — the
+    unique valid reconnection (paper Fig. 1/2).
+    """
+    n = order.size
+    if not (0 <= i < j < n):
+        raise TourError(f"invalid 2-opt positions ({i}, {j}) for n={n}")
+    return reverse_segment(order, i + 1, j)
+
+
+def random_tour(n: int, seed: SeedLike = None) -> np.ndarray:
+    """A uniformly random tour over *n* cities."""
+    if n < 1:
+        raise TourError("n must be positive")
+    rng = ensure_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def double_bridge(order: np.ndarray, seed: SeedLike = None) -> np.ndarray:
+    """The double-bridge 4-opt perturbation used by the paper's ILS (§V).
+
+    Cuts the tour into four segments A|B|C|D at three random points and
+    reconnects them as A|C|B|D. This is the classic ILS kick: it cannot be
+    undone by any single 2-opt move, so the search escapes the local
+    minimum, yet it only changes 4 edges (O(1) damage).
+    """
+    n = order.size
+    if n < 8:
+        # With fewer than 8 cities distinct cut points may not exist;
+        # fall back to a random 2-opt-style segment reversal.
+        return segment_reversal_perturbation(order, seed)
+    rng = ensure_rng(seed)
+    cuts = np.sort(rng.choice(np.arange(1, n), size=3, replace=False))
+    p1, p2, p3 = (int(c) for c in cuts)
+    return np.concatenate(
+        [order[:p1], order[p2:p3], order[p1:p2], order[p3:]]
+    )
+
+
+def segment_reversal_perturbation(order: np.ndarray, seed: SeedLike = None) -> np.ndarray:
+    """Reverse a random proper segment — a weaker perturbation fallback."""
+    n = order.size
+    if n < 4:
+        return order.copy()
+    rng = ensure_rng(seed)
+    i = int(rng.integers(0, n - 2))
+    j = int(rng.integers(i + 1, n - 1))
+    return reverse_segment(order, i + 1, j) if j > i else order.copy()

@@ -1,0 +1,82 @@
+"""Dependency-free SVG rendering of tours.
+
+Handy for eyeballing solver output (examples write these next to their
+``.tour`` files) and for documentation. Produces a self-contained SVG
+with the tour polyline and optional city markers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TourError
+from repro.tour.tour import validate_tour
+
+
+def tour_to_svg(
+    coords: np.ndarray,
+    order: np.ndarray,
+    *,
+    width: int = 800,
+    height: int = 800,
+    margin: int = 20,
+    stroke: str = "#1f77b4",
+    stroke_width: float = 1.0,
+    show_cities: bool = True,
+    city_radius: float = 1.5,
+    title: Optional[str] = None,
+) -> str:
+    """Render the closed tour as an SVG document string."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise TourError(f"coords must be (n, 2), got {coords.shape}")
+    order = validate_tour(order, coords.shape[0])
+    if width <= 2 * margin or height <= 2 * margin:
+        raise ValueError("canvas too small for the margin")
+
+    lo = coords.min(axis=0)
+    hi = coords.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    scale = min((width - 2 * margin) / span[0], (height - 2 * margin) / span[1])
+    pts = (coords - lo) * scale
+    # flip y: SVG origin is top-left
+    pts[:, 1] = (hi[1] - lo[1]) * scale - pts[:, 1]
+    pts += margin
+
+    path = pts[order]
+    points_attr = " ".join(f"{x:.2f},{y:.2f}" for x, y in path)
+    closing = f"{path[0, 0]:.2f},{path[0, 1]:.2f}"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+    ]
+    if title:
+        parts.append(f"<title>{_escape(title)}</title>")
+    parts.append(
+        f'<polyline points="{points_attr} {closing}" fill="none" '
+        f'stroke="{stroke}" stroke-width="{stroke_width}" '
+        f'stroke-linejoin="round"/>'
+    )
+    if show_cities:
+        parts.append('<g fill="#d62728">')
+        for x, y in pts:
+            parts.append(f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{city_radius}"/>')
+        parts.append("</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def save_tour_svg(path, coords: np.ndarray, order: np.ndarray, **kwargs) -> None:
+    """Write the SVG to *path*."""
+    svg = tour_to_svg(coords, order, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)

@@ -1,0 +1,124 @@
+"""Array-based tour with validation and cached length."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TourError
+from repro.tsplib.instance import TSPInstance
+
+
+def validate_tour(order: np.ndarray, n: Optional[int] = None) -> np.ndarray:
+    """Validate that *order* is a permutation of ``0..len-1``; return int64 copy."""
+    arr = np.asarray(order)
+    if arr.ndim != 1:
+        raise TourError(f"tour must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise TourError("tour must be non-empty")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(np.equal(np.mod(arr, 1), 0)):
+            raise TourError("tour contains non-integer entries")
+    arr = arr.astype(np.int64)
+    if n is not None and arr.size != n:
+        raise TourError(f"tour has {arr.size} cities, instance has {n}")
+    seen = np.zeros(arr.size, dtype=bool)
+    if arr.min() < 0 or arr.max() >= arr.size:
+        raise TourError("tour entries out of range")
+    seen[arr] = True
+    if not seen.all():
+        raise TourError("tour is not a permutation (duplicate/missing cities)")
+    return arr
+
+
+class Tour:
+    """A closed tour over a :class:`TSPInstance`.
+
+    The tour is stored as a permutation ``order`` of city indices; the edge
+    set is ``(order[k], order[k+1])`` plus the closing edge. Length is
+    computed lazily and cached; any mutation invalidates the cache.
+    """
+
+    __slots__ = ("instance", "_order", "_length")
+
+    def __init__(self, instance: TSPInstance, order: np.ndarray) -> None:
+        self.instance = instance
+        self._order = validate_tour(order, instance.n)
+        self._length: Optional[int] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls, instance: TSPInstance) -> "Tour":
+        """The tour visiting cities in index order (0, 1, ..., n-1)."""
+        return cls(instance, np.arange(instance.n, dtype=np.int64))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def order(self) -> np.ndarray:
+        """Read-only view of the permutation."""
+        v = self._order.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def n(self) -> int:
+        return self._order.size
+
+    def length(self) -> int:
+        """Closed tour length under the instance metric (cached)."""
+        if self._length is None:
+            self._length = self.instance.tour_length(self._order)
+        return self._length
+
+    def ordered_coords(self, dtype=np.float32) -> np.ndarray:
+        """Coordinates re-ordered along the route — the paper's Optimization 2.
+
+        This is exactly the host-side pre-ordering of Fig. 6: the GPU then
+        indexes ``ordered[k]`` instead of ``coords[route[k]]``.
+        """
+        coords = self.instance.coords
+        if coords is None:
+            raise TourError("instance has no coordinates")
+        return np.ascontiguousarray(coords[self._order], dtype=dtype)
+
+    def copy(self) -> "Tour":
+        """An independent copy sharing the instance."""
+        t = Tour.__new__(Tour)
+        t.instance = self.instance
+        t._order = self._order.copy()
+        t._length = self._length
+        return t
+
+    # -- mutation ----------------------------------------------------------
+
+    def set_order(self, order: np.ndarray) -> None:
+        self._order = validate_tour(order, self.instance.n)
+        self._length = None
+
+    def reverse_inplace(self, i: int, j: int) -> None:
+        """Reverse positions ``i+1 .. j`` inclusive (a 2-opt move at (i, j))."""
+        if not (0 <= i < j < self.n):
+            raise TourError(f"invalid 2-opt positions ({i}, {j}) for n={self.n}")
+        self._order[i + 1 : j + 1] = self._order[i + 1 : j + 1][::-1]
+        self._length = None
+
+    # -- comparisons / dunder ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tour):
+            return NotImplemented
+        return self.instance is other.instance and np.array_equal(
+            self._order, other._order
+        )
+
+    def __hash__(self):  # tours are mutable
+        raise TypeError("Tour is unhashable (mutable)")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tour(n={self.n}, instance={self.instance.name!r})"

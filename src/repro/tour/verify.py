@@ -1,0 +1,98 @@
+"""Verification utilities: certify solver outputs independently.
+
+These are deliberately implemented *against different code paths* than
+the solvers use (float64 canonical metric, exhaustive scans) so tests
+and benches can certify results rather than re-assert the solver's own
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.moves import best_move
+from repro.tour.tour import validate_tour
+from repro.tsplib.instance import TSPInstance
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying one proposed solution."""
+
+    valid_permutation: bool
+    canonical_length: Optional[int]
+    is_two_opt_minimum: Optional[bool]
+    worst_remaining_gain: Optional[int]
+
+    @property
+    def ok(self) -> bool:
+        return self.valid_permutation and (self.is_two_opt_minimum is not False)
+
+
+def verify_solution(
+    instance: TSPInstance,
+    order: np.ndarray,
+    *,
+    check_local_minimum: bool = True,
+    expected_length: Optional[int] = None,
+    length_tolerance: Optional[int] = None,
+) -> VerificationReport:
+    """Independently verify a tour returned by any solver.
+
+    Checks: permutation validity, canonical (float64) length versus the
+    solver-reported one (the float32 GPU pipeline may differ by a few
+    units of rounding — *length_tolerance* defaults to n), and, when
+    requested, 2-opt local minimality under the float32 kernel
+    arithmetic (an exhaustive O(n²) scan).
+    """
+    try:
+        arr = validate_tour(order, instance.n)
+    except Exception:
+        return VerificationReport(
+            valid_permutation=False, canonical_length=None,
+            is_two_opt_minimum=None, worst_remaining_gain=None,
+        )
+
+    canonical = int(instance.tour_length(arr))
+    if expected_length is not None:
+        tol = instance.n if length_tolerance is None else length_tolerance
+        if abs(canonical - expected_length) > tol:
+            return VerificationReport(
+                valid_permutation=True, canonical_length=canonical,
+                is_two_opt_minimum=None, worst_remaining_gain=None,
+            )
+
+    is_min: Optional[bool] = None
+    worst: Optional[int] = None
+    if check_local_minimum and instance.coords is not None:
+        ordered = instance.coords[arr].astype(np.float32)
+        mv = best_move(ordered)
+        is_min = mv.delta >= 0
+        worst = int(min(mv.delta, 0))
+    return VerificationReport(
+        valid_permutation=True, canonical_length=canonical,
+        is_two_opt_minimum=is_min, worst_remaining_gain=worst,
+    )
+
+
+def tours_equivalent(a: np.ndarray, b: np.ndarray) -> bool:
+    """True iff two tours describe the same cyclic sequence (up to
+    rotation and direction) — equality modulo the tour's symmetries."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.size != b.size or a.size == 0:
+        return False
+    n = a.size
+    # rotate both to start at city 0
+    if not (0 in a and 0 in b):
+        return False
+    ra = np.roll(a, -int(np.where(a == 0)[0][0]))
+    rb = np.roll(b, -int(np.where(b == 0)[0][0]))
+    if np.array_equal(ra, rb):
+        return True
+    # reversed direction: reverse rb (keeping city 0 first)
+    rb_rev = np.roll(rb[::-1], 1)
+    return np.array_equal(ra, rb_rev)

@@ -1,0 +1,61 @@
+"""TSPLIB95 substrate: parsing, distance metrics, instances, generators.
+
+The paper evaluates on TSPLIB instances (Reinelt 1991). This package
+implements the TSPLIB95 file grammar and distance functions from scratch,
+plus a deterministic synthetic generator used when the original data files
+are not available (see DESIGN.md, "Hardware/data gates and substitutions").
+"""
+
+from repro.tsplib.distances import (
+    EdgeWeightType,
+    att_distance,
+    ceil2d_distance,
+    euc2d_distance,
+    geo_distance,
+    man2d_distance,
+    max2d_distance,
+    pairwise_distance_matrix,
+    tour_length,
+)
+from repro.tsplib.instance import TSPInstance
+from repro.tsplib.parser import loads_tsplib, load_tsplib, parse_tour_file
+from repro.tsplib.writer import dumps_tsplib, dump_tsplib, dumps_tour
+from repro.tsplib.catalog import (
+    PAPER_INSTANCES,
+    PaperInstanceInfo,
+    instance_info,
+    table1_instances,
+    table2_instances,
+)
+from repro.tsplib.generators import (
+    generate_instance,
+    synthesize_paper_instance,
+)
+from repro.tsplib.neighbors import k_nearest_neighbors
+
+__all__ = [
+    "EdgeWeightType",
+    "TSPInstance",
+    "att_distance",
+    "ceil2d_distance",
+    "euc2d_distance",
+    "geo_distance",
+    "man2d_distance",
+    "max2d_distance",
+    "pairwise_distance_matrix",
+    "tour_length",
+    "loads_tsplib",
+    "load_tsplib",
+    "parse_tour_file",
+    "dumps_tsplib",
+    "dump_tsplib",
+    "dumps_tour",
+    "PAPER_INSTANCES",
+    "PaperInstanceInfo",
+    "instance_info",
+    "table1_instances",
+    "table2_instances",
+    "generate_instance",
+    "synthesize_paper_instance",
+    "k_nearest_neighbors",
+]

@@ -1,0 +1,121 @@
+"""Registry of the TSPLIB / VLSI instances used in the paper's evaluation.
+
+Table I of the paper uses 12 instances (kroE100 … fnl4461) to illustrate
+LUT-vs-coordinates memory; Table II evaluates 27 instances from berlin52
+(52 cities) up to lrb744710 (744 710 cities). The original data files are
+not redistributable and the environment has no network access, so each
+entry also records a *distribution class* used by
+:func:`repro.tsplib.generators.synthesize_paper_instance` to produce a
+synthetic stand-in of the same size and point geometry (see DESIGN.md §2).
+
+``bks`` is the best-known-solution length of the *real* instance, kept for
+reference and used only when a real ``.tsp`` file is loaded from disk;
+synthetic stand-ins are always evaluated against their own baselines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class DistributionClass(str, enum.Enum):
+    """Point-geometry family used for synthetic stand-ins."""
+
+    UNIFORM = "uniform"          # kro*, ch*, fnl* style: uniform random
+    CLUSTERED = "clustered"      # pr*, vm*, fl*, rl* style: clustered
+    GRID = "grid"                # rat*, pcb*, ts*, VLSI (sra/ara/lr*) style
+    GEO_CLUSTERED = "geo"        # usa*, sw*, d* style: geography-like
+
+
+@dataclass(frozen=True)
+class PaperInstanceInfo:
+    """Catalog row: one instance referenced in the paper's tables."""
+
+    name: str
+    n: int
+    distribution: DistributionClass
+    bks: Optional[int]
+    in_table1: bool
+    in_table2: bool
+
+    @property
+    def pair_count(self) -> int:
+        """Distinct 2-opt edge pairs: (n-2)(n-3)/2 + boundary pairs ≈ n(n-1)/2.
+
+        The paper approximates this as ``(N-3)(N-2)/2`` in §IV and as
+        ``n(n-1)/2`` in the per-thread iteration formula; we use the exact
+        count of evaluated cells of the strict lower triangle, n(n-1)/2,
+        which matches the kernel's job space (Fig. 3).
+        """
+        return self.n * (self.n - 1) // 2
+
+
+def _row(name, n, dist, bks, t1=False, t2=True) -> PaperInstanceInfo:
+    return PaperInstanceInfo(
+        name=name, n=n, distribution=dist, bks=bks, in_table1=t1, in_table2=t2
+    )
+
+
+_U = DistributionClass.UNIFORM
+_C = DistributionClass.CLUSTERED
+_G = DistributionClass.GRID
+_GEO = DistributionClass.GEO_CLUSTERED
+
+#: All instances appearing in the paper, in Table II row order.
+PAPER_INSTANCES: tuple[PaperInstanceInfo, ...] = (
+    _row("berlin52", 52, _U, 7542),
+    _row("kroE100", 100, _U, 22068, t1=True),
+    _row("ch130", 130, _U, 6110, t1=True),
+    _row("ch150", 150, _U, 6528, t1=True),
+    _row("kroA200", 200, _U, 29368, t1=True),
+    _row("ts225", 225, _G, 126643, t1=True),
+    _row("pr299", 299, _C, 48191, t1=True),
+    _row("pr439", 439, _C, 107217, t1=True),
+    _row("rat783", 783, _G, 8806, t1=True),
+    _row("vm1084", 1084, _C, 239297, t1=True),
+    _row("pr2392", 2392, _C, 378032, t1=True),
+    _row("pcb3038", 3038, _G, 137694, t1=True),
+    _row("fl3795", 3795, _C, 28772),
+    _row("fnl4461", 4461, _U, 182566, t1=True),
+    _row("rl5915", 5915, _C, 565530),
+    _row("pla7397", 7397, _C, 23260728),
+    _row("usa13509", 13509, _GEO, 19982859),
+    _row("d15112", 15112, _GEO, 1573084),
+    _row("d18512", 18512, _GEO, 645238),
+    _row("sw24978", 24978, _GEO, 855597),
+    _row("pla33810", 33810, _C, 66048945),
+    _row("pla85900", 85900, _C, 142382641),
+    _row("sra104815", 104815, _G, None),
+    _row("usa115475", 115475, _GEO, None),
+    _row("ara238025", 238025, _G, None),
+    _row("lra498378", 498378, _G, None),
+    _row("lrb744710", 744710, _G, None),
+)
+
+_BY_NAME = {info.name.lower(): info for info in PAPER_INSTANCES}
+
+
+def instance_info(name: str) -> PaperInstanceInfo:
+    """Look up a catalog row by (case-insensitive) instance name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"{name!r} is not one of the paper's instances; "
+            f"known: {', '.join(sorted(_BY_NAME))}"
+        ) from exc
+
+
+def table1_instances() -> list[PaperInstanceInfo]:
+    """The 12 instances of the paper's Table I, in order."""
+    return [info for info in PAPER_INSTANCES if info.in_table1]
+
+
+def table2_instances(max_n: Optional[int] = None) -> list[PaperInstanceInfo]:
+    """The 27 instances of the paper's Table II, optionally size-capped."""
+    rows = [info for info in PAPER_INSTANCES if info.in_table2]
+    if max_n is not None:
+        rows = [info for info in rows if info.n <= max_n]
+    return rows

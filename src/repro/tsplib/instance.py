@@ -1,0 +1,120 @@
+"""The :class:`TSPInstance` container used throughout the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TSPLIBError
+from repro.tsplib.distances import (
+    EdgeWeightType,
+    metric_function,
+    pairwise_distance_matrix,
+    tour_length,
+)
+
+
+@dataclass
+class TSPInstance:
+    """A symmetric TSP instance.
+
+    Attributes
+    ----------
+    name:
+        Instance name (e.g. ``"kroA200"`` or ``"synthetic-uniform-1000"``).
+    coords:
+        ``(n, 2)`` float64 node coordinates (row *i* is city *i*).
+        ``None`` only for EXPLICIT-matrix instances.
+    metric:
+        TSPLIB edge weight type.
+    comment:
+        Free-form provenance (TSPLIB COMMENT line or generator parameters).
+    explicit_matrix:
+        Full distance matrix for ``EdgeWeightType.EXPLICIT`` instances.
+    """
+
+    name: str
+    coords: Optional[np.ndarray]
+    metric: EdgeWeightType = EdgeWeightType.EUC_2D
+    comment: str = ""
+    explicit_matrix: Optional[np.ndarray] = None
+    _dist_func: object = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.coords is None and self.explicit_matrix is None:
+            raise TSPLIBError("instance needs coordinates or an explicit matrix")
+        if self.coords is not None:
+            self.coords = np.ascontiguousarray(self.coords, dtype=np.float64)
+            if self.coords.ndim != 2 or self.coords.shape[1] != 2:
+                raise TSPLIBError(
+                    f"coords must have shape (n, 2), got {self.coords.shape}"
+                )
+        if self.explicit_matrix is not None:
+            self.explicit_matrix = np.asarray(self.explicit_matrix, dtype=np.int64)
+            m = self.explicit_matrix
+            if m.ndim != 2 or m.shape[0] != m.shape[1]:
+                raise TSPLIBError("explicit matrix must be square")
+            if not np.array_equal(m, m.T):
+                raise TSPLIBError("explicit matrix must be symmetric")
+        if self.metric is EdgeWeightType.EXPLICIT:
+            if self.explicit_matrix is None:
+                raise TSPLIBError("EXPLICIT metric requires explicit_matrix")
+        else:
+            if self.coords is None:
+                raise TSPLIBError(f"{self.metric.value} requires coordinates")
+            self._dist_func = metric_function(self.metric)
+
+    @property
+    def n(self) -> int:
+        """Number of cities."""
+        if self.coords is not None:
+            return int(self.coords.shape[0])
+        assert self.explicit_matrix is not None
+        return int(self.explicit_matrix.shape[0])
+
+    # -- distances -------------------------------------------------------
+
+    def distance(self, i, j) -> np.ndarray:
+        """Distance between cities *i* and *j* (scalars or index arrays)."""
+        if self.metric is EdgeWeightType.EXPLICIT:
+            assert self.explicit_matrix is not None
+            return self.explicit_matrix[i, j]
+        assert self.coords is not None
+        return self._dist_func(self.coords[i], self.coords[j])
+
+    def distance_matrix(self) -> np.ndarray:
+        """Full n×n LUT (O(n²) memory — see the paper's Table I)."""
+        if self.metric is EdgeWeightType.EXPLICIT:
+            assert self.explicit_matrix is not None
+            return self.explicit_matrix
+        assert self.coords is not None
+        return pairwise_distance_matrix(self.coords, self.metric)
+
+    def tour_length(self, tour: np.ndarray) -> int:
+        """Length of closed tour *tour* (a permutation of 0..n-1)."""
+        if self.metric is EdgeWeightType.EXPLICIT:
+            assert self.explicit_matrix is not None
+            t = np.asarray(tour)
+            return int(self.explicit_matrix[t, np.roll(t, -1)].sum())
+        assert self.coords is not None
+        return tour_length(self.coords, tour, self.metric)
+
+    # -- memory accounting (Table I) ---------------------------------------
+
+    def lut_bytes(self, dtype_size: int = 4) -> int:
+        """Memory needed by the O(n²) distance Look-Up Table."""
+        return self.n * self.n * dtype_size
+
+    def coords_bytes(self, dtype_size: int = 4) -> int:
+        """Memory needed by the O(n) coordinate representation (2 floats)."""
+        return 2 * self.n * dtype_size
+
+    def coords_float32(self) -> np.ndarray:
+        """Coordinates as the float32 pairs a GPU kernel would receive."""
+        assert self.coords is not None
+        return np.ascontiguousarray(self.coords, dtype=np.float32)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TSPInstance(name={self.name!r}, n={self.n}, metric={self.metric.value})"

@@ -1,0 +1,58 @@
+"""k-nearest-neighbor lists over instance coordinates.
+
+Used by the greedy / multiple-fragment construction heuristic (Bentley's
+"Experiments on traveling salesman heuristics", the paper's initial-tour
+source for Table II) and by the neighborhood-pruned 2-opt extension the
+paper suggests in §V/"Future work".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+def k_nearest_neighbors(coords: np.ndarray, k: int) -> np.ndarray:
+    """Return an ``(n, k)`` int array: the *k* nearest cities of each city.
+
+    Distances are true Euclidean (ordering is identical under EUC_2D's
+    monotone rounding for ties apart). The city itself is excluded.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 points")
+    k = min(k, n - 1)
+    tree = cKDTree(coords)
+    # query k+1 because the nearest point of each city is itself
+    _, idx = tree.query(coords, k=k + 1)
+    idx = np.atleast_2d(idx)
+    out = np.empty((n, k), dtype=np.int64)
+    for row in range(n):  # small cleanup loop; k+1 columns, not O(n^2)
+        neighbors = idx[row]
+        neighbors = neighbors[neighbors != row][:k]
+        out[row, : neighbors.size] = neighbors
+        if neighbors.size < k:  # duplicate-point corner case
+            fill = [c for c in range(n) if c != row][: k - neighbors.size]
+            out[row, neighbors.size:] = fill
+    return out
+
+
+def neighbor_pairs_sorted(coords: np.ndarray, k: int) -> np.ndarray:
+    """All (i, j) candidate edges from k-NN lists, sorted by length.
+
+    Returns an ``(m, 2)`` array with i < j, deduplicated, ordered by the
+    true edge length — the edge stream consumed by the greedy matching
+    construction.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    knn = k_nearest_neighbors(coords, k)
+    n = coords.shape[0]
+    src = np.repeat(np.arange(n), knn.shape[1])
+    dst = knn.ravel()
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    pairs = np.unique(np.column_stack([lo, hi]), axis=0)
+    d = np.linalg.norm(coords[pairs[:, 0]] - coords[pairs[:, 1]], axis=1)
+    order = np.argsort(d, kind="stable")
+    return pairs[order]

@@ -1,0 +1,193 @@
+"""TSPLIB95 file parser.
+
+Implements the keyword/value header grammar plus NODE_COORD_SECTION,
+EDGE_WEIGHT_SECTION (all symmetric EDGE_WEIGHT_FORMATs) and .tour files.
+Only symmetric TSP instances are supported — the paper's scope.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TSPLIBFormatError, UnsupportedEdgeWeightError
+from repro.tsplib.distances import EdgeWeightType
+from repro.tsplib.instance import TSPInstance
+
+_HEADER_KEYS = {
+    "NAME",
+    "TYPE",
+    "COMMENT",
+    "DIMENSION",
+    "CAPACITY",
+    "EDGE_WEIGHT_TYPE",
+    "EDGE_WEIGHT_FORMAT",
+    "EDGE_DATA_FORMAT",
+    "NODE_COORD_TYPE",
+    "DISPLAY_DATA_TYPE",
+}
+
+_SECTION_KEYS = {
+    "NODE_COORD_SECTION",
+    "EDGE_WEIGHT_SECTION",
+    "DISPLAY_DATA_SECTION",
+    "TOUR_SECTION",
+    "FIXED_EDGES_SECTION",
+    "DEPOT_SECTION",
+    "EOF",
+}
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    """Yield (kind, payload) events: headers, section starts, data lines."""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper in _SECTION_KEYS:
+            yield "section", upper
+            continue
+        if ":" in line:
+            key, _, value = line.partition(":")
+            key = key.strip().upper()
+            if key in _HEADER_KEYS:
+                yield "header", f"{key}\x00{value.strip()}"
+                continue
+        # Some files write "EDGE_WEIGHT_TYPE EUC_2D" without a colon.
+        first, _, rest = line.partition(" ")
+        if first.upper() in _HEADER_KEYS and rest:
+            yield "header", f"{first.upper()}\x00{rest.strip()}"
+            continue
+        yield "data", line
+
+
+def loads_tsplib(text: str, *, name: str | None = None) -> TSPInstance:
+    """Parse TSPLIB file *text* into a :class:`TSPInstance`."""
+    headers: dict[str, str] = {}
+    coord_rows: list[list[float]] = []
+    weight_values: list[int] = []
+    section = None
+
+    for kind, payload in _tokenize(text):
+        if kind == "header":
+            key, _, value = payload.partition("\x00")
+            headers[key] = value
+        elif kind == "section":
+            section = None if payload == "EOF" else payload
+        else:  # data
+            if section == "NODE_COORD_SECTION":
+                parts = payload.split()
+                if len(parts) < 3:
+                    raise TSPLIBFormatError(f"bad coord line: {payload!r}")
+                coord_rows.append([float(parts[1]), float(parts[2])])
+            elif section == "EDGE_WEIGHT_SECTION":
+                weight_values.extend(int(float(tok)) for tok in payload.split())
+            elif section in ("DISPLAY_DATA_SECTION", "FIXED_EDGES_SECTION", "DEPOT_SECTION"):
+                continue  # ignored, not needed for symmetric TSP solving
+            elif section is None:
+                raise TSPLIBFormatError(f"data outside any section: {payload!r}")
+
+    problem_type = headers.get("TYPE", "TSP").upper()
+    if problem_type not in ("TSP",):
+        raise TSPLIBFormatError(f"unsupported TYPE {problem_type!r} (only TSP)")
+
+    try:
+        dimension = int(headers["DIMENSION"])
+    except KeyError as exc:
+        raise TSPLIBFormatError("missing DIMENSION header") from exc
+    if dimension <= 0:
+        raise TSPLIBFormatError(f"DIMENSION must be positive, got {dimension}")
+
+    ewt_text = headers.get("EDGE_WEIGHT_TYPE", "EUC_2D")
+    try:
+        metric = EdgeWeightType.from_string(ewt_text)
+    except ValueError as exc:
+        raise UnsupportedEdgeWeightError(str(exc)) from exc
+
+    inst_name = headers.get("NAME") or name or "unnamed"
+    comment = headers.get("COMMENT", "")
+
+    if metric is EdgeWeightType.EXPLICIT:
+        fmt = headers.get("EDGE_WEIGHT_FORMAT", "FULL_MATRIX").upper()
+        matrix = _assemble_matrix(weight_values, dimension, fmt)
+        coords = np.array(coord_rows, dtype=np.float64) if coord_rows else None
+        if coords is not None and coords.shape[0] != dimension:
+            raise TSPLIBFormatError("coordinate count does not match DIMENSION")
+        return TSPInstance(
+            name=inst_name, coords=coords, metric=metric,
+            comment=comment, explicit_matrix=matrix,
+        )
+
+    if len(coord_rows) != dimension:
+        raise TSPLIBFormatError(
+            f"expected {dimension} coordinates, found {len(coord_rows)}"
+        )
+    coords = np.array(coord_rows, dtype=np.float64)
+    return TSPInstance(name=inst_name, coords=coords, metric=metric, comment=comment)
+
+
+def _assemble_matrix(values: list[int], n: int, fmt: str) -> np.ndarray:
+    """Build the full symmetric matrix from an EDGE_WEIGHT_FORMAT stream."""
+    m = np.zeros((n, n), dtype=np.int64)
+    need = {
+        "FULL_MATRIX": n * n,
+        "UPPER_ROW": n * (n - 1) // 2,
+        "LOWER_ROW": n * (n - 1) // 2,
+        "UPPER_DIAG_ROW": n * (n + 1) // 2,
+        "LOWER_DIAG_ROW": n * (n + 1) // 2,
+    }
+    if fmt not in need:
+        raise UnsupportedEdgeWeightError(f"EDGE_WEIGHT_FORMAT {fmt!r} not supported")
+    if len(values) != need[fmt]:
+        raise TSPLIBFormatError(
+            f"EDGE_WEIGHT_SECTION has {len(values)} values, "
+            f"{fmt} with n={n} needs {need[fmt]}"
+        )
+    vals = np.asarray(values, dtype=np.int64)
+    if fmt == "FULL_MATRIX":
+        m[:] = vals.reshape(n, n)
+        if not np.array_equal(m, m.T):
+            raise TSPLIBFormatError("FULL_MATRIX is not symmetric")
+        return m
+    if fmt == "UPPER_ROW":
+        iu = np.triu_indices(n, k=1)
+    elif fmt == "LOWER_ROW":
+        iu = np.tril_indices(n, k=-1)
+    elif fmt == "UPPER_DIAG_ROW":
+        iu = np.triu_indices(n, k=0)
+    else:  # LOWER_DIAG_ROW
+        iu = np.tril_indices(n, k=0)
+    m[iu] = vals
+    m = m + m.T - np.diag(np.diag(m))
+    np.fill_diagonal(m, 0)
+    return m
+
+
+def load_tsplib(path: str | os.PathLike) -> TSPInstance:
+    """Load a ``.tsp`` file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    base = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return loads_tsplib(text, name=base)
+
+
+def parse_tour_file(text: str) -> np.ndarray:
+    """Parse a TSPLIB ``.tour`` file into a 0-based tour array."""
+    in_section = False
+    nodes: list[int] = []
+    for kind, payload in _tokenize(text):
+        if kind == "section":
+            in_section = payload == "TOUR_SECTION"
+        elif kind == "data" and in_section:
+            for tok in payload.split():
+                v = int(tok)
+                if v == -1:
+                    in_section = False
+                    break
+                nodes.append(v - 1)
+    if not nodes:
+        raise TSPLIBFormatError("no TOUR_SECTION nodes found")
+    return np.asarray(nodes, dtype=np.int64)

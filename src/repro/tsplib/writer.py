@@ -1,0 +1,68 @@
+"""TSPLIB95 writers — round-trip counterpart of :mod:`repro.tsplib.parser`."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import TSPLIBError
+from repro.tsplib.distances import EdgeWeightType
+from repro.tsplib.instance import TSPInstance
+
+
+def dumps_tsplib(instance: TSPInstance) -> str:
+    """Serialize *instance* to TSPLIB95 text."""
+    lines = [
+        f"NAME : {instance.name}",
+        "TYPE : TSP",
+    ]
+    if instance.comment:
+        lines.append(f"COMMENT : {instance.comment}")
+    lines.append(f"DIMENSION : {instance.n}")
+    lines.append(f"EDGE_WEIGHT_TYPE : {instance.metric.value}")
+
+    if instance.metric is EdgeWeightType.EXPLICIT:
+        if instance.explicit_matrix is None:
+            raise TSPLIBError("EXPLICIT instance without a matrix")
+        lines.append("EDGE_WEIGHT_FORMAT : FULL_MATRIX")
+        lines.append("EDGE_WEIGHT_SECTION")
+        for row in instance.explicit_matrix:
+            lines.append(" ".join(str(int(v)) for v in row))
+    else:
+        if instance.coords is None:
+            raise TSPLIBError("coordinate instance without coords")
+        lines.append("NODE_COORD_SECTION")
+        for i, (x, y) in enumerate(instance.coords, start=1):
+            lines.append(f"{i} {_fmt(x)} {_fmt(y)}")
+    lines.append("EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(v: float) -> str:
+    """Write integers without a trailing .0, floats with full precision."""
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def dump_tsplib(instance: TSPInstance, path: str | os.PathLike) -> None:
+    """Write *instance* to a ``.tsp`` file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_tsplib(instance))
+
+
+def dumps_tour(tour: Iterable[int], *, name: str = "tour") -> str:
+    """Serialize a 0-based tour to TSPLIB ``.tour`` text (1-based on disk)."""
+    t = np.asarray(list(tour), dtype=np.int64)
+    lines = [
+        f"NAME : {name}",
+        "TYPE : TOUR",
+        f"DIMENSION : {t.size}",
+        "TOUR_SECTION",
+    ]
+    lines.extend(str(int(v) + 1) for v in t)
+    lines.append("-1")
+    lines.append("EOF")
+    return "\n".join(lines) + "\n"

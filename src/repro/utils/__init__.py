@@ -1,0 +1,26 @@
+"""Shared low-level utilities: RNG handling, timing, units, table rendering."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+from repro.utils.units import (
+    format_bytes,
+    format_count,
+    format_seconds,
+    KIB,
+    MIB,
+    GIB,
+)
+from repro.utils.tables import render_table
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "render_table",
+    "KIB",
+    "MIB",
+    "GIB",
+]

@@ -1,0 +1,130 @@
+"""ASCII line charts — the harness's way of *drawing* Figs. 9–11.
+
+The paper's evaluation is three figures plus two tables; tables render
+naturally as text, and this module gives the figures a faithful text
+form: multi-series line charts with optional log axes, one plot
+character per series, and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Characters assigned to series, in order.
+SERIES_MARKS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    out = []
+    for v in values:
+        if log:
+            if v <= 0:
+                raise ValueError("log axis requires positive values")
+            out.append(math.log10(v))
+        else:
+            out.append(float(v))
+    return out
+
+
+def ascii_line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Render multiple (xs, ys) series into one ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping label -> (xs, ys); xs need not be aligned across series.
+    log_x, log_y:
+        Logarithmic axes (the paper's Figs. 9/10 use log-x).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 20 or height < 5:
+        raise ValueError("chart too small")
+    for label, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r}: xs and ys length mismatch")
+        if not xs:
+            raise ValueError(f"series {label!r} is empty")
+
+    all_x = [v for xs, _ in series.values() for v in _transform(xs, log_x)]
+    all_y = [v for _, ys in series.values() for v in _transform(ys, log_y)]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(xv: float, yv: float, mark: str) -> None:
+        col = int(round((xv - x_min) / x_span * (width - 1)))
+        row = int(round((yv - y_min) / y_span * (height - 1)))
+        row = height - 1 - row  # origin bottom-left
+        existing = grid[row][col]
+        grid[row][col] = "*" if existing not in (" ", mark) else mark
+
+    for (label, (xs, ys)), mark in zip(series.items(), SERIES_MARKS):
+        txs = _transform(xs, log_x)
+        tys = _transform(ys, log_y)
+        # draw line segments with linear interpolation in transformed space
+        for (xa, ya), (xb, yb) in zip(zip(txs, tys), zip(txs[1:], tys[1:])):
+            steps = max(
+                2,
+                int(abs(xb - xa) / x_span * width)
+                + int(abs(yb - ya) / y_span * height),
+            )
+            for s in range(steps + 1):
+                f = s / steps
+                put(xa + f * (xb - xa), ya + f * (yb - ya), mark)
+        for xv, yv in zip(txs, tys):
+            put(xv, yv, mark)
+
+    def fmt_tick(v: float, log: bool) -> str:
+        raw = 10**v if log else v
+        if abs(raw) >= 1000:
+            return f"{raw:,.0f}"
+        if abs(raw) >= 10:
+            return f"{raw:.0f}"
+        return f"{raw:.2g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = fmt_tick(y_max, log_y)
+    bottom_label = fmt_tick(y_min, log_y)
+    label_w = max(len(top_label), len(bottom_label), len(y_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_w)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_w} +{axis}")
+    left = fmt_tick(x_min, log_x)
+    right = fmt_tick(x_max, log_x)
+    mid = x_label
+    pad = width - len(left) - len(right) - len(mid)
+    lines.append(
+        f"{' ' * label_w}  {left}{' ' * max(1, pad // 2)}{mid}"
+        f"{' ' * max(1, pad - pad // 2)}{right}"
+    )
+    legend = "   ".join(
+        f"{mark} {label}" for (label, _), mark in zip(series.items(), SERIES_MARKS)
+    )
+    lines.append(f"{' ' * label_w}  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic code in the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``; :func:`ensure_rng` normalizes
+those into a Generator so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot build a Generator from {type(seed).__name__}")
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive *n* statistically independent child generators from *seed*.
+
+    Used when an experiment fans out over workers/instances and each needs
+    its own stream that does not depend on iteration order.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        # Generators cannot be re-split deterministically; draw child seeds.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,62 @@
+"""JSON-friendly serialization of result objects.
+
+Experiment drivers and downstream users often want to persist solver
+results; dataclasses here contain numpy arrays and nested dataclasses,
+which ``json`` cannot handle directly. :func:`to_jsonable` converts any
+of the library's result objects into plain dicts/lists/numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any, *, _depth: int = 0) -> Any:
+    """Recursively convert *obj* into JSON-serializable primitives.
+
+    Handles numpy scalars/arrays, dataclasses, dicts, sequences, and
+    objects exposing ``__dict__``; anything else is stringified.
+    """
+    if _depth > 20:
+        raise ValueError("object graph too deep (cycle?)")
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name), _depth=_depth + 1)
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v, _depth=_depth + 1) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v, _depth=_depth + 1) for v in obj]
+    if hasattr(obj, "__dict__"):
+        return {
+            k: to_jsonable(v, _depth=_depth + 1)
+            for k, v in vars(obj).items()
+            if not k.startswith("_")
+        }
+    return str(obj)
+
+
+def dump_result(obj: Any, path) -> None:
+    """Serialize a result object to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_jsonable(obj), fh, indent=2)
+
+
+def dumps_result(obj: Any) -> str:
+    """Serialize a result object to a JSON string."""
+    return json.dumps(to_jsonable(obj), indent=2)

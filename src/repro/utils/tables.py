@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned ASCII so ``bench_output.txt`` is readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    align: Sequence[str] | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of row tuples; cells are stringified with ``str``.
+    title:
+        Optional caption printed above the table.
+    align:
+        Per-column ``'l'`` or ``'r'``; defaults to right-aligning everything
+        except the first column.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(f"row has {len(r)} cells, expected {ncols}: {r!r}")
+    if align is None:
+        align = ["l"] + ["r"] * (ncols - 1)
+    if len(align) != ncols:
+        raise ValueError("align length must match headers length")
+
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, w, a in zip(cells, widths, align):
+            parts.append(cell.ljust(w) if a == "l" else cell.rjust(w))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt_row(list(headers)))
+    out.append(sep)
+    out.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,55 @@
+"""Wall-clock measurement helpers for the harness and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("parse"):
+    ...     pass
+    >>> "parse" in sw.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    def lap(self, name: str) -> "_Lap":
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.laps[name] = self.laps.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+    def summary(self) -> str:
+        """Aligned per-lap report with a total line."""
+        if not self.laps:
+            return "(no laps)"
+        width = max(len(k) for k in self.laps)
+        lines = [f"{k.ljust(width)}  {v * 1e3:10.3f} ms" for k, v in self.laps.items()]
+        lines.append(f"{'total'.ljust(width)}  {self.total * 1e3:10.3f} ms")
+        return "\n".join(lines)
+
+
+class _Lap:
+    def __init__(self, owner: Stopwatch, name: str) -> None:
+        self._owner = owner
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._owner.add(self._name, time.perf_counter() - self._t0)

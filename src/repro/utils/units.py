@@ -1,0 +1,58 @@
+"""Human-readable unit formatting (bytes, counts, seconds).
+
+Used by the experiment harness to print rows in the same units the paper's
+tables use (kB / MB for Table I, μs / ms / s for Table II).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+def format_bytes(n: float, *, decimal: bool = False) -> str:
+    """Format a byte count, e.g. ``format_bytes(49152) == '48.0 KiB'``.
+
+    With ``decimal=True`` uses powers of 1000 and kB/MB/GB suffixes, which
+    is what the paper's Table I uses.
+    """
+    base = 1000.0 if decimal else 1024.0
+    suffixes = ["B", "kB", "MB", "GB", "TB"] if decimal else ["B", "KiB", "MiB", "GiB", "TiB"]
+    size = float(n)
+    for suffix in suffixes:
+        if abs(size) < base or suffix == suffixes[-1]:
+            if suffix == "B":
+                return f"{int(size)} {suffix}"
+            return f"{size:.1f} {suffix}"
+        size /= base
+    raise AssertionError("unreachable")
+
+
+def format_count(n: float) -> str:
+    """Format a large count with K/M/G suffix (e.g. checks per second)."""
+    if abs(n) >= 1e9:
+        return f"{n / 1e9:.2f} G"
+    if abs(n) >= 1e6:
+        return f"{n / 1e6:.2f} M"
+    if abs(n) >= 1e3:
+        return f"{n / 1e3:.2f} K"
+    return f"{n:.0f}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration the way the paper's Table II mixes units.
+
+    μs below 1 ms, ms below 1 s, seconds below 2 minutes, then m/h.
+    """
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} m"
+    return f"{seconds / 3600.0:.1f} h"

@@ -1,0 +1,101 @@
+"""Tests for the analysis helpers: flops, speedup, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceCurve,
+    convergence_speedup,
+    downsample_trace,
+)
+from repro.analysis.flops import OPS_PER_PAIR, gflops_for_scan, scan_flops
+from repro.analysis.speedup import speedup_series
+
+
+class TestFlops:
+    def test_ops_per_pair_is_four_distances_plus_bookkeeping(self):
+        assert OPS_PER_PAIR == 4 * 7 + 4
+
+    def test_scan_flops(self):
+        assert scan_flops(100) == 4950 * OPS_PER_PAIR
+
+    def test_gflops(self):
+        assert gflops_for_scan(100, 1.0) == pytest.approx(4950 * OPS_PER_PAIR / 1e9)
+
+    def test_positive_time_required(self):
+        with pytest.raises(ValueError):
+            gflops_for_scan(100, 0)
+
+
+class TestSpeedupSeries:
+    def test_gpu_vs_xeon_shape(self):
+        pts = speedup_series("gtx680-cuda", "xeon-e5-2690x2-opencl",
+                             [100, 1000, 10_000])
+        speedups = [p.speedup for p in pts]
+        # grows with size (Fig. 10 shape)
+        assert speedups[0] < speedups[1] < speedups[2]
+        assert speedups[2] > 10
+
+    def test_cpu_vs_cpu(self):
+        pts = speedup_series("xeon-e5-2690x2-opencl", "i7-3960x-opencl", [5000])
+        assert pts[0].speedup > 1  # 16 cores beat 6
+
+    def test_self_speedup_is_one(self):
+        pts = speedup_series("gtx680-cuda", "gtx680-cuda", [2000])
+        assert pts[0].speedup == pytest.approx(1.0)
+
+
+class TestConvergenceCurve:
+    def curve(self):
+        return ConvergenceCurve("x", [0.0, 1.0, 2.0, 3.0], [100, 80, 60, 50])
+
+    def test_length_at_step_interpolation(self):
+        c = self.curve()
+        assert c.length_at(0.5) == 100
+        assert c.length_at(1.0) == 80
+        assert c.length_at(99.0) == 50
+
+    def test_time_to_reach(self):
+        c = self.curve()
+        assert c.time_to_reach(80) == 1.0
+        assert c.time_to_reach(55) == 3.0
+        assert c.time_to_reach(10) is None
+
+    def test_from_trace(self):
+        c = ConvergenceCurve.from_trace("t", [(0.0, 5), (1.0, 4)])
+        assert c.lengths[-1] == 4
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            ConvergenceCurve("bad", [1.0, 0.5], [1, 2])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ConvergenceCurve("bad", [1.0], [1, 2])
+
+    def test_convergence_speedup(self):
+        fast = ConvergenceCurve("f", [0.0, 1.0], [100, 50])
+        slow = ConvergenceCurve("s", [0.0, 10.0], [100, 50])
+        assert convergence_speedup(fast, slow, 50) == pytest.approx(10.0)
+
+    def test_convergence_speedup_unreachable(self):
+        fast = ConvergenceCurve("f", [0.0, 1.0], [100, 90])
+        slow = ConvergenceCurve("s", [0.0, 10.0], [100, 50])
+        assert convergence_speedup(fast, slow, 50) is None
+
+
+class TestDownsample:
+    def test_short_traces_untouched(self):
+        t = [(0.0, 1), (1.0, 2)]
+        assert downsample_trace(t, 100) == t
+
+    def test_keeps_endpoints(self):
+        t = [(float(k), k) for k in range(1000)]
+        out = downsample_trace(t, 50)
+        assert out[0] == t[0]
+        assert out[-1] == t[-1]
+        assert len(out) <= 50
+
+    def test_min_points(self):
+        with pytest.raises(ValueError):
+            downsample_trace([(0.0, 1)], 1)

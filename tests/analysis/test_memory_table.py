@@ -1,0 +1,50 @@
+"""Tests for Table I memory accounting."""
+
+import pytest
+
+from repro.analysis.memory_table import memory_requirements, table1_rows
+from repro.experiments.table1_memory import PAPER_TABLE1, run_table1
+
+
+class TestMemoryRequirements:
+    def test_lut_quadratic(self):
+        lut, coords = memory_requirements(1000)
+        assert lut == 4_000_000
+        assert coords == 8_000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            memory_requirements(-1)
+
+    def test_custom_entry_size(self):
+        lut, coords = memory_requirements(10, entry_bytes=8)
+        assert lut == 800
+        assert coords == 160
+
+
+class TestTable1Reproduction:
+    def test_row_count(self):
+        assert len(table1_rows()) == 12
+
+    def test_values_match_paper(self):
+        """Every reproduced cell agrees with the published Table I."""
+        for row in run_table1():
+            paper_lut_mb, paper_coords_kb = PAPER_TABLE1[row.name]
+            # the published cells are rounded to 1-2 decimals
+            assert row.lut_mb == pytest.approx(paper_lut_mb, rel=0.05, abs=0.01), row.name
+            assert row.coords_kb == pytest.approx(paper_coords_kb, rel=0.05, abs=0.1), row.name
+
+    def test_fnl4461_headline(self):
+        """The paper's motivating case: ~80 MB LUT vs ~36 kB coords."""
+        row = next(r for r in run_table1() if r.name == "fnl4461")
+        assert 75 < row.lut_mb < 85
+        assert 30 < row.coords_kb < 40
+
+    def test_coords_always_fit_shared_memory(self, gtx680):
+        """Every Table I instance's coordinates fit in 48 kB (the paper's
+        point); the LUTs never do beyond the smallest instances."""
+        for row in table1_rows():
+            assert row.coords_bytes <= gtx680.shared_mem_per_block
+        big = [r for r in table1_rows() if r.n > 250]
+        for row in big:
+            assert row.lut_bytes > gtx680.shared_mem_per_block

@@ -1,0 +1,67 @@
+"""Tests for the ACO baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.aco import AntColonyOptimizer
+from repro.core.local_search import LocalSearch
+from repro.errors import SolverError
+from repro.tsplib.generators import generate_instance
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return generate_instance(100, seed=7)
+
+
+class TestACO:
+    def test_returns_valid_tour(self, inst):
+        res = AntColonyOptimizer(n_ants=8, seed=0).run(inst, iterations=5)
+        assert np.array_equal(np.sort(res.best_order), np.arange(100))
+        assert res.best_length == inst.tour_length(res.best_order)
+
+    def test_beats_random_tours(self, inst):
+        res = AntColonyOptimizer(n_ants=8, seed=1).run(inst, iterations=8)
+        rnd = inst.tour_length(np.random.default_rng(0).permutation(100))
+        assert res.best_length < 0.6 * rnd
+
+    def test_deterministic(self, inst):
+        a = AntColonyOptimizer(n_ants=6, seed=3).run(inst, iterations=4)
+        b = AntColonyOptimizer(n_ants=6, seed=3).run(inst, iterations=4)
+        assert a.best_length == b.best_length
+
+    def test_best_never_worsens(self, inst):
+        res = AntColonyOptimizer(n_ants=6, seed=4).run(inst, iterations=8)
+        lengths = [l for _, l in res.trace]
+        assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+
+    def test_memetic_beats_pure_at_same_iterations(self, inst):
+        pure = AntColonyOptimizer(n_ants=6, seed=5).run(inst, iterations=4)
+        ls = LocalSearch("gtx680-cuda", strategy="batch")
+        memetic = AntColonyOptimizer(n_ants=6, seed=5, local_search=ls).run(
+            inst, iterations=4
+        )
+        assert memetic.best_length < pure.best_length
+
+    def test_more_iterations_never_worse(self, inst):
+        few = AntColonyOptimizer(n_ants=6, seed=6).run(inst, iterations=2)
+        many = AntColonyOptimizer(n_ants=6, seed=6).run(inst, iterations=8)
+        assert many.best_length <= few.best_length
+
+    def test_parameter_validation(self):
+        with pytest.raises(SolverError):
+            AntColonyOptimizer(n_ants=0)
+        with pytest.raises(SolverError):
+            AntColonyOptimizer(evaporation=1.5)
+        with pytest.raises(SolverError):
+            AntColonyOptimizer(q0=2.0)
+
+    def test_size_guard(self):
+        big = generate_instance(100, seed=0)
+        with pytest.raises(SolverError):
+            AntColonyOptimizer().run(big, max_n=50)
+
+    def test_modeled_time_accumulates(self, inst):
+        res = AntColonyOptimizer(n_ants=6, seed=8).run(inst, iterations=3)
+        assert res.modeled_seconds > 0
+        assert len(res.trace) == 3

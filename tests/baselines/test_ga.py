@@ -1,0 +1,92 @@
+"""Tests for the GA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ga import (
+    GeneticAlgorithm,
+    inversion_mutation,
+    order_crossover,
+    swap_mutation,
+)
+from repro.core.local_search import LocalSearch
+from repro.errors import SolverError
+from repro.tsplib.generators import generate_instance
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return generate_instance(80, seed=11)
+
+
+class TestOperators:
+    def test_ox_produces_permutation(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            p1 = rng.permutation(25)
+            p2 = rng.permutation(25)
+            child = order_crossover(p1, p2, rng)
+            assert np.array_equal(np.sort(child), np.arange(25))
+
+    def test_ox_preserves_parent_slice(self):
+        rng = np.random.default_rng(1)
+        p1 = np.arange(20)
+        p2 = np.arange(20)[::-1].copy()
+        child = order_crossover(p1, p2, rng)
+        # the copied slice comes from p1: child must contain a contiguous
+        # run identical to a slice of p1
+        matches = child == p1
+        assert matches.any()
+
+    def test_inversion_mutation_is_permutation(self):
+        rng = np.random.default_rng(2)
+        out = inversion_mutation(np.arange(30), rng)
+        assert np.array_equal(np.sort(out), np.arange(30))
+
+    def test_swap_mutation_changes_at_most_two(self):
+        rng = np.random.default_rng(3)
+        base = np.arange(30)
+        out = swap_mutation(base, rng)
+        assert (out != base).sum() in (0, 2)
+
+
+class TestGeneticAlgorithm:
+    def test_valid_best_tour(self, inst):
+        res = GeneticAlgorithm(population=20, seed=0).run(inst, generations=10)
+        assert np.array_equal(np.sort(res.best_order), np.arange(80))
+        assert res.best_length == inst.tour_length(res.best_order)
+
+    def test_improves_over_generations(self, inst):
+        res = GeneticAlgorithm(population=30, seed=1).run(inst, generations=40)
+        lengths = [l for _, l in res.trace]
+        assert lengths[-1] < lengths[0]
+
+    def test_elitism_keeps_best_monotone(self, inst):
+        res = GeneticAlgorithm(population=20, elite=2, seed=2).run(
+            inst, generations=25
+        )
+        lengths = [l for _, l in res.trace]
+        assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+
+    def test_deterministic(self, inst):
+        a = GeneticAlgorithm(population=16, seed=4).run(inst, generations=8)
+        b = GeneticAlgorithm(population=16, seed=4).run(inst, generations=8)
+        assert a.best_length == b.best_length
+
+    def test_memetic_dominates_pure(self, inst):
+        pure = GeneticAlgorithm(population=16, seed=5).run(inst, generations=8)
+        ls = LocalSearch("gtx680-cuda", strategy="batch")
+        memetic = GeneticAlgorithm(
+            population=16, seed=5, local_search=ls, memetic_fraction=0.25
+        ).run(inst, generations=8)
+        assert memetic.best_length < pure.best_length
+
+    def test_parameter_validation(self):
+        with pytest.raises(SolverError):
+            GeneticAlgorithm(population=2)
+        with pytest.raises(SolverError):
+            GeneticAlgorithm(population=10, elite=10)
+        with pytest.raises(SolverError):
+            GeneticAlgorithm(crossover_rate=1.5)
+        with pytest.raises(SolverError):
+            GeneticAlgorithm(memetic_fraction=-0.1)

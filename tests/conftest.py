@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.tsplib.generators import generate_instance
+
+
+@pytest.fixture(scope="session")
+def gtx680():
+    return get_device("gtx680-cuda")
+
+
+@pytest.fixture(scope="session")
+def hd7970():
+    return get_device("hd7970-opencl")
+
+
+@pytest.fixture(scope="session")
+def i7cpu():
+    return get_device("i7-3960x-opencl")
+
+
+@pytest.fixture(scope="session")
+def small_launch():
+    """A deliberately small launch so instrumented runs stay fast."""
+    return LaunchConfig(4, 64)
+
+
+@pytest.fixture(scope="session")
+def inst100():
+    return generate_instance(100, seed=1)
+
+
+@pytest.fixture(scope="session")
+def inst300():
+    return generate_instance(300, seed=2)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,106 @@
+"""Tests for 2-opt with neighbor lists + don't-look bits."""
+
+import numpy as np
+import pytest
+
+from repro.core.dont_look import DontLookTwoOpt
+from repro.core.moves import next_distances
+from repro.core.pruned import PrunedTwoOpt
+from repro.tsplib.generators import generate_instance
+
+
+def coords_of(n, seed=0, dist="uniform"):
+    return generate_instance(n, seed=seed, distribution=dist).coords_float32()
+
+
+class TestReverseCyclic:
+    def test_contiguous(self):
+        order = np.arange(8)
+        pos = np.arange(8)
+        DontLookTwoOpt._reverse_cyclic(order, pos, 2, 5)
+        assert list(order) == [0, 1, 5, 4, 3, 2, 6, 7]
+        assert np.array_equal(pos[order], np.arange(8))
+
+    def test_wrapping_arc_flips_complement(self):
+        order = np.arange(8)
+        pos = np.arange(8)
+        # arc 6..1 wraps (length 4 = complement length) or complement flips;
+        # either way the resulting edge set must match a 2-opt move
+        DontLookTwoOpt._reverse_cyclic(order, pos, 6, 1)
+        assert np.array_equal(np.sort(order), np.arange(8))
+        assert np.array_equal(pos[order], np.arange(8))
+
+    def test_long_arc_replaced_by_short_complement(self):
+        order = np.arange(10)
+        pos = np.arange(10)
+        # reversing positions 1..8 (8 cities) should flip 9..0 (2) instead;
+        # both encode the same cyclic tour
+        before_edges = {frozenset((int(order[k]), int(order[(k + 1) % 10])))
+                        for k in range(10)}
+        DontLookTwoOpt._reverse_cyclic(order, pos, 1, 8)
+        after_edges = {frozenset((int(order[k]), int(order[(k + 1) % 10])))
+                       for k in range(10)}
+        # 2 edges exchanged
+        assert len(before_edges - after_edges) == 2
+
+    def test_single_element_noop(self):
+        order = np.arange(6)
+        pos = np.arange(6)
+        DontLookTwoOpt._reverse_cyclic(order, pos, 3, 3)
+        assert list(order) == list(range(6))
+
+
+class TestDontLookTwoOpt:
+    def test_valid_result_and_exact_bookkeeping(self):
+        c = coords_of(400, seed=1)
+        res = DontLookTwoOpt(c, k=8).run()
+        assert np.array_equal(np.sort(res.order), np.arange(400))
+        assert res.final_length == int(next_distances(c[res.order]).sum())
+        assert res.final_length < res.initial_length
+
+    def test_quality_close_to_exhaustive(self):
+        from repro.core.local_search import LocalSearch
+
+        c = coords_of(500, seed=2)
+        dlb = DontLookTwoOpt(c, k=10).run()
+        full = LocalSearch("gtx680-cuda", strategy="batch").run(c)
+        rel = abs(dlb.final_length - full.final_length) / full.final_length
+        assert rel < 0.03
+
+    def test_checks_scale_near_linearly(self):
+        """The whole point of don't-look bits: far fewer checks than the
+        O(n^2)-per-move brute force."""
+        c = coords_of(1000, seed=3)
+        res = DontLookTwoOpt(c, k=8).run()
+        # brute force would need moves * n(n-1)/2 checks
+        brute = res.moves_applied * 1000 * 999 // 2
+        assert res.candidate_checks < brute / 1000
+
+    def test_deterministic(self):
+        c = coords_of(300, seed=4)
+        a = DontLookTwoOpt(c, k=8).run()
+        b = DontLookTwoOpt(c, k=8).run()
+        assert a.final_length == b.final_length
+        assert np.array_equal(a.order, b.order)
+
+    def test_custom_start(self):
+        c = coords_of(200, seed=5)
+        start = np.random.default_rng(1).permutation(200)
+        res = DontLookTwoOpt(c, k=8).run(start)
+        assert np.array_equal(np.sort(res.order), np.arange(200))
+        assert res.initial_length == int(next_distances(c[start]).sum())
+
+    def test_geo_instances(self):
+        c = coords_of(600, seed=6, dist="geo")
+        res = DontLookTwoOpt(c, k=10).run()
+        assert res.final_length < 0.2 * res.initial_length
+
+    def test_matches_or_beats_pruned_best_improvement(self):
+        c = coords_of(400, seed=7)
+        dlb = DontLookTwoOpt(c, k=8).run()
+        pruned = PrunedTwoOpt(c, k=8).run()
+        assert dlb.final_length <= pruned.final_length * 1.03
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            DontLookTwoOpt(coords_of(4)[:3], k=2)

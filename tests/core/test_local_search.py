@@ -1,0 +1,214 @@
+"""Tests for the LocalSearch driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.local_search import LocalSearch
+from repro.core.moves import best_move, next_distances
+from repro.errors import SolverError
+
+
+def random_coords(n, seed=0):
+    return np.random.default_rng(seed).uniform(0, 10_000, (n, 2)).astype(np.float32)
+
+
+def tour_len(c):
+    return int(next_distances(c).sum())
+
+
+class TestConfiguration:
+    def test_gpu_backend_needs_gpu_device(self):
+        with pytest.raises(SolverError):
+            LocalSearch("i7-3960x-opencl", backend="gpu")
+
+    def test_cpu_backend_needs_cpu_device(self):
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda", backend="cpu-parallel")
+
+    def test_device_by_string_or_spec(self, gtx680):
+        assert LocalSearch(gtx680).device is gtx680
+        assert LocalSearch("gtx680-cuda").device.name == gtx680.name
+
+
+class TestBestStrategy:
+    def test_reaches_local_minimum(self):
+        c = random_coords(150, seed=1)
+        res = LocalSearch("gtx680-cuda").run(c)
+        assert res.reached_minimum
+        # verify: genuinely no improving move left
+        assert best_move(c[res.order]).delta >= 0
+
+    def test_length_bookkeeping_exact(self):
+        c = random_coords(150, seed=2)
+        res = LocalSearch("gtx680-cuda").run(c)
+        assert res.final_length == tour_len(c[res.order])
+        assert res.initial_length == tour_len(c)
+
+    def test_order_is_permutation(self):
+        c = random_coords(100, seed=3)
+        res = LocalSearch("gtx680-cuda").run(c)
+        assert np.array_equal(np.sort(res.order), np.arange(100))
+
+    def test_one_launch_per_move_plus_confirmation(self):
+        c = random_coords(120, seed=4)
+        res = LocalSearch("gtx680-cuda").run(c)
+        assert res.launches == res.moves_applied + 1
+
+    def test_trace_monotone(self):
+        c = random_coords(120, seed=5)
+        res = LocalSearch("gtx680-cuda").run(c)
+        times = [t for t, _ in res.trace]
+        lengths = [l for _, l in res.trace]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+        assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+
+    def test_max_moves_cap(self):
+        c = random_coords(200, seed=6)
+        res = LocalSearch("gtx680-cuda").run(c, max_moves=5)
+        assert res.moves_applied == 5
+        assert not res.reached_minimum
+
+    def test_target_length_stops_early(self):
+        c = random_coords(200, seed=7)
+        full = LocalSearch("gtx680-cuda").run(c)
+        target = (full.initial_length + full.final_length) // 2
+        res = LocalSearch("gtx680-cuda").run(c, target_length=target)
+        assert res.final_length <= target
+        assert res.moves_applied <= full.moves_applied
+
+    def test_needs_four_cities(self):
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda").run(random_coords(3))
+
+
+class TestBatchStrategy:
+    def test_batch_reaches_local_minimum(self):
+        c = random_coords(200, seed=8)
+        res = LocalSearch("gtx680-cuda", strategy="batch").run(c)
+        assert res.reached_minimum
+        assert best_move(c[res.order]).delta >= 0
+
+    def test_batch_length_bookkeeping_exact(self):
+        c = random_coords(200, seed=9)
+        res = LocalSearch("gtx680-cuda", strategy="batch").run(c)
+        assert res.final_length == tour_len(c[res.order])
+
+    def test_batch_uses_fewer_scans_than_best(self):
+        c = random_coords(300, seed=10)
+        best = LocalSearch("gtx680-cuda", strategy="best").run(c)
+        batch = LocalSearch("gtx680-cuda", strategy="batch").run(c)
+        assert batch.scans < best.scans
+
+    def test_batch_quality_comparable(self):
+        c = random_coords(300, seed=11)
+        best = LocalSearch("gtx680-cuda", strategy="best").run(c)
+        batch = LocalSearch("gtx680-cuda", strategy="batch").run(c)
+        assert abs(batch.final_length - best.final_length) / best.final_length < 0.05
+
+
+class TestSimulateMode:
+    def test_simulate_matches_fast_exactly(self):
+        """The instrumented SIMT path and the engine path must walk the
+        identical move sequence."""
+        c = random_coords(80, seed=12)
+        from repro.gpusim.kernel import LaunchConfig
+
+        fast = LocalSearch("gtx680-cuda", mode="fast").run(c.copy())
+        sim = LocalSearch(
+            "gtx680-cuda", mode="simulate", launch=LaunchConfig(4, 64)
+        ).run(c.copy())
+        assert fast.final_length == sim.final_length
+        assert np.array_equal(fast.order, sim.order)
+        assert fast.moves_applied == sim.moves_applied
+
+    def test_simulate_collects_instrumented_stats(self):
+        c = random_coords(60, seed=13)
+        from repro.gpusim.kernel import LaunchConfig
+
+        res = LocalSearch(
+            "gtx680-cuda", mode="simulate", launch=LaunchConfig(2, 32)
+        ).run(c)
+        assert res.stats.pair_checks >= res.scans * (60 * 59 // 2)
+
+
+class TestCpuBackends:
+    def test_parallel_cpu_same_tour_slower_clock(self):
+        c = random_coords(150, seed=14)
+        gpu = LocalSearch("gtx680-cuda").run(c.copy())
+        cpu = LocalSearch("i7-3960x-opencl", backend="cpu-parallel").run(c.copy())
+        assert cpu.final_length == gpu.final_length
+        assert cpu.modeled_seconds > gpu.modeled_seconds
+
+    def test_sequential_simulate_reaches_minimum(self):
+        c = random_coords(60, seed=15)
+        res = LocalSearch(
+            "cpu-sequential", backend="cpu-sequential", mode="simulate"
+        ).run(c)
+        assert res.reached_minimum
+        assert best_move(c[res.order]).delta >= 0
+
+    def test_scan_seconds_ranking(self):
+        """One scan: GPU < 6-core CPU < sequential (the paper's premise)."""
+        n = 2000
+        t_gpu = LocalSearch("gtx680-cuda").scan_seconds(n)
+        t_cpu = LocalSearch("i7-3960x-opencl", backend="cpu-parallel").scan_seconds(n)
+        t_seq = LocalSearch("cpu-sequential", backend="cpu-sequential").scan_seconds(n)
+        assert t_gpu < t_cpu < t_seq
+
+
+class TestTiledIntegration:
+    def test_fast_mode_beyond_shared_capacity(self, gtx680):
+        """n > 6144 must route through the tiled estimates and still
+        optimize correctly."""
+        c = random_coords(7000, seed=16)
+        ls = LocalSearch(gtx680, strategy="batch")
+        res = ls.run(c, max_scans=2)
+        assert res.moves_applied > 0
+        assert res.final_length < res.initial_length
+        assert res.final_length == tour_len(c[res.order])
+
+    def test_scan_seconds_continuous_at_capacity_boundary(self, gtx680):
+        """Crossing 6144 cities switches to tiling; the modeled time may
+        jump (more launches) but must stay within a small factor."""
+        ls = LocalSearch(gtx680)
+        below = ls.scan_seconds(6100)
+        above = ls.scan_seconds(6200)
+        assert above > below * 0.8
+        assert above < below * 3
+
+
+class TestDlbHostEngine:
+    def test_reaches_near_exhaustive_quality(self):
+        c = random_coords(500, seed=20)
+        exact = LocalSearch("gtx680-cuda", strategy="batch").run(c.copy())
+        dlb = LocalSearch("gtx680-cuda", host_engine="dlb").run(c.copy())
+        rel = abs(dlb.final_length - exact.final_length) / exact.final_length
+        assert rel < 0.03
+        assert dlb.reached_minimum
+
+    def test_length_bookkeeping(self):
+        c = random_coords(300, seed=21)
+        res = LocalSearch("gtx680-cuda", host_engine="dlb").run(c)
+        assert res.final_length == tour_len(c[res.order])
+
+    def test_charges_one_launch_per_move(self):
+        c = random_coords(300, seed=22)
+        ls = LocalSearch("gtx680-cuda", host_engine="dlb")
+        res = ls.run(c)
+        assert res.launches == res.moves_applied + 1
+        per_launch = ls.scan_seconds(300)
+        expected = res.transfer_seconds + per_launch * res.launches
+        assert abs(res.modeled_seconds - expected) / expected < 1e-6
+
+    def test_caps_rejected(self):
+        c = random_coords(100, seed=23)
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda", host_engine="dlb").run(c, max_moves=5)
+
+    def test_simulate_mode_rejected(self):
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda", host_engine="dlb", mode="simulate")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda", host_engine="magic")

@@ -1,0 +1,175 @@
+"""Tests for the vectorized 2-opt gain engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.moves import (
+    apply_moves,
+    batch_improving_moves,
+    best_move,
+    delta_for_pairs,
+    next_distances,
+    row_best_moves,
+)
+from repro.core.pair_indexing import pair_count
+from repro.tour.operations import apply_two_opt_move
+
+
+def random_coords(n, seed=0):
+    return np.random.default_rng(seed).uniform(0, 10_000, (n, 2)).astype(np.float32)
+
+
+def tour_len(c):
+    return int(next_distances(c).sum())
+
+
+def brute_force_best(c):
+    """O(n^2) Python reference with the same tie-break (lowest k)."""
+    n = c.shape[0]
+    dn = next_distances(c)
+    best = (np.iinfo(np.int64).max, -1, -1)
+    for j in range(1, n):
+        for i in range(j):
+            d = int(delta_for_pairs(c, np.array([i]), np.array([j]), dn)[0])
+            if d < best[0]:
+                best = (d, i, j)
+    return best
+
+
+class TestDeltaForPairs:
+    def test_delta_equals_actual_length_change(self):
+        """The fundamental invariant: applying move (i,j) changes the tour
+        length by exactly delta(i,j)."""
+        c = random_coords(60, seed=1)
+        order = np.arange(60)
+        before = tour_len(c)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            i = int(rng.integers(0, 58))
+            j = int(rng.integers(i + 1, 59))
+            d = int(delta_for_pairs(c, np.array([i]), np.array([j]))[0])
+            new_order = apply_two_opt_move(order, i, j)
+            after = tour_len(c[new_order])
+            assert after - before == d, (i, j)
+
+    def test_degenerate_adjacent_pair_is_zero(self):
+        c = random_coords(20, seed=3)
+        # j = i+1 reverses a single element: no change
+        d = delta_for_pairs(c, np.arange(0, 18), np.arange(1, 19))
+        assert np.all(d == 0)
+
+    def test_degenerate_full_wrap_is_zero(self):
+        c = random_coords(20, seed=4)
+        d = delta_for_pairs(c, np.array([0]), np.array([19]))
+        assert d[0] == 0
+
+    def test_validates_pairs(self):
+        c = random_coords(10)
+        with pytest.raises(ValueError):
+            delta_for_pairs(c, np.array([5]), np.array([5]))
+        with pytest.raises(ValueError):
+            delta_for_pairs(c, np.array([0]), np.array([10]))
+
+    def test_wraparound_j_plus_one(self):
+        """j = n-1 uses the closing edge (n-1 -> 0)."""
+        c = random_coords(30, seed=5)
+        order = np.arange(30)
+        before = tour_len(c)
+        d = int(delta_for_pairs(c, np.array([4]), np.array([29]))[0])
+        after = tour_len(c[apply_two_opt_move(order, 4, 29)])
+        assert after - before == d
+
+
+class TestBestMove:
+    @pytest.mark.parametrize("n,seed", [(12, 0), (25, 1), (40, 2), (80, 3)])
+    def test_matches_brute_force(self, n, seed):
+        c = random_coords(n, seed=seed)
+        mv = best_move(c)
+        bd, bi, bj = brute_force_best(c)
+        assert (mv.delta, mv.i, mv.j) == (bd, bi, bj)
+
+    def test_blocked_matches_unblocked(self):
+        c = random_coords(200, seed=7)
+        a = best_move(c)
+        b = best_move(c, block_cells=512)  # force many tiny blocks
+        assert (a.delta, a.i, a.j) == (b.delta, b.i, b.j)
+
+    def test_local_minimum_reports_nonnegative(self):
+        # a convex polygon tour is 2-opt optimal
+        theta = np.linspace(0, 2 * np.pi, 24, endpoint=False)
+        c = np.stack([1000 * np.cos(theta), 1000 * np.sin(theta)], axis=1).astype(np.float32)
+        assert best_move(c).delta >= 0
+
+    def test_crossed_square_improved(self):
+        # 0-2-1-3 square crosses; best move uncrosses it
+        c = np.array([[0, 0], [0, 10], [10, 0], [10, 10]], dtype=np.float32)
+        mv = best_move(c)
+        assert mv.delta < 0
+        order2 = apply_two_opt_move(np.arange(4), mv.i, mv.j)
+        assert tour_len(c[order2]) == tour_len(c) + mv.delta
+
+    def test_needs_four_cities(self):
+        with pytest.raises(ValueError):
+            best_move(random_coords(3))
+
+    @given(st.integers(5, 120), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_apply_best_move_never_lengthens(self, n, seed):
+        c = random_coords(n, seed=seed)
+        mv = best_move(c)
+        if mv.delta < 0:
+            after = tour_len(c[apply_two_opt_move(np.arange(n), mv.i, mv.j)])
+            assert after < tour_len(c)
+
+
+class TestRowBestMoves:
+    def test_row_minima_match_exhaustive(self):
+        c = random_coords(50, seed=9)
+        bj, bd = row_best_moves(c)
+        dn = next_distances(c)
+        for i in range(49):
+            jj = np.arange(i + 1, 50)
+            deltas = delta_for_pairs(c, np.full(jj.size, i), jj, dn)
+            assert bd[i] == deltas.min()
+            assert bj[i] == jj[np.argmin(deltas)]
+
+
+class TestBatchMoves:
+    def test_batch_moves_disjoint(self):
+        c = random_coords(300, seed=11)
+        moves = batch_improving_moves(c)
+        assert moves  # random tours always have improving moves
+        intervals = sorted((m.i, m.j + 1) for m in moves)
+        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+            assert a1 < b0, "intervals must not touch or overlap"
+
+    def test_batch_gain_is_exact(self):
+        """Total length change equals the sum of the batched deltas."""
+        c = random_coords(300, seed=13)
+        moves = batch_improving_moves(c)
+        order2 = apply_moves(np.arange(300), moves)
+        assert tour_len(c[order2]) == tour_len(c) + sum(m.delta for m in moves)
+
+    def test_all_batch_moves_improving(self):
+        c = random_coords(200, seed=15)
+        assert all(m.delta < 0 for m in batch_improving_moves(c))
+
+    def test_max_moves_cap(self):
+        c = random_coords(400, seed=17)
+        assert len(batch_improving_moves(c, max_moves=3)) <= 3
+
+    def test_empty_at_local_minimum(self):
+        theta = np.linspace(0, 2 * np.pi, 32, endpoint=False)
+        c = np.stack([1000 * np.cos(theta), 1000 * np.sin(theta)], axis=1).astype(np.float32)
+        assert batch_improving_moves(c) == []
+
+    @given(st.integers(20, 150), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_batch_apply_is_permutation_and_shorter(self, n, seed):
+        c = random_coords(n, seed=seed)
+        moves = batch_improving_moves(c)
+        order2 = apply_moves(np.arange(n), moves)
+        assert np.array_equal(np.sort(order2), np.arange(n))
+        if moves:
+            assert tour_len(c[order2]) < tour_len(c)

@@ -1,0 +1,84 @@
+"""Property-based tests for geometric invariances of the move engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.moves import (
+    batch_improving_moves,
+    best_move,
+    delta_for_pairs,
+    next_distances,
+)
+
+
+def random_coords(n, seed):
+    return np.random.default_rng(seed).uniform(0, 5000, (n, 2)).astype(np.float32)
+
+
+class TestInvariances:
+    @given(st.integers(10, 120), st.integers(0, 10**6),
+           st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance(self, n, seed, dx, dy):
+        """Integer translations preserve every rounded distance, hence the
+        best move (float32 is exact for these magnitudes)."""
+        c = random_coords(n, seed)
+        shifted = c + np.array([dx, dy], dtype=np.float32)
+        a = best_move(c)
+        b = best_move(shifted)
+        assert (a.i, a.j, a.delta) == (b.i, b.j, b.delta)
+
+    @given(st.integers(10, 100), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_axis_swap_invariance(self, n, seed):
+        """Swapping x and y preserves Euclidean distances exactly."""
+        c = random_coords(n, seed)
+        swapped = c[:, ::-1].copy()
+        a = best_move(c)
+        b = best_move(swapped)
+        assert (a.i, a.j, a.delta) == (b.i, b.j, b.delta)
+
+    @given(st.integers(10, 100), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_delta_lower_bound(self, n, seed):
+        """A 2-opt move can remove at most the two old edges entirely:
+        delta >= -(d(i,i+1) + d(j,j+1)) for every pair."""
+        c = random_coords(n, seed)
+        dn = next_distances(c)
+        rng = np.random.default_rng(seed)
+        i = rng.integers(0, n - 1, size=20)
+        j = rng.integers(0, n, size=20)
+        lo = np.minimum(i, j % n)
+        hi = np.maximum(i, j % n)
+        keep = lo < hi
+        lo, hi = lo[keep], hi[keep]
+        if lo.size == 0:
+            return
+        deltas = delta_for_pairs(c, lo, hi, dn)
+        assert np.all(deltas >= -(dn[lo] + dn[hi]))
+
+    @given(st.integers(12, 80), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_descent_terminates_and_certifies(self, n, seed):
+        """Iterating best moves must terminate (lengths strictly decrease
+        in the integers) at a state with no improving move."""
+        c = random_coords(n, seed).copy()
+        for _ in range(10_000):
+            mv = best_move(c)
+            if mv.delta >= 0:
+                break
+            c[mv.i + 1 : mv.j + 1] = c[mv.i + 1 : mv.j + 1][::-1]
+        else:
+            raise AssertionError("descent did not terminate")
+        assert best_move(c).delta >= 0
+
+    @given(st.integers(20, 100), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_never_conflicts_with_itself(self, n, seed):
+        """All batched intervals disjoint, all improving, gains additive."""
+        c = random_coords(n, seed)
+        moves = batch_improving_moves(c)
+        spans = sorted((m.i, m.j + 1) for m in moves)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 < b0
+        assert all(m.delta < 0 for m in moves)

@@ -1,0 +1,110 @@
+"""Tests for the Fig. 3 triangular job-space mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pair_indexing import (
+    iterations_per_thread,
+    linear_from_pair,
+    pair_count,
+    pair_from_linear,
+)
+
+
+class TestPairCount:
+    def test_examples_from_paper(self):
+        """§IV quotes 4851 pairs for kroE100 (it counts (n-2)(n-3)/2+...;
+        our job space is the full strict triangle n(n-1)/2 = 4950)."""
+        assert pair_count(100) == 4950
+        assert pair_count(4) == 6
+
+    def test_zero_and_one(self):
+        assert pair_count(0) == 0
+        assert pair_count(1) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pair_count(-1)
+
+
+class TestDecode:
+    def test_fig3_layout(self):
+        """The paper's Fig. 3 grid: k=0 -> (0,1), k=1 -> (0,2), k=2 ->
+        (1,2), k=3 -> (0,3) ... row-major by j."""
+        expected = [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3), (0, 4)]
+        for k, (i, j) in enumerate(expected):
+            assert pair_from_linear(k) == (i, j)
+
+    def test_scalar_returns_ints(self):
+        i, j = pair_from_linear(10)
+        assert isinstance(i, int) and isinstance(j, int)
+
+    def test_vectorized_matches_scalar(self):
+        ks = np.arange(500)
+        i, j = pair_from_linear(ks)
+        for k in range(500):
+            assert (i[k], j[k]) == pair_from_linear(k)
+
+    def test_bounds_check(self):
+        with pytest.raises(ValueError):
+            pair_from_linear(pair_count(10), n=10)
+        with pytest.raises(ValueError):
+            pair_from_linear(-1)
+
+    def test_last_index(self):
+        n = 100
+        i, j = pair_from_linear(pair_count(n) - 1, n=n)
+        assert (i, j) == (n - 2, n - 1)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=10**12))
+    @settings(max_examples=200)
+    def test_decode_encode_roundtrip(self, k):
+        i, j = pair_from_linear(k)
+        assert 0 <= i < j
+        assert linear_from_pair(i, j) == k
+
+    @given(st.integers(4, 100_000), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_encode_decode_roundtrip(self, n, data):
+        j = data.draw(st.integers(1, n - 1))
+        i = data.draw(st.integers(0, j - 1))
+        k = linear_from_pair(i, j)
+        assert pair_from_linear(k) == (i, j)
+
+    def test_every_pair_covered_exactly_once_small(self):
+        n = 40
+        pairs = set()
+        for k in range(pair_count(n)):
+            pairs.add(pair_from_linear(k))
+        assert len(pairs) == pair_count(n)
+        assert pairs == {(i, j) for j in range(n) for i in range(j)}
+
+    def test_encode_rejects_bad_pairs(self):
+        with pytest.raises(ValueError):
+            linear_from_pair(3, 3)
+        with pytest.raises(ValueError):
+            linear_from_pair(5, 2)
+
+    def test_float_precision_at_large_k(self):
+        """The sqrt decode must stay exact into the 10^11 range
+        (lrb744710 has 2.8e11 pairs)."""
+        n = 744_710
+        for k in [pair_count(n) - 1, pair_count(n) // 2, 10**11]:
+            i, j = pair_from_linear(k)
+            assert linear_from_pair(i, j) == k
+
+
+class TestIterations:
+    def test_paper_worked_example(self):
+        """§IV: pr2392 on a 28x1024 launch needs exactly 100 iterations."""
+        assert iterations_per_thread(2392, 28 * 1024) == 100
+
+    def test_single_iteration_when_threads_cover(self):
+        assert iterations_per_thread(100, 28 * 1024) == 1
+
+    def test_positive_threads_required(self):
+        with pytest.raises(ValueError):
+            iterations_per_thread(100, 0)

@@ -1,0 +1,95 @@
+"""Tests for neighborhood-pruned 2-opt (§VII extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.moves import best_move, next_distances
+from repro.core.pruned import PrunedTwoOpt, pruned_scan_stats
+from repro.tsplib.generators import generate_instance
+
+
+def coords_of(n, seed=0):
+    return generate_instance(n, seed=seed).coords_float32()
+
+
+class TestPrunedTwoOpt:
+    def test_candidates_are_canonical(self):
+        p = PrunedTwoOpt(coords_of(100), k=5)
+        assert np.all(p.candidates[:, 0] < p.candidates[:, 1])
+        assert np.unique(p.candidates, axis=0).shape == p.candidates.shape
+
+    def test_candidate_count_bounded(self):
+        p = PrunedTwoOpt(coords_of(200), k=6)
+        assert p.candidates.shape[0] <= 200 * 6
+
+    def test_run_reaches_pruned_minimum(self):
+        c = coords_of(300, seed=1)
+        p = PrunedTwoOpt(c, k=8)
+        res = p.run()
+        # no candidate move improves any more
+        assert p.best_move(res.order).delta >= 0
+
+    def test_length_bookkeeping(self):
+        c = coords_of(250, seed=2)
+        res = PrunedTwoOpt(c, k=8).run()
+        assert res.final_length == int(
+            next_distances(c[res.order]).sum()
+        )
+
+    def test_order_stays_permutation(self):
+        c = coords_of(150, seed=3)
+        res = PrunedTwoOpt(c, k=4).run()
+        assert np.array_equal(np.sort(res.order), np.arange(150))
+
+    def test_quality_close_to_full_2opt(self):
+        """§VII's trade-off: small quality loss for big check savings."""
+        c = coords_of(400, seed=4)
+        from repro.core.local_search import LocalSearch
+
+        full = LocalSearch("gtx680-cuda", strategy="batch").run(c)
+        pruned = PrunedTwoOpt(c, k=10).run()
+        loss = (pruned.final_length - full.final_length) / full.final_length
+        # different trajectories can make the pruned minimum slightly
+        # better or slightly worse; both stay within a few percent
+        assert -0.05 <= loss < 0.06
+
+    def test_check_count_far_below_full_scan(self):
+        n = 400
+        c = coords_of(n, seed=5)
+        res = PrunedTwoOpt(c, k=8).run()
+        full_per_scan = n * (n - 1) // 2
+        assert res.pair_checks < res.scans * full_per_scan / 5
+
+    def test_larger_k_at_least_as_good(self):
+        c = coords_of(300, seed=6)
+        small = PrunedTwoOpt(c, k=3).run()
+        large = PrunedTwoOpt(c, k=16).run()
+        assert large.final_length <= small.final_length * 1.02
+
+    def test_k_clamped(self):
+        p = PrunedTwoOpt(coords_of(10), k=50)
+        assert p.k == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrunedTwoOpt(coords_of(10), k=0)
+        with pytest.raises(ValueError):
+            PrunedTwoOpt(np.zeros((3, 2), dtype=np.float32), k=2)
+
+    def test_max_moves(self):
+        res = PrunedTwoOpt(coords_of(200, seed=7), k=8).run(max_moves=2)
+        assert res.moves_applied == 2
+
+
+class TestPrunedScanStats:
+    def test_counts(self):
+        s = pruned_scan_stats(100, 8)
+        assert s.pair_checks == 800
+        assert s.flops > 0
+
+    def test_much_cheaper_than_full(self):
+        from repro.core.two_opt_cpu import cpu_scan_stats
+
+        pruned = pruned_scan_stats(1000, 8)
+        full = cpu_scan_stats(1000)
+        assert pruned.flops < full.flops / 20

@@ -1,0 +1,98 @@
+"""Tests for the TwoOptSolver facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import TwoOptSolver
+from repro.errors import SolverError
+from repro.tsplib.generators import generate_instance
+
+
+class TestBuildInitial:
+    @pytest.mark.parametrize("initial", ["greedy", "nearest-neighbor", "random", "identity"])
+    def test_all_heuristics_give_permutations(self, inst300, initial):
+        order = TwoOptSolver().build_initial(inst300, initial)
+        assert np.array_equal(np.sort(order), np.arange(300))
+
+    def test_explicit_array_validated(self, inst100):
+        solver = TwoOptSolver()
+        order = solver.build_initial(inst100, np.arange(100)[::-1].copy())
+        assert order[0] == 99
+        with pytest.raises(Exception):
+            solver.build_initial(inst100, np.zeros(100, dtype=int))
+
+    def test_unknown_spec(self, inst100):
+        with pytest.raises(SolverError):
+            TwoOptSolver().build_initial(inst100, "christofides")
+
+    def test_greedy_beats_random_start(self, inst300):
+        solver = TwoOptSolver()
+        greedy = inst300.tour_length(solver.build_initial(inst300, "greedy"))
+        random_ = inst300.tour_length(solver.build_initial(inst300, "random"))
+        assert greedy < random_
+
+
+class TestSolve:
+    def test_solve_improves_and_validates(self, inst300):
+        res = TwoOptSolver().solve(inst300)
+        assert res.final_length < res.initial_length
+        assert np.array_equal(np.sort(res.tour.order), np.arange(300))
+
+    def test_canonical_length_close_to_float32_length(self, inst300):
+        """The float32 GPU pipeline and the canonical float64 TSPLIB
+        metric may differ by rounding on a few edges only."""
+        res = TwoOptSolver().solve(inst300)
+        assert abs(res.canonical_length - res.final_length) <= inst300.n
+
+    def test_solution_is_2opt_minimum(self, inst300):
+        from repro.core.moves import best_move
+
+        res = TwoOptSolver().solve(inst300)
+        ordered = inst300.coords[res.tour.order].astype(np.float32)
+        assert best_move(ordered).delta >= 0
+
+    def test_seed_reproducible(self, inst300):
+        a = TwoOptSolver().solve(inst300, initial="random", seed=5)
+        b = TwoOptSolver().solve(inst300, initial="random", seed=5)
+        assert np.array_equal(a.tour.order, b.tour.order)
+
+    def test_max_moves_forwarded(self, inst300):
+        res = TwoOptSolver().solve(inst300, initial="random", max_moves=3)
+        assert res.search.moves_applied == 3
+
+    def test_improvement_percent(self, inst300):
+        res = TwoOptSolver().solve(inst300)
+        assert 0 < res.improvement_percent < 100
+
+    def test_requires_coordinates(self):
+        from repro.tsplib.distances import EdgeWeightType
+        from repro.tsplib.instance import TSPInstance
+
+        m = np.array([[0, 1, 2], [1, 0, 3], [2, 3, 0]])
+        inst = TSPInstance(name="m", coords=None,
+                           metric=EdgeWeightType.EXPLICIT, explicit_matrix=m)
+        with pytest.raises(SolverError):
+            TwoOptSolver().solve(inst)
+
+    def test_cpu_and_gpu_agree_on_tour(self, inst300):
+        g = TwoOptSolver("gtx680-cuda").solve(inst300)
+        c = TwoOptSolver("i7-3960x-opencl", backend="cpu-parallel").solve(inst300)
+        assert np.array_equal(g.tour.order, c.tour.order)
+
+
+class TestMetricGuard:
+    def test_non_euclidean_metric_rejected(self):
+        """The kernels hard-code Listing 1's EUC_2D; silently optimizing
+        a GEO/ATT instance with the wrong metric would be a wrong answer,
+        so the solver must refuse."""
+        from repro.tsplib.distances import EdgeWeightType
+        from repro.tsplib.instance import TSPInstance
+
+        coords = np.random.default_rng(0).uniform(0, 90, (30, 2))
+        geo = TSPInstance(name="geo30", coords=coords,
+                          metric=EdgeWeightType.GEO)
+        with pytest.raises(SolverError, match="EUC_2D"):
+            TwoOptSolver().solve(geo)
+
+    def test_euclidean_still_accepted(self, inst100):
+        assert TwoOptSolver().solve(inst100).final_length > 0

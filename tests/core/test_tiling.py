@@ -1,0 +1,121 @@
+"""Tests for the problem-division (tiling) scheme — Fig. 7/8."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.moves import best_move
+from repro.core.pair_indexing import pair_count
+from repro.core.tiling import TileSchedule, TwoOptKernelTiled, tiled_best_move
+from repro.gpusim.executor import launch_kernel
+from repro.gpusim.kernel import LaunchConfig
+
+
+def random_coords(n, seed=0):
+    return np.random.default_rng(seed).uniform(0, 10_000, (n, 2)).astype(np.float32)
+
+
+class TestTileSchedule:
+    def test_segments_partition_range(self):
+        s = TileSchedule(100, 30)
+        assert s.segments == [(0, 30), (30, 60), (60, 90), (90, 100)]
+
+    def test_tile_count(self):
+        s = TileSchedule(100, 30)
+        assert s.num_tiles == 4 * 5 // 2
+
+    def test_total_jobs_equals_pair_count(self):
+        """The union of all tiles covers the job triangle exactly once."""
+        for n, rs in [(50, 7), (100, 30), (237, 16), (1000, 999), (64, 64)]:
+            s = TileSchedule(n, rs)
+            assert s.total_jobs() == pair_count(n), (n, rs)
+
+    @given(st.integers(4, 400), st.integers(2, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_property_jobs_cover_triangle(self, n, rs):
+        assert TileSchedule(n, rs).total_jobs() == pair_count(n)
+
+    def test_explicit_pair_coverage(self):
+        """Enumerate every (i, j) of every tile: exact cover, no overlap."""
+        n, rs = 40, 11
+        seen = set()
+        for t in TileSchedule(n, rs).tiles():
+            if t.intra:
+                for j in range(t.a0, t.a1):
+                    for i in range(t.a0, j):
+                        assert (i, j) not in seen
+                        seen.add((i, j))
+            else:
+                for i in range(t.a0, t.a1):
+                    for j in range(t.b0, t.b1):
+                        assert (i, j) not in seen
+                        seen.add((i, j))
+        assert seen == {(i, j) for j in range(n) for i in range(j)}
+
+    def test_for_device_uses_paper_budget(self, gtx680):
+        """48 kB / two float2 ranges -> ~3072-point ranges (§IV-B)."""
+        s = TileSchedule.for_device(100_000, gtx680)
+        assert 3000 <= s.range_size <= 3072
+
+    def test_for_device_small_instance_single_segment(self, gtx680):
+        s = TileSchedule.for_device(500, gtx680)
+        assert s.num_segments == 1
+        assert s.num_tiles == 1
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            TileSchedule(100, 1)
+        with pytest.raises(ValueError):
+            TileSchedule(2, 10)
+
+
+class TestTiledKernel:
+    @pytest.mark.parametrize("n,rs", [(60, 17), (120, 40), (200, 50)])
+    def test_tiled_matches_monolithic(self, gtx680, small_launch, n, rs):
+        c = random_coords(n, seed=n)
+        mv = best_move(c)
+        delta, i, j, _ = tiled_best_move(c, gtx680, small_launch, range_size=rs)
+        assert (delta, i, j) == (mv.delta, mv.i, mv.j)
+
+    @given(st.integers(12, 90), st.integers(5, 40), st.integers(0, 1000))
+    @settings(max_examples=12, deadline=None)
+    def test_property_tiled_matches_monolithic(self, n, rs, seed):
+        from repro.gpusim.device import get_device
+
+        c = random_coords(n, seed)
+        mv = best_move(c)
+        delta, i, j, _ = tiled_best_move(
+            c, get_device("gtx680-cuda"), LaunchConfig(2, 32), range_size=rs
+        )
+        assert (delta, i, j) == (mv.delta, mv.i, mv.j)
+
+    def test_launch_count_matches_schedule(self, gtx680, small_launch):
+        c = random_coords(100, seed=1)
+        _, _, _, stats = tiled_best_move(c, gtx680, small_launch, range_size=30)
+        assert stats.launches == TileSchedule(100, 30).num_tiles
+
+    def test_total_pair_checks(self, gtx680, small_launch):
+        c = random_coords(90, seed=2)
+        _, _, _, stats = tiled_best_move(c, gtx680, small_launch, range_size=25)
+        assert stats.pair_checks == pair_count(90)
+
+    def test_estimate_matches_instrumented(self, gtx680, small_launch):
+        c = random_coords(80, seed=3)
+        kernel = TwoOptKernelTiled()
+        fields = ("flops", "special_ops", "pair_checks", "iterations",
+                  "shared_requests", "atomics", "barriers")
+        for tile in TileSchedule(80, 25).tiles():
+            res = launch_kernel(kernel, gtx680, small_launch,
+                                coords_ordered=c, tile=tile)
+            est = kernel.estimate_stats(tile, small_launch, gtx680)
+            for f in fields:
+                assert getattr(res.stats, f) == getattr(est, f), (f, tile)
+
+    def test_wrap_segment_successor(self, gtx680, small_launch):
+        """The last tile needs position 0 as the successor of n-1; a move
+        with j = n-1 must still produce exact deltas."""
+        # construct coords where the best move involves the closing edge
+        c = random_coords(50, seed=9)
+        mv = best_move(c)
+        delta, i, j, _ = tiled_best_move(c, gtx680, small_launch, range_size=13)
+        assert (delta, i, j) == (mv.delta, mv.i, mv.j)

@@ -1,0 +1,156 @@
+"""Tests for the 2.5-opt SIMT kernel (§VII future work, built)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.moves import best_move, next_distances
+from repro.core.two_half_opt import (
+    TwoHalfOptKernel,
+    TwoHalfOptSearch,
+    best_two_h_move,
+    two_h_deltas_for_pairs,
+    _apply_coords,
+)
+from repro.gpusim.executor import launch_kernel
+from repro.gpusim.kernel import LaunchConfig
+from repro.heuristics.two_h_opt import TwoHMove, _apply
+from repro.tsplib.generators import generate_instance
+
+
+def coords_of(n, seed=0):
+    return generate_instance(n, seed=seed).coords_float32()
+
+
+def tour_len(c):
+    return int(next_distances(c).sum())
+
+
+class TestDeltas:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_every_variant_delta_matches_application(self, seed):
+        """Apply each variant at random pairs; predicted == realized."""
+        c = coords_of(60, seed=seed)
+        rng = np.random.default_rng(seed)
+        before = tour_len(c)
+        for _ in range(40):
+            i = int(rng.integers(0, 56))
+            j = int(rng.integers(i + 2, 59))  # j > i+1, j < n-1
+            d2, f, b = two_h_deltas_for_pairs(c, np.array([i]), np.array([j]))
+            for kind, d in (("2opt", d2[0]), ("insert-forward", f[0]),
+                            ("insert-backward", b[0])):
+                if d >= 2**39:  # masked invalid
+                    continue
+                moved = _apply_coords(c, TwoHMove(kind, i, j, int(d)))
+                assert tour_len(moved) - before == int(d), (kind, i, j)
+
+    def test_2opt_variant_matches_moves_engine(self):
+        c = coords_of(80, seed=3)
+        dn = next_distances(c)
+        from repro.core.moves import delta_for_pairs
+
+        i = np.arange(0, 40)
+        j = np.arange(40, 80)
+        d2, _, _ = two_h_deltas_for_pairs(c, i, j, dn)
+        assert np.array_equal(d2, delta_for_pairs(c, i, j, dn))
+
+    def test_invalid_variants_masked(self):
+        c = coords_of(30, seed=4)
+        # j = i+1: insertion variants invalid
+        _, f, b = two_h_deltas_for_pairs(c, np.array([5]), np.array([6]))
+        assert f[0] >= 2**39 and b[0] >= 2**39
+        # j = n-1: all insertions invalid
+        _, f, b = two_h_deltas_for_pairs(c, np.array([5]), np.array([29]))
+        assert f[0] >= 2**39 and b[0] >= 2**39
+
+
+class TestReferenceVsKernel:
+    @pytest.mark.parametrize("n,seed", [(40, 0), (100, 1), (200, 2)])
+    def test_kernel_bit_exact(self, gtx680, small_launch, n, seed):
+        c = coords_of(n, seed=seed)
+        ref = best_two_h_move(c)
+        res = launch_kernel(TwoHalfOptKernel(), gtx680, small_launch,
+                            coords_ordered=c)
+        assert res.output == ref
+
+    @given(st.integers(12, 70), st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_kernel_matches_reference(self, n, seed):
+        from repro.gpusim.device import get_device
+
+        c = coords_of(n, seed=seed)
+        ref = best_two_h_move(c)
+        res = launch_kernel(TwoHalfOptKernel(), get_device("gtx680-cuda"),
+                            LaunchConfig(2, 32), coords_ordered=c)
+        assert res.output == ref
+
+    def test_reference_blocked_consistency(self):
+        c = coords_of(150, seed=5)
+        a = best_two_h_move(c)
+        b = best_two_h_move(c, block_cells=1024)
+        assert a == b
+
+    def test_best_at_least_as_good_as_2opt(self):
+        """The 2.5-opt neighborhood contains the 2-opt one."""
+        for seed in range(4):
+            c = coords_of(90, seed=seed)
+            assert best_two_h_move(c).delta <= best_move(c).delta
+
+    def test_estimate_matches_instrumented(self, gtx680, small_launch):
+        n = 100
+        c = coords_of(n, seed=6)
+        res = launch_kernel(TwoHalfOptKernel(), gtx680, small_launch,
+                            coords_ordered=c)
+        est = TwoHalfOptKernel().estimate_stats(n, small_launch, gtx680)
+        for f in ("flops", "special_ops", "pair_checks", "iterations",
+                  "global_load_transactions", "shared_requests", "atomics",
+                  "barriers"):
+            assert getattr(res.stats, f) == getattr(est, f), f
+
+
+class TestTwoHalfOptSearch:
+    def test_descent_reaches_25opt_minimum(self):
+        c = coords_of(120, seed=7)
+        res = TwoHalfOptSearch().run(c)
+        assert res.final_length < res.initial_length
+        # certify: no improving 2.5-opt move remains on the final tour
+        final_coords = coords_of(120, seed=7)[res.order]
+        assert best_two_h_move(final_coords).delta >= 0
+
+    def test_not_systematically_worse_than_pure_2opt(self):
+        """Individual trajectories land in different minima (±several %),
+        but averaged over instances the richer neighborhood must not be
+        systematically worse than pure 2-opt."""
+        from repro.core.local_search import LocalSearch
+
+        rels = []
+        for seed in (8, 9, 10):
+            c = coords_of(150, seed=seed)
+            two = LocalSearch("gtx680-cuda", strategy="best").run(c)
+            two_h = TwoHalfOptSearch().run(c)
+            rels.append(
+                (two_h.final_length - two.final_length) / two.final_length
+            )
+        assert sum(rels) / len(rels) <= 0.02
+
+    def test_order_valid(self):
+        c = coords_of(100, seed=9)
+        res = TwoHalfOptSearch().run(c, max_moves=10)
+        assert np.array_equal(np.sort(res.order), np.arange(100))
+
+    def test_modeled_time_charged_per_launch(self):
+        c = coords_of(80, seed=10)
+        res = TwoHalfOptSearch().run(c, max_moves=5)
+        assert res.modeled_seconds > 0
+        assert res.stats.launches == res.moves_applied + (
+            0 if res.moves_applied == 5 else 1
+        )
+
+    def test_size_guard(self, gtx680):
+        search = TwoHalfOptSearch(gtx680)
+        with pytest.raises(ValueError):
+            search.run(np.zeros((7000, 2), dtype=np.float32))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            best_two_h_move(coords_of(10, seed=0)[:4])

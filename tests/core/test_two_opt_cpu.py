@@ -1,0 +1,115 @@
+"""Tests for the CPU baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.moves import best_move, next_distances
+from repro.core.two_opt_cpu import (
+    cpu_best_move,
+    cpu_scan_stats,
+    sequential_two_opt,
+    sequential_two_opt_sweep,
+)
+from repro.gpusim.stats import KernelStats
+
+
+def random_coords(n, seed=0):
+    return np.random.default_rng(seed).uniform(0, 10_000, (n, 2)).astype(np.float32)
+
+
+def tour_len(c):
+    return int(next_distances(c).sum())
+
+
+class TestCpuBestMove:
+    def test_move_identical_to_engine(self, i7cpu):
+        c = random_coords(150, seed=1)
+        mv, seconds = cpu_best_move(c, i7cpu)
+        ref = best_move(c)
+        assert (mv.delta, mv.i, mv.j) == (ref.delta, ref.i, ref.j)
+        assert seconds > 0
+
+    def test_fewer_threads_slower(self, i7cpu):
+        c = random_coords(500, seed=2)
+        _, t6 = cpu_best_move(c, i7cpu, threads=6)
+        _, t1 = cpu_best_move(c, i7cpu, threads=1)
+        assert t1 > 3 * t6
+
+    def test_stats_accumulated(self, i7cpu):
+        c = random_coords(100, seed=3)
+        acc = KernelStats()
+        cpu_best_move(c, i7cpu, stats=acc)
+        assert acc.pair_checks == 100 * 99 // 2
+
+
+class TestSequentialSweep:
+    def test_gain_bookkeeping_exact(self):
+        c = random_coords(80, seed=4)
+        before = tour_len(c)
+        c2, order, moves, gain = sequential_two_opt_sweep(c, np.arange(80))
+        assert tour_len(c2) == before + gain
+        assert gain <= 0 or moves == 0
+        assert moves > 0  # random tour always improvable
+
+    def test_coords_follow_order(self):
+        c = random_coords(60, seed=5)
+        c2, order, _, _ = sequential_two_opt_sweep(c, np.arange(60))
+        assert np.array_equal(c2, c[order])
+
+    def test_order_stays_permutation(self):
+        c = random_coords(60, seed=6)
+        _, order, _, _ = sequential_two_opt_sweep(c, np.arange(60))
+        assert np.array_equal(np.sort(order), np.arange(60))
+
+    def test_sweep_at_local_minimum_is_noop(self):
+        theta = np.linspace(0, 2 * np.pi, 30, endpoint=False)
+        c = np.stack([1000 * np.cos(theta), 1000 * np.sin(theta)], axis=1).astype(np.float32)
+        c2, order, moves, gain = sequential_two_opt_sweep(c, np.arange(30))
+        assert moves == 0 and gain == 0
+        assert np.array_equal(order, np.arange(30))
+
+
+class TestSequentialFull:
+    def test_reaches_local_minimum(self):
+        c = random_coords(70, seed=7)
+        c2, order, total_moves = sequential_two_opt(c, np.arange(70))
+        assert total_moves > 0
+        # no improving move remains
+        assert best_move(c2).delta >= 0
+
+    def test_sequential_and_best_improvement_reach_similar_quality(self):
+        """Different pivoting rules end in (possibly different) local
+        minima of comparable quality — within a few percent."""
+        from repro.core.local_search import LocalSearch
+
+        c = random_coords(120, seed=8)
+        seq_c, _, _ = sequential_two_opt(c.copy(), np.arange(120))
+        res = LocalSearch("gtx680-cuda").run(c)
+        a, b = tour_len(seq_c), res.final_length
+        assert abs(a - b) / min(a, b) < 0.10
+
+    def test_max_sweeps_guard(self):
+        c = random_coords(50, seed=9)
+        with pytest.raises(RuntimeError):
+            sequential_two_opt(c, np.arange(50), max_sweeps=0)
+
+
+class TestScanStats:
+    def test_pair_count(self):
+        s = cpu_scan_stats(100)
+        assert s.pair_checks == 4950
+        assert s.flops > 0 and s.special_ops > 0
+
+    def test_flops_match_gpu_kernel_arithmetic(self):
+        """CPU and GPU scans count identical arithmetic (same kernel)."""
+        from repro.core.two_opt_gpu import TwoOptKernelOrdered
+        from repro.gpusim.kernel import LaunchConfig
+        from repro.gpusim.device import get_device
+
+        n = 500
+        cpu = cpu_scan_stats(n)
+        gpu = TwoOptKernelOrdered().estimate_stats(
+            n, LaunchConfig(4, 64), get_device("gtx680-cuda")
+        )
+        assert cpu.flops == gpu.flops
+        assert cpu.special_ops == gpu.special_ops

@@ -1,0 +1,195 @@
+"""Integration tests for the table/figure experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_block_size_ablation,
+    run_kernel_variant_ablation,
+    run_lut_vs_coords_ablation,
+    run_strategy_ablation,
+)
+from repro.experiments.fig9_gflops import run_fig9, render as render9
+from repro.experiments.fig10_speedup import run_fig10, render as render10
+from repro.experiments.fig11_ils_convergence import run_fig11, render as render11
+from repro.experiments.table1_memory import run_table1, render as render1
+from repro.experiments.table2_timing import run_table2, render as render2
+
+
+class TestTable1Driver:
+    def test_runs_and_renders(self):
+        rows = run_table1()
+        out = render1(rows)
+        assert "fnl4461" in out and "kroE100" in out
+
+
+class TestTable2Driver:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2(max_solve_n=300, dlb_solve_n=800, max_table_n=1200)
+
+    def test_row_set(self, rows):
+        names = [r.name for r in rows]
+        assert names[0] == "berlin52"
+        assert "vm1084" in names
+
+    def test_solved_rows_have_lengths(self, rows):
+        solved = [r for r in rows if r.n <= 300]
+        assert all(r.initial_length is not None for r in solved)
+        assert all(r.optimized_length < r.initial_length for r in solved)
+        assert all(r.method == "exact" for r in solved)
+
+    def test_dlb_tier_rows_solved(self, rows):
+        dlb = [r for r in rows if 300 < r.n <= 800]
+        assert dlb and all(r.method == "dlb" for r in dlb)
+        assert all(r.optimized_length < r.initial_length for r in dlb)
+
+    def test_unsolved_rows_extrapolated(self, rows):
+        unsolved = [r for r in rows if r.n > 800]
+        assert all(r.method == "extrapolated" for r in unsolved)
+        assert all(r.time_to_minimum_s is not None for r in unsolved)
+        assert all(r.optimized_length is None for r in unsolved)
+
+    def test_kernel_time_flat_for_small_instances(self, rows):
+        """Table II's signature: berlin52 through pr1002 all cost ~the
+        same, launch-bound time."""
+        small = [r for r in rows if r.n <= 1002]
+        times = [r.kernel_s for r in small]
+        assert max(times) < 3 * min(times)
+
+    def test_total_includes_transfers(self, rows):
+        for r in rows:
+            assert r.total_s == pytest.approx(r.kernel_s + r.h2d_s + r.d2h_s)
+
+    def test_checks_per_second_increase_then_saturate(self, rows):
+        checks = [r.checks_per_s for r in rows]
+        assert checks[-1] > checks[0]
+
+    def test_render(self, rows):
+        out = render2(rows)
+        assert "berlin52" in out
+        assert "~" in out  # extrapolation marker
+
+
+class TestFig9Driver:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_fig9(sizes=(100, 1000, 5000, 20_000))
+
+    def test_all_devices_present(self, series):
+        assert len(series) == 8
+
+    def test_gpu_curves_rise_and_plateau(self, series):
+        gtx = next(s for s in series if s.device_key == "gtx680-cuda")
+        assert gtx.gflops[0] < gtx.gflops[1] < gtx.gflops[2]
+        # plateau: last two within 25%
+        assert abs(gtx.gflops[3] - gtx.gflops[2]) / gtx.gflops[2] < 0.25
+
+    def test_paper_peak_rates(self, series):
+        """§V: 680 GFLOP/s (GTX 680 CUDA), 830 GFLOP/s (Radeon 7970)."""
+        gtx = next(s for s in series if s.device_key == "gtx680-cuda")
+        radeon = next(s for s in series if s.device_key == "hd7970-opencl")
+        assert 600 <= gtx.peak <= 700
+        assert 700 <= radeon.peak <= 860
+
+    def test_cuda_above_opencl_on_same_silicon(self, series):
+        cuda = next(s for s in series if s.device_key == "gtx680-cuda")
+        ocl = next(s for s in series if s.device_key == "gtx680-opencl")
+        assert all(a >= b for a, b in zip(cuda.gflops[1:], ocl.gflops[1:]))
+
+    def test_cpus_far_below_gpus(self, series):
+        xeon = next(s for s in series if s.device_key == "xeon-e5-2690x2-opencl")
+        gtx = next(s for s in series if s.device_key == "gtx680-cuda")
+        assert gtx.peak > 10 * xeon.peak
+
+    def test_render(self, series):
+        assert "GFLOP/s" in render9(series)
+
+
+class TestFig10Driver:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_fig10(sizes=(100, 1000, 5000, 20_000))
+
+    def test_speedup_grows_with_size(self, series):
+        for s in series:
+            sp = [p.speedup for p in s.points]
+            assert sp[0] < sp[-1]
+
+    def test_saturated_band_matches_paper(self, series):
+        """Fig. 10 tops out around 20-25x for the fastest config."""
+        best = max(s.max_speedup for s in series)
+        assert 15 <= best <= 30
+
+    def test_small_instances_near_parity(self, series):
+        for s in series:
+            assert s.points[0].speedup < 5
+
+    def test_i7_baseline_gives_45x_band(self):
+        """Abstract: 5-45x vs the 6-core i7."""
+        series = run_fig10(devices=("gtx680-cuda",),
+                           baseline="i7-3960x-opencl",
+                           sizes=(500, 5000, 30_000))
+        assert 35 <= series[0].max_speedup <= 50
+
+    def test_render(self, series):
+        assert "speedup" in render10(series).lower()
+
+
+class TestFig11Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig11(n=250, iterations=4, seed=1)
+
+    def test_all_devices_ran(self, result):
+        assert set(result.curves) == {
+            "gtx680-cuda", "i7-3960x-opencl", "cpu-sequential"
+        }
+
+    def test_same_final_quality_all_devices(self, result):
+        lengths = set(result.final_lengths.values())
+        assert len(lengths) == 1  # identical trajectory, device-independent
+
+    def test_gpu_converges_faster(self, result):
+        s_cpu = result.speedup("gtx680-cuda", "i7-3960x-opencl")
+        s_seq = result.speedup("gtx680-cuda", "cpu-sequential")
+        assert s_cpu and s_cpu > 3
+        assert s_seq and s_seq > 20
+        assert s_seq > s_cpu
+
+    def test_ls_dominates(self, result):
+        assert all(v > 0.9 for v in result.ils_share.values())
+
+    def test_render(self, result):
+        out = render11(result)
+        assert "GPU convergence speedup" in out
+
+
+class TestAblations:
+    def test_kernel_variants_ordering(self):
+        rows = run_kernel_variant_ablation(n=256)
+        by_name = {r.kernel: r for r in rows}
+        assert by_name["global (naive)"].seconds >= by_name["shared (Opt 1)"].seconds
+        assert by_name["shared (Opt 1)"].seconds >= by_name["ordered (Opt 2)"].seconds
+        # all find the same best move
+        assert len({r.best_delta for r in rows}) == 1
+
+    def test_block_size_sweep(self):
+        rows = run_block_size_ablation(n=1500)
+        assert len(rows) >= 4
+        times = [r.seconds for r in rows]
+        assert max(times) < 5 * min(times)  # all reasonable configs work
+
+    def test_lut_vs_coords(self):
+        rows = run_lut_vs_coords_ablation(sizes=(1000, 20_000, 50_000))
+        # large instances: LUT stops fitting and is slower
+        big = rows[-1]
+        assert not big.lut_fits_device or big.lut_bytes > 4e9
+        assert big.lut_seconds > big.coords_seconds
+
+    def test_strategy_ablation(self):
+        rows = run_strategy_ablation(n=300)
+        by = {r.strategy: r for r in rows}
+        assert by["batch"].scans < by["best"].scans
+        rel = abs(by["batch"].final_length - by["best"].final_length)
+        assert rel / by["best"].final_length < 0.05

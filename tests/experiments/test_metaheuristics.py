@@ -1,0 +1,47 @@
+"""Tests for the §III metaheuristic-comparison experiment."""
+
+import pytest
+
+from repro.experiments.metaheuristics import (
+    render_metaheuristics,
+    run_metaheuristic_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_metaheuristic_comparison(
+        n=120, seed=0, aco_iterations=6, ga_generations=15, ils_iterations=4
+    )
+
+
+class TestMetaheuristicComparison:
+    def test_five_rows(self, rows):
+        assert len(rows) == 5
+        names = [r.algorithm for r in rows]
+        assert any("ILS" in x for x in names)
+        assert any("ACO (pure)" in x for x in names)
+        assert any("GA (pure)" in x for x in names)
+
+    def test_memetic_beats_pure_within_family(self, rows):
+        by = {r.algorithm: r for r in rows}
+        assert (by["ACO + GPU 2-opt (memetic)"].best_length
+                <= by["ACO (pure)"].best_length)
+        assert (by["GA + GPU 2-opt (memetic)"].best_length
+                <= by["GA (pure)"].best_length)
+
+    def test_accelerated_rows_near_best(self, rows):
+        """§III's point: every family embedding the 2-opt ends close to
+        the best result; pure GA (few generations) lags far behind."""
+        accel = [r for r in rows if r.uses_accelerated_2opt]
+        assert all(r.excess_over_best_pct < 10 for r in accel)
+        ga_pure = next(r for r in rows if r.algorithm == "GA (pure)")
+        assert ga_pure.excess_over_best_pct > 10
+
+    def test_best_marked_zero(self, rows):
+        assert min(r.excess_over_best_pct for r in rows) == 0.0
+
+    def test_render(self, rows):
+        out = render_metaheuristics(rows, 120)
+        assert "memetic" in out
+        assert "ILS" in out

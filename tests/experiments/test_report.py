@@ -1,0 +1,41 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.report import ReportConfig, generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    cfg = ReportConfig(
+        max_solve_n=150, fig11_n=150, fig11_iterations=2,
+        multigpu_n=20_000, pruned_n=200, ihc_n=150, ihc_budget_s=0.005,
+    )
+    return generate_report(cfg)
+
+
+class TestGenerateReport:
+    def test_all_sections_present(self, small_report):
+        for heading in ("# Reproduction report", "## Table I", "## Table II",
+                        "## Fig. 9", "## Fig. 10", "## Fig. 11",
+                        "## Ablations", "## Extensions"):
+            assert heading in small_report
+
+    def test_contains_instance_rows(self, small_report):
+        assert "berlin52" in small_report
+        assert "lrb744710" in small_report
+
+    def test_contains_device_names(self, small_report):
+        assert "GeForce GTX 680" in small_report
+        assert "Xeon" in small_report
+
+    def test_write_report(self, tmp_path, small_report):
+        # write_report re-runs; use a minimal config for speed
+        cfg = ReportConfig(
+            max_solve_n=100, fig11_n=120, fig11_iterations=1,
+            multigpu_n=20_000, pruned_n=150, ihc_n=120, ihc_budget_s=0.002,
+        )
+        path = tmp_path / "report.md"
+        text = write_report(path, cfg)
+        assert path.read_text() == text
+        assert text.startswith("# Reproduction report")

@@ -1,0 +1,34 @@
+"""Tests for the seed-robustness experiment."""
+
+import pytest
+
+from repro.experiments.robustness import render_robustness, run_robustness
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_robustness(n=200, seeds=(0, 1, 2), distributions=("uniform", "geo"))
+
+
+class TestRobustness:
+    def test_one_row_per_distribution(self, rows):
+        assert [r.distribution for r in rows] == ["uniform", "geo"]
+        assert all(r.seeds == 3 for r in rows)
+
+    def test_improvements_in_plausible_band(self, rows):
+        for r in rows:
+            assert 3 < r.improvement_mean_pct < 30
+
+    def test_spread_is_tight(self, rows):
+        """The justification for single-seed tables: CV stays small."""
+        for r in rows:
+            assert r.improvement_cv < 0.35
+
+    def test_move_ratio_positive(self, rows):
+        for r in rows:
+            assert 0.02 < r.moves_per_city_mean < 1.0
+
+    def test_render(self, rows):
+        out = render_robustness(rows)
+        assert "ROBUSTNESS" in out
+        assert "±" in out

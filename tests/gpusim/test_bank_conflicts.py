@@ -1,0 +1,62 @@
+"""Tests for the shared-memory bank-conflict analyzer."""
+
+import numpy as np
+
+from repro.gpusim.bank_conflicts import conflict_free, count_bank_conflicts
+
+
+class TestBankConflicts:
+    def test_sequential_words_conflict_free(self):
+        addrs = np.arange(32) * 4  # one word per bank
+        assert count_bank_conflicts(addrs) == 0
+        assert conflict_free(addrs)
+
+    def test_broadcast_same_word_free(self):
+        addrs = np.full(32, 64, dtype=np.int64)
+        assert count_bank_conflicts(addrs) == 0
+
+    def test_two_way_conflict_stride_2(self):
+        # stride-2 words: lanes i and i+16 share bank (2i mod 32)
+        addrs = np.arange(32) * 8
+        assert count_bank_conflicts(addrs) == 1
+
+    def test_32_way_conflict_stride_32(self):
+        # all lanes hit bank 0 with distinct words: 31 replays
+        addrs = np.arange(32) * 32 * 4
+        assert count_bank_conflicts(addrs) == 31
+
+    def test_mixed_broadcast_and_distinct(self):
+        # 31 lanes broadcast word 0; 1 lane hits word 32 (same bank 0)
+        addrs = np.zeros(32, dtype=np.int64)
+        addrs[-1] = 32 * 4
+        assert count_bank_conflicts(addrs) == 1
+
+    def test_two_warps_independent(self):
+        one_warp = np.arange(32) * 32 * 4      # 31 replays
+        addrs = np.concatenate([one_warp, np.arange(32) * 4])  # + 0 replays
+        assert count_bank_conflicts(addrs) == 31
+
+    def test_active_mask(self):
+        addrs = np.arange(32) * 32 * 4
+        mask = np.zeros(32, dtype=bool)
+        mask[:2] = True
+        assert count_bank_conflicts(addrs, active_mask=mask) == 1
+
+    def test_empty(self):
+        assert count_bank_conflicts(np.array([], dtype=np.int64)) == 0
+
+    def test_partial_warp(self):
+        addrs = np.arange(7) * 4
+        assert count_bank_conflicts(addrs) == 0
+
+    def test_route_indirection_conflicts_nonzero(self):
+        """A random permutation gather is (statistically) conflicted —
+        the cost Optimization 2 removes."""
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(1024)
+        addrs = perm[:32] * 8  # float2 rows at random positions
+        # not asserting an exact count; just that scattered float2 reads
+        # are not free like ordered ones aren't guaranteed — check >= 0
+        # and the typical case over many warps is conflicted:
+        total = count_bank_conflicts(perm * 8)
+        assert total > 0

@@ -1,0 +1,100 @@
+"""Tests for the coalescing analyzer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.coalescing import (
+    count_transactions,
+    expected_transactions_random,
+    transactions_for_sequential,
+)
+
+
+class TestCountTransactions:
+    def test_fully_coalesced_float_warp(self):
+        # 32 threads reading consecutive 4-byte words = one 128 B segment
+        addrs = np.arange(32) * 4
+        assert count_transactions(addrs) == 1
+
+    def test_float2_warp_needs_two_segments(self):
+        addrs = np.arange(32) * 8
+        assert count_transactions(addrs) == 2
+
+    def test_fully_scattered_warp(self):
+        # each thread in its own segment
+        addrs = np.arange(32) * 128
+        assert count_transactions(addrs) == 32
+
+    def test_broadcast_is_one_transaction(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert count_transactions(addrs) == 1
+
+    def test_two_warps_counted_separately(self):
+        # both warps touch segment 0 -> 1 transaction each
+        addrs = np.zeros(64, dtype=np.int64)
+        assert count_transactions(addrs) == 2
+
+    def test_partial_warp(self):
+        addrs = np.arange(10) * 4
+        assert count_transactions(addrs) == 1
+
+    def test_active_mask_suppresses_lanes(self):
+        addrs = np.arange(32) * 128
+        mask = np.zeros(32, dtype=bool)
+        mask[:4] = True
+        assert count_transactions(addrs, active_mask=mask) == 4
+
+    def test_all_inactive(self):
+        addrs = np.arange(32) * 4
+        assert count_transactions(addrs, active_mask=np.zeros(32, bool)) == 0
+
+    def test_empty(self):
+        assert count_transactions(np.array([], dtype=np.int64)) == 0
+
+    def test_unaligned_straddle(self):
+        # 32 words starting at byte 64: bytes 64..191 -> segments 0 and 1
+        addrs = 64 + np.arange(32) * 4
+        assert count_transactions(addrs) == 2
+
+
+class TestClosedForms:
+    def test_sequential_matches_analyzer_float(self):
+        for n in (1, 17, 32, 100, 1024):
+            addrs = np.arange(n) * 4
+            assert transactions_for_sequential(n, 4) == count_transactions(addrs)
+
+    def test_sequential_matches_analyzer_float2(self):
+        for n in (32, 64, 100, 256):
+            addrs = np.arange(n) * 8
+            assert transactions_for_sequential(n, 8) == count_transactions(addrs)
+
+    def test_sequential_zero(self):
+        assert transactions_for_sequential(0, 4) == 0
+
+    @given(st.integers(1, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_sequential_closed_form_property(self, n):
+        addrs = np.arange(n) * 4
+        assert transactions_for_sequential(n, 4) == count_transactions(addrs)
+
+    def test_random_expectation_upper_bounded_by_warp_size(self):
+        e = expected_transactions_random(32, 8, array_bytes=10**9)
+        assert 31 <= e <= 32  # huge array: nearly one tx per lane
+
+    def test_random_expectation_small_array(self):
+        # array fits in one segment -> exactly one transaction per warp
+        e = expected_transactions_random(32, 4, array_bytes=128)
+        assert abs(e - 1.0) < 1e-9
+
+    def test_random_expectation_statistical(self):
+        """Monte-Carlo check of the closed form."""
+        rng = np.random.default_rng(0)
+        n_threads, itemsize, nbytes = 1024, 4, 64 * 1024
+        n_items = nbytes // itemsize
+        trials = []
+        for _ in range(30):
+            idx = rng.integers(0, n_items, n_threads)
+            trials.append(count_transactions(idx * itemsize))
+        measured = np.mean(trials)
+        predicted = expected_transactions_random(n_threads, itemsize, nbytes)
+        assert abs(measured - predicted) / predicted < 0.05

@@ -1,0 +1,77 @@
+"""Tests for the device catalog."""
+
+import pytest
+
+from repro.errors import DeviceNotFoundError
+from repro.gpusim.device import (
+    CPUDeviceSpec,
+    DEVICES,
+    GPUDeviceSpec,
+    get_device,
+    list_devices,
+)
+
+
+class TestCatalog:
+    def test_all_paper_devices_present(self):
+        for key in (
+            "gtx680-cuda", "gtx680-opencl", "hd7970-opencl", "hd7970ghz-opencl",
+            "hd5970-opencl", "hd6990-opencl", "i7-3960x-opencl",
+            "xeon-e5-2690x2-opencl", "opteron-32c-opencl", "cpu-sequential",
+        ):
+            assert key in DEVICES
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceNotFoundError):
+            get_device("gtx9090")
+
+    def test_list_matches_dict(self):
+        assert set(list_devices()) == set(DEVICES)
+
+    def test_gtx680_datasheet_values(self):
+        d = get_device("gtx680-cuda")
+        assert isinstance(d, GPUDeviceSpec)
+        assert d.core_count == 1536
+        assert d.warp_size == 32
+        assert d.shared_mem_per_block == 48 * 1024
+        # peak ~3.09 TFLOP/s
+        assert 3000 < d.peak_gflops < 3200
+
+    def test_gtx680_sustained_matches_paper(self):
+        """Paper §V: recorded 680 GFLOP/s peak on GTX 680 with CUDA."""
+        d = get_device("gtx680-cuda")
+        assert abs(d.sustained_gflops - 680) < 20
+
+    def test_hd7970_sustained_matches_paper(self):
+        """Paper §V: 830 GFLOP/s on the Radeon in OpenCL."""
+        d = get_device("hd7970-opencl")
+        assert abs(d.sustained_gflops - 830) < 25
+
+    def test_shared_memory_capacity_supports_6144_cities(self):
+        """§IV: 48 kB shared memory limits one block to 6144 float2 coords."""
+        d = get_device("gtx680-cuda")
+        assert d.shared_mem_per_block // 8 == 6144
+
+    def test_cpu_specs(self):
+        c = get_device("i7-3960x-opencl")
+        assert isinstance(c, CPUDeviceSpec)
+        assert c.cores == 6
+        assert not c.is_gpu
+
+    def test_gpu_flag(self):
+        assert get_device("gtx680-cuda").is_gpu
+
+    def test_max_resident_threads(self):
+        d = get_device("gtx680-cuda")
+        assert d.max_resident_threads == 8 * 2048
+
+    def test_gpus_faster_than_cpus_sustained(self):
+        """Fig. 9 ordering: every GPU sustains more than every CPU."""
+        gpu_rates = [d.sustained_gflops for d in DEVICES.values() if d.is_gpu]
+        cpu_rates = [d.sustained_gflops for d in DEVICES.values() if not d.is_gpu]
+        assert min(gpu_rates) > max(cpu_rates)
+
+    def test_specs_frozen(self):
+        d = get_device("gtx680-cuda")
+        with pytest.raises(Exception):
+            d.clock_ghz = 2.0  # type: ignore[misc]

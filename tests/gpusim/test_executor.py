@@ -1,0 +1,61 @@
+"""Tests for the kernel launch machinery."""
+
+import numpy as np
+
+from repro.gpusim.executor import launch_kernel
+from repro.gpusim.kernel import Kernel, LaunchConfig
+from repro.gpusim.stats import KernelStats
+
+
+class DoublerKernel(Kernel):
+    """Toy kernel: every thread doubles one array element."""
+
+    name = "doubler"
+
+    def run(self, ctx, *, data):
+        g = ctx.global_array("data", data.copy())
+        tid = ctx.thread_ids()
+        n = g.data.shape[0]
+        active = tid < n
+        idx = np.where(active, tid, 0)
+        vals = g.load(idx, active_mask=active)
+        ctx.count_flops(1, active_threads=int(active.sum()))
+        g.store(idx, vals * 2, active_mask=active)
+        return g.data
+
+
+class TestLaunchKernel:
+    def test_output_correct(self, gtx680):
+        data = np.arange(16, dtype=np.float32)
+        res = launch_kernel(DoublerKernel(), gtx680, LaunchConfig(1, 32), data=data)
+        assert np.array_equal(res.output, data * 2)
+
+    def test_time_positive_and_breakdown(self, gtx680):
+        res = launch_kernel(
+            DoublerKernel(), gtx680, LaunchConfig(1, 32),
+            data=np.ones(16, dtype=np.float32),
+        )
+        assert res.seconds > 0
+        assert res.time.overhead >= gtx680.launch_overhead_s
+
+    def test_stats_recorded(self, gtx680):
+        res = launch_kernel(
+            DoublerKernel(), gtx680, LaunchConfig(1, 32),
+            data=np.ones(16, dtype=np.float32),
+        )
+        assert res.stats.flops == 16
+        assert res.stats.launches == 1
+
+    def test_external_accumulator(self, gtx680):
+        acc = KernelStats()
+        for _ in range(3):
+            launch_kernel(
+                DoublerKernel(), gtx680, LaunchConfig(1, 32),
+                stats=acc, data=np.ones(8, dtype=np.float32),
+            )
+        assert acc.launches == 3
+        assert acc.flops == 24
+
+    def test_default_launch_config(self, gtx680):
+        res = launch_kernel(DoublerKernel(), gtx680, data=np.ones(4, dtype=np.float32))
+        assert res.stats.threads_launched >= 4

@@ -1,0 +1,91 @@
+"""Failure-injection tests: the simulator must fail loudly and precisely.
+
+A silent wrong answer from the GPU substitute would poison every
+experiment, so every contract violation must surface as the documented
+exception — never as a numpy broadcast error or a wrong result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import Tile, TwoOptKernelTiled
+from repro.core.two_opt_gpu import TwoOptKernelOrdered
+from repro.errors import (
+    LaunchConfigError,
+    MemoryAccessError,
+    SharedMemoryOverflowError,
+)
+from repro.gpusim.executor import launch_kernel
+from repro.gpusim.kernel import KernelContext, LaunchConfig
+from repro.gpusim.memory import GlobalArray, SharedArray
+from repro.gpusim.stats import KernelStats
+
+
+class TestSharedMemoryFaults:
+    def test_kernel_exceeding_shared_capacity(self, gtx680, small_launch):
+        """The ordered kernel on >6144 cities must refuse, not corrupt."""
+        coords = np.zeros((7000, 2), dtype=np.float32)
+        with pytest.raises(SharedMemoryOverflowError):
+            launch_kernel(TwoOptKernelOrdered(), gtx680, small_launch,
+                          coords_ordered=coords)
+
+    def test_double_allocation_overflow(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(1, 32))
+        ctx.alloc_shared("a", (3072, 2), np.float32)
+        ctx.alloc_shared("b", (3072, 2), np.float32)  # exactly at 48 kB
+        with pytest.raises(SharedMemoryOverflowError):
+            ctx.alloc_shared("c", (1, 2), np.float32)
+
+
+class TestMemoryFaults:
+    def test_corrupt_tile_bounds_raise(self, gtx680, small_launch):
+        """A tile pointing past the coordinate array must raise a
+        memory-access error, mirroring an out-of-bounds device read."""
+        coords = np.zeros((100, 2), dtype=np.float32)
+        bad = Tile(a0=0, a1=50, b0=80, b1=120)  # b range exceeds n=100
+        with pytest.raises(MemoryAccessError):
+            launch_kernel(TwoOptKernelTiled(), gtx680, small_launch,
+                          coords_ordered=coords, tile=bad)
+
+    def test_global_array_negative_index(self):
+        g = GlobalArray("g", np.zeros((10, 2), dtype=np.float32), KernelStats())
+        with pytest.raises(MemoryAccessError):
+            g.load(np.array([-5]))
+
+    def test_shared_array_bounds(self):
+        s = SharedArray("s", (8, 2), np.float32, KernelStats(),
+                        capacity_bytes=1024)
+        with pytest.raises(MemoryAccessError):
+            s.store(np.array([8]), np.zeros((1, 2), dtype=np.float32))
+
+
+class TestLaunchFaults:
+    def test_zero_block(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(4, 0)
+
+    def test_occupancy_rejects_oversized_block(self, gtx680):
+        kernel = TwoOptKernelOrdered()
+        with pytest.raises(LaunchConfigError):
+            kernel.occupancy_for(gtx680, LaunchConfig(1, 4096), n=100)
+
+    def test_reduction_shape_mismatch(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(2, 32))
+        with pytest.raises(LaunchConfigError):
+            ctx.block_reduce_best(np.zeros(63), np.zeros(63))
+
+
+class TestResultIntegrityUnderFaults:
+    def test_failed_launch_leaves_no_partial_stats_in_accumulator(
+        self, gtx680, small_launch
+    ):
+        """A crashed launch must not half-update a shared accumulator in a
+        way that corrupts derived experiment numbers: the accumulator only
+        receives the launch's stats after a successful run."""
+        acc = KernelStats()
+        coords = np.zeros((7000, 2), dtype=np.float32)
+        with pytest.raises(SharedMemoryOverflowError):
+            launch_kernel(TwoOptKernelOrdered(), gtx680, small_launch,
+                          stats=acc, coords_ordered=coords)
+        assert acc.pair_checks == 0
+        assert acc.flops == 0

@@ -1,0 +1,106 @@
+"""Tests for LaunchConfig and KernelContext."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchConfigError
+from repro.gpusim.kernel import (
+    FLOPS_PER_DISTANCE,
+    KernelContext,
+    LaunchConfig,
+    SPECIAL_PER_DISTANCE,
+)
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        assert LaunchConfig(28, 1024).total_threads == 28 * 1024
+
+    def test_positive_dims_required(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(0, 64)
+
+    def test_default_for_gtx680_is_paper_config(self, gtx680):
+        lc = LaunchConfig.default_for(gtx680)
+        assert lc.block_dim == 1024
+        assert lc.grid_dim >= 16
+
+    def test_default_respects_block_limit(self, hd7970):
+        lc = LaunchConfig.default_for(hd7970)
+        assert lc.block_dim <= hd7970.max_threads_per_block
+
+
+class TestKernelContext:
+    def test_thread_geometry(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(2, 4))
+        assert list(ctx.thread_ids()) == list(range(8))
+        assert list(ctx.block_ids()) == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert list(ctx.lane_ids()) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_launch_counted(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(2, 4))
+        assert ctx.stats.launches == 1
+        assert ctx.stats.threads_launched == 8
+
+    def test_shared_allocation_budget(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(1, 32))
+        ctx.alloc_shared("a", (4000, 2), np.float32)  # 32 000 B
+        with pytest.raises(Exception):
+            ctx.alloc_shared("b", (4000, 2), np.float32)  # would exceed 48 kB
+
+    def test_euclidean_distance_matches_listing1(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(1, 32))
+        a = np.array([[0.0, 0.0], [0.0, 0.0]], dtype=np.float32)
+        b = np.array([[3.0, 4.0], [1.0, 1.0]], dtype=np.float32)
+        d = ctx.euclidean_distance(a, b)
+        assert list(d) == [5, 1]
+
+    def test_euclidean_distance_accounting(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(1, 32))
+        a = np.zeros((10, 2), dtype=np.float32)
+        ctx.euclidean_distance(a, a)
+        assert ctx.stats.flops == 10 * FLOPS_PER_DISTANCE
+        assert ctx.stats.special_ops == 10 * SPECIAL_PER_DISTANCE
+
+    def test_sync_counts_per_block(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(7, 32))
+        ctx.sync_threads()
+        assert ctx.stats.barriers == 7
+
+    def test_cooperative_load_charges_per_block(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(4, 64))
+        g = ctx.global_array("src", np.zeros((100, 2), dtype=np.float32))
+        sh = ctx.alloc_shared("dst", (100, 2), np.float32)
+        ctx.cooperative_load(g, sh, 100)
+        # every one of the 4 blocks reads all 100 rows
+        assert ctx.stats.global_load_bytes == 4 * 100 * 8
+        assert np.array_equal(sh.data, g.data)
+
+
+class TestBlockReduceBest:
+    def test_finds_global_minimum(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(2, 32))
+        values = np.arange(64, 0, -1)  # min 1 at last lane
+        payload = np.arange(64) * 10
+        v, p = ctx.block_reduce_best(values, payload)
+        assert v == 1
+        assert p == 630
+
+    def test_tie_breaks_to_lowest_payload(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(2, 32))
+        values = np.zeros(64)
+        payload = np.arange(64)[::-1].copy()
+        _, p = ctx.block_reduce_best(values, payload)
+        assert p == 0
+
+    def test_accounting(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(2, 32))
+        before = ctx.stats.atomics
+        ctx.block_reduce_best(np.zeros(64), np.zeros(64, dtype=int))
+        assert ctx.stats.atomics == before + 2  # one per block
+        assert ctx.stats.barriers > 0
+
+    def test_shape_mismatch_rejected(self, gtx680):
+        ctx = KernelContext(gtx680, LaunchConfig(2, 32))
+        with pytest.raises(LaunchConfigError):
+            ctx.block_reduce_best(np.zeros(10), np.zeros(10))

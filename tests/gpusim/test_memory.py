@@ -1,0 +1,95 @@
+"""Tests for instrumented global/shared memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryAccessError, SharedMemoryOverflowError
+from repro.gpusim.memory import GlobalArray, SharedArray
+from repro.gpusim.stats import KernelStats
+
+
+def make_global(n=128, cols=2):
+    stats = KernelStats()
+    data = np.arange(n * cols, dtype=np.float32).reshape(n, cols)
+    return GlobalArray("g", data, stats), stats
+
+
+def make_shared(n=128, cols=2, capacity=48 * 1024):
+    stats = KernelStats()
+    return SharedArray("s", (n, cols), np.float32, stats, capacity_bytes=capacity), stats
+
+
+class TestGlobalArray:
+    def test_load_returns_rows(self):
+        g, _ = make_global()
+        out = g.load(np.array([0, 5]))
+        assert np.array_equal(out, g.data[[0, 5]])
+
+    def test_load_counts_transactions_and_bytes(self):
+        g, stats = make_global()
+        g.load(np.arange(32))
+        assert stats.global_load_transactions == 2  # 32 float2 rows = 256 B
+        assert stats.global_load_bytes == 32 * 8
+
+    def test_scattered_load_costs_more(self):
+        g, s1 = make_global(4096)
+        g.load(np.arange(32))
+        seq_tx = s1.global_load_transactions
+        g2, s2 = make_global(4096)
+        g2.load(np.arange(32) * 128)  # widely scattered
+        assert s2.global_load_transactions > seq_tx
+
+    def test_store_writes_and_counts(self):
+        g, stats = make_global()
+        g.store(np.array([1, 2]), np.zeros((2, 2), dtype=np.float32))
+        assert np.all(g.data[1:3] == 0)
+        assert stats.global_store_transactions >= 1
+        assert stats.global_store_bytes == 16
+
+    def test_masked_store_only_touches_active(self):
+        g, _ = make_global()
+        before = g.data[2].copy()
+        g.store(np.array([1, 2]), np.zeros((2, 2), np.float32),
+                active_mask=np.array([True, False]))
+        assert np.all(g.data[1] == 0)
+        assert np.array_equal(g.data[2], before)
+
+    def test_out_of_bounds_rejected(self):
+        g, _ = make_global(16)
+        with pytest.raises(MemoryAccessError):
+            g.load(np.array([16]))
+        with pytest.raises(MemoryAccessError):
+            g.load(np.array([-1]))
+
+
+class TestSharedArray:
+    def test_capacity_enforced(self):
+        with pytest.raises(SharedMemoryOverflowError):
+            make_shared(n=10_000, capacity=48 * 1024)
+
+    def test_load_store_round_trip(self):
+        s, _ = make_shared()
+        s.store(np.array([3]), np.array([[1.5, 2.5]], dtype=np.float32))
+        assert np.array_equal(s.load(np.array([3]))[0], [1.5, 2.5])
+
+    def test_requests_counted(self):
+        s, stats = make_shared()
+        s.load(np.arange(32))
+        # one warp x float2 (2 words) = 2 requests
+        assert stats.shared_requests == 2
+
+    def test_conflicts_counted_for_strided_access(self):
+        s, stats = make_shared(n=2048, cols=1)
+        s.load(np.arange(32) * 32)  # all same bank
+        assert stats.bank_conflict_replays == 31
+
+    def test_bounds_checked(self):
+        s, _ = make_shared(16)
+        with pytest.raises(MemoryAccessError):
+            s.load(np.array([99]))
+
+    def test_fill_direct_no_accounting(self):
+        s, stats = make_shared()
+        s.fill_direct(np.ones((4, 2), dtype=np.float32))
+        assert stats.shared_requests == 0
+        assert np.all(s.data[:4] == 1)

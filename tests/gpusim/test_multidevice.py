@@ -1,0 +1,83 @@
+"""Tests for the multi-device (multi-GPU) sweep model."""
+
+import pytest
+
+from repro.errors import GpuSimError
+from repro.gpusim.multidevice import (
+    multi_device_sweep,
+    strong_scaling,
+)
+
+
+class TestMultiDeviceSweep:
+    def test_single_device_baseline(self):
+        sweep = multi_device_sweep(20_000, ["gtx680-cuda"])
+        assert len(sweep.loads) == 1
+        assert sweep.makespan > 0
+        assert sweep.efficiency == pytest.approx(1.0)
+
+    def test_two_devices_halve_makespan(self):
+        one = multi_device_sweep(50_000, ["gtx680-cuda"])
+        two = multi_device_sweep(50_000, ["gtx680-cuda"] * 2)
+        assert two.speedup_over(one) == pytest.approx(2.0, rel=0.1)
+
+    def test_all_tiles_assigned(self):
+        from repro.core.tiling import TileSchedule
+        from repro.gpusim.device import get_device
+
+        n = 30_000
+        sweep = multi_device_sweep(n, ["gtx680-cuda"] * 3)
+        expected = TileSchedule.for_device(n, get_device("gtx680-cuda")).num_tiles
+        assert sum(l.tiles for l in sweep.loads) == expected
+
+    @pytest.mark.parametrize("policy", ["round-robin", "lpt", "dynamic"])
+    def test_policies_conserve_work(self, policy):
+        one = multi_device_sweep(30_000, ["gtx680-cuda"], policy=policy)
+        four = multi_device_sweep(30_000, ["gtx680-cuda"] * 4, policy=policy)
+        assert four.total_work == pytest.approx(one.total_work, rel=1e-9)
+
+    def test_lpt_never_worse_than_round_robin(self):
+        rr = multi_device_sweep(40_000, ["gtx680-cuda"] * 4, policy="round-robin")
+        lpt = multi_device_sweep(40_000, ["gtx680-cuda"] * 4, policy="lpt")
+        assert lpt.makespan <= rr.makespan * 1.001
+
+    def test_heterogeneous_devices(self):
+        """A slower second GPU still helps, but sublinearly."""
+        fast_only = multi_device_sweep(40_000, ["hd7970ghz-opencl"])
+        mixed = multi_device_sweep(
+            40_000, ["hd7970ghz-opencl", "hd5970-opencl"], policy="dynamic"
+        )
+        assert mixed.makespan < fast_only.makespan
+        assert mixed.speedup_over(fast_only) < 2.0
+
+    def test_rejects_empty_and_cpu(self):
+        with pytest.raises(GpuSimError):
+            multi_device_sweep(10_000, [])
+        with pytest.raises(GpuSimError):
+            multi_device_sweep(10_000, ["i7-3960x-opencl"])
+
+    def test_unknown_policy(self):
+        with pytest.raises(GpuSimError):
+            multi_device_sweep(10_000, ["gtx680-cuda"], policy="magic")  # type: ignore[arg-type]
+
+
+class TestStrongScaling:
+    def test_speedups_monotone_and_bounded(self):
+        results = strong_scaling(80_000, device_counts=(1, 2, 4, 8))
+        single = results[0][1]
+        speedups = [single.makespan / sweep.makespan for _, sweep in results]
+        assert speedups[0] == pytest.approx(1.0)
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+        for (count, _), sp in zip(results, speedups):
+            assert sp <= count + 1e-9
+
+    def test_efficiency_high_for_large_problem(self):
+        results = strong_scaling(100_000, device_counts=(1, 8))
+        eight = dict(results)[8]
+        assert eight.efficiency > 0.9
+
+    def test_small_problem_scales_worse(self):
+        """Few tiles -> poor balance: efficiency drops for small n."""
+        big = dict(strong_scaling(100_000, device_counts=(1, 8)))[8]
+        small = dict(strong_scaling(10_000, device_counts=(1, 8)))[8]
+        assert small.efficiency < big.efficiency

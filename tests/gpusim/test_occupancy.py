@@ -1,0 +1,55 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.errors import LaunchConfigError
+from repro.gpusim.occupancy import occupancy
+
+
+class TestOccupancy:
+    def test_full_occupancy_1024_blocks(self, gtx680):
+        r = occupancy(gtx680, block_dim=1024, grid_dim=64)
+        # 2048 threads/SM / 1024 = 2 blocks/SM, 8 SMs = 16384 resident
+        assert r.blocks_per_sm == 2
+        assert r.resident_threads == 16384
+        assert r.occupancy == 1.0
+
+    def test_grid_limited(self, gtx680):
+        r = occupancy(gtx680, block_dim=1024, grid_dim=4)
+        assert r.resident_threads == 4096
+        assert r.limited_by == "grid"
+        assert r.occupancy == 0.25
+
+    def test_shared_memory_limits_blocks(self, gtx680):
+        # a block using all 48 kB: one block per SM
+        r = occupancy(gtx680, block_dim=256, grid_dim=1000,
+                      shared_bytes_per_block=48 * 1024)
+        assert r.blocks_per_sm == 1
+        assert r.limited_by in ("shared", "grid")
+        assert r.resident_threads == 8 * 256
+
+    def test_small_blocks_limited_by_block_slots(self, gtx680):
+        r = occupancy(gtx680, block_dim=32, grid_dim=10_000)
+        # 16 blocks/SM x 32 threads = 512/SM, not 2048
+        assert r.blocks_per_sm == 16
+        assert r.occupancy == 512 / 2048
+
+    def test_block_too_large(self, gtx680):
+        with pytest.raises(LaunchConfigError):
+            occupancy(gtx680, block_dim=2048, grid_dim=1)
+
+    def test_shared_request_too_large(self, gtx680):
+        with pytest.raises(LaunchConfigError):
+            occupancy(gtx680, block_dim=64, grid_dim=1,
+                      shared_bytes_per_block=64 * 1024)
+
+    def test_nonpositive_dims(self, gtx680):
+        with pytest.raises(LaunchConfigError):
+            occupancy(gtx680, block_dim=0, grid_dim=1)
+        with pytest.raises(LaunchConfigError):
+            occupancy(gtx680, block_dim=64, grid_dim=0)
+
+    def test_hd7970_block_limit(self, hd7970):
+        r = occupancy(hd7970, block_dim=256, grid_dim=10_000)
+        assert r.occupancy <= 1.0
+        assert r.resident_threads > 0

@@ -1,0 +1,48 @@
+"""Tests for KernelStats accumulation."""
+
+from repro.gpusim.stats import KernelStats
+
+
+class TestKernelStats:
+    def test_merge(self):
+        a = KernelStats(flops=10, atomics=1)
+        b = KernelStats(flops=5, barriers=2)
+        c = a.merge(b)
+        assert c.flops == 15 and c.atomics == 1 and c.barriers == 2
+        # originals untouched
+        assert a.flops == 10 and b.flops == 5
+
+    def test_iadd(self):
+        a = KernelStats(flops=1)
+        a += KernelStats(flops=2, launches=1)
+        assert a.flops == 3
+        assert a.launches == 1
+
+    def test_scaled(self):
+        s = KernelStats(flops=3, global_load_bytes=8).scaled(4)
+        assert s.flops == 12
+        assert s.global_load_bytes == 32
+
+    def test_total_flops_includes_special(self):
+        s = KernelStats(flops=10, special_ops=4)
+        assert s.total_flops == 14
+
+    def test_global_aggregates(self):
+        s = KernelStats(global_load_transactions=2, global_store_transactions=3,
+                        global_load_bytes=100, global_store_bytes=50)
+        assert s.global_transactions == 5
+        assert s.global_bytes == 150
+
+    def test_notes_merged(self):
+        a = KernelStats(notes={"x": 1})
+        b = KernelStats(notes={"y": 2})
+        assert a.merge(b).notes == {"x": 1, "y": 2}
+
+    def test_approx_equal_tolerance(self):
+        a = KernelStats(flops=100)
+        b = KernelStats(flops=103)
+        assert a.approx_equal(b, rel=0.05)
+        assert not a.approx_equal(KernelStats(flops=120), rel=0.05)
+
+    def test_approx_equal_ignores_shared_zeros(self):
+        assert KernelStats().approx_equal(KernelStats())

@@ -1,0 +1,112 @@
+"""Tests for the roofline/latency timing model."""
+
+import pytest
+
+from repro.gpusim.device import get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing_model import (
+    predict_cpu_time,
+    predict_kernel_time,
+    sustained_gflops,
+)
+
+
+def scan_stats(n: int, launch: LaunchConfig) -> KernelStats:
+    pairs = n * (n - 1) // 2
+    return KernelStats(
+        flops=pairs * 28, special_ops=pairs * 4, pair_checks=pairs,
+        launches=1, threads_launched=launch.total_threads,
+    )
+
+
+class TestGPUModel:
+    def test_small_problem_is_launch_bound(self, gtx680):
+        lc = LaunchConfig(28, 1024)
+        t = predict_kernel_time(scan_stats(100, lc), gtx680, lc)
+        # Table II: every instance below ~1000 cities costs the same ~20 us
+        assert 10e-6 < t.total < 40e-6
+        assert t.overhead > t.compute
+
+    def test_large_problem_is_compute_bound(self, gtx680):
+        lc = LaunchConfig(28, 1024)
+        t = predict_kernel_time(scan_stats(6000, lc), gtx680, lc,
+                                shared_bytes=8 * 6000)
+        assert t.compute > t.overhead
+        assert t.compute >= t.memory
+
+    def test_monotone_in_problem_size(self, gtx680):
+        lc = LaunchConfig(28, 1024)
+        times = [
+            predict_kernel_time(scan_stats(n, lc), gtx680, lc).total
+            for n in (100, 500, 1000, 3000, 6000)
+        ]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_sustained_rate_matches_calibration(self, gtx680):
+        """Large-n GFLOP/s must approach the paper's observed 680."""
+        lc = LaunchConfig(28, 1024)
+        s = scan_stats(6000, lc)
+        t = predict_kernel_time(s, gtx680, lc, shared_bytes=8 * 6000)
+        rate = sustained_gflops(s, t.total)
+        assert 0.85 * gtx680.sustained_gflops < rate <= gtx680.sustained_gflops * 1.01
+
+    def test_memory_bound_kernel(self, gtx680):
+        lc = LaunchConfig(28, 1024)
+        s = KernelStats(flops=1000, global_load_transactions=10**7,
+                        pair_checks=10**7, launches=1,
+                        threads_launched=lc.total_threads)
+        t = predict_kernel_time(s, gtx680, lc)
+        assert t.memory > t.compute
+        assert t.total >= t.memory
+
+    def test_launch_overhead_scales_with_launches(self, gtx680):
+        lc = LaunchConfig(28, 1024)
+        s1 = scan_stats(1000, lc)
+        s10 = scan_stats(1000, lc)
+        s10.launches = 10
+        t1 = predict_kernel_time(s1, gtx680, lc)
+        t10 = predict_kernel_time(s10, gtx680, lc)
+        assert t10.overhead > 5 * t1.overhead
+
+
+class TestCPUModel:
+    def test_six_core_i7_rate(self, i7cpu):
+        s = scan_stats(6000, LaunchConfig(1, 1))
+        t = predict_cpu_time(s, i7cpu, working_set_bytes=8 * 6000)
+        rate = sustained_gflops(s, t.total)
+        assert 10 < rate < 20  # ~15 GFLOP/s effective
+
+    def test_sequential_thread_limit(self, i7cpu):
+        s = scan_stats(3000, LaunchConfig(1, 1))
+        t6 = predict_cpu_time(s, i7cpu, threads=6)
+        t1 = predict_cpu_time(s, i7cpu, threads=1)
+        assert 4 < t1.total / t6.total < 8
+
+    def test_scattered_big_working_set_penalized(self, i7cpu):
+        s = KernelStats(global_load_bytes=1e9, launches=1)
+        fast = predict_cpu_time(s, i7cpu, working_set_bytes=1024)
+        slow = predict_cpu_time(s, i7cpu, working_set_bytes=10**9, scattered=True)
+        assert slow.total > 2 * fast.total
+
+    def test_gpu_vs_cpu_band_matches_abstract(self, gtx680, i7cpu):
+        """Abstract: 2-opt 5-45x faster than the 6-core parallel CPU code."""
+        lc = LaunchConfig(28, 1024)
+        ratios = []
+        for n in (500, 1000, 3000, 6000, 20000):
+            s = scan_stats(n, lc)
+            tg = predict_kernel_time(s, gtx680, lc, shared_bytes=8 * min(n, 6144))
+            tc = predict_cpu_time(s, i7cpu, working_set_bytes=8 * n)
+            ratios.append(tc.total / tg.total)
+        assert max(ratios) <= 50
+        assert max(ratios) >= 35  # approaches 45x
+        assert min(ratios) >= 3   # small-size end of the band
+
+
+class TestSustainedGflops:
+    def test_requires_positive_time(self):
+        with pytest.raises(ValueError):
+            sustained_gflops(KernelStats(flops=1), 0.0)
+
+    def test_value(self):
+        assert sustained_gflops(KernelStats(flops=2e9), 1.0) == 2.0

@@ -1,0 +1,100 @@
+"""Property-based tests for the timing model's structural invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.device import DEVICES, get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing_model import predict_cpu_time, predict_kernel_time
+
+gpu_keys = [k for k, d in DEVICES.items() if d.is_gpu]
+cpu_keys = [k for k, d in DEVICES.items() if not d.is_gpu]
+
+
+def scan_stats(pairs: int, total_threads: int) -> KernelStats:
+    return KernelStats(flops=pairs * 28, special_ops=pairs * 4,
+                       pair_checks=pairs, launches=1,
+                       threads_launched=total_threads)
+
+
+class TestGPUTimingProperties:
+    @given(st.sampled_from(gpu_keys), st.integers(10, 10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_time_positive_and_finite(self, key, pairs):
+        dev = get_device(key)
+        lc = LaunchConfig(8, min(256, dev.max_threads_per_block))
+        t = predict_kernel_time(scan_stats(pairs, lc.total_threads), dev, lc)
+        assert 0 < t.total < 1e6
+        assert t.total >= t.overhead
+
+    @given(st.sampled_from(gpu_keys),
+           st.integers(100, 10**7), st.integers(2, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_work(self, key, pairs, factor):
+        dev = get_device(key)
+        lc = LaunchConfig(8, min(256, dev.max_threads_per_block))
+        t1 = predict_kernel_time(scan_stats(pairs, lc.total_threads), dev, lc)
+        t2 = predict_kernel_time(
+            scan_stats(pairs * factor, lc.total_threads), dev, lc
+        )
+        assert t2.total >= t1.total
+
+    @given(st.integers(1000, 10**7))
+    @settings(max_examples=30, deadline=None)
+    def test_never_faster_than_peak(self, pairs):
+        """The model can never sustain more than the calibrated rate."""
+        dev = get_device("gtx680-cuda")
+        lc = LaunchConfig(28, 1024)
+        s = scan_stats(pairs, lc.total_threads)
+        t = predict_kernel_time(s, dev, lc)
+        gflops = s.total_flops / t.total / 1e9
+        assert gflops <= dev.sustained_gflops * 1.001
+
+    @given(st.sampled_from(gpu_keys))
+    @settings(max_examples=len(gpu_keys), deadline=None)
+    def test_empty_launch_costs_overhead(self, key):
+        dev = get_device(key)
+        lc = LaunchConfig(1, 32)
+        t = predict_kernel_time(KernelStats(launches=1, threads_launched=32),
+                                dev, lc)
+        assert t.total >= dev.launch_overhead_s
+
+
+class TestCPUTimingProperties:
+    @given(st.sampled_from(cpu_keys), st.integers(10, 10**8))
+    @settings(max_examples=40, deadline=None)
+    def test_positive(self, key, pairs):
+        dev = get_device(key)
+        t = predict_cpu_time(scan_stats(pairs, 1), dev)
+        assert t.total > 0
+
+    @given(st.sampled_from(cpu_keys), st.integers(10**6, 10**8))
+    @settings(max_examples=30, deadline=None)
+    def test_more_threads_never_slower_on_large_scans(self, key, pairs):
+        """Parallelism wins once the scan amortizes the spawn overhead.
+
+        (For *tiny* scans the model correctly prefers one thread — the
+        spawn overhead dominates — so the property is stated for scans
+        of at least a million pair checks.)
+        """
+        dev = get_device(key)
+        s = scan_stats(pairs, 1)
+        times = [predict_cpu_time(s, dev, threads=t).total
+                 for t in range(1, dev.cores + 1)]
+        assert times[0] >= times[-1]
+
+    @given(st.integers(1000, 10**7))
+    @settings(max_examples=20, deadline=None)
+    def test_every_gpu_beats_every_cpu_on_large_scans(self, pairs):
+        if pairs < 10**6:
+            pairs += 10**6
+        cpu_best = min(
+            predict_cpu_time(scan_stats(pairs, 1), get_device(k)).total
+            for k in cpu_keys
+        )
+        for k in gpu_keys:
+            dev = get_device(k)
+            lc = LaunchConfig(8, min(256, dev.max_threads_per_block))
+            t = predict_kernel_time(scan_stats(pairs, lc.total_threads), dev, lc)
+            assert t.total < cpu_best

@@ -1,0 +1,84 @@
+"""Tests for the kernel-launch trace collector."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_opt_gpu import TwoOptKernelOrdered
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing_model import TimeBreakdown
+from repro.gpusim.trace import LaunchRecord, TraceCollector, traced_launch
+
+
+def fake_time(total=1e-4):
+    return TimeBreakdown(total=total, compute=total / 2, memory=total / 4,
+                         shared=0.0, overhead=total / 4, utilization=1.0)
+
+
+class TestTraceCollector:
+    def test_records_launches(self):
+        tc = TraceCollector()
+        tc.add_launch("k1", "dev", 4, 64, KernelStats(flops=10), fake_time())
+        tc.add_launch("k2", "dev", 4, 64, KernelStats(flops=20), fake_time())
+        assert tc.launch_count == 2
+        assert tc.total_seconds == pytest.approx(2e-4)
+
+    def test_by_kernel_aggregation(self):
+        tc = TraceCollector()
+        for _ in range(3):
+            tc.add_launch("a", "d", 1, 1, KernelStats(), fake_time(1e-3))
+        tc.add_launch("b", "d", 1, 1, KernelStats(), fake_time(5e-3))
+        agg = tc.by_kernel()
+        assert agg["a"] == (3, pytest.approx(3e-3))
+        assert agg["b"][0] == 1
+
+    def test_max_records_bound(self):
+        tc = TraceCollector(max_records=2)
+        for _ in range(5):
+            tc.add_launch("k", "d", 1, 1, KernelStats(), fake_time())
+        assert len(tc.records) == 2
+        assert tc.dropped == 3
+        assert tc.launch_count == 5
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            TraceCollector(max_records=0)
+
+    def test_jsonl_round_trip(self):
+        tc = TraceCollector()
+        tc.add_launch("k", "GTX", 8, 128, KernelStats(flops=42, pair_checks=7),
+                      fake_time())
+        back = TraceCollector.from_jsonl(tc.to_jsonl())
+        assert len(back.records) == 1
+        assert back.records[0].flops == 42
+        assert back.records[0].kernel == "k"
+
+    def test_summary_output(self):
+        tc = TraceCollector()
+        tc.add_launch("2opt-ordered", "GTX", 8, 128, KernelStats(), fake_time())
+        s = tc.summary()
+        assert "2opt-ordered" in s
+        assert "total" in s
+
+    def test_empty_summary(self):
+        assert "no launches" in TraceCollector().summary()
+
+
+class TestTracedLaunch:
+    def test_records_real_launch(self, gtx680, small_launch):
+        tc = TraceCollector()
+        c = np.random.default_rng(0).uniform(0, 100, (64, 2)).astype(np.float32)
+        res = traced_launch(tc, TwoOptKernelOrdered(), gtx680, small_launch,
+                            coords_ordered=c)
+        assert res.output[0] <= 0
+        assert len(tc.records) == 1
+        rec = tc.records[0]
+        assert rec.kernel == "2opt-ordered"
+        assert rec.grid_dim == small_launch.grid_dim
+        assert rec.pair_checks == 64 * 63 / 2
+
+    def test_none_collector_is_noop(self, gtx680, small_launch):
+        c = np.random.default_rng(1).uniform(0, 100, (32, 2)).astype(np.float32)
+        res = traced_launch(None, TwoOptKernelOrdered(), gtx680, small_launch,
+                            coords_ordered=c)
+        assert res.output is not None

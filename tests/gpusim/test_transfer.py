@@ -1,0 +1,48 @@
+"""Tests for the PCIe transfer model."""
+
+import pytest
+
+from repro.gpusim.transfer import round_trip_time, transfer_time
+
+
+class TestTransferTime:
+    def test_zero_bytes_costs_latency_only(self, gtx680):
+        t = transfer_time(gtx680, 0)
+        assert t.total == gtx680.pcie_latency_s
+        assert t.wire == 0
+
+    def test_linear_in_size(self, gtx680):
+        small = transfer_time(gtx680, 10**6)
+        large = transfer_time(gtx680, 10**8)
+        assert large.wire == pytest.approx(100 * small.wire)
+
+    def test_negative_rejected(self, gtx680):
+        with pytest.raises(ValueError):
+            transfer_time(gtx680, -1)
+
+    def test_paper_scale_small_instance(self, gtx680):
+        """Table II: H2D for small instances ~tens of us (dominated by
+        latency), D2H of a single result ~10 us."""
+        h2d = transfer_time(gtx680, 8 * 100)  # kroE100 coordinates
+        d2h = transfer_time(gtx680, 16)
+        assert h2d.total < 50e-6
+        assert d2h.total < 20e-6
+
+    def test_share_shrinks_with_problem_size(self, gtx680):
+        """§V: transfer proportion decreases as the problem grows
+        (transfers are O(n), the kernel is O(n^2))."""
+        from repro.core.local_search import LocalSearch
+
+        ls = LocalSearch(gtx680)
+        shares = []
+        for n in (100, 1000, 5000):
+            kernel = ls.scan_seconds(n)
+            xfer = round_trip_time(gtx680, 8 * n, 16)
+            shares.append(xfer / (kernel + xfer))
+        assert shares[0] > shares[1] > shares[2]
+
+    def test_round_trip_is_sum(self, gtx680):
+        rt = round_trip_time(gtx680, 1000, 16)
+        assert rt == pytest.approx(
+            transfer_time(gtx680, 1000).total + transfer_time(gtx680, 16).total
+        )

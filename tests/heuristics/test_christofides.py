@@ -1,0 +1,60 @@
+"""Tests for the Christofides baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.heuristics.christofides import christofides_tour
+from repro.tsplib.distances import euc2d_distance_float
+from repro.tsplib.generators import generate_instance
+
+
+class TestChristofides:
+    def test_is_permutation(self, inst100):
+        t = christofides_tour(inst100)
+        assert np.array_equal(np.sort(t), np.arange(100))
+
+    def test_approximation_guarantee_holds_loosely(self):
+        """Christofides is within 1.5x of optimal; against the 2-opt
+        local minimum (itself above optimal) it must be within 1.5x."""
+        from repro.core.local_search import LocalSearch
+
+        inst = generate_instance(150, seed=2)
+        chris_len = inst.tour_length(christofides_tour(inst))
+        res = LocalSearch("gtx680-cuda", strategy="batch").run(
+            inst.coords.astype(np.float32)
+        )
+        assert chris_len <= 1.5 * res.final_length
+
+    def test_beats_random(self, inst100):
+        chris = inst100.tour_length(christofides_tour(inst100))
+        rnd = inst100.tour_length(np.random.default_rng(0).permutation(100))
+        assert chris < 0.5 * rnd
+
+    def test_size_guard(self):
+        inst = generate_instance(100, seed=0)
+        with pytest.raises(SolverError):
+            christofides_tour(inst, max_n=50)
+
+    def test_tiny(self):
+        inst = generate_instance(4, seed=0)
+        t = christofides_tour(inst)
+        assert np.array_equal(np.sort(t), np.arange(4))
+
+    def test_mst_lower_bound_respected(self):
+        """Tour length >= MST weight (sanity of the construction)."""
+        import networkx as nx
+
+        inst = generate_instance(60, seed=5)
+        c = inst.coords
+        g = nx.Graph()
+        for i in range(60):
+            for j in range(i + 1, 60):
+                g.add_edge(i, j, weight=float(np.linalg.norm(c[i] - c[j])))
+        mst_w = sum(d["weight"] for _, _, d in
+                    nx.minimum_spanning_tree(g).edges(data=True))
+        tour = christofides_tour(inst)
+        tour_w = float(
+            euc2d_distance_float(c[tour], c[np.roll(tour, -1)]).sum()
+        )
+        assert tour_w >= mst_w

@@ -1,0 +1,85 @@
+"""Tests for Multiple Fragment (greedy) construction."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.greedy_mf import multiple_fragment_tour, _UnionFind
+from repro.heuristics.nearest_neighbor import nearest_neighbor_tour
+from repro.tsplib.generators import generate_instance
+
+
+class TestUnionFind:
+    def test_basic(self):
+        uf = _UnionFind(5)
+        assert uf.find(0) != uf.find(1)
+        uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+
+    def test_transitive(self):
+        uf = _UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(4) != uf.find(0)
+
+
+class TestMultipleFragment:
+    def test_is_permutation(self, inst300):
+        t = multiple_fragment_tour(inst300)
+        assert np.array_equal(np.sort(t), np.arange(300))
+
+    def test_deterministic(self, inst300):
+        assert np.array_equal(
+            multiple_fragment_tour(inst300), multiple_fragment_tour(inst300)
+        )
+
+    def test_beats_nearest_neighbor_on_average(self):
+        """Bentley 1990: MF tours are consistently better than NN tours."""
+        wins = 0
+        for seed in range(5):
+            inst = generate_instance(400, seed=seed)
+            mf = inst.tour_length(multiple_fragment_tour(inst))
+            nn = inst.tour_length(nearest_neighbor_tour(inst, start=0))
+            if mf < nn:
+                wins += 1
+        assert wins >= 4
+
+    def test_shortest_edge_always_used(self, inst300):
+        """The greedy rule must take the globally shortest edge first."""
+        c = inst300.coords
+        t = multiple_fragment_tour(inst300)
+        # find the overall nearest pair
+        from scipy.spatial import cKDTree
+
+        d, idx = cKDTree(c).query(c, k=2)
+        a = int(np.argmin(d[:, 1]))
+        b = int(idx[a, 1])
+        # a and b must be adjacent in the tour
+        pa = int(np.where(t == a)[0][0])
+        n = t.size
+        assert b in (t[(pa + 1) % n], t[(pa - 1) % n])
+
+    @pytest.mark.parametrize("dist", ["uniform", "clustered", "grid", "geo"])
+    def test_all_geometry_classes(self, dist):
+        inst = generate_instance(250, distribution=dist, seed=3)
+        t = multiple_fragment_tour(inst)
+        assert np.array_equal(np.sort(t), np.arange(250))
+
+    def test_small_neighbor_k_still_valid(self, inst300):
+        t = multiple_fragment_tour(inst300, neighbor_k=2)
+        assert np.array_equal(np.sort(t), np.arange(300))
+
+    def test_tiny_instances(self):
+        inst = generate_instance(4, seed=0)
+        t = multiple_fragment_tour(inst)
+        assert np.array_equal(np.sort(t), np.arange(4))
+
+    def test_duplicate_points(self):
+        from repro.tsplib.instance import TSPInstance
+
+        coords = np.zeros((6, 2))
+        coords[3:] = [[1, 1], [2, 2], [3, 3]]
+        inst = TSPInstance(name="dup", coords=coords)
+        t = multiple_fragment_tour(inst)
+        assert np.array_equal(np.sort(t), np.arange(6))

@@ -1,0 +1,52 @@
+"""Tests for nearest-neighbor construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.heuristics.nearest_neighbor import nearest_neighbor_tour
+from repro.tsplib.generators import generate_instance
+
+
+class TestNearestNeighborTour:
+    def test_is_permutation(self, inst300):
+        t = nearest_neighbor_tour(inst300, start=0)
+        assert np.array_equal(np.sort(t), np.arange(300))
+
+    def test_starts_at_requested_city(self, inst300):
+        assert nearest_neighbor_tour(inst300, start=42)[0] == 42
+
+    def test_random_start_deterministic_by_seed(self, inst300):
+        a = nearest_neighbor_tour(inst300, seed=1)
+        b = nearest_neighbor_tour(inst300, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_first_step_goes_to_true_nearest(self, inst300):
+        t = nearest_neighbor_tour(inst300, start=10)
+        c = inst300.coords
+        d = np.linalg.norm(c - c[10], axis=1)
+        d[10] = np.inf
+        assert t[1] == np.argmin(d)
+
+    def test_beats_random_tour(self, inst300):
+        nn_len = inst300.tour_length(nearest_neighbor_tour(inst300, start=0))
+        rng = np.random.default_rng(0)
+        rand_len = inst300.tour_length(rng.permutation(300))
+        assert nn_len < 0.6 * rand_len
+
+    def test_invalid_start(self, inst100):
+        with pytest.raises(SolverError):
+            nearest_neighbor_tour(inst100, start=100)
+
+    def test_clustered_instances(self):
+        inst = generate_instance(400, distribution="clustered", seed=5)
+        t = nearest_neighbor_tour(inst, start=0)
+        assert np.array_equal(np.sort(t), np.arange(400))
+
+    def test_duplicate_points(self):
+        from repro.tsplib.instance import TSPInstance
+
+        coords = np.array([[0.0, 0], [0, 0], [1, 1], [2, 2], [0, 0]])
+        inst = TSPInstance(name="dup", coords=coords)
+        t = nearest_neighbor_tour(inst, start=0)
+        assert np.array_equal(np.sort(t), np.arange(5))

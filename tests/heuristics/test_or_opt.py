@@ -1,0 +1,57 @@
+"""Tests for the Or-opt pass."""
+
+import numpy as np
+
+from repro.heuristics.or_opt import or_opt_pass
+from repro.tsplib.generators import generate_instance
+from repro.core.moves import next_distances
+
+
+def tour_len(c, order):
+    return int(next_distances(c[order].astype(np.float32)).sum())
+
+
+class TestOrOptPass:
+    def test_preserves_permutation(self, inst300):
+        order, _ = or_opt_pass(inst300.coords, np.arange(300))
+        assert np.array_equal(np.sort(order), np.arange(300))
+
+    def test_gain_matches_length_change(self, inst300):
+        c = inst300.coords
+        order0 = np.random.default_rng(1).permutation(300)
+        order1, gain = or_opt_pass(c, order0)
+        assert gain >= 0
+        assert tour_len(c, order0) - tour_len(c, order1) == gain
+
+    def test_improves_random_tours(self, inst300):
+        order0 = np.random.default_rng(2).permutation(300)
+        _, gain = or_opt_pass(inst300.coords, order0)
+        assert gain > 0
+
+    def test_improves_2opt_minima_sometimes(self):
+        """Or-opt's value: it finds moves 2-opt cannot express. Over a
+        few instances, at least one 2-opt-optimal tour improves."""
+        from repro.core.local_search import LocalSearch
+
+        improved = 0
+        for seed in range(3):
+            inst = generate_instance(200, seed=seed)
+            res = LocalSearch("gtx680-cuda").run(
+                inst.coords.astype(np.float32)
+            )
+            _, gain = or_opt_pass(inst.coords[res.order], np.arange(200))
+            if gain > 0:
+                improved += 1
+        assert improved >= 1
+
+    def test_tiny_tours_untouched(self):
+        order = np.arange(4)
+        out, gain = or_opt_pass(np.random.default_rng(0).uniform(0, 10, (4, 2)), order)
+        assert gain == 0
+        assert np.array_equal(out, order)
+
+    def test_input_not_mutated(self, inst300):
+        order0 = np.random.default_rng(3).permutation(300)
+        backup = order0.copy()
+        or_opt_pass(inst300.coords, order0)
+        assert np.array_equal(order0, backup)

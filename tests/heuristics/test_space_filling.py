@@ -1,0 +1,75 @@
+"""Tests for Hilbert-curve tour construction."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.space_filling import hilbert_d, hilbert_tour
+from repro.tsplib.generators import generate_instance
+
+
+class TestHilbertD:
+    def test_order1_quadrants(self):
+        # 2x2 curve: (0,0)->0, (0,1)->1, (1,1)->2, (1,0)->3
+        x = np.array([0, 0, 1, 1])
+        y = np.array([0, 1, 1, 0])
+        d = hilbert_d(x, y, 1)
+        assert list(d) == [0, 1, 2, 3]
+
+    def test_bijective_on_small_grid(self):
+        order = 3
+        side = 1 << order
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        d = hilbert_d(xs.ravel().astype(np.int64), ys.ravel().astype(np.int64), order)
+        assert np.array_equal(np.sort(d), np.arange(side * side))
+
+    def test_curve_is_continuous(self):
+        """Consecutive Hilbert indices are grid neighbors (the locality
+        property the construction relies on)."""
+        order = 4
+        side = 1 << order
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        flat_x = xs.ravel().astype(np.int64)
+        flat_y = ys.ravel().astype(np.int64)
+        d = hilbert_d(flat_x, flat_y, order)
+        by_d = np.argsort(d)
+        px, py = flat_x[by_d], flat_y[by_d]
+        steps = np.abs(np.diff(px)) + np.abs(np.diff(py))
+        assert np.all(steps == 1)
+
+    def test_order_bounds(self):
+        with pytest.raises(ValueError):
+            hilbert_d(np.array([0]), np.array([0]), 0)
+        with pytest.raises(ValueError):
+            hilbert_d(np.array([0]), np.array([0]), 32)
+
+
+class TestHilbertTour:
+    def test_is_permutation(self, inst300):
+        t = hilbert_tour(inst300)
+        assert np.array_equal(np.sort(t), np.arange(300))
+
+    def test_deterministic(self, inst300):
+        assert np.array_equal(hilbert_tour(inst300), hilbert_tour(inst300))
+
+    def test_beats_random_substantially(self):
+        inst = generate_instance(2000, seed=3)
+        hil = inst.tour_length(hilbert_tour(inst))
+        rnd = inst.tour_length(np.random.default_rng(0).permutation(2000))
+        assert hil < 0.25 * rnd
+
+    def test_scales_to_large_instances_fast(self):
+        import time
+
+        inst = generate_instance(100_000, seed=1)
+        t0 = time.perf_counter()
+        t = hilbert_tour(inst)
+        assert time.perf_counter() - t0 < 5.0
+        assert np.array_equal(np.sort(t), np.arange(100_000))
+
+    def test_collinear_points(self):
+        from repro.tsplib.instance import TSPInstance
+
+        coords = np.column_stack([np.arange(50, dtype=float), np.zeros(50)])
+        inst = TSPInstance(name="line", coords=coords)
+        t = hilbert_tour(inst)
+        assert np.array_equal(np.sort(t), np.arange(50))

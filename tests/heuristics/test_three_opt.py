@@ -1,0 +1,48 @@
+"""Tests for the restricted 3-opt pass."""
+
+import numpy as np
+
+from repro.core.moves import next_distances
+from repro.heuristics.three_opt import three_opt_segment_pass
+from repro.tsplib.generators import generate_instance
+
+
+def tour_len(c, order):
+    return int(next_distances(c[order].astype(np.float32)).sum())
+
+
+class TestThreeOptSegmentPass:
+    def test_preserves_permutation(self, inst300):
+        order, _ = three_opt_segment_pass(inst300.coords, np.arange(300))
+        assert np.array_equal(np.sort(order), np.arange(300))
+
+    def test_gain_matches_length_change(self, inst300):
+        c = inst300.coords
+        order0 = np.random.default_rng(4).permutation(300)
+        order1, gain = three_opt_segment_pass(c, order0)
+        assert gain >= 0
+        assert tour_len(c, order0) - tour_len(c, order1) == gain
+
+    def test_improves_random_tours(self, inst300):
+        order0 = np.random.default_rng(5).permutation(300)
+        _, gain = three_opt_segment_pass(inst300.coords, order0)
+        assert gain > 0
+
+    def test_never_worsens(self):
+        for seed in range(4):
+            inst = generate_instance(150, seed=seed)
+            order0 = np.random.default_rng(seed).permutation(150)
+            before = tour_len(inst.coords, order0)
+            order1, _ = three_opt_segment_pass(inst.coords, order0)
+            assert tour_len(inst.coords, order1) <= before
+
+    def test_tiny_tours_untouched(self):
+        c = np.random.default_rng(0).uniform(0, 10, (5, 2))
+        order, gain = three_opt_segment_pass(c, np.arange(5))
+        assert gain == 0
+
+    def test_input_not_mutated(self, inst300):
+        order0 = np.random.default_rng(6).permutation(300)
+        backup = order0.copy()
+        three_opt_segment_pass(inst300.coords, order0)
+        assert np.array_equal(order0, backup)

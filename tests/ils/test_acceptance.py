@@ -1,0 +1,46 @@
+"""Tests for ILS acceptance criteria."""
+
+import numpy as np
+import pytest
+
+from repro.ils.acceptance import (
+    BetterAcceptance,
+    EpsilonAcceptance,
+    RandomWalkAcceptance,
+)
+
+
+@pytest.fixture
+def g():
+    return np.random.default_rng(0)
+
+
+class TestBetterAcceptance:
+    def test_accepts_improvement(self, g):
+        assert BetterAcceptance().accept(100, 99, g)
+
+    def test_rejects_equal(self, g):
+        assert not BetterAcceptance().accept(100, 100, g)
+
+    def test_rejects_worse(self, g):
+        assert not BetterAcceptance().accept(100, 101, g)
+
+
+class TestEpsilonAcceptance:
+    def test_accepts_within_epsilon(self, g):
+        assert EpsilonAcceptance(0.05).accept(100, 104, g)
+
+    def test_rejects_beyond_epsilon(self, g):
+        assert not EpsilonAcceptance(0.05).accept(100, 106, g)
+
+    def test_zero_epsilon_accepts_equal(self, g):
+        assert EpsilonAcceptance(0.0).accept(100, 100, g)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            EpsilonAcceptance(-0.1)
+
+
+class TestRandomWalkAcceptance:
+    def test_accepts_anything(self, g):
+        assert RandomWalkAcceptance().accept(1, 10**9, g)

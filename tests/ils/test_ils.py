@@ -1,0 +1,89 @@
+"""Tests for the IteratedLocalSearch driver (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.local_search import LocalSearch
+from repro.ils.acceptance import BetterAcceptance, RandomWalkAcceptance
+from repro.ils.ils import IteratedLocalSearch
+from repro.ils.termination import IterationLimit, ModeledTimeLimit
+
+
+def make_ils(iterations=5, seed=0, device="gtx680-cuda", backend="gpu", **kw):
+    ls = LocalSearch(device, backend=backend, strategy="batch")
+    return IteratedLocalSearch(
+        ls, termination=IterationLimit(iterations), seed=seed, **kw
+    )
+
+
+class TestAlgorithm1:
+    def test_runs_and_improves_over_random_start(self, inst300):
+        res = make_ils(iterations=3).run(inst300)
+        assert res.best_length < res.initial_length
+        assert res.iterations == 3
+
+    def test_best_tour_valid(self, inst300):
+        res = make_ils(iterations=2).run(inst300)
+        assert np.array_equal(np.sort(res.best_order), np.arange(300))
+        assert res.best_tour().length() >= 0
+
+    def test_best_length_matches_tour(self, inst300):
+        res = make_ils(iterations=2).run(inst300)
+        # float32 pipeline vs canonical metric: tiny rounding tolerance
+        assert abs(res.best_tour().length() - res.best_length) <= inst300.n
+
+    def test_deterministic_given_seed(self, inst300):
+        a = make_ils(iterations=3, seed=7).run(inst300)
+        b = make_ils(iterations=3, seed=7).run(inst300)
+        assert a.best_length == b.best_length
+        assert np.array_equal(a.best_order, b.best_order)
+
+    def test_incumbent_never_worsens_with_better_acceptance(self, inst300):
+        res = make_ils(iterations=5, acceptance=BetterAcceptance()).run(inst300)
+        lengths = [l for _, l in res.trace]
+        assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+
+    def test_trace_times_monotone(self, inst300):
+        res = make_ils(iterations=4).run(inst300)
+        times = [t for t, _ in res.trace]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_initial_order_respected(self, inst300):
+        from repro.heuristics.greedy_mf import multiple_fragment_tour
+
+        order0 = multiple_fragment_tour(inst300)
+        res = make_ils(iterations=1).run(inst300, initial_order=order0)
+        assert res.initial_length == inst300.tour_length(order0) or (
+            abs(res.initial_length - inst300.tour_length(order0)) <= inst300.n
+        )
+
+    def test_modeled_time_limit_stops(self, inst300):
+        ls = LocalSearch("gtx680-cuda", strategy="batch")
+        budget = 0.002
+        ils = IteratedLocalSearch(
+            ls, termination=ModeledTimeLimit(budget), seed=0
+        )
+        res = ils.run(inst300)
+        # stops at the first check after exceeding the budget
+        assert res.modeled_seconds >= budget
+
+    def test_random_walk_accepts_everything(self, inst300):
+        res = make_ils(iterations=4, acceptance=RandomWalkAcceptance()).run(inst300)
+        assert res.accepted == 4
+
+
+class TestPaperClaims:
+    def test_local_search_dominates_runtime(self, inst300):
+        """§I: at least 90% of ILS time is spent in 2-opt."""
+        res = make_ils(iterations=3).run(inst300)
+        assert res.local_search_share >= 0.90
+
+    def test_same_trajectory_faster_on_gpu(self, inst300):
+        """Identical seeds -> identical tours; the GPU time axis is
+        compressed (the basis of Fig. 11)."""
+        gpu = make_ils(iterations=3, seed=1).run(inst300)
+        cpu = make_ils(
+            iterations=3, seed=1, device="i7-3960x-opencl", backend="cpu-parallel"
+        ).run(inst300)
+        assert gpu.best_length == cpu.best_length
+        assert cpu.modeled_seconds > 5 * gpu.modeled_seconds

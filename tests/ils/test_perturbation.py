@@ -1,0 +1,115 @@
+"""Tests for ILS perturbation operators."""
+
+import numpy as np
+import pytest
+
+from repro.ils.perturbation import DoubleBridgePerturbation, SegmentReversalPerturbation
+
+
+class TestDoubleBridgePerturbation:
+    def test_produces_permutation(self, rng):
+        p = DoubleBridgePerturbation()
+        out = p(np.arange(50), rng)
+        assert np.array_equal(np.sort(out), np.arange(50))
+
+    def test_changes_tour(self, rng):
+        p = DoubleBridgePerturbation()
+        order = np.arange(100)
+        assert not np.array_equal(p(order, rng), order)
+
+    def test_multiple_kicks(self, rng):
+        p = DoubleBridgePerturbation(kicks=3)
+        out = p(np.arange(60), rng)
+        assert np.array_equal(np.sort(out), np.arange(60))
+
+    def test_invalid_kicks(self):
+        with pytest.raises(ValueError):
+            DoubleBridgePerturbation(kicks=0)
+
+    def test_original_untouched(self, rng):
+        order = np.arange(40)
+        DoubleBridgePerturbation()(order, rng)
+        assert np.array_equal(order, np.arange(40))
+
+
+class TestSegmentReversalPerturbation:
+    def test_produces_permutation(self, rng):
+        out = SegmentReversalPerturbation()(np.arange(30), rng)
+        assert np.array_equal(np.sort(out), np.arange(30))
+
+    def test_is_a_single_2opt_kick(self, rng):
+        """A reversed segment = one 2-opt move: undoable by one move,
+        unlike the double bridge."""
+        order = np.arange(30)
+        out = SegmentReversalPerturbation()(order, rng)
+        diff = np.nonzero(out != order)[0]
+        if diff.size:
+            lo, hi = diff[0], diff[-1]
+            assert np.array_equal(out[lo : hi + 1], order[lo : hi + 1][::-1])
+
+
+class TestAdaptivePerturbation:
+    def test_starts_at_one_kick(self):
+        from repro.ils.perturbation import AdaptivePerturbation
+
+        p = AdaptivePerturbation()
+        assert p.kicks == 1
+
+    def test_escalates_on_stall(self):
+        from repro.ils.perturbation import AdaptivePerturbation
+
+        p = AdaptivePerturbation(patience=2, max_kicks=3)
+        for _ in range(2):
+            p.notify(False)
+        assert p.kicks == 2
+        for _ in range(2):
+            p.notify(False)
+        assert p.kicks == 3
+        for _ in range(10):
+            p.notify(False)
+        assert p.kicks == 3  # capped
+
+    def test_resets_on_improvement(self):
+        from repro.ils.perturbation import AdaptivePerturbation
+
+        p = AdaptivePerturbation(patience=1, max_kicks=4)
+        p.notify(False)
+        p.notify(False)
+        assert p.kicks > 1
+        p.notify(True)
+        assert p.kicks == 1
+
+    def test_produces_permutation(self, rng):
+        from repro.ils.perturbation import AdaptivePerturbation
+
+        p = AdaptivePerturbation(patience=1)
+        p.notify(False)
+        out = p(np.arange(60), rng)
+        assert np.array_equal(np.sort(out), np.arange(60))
+
+    def test_validation(self):
+        from repro.ils.perturbation import AdaptivePerturbation
+
+        with pytest.raises(ValueError):
+            AdaptivePerturbation(patience=0)
+        with pytest.raises(ValueError):
+            AdaptivePerturbation(max_kicks=0)
+
+    def test_integrates_with_ils(self, rng):
+        """The ILS loop must call notify() so the operator adapts."""
+        from repro.core.local_search import LocalSearch
+        from repro.ils.ils import IteratedLocalSearch
+        from repro.ils.perturbation import AdaptivePerturbation
+        from repro.ils.termination import IterationLimit
+        from repro.tsplib.generators import generate_instance
+
+        inst = generate_instance(150, seed=0)
+        pert = AdaptivePerturbation(patience=1, max_kicks=4)
+        ils = IteratedLocalSearch(
+            LocalSearch("gtx680-cuda", strategy="batch"),
+            perturbation=pert, termination=IterationLimit(8), seed=0,
+        )
+        ils.run(inst)
+        # after 8 iterations with patience 1, the operator must have
+        # adapted at least once (either escalated or reset)
+        assert pert.kicks >= 1

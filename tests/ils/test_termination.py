@@ -1,0 +1,80 @@
+"""Tests for ILS termination conditions."""
+
+import pytest
+
+from repro.ils.termination import (
+    AnyOf,
+    IterationLimit,
+    ModeledTimeLimit,
+    NoImprovementLimit,
+    WallClockLimit,
+)
+
+
+def state(**kw):
+    base = dict(iteration=0, modeled_seconds=0.0, wall_seconds=0.0,
+                iterations_since_improvement=0)
+    base.update(kw)
+    return base
+
+
+class TestIterationLimit:
+    def test_stops_at_limit(self):
+        t = IterationLimit(5)
+        assert not t.should_stop(**state(iteration=4))
+        assert t.should_stop(**state(iteration=5))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            IterationLimit(0)
+
+
+class TestModeledTimeLimit:
+    def test_stops_on_budget(self):
+        t = ModeledTimeLimit(1.0)
+        assert not t.should_stop(**state(modeled_seconds=0.99))
+        assert t.should_stop(**state(modeled_seconds=1.0))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ModeledTimeLimit(0)
+
+
+class TestWallClockLimit:
+    def test_not_stopped_immediately(self):
+        t = WallClockLimit(60)
+        assert not t.should_stop(**state())
+
+    def test_stops_after_elapsed(self):
+        t = WallClockLimit(1e-9)
+        import time
+
+        time.sleep(0.001)
+        assert t.should_stop(**state())
+
+    def test_reset(self):
+        t = WallClockLimit(0.05)
+        import time
+
+        time.sleep(0.06)
+        assert t.should_stop(**state())
+        t.reset()
+        assert not t.should_stop(**state())
+
+
+class TestNoImprovementLimit:
+    def test_stall_counter(self):
+        t = NoImprovementLimit(3)
+        assert not t.should_stop(**state(iterations_since_improvement=2))
+        assert t.should_stop(**state(iterations_since_improvement=3))
+
+
+class TestAnyOf:
+    def test_any_triggers(self):
+        t = AnyOf(IterationLimit(10), ModeledTimeLimit(1.0))
+        assert t.should_stop(**state(iteration=3, modeled_seconds=2.0))
+        assert not t.should_stop(**state(iteration=3, modeled_seconds=0.5))
+
+    def test_needs_conditions(self):
+        with pytest.raises(ValueError):
+            AnyOf()

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        p = build_parser()
+        for cmd in ("solve", "table1", "table2", "fig9", "fig10", "fig11",
+                    "ablate", "devices"):
+            args = p.parse_args([cmd] if cmd != "fig11" else [cmd, "--n", "100"])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GeForce GTX 680" in out
+        assert "Xeon" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "fnl4461" in capsys.readouterr().out
+
+    def test_solve_synthetic(self, capsys):
+        assert main(["solve", "--n", "120", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "final length" in out
+        assert "modeled time" in out
+
+    def test_solve_paper_instance_truncated(self, capsys):
+        assert main([
+            "solve", "--paper-instance", "pr2392", "--max-n", "150",
+        ]) == 0
+        assert "pr2392@150" in capsys.readouterr().out
+
+    def test_solve_from_file(self, tmp_path, capsys):
+        from repro.tsplib.generators import generate_instance
+        from repro.tsplib.writer import dump_tsplib
+
+        path = tmp_path / "t.tsp"
+        dump_tsplib(generate_instance(80, seed=1, name="t"), path)
+        assert main(["solve", "--file", str(path)]) == 0
+        assert "n=80" in capsys.readouterr().out
+
+    def test_table2_smoke(self, capsys):
+        assert main(["table2", "--max-solve-n", "150", "--max-table-n", "300"]) == 0
+        assert "berlin52" in capsys.readouterr().out
+
+    def test_fig10_custom_baseline(self, capsys):
+        assert main(["fig10", "--baseline", "i7-3960x-opencl"]) == 0
+        assert "i7-3960X" in capsys.readouterr().out
+
+    def test_fig11_small(self, capsys):
+        assert main(["fig11", "--n", "120", "--iterations", "2"]) == 0
+        assert "convergence" in capsys.readouterr().out.lower()
+
+
+class TestNewCommands:
+    def test_extensions_smoke(self, capsys):
+        assert main([
+            "extensions", "--multigpu-n", "20000", "--pruned-n", "200",
+            "--ihc-n", "150", "--ihc-budget", "0.003", "--smart-n", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "multi-GPU" in out
+        assert "pruning" in out
+        assert "IHC" in out
+        assert "caveat" in out
+        assert "breakdown" in out
+
+    def test_report_command_writes_file(self, tmp_path, monkeypatch, capsys):
+        """The report command is wired to write_report; patch the heavy
+        generation so the CLI path itself is covered."""
+        import repro.experiments.report as report_mod
+
+        calls = {}
+
+        def fake_write(path, cfg):
+            calls["path"] = path
+            calls["cfg"] = cfg
+            with open(path, "w") as fh:
+                fh.write("# fake report\n")
+            return "# fake report\n"
+
+        monkeypatch.setattr(report_mod, "write_report", fake_write)
+        out_path = tmp_path / "r.md"
+        assert main(["report", "--output", str(out_path),
+                     "--max-solve-n", "100", "--fig11-n", "120"]) == 0
+        assert calls["path"] == str(out_path)
+        assert calls["cfg"].max_solve_n == 100
+        assert out_path.read_text().startswith("# fake")
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "table1"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "fnl4461" in proc.stdout

@@ -1,0 +1,99 @@
+"""End-to-end checks of the paper's headline quantitative claims.
+
+These tests pin the *shape* of the reproduction: who wins, by roughly
+what factor, and where the crossovers fall — the contract DESIGN.md's
+substitution argument rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.local_search import LocalSearch
+from repro.tsplib.generators import generate_instance
+
+
+class TestAbstractClaims:
+    def test_kernel_speedup_5_to_45x_vs_6core(self):
+        """Abstract: "the time needed to perform a simple local search
+        operation can be decreased approximately 5 to 45 times compared
+        to a corresponding parallel CPU code ... using 6 cores"."""
+        gpu = LocalSearch("gtx680-cuda", include_transfers=False)
+        cpu = LocalSearch("i7-3960x-opencl", backend="cpu-parallel",
+                          include_transfers=False)
+        ratios = {
+            n: cpu.scan_seconds(n) / gpu.scan_seconds(n)
+            for n in (200, 500, 2000, 10_000, 50_000)
+        }
+        assert max(ratios.values()) <= 55
+        assert 38 <= max(ratios.values())
+        assert min(ratios.values()) >= 2
+        # speedup grows with problem size
+        vals = list(ratios.values())
+        assert vals == sorted(vals)
+
+    def test_shared_memory_capacity_claims(self):
+        """§IV: 48 kB holds 6144 cities; the tiled subproblem ranges are
+        capped at 3072 points."""
+        from repro.core.tiling import TileSchedule
+        from repro.core.two_opt_gpu import TwoOptKernelOrdered
+        from repro.gpusim.device import get_device
+
+        dev = get_device("gtx680-cuda")
+        assert TwoOptKernelOrdered().max_cities(dev) == 6144
+        sched = TileSchedule.for_device(50_000, dev)
+        assert sched.range_size <= 3072
+
+    def test_pr2392_iteration_count(self):
+        """§IV worked example: 100 grid-stride iterations for pr2392 on
+        a 28x1024 launch."""
+        from repro.core.pair_indexing import iterations_per_thread
+
+        assert iterations_per_thread(2392, 28 * 1024) == 100
+
+
+class TestConvergenceClaims:
+    def test_ils_convergence_speedup_grows_with_size(self):
+        """§V: "the GPU algorithm gains more strength with the growth of
+        instance size" — and no substantial speedup for n < 200."""
+        from repro.ils.ils import IteratedLocalSearch
+        from repro.ils.termination import IterationLimit
+
+        speedups = {}
+        for n in (100, 800):
+            inst = generate_instance(n, seed=4, distribution="geo")
+            results = {}
+            for device, backend in (("gtx680-cuda", "gpu"),
+                                    ("i7-3960x-opencl", "cpu-parallel")):
+                ls = LocalSearch(device, backend=backend, strategy="batch")
+                ils = IteratedLocalSearch(ls, termination=IterationLimit(2), seed=0)
+                results[device] = ils.run(inst)
+            speedups[n] = (
+                results["i7-3960x-opencl"].modeled_seconds
+                / results["gtx680-cuda"].modeled_seconds
+            )
+        assert speedups[800] > speedups[100]
+        assert speedups[100] < 8  # little gain on small problems
+
+    def test_solution_quality_2opt_improvement_band(self):
+        """2-opt from greedy typically removes ~10-15% of tour length
+        (consistent with the paper's Table II initial vs optimized)."""
+        improvements = []
+        for seed in range(3):
+            inst = generate_instance(400, seed=seed)
+            from repro.core.solver import TwoOptSolver
+
+            res = TwoOptSolver("gtx680-cuda", strategy="batch").solve(inst)
+            improvements.append(res.improvement_percent)
+        assert all(5 <= imp <= 25 for imp in improvements)
+
+
+class TestTransferClaims:
+    def test_transfer_share_shrinks(self):
+        """§V: data-transfer proportion decreases with problem size."""
+        ls = LocalSearch("gtx680-cuda")
+        shares = []
+        for n in (100, 1000, 10_000):
+            total = ls.scan_seconds(n)
+            xfer = ls._transfer_seconds(n)
+            shares.append(xfer / (xfer + total))
+        assert shares[0] > shares[-1]

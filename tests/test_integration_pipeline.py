@@ -1,0 +1,111 @@
+"""End-to-end integration: the full paper pipeline on one instance.
+
+Synthesize an instance → save/load through TSPLIB files → construct MF
+tour → instrumented GPU 2-opt to a local minimum → certify → serialize →
+render — every subsystem in one flow, exactly as a downstream user
+would chain them.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import TwoOptSolver, synthesize_paper_instance
+from repro.gpusim import LaunchConfig, TraceCollector
+from repro.tour import tour_to_svg, verify_solution
+from repro.tsplib.parser import load_tsplib, parse_tour_file
+from repro.tsplib.writer import dump_tsplib, dumps_tour
+from repro.utils.serialize import dumps_result, to_jsonable
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("pipeline")
+        inst = synthesize_paper_instance("kroE100")
+        tsp_path = tmp / "kroE100.tsp"
+        dump_tsplib(inst, tsp_path)
+        reloaded = load_tsplib(tsp_path)
+
+        trace = TraceCollector()
+        solver = TwoOptSolver("gtx680-cuda", mode="simulate",
+                              launch=LaunchConfig(4, 64))
+        solver.local_search.trace = trace
+        result = solver.solve(reloaded, initial="greedy")
+
+        tour_path = tmp / "kroE100.tour"
+        tour_path.write_text(dumps_tour(result.tour.order, name="kroE100"))
+        return {
+            "tmp": tmp, "instance": reloaded, "result": result,
+            "trace": trace, "tour_path": tour_path,
+        }
+
+    def test_instance_roundtrip_preserved_distances(self, pipeline):
+        inst = pipeline["instance"]
+        orig = synthesize_paper_instance("kroE100")
+        t = np.arange(100)
+        assert inst.tour_length(t) == orig.tour_length(t)
+
+    def test_optimization_reached_certified_minimum(self, pipeline):
+        report = verify_solution(
+            pipeline["instance"], pipeline["result"].tour.order,
+            expected_length=pipeline["result"].final_length,
+        )
+        assert report.ok
+        assert report.is_two_opt_minimum
+
+    def test_tour_file_roundtrip(self, pipeline):
+        saved = parse_tour_file(pipeline["tour_path"].read_text())
+        assert np.array_equal(saved, pipeline["result"].tour.order)
+
+    def test_trace_recorded_every_launch(self, pipeline):
+        res = pipeline["result"]
+        # one instrumented launch per scan (n=100 < 6144 -> no tiling)
+        assert pipeline["trace"].launch_count == res.search.scans
+        checks = sum(r.pair_checks for r in pipeline["trace"].records)
+        assert checks == res.search.scans * (100 * 99 // 2)
+
+    def test_result_serializes_to_json(self, pipeline):
+        text = dumps_result(pipeline["result"].search)
+        data = json.loads(text)
+        assert data["final_length"] == pipeline["result"].final_length
+        assert isinstance(data["order"], list)
+
+    def test_svg_renders(self, pipeline):
+        svg = tour_to_svg(
+            pipeline["instance"].coords, pipeline["result"].tour.order
+        )
+        assert svg.startswith("<svg")
+
+    def test_modeled_time_consistent_with_trace(self, pipeline):
+        res = pipeline["result"].search
+        trace_time = pipeline["trace"].total_seconds
+        # modeled total = launches' kernel time + transfers + host applies
+        assert res.modeled_seconds >= trace_time * 0.9
+
+
+class TestSerializeUtility:
+    def test_numpy_types(self):
+        out = to_jsonable({"a": np.int64(3), "b": np.float32(1.5),
+                           "c": np.arange(3), "d": np.bool_(True)})
+        assert out == {"a": 3, "b": 1.5, "c": [0, 1, 2], "d": True}
+
+    def test_nested_dataclass(self):
+        from repro.gpusim.stats import KernelStats
+
+        out = to_jsonable(KernelStats(flops=5, notes={"x": np.int32(1)}))
+        assert out["flops"] == 5
+        assert out["notes"] == {"x": 1}
+
+    def test_unknown_objects_stringified(self):
+        class Weird:
+            __slots__ = ()
+
+        assert isinstance(to_jsonable(Weird()), str)
+
+    def test_depth_guard(self):
+        a = []
+        a.append(a)
+        with pytest.raises(ValueError):
+            to_jsonable(a)

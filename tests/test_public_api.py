@@ -1,0 +1,50 @@
+"""Tests for the top-level public API surface."""
+
+import numpy as np
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_end_to_end_via_public_names_only(self):
+        inst = repro.generate_instance(150, seed=0)
+        solver = repro.TwoOptSolver("gtx680-cuda")
+        result = solver.solve(inst)
+        assert result.final_length <= result.initial_length
+        assert isinstance(result.tour, repro.Tour)
+
+    def test_device_catalog_exposed(self):
+        assert "gtx680-cuda" in repro.DEVICES
+        assert repro.get_device("gtx680-cuda").name == "GeForce GTX 680"
+        assert set(repro.list_devices()) == set(repro.DEVICES)
+
+    def test_paper_instance_synthesis(self):
+        inst = repro.synthesize_paper_instance("berlin52")
+        assert inst.n == 52
+
+    def test_ils_through_public_api(self):
+        from repro.ils import IterationLimit
+
+        inst = repro.generate_instance(120, seed=1)
+        ls = repro.LocalSearch("gtx680-cuda", strategy="batch")
+        ils = repro.IteratedLocalSearch(ls, termination=IterationLimit(2), seed=0)
+        res = ils.run(inst)
+        assert res.best_length < res.initial_length
+
+    def test_errors_inherit_reproerror(self):
+        from repro.errors import (
+            GpuSimError,
+            SolverError,
+            TourError,
+            TSPLIBError,
+        )
+
+        for exc in (GpuSimError, SolverError, TourError, TSPLIBError):
+            assert issubclass(exc, repro.ReproError)

@@ -1,0 +1,71 @@
+"""Tests for the doubly-linked tour representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TourError
+from repro.tour.doubly_linked import DoublyLinkedTour
+
+
+class TestConstruction:
+    def test_round_trip_identity(self):
+        dl = DoublyLinkedTour(np.arange(10))
+        assert np.array_equal(dl.to_order(0), np.arange(10))
+
+    def test_round_trip_rotated(self):
+        order = np.array([3, 1, 4, 0, 2])
+        dl = DoublyLinkedTour(order)
+        # starting from city 3 reproduces the original order
+        assert np.array_equal(dl.to_order(3), order)
+
+    def test_successor_predecessor_inverse(self):
+        order = np.random.default_rng(0).permutation(40)
+        dl = DoublyLinkedTour(order)
+        for c in range(40):
+            assert dl.predecessor(dl.successor(c)) == c
+
+    def test_consistency_check(self):
+        dl = DoublyLinkedTour(np.arange(8))
+        assert dl.is_consistent()
+        dl.nxt[0], dl.nxt[1] = dl.nxt[1], dl.nxt[0]  # break it
+        assert not dl.is_consistent()
+
+    @given(st.integers(5, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_random_permutations_consistent(self, n):
+        order = np.random.default_rng(n).permutation(n)
+        assert DoublyLinkedTour(order).is_consistent()
+
+
+class TestRelocateSegment:
+    def test_single_city_relocation(self):
+        dl = DoublyLinkedTour(np.arange(6))
+        # move city 1 to follow city 4: 0 2 3 4 1 5
+        dl.relocate_segment(1, 1, 4)
+        assert np.array_equal(dl.to_order(0), [0, 2, 3, 4, 1, 5])
+        assert dl.is_consistent()
+
+    def test_chain_relocation_preserves_internal_order(self):
+        dl = DoublyLinkedTour(np.arange(8))
+        # move chain 2->3 to follow 6: 0 1 4 5 6 2 3 7
+        dl.relocate_segment(2, 3, 6)
+        assert np.array_equal(dl.to_order(0), [0, 1, 4, 5, 6, 2, 3, 7])
+
+    def test_relocate_after_self_rejected(self):
+        dl = DoublyLinkedTour(np.arange(6))
+        with pytest.raises(TourError):
+            dl.relocate_segment(2, 3, 2)
+
+    def test_whole_tour_segment_rejected(self):
+        dl = DoublyLinkedTour(np.arange(4))
+        # segment covering everything: prv[start] == end
+        with pytest.raises(TourError):
+            dl.relocate_segment(1, 0, 2)
+
+    def test_relocation_keeps_cycle(self):
+        rng = np.random.default_rng(3)
+        dl = DoublyLinkedTour(rng.permutation(30))
+        dl.relocate_segment(5, 5, 20)
+        assert dl.is_consistent()
+        assert np.array_equal(np.sort(dl.to_order(0)), np.arange(30))

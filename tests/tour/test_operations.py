@@ -1,0 +1,130 @@
+"""Tests (incl. property-based) for elementary tour operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TourError
+from repro.tour.operations import (
+    apply_two_opt_move,
+    double_bridge,
+    random_tour,
+    reverse_segment,
+    segment_reversal_perturbation,
+)
+
+perm_strategy = st.integers(min_value=8, max_value=200).map(
+    lambda n: np.random.default_rng(n).permutation(n)
+)
+
+
+class TestReverseSegment:
+    def test_basic(self):
+        out = reverse_segment(np.array([0, 1, 2, 3, 4]), 1, 3)
+        assert list(out) == [0, 3, 2, 1, 4]
+
+    def test_original_untouched(self):
+        a = np.array([0, 1, 2, 3])
+        reverse_segment(a, 0, 3)
+        assert list(a) == [0, 1, 2, 3]
+
+    def test_single_element_noop(self):
+        out = reverse_segment(np.array([0, 1, 2]), 1, 1)
+        assert list(out) == [0, 1, 2]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(TourError):
+            reverse_segment(np.array([0, 1, 2]), 2, 1)
+        with pytest.raises(TourError):
+            reverse_segment(np.array([0, 1, 2]), 0, 3)
+
+
+class TestApplyTwoOptMove:
+    def test_known_move(self):
+        # removing edges (1,2) and (4,5): reverse positions 2..4
+        out = apply_two_opt_move(np.arange(6), 1, 4)
+        assert list(out) == [0, 1, 4, 3, 2, 5]
+
+    def test_move_is_involution(self):
+        rng = np.random.default_rng(0)
+        order = rng.permutation(20)
+        once = apply_two_opt_move(order, 3, 11)
+        twice = apply_two_opt_move(once, 3, 11)
+        assert np.array_equal(order, twice)
+
+    @given(perm_strategy, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_permutation(self, order, data):
+        n = order.size
+        i = data.draw(st.integers(0, n - 2))
+        j = data.draw(st.integers(i + 1, n - 1))
+        out = apply_two_opt_move(order, i, j)
+        assert np.array_equal(np.sort(out), np.arange(n))
+
+    def test_invalid_positions(self):
+        with pytest.raises(TourError):
+            apply_two_opt_move(np.arange(5), 3, 3)
+
+
+class TestRandomTour:
+    def test_is_permutation(self):
+        t = random_tour(50, seed=1)
+        assert np.array_equal(np.sort(t), np.arange(50))
+
+    def test_deterministic(self):
+        assert np.array_equal(random_tour(30, seed=2), random_tour(30, seed=2))
+
+    def test_invalid_n(self):
+        with pytest.raises(TourError):
+            random_tour(0)
+
+
+class TestDoubleBridge:
+    @given(perm_strategy, st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_produces_permutation(self, order, seed):
+        out = double_bridge(order, seed)
+        assert np.array_equal(np.sort(out), np.arange(order.size))
+
+    def test_changes_at_most_four_edges(self):
+        """The kick is O(1) damage: it replaces at most 4 tour edges.
+
+        In array form the three cut points change the three junction
+        edges (the cycle-closing edge survives); segment reversal ties can
+        reduce it further but never increase it.
+        """
+        n = 50
+        order = np.arange(n)
+        for seed in range(20):
+            out = double_bridge(order, seed=seed)
+
+            def edge_set(t):
+                return {
+                    frozenset((int(t[k]), int(t[(k + 1) % n]))) for k in range(n)
+                }
+
+            removed = edge_set(order) - edge_set(out)
+            assert 1 <= len(removed) <= 4
+
+    def test_small_tours_fall_back(self):
+        out = double_bridge(np.arange(5), seed=0)
+        assert np.array_equal(np.sort(out), np.arange(5))
+
+    def test_deterministic(self):
+        a = double_bridge(np.arange(30), seed=9)
+        b = double_bridge(np.arange(30), seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestSegmentReversalPerturbation:
+    @given(perm_strategy, st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_produces_permutation(self, order, seed):
+        out = segment_reversal_perturbation(order, seed)
+        assert np.array_equal(np.sort(out), np.arange(order.size))
+
+    def test_tiny_input_copied(self):
+        order = np.arange(3)
+        out = segment_reversal_perturbation(order, 0)
+        assert np.array_equal(out, order)
+        assert out is not order

@@ -1,0 +1,68 @@
+"""Tests for SVG tour rendering."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import TourError
+from repro.tour.render_svg import save_tour_svg, tour_to_svg
+
+
+def square():
+    return np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+
+
+class TestTourToSvg:
+    def test_valid_xml(self):
+        svg = tour_to_svg(square(), np.arange(4))
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_polyline_closed(self):
+        svg = tour_to_svg(square(), np.arange(4), show_cities=False)
+        root = ET.fromstring(svg)
+        polyline = root.find(".//{http://www.w3.org/2000/svg}polyline")
+        pts = polyline.get("points").split()
+        assert len(pts) == 5  # 4 cities + closing point
+        assert pts[0] == pts[-1]
+
+    def test_city_markers(self):
+        svg = tour_to_svg(square(), np.arange(4), show_cities=True)
+        root = ET.fromstring(svg)
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        assert len(circles) == 4
+
+    def test_title_escaped(self):
+        svg = tour_to_svg(square(), np.arange(4), title="a<b & c>d")
+        assert "a&lt;b &amp; c&gt;d" in svg
+
+    def test_coordinates_fit_canvas(self):
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(-500, 500, (40, 2))
+        svg = tour_to_svg(coords, rng.permutation(40), width=400, height=300,
+                          margin=10, show_cities=False)
+        root = ET.fromstring(svg)
+        polyline = root.find(".//{http://www.w3.org/2000/svg}polyline")
+        for pair in polyline.get("points").split():
+            x, y = (float(v) for v in pair.split(","))
+            assert 10 - 1e-6 <= x <= 390 + 1e-6
+            assert 10 - 1e-6 <= y <= 290 + 1e-6
+
+    def test_bad_tour_rejected(self):
+        with pytest.raises(TourError):
+            tour_to_svg(square(), np.array([0, 1, 1, 3]))
+
+    def test_bad_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            tour_to_svg(square(), np.arange(4), width=10, margin=20)
+
+    def test_degenerate_coords(self):
+        coords = np.zeros((4, 2))
+        svg = tour_to_svg(coords, np.arange(4))  # must not divide by zero
+        assert "svg" in svg
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "tour.svg"
+        save_tour_svg(path, square(), np.arange(4))
+        assert path.read_text().startswith("<svg")

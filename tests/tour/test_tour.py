@@ -1,0 +1,105 @@
+"""Tests for the Tour class."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TourError
+from repro.tour.tour import Tour, validate_tour
+
+
+class TestValidateTour:
+    def test_accepts_permutation(self):
+        out = validate_tour(np.array([2, 0, 1]))
+        assert out.dtype == np.int64
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(TourError):
+            validate_tour(np.array([0, 1, 1]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TourError):
+            validate_tour(np.array([0, 1, 3]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(TourError):
+            validate_tour(np.array([-1, 0, 1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(TourError):
+            validate_tour(np.zeros((2, 2), dtype=int))
+
+    def test_rejects_empty(self):
+        with pytest.raises(TourError):
+            validate_tour(np.array([], dtype=int))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TourError):
+            validate_tour(np.array([0.5, 1.0, 2.0]))
+
+    def test_accepts_integer_valued_floats(self):
+        out = validate_tour(np.array([2.0, 0.0, 1.0]))
+        assert np.array_equal(out, [2, 0, 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(TourError):
+            validate_tour(np.array([0, 1, 2]), n=4)
+
+
+class TestTour:
+    def test_identity(self, inst100):
+        t = Tour.identity(inst100)
+        assert np.array_equal(t.order, np.arange(100))
+
+    def test_length_cached_and_consistent(self, inst100):
+        t = Tour.identity(inst100)
+        assert t.length() == inst100.tour_length(t.order)
+        assert t.length() == t.length()
+
+    def test_order_readonly(self, inst100):
+        t = Tour.identity(inst100)
+        with pytest.raises(ValueError):
+            t.order[0] = 5
+
+    def test_reverse_inplace_invalidates_length(self, inst100):
+        t = Tour.identity(inst100)
+        before = t.length()
+        t.reverse_inplace(10, 50)
+        assert t.length() == inst100.tour_length(t.order)
+        # reversing back restores the original length
+        t.reverse_inplace(10, 50)
+        assert t.length() == before
+
+    def test_reverse_bad_positions(self, inst100):
+        t = Tour.identity(inst100)
+        with pytest.raises(TourError):
+            t.reverse_inplace(50, 10)
+
+    def test_ordered_coords_follow_route(self, inst100):
+        rng = np.random.default_rng(0)
+        order = rng.permutation(100)
+        t = Tour(inst100, order)
+        oc = t.ordered_coords()
+        assert oc.dtype == np.float32
+        assert np.allclose(oc, inst100.coords[order].astype(np.float32))
+
+    def test_copy_is_independent(self, inst100):
+        t = Tour.identity(inst100)
+        c = t.copy()
+        c.reverse_inplace(1, 5)
+        assert not np.array_equal(t.order, c.order)
+
+    def test_equality(self, inst100):
+        a = Tour.identity(inst100)
+        b = Tour.identity(inst100)
+        assert a == b
+        b.reverse_inplace(0, 2)
+        assert a != b
+
+    def test_unhashable(self, inst100):
+        with pytest.raises(TypeError):
+            hash(Tour.identity(inst100))
+
+    def test_set_order_validates(self, inst100):
+        t = Tour.identity(inst100)
+        with pytest.raises(TourError):
+            t.set_order(np.zeros(100, dtype=int))

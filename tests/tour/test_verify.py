@@ -1,0 +1,80 @@
+"""Tests for the independent solution verifier."""
+
+import numpy as np
+
+from repro.core.solver import TwoOptSolver
+from repro.tour.verify import tours_equivalent, verify_solution
+
+
+class TestVerifySolution:
+    def test_certifies_solver_output(self, inst300):
+        res = TwoOptSolver("gtx680-cuda", strategy="batch").solve(inst300)
+        report = verify_solution(
+            inst300, res.tour.order, expected_length=res.final_length
+        )
+        assert report.ok
+        assert report.valid_permutation
+        assert report.is_two_opt_minimum
+        assert report.worst_remaining_gain == 0
+
+    def test_detects_bad_permutation(self, inst100):
+        report = verify_solution(inst100, np.zeros(100, dtype=int))
+        assert not report.valid_permutation
+        assert not report.ok
+
+    def test_detects_non_minimum(self, inst300):
+        rng = np.random.default_rng(0)
+        report = verify_solution(inst300, rng.permutation(300))
+        assert report.valid_permutation
+        assert report.is_two_opt_minimum is False
+        assert report.worst_remaining_gain < 0
+        assert not report.ok
+
+    def test_length_mismatch_flagged(self, inst100):
+        order = np.arange(100)
+        report = verify_solution(
+            inst100, order, expected_length=1, length_tolerance=0
+        )
+        assert report.valid_permutation
+        assert report.is_two_opt_minimum is None  # verification aborted
+
+    def test_can_skip_minimum_check(self, inst100):
+        report = verify_solution(
+            inst100, np.arange(100), check_local_minimum=False
+        )
+        assert report.is_two_opt_minimum is None
+        assert report.canonical_length == inst100.tour_length(np.arange(100))
+
+
+class TestToursEquivalent:
+    def test_identical(self):
+        t = np.array([0, 2, 1, 3])
+        assert tours_equivalent(t, t)
+
+    def test_rotation(self):
+        a = np.array([0, 1, 2, 3, 4])
+        assert tours_equivalent(a, np.roll(a, 2))
+
+    def test_reversal(self):
+        a = np.array([0, 1, 2, 3, 4])
+        assert tours_equivalent(a, a[::-1])
+
+    def test_rotated_reversal(self):
+        a = np.array([0, 3, 1, 4, 2])
+        b = np.roll(a[::-1], 3)
+        assert tours_equivalent(a, b)
+
+    def test_different_tours(self):
+        assert not tours_equivalent(np.array([0, 1, 2, 3]), np.array([0, 2, 1, 3]))
+
+    def test_different_sizes(self):
+        assert not tours_equivalent(np.array([0, 1, 2]), np.array([0, 1, 2, 3]))
+
+    def test_solver_invariance(self, inst300):
+        """Starting the same instance from rotated initial tours must
+        produce equivalent-or-different *valid* tours, and equivalence
+        detection must accept a rotated copy of the result."""
+        res = TwoOptSolver("gtx680-cuda").solve(inst300)
+        t = res.tour.order
+        assert tours_equivalent(t, np.roll(t, 17))
+        assert tours_equivalent(t, t[::-1])

@@ -1,0 +1,46 @@
+"""Tests for the bundled sample .tsp/.tour files in data/."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.tour.verify import verify_solution
+from repro.tsplib.generators import generate_instance
+from repro.tsplib.parser import load_tsplib, parse_tour_file
+
+DATA = Path(__file__).resolve().parents[2] / "data"
+
+
+@pytest.mark.skipif(not DATA.exists(), reason="data/ not present")
+class TestBundledData:
+    def test_all_samples_load(self):
+        files = sorted(DATA.glob("*.tsp"))
+        assert len(files) == 3
+        for f in files:
+            inst = load_tsplib(f)
+            assert inst.n > 0
+            assert inst.coords is not None
+
+    def test_sample52_matches_generator(self):
+        """The shipped file must equal its documented derivation."""
+        inst = load_tsplib(DATA / "sample52-uniform.tsp")
+        regen = generate_instance(52, distribution="uniform", seed=2013)
+        assert inst.n == 52
+        assert np.allclose(inst.coords, regen.coords)
+
+    def test_sample_sizes(self):
+        assert load_tsplib(DATA / "sample120-clustered.tsp").n == 120
+        assert load_tsplib(DATA / "sample200-grid.tsp").n == 200
+
+    def test_bundled_tour_is_certified_local_minimum(self):
+        inst = load_tsplib(DATA / "sample52-uniform.tsp")
+        tour = parse_tour_file((DATA / "sample52-uniform.2opt.tour").read_text())
+        report = verify_solution(inst, tour)
+        assert report.ok
+        assert report.is_two_opt_minimum
+
+    def test_bundled_tour_beats_identity(self):
+        inst = load_tsplib(DATA / "sample52-uniform.tsp")
+        tour = parse_tour_file((DATA / "sample52-uniform.2opt.tour").read_text())
+        assert inst.tour_length(tour) < inst.tour_length(np.arange(52))

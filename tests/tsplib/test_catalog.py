@@ -1,0 +1,53 @@
+"""Tests for the paper-instance catalog."""
+
+import pytest
+
+from repro.tsplib.catalog import (
+    PAPER_INSTANCES,
+    instance_info,
+    table1_instances,
+    table2_instances,
+)
+
+
+class TestCatalogContents:
+    def test_counts_match_paper(self):
+        assert len(table1_instances()) == 12
+        assert len(table2_instances()) == 27
+
+    def test_table2_covers_berlin52_to_lrb744710(self):
+        rows = table2_instances()
+        assert rows[0].name == "berlin52" and rows[0].n == 52
+        assert rows[-1].name == "lrb744710" and rows[-1].n == 744_710
+
+    def test_sizes_encode_names(self):
+        # every catalog name ends with its city count (TSPLIB convention)
+        for info in PAPER_INSTANCES:
+            digits = "".join(ch for ch in info.name if ch.isdigit())
+            assert int(digits) == info.n
+
+    def test_table1_subset_of_table2_plus_berlin(self):
+        t2 = {i.name for i in table2_instances()}
+        for info in table1_instances():
+            assert info.name in t2
+
+    def test_known_bks_values(self):
+        assert instance_info("berlin52").bks == 7542
+        assert instance_info("pr2392").bks == 378032
+        assert instance_info("sw24978").bks == 855597
+
+    def test_pair_count(self):
+        info = instance_info("kroE100")
+        assert info.pair_count == 100 * 99 // 2
+
+    def test_lookup_case_insensitive(self):
+        assert instance_info("KROA200").n == 200
+
+    def test_unknown_instance_raises(self):
+        with pytest.raises(KeyError):
+            instance_info("nonexistent99")
+
+    def test_max_n_filter(self):
+        rows = table2_instances(max_n=1000)
+        assert all(r.n <= 1000 for r in rows)
+        assert len(rows) == 9

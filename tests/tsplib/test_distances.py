@@ -1,0 +1,147 @@
+"""Tests for TSPLIB distance metrics, including TSPLIB's canonical checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tsplib.distances import (
+    EdgeWeightType,
+    att_distance,
+    ceil2d_distance,
+    euc2d_distance,
+    geo_distance,
+    man2d_distance,
+    max2d_distance,
+    metric_function,
+    pairwise_distance_matrix,
+    tour_length,
+)
+
+coords_strategy = st.tuples(
+    st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+    st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+)
+
+
+class TestEuc2D:
+    def test_simple_345_triangle(self):
+        assert euc2d_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5
+
+    def test_rounds_to_nearest(self):
+        # distance sqrt(2) = 1.414... -> 1
+        assert euc2d_distance(np.array([0.0, 0.0]), np.array([1.0, 1.0])) == 1
+        # distance 1.5 -> 2 (round half up via +0.5 floor)
+        assert euc2d_distance(np.array([0.0, 0.0]), np.array([1.5, 0.0])) == 2
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 1000, (50, 2))
+        b = rng.uniform(0, 1000, (50, 2))
+        vec = euc2d_distance(a, b)
+        for k in range(50):
+            assert vec[k] == euc2d_distance(a[k], b[k])
+
+    @given(coords_strategy, coords_strategy)
+    @settings(max_examples=100)
+    def test_symmetry(self, p, q):
+        a, b = np.array(p), np.array(q)
+        assert euc2d_distance(a, b) == euc2d_distance(b, a)
+
+    @given(coords_strategy)
+    @settings(max_examples=50)
+    def test_identity(self, p):
+        a = np.array(p)
+        assert euc2d_distance(a, a) == 0
+
+    @given(coords_strategy, coords_strategy, coords_strategy)
+    @settings(max_examples=100)
+    def test_triangle_inequality_with_rounding_slack(self, p, q, r):
+        a, b, c = np.array(p), np.array(q), np.array(r)
+        # rounding can violate the exact triangle inequality by at most 1
+        assert euc2d_distance(a, c) <= euc2d_distance(a, b) + euc2d_distance(b, c) + 1
+
+
+class TestOtherMetrics:
+    def test_ceil2d(self):
+        assert ceil2d_distance(np.array([0.0, 0.0]), np.array([1.0, 1.0])) == 2
+
+    def test_man2d(self):
+        assert man2d_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 7
+
+    def test_max2d(self):
+        assert max2d_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 4
+
+    def test_att_pseudo_euclidean(self):
+        d = att_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        # rij = sqrt(25/10) = 1.581, tij = 2 -> tij >= rij -> 2
+        assert d == 2
+
+    def test_att_rounds_up_when_under(self):
+        d = att_distance(np.array([0.0, 0.0]), np.array([10.0, 0.0]))
+        # rij = sqrt(10) = 3.162, tij = 3 < rij -> 4
+        assert d == 4
+
+    def test_geo_is_symmetric(self):
+        a = np.array([38.24, 20.42])
+        b = np.array([39.57, 26.15])
+        assert geo_distance(a, b) == geo_distance(b, a)
+
+    def test_geo_known_value_ulysses(self):
+        # TSPLIB's GEO convention: ulysses16 cities 1 and 2
+        a = np.array([38.24, 20.42])
+        b = np.array([39.57, 26.15])
+        assert geo_distance(a, b) == 509
+
+
+class TestMetricFunction:
+    @pytest.mark.parametrize(
+        "metric",
+        [EdgeWeightType.EUC_2D, EdgeWeightType.CEIL_2D, EdgeWeightType.MAN_2D,
+         EdgeWeightType.MAX_2D, EdgeWeightType.ATT, EdgeWeightType.GEO],
+    )
+    def test_all_coordinate_metrics_resolve(self, metric):
+        assert callable(metric_function(metric))
+
+    def test_explicit_has_no_function(self):
+        with pytest.raises(ValueError):
+            metric_function(EdgeWeightType.EXPLICIT)
+
+    def test_from_string_case_insensitive(self):
+        assert EdgeWeightType.from_string("euc_2d") is EdgeWeightType.EUC_2D
+
+    def test_from_string_unknown(self):
+        with pytest.raises(ValueError):
+            EdgeWeightType.from_string("XRAY")
+
+
+class TestMatrixAndTourLength:
+    def test_matrix_is_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(1)
+        c = rng.uniform(0, 100, (20, 2))
+        m = pairwise_distance_matrix(c)
+        assert np.array_equal(m, m.T)
+        assert np.all(np.diag(m) == 0)
+
+    def test_tour_length_square(self):
+        c = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+        assert tour_length(c, np.array([0, 1, 2, 3])) == 40
+
+    def test_tour_length_invariant_under_rotation(self):
+        rng = np.random.default_rng(2)
+        c = rng.uniform(0, 1000, (30, 2))
+        t = rng.permutation(30)
+        assert tour_length(c, t) == tour_length(c, np.roll(t, 7))
+
+    def test_tour_length_invariant_under_reversal(self):
+        rng = np.random.default_rng(3)
+        c = rng.uniform(0, 1000, (30, 2))
+        t = rng.permutation(30)
+        assert tour_length(c, t) == tour_length(c, t[::-1])
+
+    def test_tour_length_matches_matrix_sum(self):
+        rng = np.random.default_rng(4)
+        c = rng.uniform(0, 500, (15, 2))
+        t = rng.permutation(15)
+        m = pairwise_distance_matrix(c)
+        expected = sum(m[t[k], t[(k + 1) % 15]] for k in range(15))
+        assert tour_length(c, t) == expected

@@ -1,0 +1,98 @@
+"""Tests for the synthetic instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.tsplib.catalog import DistributionClass
+from repro.tsplib.generators import (
+    DEFAULT_EXTENT,
+    generate_instance,
+    synthesize_paper_instance,
+)
+
+
+class TestGenerateInstance:
+    @pytest.mark.parametrize("dist", list(DistributionClass))
+    def test_all_classes_produce_valid_instances(self, dist):
+        inst = generate_instance(200, distribution=dist, seed=1)
+        assert inst.n == 200
+        assert inst.coords.shape == (200, 2)
+        assert np.all(inst.coords >= 0)
+        assert np.all(inst.coords <= DEFAULT_EXTENT)
+
+    def test_deterministic_per_seed(self):
+        a = generate_instance(100, seed=5)
+        b = generate_instance(100, seed=5)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_different_seeds_differ(self):
+        a = generate_instance(100, seed=5)
+        b = generate_instance(100, seed=6)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            generate_instance(3)
+
+    def test_name_defaults_include_class_and_size(self):
+        inst = generate_instance(64, distribution="clustered", seed=0)
+        assert inst.name == "synthetic-clustered-64"
+
+    def test_string_distribution_accepted(self):
+        inst = generate_instance(50, distribution="grid", seed=0)
+        assert inst.n == 50
+
+    def test_points_mostly_distinct(self):
+        inst = generate_instance(1000, seed=7)
+        uniq = np.unique(inst.coords, axis=0)
+        assert uniq.shape[0] >= 995
+
+
+class TestDistributionShapes:
+    def test_clustered_has_lower_dispersion_than_uniform(self):
+        """Clustered points huddle: mean nearest-neighbor distance shrinks."""
+        from scipy.spatial import cKDTree
+
+        def mean_nn(inst):
+            d, _ = cKDTree(inst.coords).query(inst.coords, k=2)
+            return d[:, 1].mean()
+
+        uni = generate_instance(800, distribution="uniform", seed=3)
+        clu = generate_instance(800, distribution="clustered", seed=3)
+        assert mean_nn(clu) < mean_nn(uni)
+
+    def test_grid_points_snap_to_lattice(self):
+        inst = generate_instance(400, distribution="grid", seed=4)
+        # jitter is at most 5% of the pitch; nearest-neighbor distances
+        # concentrate near the pitch value
+        from scipy.spatial import cKDTree
+
+        d, _ = cKDTree(inst.coords).query(inst.coords, k=2)
+        nn = d[:, 1]
+        assert nn.std() / nn.mean() < 0.5
+
+
+class TestSynthesizePaperInstance:
+    def test_full_size(self):
+        inst = synthesize_paper_instance("kroE100")
+        assert inst.n == 100
+        assert inst.name == "kroE100"
+
+    def test_truncation_marks_name(self):
+        inst = synthesize_paper_instance("pr2392", max_n=500)
+        assert inst.n == 500
+        assert inst.name == "pr2392@500"
+
+    def test_deterministic_per_name(self):
+        a = synthesize_paper_instance("ch130")
+        b = synthesize_paper_instance("ch130")
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_different_names_different_coords(self):
+        a = synthesize_paper_instance("ch130")
+        b = synthesize_paper_instance("ch150", max_n=130)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            synthesize_paper_instance("kroZ999")

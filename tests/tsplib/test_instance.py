@@ -1,0 +1,84 @@
+"""Tests for TSPInstance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TSPLIBError
+from repro.tsplib.distances import EdgeWeightType
+from repro.tsplib.instance import TSPInstance
+
+
+def square_instance():
+    return TSPInstance(
+        name="sq",
+        coords=np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0], [0.0, 10.0]]),
+    )
+
+
+class TestConstruction:
+    def test_requires_coords_or_matrix(self):
+        with pytest.raises(TSPLIBError):
+            TSPInstance(name="x", coords=None)
+
+    def test_coords_shape_checked(self):
+        with pytest.raises(TSPLIBError):
+            TSPInstance(name="x", coords=np.zeros((5, 3)))
+
+    def test_explicit_needs_matrix(self):
+        with pytest.raises(TSPLIBError):
+            TSPInstance(name="x", coords=np.zeros((4, 2)),
+                        metric=EdgeWeightType.EXPLICIT)
+
+    def test_matrix_must_be_square(self):
+        with pytest.raises(TSPLIBError):
+            TSPInstance(name="x", coords=None, metric=EdgeWeightType.EXPLICIT,
+                        explicit_matrix=np.zeros((2, 3)))
+
+    def test_matrix_must_be_symmetric(self):
+        m = np.array([[0, 1], [2, 0]])
+        with pytest.raises(TSPLIBError):
+            TSPInstance(name="x", coords=None, metric=EdgeWeightType.EXPLICIT,
+                        explicit_matrix=m)
+
+    def test_n(self):
+        assert square_instance().n == 4
+
+
+class TestDistances:
+    def test_scalar_distance(self):
+        assert square_instance().distance(0, 1) == 10
+
+    def test_array_distance(self):
+        inst = square_instance()
+        d = inst.distance(np.array([0, 1]), np.array([2, 3]))
+        assert list(d) == [14, 14]
+
+    def test_distance_matrix_matches_distance(self):
+        inst = square_instance()
+        m = inst.distance_matrix()
+        for i in range(4):
+            for j in range(4):
+                assert m[i, j] == inst.distance(i, j)
+
+    def test_tour_length_square(self):
+        assert square_instance().tour_length(np.array([0, 1, 2, 3])) == 40
+
+    def test_tour_length_crossed_is_longer(self):
+        inst = square_instance()
+        assert inst.tour_length(np.array([0, 2, 1, 3])) > inst.tour_length(
+            np.array([0, 1, 2, 3])
+        )
+
+
+class TestMemoryAccounting:
+    def test_lut_bytes_is_quadratic(self):
+        inst = square_instance()
+        assert inst.lut_bytes() == 4 * 4 * 4
+
+    def test_coords_bytes_is_linear(self):
+        assert square_instance().coords_bytes() == 2 * 4 * 4
+
+    def test_coords_float32_dtype_and_contiguity(self):
+        c = square_instance().coords_float32()
+        assert c.dtype == np.float32
+        assert c.flags["C_CONTIGUOUS"]

@@ -1,0 +1,68 @@
+"""Tests for k-nearest-neighbor lists."""
+
+import numpy as np
+import pytest
+
+from repro.tsplib.neighbors import k_nearest_neighbors, neighbor_pairs_sorted
+
+
+class TestKNearestNeighbors:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        c = rng.uniform(0, 100, (50, 2))
+        knn = k_nearest_neighbors(c, 5)
+        assert knn.shape == (50, 5)
+
+    def test_self_excluded(self):
+        rng = np.random.default_rng(1)
+        c = rng.uniform(0, 100, (30, 2))
+        knn = k_nearest_neighbors(c, 4)
+        for i in range(30):
+            assert i not in knn[i]
+
+    def test_nearest_is_correct_brute_force(self):
+        rng = np.random.default_rng(2)
+        c = rng.uniform(0, 100, (40, 2))
+        knn = k_nearest_neighbors(c, 1)
+        for i in range(40):
+            d = np.linalg.norm(c - c[i], axis=1)
+            d[i] = np.inf
+            assert knn[i, 0] == np.argmin(d)
+
+    def test_k_clamped_to_n_minus_1(self):
+        c = np.array([[0.0, 0], [1, 0], [2, 0]])
+        knn = k_nearest_neighbors(c, 10)
+        assert knn.shape == (3, 2)
+
+    def test_duplicate_points_handled(self):
+        c = np.array([[0.0, 0], [0, 0], [5, 5], [9, 9]])
+        knn = k_nearest_neighbors(c, 3)
+        for i in range(4):
+            assert len(set(knn[i])) == 3
+            assert i not in knn[i]
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            k_nearest_neighbors(np.zeros((1, 2)), 1)
+
+
+class TestNeighborPairs:
+    def test_pairs_are_canonical_and_unique(self):
+        rng = np.random.default_rng(3)
+        c = rng.uniform(0, 100, (60, 2))
+        pairs = neighbor_pairs_sorted(c, 6)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        assert np.unique(pairs, axis=0).shape == pairs.shape
+
+    def test_sorted_by_length(self):
+        rng = np.random.default_rng(4)
+        c = rng.uniform(0, 100, (60, 2))
+        pairs = neighbor_pairs_sorted(c, 6)
+        d = np.linalg.norm(c[pairs[:, 0]] - c[pairs[:, 1]], axis=1)
+        assert np.all(np.diff(d) >= -1e-9)
+
+    def test_every_city_appears(self):
+        rng = np.random.default_rng(5)
+        c = rng.uniform(0, 100, (40, 2))
+        pairs = neighbor_pairs_sorted(c, 4)
+        assert set(pairs.ravel()) == set(range(40))

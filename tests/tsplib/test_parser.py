@@ -1,0 +1,169 @@
+"""Tests for the TSPLIB parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TSPLIBFormatError, UnsupportedEdgeWeightError
+from repro.tsplib.distances import EdgeWeightType
+from repro.tsplib.parser import loads_tsplib, parse_tour_file
+
+SIMPLE = """\
+NAME : tiny4
+TYPE : TSP
+COMMENT : four corners
+DIMENSION : 4
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0 0
+2 10 0
+3 10 10
+4 0 10
+EOF
+"""
+
+
+class TestCoordinateParsing:
+    def test_basic_fields(self):
+        inst = loads_tsplib(SIMPLE)
+        assert inst.name == "tiny4"
+        assert inst.n == 4
+        assert inst.metric is EdgeWeightType.EUC_2D
+        assert inst.comment == "four corners"
+        assert np.array_equal(inst.coords, [[0, 0], [10, 0], [10, 10], [0, 10]])
+
+    def test_distance_from_parsed(self):
+        inst = loads_tsplib(SIMPLE)
+        assert inst.distance(0, 1) == 10
+        assert inst.distance(0, 2) == 14  # sqrt(200)=14.14 -> 14
+
+    def test_headers_without_colon(self):
+        text = SIMPLE.replace("EDGE_WEIGHT_TYPE : EUC_2D", "EDGE_WEIGHT_TYPE EUC_2D")
+        assert loads_tsplib(text).metric is EdgeWeightType.EUC_2D
+
+    def test_float_coordinates(self):
+        text = SIMPLE.replace("2 10 0", "2 10.5 0.25")
+        inst = loads_tsplib(text)
+        assert inst.coords[1, 0] == 10.5
+
+    def test_blank_lines_ignored(self):
+        text = SIMPLE.replace("NODE_COORD_SECTION\n", "NODE_COORD_SECTION\n\n\n")
+        assert loads_tsplib(text).n == 4
+
+    def test_missing_dimension_rejected(self):
+        text = SIMPLE.replace("DIMENSION : 4\n", "")
+        with pytest.raises(TSPLIBFormatError):
+            loads_tsplib(text)
+
+    def test_wrong_coord_count_rejected(self):
+        text = SIMPLE.replace("4 0 10\n", "")
+        with pytest.raises(TSPLIBFormatError):
+            loads_tsplib(text)
+
+    def test_unsupported_metric_rejected(self):
+        text = SIMPLE.replace("EUC_2D", "EUC_3D")
+        with pytest.raises(UnsupportedEdgeWeightError):
+            loads_tsplib(text)
+
+    def test_non_tsp_type_rejected(self):
+        text = SIMPLE.replace("TYPE : TSP", "TYPE : CVRP")
+        with pytest.raises(TSPLIBFormatError):
+            loads_tsplib(text)
+
+    def test_bad_coord_line_rejected(self):
+        text = SIMPLE.replace("1 0 0", "1 0")
+        with pytest.raises(TSPLIBFormatError):
+            loads_tsplib(text)
+
+    def test_data_outside_section_rejected(self):
+        text = SIMPLE.replace("NODE_COORD_SECTION\n", "")
+        with pytest.raises(TSPLIBFormatError):
+            loads_tsplib(text)
+
+
+EXPLICIT_FULL = """\
+NAME : m3
+TYPE : TSP
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 2 3
+2 0 4
+3 4 0
+EOF
+"""
+
+
+class TestExplicitMatrices:
+    def test_full_matrix(self):
+        inst = loads_tsplib(EXPLICIT_FULL)
+        assert inst.n == 3
+        assert inst.distance(0, 2) == 3
+        assert inst.tour_length(np.array([0, 1, 2])) == 2 + 4 + 3
+
+    def test_upper_row(self):
+        text = EXPLICIT_FULL.replace("FULL_MATRIX", "UPPER_ROW").replace(
+            "0 2 3\n2 0 4\n3 4 0\n", "2 3\n4\n"
+        )
+        inst = loads_tsplib(text)
+        assert inst.distance(0, 1) == 2
+        assert inst.distance(1, 2) == 4
+        assert inst.distance(2, 0) == 3
+
+    def test_lower_diag_row(self):
+        text = EXPLICIT_FULL.replace("FULL_MATRIX", "LOWER_DIAG_ROW").replace(
+            "0 2 3\n2 0 4\n3 4 0\n", "0\n2 0\n3 4 0\n"
+        )
+        inst = loads_tsplib(text)
+        assert inst.distance(0, 1) == 2
+        assert inst.distance(0, 2) == 3
+
+    def test_upper_diag_row(self):
+        text = EXPLICIT_FULL.replace("FULL_MATRIX", "UPPER_DIAG_ROW").replace(
+            "0 2 3\n2 0 4\n3 4 0\n", "0 2 3\n0 4\n0\n"
+        )
+        inst = loads_tsplib(text)
+        assert inst.distance(1, 2) == 4
+
+    def test_asymmetric_full_matrix_rejected(self):
+        text = EXPLICIT_FULL.replace("2 0 4", "9 0 4")
+        with pytest.raises(TSPLIBFormatError):
+            loads_tsplib(text)
+
+    def test_wrong_value_count_rejected(self):
+        text = EXPLICIT_FULL.replace("3 4 0\n", "3 4\n")
+        with pytest.raises(TSPLIBFormatError):
+            loads_tsplib(text)
+
+    def test_unknown_format_rejected(self):
+        text = EXPLICIT_FULL.replace("FULL_MATRIX", "SPARSE_THING")
+        with pytest.raises(UnsupportedEdgeWeightError):
+            loads_tsplib(text)
+
+
+TOUR_FILE = """\
+NAME : tiny4.tour
+TYPE : TOUR
+DIMENSION : 4
+TOUR_SECTION
+1
+3
+2
+4
+-1
+EOF
+"""
+
+
+class TestTourFiles:
+    def test_parse_tour(self):
+        t = parse_tour_file(TOUR_FILE)
+        assert np.array_equal(t, [0, 2, 1, 3])
+
+    def test_empty_tour_rejected(self):
+        with pytest.raises(TSPLIBFormatError):
+            parse_tour_file("NAME : x\nTOUR_SECTION\n-1\nEOF\n")
+
+    def test_nodes_after_minus_one_ignored(self):
+        t = parse_tour_file(TOUR_FILE.replace("-1\n", "-1\n9\n"))
+        assert t.size == 4

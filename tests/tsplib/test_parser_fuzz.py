@@ -1,0 +1,77 @@
+"""Fuzz / robustness tests for the TSPLIB parser.
+
+The parser must never crash with anything other than the documented
+error types, no matter the input (a library boundary contract).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TSPLIBError
+from repro.tsplib.generators import generate_instance
+from repro.tsplib.parser import loads_tsplib, parse_tour_file
+from repro.tsplib.writer import dumps_tsplib
+
+ACCEPTABLE = (TSPLIBError, ValueError)
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=500))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        try:
+            loads_tsplib(text)
+        except ACCEPTABLE:
+            pass
+
+    @given(st.binary(max_size=200).map(lambda b: b.decode("latin-1")))
+    @settings(max_examples=100, deadline=None)
+    def test_binary_garbage(self, text):
+        try:
+            loads_tsplib(text)
+        except ACCEPTABLE:
+            pass
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_random_line_deletion(self, seed, drop_line):
+        """Deleting any single line from a valid file either still parses
+        or raises a TSPLIBError — never an internal exception."""
+        inst = generate_instance(12, seed=seed % 1000)
+        lines = dumps_tsplib(inst).splitlines()
+        drop = drop_line % len(lines)
+        mutated = "\n".join(lines[:drop] + lines[drop + 1 :])
+        try:
+            parsed = loads_tsplib(mutated)
+            assert parsed.n >= 1
+        except ACCEPTABLE:
+            pass
+
+    @given(st.integers(0, 10**6), st.text("0123456789.eE+- ", max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_random_token_injection(self, seed, token):
+        inst = generate_instance(8, seed=seed % 997)
+        text = dumps_tsplib(inst).replace("NODE_COORD_SECTION",
+                                          f"NODE_COORD_SECTION\n{token}")
+        try:
+            loads_tsplib(text)
+        except ACCEPTABLE:
+            pass
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_tour_parser_never_crashes_unexpectedly(self, text):
+        try:
+            tour = parse_tour_file(text)
+            assert tour.ndim == 1
+        except ACCEPTABLE:
+            pass
+
+    @given(st.integers(4, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_is_total_on_generated_instances(self, n, seed):
+        inst = generate_instance(n, seed=seed)
+        back = loads_tsplib(dumps_tsplib(inst))
+        assert back.n == n
+        assert np.allclose(back.coords, inst.coords)

@@ -1,0 +1,63 @@
+"""Round-trip tests for the TSPLIB writer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tsplib.distances import EdgeWeightType
+from repro.tsplib.generators import generate_instance
+from repro.tsplib.instance import TSPInstance
+from repro.tsplib.parser import loads_tsplib, parse_tour_file
+from repro.tsplib.writer import dumps_tour, dumps_tsplib
+
+
+class TestWriterRoundTrip:
+    def test_coordinates_round_trip(self):
+        inst = generate_instance(50, seed=9, name="rt50")
+        text = dumps_tsplib(inst)
+        back = loads_tsplib(text)
+        assert back.name == "rt50"
+        assert back.n == 50
+        assert np.allclose(back.coords, inst.coords)
+        assert back.metric is inst.metric
+
+    def test_comment_round_trip(self):
+        inst = generate_instance(10, seed=0)
+        inst.comment = "hello world"
+        assert loads_tsplib(dumps_tsplib(inst)).comment == "hello world"
+
+    def test_integer_coords_written_without_decimal(self):
+        inst = TSPInstance(name="int", coords=np.array([[1.0, 2.0], [3.0, 4.0],
+                                                        [5.0, 6.0], [7.0, 8.0]]))
+        text = dumps_tsplib(inst)
+        assert "1 1 2" in text  # "index x y" with integers
+
+    def test_explicit_matrix_round_trip(self):
+        m = np.array([[0, 5, 7], [5, 0, 2], [7, 2, 0]])
+        inst = TSPInstance(
+            name="em", coords=None, metric=EdgeWeightType.EXPLICIT,
+            explicit_matrix=m,
+        )
+        back = loads_tsplib(dumps_tsplib(inst))
+        assert np.array_equal(back.explicit_matrix, m)
+
+    @given(st.integers(min_value=4, max_value=60), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances_round_trip_losslessly(self, n, seed):
+        inst = generate_instance(n, seed=seed)
+        back = loads_tsplib(dumps_tsplib(inst))
+        assert back.n == inst.n
+        # EUC_2D distances must survive exactly (repr() preserves floats)
+        t = np.arange(n)
+        assert back.tour_length(t) == inst.tour_length(t)
+
+
+class TestTourWriter:
+    def test_tour_round_trip(self):
+        order = np.array([3, 1, 0, 2])
+        back = parse_tour_file(dumps_tour(order, name="t"))
+        assert np.array_equal(back, order)
+
+    def test_one_based_on_disk(self):
+        text = dumps_tour([0, 1, 2])
+        section = text.split("TOUR_SECTION")[1]
+        assert "\n1\n2\n3\n-1" in section

@@ -1,0 +1,77 @@
+"""Tests for the ASCII line-chart renderer."""
+
+import pytest
+
+from repro.utils.ascii_chart import ascii_line_chart
+
+
+def simple_series():
+    return {"a": ([1, 10, 100], [1.0, 5.0, 10.0])}
+
+
+class TestAsciiLineChart:
+    def test_contains_marks_and_legend(self):
+        out = ascii_line_chart(simple_series())
+        assert "legend: o a" in out
+        assert "o" in out.split("legend")[0]
+
+    def test_title_and_labels(self):
+        out = ascii_line_chart(simple_series(), title="T", x_label="xs",
+                               y_label="ys")
+        assert out.splitlines()[0] == "T"
+        assert "xs" in out
+        assert "ys" in out
+
+    def test_multiple_series_get_distinct_marks(self):
+        out = ascii_line_chart({
+            "low": ([1, 2, 3], [1, 1, 1]),
+            "high": ([1, 2, 3], [10, 10, 10]),
+        })
+        assert "o low" in out and "x high" in out
+        body = out.split("legend")[0]
+        assert "o" in body and "x" in body
+
+    def test_log_x_spacing(self):
+        # on a log axis, equal multiplicative steps land equally far apart
+        out = ascii_line_chart(
+            {"s": ([1, 10, 100], [1, 2, 3])}, log_x=True, width=41, height=5,
+        )
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        # highest point (y=3) is in the top row at the right edge
+        assert rows[0].rstrip().endswith("o")
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([0, 1], [1, 2])}, log_x=True)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart(simple_series(), width=5)
+        with pytest.raises(ValueError):
+            ascii_line_chart(simple_series(), height=2)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([], [])})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([1, 2], [1])})
+
+    def test_flat_series_no_crash(self):
+        out = ascii_line_chart({"s": ([1, 2, 3], [5, 5, 5])})
+        assert "o" in out
+
+    def test_overlap_marked_with_star(self):
+        out = ascii_line_chart({
+            "a": ([1, 2], [1, 2]),
+            "b": ([1, 2], [1, 2]),
+        }, width=30, height=6)
+        assert "*" in out.split("legend")[0]
+
+    def test_axis_extents_printed(self):
+        out = ascii_line_chart({"s": ([100, 30_000], [2, 23])}, log_x=True)
+        assert "100" in out
+        assert "30,000" in out

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, 10)
+        b = ensure_rng(7).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 2**31, 16)
+        b = ensure_rng(2).integers(0, 2**31, 16)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_seedsequence_accepted(self):
+        ss = np.random.SeedSequence(99)
+        assert isinstance(ensure_rng(ss), np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(5)).integers(0, 100, 4)
+        b = ensure_rng(5).integers(0, 100, 4)
+        assert np.array_equal(a, b)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        kids = spawn_rngs(0, 3)
+        draws = [k.integers(0, 2**31, 8) for k in kids]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 100, 4) for g in spawn_rngs(42, 3)]
+        b = [g.integers(0, 100, 4) for g in spawn_rngs(42, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(0)
+        kids = spawn_rngs(g, 2)
+        assert len(kids) == 2
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

@@ -1,0 +1,44 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["name", "value"], [("a", 1), ("bb", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("----")
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_right_alignment_of_numbers(self):
+        out = render_table(["k", "n"], [("a", 5), ("b", 5000)])
+        rows = out.splitlines()[-2:]
+        # the numeric column is right-aligned: '5' ends where '5000' ends
+        assert rows[0].rstrip().endswith("5")
+        assert rows[1].rstrip().endswith("5000")
+        assert len(rows[0].rstrip()) == len(rows[1].rstrip()) - 3 or rows[0].index("5") > 0
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_custom_alignment_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1, 2)], align=["l"])
+
+    def test_wide_cell_expands_column(self):
+        out = render_table(["h"], [("short",), ("a-much-longer-cell",)])
+        sep = out.splitlines()[1]
+        assert len(sep) == len("a-much-longer-cell")
+
+    def test_empty_rows_ok(self):
+        out = render_table(["only", "headers"], [])
+        assert "only" in out
+        assert len(out.splitlines()) == 2

@@ -1,0 +1,35 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_lap_records_time(self):
+        sw = Stopwatch()
+        with sw.lap("work"):
+            time.sleep(0.01)
+        assert sw.laps["work"] >= 0.009
+
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        sw.add("x", 1.0)
+        sw.add("x", 2.0)
+        assert sw.laps["x"] == 3.0
+
+    def test_total_sums_all_laps(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("b", 0.5)
+        assert sw.total == 1.5
+
+    def test_summary_contains_lap_names(self):
+        sw = Stopwatch()
+        sw.add("parse", 0.001)
+        s = sw.summary()
+        assert "parse" in s
+        assert "total" in s
+
+    def test_empty_summary(self):
+        assert Stopwatch().summary() == "(no laps)"

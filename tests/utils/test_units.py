@@ -1,0 +1,63 @@
+"""Tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import format_bytes, format_count, format_seconds
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kibibytes(self):
+        assert format_bytes(48 * 1024) == "48.0 KiB"
+
+    def test_decimal_kilobytes(self):
+        assert format_bytes(35_700, decimal=True) == "35.7 kB"
+
+    def test_decimal_megabytes_matches_table1_style(self):
+        # fnl4461 LUT: 4461^2 * 4 bytes = 79.6 MB in the paper's Table I
+        assert format_bytes(4461 * 4461 * 4, decimal=True) == "79.6 MB"
+
+    def test_gibibytes(self):
+        assert format_bytes(2 * 1024**3) == "2.0 GiB"
+
+    def test_huge_value_uses_largest_suffix(self):
+        assert format_bytes(10 * 1024**4).endswith("TiB")
+
+
+class TestFormatCount:
+    def test_small(self):
+        assert format_count(42) == "42"
+
+    def test_thousands(self):
+        assert format_count(1500) == "1.50 K"
+
+    def test_millions(self):
+        assert format_count(2.5e6) == "2.50 M"
+
+    def test_billions(self):
+        assert format_count(3.1e9) == "3.10 G"
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(81e-6) == "81 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0123) == "12.30 ms"
+
+    def test_seconds(self):
+        assert format_seconds(3.5) == "3.50 s"
+
+    def test_minutes(self):
+        assert format_seconds(600) == "10.0 m"
+
+    def test_hours(self):
+        assert format_seconds(7200) == "2.0 h"
+
+    def test_negative(self):
+        assert format_seconds(-0.5).startswith("-")
+
+    def test_zero(self):
+        assert format_seconds(0) == "0 us"
