@@ -1,25 +1,32 @@
 #!/usr/bin/env python
-"""Profile a simulated optimization run, nvprof style.
+"""Profile a simulated optimization run, nvprof style — two ways.
 
-Attaches a :class:`TraceCollector` to an instrumented (``simulate`` mode)
-local search, prints the per-kernel profile, and dumps the launch
-timeline as JSON lines — the workflow you would use to study a new
-kernel variant in this simulator.
+Part 1 uses the raw :class:`TraceCollector`: attach it to an
+instrumented (``simulate`` mode) local search, print the per-kernel
+profile, dump the launch timeline as JSON lines, and convert it to a
+``chrome://tracing`` file.
+
+Part 2 uses the unified telemetry :class:`Profiler`: wrap the same run
+and get the full host span tree (solver phases, per-scan spans) with the
+modeled device launches as child events, plus the metrics registry —
+the workflow you would use to study where time goes end to end.
 
 Run:
     python examples/trace_profile.py [n]
 """
 
+import json
 import sys
 import tempfile
 from pathlib import Path
 
-from repro import LocalSearch, generate_instance
+from repro import LocalSearch, Profiler, generate_instance
 from repro.gpusim import LaunchConfig, TraceCollector
+from repro.telemetry import chrome_trace_from_collector
 
 
-def main(n: int = 300) -> None:
-    inst = generate_instance(n, seed=21)
+def collector_profile(inst, n: int) -> None:
+    """The raw TraceCollector workflow (pre-dates the telemetry layer)."""
     trace = TraceCollector()
     # simulate mode: every scan actually runs through the SIMT executor
     ls = LocalSearch(
@@ -38,9 +45,49 @@ def main(n: int = 300) -> None:
     print(f"\nlaunch timeline written to {out} "
           f"({len(trace.records)} records)")
 
+    # the same records convert to a chrome://tracing-loadable file
+    chrome = Path(tempfile.gettempdir()) / f"trace-{n}-launches.json"
+    chrome.write_text(json.dumps(chrome_trace_from_collector(trace)))
+    print(f"chrome trace (device launches only) written to {chrome}")
+
     # the timeline is machine-readable; e.g. total checks across launches:
     total_checks = sum(r.pair_checks for r in trace.records)
     print(f"total 2-opt checks recorded: {total_checks:,.0f}")
+
+
+def profiler_profile(inst, n: int) -> None:
+    """The unified telemetry workflow: spans + metrics + exporters."""
+    with Profiler() as prof:
+        ls = LocalSearch(
+            "gtx680-cuda", mode="simulate", launch=LaunchConfig(8, 256),
+        )
+        ls.run(inst.coords_float32(), max_moves=25)
+
+    print(prof.report())
+
+    chrome = Path(tempfile.gettempdir()) / f"trace-{n}-spans.json"
+    prof.write_chrome_trace(chrome)
+    print(f"\nfull chrome trace (host spans + modeled device track) "
+          f"written to {chrome}")
+    print("open chrome://tracing (or ui.perfetto.dev) and load it")
+
+    launches = prof.metrics.counter("gpusim.launches").value
+    checks = prof.metrics.counter("kernel.pair_checks").value
+    print(f"launches={launches:,.0f}  pair checks={checks:,.0f}  "
+          f"modeled local-search share={prof.span_share('local_search'):.1%}")
+
+
+def main(n: int = 300) -> None:
+    inst = generate_instance(n, seed=21)
+    print("=" * 64)
+    print("1. raw TraceCollector (kernel launches only)")
+    print("=" * 64)
+    collector_profile(inst, n)
+    print()
+    print("=" * 64)
+    print("2. telemetry Profiler (host spans + device track + metrics)")
+    print("=" * 64)
+    profiler_profile(inst, n)
 
 
 if __name__ == "__main__":

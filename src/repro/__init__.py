@@ -24,6 +24,15 @@ from repro.tour import Tour
 from repro.core import LocalSearch, LocalSearchResult, TwoOptSolver
 from repro.ils import IteratedLocalSearch, ILSResult
 from repro.gpusim import DEVICES, get_device, list_devices
+from repro.telemetry import (
+    MetricsRegistry,
+    Profiler,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    set_metrics,
+    set_tracer,
+)
 
 __all__ = [
     "__version__",
@@ -41,4 +50,11 @@ __all__ = [
     "DEVICES",
     "get_device",
     "list_devices",
+    "Profiler",
+    "Tracer",
+    "MetricsRegistry",
+    "get_tracer",
+    "set_tracer",
+    "get_metrics",
+    "set_metrics",
 ]

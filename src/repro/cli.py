@@ -11,27 +11,137 @@ import sys
 from typing import Optional, Sequence
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.core.solver import TwoOptSolver
+def _load_instance(args: argparse.Namespace):
+    """Resolve the instance selection flags shared by solve/profile."""
     from repro.tsplib.generators import generate_instance, synthesize_paper_instance
     from repro.tsplib.parser import load_tsplib
+
+    if getattr(args, "file", None):
+        return load_tsplib(args.file)
+    if getattr(args, "paper_instance", None):
+        return synthesize_paper_instance(args.paper_instance, max_n=args.max_n)
+    return generate_instance(args.n, seed=args.seed)
+
+
+def _solve_json_payload(inst, solver, res) -> dict:
+    """Machine-readable ``repro solve`` result for benchmarks and CI."""
+    s = res.search
+    return {
+        "instance": inst.name,
+        "n": inst.n,
+        "device": solver.local_search.device.name,
+        "strategy": solver.local_search.strategy,
+        "initial_length": res.initial_length,
+        "final_length": res.final_length,
+        "canonical_length": res.canonical_length,
+        "improvement_percent": res.improvement_percent,
+        "moves_applied": s.moves_applied,
+        "scans": s.scans,
+        "launches": s.launches,
+        "reached_minimum": s.reached_minimum,
+        "modeled_seconds": s.modeled_seconds,
+        "transfer_seconds": s.transfer_seconds,
+        "wall_seconds": s.wall_seconds,
+        "pair_checks": s.stats.pair_checks,
+    }
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
+
+    from repro.core.solver import TwoOptSolver
+    from repro.telemetry import Profiler
     from repro.utils.units import format_seconds
 
-    if args.file:
-        inst = load_tsplib(args.file)
-    elif args.paper_instance:
-        inst = synthesize_paper_instance(args.paper_instance, max_n=args.max_n)
-    else:
-        inst = generate_instance(args.n, seed=args.seed)
+    inst = _load_instance(args)
     solver = TwoOptSolver(args.device, strategy=args.strategy)
-    res = solver.solve(inst, initial=args.initial)
+    profiling = args.profile or args.trace_out is not None
+    profiler = Profiler() if profiling else None
+    with profiler if profiler is not None else contextlib.nullcontext():
+        res = solver.solve(inst, initial=args.initial)
     s = res.search
+
+    if args.trace_out:
+        profiler.write_chrome_trace(args.trace_out)
+
+    if args.json:
+        payload = _solve_json_payload(inst, solver, res)
+        if profiler is not None:
+            payload["telemetry"] = {
+                "span_count": profiler.tracer.span_count,
+                "local_search_share_modeled": profiler.span_share("local_search"),
+                "trace_out": args.trace_out,
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+
     print(f"instance      : {inst.name} (n={inst.n})")
     print(f"initial length: {res.initial_length}")
     print(f"final length  : {res.final_length} ({res.improvement_percent:.2f}% better)")
     print(f"moves applied : {s.moves_applied} in {s.scans} scans")
     print(f"modeled time  : {format_seconds(s.modeled_seconds)} on {solver.local_search.device.name}")
     print(f"wall time     : {format_seconds(s.wall_seconds)} (simulator)")
+    if profiler is not None:
+        print()
+        print(profiler.report())
+        share = profiler.span_share("local_search")
+        print()
+        print(f"local-search share of modeled time: {share:.1%} "
+              f"(paper claims >=90% of ILS time is 2-opt)")
+        if args.trace_out:
+            print(f"chrome trace written to {args.trace_out} "
+                  f"(open via chrome://tracing)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a full ILS run: span tree, metrics, and the paper's time share."""
+    import json
+
+    from repro.core.local_search import LocalSearch
+    from repro.ils.ils import IteratedLocalSearch
+    from repro.ils.termination import IterationLimit
+    from repro.telemetry import Profiler
+    from repro.utils.units import format_seconds
+
+    inst = _load_instance(args)
+    ls = LocalSearch(args.device, strategy=args.strategy)
+    ils = IteratedLocalSearch(
+        ls, termination=IterationLimit(args.iterations), seed=args.seed
+    )
+    with Profiler() as profiler:
+        res = ils.run(inst)
+
+    if args.trace_out:
+        profiler.write_chrome_trace(args.trace_out)
+    if args.json:
+        print(json.dumps({
+            "instance": inst.name,
+            "n": inst.n,
+            "iterations": res.iterations,
+            "best_length": res.best_length,
+            "modeled_seconds": res.modeled_seconds,
+            "wall_seconds": res.wall_seconds,
+            "local_search_share": res.local_search_share,
+            "span_count": profiler.tracer.span_count,
+            "metrics": profiler.metrics.snapshot(),
+        }, indent=2))
+        return 0
+
+    print(f"instance      : {inst.name} (n={inst.n})")
+    print(f"ILS           : {res.iterations} iterations, best length "
+          f"{res.best_length}")
+    print(f"modeled time  : {format_seconds(res.modeled_seconds)} on "
+          f"{ls.device.name}")
+    print()
+    print(profiler.report())
+    print()
+    print(f"local-search share of modeled ILS time: "
+          f"{res.local_search_share:.1%} (paper section I claims >=90%)")
+    if args.trace_out:
+        print(f"chrome trace written to {args.trace_out} "
+              f"(open via chrome://tracing)")
     return 0
 
 
@@ -194,7 +304,29 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--strategy", choices=["best", "batch"], default="batch")
     s.add_argument("--initial", default="greedy",
                    choices=["greedy", "nearest-neighbor", "random", "identity"])
+    s.add_argument("--json", action="store_true",
+                   help="print a machine-readable JSON result")
+    s.add_argument("--profile", action="store_true",
+                   help="collect telemetry and print the span tree")
+    s.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a chrome://tracing trace file (implies --profile)")
     s.set_defaults(func=_cmd_solve)
+
+    s = sub.add_parser("profile",
+                       help="profile an ILS run (spans, metrics, trace export)")
+    s.add_argument("--file", help="TSPLIB .tsp file to load")
+    s.add_argument("--paper-instance", help="paper instance name (synthetic stand-in)")
+    s.add_argument("--n", type=int, default=300, help="synthetic instance size")
+    s.add_argument("--max-n", type=int, default=None, help="truncate paper instance")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--device", default="gtx680-cuda")
+    s.add_argument("--strategy", choices=["best", "batch"], default="batch")
+    s.add_argument("--iterations", type=int, default=5, help="ILS iterations")
+    s.add_argument("--json", action="store_true",
+                   help="print a machine-readable JSON summary")
+    s.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a chrome://tracing trace file")
+    s.set_defaults(func=_cmd_profile)
 
     s = sub.add_parser("table1", help="reproduce Table I (memory)")
     s.set_defaults(func=_cmd_table1)

@@ -73,6 +73,7 @@ from repro.gpusim.stats import KernelStats
 from repro.gpusim.timing_model import predict_cpu_time, predict_kernel_time
 from repro.gpusim.trace import TraceCollector
 from repro.gpusim.transfer import transfer_time
+from repro.telemetry import get_tracer
 
 Backend = Literal["gpu", "cpu-parallel", "cpu-sequential"]
 Mode = Literal["fast", "simulate"]
@@ -237,6 +238,14 @@ class LocalSearch:
             )
         return Move(i=i, j=j, delta=delta)
 
+    def _modeled_kernel_name(self, n: int) -> str:
+        """Kernel name attributed to fast-mode modeled launches."""
+        if self.backend != "gpu":
+            return "cpu-2opt-scan"
+        if n <= TwoOptKernelOrdered().max_cities(self.device):
+            return TwoOptKernelOrdered.name
+        return TwoOptKernelTiled.name
+
     # -- main loop -------------------------------------------------------------
 
     def run(
@@ -256,7 +265,36 @@ class LocalSearch:
             pre-ordering); the identity permutation is the implied tour.
         max_moves / max_scans / target_length:
             Optional early-stopping knobs.
+
+        The run reports into the process telemetry tracer (one
+        ``local_search`` span, one ``scan`` span per scan, modeled device
+        launches on the device track); with the default no-op tracer the
+        instrumentation costs nothing.
         """
+        tracer = get_tracer()
+        with tracer.span(
+            "local_search", category="core", n=len(coords_ordered),
+            backend=self.backend, mode=self.mode, strategy=self.strategy,
+            device=self.device.name,
+        ) as span:
+            result = self._run(
+                coords_ordered, tracer, max_moves=max_moves,
+                max_scans=max_scans, target_length=target_length,
+            )
+            span.set_attr("scans", result.scans)
+            span.set_attr("moves", result.moves_applied)
+            span.set_attr("modeled_seconds", result.modeled_seconds)
+        return result
+
+    def _run(
+        self,
+        coords_ordered: np.ndarray,
+        tracer,
+        *,
+        max_moves: Optional[int],
+        max_scans: Optional[int],
+        target_length: Optional[int],
+    ) -> LocalSearchResult:
         t_wall = time.perf_counter()
         # private working copy: the search reverses segments in place
         c = np.array(coords_ordered, dtype=np.float32, copy=True, order="C")
@@ -275,15 +313,24 @@ class LocalSearch:
         modeled = 0.0
         transfer = self._transfer_seconds(n)
         modeled += transfer  # initial upload
+        tracer.advance_modeled(transfer)
         reached_minimum = False
 
         if self.backend == "cpu-sequential" and self.mode == "simulate":
             # genuine sequential semantics: first-improvement sweeps
-            c2, order2, total_moves = sequential_two_opt(c, order)
-            length = int(next_distances(c2).sum())
-            per_scan = self.scan_seconds(n)
-            modeled += per_scan * max(1, total_moves)
-            stats += cpu_scan_stats(n, threads=1).scaled(max(1.0, total_moves))
+            with tracer.span("sequential_descent", category="local_search"):
+                c2, order2, total_moves = sequential_two_opt(c, order)
+                length = int(next_distances(c2).sum())
+                per_scan = self.scan_seconds(n)
+                step = per_scan * max(1, total_moves)
+                modeled += step
+                tracer.advance_modeled(step)
+                if tracer.enabled:
+                    tracer.device_event(
+                        self._modeled_kernel_name(n), step,
+                        launches=max(1, total_moves),
+                    )
+                stats += cpu_scan_stats(n, threads=1).scaled(max(1.0, total_moves))
             trace.append((modeled, length))
             return LocalSearchResult(
                 order=order2, initial_length=initial_length, final_length=length,
@@ -301,7 +348,7 @@ class LocalSearch:
                 )
             return self._run_dlb(
                 c, order, length, initial_length, stats, trace,
-                transfer, t_wall,
+                transfer, t_wall, tracer,
             )
 
         scan = self._scan_simulate if self.mode == "simulate" else self._scan_fast
@@ -316,47 +363,75 @@ class LocalSearch:
                 break
 
             if self.strategy == "batch":
-                batch = batch_improving_moves(c)
-                scans += 1
-                if per_launch_kernel is None:
-                    per_launch_kernel = self.scan_seconds(n)
-                if not batch:
-                    # the final confirming scan
-                    launches += 1
-                    modeled += per_launch_kernel
-                    stats += self._scan_work(n)
-                    reached_minimum = True
-                    break
-                order = apply_moves(order, batch)
-                # apply the same reversals to the working coordinates
-                for mv in batch:
-                    c[mv.i + 1 : mv.j + 1] = c[mv.i + 1 : mv.j + 1][::-1]
-                    modeled += self._host_apply_seconds(mv.j - mv.i)
-                length += sum(mv.delta for mv in batch)
-                moves_applied += len(batch)
-                # paper-equivalent: each applied move is one launch
-                launches += len(batch)
-                modeled += per_launch_kernel * len(batch)
-                stats += self._scan_work(n).scaled(len(batch))
-                trace.append((modeled, length))
+                with tracer.span("scan", category="local_search") as ssp:
+                    step_start = modeled
+                    batch = batch_improving_moves(c)
+                    scans += 1
+                    if per_launch_kernel is None:
+                        per_launch_kernel = self.scan_seconds(n)
+                    if not batch:
+                        # the final confirming scan
+                        launches += 1
+                        modeled += per_launch_kernel
+                        stats += self._scan_work(n)
+                        reached_minimum = True
+                        tracer.advance_modeled(modeled - step_start)
+                        if tracer.enabled:
+                            tracer.device_event(
+                                self._modeled_kernel_name(n),
+                                per_launch_kernel, launches=1,
+                            )
+                            ssp.set_attr("moves", 0)
+                        break
+                    order = apply_moves(order, batch)
+                    # apply the same reversals to the working coordinates
+                    for mv in batch:
+                        c[mv.i + 1 : mv.j + 1] = c[mv.i + 1 : mv.j + 1][::-1]
+                        modeled += self._host_apply_seconds(mv.j - mv.i)
+                    length += sum(mv.delta for mv in batch)
+                    moves_applied += len(batch)
+                    # paper-equivalent: each applied move is one launch
+                    launches += len(batch)
+                    modeled += per_launch_kernel * len(batch)
+                    stats += self._scan_work(n).scaled(len(batch))
+                    tracer.advance_modeled(modeled - step_start)
+                    if tracer.enabled:
+                        tracer.device_event(
+                            self._modeled_kernel_name(n),
+                            per_launch_kernel * len(batch), launches=len(batch),
+                        )
+                        ssp.set_attr("moves", len(batch))
+                    trace.append((modeled, length))
                 continue
 
-            mv = scan(c, stats)
-            scans += 1
-            launches += 1
-            if per_launch_kernel is None:
-                per_launch_kernel = self.scan_seconds(n)
-            modeled += per_launch_kernel
-            if mv.i < 0 or mv.delta >= 0:
-                reached_minimum = True
+            with tracer.span("scan", category="local_search") as ssp:
+                step_start = modeled
+                mv = scan(c, stats)
+                scans += 1
+                launches += 1
+                if per_launch_kernel is None:
+                    per_launch_kernel = self.scan_seconds(n)
+                modeled += per_launch_kernel
+                # simulate mode records the real launches in the executor
+                if self.mode == "fast" and tracer.enabled:
+                    tracer.device_event(
+                        self._modeled_kernel_name(n), per_launch_kernel,
+                        launches=1,
+                    )
+                if mv.i < 0 or mv.delta >= 0:
+                    reached_minimum = True
+                    tracer.advance_modeled(modeled - step_start)
+                    trace.append((modeled, length))
+                    break
+                c[mv.i + 1 : mv.j + 1] = c[mv.i + 1 : mv.j + 1][::-1]
+                order[mv.i + 1 : mv.j + 1] = order[mv.i + 1 : mv.j + 1][::-1]
+                modeled += self._host_apply_seconds(mv.j - mv.i)
+                length += mv.delta
+                moves_applied += 1
+                tracer.advance_modeled(modeled - step_start)
+                if tracer.enabled:
+                    ssp.set_attr("delta", int(mv.delta))
                 trace.append((modeled, length))
-                break
-            c[mv.i + 1 : mv.j + 1] = c[mv.i + 1 : mv.j + 1][::-1]
-            order[mv.i + 1 : mv.j + 1] = order[mv.i + 1 : mv.j + 1][::-1]
-            modeled += self._host_apply_seconds(mv.j - mv.i)
-            length += mv.delta
-            moves_applied += 1
-            trace.append((modeled, length))
 
         return LocalSearchResult(
             order=order, initial_length=initial_length, final_length=length,
@@ -367,16 +442,24 @@ class LocalSearch:
         )
 
     def _run_dlb(self, c, order, length, initial_length, stats, trace,
-                 transfer, t_wall):
+                 transfer, t_wall, tracer):
         """Fast-host descent via don't-look bits (see class docstring)."""
         from repro.core.dont_look import DontLookTwoOpt
 
         n = c.shape[0]
-        res = DontLookTwoOpt(c).run(order)
-        moves = res.moves_applied
-        per_launch = self.scan_seconds(n)
-        modeled = transfer + per_launch * (moves + 1)
-        stats += self._scan_work(n).scaled(moves + 1)
+        with tracer.span("dlb_descent", category="local_search") as span:
+            res = DontLookTwoOpt(c).run(order)
+            moves = res.moves_applied
+            per_launch = self.scan_seconds(n)
+            modeled = transfer + per_launch * (moves + 1)
+            tracer.advance_modeled(modeled - transfer)
+            if tracer.enabled:
+                tracer.device_event(
+                    self._modeled_kernel_name(n),
+                    per_launch * (moves + 1), launches=moves + 1,
+                )
+                span.set_attr("moves", moves)
+            stats += self._scan_work(n).scaled(moves + 1)
         final_length = res.final_length
         trace.append((modeled, final_length))
         return LocalSearchResult(

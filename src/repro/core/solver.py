@@ -25,6 +25,7 @@ from repro.core.local_search import (
 )
 from repro.errors import SolverError
 from repro.gpusim.kernel import LaunchConfig
+from repro.telemetry import get_tracer
 from repro.tour.tour import Tour, validate_tour
 from repro.tsplib.instance import TSPInstance
 from repro.utils.rng import SeedLike, ensure_rng
@@ -118,19 +119,28 @@ class TwoOptSolver:
                 f"{instance.metric.value}. Convert or re-generate the "
                 f"instance with EUC_2D coordinates."
             )
-        order0 = self.build_initial(instance, initial, seed=seed)
-        coords_ordered = instance.coords[order0]
-        result = self._search.run(
-            coords_ordered, max_moves=max_moves, max_scans=max_scans
-        )
-        # result.order permutes *positions* of the initial tour
-        final_order = order0[result.order]
-        tour = Tour(instance, final_order)
+        tracer = get_tracer()
+        with tracer.span(
+            "solve", category="solver", instance=instance.name, n=instance.n,
+            initial=initial if isinstance(initial, str) else "array",
+        ) as span:
+            with tracer.span("construct_initial", category="solver"):
+                order0 = self.build_initial(instance, initial, seed=seed)
+            coords_ordered = instance.coords[order0]
+            result = self._search.run(
+                coords_ordered, max_moves=max_moves, max_scans=max_scans
+            )
+            # result.order permutes *positions* of the initial tour
+            final_order = order0[result.order]
+            with tracer.span("finalize_tour", category="solver"):
+                tour = Tour(instance, final_order)
+                canonical = tour.length()
+            span.set_attr("final_length", result.final_length)
         return SolveResult(
             instance=instance,
             tour=tour,
             initial_length=result.initial_length,
             final_length=result.final_length,
-            canonical_length=tour.length(),
+            canonical_length=canonical,
             search=result,
         )

@@ -274,13 +274,20 @@ def tiled_best_move(
     kernel = TwoOptKernelTiled()
     launch = launch or LaunchConfig.default_for(device)
 
+    from repro.telemetry import get_tracer
+
+    tracer = get_tracer()
     sweep_stats = KernelStats()
     best = (np.iinfo(np.int64).max, -1, -1)
     for tile in schedule.tiles():
-        res = launch_kernel(
-            kernel, device, launch, stats=sweep_stats,
-            coords_ordered=c, tile=tile,
-        )
+        with tracer.span(
+            "tile", category="tiling",
+            a0=tile.a0, b0=tile.b0, jobs=tile.job_count,
+        ):
+            res = launch_kernel(
+                kernel, device, launch, stats=sweep_stats,
+                coords_ordered=c, tile=tile,
+            )
         delta, i, j = res.output
         if i < 0:
             continue

@@ -9,6 +9,7 @@ from repro.gpusim.device import GPUDeviceSpec
 from repro.gpusim.kernel import Kernel, KernelContext, LaunchConfig
 from repro.gpusim.stats import KernelStats
 from repro.gpusim.timing_model import TimeBreakdown, predict_kernel_time
+from repro.telemetry import get_metrics, get_tracer
 
 
 @dataclass
@@ -49,6 +50,19 @@ def launch_kernel(
     time = predict_kernel_time(
         local, device, ctx.launch, shared_bytes=ctx.shared_bytes_used
     )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.device_event(
+            kernel.name, time.total, device=device.name,
+            grid_dim=ctx.launch.grid_dim, block_dim=ctx.launch.block_dim,
+            compute_ms=time.compute * 1e3, memory_ms=time.memory * 1e3,
+            pair_checks=local.pair_checks,
+        )
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("gpusim.launches").inc()
+        metrics.histogram("gpusim.launch_seconds").observe(time.total)
+        metrics.record_kernel_stats(local)
     if stats is not None:
         stats += local
     return KernelResult(output=output, stats=local, time=time)

@@ -101,16 +101,37 @@ class TraceCollector:
     # -- export -----------------------------------------------------------
 
     def to_jsonl(self) -> str:
-        """One JSON object per line, nvprof-csv style."""
-        return "\n".join(json.dumps(asdict(r)) for r in self.records)
+        """One JSON object per line, nvprof-csv style.
+
+        The first line is a ``{"meta": ...}`` header carrying
+        ``max_records`` and ``dropped`` so :meth:`from_jsonl` restores
+        the collector exactly; every following line is one record.
+        """
+        meta = json.dumps(
+            {"meta": {"max_records": self.max_records, "dropped": self.dropped}}
+        )
+        return "\n".join([meta] + [json.dumps(asdict(r)) for r in self.records])
 
     @classmethod
     def from_jsonl(cls, text: str) -> "TraceCollector":
+        """Rebuild a collector from :meth:`to_jsonl` output.
+
+        Honors the meta header (bound and dropped count survive the round
+        trip); header-less record-only input (the pre-header format) still
+        parses, with default bounds.
+        """
         tc = cls()
+        dropped = 0
         for line in text.splitlines():
             if not line.strip():
                 continue
-            tc.record(LaunchRecord(**json.loads(line)))
+            obj = json.loads(line)
+            if "meta" in obj and "kernel" not in obj:
+                tc.max_records = int(obj["meta"].get("max_records", tc.max_records))
+                dropped = int(obj["meta"].get("dropped", 0))
+                continue
+            tc.record(LaunchRecord(**obj))
+        tc.dropped += dropped
         return tc
 
     def summary(self) -> str:
@@ -126,8 +147,10 @@ class TraceCollector:
             lines.append(
                 f"{kernel:20s} {count:9d} {secs * 1e3:10.3f} ms {share:6.1%}"
             )
+        total_share = 1.0 if total else 0.0
         lines.append(
-            f"{'total':20s} {self.launch_count:9d} {total * 1e3:10.3f} ms {1:6.1%}"
+            f"{'total':20s} {self.launch_count:9d} {total * 1e3:10.3f} ms "
+            f"{total_share:6.1%}"
         )
         if self.dropped:
             lines.append(f"(dropped {self.dropped} records beyond max_records)")

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.gpusim.device import GPUDeviceSpec
+from repro.telemetry import get_metrics, get_tracer
 
 
 @dataclass(frozen=True)
@@ -28,12 +29,23 @@ def transfer_time(device: GPUDeviceSpec, nbytes: int) -> TransferBreakdown:
     if nbytes < 0:
         raise ValueError("nbytes must be non-negative")
     wire = nbytes / (device.pcie_bandwidth_gbps * 1e9)
-    return TransferBreakdown(
+    breakdown = TransferBreakdown(
         total=device.pcie_latency_s + wire,
         latency=device.pcie_latency_s,
         wire=wire,
         bytes=int(nbytes),
     )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.device_event(
+            "pcie-transfer", breakdown.total,
+            device=device.name, bytes=breakdown.bytes,
+        )
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("transfer.bytes").inc(breakdown.bytes)
+        metrics.histogram("transfer.seconds").observe(breakdown.total)
+    return breakdown
 
 
 def round_trip_time(device: GPUDeviceSpec, h2d_bytes: int, d2h_bytes: int) -> float:

@@ -30,6 +30,7 @@ from repro.errors import SolverError
 from repro.ils.acceptance import AcceptanceCriterion, BetterAcceptance
 from repro.ils.perturbation import DoubleBridgePerturbation, Perturbation
 from repro.ils.termination import IterationLimit, TerminationCondition
+from repro.telemetry import MetricsRegistry, get_metrics, get_tracer
 from repro.tour.tour import Tour, validate_tour
 from repro.tsplib.instance import TSPInstance
 from repro.utils.rng import SeedLike, ensure_rng
@@ -46,15 +47,28 @@ class ILSResult:
     iterations: int
     accepted: int
     modeled_seconds: float
-    local_search_seconds: float
-    perturbation_seconds: float
     wall_seconds: float
+    #: per-phase counters recorded during the run (``ils.*`` namespace)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     #: (modeled seconds, incumbent length) — the Fig. 11 curve
     trace: list[tuple[float, int]] = field(default_factory=list)
 
     @property
+    def local_search_seconds(self) -> float:
+        """Modeled seconds inside 2-opt, from the run's phase counters."""
+        return self.metrics.counter("ils.local_search.modeled_seconds").value
+
+    @property
+    def perturbation_seconds(self) -> float:
+        """Modeled seconds inside the kicks, from the run's phase counters."""
+        return self.metrics.counter("ils.perturbation.modeled_seconds").value
+
+    @property
     def local_search_share(self) -> float:
-        """Fraction of modeled time in 2-opt (paper §I: at least 0.9)."""
+        """Fraction of modeled time in 2-opt (paper §I: at least 0.9).
+
+        Derived from the per-phase metrics rather than a hand-rolled sum.
+        """
         if self.modeled_seconds <= 0:
             return 0.0
         return self.local_search_seconds / self.modeled_seconds
@@ -99,10 +113,18 @@ class IteratedLocalSearch:
         initial_order: Optional[np.ndarray] = None,
         max_moves_per_search: Optional[int] = None,
     ) -> ILSResult:
-        """Run ILS on *instance* from a random tour (the paper's s0)."""
+        """Run ILS on *instance* from a random tour (the paper's s0).
+
+        Each phase (perturbation, local search, acceptance) is wrapped in
+        a telemetry span and charges an ``ils.*`` counter in the result's
+        :class:`~repro.telemetry.MetricsRegistry`, so the §I time-share
+        claim is a derived metric rather than a hand-rolled sum.
+        """
         if instance.coords is None:
             raise SolverError("ILS requires coordinate instances")
         t0 = time.perf_counter()
+        tracer = get_tracer()
+        reg = MetricsRegistry()
         n = instance.n
         if initial_order is None:
             order = self.rng.permutation(n).astype(np.int64)
@@ -110,51 +132,72 @@ class IteratedLocalSearch:
             order = validate_tour(initial_order, n)
 
         modeled = 0.0
-        ls_seconds = 0.0
-        perturb_seconds = 0.0
         trace: list[tuple[float, int]] = []
 
-        order, length, res = self._optimize(instance, order, max_moves_per_search)
-        initial_length = res.initial_length
-        modeled += res.modeled_seconds
-        ls_seconds += res.modeled_seconds
-        trace.append((modeled, length))
-
-        best_order, best_length = order, length
-        iterations = 0
-        accepted = 0
-        stall = 0
-        while not self.termination.should_stop(
-            iteration=iterations, modeled_seconds=modeled,
-            wall_seconds=time.perf_counter() - t0,
-            iterations_since_improvement=stall,
-        ):
-            iterations += 1
-            candidate = self.perturbation(best_order, self.rng)
-            kick_cost = self._PERTURB_SECONDS_PER_CITY * n
-            modeled += kick_cost
-            perturb_seconds += kick_cost
-
-            cand_order, cand_length, res = self._optimize(
-                instance, candidate, max_moves_per_search
+        with tracer.span("ils", category="ils", instance=instance.name,
+                         n=n) as ils_span:
+            order, length, res = self._optimize(
+                instance, order, max_moves_per_search
             )
+            initial_length = res.initial_length
             modeled += res.modeled_seconds
-            ls_seconds += res.modeled_seconds
+            reg.counter("ils.local_search.modeled_seconds").inc(res.modeled_seconds)
+            trace.append((modeled, length))
 
-            improved = cand_length < best_length
-            if self.acceptance.accept(best_length, cand_length, self.rng):
-                if improved:
-                    stall = 0
-                else:
-                    stall += 1
-                best_order, best_length = cand_order, cand_length
-                accepted += 1
-            else:
-                stall += 1
-            notify = getattr(self.perturbation, "notify", None)
-            if callable(notify):
-                notify(improved)
-            trace.append((modeled, best_length))
+            best_order, best_length = order, length
+            iterations = 0
+            accepted = 0
+            stall = 0
+            while not self.termination.should_stop(
+                iteration=iterations, modeled_seconds=modeled,
+                wall_seconds=time.perf_counter() - t0,
+                iterations_since_improvement=stall,
+            ):
+                iterations += 1
+                with tracer.span("iteration", category="ils",
+                                 index=iterations) as it_span:
+                    with tracer.span("perturbation", category="ils") as psp:
+                        candidate = self.perturbation(best_order, self.rng)
+                        kick_cost = self._PERTURB_SECONDS_PER_CITY * n
+                        modeled += kick_cost
+                        psp.add_modeled(kick_cost)
+                    reg.counter("ils.perturbation.modeled_seconds").inc(kick_cost)
+
+                    cand_order, cand_length, res = self._optimize(
+                        instance, candidate, max_moves_per_search
+                    )
+                    modeled += res.modeled_seconds
+                    reg.counter("ils.local_search.modeled_seconds").inc(
+                        res.modeled_seconds
+                    )
+
+                    improved = cand_length < best_length
+                    with tracer.span("acceptance", category="ils") as asp:
+                        take = self.acceptance.accept(
+                            best_length, cand_length, self.rng
+                        )
+                        asp.set_attr("accepted", take)
+                    if take:
+                        if improved:
+                            stall = 0
+                        else:
+                            stall += 1
+                        best_order, best_length = cand_order, cand_length
+                        accepted += 1
+                    else:
+                        stall += 1
+                    it_span.set_attr("best_length", best_length)
+                notify = getattr(self.perturbation, "notify", None)
+                if callable(notify):
+                    notify(improved)
+                trace.append((modeled, best_length))
+
+            reg.counter("ils.iterations").inc(iterations)
+            reg.counter("ils.accepted").inc(accepted)
+            reg.gauge("ils.best_length").set(best_length)
+            ils_span.set_attr("iterations", iterations)
+            ils_span.set_attr("best_length", best_length)
+        get_metrics().merge(reg)
 
         return ILSResult(
             instance=instance,
@@ -164,8 +207,7 @@ class IteratedLocalSearch:
             iterations=iterations,
             accepted=accepted,
             modeled_seconds=modeled,
-            local_search_seconds=ls_seconds,
-            perturbation_seconds=perturb_seconds,
             wall_seconds=time.perf_counter() - t0,
+            metrics=reg,
             trace=trace,
         )

@@ -1,0 +1,67 @@
+"""Unified telemetry: spans, metrics, and trace export for the simulator.
+
+The paper's argument is a time-attribution argument — kernel vs transfer
+(Table II), compute vs memory (Table I), ≥90 % of ILS inside 2-opt (§I).
+This package is the measurement substrate that makes those claims
+observable in one place:
+
+* :mod:`repro.telemetry.span` — nested :class:`Span`/:class:`Tracer` with
+  separate wall-clock and modeled-seconds channels, plus a process-wide
+  default (a zero-cost no-op until a profiler installs a real one);
+* :mod:`repro.telemetry.metrics` — :class:`MetricsRegistry` with
+  counters, gauges, and percentile histograms, absorbing
+  ``KernelStats``-style counting;
+* :mod:`repro.telemetry.export` — JSON-lines, Chrome trace-event format
+  (host spans and modeled device launches on separate tracks), and ASCII
+  tree/table reports;
+* :mod:`repro.telemetry.profiler` — :class:`Profiler`, the context
+  manager that wires it all together (CLI: ``repro solve --profile``).
+"""
+
+from repro.telemetry.span import (
+    NoopSpan,
+    NoopTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.telemetry.export import (
+    chrome_trace_from_collector,
+    render_metrics,
+    render_span_tree,
+    spans_to_jsonl,
+    to_chrome_trace,
+)
+from repro.telemetry.profiler import Profiler
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopSpan",
+    "NoopTracer",
+    "get_tracer",
+    "set_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "spans_to_jsonl",
+    "to_chrome_trace",
+    "chrome_trace_from_collector",
+    "render_span_tree",
+    "render_metrics",
+    "Profiler",
+]

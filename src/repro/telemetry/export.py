@@ -1,0 +1,245 @@
+"""Exporters: JSON-lines, Chrome trace-event format, ASCII reports.
+
+Three consumers, three formats:
+
+* :func:`spans_to_jsonl` — one JSON object per span, for offline analysis
+  (mirrors ``TraceCollector.to_jsonl``).
+* :func:`to_chrome_trace` — the Trace Event Format understood by
+  ``chrome://tracing`` / Perfetto. Host spans are complete (``"ph":
+  "X"``) events on the wall-clock timeline (pid 1); modeled device work
+  (kernel launches, PCIe transfers) gets its own process (pid 2) whose
+  timeline is cumulative *modeled* seconds — the two tracks line up the
+  simulator's cost next to the paper's predicted cost.
+* :func:`render_span_tree` / :func:`render_metrics` — ASCII reports for
+  terminals and logs; same-name siblings are aggregated so a thousand
+  ``scan`` spans print as one line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional, Sequence
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.span import Span, Tracer
+
+#: pid used for host wall-clock spans in Chrome traces
+HOST_PID = 1
+#: pid used for modeled device events in Chrome traces
+DEVICE_PID = 2
+
+
+# -- JSON lines -------------------------------------------------------------
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per span, insertion order preserved."""
+    return "\n".join(json.dumps(s.to_dict()) for s in spans)
+
+
+# -- Chrome trace-event format ----------------------------------------------
+
+def _json_safe(value: object) -> object:
+    """Coerce attribute values to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Convert a tracer's spans to a ``chrome://tracing``-loadable dict.
+
+    Returns the standard ``{"traceEvents": [...]}`` object: metadata
+    events naming the two processes, host spans as complete events in
+    wall microseconds, and device events as complete events in modeled
+    microseconds on their own track (one thread row per kernel/transfer
+    name).
+    """
+    events: list[dict] = [
+        {"ph": "M", "pid": HOST_PID, "tid": 0, "name": "process_name",
+         "args": {"name": "host (wall clock)"}},
+        {"ph": "M", "pid": HOST_PID, "tid": 1, "name": "thread_name",
+         "args": {"name": "driver"}},
+        {"ph": "M", "pid": DEVICE_PID, "tid": 0, "name": "process_name",
+         "args": {"name": "modeled device (predicted seconds)"}},
+    ]
+    device_tids: dict[str, int] = {}
+    for s in tracer.spans:
+        args = {k: _json_safe(v) for k, v in s.attrs.items()}
+        if s.track == "device":
+            tid = device_tids.get(s.name)
+            if tid is None:
+                tid = len(device_tids) + 1
+                device_tids[s.name] = tid
+                events.append({
+                    "ph": "M", "pid": DEVICE_PID, "tid": tid,
+                    "name": "thread_name", "args": {"name": s.name},
+                })
+            events.append({
+                "name": s.name, "cat": s.category or "device", "ph": "X",
+                "ts": s.start_modeled * 1e6,
+                "dur": (s.end_modeled - s.start_modeled) * 1e6,
+                "pid": DEVICE_PID, "tid": tid, "args": args,
+            })
+        else:
+            args["modeled_ms"] = s.modeled_seconds * 1e3
+            events.append({
+                "name": s.name, "cat": s.category or "host", "ph": "X",
+                "ts": s.start_wall * 1e6,
+                "dur": (s.end_wall - s.start_wall) * 1e6,
+                "pid": HOST_PID, "tid": 1, "args": args,
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "dropped_spans": tracer.dropped,
+        },
+    }
+
+
+def chrome_trace_from_collector(collector) -> dict:
+    """Convert a raw ``TraceCollector`` to a Chrome trace dict.
+
+    Each launch record becomes a complete event on the modeled-device
+    timeline (cumulative predicted seconds), with the compute/memory/
+    overhead breakdown in ``args`` — so the pre-telemetry collector's
+    output opens in ``chrome://tracing`` too.
+    """
+    events: list[dict] = [
+        {"ph": "M", "pid": DEVICE_PID, "tid": 0, "name": "process_name",
+         "args": {"name": "modeled device (predicted seconds)"}},
+    ]
+    tids: dict[str, int] = {}
+    clock = 0.0
+    for rec in collector.records:
+        tid = tids.get(rec.kernel)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[rec.kernel] = tid
+            events.append({
+                "ph": "M", "pid": DEVICE_PID, "tid": tid,
+                "name": "thread_name", "args": {"name": rec.kernel},
+            })
+        events.append({
+            "name": rec.kernel, "cat": "device", "ph": "X",
+            "ts": clock * 1e6, "dur": rec.seconds * 1e6,
+            "pid": DEVICE_PID, "tid": tid,
+            "args": {
+                "device": rec.device,
+                "grid_dim": rec.grid_dim,
+                "block_dim": rec.block_dim,
+                "pair_checks": rec.pair_checks,
+                "compute_ms": rec.compute_seconds * 1e3,
+                "memory_ms": rec.memory_seconds * 1e3,
+                "overhead_ms": rec.overhead_seconds * 1e3,
+            },
+        })
+        clock += rec.seconds
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- ASCII reports ----------------------------------------------------------
+
+def _format_seconds(seconds: float) -> str:
+    """Compact human-friendly seconds (us/ms/s)."""
+    if seconds == 0.0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def render_span_tree(tracer: Tracer, *, max_depth: Optional[int] = None) -> str:
+    """ASCII tree of the tracer's spans, aggregated by name per level.
+
+    Columns: span name (indented by depth, device events tagged
+    ``[device]``), call count, total wall seconds, total modeled seconds,
+    and the modeled share of the tree's total (falling back to wall share
+    when nothing charged modeled time).
+    """
+    if not tracer.spans:
+        return "(no spans recorded)"
+    children: dict[Optional[int], list[Span]] = {}
+    ids = {s.span_id for s in tracer.spans}
+    for s in tracer.spans:
+        parent = s.parent_id if s.parent_id in ids else None
+        children.setdefault(parent, []).append(s)
+
+    roots = children.get(None, [])
+    total_modeled = sum(s.modeled_seconds for s in roots)
+    total_wall = sum(s.wall_seconds for s in roots)
+    use_modeled = total_modeled > 0
+
+    header = (f"{'span':44s} {'count':>7s} {'wall':>10s} "
+              f"{'modeled':>10s} {'share':>7s}")
+    lines = [header, "-" * len(header)]
+
+    def share_of(wall: float, modeled: float) -> float:
+        if use_modeled:
+            return modeled / total_modeled if total_modeled else 0.0
+        return wall / total_wall if total_wall else 0.0
+
+    def emit(group: Sequence[Span], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        by_name: dict[tuple[str, str], list[Span]] = {}
+        for s in group:
+            by_name.setdefault((s.name, s.track), []).append(s)
+        ordered = sorted(
+            by_name.items(),
+            key=lambda kv: -sum(s.modeled_seconds + s.wall_seconds
+                                for s in kv[1]),
+        )
+        for (name, track), spans in ordered:
+            wall = sum(s.wall_seconds for s in spans)
+            modeled = sum(s.modeled_seconds for s in spans)
+            label = "  " * depth + name + (" [device]" if track == "device" else "")
+            lines.append(
+                f"{label:44s} {len(spans):6d}x {_format_seconds(wall):>10s} "
+                f"{_format_seconds(modeled):>10s} {share_of(wall, modeled):6.1%}"
+            )
+            kids: list[Span] = []
+            for s in spans:
+                kids.extend(children.get(s.span_id, []))
+            if kids:
+                emit(kids, depth + 1)
+
+    emit(roots, 0)
+    if tracer.dropped:
+        lines.append(f"(dropped {tracer.dropped} spans beyond max_spans)")
+    return "\n".join(lines)
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """ASCII table of a registry's counters, gauges, and histograms."""
+    snap = registry.snapshot()
+    if not (snap["counters"] or snap["gauges"] or snap["histograms"]):
+        return "(no metrics recorded)"
+    lines: list[str] = []
+    if snap["counters"]:
+        lines.append(f"{'counter':40s} {'value':>16s}")
+        for name, value in snap["counters"].items():
+            text = f"{value:,.0f}" if value == int(value) else f"{value:,.6g}"
+            lines.append(f"{name:40s} {text:>16s}")
+    if snap["gauges"]:
+        lines.append("")
+        lines.append(f"{'gauge':40s} {'value':>16s}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"{name:40s} {value:>16,.6g}")
+    if snap["histograms"]:
+        lines.append("")
+        lines.append(f"{'histogram':28s} {'count':>7s} {'mean':>10s} "
+                     f"{'p50':>10s} {'p90':>10s} {'p99':>10s} {'max':>10s}")
+        for name, h in snap["histograms"].items():
+            lines.append(
+                f"{name:28s} {h['count']:7d} "
+                f"{_format_seconds(h['mean']):>10s} "
+                f"{_format_seconds(h['p50']):>10s} "
+                f"{_format_seconds(h['p90']):>10s} "
+                f"{_format_seconds(h['p99']):>10s} "
+                f"{_format_seconds(h['max']):>10s}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Counters, gauges, and histograms with percentile summaries.
+
+A :class:`MetricsRegistry` is the numeric side of the telemetry
+subsystem: where spans answer *where did time go*, metrics answer *how
+much work happened* — launches, pair checks, transferred bytes, modeled
+seconds per phase. It absorbs ``KernelStats``-style counting generically
+(:meth:`MetricsRegistry.record_kernel_stats`) so the simulator's work
+counters land in the same namespace as driver-level metrics.
+
+Like the tracer, the process default is a no-op registry; a real one is
+installed by :class:`repro.telemetry.profiler.Profiler`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields, is_dataclass
+from typing import Optional
+
+
+class Counter:
+    """Monotonically increasing total (float, so modeled seconds fit)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (occupancy, queue depth, incumbent length...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with *value*."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Distribution summary with bounded sample retention.
+
+    Count / sum / min / max are exact over every observation; percentiles
+    are computed over the first ``max_samples`` retained values (bounded
+    memory, like ``TraceCollector``).
+    """
+
+    __slots__ = ("name", "max_samples", "count", "total", "min", "max",
+                 "_samples", "dropped")
+
+    def __init__(self, name: str, *, max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+        self.dropped = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if len(self._samples) < self.max_samples:
+            self._samples.append(v)
+        else:
+            self.dropped += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact mean over all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained sample.
+
+        *p* is in [0, 100]; returns 0.0 for an empty histogram.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        """count/sum/min/mean/p50/p90/p99/max snapshot."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind get-or-create access."""
+
+    #: real registries record; instrumentation may branch on this cheaply
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- access ------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge *name*."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, *, max_samples: int = 4096) -> Histogram:
+        """Get or create the histogram *name*."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, max_samples=max_samples)
+        return h
+
+    # -- interop -----------------------------------------------------------
+
+    def record_kernel_stats(self, stats: object, *, prefix: str = "kernel") -> None:
+        """Absorb a ``KernelStats``-style dataclass into ``prefix.*`` counters.
+
+        Every numeric dataclass field becomes a counter increment; the
+        free-form ``notes`` dict (and any other non-numeric field) is
+        skipped. Works on any dataclass of float counters, so extended
+        stats types keep flowing into the same registry.
+        """
+        if not is_dataclass(stats):
+            raise TypeError(f"expected a dataclass of counters, got {type(stats)!r}")
+        for f in fields(stats):
+            value = getattr(stats, f.name)
+            if isinstance(value, (int, float)) and value:
+                self.counter(f"{prefix}.{f.name}").inc(float(value))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s counters/gauges/histogram totals into this registry."""
+        for name, c in other.counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other.gauges.items():
+            self.gauge(name).set(g.value)
+        for name, h in other.histograms.items():
+            mine = self.histogram(name, max_samples=h.max_samples)
+            for v in h._samples:
+                mine.observe(v)
+            # re-add exact aggregates for observations beyond the sample
+            extra = h.count - len(h._samples)
+            if extra > 0:
+                mine.count += extra
+                mine.total += h.total - sum(h._samples)
+                mine.min = min(mine.min, h.min)
+                mine.max = max(mine.max, h.max)
+                mine.dropped += extra
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot: counters, gauges, histogram summaries."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {n: h.summary() for n, h in sorted(self.histograms.items())},
+        }
+
+
+class NoopMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments exist but never record (process default).
+
+    Reads still work (counters report 0.0), so derived metrics like the
+    ILS local-search share can be computed against either kind.
+    """
+
+    enabled = False
+
+    _NOOP_COUNTER = None  # class-level singletons, created lazily below
+
+    def counter(self, name: str) -> Counter:
+        """Return a shared counter that discards increments."""
+        return _NOOP_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        """Return a shared gauge that discards writes."""
+        return _NOOP_GAUGE
+
+    def histogram(self, name: str, *, max_samples: int = 4096) -> Histogram:
+        """Return a shared histogram that discards observations."""
+        return _NOOP_HISTOGRAM
+
+    def record_kernel_stats(self, stats: object, *, prefix: str = "kernel") -> None:
+        """Discard the stats."""
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Discard the merge."""
+
+
+class _NoopCounter(Counter):
+    """Counter that discards increments (shared by the no-op registry)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+
+class _NoopGauge(Gauge):
+    """Gauge that discards writes (shared by the no-op registry)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Discard the write."""
+
+
+class _NoopHistogram(Histogram):
+    """Histogram that discards observations (shared by the no-op registry)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+_NOOP_COUNTER = _NoopCounter("noop")
+_NOOP_GAUGE = _NoopGauge("noop")
+_NOOP_HISTOGRAM = _NoopHistogram("noop")
+
+_default_metrics: MetricsRegistry = NoopMetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default registry (a no-op until one is installed)."""
+    return _default_metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as the process default; returns the previous one."""
+    global _default_metrics
+    previous = _default_metrics
+    _default_metrics = registry
+    return previous

@@ -1,0 +1,122 @@
+"""The one-stop profiler: tracer + metrics installed as process defaults.
+
+Wrap any driver code in a :class:`Profiler` context and every
+instrumented layer — solver facade, local-search scans, tile launches,
+simulated kernels, PCIe transfers, ILS iterations — reports into it::
+
+    from repro.telemetry import Profiler
+
+    with Profiler() as prof:
+        TwoOptSolver().solve(generate_instance(300, seed=0))
+    print(prof.report())
+    prof.write_chrome_trace("trace.json")   # open in chrome://tracing
+
+Profilers nest safely: the previously installed tracer/registry is
+restored on exit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.telemetry.export import (
+    render_metrics,
+    render_span_tree,
+    spans_to_jsonl,
+    to_chrome_trace,
+)
+from repro.telemetry.metrics import MetricsRegistry, set_metrics
+from repro.telemetry.span import Span, Tracer, set_tracer
+
+
+class Profiler:
+    """Owns a :class:`Tracer` and a :class:`MetricsRegistry` for one session.
+
+    Entering the context installs both as the process-wide defaults used
+    by :func:`repro.telemetry.get_tracer` / ``get_metrics``; exiting
+    restores whatever was installed before.
+    """
+
+    def __init__(self, *, max_spans: int = 100_000) -> None:
+        self.tracer = Tracer(max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+        self._prev_tracer = None
+        self._prev_metrics = None
+
+    def __enter__(self) -> "Profiler":
+        self._prev_tracer = set_tracer(self.tracer)
+        self._prev_metrics = set_metrics(self.metrics)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._prev_tracer is not None:
+            set_tracer(self._prev_tracer)
+            self._prev_tracer = None
+        if self._prev_metrics is not None:
+            set_metrics(self._prev_metrics)
+            self._prev_metrics = None
+        return False
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, completion order."""
+        return self.tracer.spans
+
+    def modeled_seconds(self, name: str) -> float:
+        """Total modeled seconds across every span called *name*."""
+        return sum(s.modeled_seconds for s in self.tracer.spans
+                   if s.name == name)
+
+    def wall_seconds(self, name: str) -> float:
+        """Total wall seconds across every span called *name*."""
+        return sum(s.wall_seconds for s in self.tracer.spans
+                   if s.name == name)
+
+    def span_share(self, name: str, *, of: Optional[str] = None) -> float:
+        """Modeled share of span *name* relative to *of* (default: roots).
+
+        The §I local-search-share claim is
+        ``profiler.span_share("local_search")`` after an ILS run.
+        """
+        denom = (self.modeled_seconds(of) if of is not None
+                 else sum(s.modeled_seconds for s in self.tracer.roots()))
+        if denom <= 0:
+            return 0.0
+        return self.modeled_seconds(name) / denom
+
+    # -- reports -----------------------------------------------------------
+
+    def report(self, *, max_depth: Optional[int] = None) -> str:
+        """ASCII span tree followed by the metrics table."""
+        parts = ["span tree (wall-clock vs modeled device time):",
+                 render_span_tree(self.tracer, max_depth=max_depth)]
+        metrics = render_metrics(self.metrics)
+        if metrics != "(no metrics recorded)":
+            parts += ["", "metrics:", metrics]
+        return "\n".join(parts)
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The ``chrome://tracing`` trace dict for this session."""
+        return to_chrome_trace(self.tracer)
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome trace JSON to *path*; returns the path."""
+        p = Path(path)
+        p.write_text(json.dumps(self.chrome_trace()))
+        return p
+
+    def to_jsonl(self) -> str:
+        """Spans as JSON lines (one object per span)."""
+        return spans_to_jsonl(self.tracer.spans)
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the JSON-lines span log to *path*; returns the path."""
+        p = Path(path)
+        p.write_text(self.to_jsonl())
+        return p

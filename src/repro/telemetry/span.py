@@ -1,0 +1,269 @@
+"""Nested, timed, attribute-carrying spans with two time channels.
+
+A :class:`Span` measures one region of work on two independent clocks:
+
+* **wall seconds** — real host time (``time.perf_counter``), what the
+  simulator itself costs;
+* **modeled seconds** — the paper's currency: predicted device/host time
+  accumulated by the timing model. Code advances the modeled clock
+  explicitly (:meth:`Tracer.advance_modeled` / :meth:`Span.add_modeled`),
+  so every open span picks up the charge, exactly like nested wall time.
+
+Simulated device work (kernel launches, PCIe transfers) is recorded with
+:meth:`Tracer.device_event`: a completed span on the ``device`` track with
+its own cumulative modeled timeline, which the Chrome exporter renders as
+a separate trace row.
+
+The process-wide default tracer is a :class:`NoopTracer`; instrumentation
+in the hot paths goes through :func:`get_tracer` and therefore costs one
+attribute lookup and a no-op call until a real :class:`Tracer` is
+installed (see :class:`repro.telemetry.profiler.Profiler`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+
+class Span:
+    """One timed region: name, category, attributes, wall + modeled time.
+
+    Spans are context managers; entering registers the span with its
+    tracer (assigning id / parent / depth and sampling both clocks),
+    exiting finalizes it and appends it to the tracer's finished list.
+    """
+
+    __slots__ = (
+        "name", "category", "track", "span_id", "parent_id", "depth",
+        "start_wall", "end_wall", "start_modeled", "end_modeled",
+        "attrs", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, category: str = "",
+                 track: str = "host", attrs: Optional[dict] = None) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.track = track
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start_wall = 0.0
+        self.end_wall = 0.0
+        self.start_modeled = 0.0
+        self.end_modeled = 0.0
+        self.attrs: dict = attrs if attrs is not None else {}
+
+    # -- channels ----------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        """Elapsed wall-clock seconds (zero for modeled device events)."""
+        return max(0.0, self.end_wall - self.start_wall)
+
+    @property
+    def modeled_seconds(self) -> float:
+        """Modeled seconds charged while the span was open."""
+        return max(0.0, self.end_modeled - self.start_modeled)
+
+    # -- mutation ----------------------------------------------------------
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def add_modeled(self, seconds: float) -> None:
+        """Charge *seconds* of modeled time to this span (and ancestors)."""
+        self._tracer.advance_modeled(seconds)
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._close(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, wall={self.wall_seconds:.6f}s, "
+                f"modeled={self.modeled_seconds:.6f}s, attrs={self.attrs})")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the JSON-lines exporter."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "track": self.track,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "start_modeled": self.start_modeled,
+            "end_modeled": self.end_modeled,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects finished spans; bounded like ``TraceCollector``.
+
+    All span times are relative to the tracer's construction (its epoch),
+    so exported timestamps start near zero. A single tracer is not
+    thread-safe; the simulator is single-threaded per process.
+    """
+
+    #: real tracers record; instrumentation may branch on this cheaply
+    enabled = True
+
+    def __init__(self, *, max_spans: int = 100_000) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self.modeled_clock = 0.0
+        self.device_clock = 0.0
+        self._epoch = time.perf_counter()
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, *, category: str = "", **attrs: Any) -> Span:
+        """Create an (unopened) span; use as ``with tracer.span(...) as s``."""
+        return Span(self, name, category=category, attrs=attrs or None)
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        top = self._stack[-1] if self._stack else None
+        span.parent_id = top.span_id if top is not None else None
+        span.depth = top.depth + 1 if top is not None else 0
+        span.start_wall = time.perf_counter() - self._epoch
+        span.start_modeled = self.modeled_clock
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.end_wall = time.perf_counter() - self._epoch
+        span.end_modeled = self.modeled_clock
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # unbalanced exit: pop through it
+            while self._stack and self._stack.pop() is not span:
+                pass
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    # -- modeled channels --------------------------------------------------
+
+    def advance_modeled(self, seconds: float) -> None:
+        """Advance the host modeled clock; every open span absorbs it."""
+        self.modeled_clock += seconds
+
+    def device_event(self, name: str, seconds: float, *,
+                     category: str = "device", **attrs: Any) -> None:
+        """Record a completed modeled-device event (launch / transfer).
+
+        Device events carry zero wall duration and live on their own
+        cumulative modeled timeline (``device_clock``), which becomes the
+        dedicated device track in the Chrome exporter. They do **not**
+        advance the host modeled clock — host code charges modeled time
+        separately via :meth:`advance_modeled`.
+        """
+        span = Span(self, name, category=category, track="device",
+                    attrs=attrs or None)
+        span.span_id = self._next_id
+        self._next_id += 1
+        top = self._stack[-1] if self._stack else None
+        span.parent_id = top.span_id if top is not None else None
+        span.depth = top.depth + 1 if top is not None else 0
+        now = time.perf_counter() - self._epoch
+        span.start_wall = span.end_wall = now
+        span.start_modeled = self.device_clock
+        self.device_clock += seconds
+        span.end_modeled = self.device_clock
+        self._record(span)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def span_count(self) -> int:
+        """Spans recorded plus spans dropped beyond the bound."""
+        return len(self.spans) + self.dropped
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def roots(self) -> list[Span]:
+        """Finished spans with no (recorded) parent."""
+        ids = {s.span_id for s in self.spans}
+        return [s for s in self.spans
+                if s.parent_id is None or s.parent_id not in ids]
+
+
+class NoopSpan:
+    """Inert span: every operation is a no-op; a process singleton."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Discard the attribute."""
+
+    def add_modeled(self, seconds: float) -> None:
+        """Discard the charge."""
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+class NoopTracer:
+    """Zero-cost tracer: returns the singleton :class:`NoopSpan`.
+
+    Installed as the process default so instrumented hot paths pay only a
+    method call when telemetry is off.
+    """
+
+    #: instrumentation may skip attribute-building work when False
+    enabled = False
+
+    _NOOP_SPAN = NoopSpan()
+
+    def span(self, name: str, *, category: str = "", **attrs: Any) -> NoopSpan:
+        """Return the shared inert span."""
+        return self._NOOP_SPAN
+
+    def advance_modeled(self, seconds: float) -> None:
+        """Discard the charge."""
+
+    def device_event(self, name: str, seconds: float, *,
+                     category: str = "device", **attrs: Any) -> None:
+        """Discard the event."""
+
+
+_default_tracer: "Tracer | NoopTracer" = NoopTracer()
+
+
+def get_tracer() -> "Tracer | NoopTracer":
+    """The process-wide default tracer (a no-op until one is installed)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: "Tracer | NoopTracer") -> "Tracer | NoopTracer":
+    """Install *tracer* as the process default; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous

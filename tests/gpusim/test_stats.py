@@ -46,3 +46,74 @@ class TestKernelStats:
 
     def test_approx_equal_ignores_shared_zeros(self):
         assert KernelStats().approx_equal(KernelStats())
+
+
+class TestNotesHandling:
+    def test_merge_right_side_wins_on_conflict(self):
+        a = KernelStats(notes={"k": "a", "only_a": 1})
+        b = KernelStats(notes={"k": "b"})
+        assert a.merge(b).notes == {"k": "b", "only_a": 1}
+
+    def test_merge_does_not_alias_note_dicts(self):
+        a = KernelStats(notes={"x": 1})
+        merged = a.merge(KernelStats())
+        merged.notes["x"] = 99
+        assert a.notes["x"] == 1
+
+    def test_iadd_updates_notes_in_place(self):
+        a = KernelStats(notes={"x": 1})
+        a += KernelStats(notes={"y": 2, "x": 3})
+        assert a.notes == {"x": 3, "y": 2}
+
+    def test_iadd_does_not_alias_other_notes(self):
+        b = KernelStats(notes={"y": 2})
+        a = KernelStats()
+        a += b
+        a.notes["y"] = 5
+        assert b.notes["y"] == 2
+
+    def test_scaled_copies_notes_unscaled(self):
+        s = KernelStats(flops=2, notes={"variant": "tiled"}).scaled(10)
+        assert s.flops == 20
+        assert s.notes == {"variant": "tiled"}
+
+    def test_scaled_does_not_alias_notes(self):
+        a = KernelStats(notes={"x": 1})
+        a.scaled(2).notes["x"] = 9
+        assert a.notes["x"] == 1
+
+
+class TestApproxEqualEdgeCases:
+    def test_zero_vs_nonzero_counter_differs(self):
+        # scale = max(|a|,|b|) = b, relative error 1.0 > tolerance
+        assert not KernelStats(flops=0).approx_equal(KernelStats(flops=1))
+        assert not KernelStats(flops=1).approx_equal(KernelStats(flops=0))
+
+    def test_both_zero_counters_agree(self):
+        assert KernelStats().approx_equal(KernelStats(), rel=0.0)
+
+    def test_asymmetric_tolerance_is_symmetric(self):
+        """The denominator is max(|a|,|b|), so argument order is irrelevant."""
+        a, b = KernelStats(flops=100), KernelStats(flops=95)
+        assert a.approx_equal(b, rel=0.05) == b.approx_equal(a, rel=0.05)
+        # 5/100 == 0.05, right at (not over) the tolerance
+        assert a.approx_equal(b, rel=0.05)
+        # just past it
+        assert not KernelStats(flops=100).approx_equal(
+            KernelStats(flops=94), rel=0.05
+        )
+
+    def test_one_bad_counter_fails_overall(self):
+        a = KernelStats(flops=100, barriers=10)
+        b = KernelStats(flops=100, barriers=20)
+        assert not a.approx_equal(b)
+
+    def test_notes_ignored(self):
+        a = KernelStats(flops=1, notes={"x": 1})
+        b = KernelStats(flops=1, notes={"x": 2})
+        assert a.approx_equal(b)
+
+    def test_tight_and_loose_tolerances(self):
+        a, b = KernelStats(flops=100), KernelStats(flops=110)
+        assert not a.approx_equal(b, rel=0.05)
+        assert a.approx_equal(b, rel=0.20)

@@ -82,3 +82,52 @@ class TestTracedLaunch:
         res = traced_launch(None, TwoOptKernelOrdered(), gtx680, small_launch,
                             coords_ordered=c)
         assert res.output is not None
+
+
+class TestJsonlRoundTripFidelity:
+    """The meta header keeps max_records and dropped across round trips."""
+
+    def test_max_records_survives(self):
+        tc = TraceCollector(max_records=7)
+        tc.add_launch("k", "d", 1, 1, KernelStats(), fake_time())
+        back = TraceCollector.from_jsonl(tc.to_jsonl())
+        assert back.max_records == 7
+
+    def test_dropped_count_survives(self):
+        tc = TraceCollector(max_records=2)
+        for _ in range(5):
+            tc.add_launch("k", "d", 1, 1, KernelStats(), fake_time())
+        back = TraceCollector.from_jsonl(tc.to_jsonl())
+        assert back.dropped == 3
+        assert back.launch_count == tc.launch_count == 5
+        assert len(back.records) == 2
+
+    def test_double_round_trip_stable(self):
+        tc = TraceCollector(max_records=3)
+        for _ in range(4):
+            tc.add_launch("k", "d", 1, 1, KernelStats(), fake_time())
+        once = TraceCollector.from_jsonl(tc.to_jsonl())
+        twice = TraceCollector.from_jsonl(once.to_jsonl())
+        assert twice.max_records == 3
+        assert twice.dropped == 1
+        assert len(twice.records) == 3
+
+    def test_headerless_legacy_input_still_parses(self):
+        import json as _json
+        from dataclasses import asdict
+
+        tc = TraceCollector()
+        tc.add_launch("k", "d", 1, 1, KernelStats(flops=5), fake_time())
+        legacy = "\n".join(_json.dumps(asdict(r)) for r in tc.records)
+        back = TraceCollector.from_jsonl(legacy)
+        assert len(back.records) == 1
+        assert back.dropped == 0
+        assert back.max_records == 100_000
+
+    def test_summary_zero_total_guard(self):
+        tc = TraceCollector()
+        tc.add_launch("k", "d", 1, 1, KernelStats(), fake_time(0.0))
+        summary = tc.summary()
+        # zero total time must not report a 100% total share
+        total_row = [l for l in summary.splitlines() if l.startswith("total")][0]
+        assert "0.0%" in total_row

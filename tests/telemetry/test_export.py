@@ -1,0 +1,153 @@
+"""Tests for the JSONL / Chrome-trace / ASCII exporters."""
+
+import json
+
+import pytest
+
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing_model import TimeBreakdown
+from repro.gpusim.trace import TraceCollector
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_from_collector,
+    render_metrics,
+    render_span_tree,
+    spans_to_jsonl,
+    to_chrome_trace,
+)
+from repro.telemetry.export import DEVICE_PID, HOST_PID
+
+
+def build_tracer():
+    """A small representative tracer: nested host spans + device events."""
+    tracer = Tracer()
+    with tracer.span("root", category="test", n=10):
+        with tracer.span("child") as sp:
+            sp.add_modeled(1e-3)
+            tracer.device_event("kernel-a", 5e-4, device="sim")
+            tracer.device_event("kernel-b", 2e-4)
+    return tracer
+
+
+def assert_valid_chrome_trace(trace: dict) -> None:
+    """Schema check for the Trace Event Format (JSON object variant)."""
+    assert isinstance(trace, dict)
+    events = trace["traceEvents"]
+    assert isinstance(events, list) and events
+    for e in events:
+        assert e["ph"] in ("X", "M")
+        assert isinstance(e["pid"], int)
+        assert isinstance(e["tid"], int)
+        assert isinstance(e["name"], str) and e["name"]
+        if e["ph"] == "X":
+            assert isinstance(e["ts"], (int, float)) and e["ts"] >= 0
+            assert isinstance(e["dur"], (int, float)) and e["dur"] >= 0
+        assert isinstance(e.get("args", {}), dict)
+    # must round-trip through JSON (chrome loads a file, not objects)
+    json.loads(json.dumps(trace))
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        assert_valid_chrome_trace(to_chrome_trace(build_tracer()))
+
+    def test_host_and_device_on_separate_pids(self):
+        events = to_chrome_trace(build_tracer())["traceEvents"]
+        host = [e for e in events if e["ph"] == "X" and e["pid"] == HOST_PID]
+        device = [e for e in events if e["ph"] == "X" and e["pid"] == DEVICE_PID]
+        assert {e["name"] for e in host} == {"root", "child"}
+        assert {e["name"] for e in device} == {"kernel-a", "kernel-b"}
+
+    def test_device_track_uses_modeled_time(self):
+        events = to_chrome_trace(build_tracer())["traceEvents"]
+        a = next(e for e in events if e["name"] == "kernel-a" and e["ph"] == "X")
+        b = next(e for e in events if e["name"] == "kernel-b" and e["ph"] == "X")
+        assert a["ts"] == pytest.approx(0.0)
+        assert a["dur"] == pytest.approx(500.0)  # 5e-4 s in us
+        assert b["ts"] == pytest.approx(500.0)   # cumulative device clock
+        # distinct kernels get distinct thread rows
+        assert a["tid"] != b["tid"]
+
+    def test_process_metadata_present(self):
+        events = to_chrome_trace(build_tracer())["traceEvents"]
+        names = {(e["pid"], e["name"]) for e in events if e["ph"] == "M"}
+        assert (HOST_PID, "process_name") in names
+        assert (DEVICE_PID, "process_name") in names
+
+    def test_non_json_attrs_coerced(self):
+        tracer = Tracer()
+        with tracer.span("s", obj=object()):
+            pass
+        assert_valid_chrome_trace(to_chrome_trace(tracer))
+
+
+class TestCollectorBridge:
+    def test_collector_exports_to_chrome(self):
+        tc = TraceCollector()
+        t = TimeBreakdown(total=1e-4, compute=5e-5, memory=3e-5, shared=0.0,
+                          overhead=2e-5, utilization=1.0)
+        tc.add_launch("2opt-ordered", "GTX", 8, 128,
+                      KernelStats(pair_checks=10), t)
+        tc.add_launch("2opt-ordered", "GTX", 8, 128,
+                      KernelStats(pair_checks=10), t)
+        trace = chrome_trace_from_collector(tc)
+        assert_valid_chrome_trace(trace)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        assert xs[1]["ts"] == pytest.approx(100.0)  # cumulative modeled clock
+
+
+class TestJsonl:
+    def test_one_object_per_span(self):
+        tracer = build_tracer()
+        lines = spans_to_jsonl(tracer.spans).splitlines()
+        assert len(lines) == len(tracer.spans)
+        objs = [json.loads(line) for line in lines]
+        assert {o["name"] for o in objs} == {"root", "child", "kernel-a",
+                                             "kernel-b"}
+        child = next(o for o in objs if o["name"] == "child")
+        assert child["end_modeled"] - child["start_modeled"] == pytest.approx(1e-3)
+
+
+class TestAsciiReports:
+    def test_tree_aggregates_and_marks_device(self):
+        out = render_span_tree(build_tracer())
+        assert "root" in out
+        assert "  child" in out
+        assert "kernel-a [device]" in out
+        assert "100.0%" in out
+
+    def test_tree_empty(self):
+        assert "no spans" in render_span_tree(Tracer())
+
+    def test_tree_reports_drops(self):
+        tracer = Tracer(max_spans=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        assert "dropped 2" in render_span_tree(tracer)
+
+    def test_tree_aggregates_sibling_counts(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for _ in range(5):
+                with tracer.span("scan"):
+                    pass
+        out = render_span_tree(tracer)
+        assert "5x" in out
+
+    def test_max_depth_truncates(self):
+        out = render_span_tree(build_tracer(), max_depth=0)
+        assert "root" in out and "child" not in out
+
+    def test_metrics_table(self):
+        reg = MetricsRegistry()
+        reg.counter("launches").inc(3)
+        reg.gauge("occupancy").set(0.5)
+        reg.histogram("seconds").observe(1e-3)
+        out = render_metrics(reg)
+        assert "launches" in out and "occupancy" in out and "seconds" in out
+
+    def test_metrics_empty(self):
+        assert "no metrics" in render_metrics(MetricsRegistry())

@@ -1,0 +1,120 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.gpusim.stats import KernelStats
+from repro.telemetry import (
+    MetricsRegistry,
+    NoopMetricsRegistry,
+    get_metrics,
+)
+
+
+class TestCounter:
+    def test_get_or_create_and_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(2.5)
+        assert reg.counter("a").value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(5)
+        reg.gauge("g").set(2)
+        assert reg.gauge("g").value == 2.0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["sum"] == pytest.approx(15.0)
+        assert s["min"] == 1.0 and s["max"] == 5.0
+        assert s["mean"] == pytest.approx(3.0)
+        assert s["p50"] == 3.0
+
+    def test_percentiles_nearest_rank(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(90) == 90.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h").percentile(101)
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("h").summary()["count"] == 0
+
+    def test_bounded_retention_keeps_exact_aggregates(self):
+        h = MetricsRegistry().histogram("h", max_samples=3)
+        for v in [1.0, 2.0, 3.0, 100.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.max == 100.0
+        assert h.total == pytest.approx(106.0)
+        assert h.dropped == 1
+
+
+class TestRegistry:
+    def test_record_kernel_stats_prefixes_counters(self):
+        reg = MetricsRegistry()
+        reg.record_kernel_stats(KernelStats(flops=10, pair_checks=4,
+                                            notes={"x": 1}))
+        reg.record_kernel_stats(KernelStats(flops=5))
+        assert reg.counter("kernel.flops").value == 15.0
+        assert reg.counter("kernel.pair_checks").value == 4.0
+        # notes (a dict) must not become a counter
+        assert "kernel.notes" not in reg.counters
+
+    def test_record_kernel_stats_rejects_non_dataclass(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry().record_kernel_stats({"flops": 1})
+
+    def test_merge_combines_all_instruments(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.gauge("g").set(7)
+        b.histogram("h").observe(3.0)
+        a.merge(b)
+        assert a.counter("c").value == 3.0
+        assert a.gauge("g").value == 7.0
+        assert a.histogram("h").count == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"] == {"c": 1.0}
+
+
+class TestNoopRegistry:
+    def test_default_is_noop(self):
+        assert isinstance(get_metrics(), NoopMetricsRegistry)
+        assert get_metrics().enabled is False
+
+    def test_instruments_discard_but_read_zero(self):
+        reg = NoopMetricsRegistry()
+        reg.counter("c").inc(10)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        reg.record_kernel_stats(KernelStats(flops=3))
+        reg.merge(MetricsRegistry())
+        assert reg.counter("c").value == 0.0
+        assert reg.snapshot()["counters"] == {}

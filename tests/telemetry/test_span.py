@@ -1,0 +1,131 @@
+"""Tests for the Span/Tracer core: nesting, channels, bounds, no-op."""
+
+import pytest
+
+from repro.telemetry import (
+    NoopTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestSpanBasics:
+    def test_records_wall_time(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        assert len(tracer.spans) == 1
+        s = tracer.spans[0]
+        assert s.name == "work"
+        assert s.wall_seconds >= 0.0
+        assert s.end_wall >= s.start_wall
+
+    def test_attrs_via_kwargs_and_set_attr(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test", n=42) as sp:
+            sp.set_attr("result", "ok")
+        s = tracer.spans[0]
+        assert s.category == "test"
+        assert s.attrs == {"n": 42, "result": "ok"}
+
+    def test_nesting_assigns_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == 1
+        # children close (and record) before parents
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        assert tracer.roots()[0].name == "outer"
+
+    def test_modeled_channel_nests(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                inner.add_modeled(0.5)
+            tracer.advance_modeled(0.25)
+        assert tracer.spans[0].modeled_seconds == pytest.approx(0.5)   # inner
+        assert tracer.spans[1].modeled_seconds == pytest.approx(0.75)  # outer
+        assert outer.modeled_seconds == pytest.approx(0.75)
+
+    def test_modeled_outside_span_not_attributed(self):
+        tracer = Tracer()
+        tracer.advance_modeled(1.0)
+        with tracer.span("later"):
+            pass
+        assert tracer.spans[0].modeled_seconds == 0.0
+        assert tracer.modeled_clock == pytest.approx(1.0)
+
+
+class TestDeviceEvents:
+    def test_device_event_on_device_track(self):
+        tracer = Tracer()
+        with tracer.span("host") as host:
+            tracer.device_event("kernel", 1e-3, device="sim")
+        dev = [s for s in tracer.spans if s.track == "device"]
+        assert len(dev) == 1
+        assert dev[0].parent_id == host.span_id
+        assert dev[0].modeled_seconds == pytest.approx(1e-3)
+        assert dev[0].wall_seconds == 0.0
+
+    def test_device_clock_is_cumulative_and_separate(self):
+        tracer = Tracer()
+        tracer.device_event("k", 2.0)
+        tracer.device_event("k", 3.0)
+        assert tracer.device_clock == pytest.approx(5.0)
+        assert tracer.modeled_clock == 0.0
+        second = tracer.spans[1]
+        assert second.start_modeled == pytest.approx(2.0)
+        assert second.end_modeled == pytest.approx(5.0)
+
+
+class TestBounds:
+    def test_max_spans_drops_beyond_bound(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+        assert tracer.span_count == 5
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestDefaultTracer:
+    def test_default_is_noop(self):
+        assert isinstance(get_tracer(), NoopTracer)
+        assert get_tracer().enabled is False
+
+    def test_noop_span_is_inert_singleton(self):
+        noop = NoopTracer()
+        a = noop.span("x", n=1)
+        b = noop.span("y")
+        assert a is b
+        with a as sp:
+            sp.set_attr("k", "v")
+            sp.add_modeled(1.0)
+        noop.advance_modeled(2.0)
+        noop.device_event("k", 1.0)
+
+    def test_set_tracer_swaps_and_restores(self):
+        real = Tracer()
+        prev = set_tracer(real)
+        try:
+            assert get_tracer() is real
+            with get_tracer().span("visible"):
+                pass
+            assert real.spans[0].name == "visible"
+        finally:
+            set_tracer(prev)
+        assert isinstance(get_tracer(), NoopTracer)
+
+    def test_current_span(self):
+        tracer = Tracer()
+        assert tracer.current_span() is None
+        with tracer.span("a") as a:
+            assert tracer.current_span() is a
+        assert tracer.current_span() is None

@@ -108,3 +108,41 @@ class TestNewCommands:
         )
         assert proc.returncode == 0
         assert "fnl4461" in proc.stdout
+
+
+class TestSolveJson:
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["solve", "--n", "100", "--seed", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for key in ("instance", "n", "device", "strategy", "initial_length",
+                    "final_length", "moves_applied", "scans", "launches",
+                    "modeled_seconds", "wall_seconds"):
+            assert key in payload
+        assert payload["n"] == 100
+        assert payload["final_length"] <= payload["initial_length"]
+
+    def test_json_without_profile_has_no_telemetry_key(self, capsys):
+        import json
+
+        assert main(["solve", "--n", "80", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "telemetry" not in payload
+
+
+class TestProfileCommand:
+    def test_registered_in_parser(self):
+        args = build_parser().parse_args(["profile", "--n", "50"])
+        assert callable(args.func)
+
+    def test_profile_json(self, capsys):
+        import json
+
+        assert main(["profile", "--n", "120", "--iterations", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["iterations"] == 2
+        assert payload["local_search_share"] >= 0.9
+        assert payload["span_count"] > 0
+        assert "ils.iterations" in payload["metrics"]["counters"]
