@@ -29,7 +29,8 @@ def _solve_json_payload(inst, solver, res) -> dict:
     return {
         "instance": inst.name,
         "n": inst.n,
-        "device": solver.local_search.device.name,
+        "device": solver.local_search.device_description,
+        "backend": solver.local_search.backend,
         "strategy": solver.local_search.strategy,
         "initial_length": res.initial_length,
         "final_length": res.final_length,
@@ -55,7 +56,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.utils.units import format_seconds
 
     inst = _load_instance(args)
-    solver = TwoOptSolver(args.device, strategy=args.strategy)
+    if getattr(args, "devices", None):
+        pool = [d.strip() for d in args.devices.split(",") if d.strip()]
+        solver = TwoOptSolver(pool, strategy=args.strategy)
+    else:
+        solver = TwoOptSolver(args.device, strategy=args.strategy)
     profiling = args.profile or args.trace_out is not None
     profiler = Profiler() if profiling else None
     with profiler if profiler is not None else contextlib.nullcontext():
@@ -80,7 +85,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"initial length: {res.initial_length}")
     print(f"final length  : {res.final_length} ({res.improvement_percent:.2f}% better)")
     print(f"moves applied : {s.moves_applied} in {s.scans} scans")
-    print(f"modeled time  : {format_seconds(s.modeled_seconds)} on {solver.local_search.device.name}")
+    print(f"modeled time  : {format_seconds(s.modeled_seconds)} on {solver.local_search.device_description}")
     print(f"wall time     : {format_seconds(s.wall_seconds)} (simulator)")
     if profiler is not None:
         print()
@@ -301,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--max-n", type=int, default=None, help="truncate paper instance")
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--device", default="gtx680-cuda")
+    s.add_argument("--devices", default=None, metavar="KEY[,KEY...]",
+                   help="comma-separated device pool for the sharded "
+                        "multi-GPU backend (overrides --device)")
     s.add_argument("--strategy", choices=["best", "batch"], default="batch")
     s.add_argument("--initial", default="greedy",
                    choices=["greedy", "nearest-neighbor", "random", "identity"])

@@ -9,6 +9,13 @@ Backends
     kernel (whole coordinate array in shared memory); larger ones switch
     to the tiled division scheme automatically — exactly the paper's
     "solving any instance" logic.
+``multi-gpu``
+    §VI's future work, executed: every scan is one *sharded* tiled sweep
+    across a pool of devices (``device`` is then a list of catalog keys
+    or specs), dispatched by a :class:`~repro.gpusim.sharded.
+    MultiDeviceExecutor`. Tours are bit-identical to ``gpu``; the
+    modeled per-scan time is the pool's sweep makespan, and uploads
+    overlap across the pool members' PCIe links.
 ``cpu-parallel`` / ``cpu-sequential``
     The comparison baselines (multicore OpenCL model / classic scalar
     first-improvement code).
@@ -50,7 +57,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Literal, Optional
+from typing import Literal, Optional, Sequence, Union
 
 import numpy as np
 
@@ -69,13 +76,14 @@ from repro.errors import SolverError
 from repro.gpusim.device import CPUDeviceSpec, DeviceSpec, GPUDeviceSpec, get_device
 from repro.gpusim.executor import launch_kernel
 from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.sharded import MultiDeviceExecutor
 from repro.gpusim.stats import KernelStats
 from repro.gpusim.timing_model import predict_cpu_time, predict_kernel_time
 from repro.gpusim.trace import TraceCollector
 from repro.gpusim.transfer import transfer_time
 from repro.telemetry import get_tracer
 
-Backend = Literal["gpu", "cpu-parallel", "cpu-sequential"]
+Backend = Literal["gpu", "multi-gpu", "cpu-parallel", "cpu-sequential"]
 Mode = Literal["fast", "simulate"]
 Strategy = Literal["best", "batch"]
 
@@ -95,6 +103,8 @@ class LocalSearchResult:
     wall_seconds: float
     reached_minimum: bool
     stats: KernelStats
+    #: modeled kernel-only seconds (no PCIe transfers, no host apply)
+    kernel_seconds: float = 0.0
     #: (cumulative modeled seconds, tour length) after every scan
     trace: list[tuple[float, int]] = field(default_factory=list)
 
@@ -104,10 +114,15 @@ class LocalSearchResult:
 
     @property
     def checks_per_second(self) -> float:
-        """Table II's "2-opt checks/s" metric under modeled time."""
-        if self.modeled_seconds <= 0:
+        """Table II's "2-opt checks/s" metric under modeled *kernel* time.
+
+        Kernel-only by design: Table II's checks/s column rates the scan
+        kernel itself, whereas ``modeled_seconds`` additionally includes
+        PCIe transfers and host-side move application.
+        """
+        if self.kernel_seconds <= 0:
             return 0.0
-        return self.stats.pair_checks / self.modeled_seconds
+        return self.stats.pair_checks / self.kernel_seconds
 
 
 class LocalSearch:
@@ -115,7 +130,7 @@ class LocalSearch:
 
     def __init__(
         self,
-        device: DeviceSpec | str = "gtx680-cuda",
+        device: Union[DeviceSpec, str, Sequence[Union[DeviceSpec, str]]] = "gtx680-cuda",
         *,
         backend: Backend = "gpu",
         mode: Mode = "fast",
@@ -126,7 +141,16 @@ class LocalSearch:
         include_host_apply: bool = True,
         trace: Optional["TraceCollector"] = None,
         host_engine: Literal["exhaustive", "dlb"] = "exhaustive",
+        policy: str = "dynamic",
     ) -> None:
+        pool: Optional[Sequence[Union[DeviceSpec, str]]] = None
+        if isinstance(device, (list, tuple)):
+            if backend != "multi-gpu":
+                raise SolverError(
+                    f"a device pool needs backend='multi-gpu', got {backend!r}"
+                )
+            pool = device
+            device = device[0] if device else "gtx680-cuda"
         self.device = get_device(device) if isinstance(device, str) else device
         self.backend = backend
         self.mode = mode
@@ -139,17 +163,37 @@ class LocalSearch:
             raise SolverError(f"unknown host_engine {host_engine!r}")
         if host_engine == "dlb" and mode == "simulate":
             raise SolverError("host_engine='dlb' requires mode='fast'")
+        if host_engine == "dlb" and strategy == "batch":
+            raise SolverError(
+                "host_engine='dlb' applies its moves in one descent and "
+                "cannot honour strategy='batch'; use strategy='best'"
+            )
         self.host_engine = host_engine
+        self._executor: Optional[MultiDeviceExecutor] = None
         if backend == "gpu":
             if not isinstance(self.device, GPUDeviceSpec):
                 raise SolverError(f"backend 'gpu' needs a GPU device, got {self.device.name}")
             self.launch = launch or LaunchConfig.default_for(self.device)
+        elif backend == "multi-gpu":
+            if pool is None:
+                pool = [device]
+            self._executor = MultiDeviceExecutor(pool, policy=policy, launch=launch)
+            self.devices = self._executor.devices
+            self.device = self.devices[0]
+            self.launch = self._executor.launches[0]
         else:
             if not isinstance(self.device, CPUDeviceSpec):
                 raise SolverError(
                     f"backend {backend!r} needs a CPU device, got {self.device.name}"
                 )
             self.launch = None
+
+    @property
+    def device_description(self) -> str:
+        """Human-readable device (or pool) identity for reports/CLI."""
+        if self.backend == "multi-gpu" and self._executor is not None:
+            return " + ".join(self._executor.keys)
+        return self.device.name
 
     # -- per-scan modeled cost ---------------------------------------------
 
@@ -176,9 +220,22 @@ class LocalSearch:
         return total, seconds
 
     def _transfer_seconds(self, n: int) -> float:
-        """Algorithm 2 steps 1 and 6: coords up, best move down."""
+        """Algorithm 2 steps 1 and 6: coords up, best move down.
+
+        Multi-GPU pools upload one coordinate copy per member on its own
+        PCIe link (each device stages tiles from device-global memory);
+        the links overlap, so the host-visible charge is the slowest
+        member's copy, not the sum.
+        """
         if not self.include_transfers or not isinstance(self.device, GPUDeviceSpec):
             return 0.0
+        if self.backend == "multi-gpu" and self._executor is not None:
+            per_device = []
+            for dev, lane in zip(self._executor.devices, self._executor.lanes):
+                up = transfer_time(dev, 8 * n, track=lane).total
+                down = transfer_time(dev, 16, track=lane).total
+                per_device.append(up + down)
+            return max(per_device)
         up = transfer_time(self.device, 8 * n).total
         down = transfer_time(self.device, 16).total
         return up + down
@@ -196,7 +253,13 @@ class LocalSearch:
         return 16.0 * segment_len / self._HOST_REVERSE_BYTES_PER_S
 
     def scan_seconds(self, n: int) -> float:
-        """Modeled time for one full scan (kernel only, Table II style)."""
+        """Modeled time for one full scan (kernel only, Table II style).
+
+        For ``multi-gpu`` this is the pool's sweep *makespan*: the
+        slowest member's kernel + dispatch time under the policy.
+        """
+        if self.backend == "multi-gpu" and self._executor is not None:
+            return self._executor.sweep_makespan(n)
         if self.backend == "gpu":
             return self._gpu_scan_estimate(n)[1]
         scan = cpu_scan_stats(n, threads=self.threads or self.device.cores)
@@ -209,6 +272,8 @@ class LocalSearch:
 
     def _scan_work(self, n: int) -> KernelStats:
         """Closed-form stats for one scan on the configured backend."""
+        if self.backend == "multi-gpu" and self._executor is not None:
+            return self._executor.sweep_stats(n)
         if self.backend == "gpu":
             return self._gpu_scan_estimate(n)[0]
         return cpu_scan_stats(n, threads=self.threads or self.device.cores)
@@ -219,6 +284,9 @@ class LocalSearch:
         return mv
 
     def _scan_simulate(self, coords: np.ndarray, stats: KernelStats) -> Move:
+        if self.backend == "multi-gpu" and self._executor is not None:
+            sweep = self._executor.run_sweep(coords, stats=stats)
+            return Move(i=sweep.i, j=sweep.j, delta=sweep.delta)
         n = coords.shape[0]
         ordered = TwoOptKernelOrdered()
         if n <= ordered.max_cities(self.device):
@@ -240,11 +308,33 @@ class LocalSearch:
 
     def _modeled_kernel_name(self, n: int) -> str:
         """Kernel name attributed to fast-mode modeled launches."""
+        if self.backend == "multi-gpu":
+            return TwoOptKernelTiled.name  # sharded sweeps are always tiled
         if self.backend != "gpu":
             return "cpu-2opt-scan"
         if n <= TwoOptKernelOrdered().max_cities(self.device):
             return TwoOptKernelOrdered.name
         return TwoOptKernelTiled.name
+
+    def _emit_modeled_launches(self, tracer, n: int, seconds: float,
+                               launches: int) -> None:
+        """Record fast-mode modeled kernel time on the device lane(s).
+
+        Multi-GPU pools get one event per member lane, scaled from the
+        plan's per-device busy shares so the Chrome trace shows each
+        device's actual load rather than the makespan replicated.
+        """
+        if not tracer.enabled:
+            return
+        name = self._modeled_kernel_name(n)
+        if self.backend == "multi-gpu" and self._executor is not None:
+            plan = self._executor.plan(n)
+            scale = seconds / plan.makespan if plan.makespan > 0 else 0.0
+            for lane, busy in zip(self._executor.lanes, plan.busy):
+                tracer.device_event(name, busy * scale, track=lane,
+                                    launches=launches)
+            return
+        tracer.device_event(name, seconds, launches=launches)
 
     # -- main loop -------------------------------------------------------------
 
@@ -275,7 +365,7 @@ class LocalSearch:
         with tracer.span(
             "local_search", category="core", n=len(coords_ordered),
             backend=self.backend, mode=self.mode, strategy=self.strategy,
-            device=self.device.name,
+            device=self.device_description,
         ) as span:
             result = self._run(
                 coords_ordered, tracer, max_moves=max_moves,
@@ -311,6 +401,7 @@ class LocalSearch:
         scans = 0
         launches = 0
         modeled = 0.0
+        kernel_s = 0.0
         transfer = self._transfer_seconds(n)
         modeled += transfer  # initial upload
         tracer.advance_modeled(transfer)
@@ -324,12 +415,9 @@ class LocalSearch:
                 per_scan = self.scan_seconds(n)
                 step = per_scan * max(1, total_moves)
                 modeled += step
+                kernel_s += step
                 tracer.advance_modeled(step)
-                if tracer.enabled:
-                    tracer.device_event(
-                        self._modeled_kernel_name(n), step,
-                        launches=max(1, total_moves),
-                    )
+                self._emit_modeled_launches(tracer, n, step, max(1, total_moves))
                 stats += cpu_scan_stats(n, threads=1).scaled(max(1.0, total_moves))
             trace.append((modeled, length))
             return LocalSearchResult(
@@ -337,7 +425,8 @@ class LocalSearch:
                 moves_applied=total_moves, scans=total_moves, launches=total_moves,
                 modeled_seconds=modeled, transfer_seconds=transfer,
                 wall_seconds=time.perf_counter() - t_wall,
-                reached_minimum=True, stats=stats, trace=trace,
+                reached_minimum=True, stats=stats, kernel_seconds=kernel_s,
+                trace=trace,
             )
 
         if self.host_engine == "dlb":
@@ -373,15 +462,14 @@ class LocalSearch:
                         # the final confirming scan
                         launches += 1
                         modeled += per_launch_kernel
+                        kernel_s += per_launch_kernel
                         stats += self._scan_work(n)
                         reached_minimum = True
                         tracer.advance_modeled(modeled - step_start)
+                        self._emit_modeled_launches(tracer, n, per_launch_kernel, 1)
                         if tracer.enabled:
-                            tracer.device_event(
-                                self._modeled_kernel_name(n),
-                                per_launch_kernel, launches=1,
-                            )
                             ssp.set_attr("moves", 0)
+                        trace.append((modeled, length))
                         break
                     order = apply_moves(order, batch)
                     # apply the same reversals to the working coordinates
@@ -393,13 +481,13 @@ class LocalSearch:
                     # paper-equivalent: each applied move is one launch
                     launches += len(batch)
                     modeled += per_launch_kernel * len(batch)
+                    kernel_s += per_launch_kernel * len(batch)
                     stats += self._scan_work(n).scaled(len(batch))
                     tracer.advance_modeled(modeled - step_start)
+                    self._emit_modeled_launches(
+                        tracer, n, per_launch_kernel * len(batch), len(batch)
+                    )
                     if tracer.enabled:
-                        tracer.device_event(
-                            self._modeled_kernel_name(n),
-                            per_launch_kernel * len(batch), launches=len(batch),
-                        )
                         ssp.set_attr("moves", len(batch))
                     trace.append((modeled, length))
                 continue
@@ -412,12 +500,10 @@ class LocalSearch:
                 if per_launch_kernel is None:
                     per_launch_kernel = self.scan_seconds(n)
                 modeled += per_launch_kernel
+                kernel_s += per_launch_kernel
                 # simulate mode records the real launches in the executor
-                if self.mode == "fast" and tracer.enabled:
-                    tracer.device_event(
-                        self._modeled_kernel_name(n), per_launch_kernel,
-                        launches=1,
-                    )
+                if self.mode == "fast":
+                    self._emit_modeled_launches(tracer, n, per_launch_kernel, 1)
                 if mv.i < 0 or mv.delta >= 0:
                     reached_minimum = True
                     tracer.advance_modeled(modeled - step_start)
@@ -438,7 +524,8 @@ class LocalSearch:
             moves_applied=moves_applied, scans=scans, launches=launches,
             modeled_seconds=modeled, transfer_seconds=transfer,
             wall_seconds=time.perf_counter() - t_wall,
-            reached_minimum=reached_minimum, stats=stats, trace=trace,
+            reached_minimum=reached_minimum, stats=stats,
+            kernel_seconds=kernel_s, trace=trace,
         )
 
     def _run_dlb(self, c, order, length, initial_length, stats, trace,
@@ -451,13 +538,11 @@ class LocalSearch:
             res = DontLookTwoOpt(c).run(order)
             moves = res.moves_applied
             per_launch = self.scan_seconds(n)
-            modeled = transfer + per_launch * (moves + 1)
+            kernel_s = per_launch * (moves + 1)
+            modeled = transfer + kernel_s
             tracer.advance_modeled(modeled - transfer)
+            self._emit_modeled_launches(tracer, n, kernel_s, moves + 1)
             if tracer.enabled:
-                tracer.device_event(
-                    self._modeled_kernel_name(n),
-                    per_launch * (moves + 1), launches=moves + 1,
-                )
                 span.set_attr("moves", moves)
             stats += self._scan_work(n).scaled(moves + 1)
         final_length = res.final_length
@@ -468,5 +553,6 @@ class LocalSearch:
             scans=res.moves_applied + 1, launches=res.moves_applied + 1,
             modeled_seconds=modeled, transfer_seconds=transfer,
             wall_seconds=time.perf_counter() - t_wall,
-            reached_minimum=True, stats=stats, trace=trace,
+            reached_minimum=True, stats=stats, kernel_seconds=kernel_s,
+            trace=trace,
         )

@@ -12,7 +12,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional, Union
+from typing import Literal, Optional, Sequence, Union
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class TwoOptSolver:
 
     def __init__(
         self,
-        device: str = "gtx680-cuda",
+        device: Union[str, Sequence[str]] = "gtx680-cuda",
         *,
         backend: Backend = "gpu",
         mode: Mode = "fast",
@@ -65,6 +65,9 @@ class TwoOptSolver:
         threads: Optional[int] = None,
         host_engine: str = "exhaustive",
     ) -> None:
+        # a device *pool* implies the sharded multi-GPU backend
+        if not isinstance(device, str) and backend == "gpu":
+            backend = "multi-gpu"
         self._search = LocalSearch(
             device, backend=backend, mode=mode, strategy=strategy,
             launch=launch, threads=threads, host_engine=host_engine,  # type: ignore[arg-type]

@@ -79,12 +79,15 @@ def sequential_two_opt_sweep(
     """One first-improvement sweep of the classic sequential 2-opt.
 
     Scans pairs in the paper's sequential loop order (``i`` outer, ``j``
-    inner) and applies every improving move immediately, updating the
-    working coordinate array in place. Returns
+    inner) and applies the *first* improving move of each row immediately
+    — the smallest improving ``j``, exactly where the scalar double loop
+    would break — updating the working coordinate array in place. Returns
     ``(new_coords_ordered, new_order, moves_applied, total_gain)``.
 
-    The inner j-scan is vectorized per row; the outer loop is Python —
-    this is a correctness reference, not a performance path.
+    The inner j-scan is vectorized per row (the vectorization only
+    evaluates deltas; the pivoting rule stays first-improvement); the
+    outer loop is Python — this is a correctness reference, not a
+    performance path.
     """
     c = np.ascontiguousarray(coords_ordered, dtype=np.float32).copy()
     order = np.asarray(order, dtype=np.int64).copy()
@@ -102,11 +105,13 @@ def sequential_two_opt_sweep(
         improving = np.nonzero(delta < 0)[0]
         if improving.size == 0:
             continue
-        jbest = int(jj[improving[np.argmin(delta[improving])]])
-        gain = int(delta.min())
-        # apply: reverse positions i+1 .. jbest
-        c[i + 1 : jbest + 1] = c[i + 1 : jbest + 1][::-1]
-        order[i + 1 : jbest + 1] = order[i + 1 : jbest + 1][::-1]
+        # first-improvement pivot: the scalar loop breaks at the first
+        # improving j, which is the smallest index in `improving`
+        jfirst = int(jj[improving[0]])
+        gain = int(delta[improving[0]])
+        # apply: reverse positions i+1 .. jfirst
+        c[i + 1 : jfirst + 1] = c[i + 1 : jfirst + 1][::-1]
+        order[i + 1 : jfirst + 1] = order[i + 1 : jfirst + 1][::-1]
         dnext = next_distances(c)  # edges inside the segment flipped
         moves += 1
         total_gain += gain

@@ -79,7 +79,10 @@ def run_fig11(
             backend = "cpu-sequential" if key == "cpu-sequential" else "cpu-parallel"
         else:
             backend = "gpu"
-        ls = LocalSearch(dev, backend=backend, strategy="batch",  # type: ignore[arg-type]
+        # the dlb host engine applies its descent in one shot and rejects
+        # strategy='batch'; its per-move launch accounting already matches
+        strategy = "best" if host_engine == "dlb" else "batch"
+        ls = LocalSearch(dev, backend=backend, strategy=strategy,  # type: ignore[arg-type]
                          host_engine=host_engine)  # type: ignore[arg-type]
         ils = IteratedLocalSearch(
             ls, termination=IterationLimit(iterations), seed=seed,

@@ -42,6 +42,11 @@ from repro.gpusim.multidevice import (
     multi_device_sweep,
     strong_scaling,
 )
+from repro.gpusim.sharded import (
+    MultiDeviceExecutor,
+    ShardedSweep,
+    SweepPlan,
+)
 from repro.gpusim.trace import LaunchRecord, TraceCollector, traced_launch
 
 __all__ = [
@@ -68,6 +73,9 @@ __all__ = [
     "MultiDeviceSweep",
     "multi_device_sweep",
     "strong_scaling",
+    "MultiDeviceExecutor",
+    "ShardedSweep",
+    "SweepPlan",
     "LaunchRecord",
     "TraceCollector",
     "traced_launch",

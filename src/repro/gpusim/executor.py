@@ -31,6 +31,7 @@ def launch_kernel(
     launch: Optional[LaunchConfig] = None,
     *,
     stats: Optional[KernelStats] = None,
+    track: str = "device",
     **kwargs: Any,
 ) -> KernelResult:
     """Execute *kernel* on *device* and return output, stats, predicted time.
@@ -41,6 +42,9 @@ def launch_kernel(
         Optional pre-existing accumulator, so a driver loop (e.g. repeated
         2-opt launches) can aggregate across launches; the returned
         ``KernelResult.stats`` then only covers this launch.
+    track:
+        Telemetry device track for the launch event; multi-device
+        executors pass one track per pool member.
     kwargs:
         Forwarded to ``kernel.run``.
     """
@@ -53,7 +57,7 @@ def launch_kernel(
     tracer = get_tracer()
     if tracer.enabled:
         tracer.device_event(
-            kernel.name, time.total, device=device.name,
+            kernel.name, time.total, track=track, device=device.name,
             grid_dim=ctx.launch.grid_dim, block_dim=ctx.launch.block_dim,
             compute_ms=time.compute * 1e3, memory_ms=time.memory * 1e3,
             pair_checks=local.pair_checks,

@@ -69,14 +69,15 @@ class MultiDeviceSweep:
 
 
 def _tile_times(n: int, device: GPUDeviceSpec,
-                launch: Optional[LaunchConfig]) -> list[float]:
+                launch: Optional[LaunchConfig],
+                capacity_device: Optional[GPUDeviceSpec] = None) -> list[float]:
     # imported lazily: repro.core depends on repro.gpusim, so a top-level
     # import here would be circular
     from repro.core.tiling import TileSchedule, TwoOptKernelTiled
 
     kernel = TwoOptKernelTiled()
     launch = launch or LaunchConfig.default_for(device)
-    schedule = TileSchedule.for_device(n, device)
+    schedule = TileSchedule.for_device(n, capacity_device or device)
     times = []
     for tile in schedule.tiles():
         stats = kernel.estimate_stats(tile, launch, device)
@@ -114,10 +115,15 @@ def multi_device_sweep(
         if not isinstance(d, GPUDeviceSpec):
             raise GpuSimError(f"{d.name} is not a GPU")
 
-    # Tile set is defined by the *first* device's shared capacity so all
-    # devices run the same schedule (heterogeneous capacities would need
-    # per-device schedules; homogeneous pools are the §VI scenario).
-    times = _tile_times(n, devices[0], launch)
+    # All devices run one schedule, sized to the *smallest* shared
+    # capacity in the pool so every staged range fits every member
+    # (a schedule cut to a larger device's capacity would overflow the
+    # smaller ones). Times are still device-0's; other members scale by
+    # relative sustained rate below — the executor in
+    # :mod:`repro.gpusim.sharded` replaces that approximation with real
+    # per-device predictions.
+    smallest = min(devices, key=lambda d: d.shared_mem_per_block)
+    times = _tile_times(n, devices[0], launch, capacity_device=smallest)
     k = len(devices)
     # per-device relative speed (same tile runs slower on a slower device)
     base_rate = devices[0].sustained_gflops

@@ -1,0 +1,331 @@
+"""Sharded multi-device *execution* of the tiled 2-opt sweep.
+
+:mod:`repro.gpusim.multidevice` models the makespan of distributing one
+tiled sweep over a device pool; this module actually runs it. A
+:class:`MultiDeviceExecutor` owns a pool of (possibly heterogeneous) GPU
+specs, builds a tile schedule every pool member can stage (the schedule's
+range size comes from the *smallest* shared-memory budget in the pool,
+where the closed-form model historically forced device 0's capacity),
+dispatches tiles under the same three policies as the model, tracks one
+modeled clock / one :class:`KernelStats` / one launch geometry per
+device, and reduces the per-tile best moves across devices with the same
+``(delta, linear pair index)`` tie-break as
+:func:`repro.core.tiling.tiled_best_move` — so the sharded sweep is
+bit-identical to the single-device sweep, by construction, for any pool.
+
+Two entry points per sweep:
+
+* :meth:`MultiDeviceExecutor.plan` — closed-form per-tile times on each
+  device's own spec (no kernels run): the scheduling loop the model
+  abstracts, used for fast-mode timing. On homogeneous pools it
+  reproduces :func:`multi_device_sweep`'s makespan exactly; on
+  heterogeneous pools it replaces the model's relative-speed scaling
+  with real per-device predictions.
+* :meth:`MultiDeviceExecutor.run_sweep` — every tile goes through the
+  instrumented SIMT executor on its assigned device, with telemetry
+  launches and transfers recorded on one device lane per pool member
+  (``"<key>#<index>"`` tracks), so Chrome traces show the overlap.
+
+Transfers: each pool member needs its own copy of the coordinate array
+(stage-A/B tile loads read device-global memory), so uploads are charged
+per device on its own clock/lane; the pool-level charge is the slowest
+member's copy (the links overlap), not the sum.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import GpuSimError
+from repro.gpusim.device import DeviceSpec, GPUDeviceSpec, get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.multidevice import DISPATCH_OVERHEAD_S, DeviceLoad, Policy
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing_model import predict_kernel_time
+from repro.gpusim.transfer import transfer_time
+
+DeviceLike = Union[str, GPUDeviceSpec]
+
+
+def _resolve_pool(devices: Sequence[DeviceLike]) -> tuple[list[str], list[GPUDeviceSpec]]:
+    """Resolve catalog keys / specs into a validated all-GPU pool."""
+    if not devices:
+        raise GpuSimError("need at least one device")
+    keys: list[str] = []
+    specs: list[GPUDeviceSpec] = []
+    for d in devices:
+        spec: DeviceSpec = get_device(d) if isinstance(d, str) else d
+        if not isinstance(spec, GPUDeviceSpec):
+            raise GpuSimError(f"{spec.name} is not a GPU")
+        keys.append(d if isinstance(d, str) else spec.name)
+        specs.append(spec)
+    return keys, specs
+
+
+@dataclass
+class SweepPlan:
+    """Closed-form schedule of one sweep: who runs which tile, when."""
+
+    n: int
+    policy: Policy
+    #: tile indices (into ``schedule.tiles()`` order) per device
+    assignment: list[list[int]]
+    #: per-device busy seconds (kernel + dispatch; no transfers)
+    busy: list[float]
+    #: per-device closed-form work stats for the assigned tiles
+    stats: list[KernelStats]
+
+    @property
+    def makespan(self) -> float:
+        return max(self.busy, default=0.0)
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.busy)
+
+
+@dataclass
+class ShardedSweep:
+    """Outcome of one executed sharded sweep."""
+
+    n: int
+    policy: Policy
+    delta: int
+    i: int
+    j: int
+    loads: list[DeviceLoad] = field(default_factory=list)
+    #: per-device instrumented stats, pool order
+    device_stats: list[KernelStats] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return max((l.busy_seconds for l in self.loads), default=0.0)
+
+    @property
+    def total_work(self) -> float:
+        return sum(l.busy_seconds for l in self.loads)
+
+
+class MultiDeviceExecutor:
+    """Execute tiled 2-opt sweeps across a pool of modeled GPUs.
+
+    Parameters
+    ----------
+    devices:
+        Pool members as catalog keys or :class:`GPUDeviceSpec` objects.
+        Heterogeneous pools are allowed; the tile schedule is sized to
+        the smallest shared-memory budget so every tile fits everywhere.
+    policy:
+        ``"round-robin"``, ``"lpt"``, or ``"dynamic"`` — same semantics
+        as :func:`repro.gpusim.multidevice.multi_device_sweep`.
+    launch:
+        Optional uniform launch override; by default every device uses
+        its own :meth:`LaunchConfig.default_for` geometry (heterogeneous
+        pools differ in block limits too, not just shared memory).
+    range_size:
+        Optional explicit tile range size (tests); defaults to the
+        pool-minimum shared-memory capacity.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceLike],
+        *,
+        policy: Policy = "dynamic",
+        launch: Optional[LaunchConfig] = None,
+        range_size: Optional[int] = None,
+        dispatch_overhead_s: float = DISPATCH_OVERHEAD_S,
+    ) -> None:
+        if policy not in ("round-robin", "lpt", "dynamic"):
+            raise GpuSimError(f"unknown policy {policy!r}")
+        self.keys, self.devices = _resolve_pool(devices)
+        self.policy: Policy = policy
+        self.launches = [
+            launch if launch is not None else LaunchConfig.default_for(d)
+            for d in self.devices
+        ]
+        self.range_size = range_size
+        self.dispatch_overhead_s = dispatch_overhead_s
+        #: telemetry lane per pool member: "<key>#<index>"
+        self.lanes = [f"{k}#{i}" for i, k in enumerate(self.keys)]
+        self._plans: dict[int, SweepPlan] = {}
+
+    # -- schedule ----------------------------------------------------------
+
+    @property
+    def pool_size(self) -> int:
+        return len(self.devices)
+
+    def schedule(self, n: int):
+        """The common tile schedule: every range fits every pool member."""
+        from repro.core.tiling import TileSchedule
+
+        if self.range_size is not None:
+            return TileSchedule(n, min(self.range_size, n))
+        smallest = min(self.devices, key=lambda d: d.shared_mem_per_block)
+        return TileSchedule.for_device(n, smallest)
+
+    # -- closed-form plan --------------------------------------------------
+
+    def _tile_cost(self, tile, d: int) -> tuple[KernelStats, float]:
+        """Closed-form stats + seconds for *tile* on pool member *d*."""
+        from repro.core.tiling import TwoOptKernelTiled
+
+        kernel = TwoOptKernelTiled()
+        s = kernel.estimate_stats(tile, self.launches[d], self.devices[d])
+        t = predict_kernel_time(
+            s, self.devices[d], self.launches[d],
+            shared_bytes=kernel.shared_bytes(tile=tile),
+        ).total
+        return s, t + self.dispatch_overhead_s
+
+    def plan(self, n: int) -> SweepPlan:
+        """Assign the n-city sweep's tiles to the pool under the policy.
+
+        Pure scheduling — no kernels run. Cached per *n* (the schedule
+        depends only on the instance size).
+        """
+        cached = self._plans.get(n)
+        if cached is not None:
+            return cached
+        tiles = list(self.schedule(n).tiles())
+        k = self.pool_size
+        # per-device per-tile closed-form times (deduplicated for
+        # replicated pool members: same spec + launch -> same costs)
+        costs: list[list[tuple[KernelStats, float]]] = []
+        memo: dict[tuple[int, LaunchConfig], list[tuple[KernelStats, float]]] = {}
+        for d in range(k):
+            key = (id(self.devices[d]), self.launches[d])
+            row = memo.get(key)
+            if row is None:
+                row = [self._tile_cost(t, d) for t in tiles]
+                memo[key] = row
+            costs.append(row)
+
+        assignment: list[list[int]] = [[] for _ in range(k)]
+        busy = [0.0] * k
+        if self.policy == "round-robin":
+            for t_idx in range(len(tiles)):
+                d = t_idx % k
+                assignment[d].append(t_idx)
+                busy[d] += costs[d][t_idx][1]
+        else:
+            if self.policy == "lpt":
+                order = sorted(range(len(tiles)),
+                               key=lambda i: -costs[0][i][1])
+            else:  # dynamic: work queue in schedule order
+                order = list(range(len(tiles)))
+            heap = [(0.0, d) for d in range(k)]
+            heapq.heapify(heap)
+            for t_idx in order:
+                load, d = heapq.heappop(heap)
+                load += costs[d][t_idx][1]
+                assignment[d].append(t_idx)
+                busy[d] = load
+                heapq.heappush(heap, (load, d))
+
+        stats = []
+        for d in range(k):
+            agg = KernelStats()
+            for t_idx in assignment[d]:
+                agg += costs[d][t_idx][0]
+            stats.append(agg)
+        out = SweepPlan(n=n, policy=self.policy, assignment=assignment,
+                        busy=busy, stats=stats)
+        self._plans[n] = out
+        return out
+
+    def sweep_makespan(self, n: int) -> float:
+        """Modeled seconds for one sharded sweep (kernel + dispatch)."""
+        return self.plan(n).makespan
+
+    def sweep_stats(self, n: int) -> KernelStats:
+        """Closed-form work stats for one full sharded sweep."""
+        total = KernelStats()
+        for s in self.plan(n).stats:
+            total += s
+        return total
+
+    # -- transfers ---------------------------------------------------------
+
+    def upload_seconds(self, n: int, *, emit: bool = False) -> list[float]:
+        """Per-device coordinate-upload seconds (8n bytes each).
+
+        Every pool member stages tiles out of its own device-global copy,
+        so the upload is charged per device; with ``emit`` each transfer
+        is also recorded on that device's telemetry lane.
+        """
+        out = []
+        for d, lane in zip(self.devices, self.lanes):
+            if emit:
+                out.append(transfer_time(d, 8 * n, track=lane).total)
+            else:
+                out.append(d.pcie_latency_s + 8 * n / (d.pcie_bandwidth_gbps * 1e9))
+        return out
+
+    # -- execution ---------------------------------------------------------
+
+    def run_sweep(
+        self,
+        coords_ordered: np.ndarray,
+        *,
+        stats: Optional[KernelStats] = None,
+    ) -> ShardedSweep:
+        """Execute one full sharded best-improvement scan.
+
+        Every tile runs through the instrumented SIMT executor on its
+        assigned device (assignment from :meth:`plan`, so modeled timing
+        and execution agree); per-device clocks advance by instrumented
+        kernel time plus the dispatch overhead, and the cross-device
+        reduction uses the exact ``(delta, linear index)`` tie-break of
+        ``tiled_best_move``. Returns the sweep's best move plus
+        per-device loads and stats.
+        """
+        from repro.core.pair_indexing import linear_from_pair
+        from repro.core.tiling import TwoOptKernelTiled
+        from repro.gpusim.executor import launch_kernel
+
+        c = np.ascontiguousarray(coords_ordered, dtype=np.float32)
+        n = c.shape[0]
+        plan = self.plan(n)
+        tiles = list(self.schedule(n).tiles())
+        kernel = TwoOptKernelTiled()
+
+        best = (np.iinfo(np.int64).max, np.iinfo(np.int64).max, -1, -1)
+        loads: list[DeviceLoad] = []
+        device_stats: list[KernelStats] = []
+        for d in range(self.pool_size):
+            dev_stats = KernelStats()
+            clock = 0.0
+            for t_idx in plan.assignment[d]:
+                res = launch_kernel(
+                    kernel, self.devices[d], self.launches[d],
+                    stats=dev_stats, track=self.lanes[d],
+                    coords_ordered=c, tile=tiles[t_idx],
+                )
+                clock += res.time.total + self.dispatch_overhead_s
+                delta, i, j = res.output
+                if i < 0:
+                    continue
+                key = (delta, linear_from_pair(i, j), i, j)
+                if key < best:
+                    best = key
+            loads.append(DeviceLoad(
+                device_key=self.keys[d], tiles=len(plan.assignment[d]),
+                busy_seconds=clock,
+            ))
+            device_stats.append(dev_stats)
+            if stats is not None:
+                stats += dev_stats
+
+        found = best[2] >= 0
+        return ShardedSweep(
+            n=n, policy=self.policy,
+            delta=int(best[0]) if found else 0,
+            i=best[2], j=best[3],
+            loads=loads, device_stats=device_stats,
+        )

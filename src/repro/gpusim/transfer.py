@@ -24,8 +24,13 @@ class TransferBreakdown:
     bytes: int
 
 
-def transfer_time(device: GPUDeviceSpec, nbytes: int) -> TransferBreakdown:
-    """Time to move *nbytes* across PCIe in one direction."""
+def transfer_time(device: GPUDeviceSpec, nbytes: int, *,
+                  track: str = "device") -> TransferBreakdown:
+    """Time to move *nbytes* across PCIe in one direction.
+
+    ``track`` selects the telemetry device lane for the transfer event;
+    multi-device runs charge each pool member's uploads on its own lane.
+    """
     if nbytes < 0:
         raise ValueError("nbytes must be non-negative")
     wire = nbytes / (device.pcie_bandwidth_gbps * 1e9)
@@ -38,7 +43,7 @@ def transfer_time(device: GPUDeviceSpec, nbytes: int) -> TransferBreakdown:
     tracer = get_tracer()
     if tracer.enabled:
         tracer.device_event(
-            "pcie-transfer", breakdown.total,
+            "pcie-transfer", breakdown.total, track=track,
             device=device.name, bytes=breakdown.bytes,
         )
     metrics = get_metrics()

@@ -51,8 +51,11 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     Returns the standard ``{"traceEvents": [...]}`` object: metadata
     events naming the two processes, host spans as complete events in
     wall microseconds, and device events as complete events in modeled
-    microseconds on their own track (one thread row per kernel/transfer
-    name).
+    microseconds on their own track. Events on the default ``device``
+    track get one thread row per kernel/transfer name; events recorded
+    on a named track (multi-device lanes such as ``gtx680-cuda#1``) get
+    one thread row per track, so a sharded sweep shows one lane per pool
+    member with its launches and transfers interleaved.
     """
     events: list[dict] = [
         {"ph": "M", "pid": HOST_PID, "tid": 0, "name": "process_name",
@@ -65,14 +68,17 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     device_tids: dict[str, int] = {}
     for s in tracer.spans:
         args = {k: _json_safe(v) for k, v in s.attrs.items()}
-        if s.track == "device":
-            tid = device_tids.get(s.name)
+        if s.track != "host":
+            # default track: one row per kernel/transfer name;
+            # named tracks (multi-device lanes): one row per track
+            lane = s.name if s.track == "device" else s.track
+            tid = device_tids.get(lane)
             if tid is None:
                 tid = len(device_tids) + 1
-                device_tids[s.name] = tid
+                device_tids[lane] = tid
                 events.append({
                     "ph": "M", "pid": DEVICE_PID, "tid": tid,
-                    "name": "thread_name", "args": {"name": s.name},
+                    "name": "thread_name", "args": {"name": lane},
                 })
             events.append({
                 "name": s.name, "cat": s.category or "device", "ph": "X",

@@ -10,9 +10,11 @@ A :class:`Span` measures one region of work on two independent clocks:
   so every open span picks up the charge, exactly like nested wall time.
 
 Simulated device work (kernel launches, PCIe transfers) is recorded with
-:meth:`Tracer.device_event`: a completed span on the ``device`` track with
-its own cumulative modeled timeline, which the Chrome exporter renders as
-a separate trace row.
+:meth:`Tracer.device_event`: a completed span on a device track with its
+own cumulative modeled timeline, which the Chrome exporter renders as a
+separate trace row. Multi-device runs pass ``track="<device-lane>"`` so
+every pool member gets its own lane (and its own clock) — the Chrome
+export then shows the sharded sweep's parallelism directly.
 
 The process-wide default tracer is a :class:`NoopTracer`; instrumentation
 in the hot paths goes through :func:`get_tracer` and therefore costs one
@@ -126,7 +128,8 @@ class Tracer:
         self.spans: list[Span] = []
         self.dropped = 0
         self.modeled_clock = 0.0
-        self.device_clock = 0.0
+        #: one cumulative modeled clock per device track (lane)
+        self.device_clocks: dict[str, float] = {}
         self._epoch = time.perf_counter()
         self._stack: list[Span] = []
         self._next_id = 0
@@ -170,16 +173,20 @@ class Tracer:
         self.modeled_clock += seconds
 
     def device_event(self, name: str, seconds: float, *,
-                     category: str = "device", **attrs: Any) -> None:
+                     category: str = "device", track: str = "device",
+                     **attrs: Any) -> None:
         """Record a completed modeled-device event (launch / transfer).
 
-        Device events carry zero wall duration and live on their own
-        cumulative modeled timeline (``device_clock``), which becomes the
-        dedicated device track in the Chrome exporter. They do **not**
+        Device events carry zero wall duration and live on a per-*track*
+        cumulative modeled timeline (``device_clocks[track]``), which
+        becomes a dedicated device lane in the Chrome exporter. The
+        default track is ``"device"``; multi-device executors pass one
+        track per pool member (e.g. ``"gtx680-cuda#1"``) so overlapping
+        device work renders as parallel lanes. Device events do **not**
         advance the host modeled clock — host code charges modeled time
         separately via :meth:`advance_modeled`.
         """
-        span = Span(self, name, category=category, track="device",
+        span = Span(self, name, category=category, track=track,
                     attrs=attrs or None)
         span.span_id = self._next_id
         self._next_id += 1
@@ -188,10 +195,17 @@ class Tracer:
         span.depth = top.depth + 1 if top is not None else 0
         now = time.perf_counter() - self._epoch
         span.start_wall = span.end_wall = now
-        span.start_modeled = self.device_clock
-        self.device_clock += seconds
-        span.end_modeled = self.device_clock
+        clock = self.device_clocks.get(track, 0.0)
+        span.start_modeled = clock
+        clock += seconds
+        self.device_clocks[track] = clock
+        span.end_modeled = clock
         self._record(span)
+
+    @property
+    def device_clock(self) -> float:
+        """Cumulative modeled seconds on the default device track."""
+        return self.device_clocks.get("device", 0.0)
 
     # -- introspection -----------------------------------------------------
 
@@ -249,7 +263,8 @@ class NoopTracer:
         """Discard the charge."""
 
     def device_event(self, name: str, seconds: float, *,
-                     category: str = "device", **attrs: Any) -> None:
+                     category: str = "device", track: str = "device",
+                     **attrs: Any) -> None:
         """Discard the event."""
 
 

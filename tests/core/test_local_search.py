@@ -177,6 +177,83 @@ class TestTiledIntegration:
         assert above < below * 3
 
 
+class TestTraceAccounting:
+    @pytest.mark.parametrize("strategy", ["best", "batch"])
+    def test_trace_ends_at_modeled_seconds(self, strategy):
+        """Both strategies must record the final confirming scan in the
+        trace: the last trace timestamp is the total modeled time."""
+        c = random_coords(150, seed=24)
+        res = LocalSearch("gtx680-cuda", strategy=strategy).run(c)
+        assert res.reached_minimum
+        assert res.trace[-1][0] == pytest.approx(res.modeled_seconds, rel=1e-12)
+        assert res.trace[-1][1] == res.final_length
+
+    def test_kernel_seconds_excludes_transfers(self):
+        c = random_coords(150, seed=25)
+        res = LocalSearch("gtx680-cuda").run(c)
+        assert 0 < res.kernel_seconds < res.modeled_seconds
+        assert res.kernel_seconds + res.transfer_seconds <= res.modeled_seconds + 1e-15
+
+    def test_checks_per_second_uses_kernel_time(self):
+        """Table II's checks/s is a kernel rate; PCIe and host-apply time
+        must not dilute it."""
+        c = random_coords(150, seed=26)
+        res = LocalSearch("gtx680-cuda").run(c)
+        assert res.checks_per_second == pytest.approx(
+            res.stats.pair_checks / res.kernel_seconds
+        )
+        assert res.checks_per_second > res.stats.pair_checks / res.modeled_seconds
+
+
+class TestMultiGpuBackend:
+    def test_pool_requires_multi_gpu_backend(self):
+        with pytest.raises(SolverError):
+            LocalSearch(["gtx680-cuda", "gtx680-cuda"], backend="gpu")
+
+    def test_rejects_cpu_pool_member(self):
+        from repro.errors import GpuSimError
+
+        with pytest.raises(GpuSimError):
+            LocalSearch(["gtx680-cuda", "i7-3960x-opencl"], backend="multi-gpu")
+
+    def test_tours_bit_identical_to_gpu(self):
+        c = random_coords(300, seed=27)
+        gpu = LocalSearch("gtx680-cuda").run(c.copy())
+        multi = LocalSearch(["gtx680-cuda"] * 3, backend="multi-gpu").run(c.copy())
+        assert multi.final_length == gpu.final_length
+        assert np.array_equal(multi.order, gpu.order)
+        assert multi.moves_applied == gpu.moves_applied
+
+    def test_heterogeneous_pool_same_tour(self):
+        c = random_coords(250, seed=28)
+        gpu = LocalSearch("gtx680-cuda").run(c.copy())
+        multi = LocalSearch(
+            ["gtx680-cuda", "hd7970ghz-opencl"], backend="multi-gpu"
+        ).run(c.copy())
+        assert multi.final_length == gpu.final_length
+        assert np.array_equal(multi.order, gpu.order)
+
+    def test_simulate_mode_matches_fast(self):
+        c = random_coords(90, seed=29)
+        fast = LocalSearch(["gtx680-cuda"] * 2, backend="multi-gpu").run(c.copy())
+        sim = LocalSearch(
+            ["gtx680-cuda"] * 2, backend="multi-gpu", mode="simulate"
+        ).run(c.copy())
+        assert fast.final_length == sim.final_length
+        assert np.array_equal(fast.order, sim.order)
+
+    def test_pool_scan_speedup(self):
+        """Acceptance: >1.5x modeled sweep speedup at 4 devices, n>=20000."""
+        one = LocalSearch(["gtx680-cuda"], backend="multi-gpu").scan_seconds(20_000)
+        four = LocalSearch(["gtx680-cuda"] * 4, backend="multi-gpu").scan_seconds(20_000)
+        assert one / four > 1.5
+
+    def test_device_description_names_pool(self):
+        ls = LocalSearch(["gtx680-cuda", "hd7970-opencl"], backend="multi-gpu")
+        assert ls.device_description == "gtx680-cuda + hd7970-opencl"
+        assert LocalSearch("gtx680-cuda").device_description == "GeForce GTX 680"
+
+
 class TestDlbHostEngine:
     def test_reaches_near_exhaustive_quality(self):
         c = random_coords(500, seed=20)
@@ -212,3 +289,9 @@ class TestDlbHostEngine:
     def test_unknown_engine_rejected(self):
         with pytest.raises(SolverError):
             LocalSearch("gtx680-cuda", host_engine="magic")
+
+    def test_batch_strategy_rejected(self):
+        """dlb runs one descent; silently ignoring strategy='batch' hid
+        the mismatch — it must be an explicit configuration error."""
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda", host_engine="dlb", strategy="batch")

@@ -61,6 +61,35 @@ class TestSequentialSweep:
         _, order, _, _ = sequential_two_opt_sweep(c, np.arange(60))
         assert np.array_equal(np.sort(order), np.arange(60))
 
+    def test_first_improvement_pivot_move_sequence(self):
+        """The sweep must apply the *first* improving j of each row —
+        exactly the move sequence of the scalar break-on-improvement
+        double loop — not the row's best j."""
+        from repro.core.moves import rounded_euclidean
+
+        c = random_coords(40, seed=11)
+        work = np.ascontiguousarray(c).copy()
+        expected = []
+        n = work.shape[0]
+        for i in range(n - 2):
+            dnext = next_distances(work)
+            for j in range(i + 1, n):
+                d_ij = int(rounded_euclidean(work[i][None, :], work[j][None, :])[0])
+                d_i1j1 = int(rounded_euclidean(
+                    work[i + 1][None, :], work[(j + 1) % n][None, :]
+                )[0])
+                delta = (d_ij + d_i1j1) - int(dnext[i]) - int(dnext[j])
+                if delta < 0:
+                    expected.append((i, j, delta))
+                    work[i + 1 : j + 1] = work[i + 1 : j + 1][::-1]
+                    break
+
+        # replay the vectorized sweep and recover its applied (i, j, delta)
+        c2, order, moves, gain = sequential_two_opt_sweep(c, np.arange(40))
+        assert moves == len(expected)
+        assert gain == sum(d for _, _, d in expected)
+        assert np.array_equal(c2, work)
+
     def test_sweep_at_local_minimum_is_noop(self):
         theta = np.linspace(0, 2 * np.pi, 30, endpoint=False)
         c = np.stack([1000 * np.cos(theta), 1000 * np.sin(theta)], axis=1).astype(np.float32)

@@ -65,6 +65,14 @@ class TestTable2Driver:
         checks = [r.checks_per_s for r in rows]
         assert checks[-1] > checks[0]
 
+    def test_checks_per_second_is_kernel_only(self, rows):
+        """Table II rates the scan kernel; the copy columns are separate."""
+        from repro.core.pair_indexing import pair_count
+
+        for r in rows:
+            assert r.checks_per_s == pytest.approx(pair_count(r.n) / r.kernel_s)
+            assert r.checks_per_s > pair_count(r.n) / r.total_s
+
     def test_render(self, rows):
         out = render2(rows)
         assert "berlin52" in out

@@ -22,6 +22,14 @@ class TestMultiGpuScaling:
         assert by[8].speedup > 7.0
         assert by[8].efficiency > 0.85
 
+    def test_executor_agrees_with_model(self):
+        """The rows come from the real executor; the closed-form model
+        must agree within 1% (the driver raises otherwise, but pin the
+        reported numbers too)."""
+        rows = run_multigpu_scaling(n=40_000, device_counts=(1, 2, 4))
+        for r in rows:
+            assert r.makespan_s == pytest.approx(r.model_makespan_s, rel=0.01)
+
     def test_render(self):
         rows = run_multigpu_scaling(n=30_000, device_counts=(1, 2))
         assert "multi-GPU" in render_multigpu(rows, 30_000)

@@ -1,0 +1,200 @@
+"""Tests for the sharded multi-device executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import tiled_best_move
+from repro.errors import GpuSimError
+from repro.gpusim.device import GPUDeviceSpec, get_device
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.multidevice import multi_device_sweep
+from repro.gpusim.sharded import MultiDeviceExecutor
+from repro.gpusim.stats import KernelStats
+from repro.telemetry import Profiler
+from repro.tsplib.generators import generate_instance
+
+POLICIES = ("round-robin", "lpt", "dynamic")
+
+
+def _tiny_gpu(name: str, shared_kb: int, clock_ghz: float = 1.0) -> GPUDeviceSpec:
+    """A custom GPU spec with a small shared-memory budget (many tiles)."""
+    return GPUDeviceSpec(
+        name=name, api="CUDA", clock_ghz=clock_ghz, lo_efficiency=0.2,
+        mem_bandwidth_gbps=100.0, mem_latency_ns=350.0,
+        sm_count=4, cores_per_sm=64,
+        shared_mem_per_sm=shared_kb * 1024,
+        shared_mem_per_block=shared_kb * 1024,
+        max_threads_per_block=256,
+    )
+
+
+def _coords(n: int, seed: int) -> np.ndarray:
+    return generate_instance(n, seed=seed).coords_float32()
+
+
+class TestBitIdentity:
+    """The sharded reduction must match the single-device tiled sweep."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("pool_size", [1, 2, 3, 4])
+    def test_matches_tiled_best_move(self, policy, pool_size):
+        device = get_device("gtx680-cuda")
+        launch = LaunchConfig.default_for(device)
+        executor = MultiDeviceExecutor(
+            ["gtx680-cuda"] * pool_size, policy=policy, range_size=64,
+        )
+        for seed in (0, 1, 2):
+            c = _coords(220, seed)
+            ref_delta, ref_i, ref_j, _ = tiled_best_move(
+                c, device, launch, range_size=64
+            )
+            sweep = executor.run_sweep(c)
+            assert (sweep.delta, sweep.i, sweep.j) == (ref_delta, ref_i, ref_j)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_heterogeneous_shared_memory_budgets(self, policy):
+        """Pool members with different shared budgets still agree exactly."""
+        device = get_device("gtx680-cuda")
+        launch = LaunchConfig.default_for(device)
+        pool = [_tiny_gpu("big", 4, 1.2), _tiny_gpu("small", 2, 0.8)]
+        executor = MultiDeviceExecutor(pool, policy=policy)
+        for seed in (5, 6):
+            c = _coords(300, seed)
+            ref_delta, ref_i, ref_j, _ = tiled_best_move(c, device, launch)
+            sweep = executor.run_sweep(c)
+            assert (sweep.delta, sweep.i, sweep.j) == (ref_delta, ref_i, ref_j)
+
+    def test_local_minimum_agrees_with_single_device(self):
+        # a convex-position tour in order has no improving 2-opt move;
+        # the sweep must still report the same (non-improving) best pair
+        t = np.linspace(0.0, 2 * np.pi, 40, endpoint=False)
+        c = np.stack([1000 + 900 * np.cos(t), 1000 + 900 * np.sin(t)],
+                     axis=1).astype(np.float32)
+        device = get_device("gtx680-cuda")
+        launch = LaunchConfig.default_for(device)
+        ref_delta, ref_i, ref_j, _ = tiled_best_move(c, device, launch,
+                                                     range_size=16)
+        executor = MultiDeviceExecutor(["gtx680-cuda"] * 2, range_size=16)
+        sweep = executor.run_sweep(c)
+        assert (sweep.delta, sweep.i, sweep.j) == (ref_delta, ref_i, ref_j)
+        assert sweep.delta >= 0
+
+
+class TestPlan:
+    def test_all_tiles_assigned_once(self):
+        executor = MultiDeviceExecutor(["gtx680-cuda"] * 3)
+        plan = executor.plan(30_000)
+        assigned = sorted(t for tiles in plan.assignment for t in tiles)
+        assert assigned == list(range(executor.schedule(30_000).num_tiles))
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("pool_size", [1, 2, 4])
+    def test_homogeneous_plan_matches_model(self, policy, pool_size):
+        """On replicated devices the plan reproduces the closed-form model."""
+        executor = MultiDeviceExecutor(["gtx680-cuda"] * pool_size,
+                                       policy=policy)
+        plan = executor.plan(30_000)
+        model = multi_device_sweep(30_000, ["gtx680-cuda"] * pool_size,
+                                   policy=policy)
+        assert plan.makespan == pytest.approx(model.makespan, rel=1e-12)
+        assert plan.total_work == pytest.approx(model.total_work, rel=1e-12)
+
+    def test_heterogeneous_pool_uses_min_capacity_schedule(self):
+        """The common schedule must fit the smallest pool member."""
+        pool = [_tiny_gpu("big", 8), _tiny_gpu("small", 2)]
+        executor = MultiDeviceExecutor(pool)
+        schedule = executor.schedule(2000)
+        from repro.core.tiling import TileSchedule
+
+        assert schedule.range_size == TileSchedule.for_device(
+            2000, pool[1]
+        ).range_size
+
+    def test_plan_cached(self):
+        executor = MultiDeviceExecutor(["gtx680-cuda"] * 2)
+        assert executor.plan(10_000) is executor.plan(10_000)
+
+    def test_run_sweep_busy_close_to_plan(self):
+        """Instrumented execution tracks the closed-form plan closely."""
+        executor = MultiDeviceExecutor(["gtx680-cuda"] * 2, range_size=64)
+        c = _coords(400, 7)
+        sweep = executor.run_sweep(c)
+        plan = executor.plan(400)
+        assert sweep.makespan == pytest.approx(plan.makespan, rel=0.05)
+
+    def test_speedup_at_four_devices(self):
+        """Acceptance: modeled speedup > 1.5x at 4 devices for n >= 20000."""
+        one = MultiDeviceExecutor(["gtx680-cuda"]).sweep_makespan(20_000)
+        four = MultiDeviceExecutor(["gtx680-cuda"] * 4).sweep_makespan(20_000)
+        assert one / four > 1.5
+
+
+class TestStatsAndTransfers:
+    def test_sweep_stats_pool_invariant(self):
+        """Total counted work does not depend on how tiles are split."""
+        s1 = MultiDeviceExecutor(["gtx680-cuda"]).sweep_stats(20_000)
+        s4 = MultiDeviceExecutor(["gtx680-cuda"] * 4).sweep_stats(20_000)
+        assert s4.pair_checks == s1.pair_checks
+        assert s4.flops == pytest.approx(s1.flops)
+
+    def test_run_sweep_accumulates_caller_stats(self):
+        executor = MultiDeviceExecutor(["gtx680-cuda"] * 2, range_size=64)
+        stats = KernelStats()
+        executor.run_sweep(_coords(200, 0), stats=stats)
+        assert stats.pair_checks > 0
+        assert stats.launches == executor.schedule(200).num_tiles
+
+    def test_upload_seconds_per_device(self):
+        pool = [_tiny_gpu("a", 4), _tiny_gpu("b", 4)]
+        executor = MultiDeviceExecutor(pool)
+        ups = executor.upload_seconds(10_000)
+        assert len(ups) == 2
+        assert all(u > 0 for u in ups)
+
+
+class TestTelemetryLanes:
+    def test_one_lane_per_pool_member(self):
+        executor = MultiDeviceExecutor(["gtx680-cuda"] * 3, range_size=64)
+        assert executor.lanes == [
+            "gtx680-cuda#0", "gtx680-cuda#1", "gtx680-cuda#2",
+        ]
+        with Profiler() as profiler:
+            executor.run_sweep(_coords(220, 1))
+        tracks = {s.track for s in profiler.spans if s.track != "host"}
+        assert tracks == set(executor.lanes)
+
+    def test_chrome_trace_one_thread_row_per_lane(self):
+        """Acceptance: the exported trace has one device track per pool
+        member, carrying that member's launches."""
+        from repro.core.local_search import LocalSearch
+        from repro.telemetry import to_chrome_trace
+
+        with Profiler() as profiler:
+            LocalSearch(
+                ["gtx680-cuda"] * 2, backend="multi-gpu"
+            ).run(_coords(150, 3))
+        trace = to_chrome_trace(profiler.tracer)
+        names = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name" and e["pid"] == 2
+        }
+        assert {"gtx680-cuda#0", "gtx680-cuda#1"} <= names
+        lane_events = [
+            e for e in trace["traceEvents"]
+            if e.get("ph") == "X" and e["pid"] == 2
+        ]
+        assert lane_events
+
+
+class TestValidation:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(GpuSimError):
+            MultiDeviceExecutor([])
+
+    def test_rejects_cpu_member(self):
+        with pytest.raises(GpuSimError):
+            MultiDeviceExecutor(["gtx680-cuda", "i7-3960x-opencl"])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(GpuSimError):
+            MultiDeviceExecutor(["gtx680-cuda"], policy="magic")  # type: ignore[arg-type]

@@ -50,6 +50,18 @@ class TestCommands:
         assert main(["solve", "--file", str(path)]) == 0
         assert "n=80" in capsys.readouterr().out
 
+    def test_solve_device_pool(self, capsys):
+        import json
+
+        assert main([
+            "solve", "--n", "150", "--seed", "2",
+            "--devices", "gtx680-cuda,hd7970ghz-opencl", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "multi-gpu"
+        assert payload["device"] == "gtx680-cuda + hd7970ghz-opencl"
+        assert payload["final_length"] < payload["initial_length"]
+
     def test_table2_smoke(self, capsys):
         assert main(["table2", "--max-solve-n", "150", "--max-table-n", "300"]) == 0
         assert "berlin52" in capsys.readouterr().out
