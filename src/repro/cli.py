@@ -56,22 +56,48 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.utils.units import format_seconds
 
     inst = _load_instance(args)
+    retry = None
+    if args.retries is not None or args.backoff is not None:
+        from repro.gpusim.faults import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=args.retries if args.retries is not None else 3,
+            base_backoff_s=args.backoff if args.backoff is not None else 100e-6,
+        )
+    # fault injection needs the real sweeps: strategy 'best' unless the
+    # user explicitly asked otherwise
+    strategy = args.strategy or ("best" if args.inject_faults else "batch")
+    solver_kw = dict(strategy=strategy, retry=retry,
+                     faults=args.inject_faults)
     if getattr(args, "devices", None):
         pool = [d.strip() for d in args.devices.split(",") if d.strip()]
-        solver = TwoOptSolver(pool, strategy=args.strategy)
+        solver = TwoOptSolver(pool, **solver_kw)
+    elif args.inject_faults:
+        # fault injection routes through the sharded executor; a single
+        # --device becomes a pool of one
+        solver = TwoOptSolver([args.device], **solver_kw)
     else:
-        solver = TwoOptSolver(args.device, strategy=args.strategy)
+        solver = TwoOptSolver(args.device, **solver_kw)
     profiling = args.profile or args.trace_out is not None
     profiler = Profiler() if profiling else None
     with profiler if profiler is not None else contextlib.nullcontext():
-        res = solver.solve(inst, initial=args.initial)
+        res = solver.solve(
+            inst, initial=args.initial,
+            checkpoint_every=args.checkpoint_every if args.checkpoint else None,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume,
+        )
     s = res.search
 
     if args.trace_out:
         profiler.write_chrome_trace(args.trace_out)
 
+    counters = solver.local_search.fault_counters
+
     if args.json:
         payload = _solve_json_payload(inst, solver, res)
+        if counters is not None:
+            payload["faults"] = [c.as_dict() for c in counters]
         if profiler is not None:
             payload["telemetry"] = {
                 "span_count": profiler.tracer.span_count,
@@ -87,6 +113,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"moves applied : {s.moves_applied} in {s.scans} scans")
     print(f"modeled time  : {format_seconds(s.modeled_seconds)} on {solver.local_search.device_description}")
     print(f"wall time     : {format_seconds(s.wall_seconds)} (simulator)")
+    if counters is not None:
+        print(f"faults        : injected={sum(c.faults_injected for c in counters)} "
+              f"retries={sum(c.retries for c in counters)} "
+              f"tiles_reassigned={sum(c.tiles_reassigned for c in counters)}")
+    if args.checkpoint:
+        print(f"checkpoint    : {args.checkpoint} "
+              f"(every {args.checkpoint_every} scans)")
     if profiler is not None:
         print()
         print(profiler.report())
@@ -116,7 +149,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         ls, termination=IterationLimit(args.iterations), seed=args.seed
     )
     with Profiler() as profiler:
-        res = ils.run(inst)
+        res = ils.run(
+            inst,
+            checkpoint_every=args.checkpoint_every if args.checkpoint else None,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume,
+        )
 
     if args.trace_out:
         profiler.write_chrome_trace(args.trace_out)
@@ -147,6 +185,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.trace_out:
         print(f"chrome trace written to {args.trace_out} "
               f"(open via chrome://tracing)")
+    return 0
+
+
+def _cmd_fault_recovery(args: argparse.Namespace) -> int:
+    from repro.experiments.fault_recovery import (
+        render_fault_recovery,
+        run_fault_recovery,
+    )
+
+    pool = [d.strip() for d in args.devices.split(",") if d.strip()]
+    rows = run_fault_recovery(
+        n=args.n, pool=pool, policy=args.policy, seed=args.seed,
+    )
+    print(render_fault_recovery(rows))
     return 0
 
 
@@ -309,7 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--devices", default=None, metavar="KEY[,KEY...]",
                    help="comma-separated device pool for the sharded "
                         "multi-GPU backend (overrides --device)")
-    s.add_argument("--strategy", choices=["best", "batch"], default="batch")
+    s.add_argument("--strategy", choices=["best", "batch"], default=None,
+                   help="move application strategy (default: batch; "
+                        "best when --inject-faults is given)")
     s.add_argument("--initial", default="greedy",
                    choices=["greedy", "nearest-neighbor", "random", "identity"])
     s.add_argument("--json", action="store_true",
@@ -318,6 +372,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect telemetry and print the span tree")
     s.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write a chrome://tracing trace file (implies --profile)")
+    s.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="fault-injection spec, e.g. "
+                        "'transient:device=0,tile=3;dropout:device=1,after=5' "
+                        "or 'rate:transient=0.01,seed=7' (forces the "
+                        "simulated multi-GPU backend)")
+    s.add_argument("--retries", type=int, default=None, metavar="K",
+                   help="max kernel/transfer attempts per tile (default 3)")
+    s.add_argument("--backoff", type=float, default=None, metavar="S",
+                   help="base exponential-backoff delay in modeled seconds")
+    s.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write a resumable checkpoint to PATH during the run")
+    s.add_argument("--checkpoint-every", type=int, default=10, metavar="N",
+                   help="checkpoint every N scans (with --checkpoint)")
+    s.add_argument("--resume", default=None, metavar="PATH",
+                   help="resume from a checkpoint written by --checkpoint "
+                        "(same instance, initial tour, and seed)")
     s.set_defaults(func=_cmd_solve)
 
     s = sub.add_parser("profile",
@@ -334,6 +404,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a machine-readable JSON summary")
     s.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write a chrome://tracing trace file")
+    s.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write a resumable ILS checkpoint to PATH")
+    s.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="checkpoint every N ILS iterations (with --checkpoint)")
+    s.add_argument("--resume", default=None, metavar="PATH",
+                   help="resume from an ILS checkpoint (same instance/seed)")
     s.set_defaults(func=_cmd_profile)
 
     s = sub.add_parser("table1", help="reproduce Table I (memory)")
@@ -374,15 +450,40 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--fig11-n", type=int, default=600)
     s.set_defaults(func=_cmd_report)
 
+    s = sub.add_parser("fault-recovery",
+                       help="sweep fault rates x retry policies on a pool")
+    s.add_argument("--n", type=int, default=600)
+    s.add_argument("--devices", default="gtx680-cuda,gtx680-cuda,gtx680-cuda",
+                   metavar="KEY[,KEY...]", help="device pool to shard across")
+    s.add_argument("--policy", choices=["round-robin", "lpt", "dynamic"],
+                   default="dynamic")
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(func=_cmd_fault_recovery)
+
     s = sub.add_parser("devices", help="list the simulated device catalog")
     s.set_defaults(func=_cmd_devices)
     return p
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Parse *argv* and dispatch to the selected command."""
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    """Parse *argv* and dispatch to the selected command.
+
+    Expected failures (bad device key, malformed TSPLIB file, exhausted
+    retries, corrupt checkpoint, ...) surface as :class:`ReproError`
+    subclasses and become a one-line message on stderr with exit code 2;
+    Ctrl-C exits 130 per shell convention.  Anything else is a bug and
+    keeps its traceback.
+    """
+    from repro.errors import ReproError
+
+    try:
+        args = build_parser().parse_args(argv)
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,12 @@ from repro.core.two_opt_cpu import (
     sequential_two_opt_sweep,
     cpu_best_move,
 )
+from repro.core.checkpoint import (
+    Checkpoint,
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.local_search import LocalSearch, LocalSearchResult
 from repro.core.pruned import PrunedTwoOpt, PrunedSearchResult, pruned_scan_stats
 from repro.core.dont_look import DontLookTwoOpt, DontLookResult
@@ -65,6 +71,10 @@ __all__ = [
     "tiled_best_move",
     "sequential_two_opt_sweep",
     "cpu_best_move",
+    "Checkpoint",
+    "CHECKPOINT_VERSION",
+    "load_checkpoint",
+    "save_checkpoint",
     "LocalSearch",
     "LocalSearchResult",
     "PrunedTwoOpt",

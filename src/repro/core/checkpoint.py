@@ -1,0 +1,168 @@
+"""Checkpoint/resume for long solver runs.
+
+A multi-hour ILS run (Fig. 11 at pr2392 scale) that dies at iteration
+9,999 of 10,000 should not restart from scratch.  This module gives the
+drivers a tiny, dependency-free persistence layer:
+
+* a checkpoint is one JSON document ``{"format", "version", "kind",
+  "payload", "digest"}`` where ``digest`` is the SHA-256 of the
+  canonically serialized payload — a torn or hand-edited file fails
+  loudly with :class:`~repro.errors.CheckpointError` instead of
+  resuming from garbage;
+* numpy arrays round-trip through :func:`encode_array` /
+  :func:`decode_array` (dtype + nested lists — portable, diffable);
+* RNG streams round-trip through :func:`encode_rng` / :func:`decode_rng`
+  (the bit generator's exact state dict), so a resumed run continues
+  the *same* random sequence and reaches bit-identical results.
+
+:class:`repro.ils.ils.IteratedLocalSearch` checkpoints at iteration
+boundaries and :class:`repro.core.local_search.LocalSearch` at scan
+boundaries; both accept ``checkpoint_every``/``checkpoint_path`` to
+write and ``resume_from`` to continue.  See docs/ROBUSTNESS.md for the
+exact payload schemas and the resume-equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+#: bump when a payload schema changes incompatibly
+CHECKPOINT_VERSION = 1
+_FORMAT = "repro-checkpoint"
+
+PathLike = Union[str, os.PathLike]
+
+
+def _canonical(payload: dict) -> str:
+    """Deterministic JSON serialization the digest is computed over."""
+    try:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"payload is not JSON-serializable: {exc}") from exc
+
+
+def payload_digest(payload: dict) -> str:
+    """SHA-256 hex digest of the canonical payload serialization."""
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+# -- numpy / RNG round-trips ------------------------------------------------
+
+def encode_array(array: np.ndarray) -> dict:
+    """JSON-safe encoding of a numpy array (dtype + nested lists)."""
+    return {"dtype": str(array.dtype), "data": array.tolist()}
+
+
+def decode_array(obj: dict) -> np.ndarray:
+    """Rebuild an array from :func:`encode_array`'s ``{dtype, data}`` form."""
+    try:
+        return np.asarray(obj["data"], dtype=np.dtype(obj["dtype"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed array field: {exc}") from exc
+
+
+def encode_rng(rng: np.random.Generator) -> dict:
+    """Capture the exact bit-generator state of *rng*."""
+    return rng.bit_generator.state
+
+
+def decode_rng(state: dict) -> np.random.Generator:
+    """Rebuild a generator continuing the captured stream exactly."""
+    try:
+        bit_generator = getattr(np.random, state["bit_generator"])()
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise CheckpointError(f"malformed RNG state: {exc}") from exc
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+# -- the checkpoint document ------------------------------------------------
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One verified checkpoint: a kind tag plus its payload dict."""
+
+    kind: str
+    payload: dict
+    version: int = CHECKPOINT_VERSION
+
+    def require_kind(self, kind: str) -> "Checkpoint":
+        """Return self if this checkpoint is of *kind*, else raise."""
+        if self.kind != kind:
+            raise CheckpointError(
+                f"checkpoint kind {self.kind!r} cannot resume a {kind!r} run")
+        return self
+
+
+def save_checkpoint(path: PathLike, kind: str, payload: dict) -> None:
+    """Atomically write ``{kind, payload}`` plus its integrity digest.
+
+    The file is written next to *path* and renamed into place, so a
+    crash mid-write leaves either the previous checkpoint or none —
+    never a torn one.
+    """
+    doc = {
+        "format": _FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "kind": kind,
+        "payload": payload,
+        "digest": payload_digest(payload),
+    }
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: PathLike, *, kind: Optional[str] = None) -> Checkpoint:
+    """Read and verify a checkpoint; optionally require its *kind*.
+
+    Raises :class:`~repro.errors.CheckpointError` for unreadable files,
+    non-checkpoint JSON, version skew, or a digest mismatch (bit rot,
+    truncation, hand edits).
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise CheckpointError(f"{path!r} is not a repro checkpoint")
+    if doc.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has version {doc.get('version')!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}")
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"checkpoint {path!r} has no payload")
+    if payload_digest(payload) != doc.get("digest"):
+        raise CheckpointError(
+            f"checkpoint {path!r} failed its integrity digest — the file "
+            f"is corrupt or was modified")
+    cp = Checkpoint(kind=str(doc.get("kind")), payload=payload)
+    if kind is not None:
+        cp.require_kind(kind)
+    return cp
+
+
+def resolve_checkpoint(
+    source: Union[Checkpoint, PathLike, None], *, kind: str,
+) -> Optional[Checkpoint]:
+    """Normalize a ``resume_from`` argument (path or Checkpoint or None)."""
+    if source is None:
+        return None
+    if isinstance(source, Checkpoint):
+        return source.require_kind(kind)
+    return load_checkpoint(source, kind=kind)

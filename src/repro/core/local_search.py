@@ -61,6 +61,14 @@ from typing import Literal, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    Checkpoint,
+    PathLike,
+    decode_array,
+    encode_array,
+    resolve_checkpoint,
+    save_checkpoint,
+)
 from repro.core.moves import (
     Move,
     apply_moves,
@@ -72,9 +80,10 @@ from repro.core.pair_indexing import pair_count
 from repro.core.tiling import TileSchedule, TwoOptKernelTiled, tiled_best_move
 from repro.core.two_opt_cpu import cpu_scan_stats, sequential_two_opt
 from repro.core.two_opt_gpu import TwoOptKernelOrdered
-from repro.errors import SolverError
+from repro.errors import CheckpointError, SolverError
 from repro.gpusim.device import CPUDeviceSpec, DeviceSpec, GPUDeviceSpec, get_device
 from repro.gpusim.executor import launch_kernel
+from repro.gpusim.faults import FaultCounters, FaultPlan, RetryPolicy, as_fault_plan
 from repro.gpusim.kernel import LaunchConfig
 from repro.gpusim.sharded import MultiDeviceExecutor
 from repro.gpusim.stats import KernelStats
@@ -142,6 +151,8 @@ class LocalSearch:
         trace: Optional["TraceCollector"] = None,
         host_engine: Literal["exhaustive", "dlb"] = "exhaustive",
         policy: str = "dynamic",
+        retry: Optional[RetryPolicy] = None,
+        faults: Union[FaultPlan, str, None] = None,
     ) -> None:
         pool: Optional[Sequence[Union[DeviceSpec, str]]] = None
         if isinstance(device, (list, tuple)):
@@ -151,6 +162,25 @@ class LocalSearch:
                 )
             pool = device
             device = device[0] if device else "gtx680-cuda"
+        self.faults = as_fault_plan(faults)
+        self.retry = retry
+        if self.faults is not None and not self.faults.is_empty:
+            if backend != "multi-gpu":
+                raise SolverError(
+                    "fault injection runs through the sharded executor; use "
+                    "backend='multi-gpu' (a pool of one device works)"
+                )
+            if mode != "simulate":
+                raise SolverError(
+                    "fault injection needs mode='simulate' — fast mode never "
+                    "launches the kernels the faults target"
+                )
+            if strategy != "best":
+                raise SolverError(
+                    "fault injection needs strategy='best'; the batch "
+                    "strategy evaluates moves on the host with closed-form "
+                    "timing and never runs the sharded sweeps faults target"
+                )
         self.device = get_device(device) if isinstance(device, str) else device
         self.backend = backend
         self.mode = mode
@@ -169,6 +199,7 @@ class LocalSearch:
                 "cannot honour strategy='batch'; use strategy='best'"
             )
         self.host_engine = host_engine
+        self._last_sweep_seconds: Optional[float] = None
         self._executor: Optional[MultiDeviceExecutor] = None
         if backend == "gpu":
             if not isinstance(self.device, GPUDeviceSpec):
@@ -177,7 +208,10 @@ class LocalSearch:
         elif backend == "multi-gpu":
             if pool is None:
                 pool = [device]
-            self._executor = MultiDeviceExecutor(pool, policy=policy, launch=launch)
+            self._executor = MultiDeviceExecutor(
+                pool, policy=policy, launch=launch,
+                retry=self.retry, faults=self.faults,
+            )
             self.devices = self._executor.devices
             self.device = self.devices[0]
             self.launch = self._executor.launches[0]
@@ -194,6 +228,18 @@ class LocalSearch:
         if self.backend == "multi-gpu" and self._executor is not None:
             return " + ".join(self._executor.keys)
         return self.device.name
+
+    @property
+    def fault_counters(self) -> Optional[list[FaultCounters]]:
+        """Lifetime per-pool-member fault/recovery counters (multi-GPU).
+
+        ``None`` on single-device backends; all-zero without a fault
+        plan.  The same totals flow into the process metrics registry
+        under ``gpusim.fault.*``.
+        """
+        if self._executor is None:
+            return None
+        return self._executor.fault_counters
 
     # -- per-scan modeled cost ---------------------------------------------
 
@@ -286,6 +332,7 @@ class LocalSearch:
     def _scan_simulate(self, coords: np.ndarray, stats: KernelStats) -> Move:
         if self.backend == "multi-gpu" and self._executor is not None:
             sweep = self._executor.run_sweep(coords, stats=stats)
+            self._last_sweep_seconds = sweep.makespan
             return Move(i=sweep.i, j=sweep.j, delta=sweep.delta)
         n = coords.shape[0]
         ordered = TwoOptKernelOrdered()
@@ -338,6 +385,31 @@ class LocalSearch:
 
     # -- main loop -------------------------------------------------------------
 
+    # -- checkpointing -----------------------------------------------------
+
+    _CHECKPOINT_KIND = "local-search"
+
+    def _scan_checkpoint_payload(
+        self, *, n: int, order: np.ndarray, length: int, initial_length: int,
+        moves_applied: int, scans: int, launches: int, modeled: float,
+        kernel_s: float, transfer: float, trace: list[tuple[float, int]],
+    ) -> dict:
+        return {
+            "n": n,
+            "backend": self.backend,
+            "strategy": self.strategy,
+            "order": encode_array(order),
+            "length": int(length),
+            "initial_length": int(initial_length),
+            "moves_applied": moves_applied,
+            "scans": scans,
+            "launches": launches,
+            "modeled_seconds": modeled,
+            "kernel_seconds": kernel_s,
+            "transfer_seconds": transfer,
+            "trace": [[t, int(length_)] for t, length_ in trace],
+        }
+
     def run(
         self,
         coords_ordered: np.ndarray,
@@ -345,6 +417,9 @@ class LocalSearch:
         max_moves: Optional[int] = None,
         max_scans: Optional[int] = None,
         target_length: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[PathLike] = None,
+        resume_from: Union[Checkpoint, PathLike, None] = None,
     ) -> LocalSearchResult:
         """Optimize until a local minimum (or a cap) is reached.
 
@@ -355,6 +430,14 @@ class LocalSearch:
             pre-ordering); the identity permutation is the implied tour.
         max_moves / max_scans / target_length:
             Optional early-stopping knobs.
+        checkpoint_every / checkpoint_path / resume_from:
+            Scan-boundary checkpointing: every k scans the search state
+            (permutation, lengths, modeled clock, trace) is atomically
+            written to ``checkpoint_path``; ``resume_from`` continues
+            such a run against the *same* ``coords_ordered`` and — the
+            descent being deterministic — finishes exactly where the
+            uninterrupted run would have.  Not supported by the one-shot
+            engines (``host_engine='dlb'``, simulated ``cpu-sequential``).
 
         The run reports into the process telemetry tracer (one
         ``local_search`` span, one ``scan`` span per scan, modeled device
@@ -370,6 +453,8 @@ class LocalSearch:
             result = self._run(
                 coords_ordered, tracer, max_moves=max_moves,
                 max_scans=max_scans, target_length=target_length,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path, resume_from=resume_from,
             )
             span.set_attr("scans", result.scans)
             span.set_attr("moves", result.moves_applied)
@@ -384,8 +469,26 @@ class LocalSearch:
         max_moves: Optional[int],
         max_scans: Optional[int],
         target_length: Optional[int],
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[PathLike] = None,
+        resume_from: Union[Checkpoint, PathLike, None] = None,
     ) -> LocalSearchResult:
         t_wall = time.perf_counter()
+        checkpointing = (checkpoint_every is not None
+                         or checkpoint_path is not None
+                         or resume_from is not None)
+        if checkpointing:
+            if checkpoint_every is not None and checkpoint_every < 1:
+                raise SolverError("checkpoint_every must be >= 1")
+            if checkpoint_every is not None and checkpoint_path is None:
+                raise SolverError("checkpoint_every needs a checkpoint_path")
+            if self.host_engine == "dlb" or (
+                    self.backend == "cpu-sequential" and self.mode == "simulate"):
+                raise SolverError(
+                    "checkpointing needs the scan loop; the dlb and "
+                    "simulated-sequential engines run in one shot"
+                )
+        cp = resolve_checkpoint(resume_from, kind=self._CHECKPOINT_KIND)
         # private working copy: the search reverses segments in place
         c = np.array(coords_ordered, dtype=np.float32, copy=True, order="C")
         n = c.shape[0]
@@ -403,9 +506,37 @@ class LocalSearch:
         modeled = 0.0
         kernel_s = 0.0
         transfer = self._transfer_seconds(n)
-        modeled += transfer  # initial upload
-        tracer.advance_modeled(transfer)
         reached_minimum = False
+        if cp is not None:
+            p = cp.payload
+            if p.get("n") != n:
+                raise CheckpointError(
+                    f"checkpoint is for n={p.get('n')}, got n={n}")
+            if p.get("strategy") != self.strategy or p.get("backend") != self.backend:
+                raise CheckpointError(
+                    f"checkpoint was taken with backend={p.get('backend')!r} "
+                    f"strategy={p.get('strategy')!r}; this search runs "
+                    f"{self.backend!r}/{self.strategy!r}")
+            from repro.tour.tour import validate_tour
+
+            order = validate_tour(decode_array(p["order"]), n)
+            c = np.ascontiguousarray(c[order])
+            length = int(p["length"])
+            if int(next_distances(c).sum()) != length:
+                raise CheckpointError(
+                    "checkpoint tour length does not match its permutation "
+                    "on these coordinates — wrong instance?")
+            initial_length = int(p["initial_length"])
+            moves_applied = int(p["moves_applied"])
+            scans = int(p["scans"])
+            launches = int(p["launches"])
+            modeled = float(p["modeled_seconds"])
+            kernel_s = float(p["kernel_seconds"])
+            transfer = float(p["transfer_seconds"])
+            trace = [(float(t), int(length_)) for t, length_ in p["trace"]]
+        else:
+            modeled += transfer  # initial upload
+            tracer.advance_modeled(transfer)
 
         if self.backend == "cpu-sequential" and self.mode == "simulate":
             # genuine sequential semantics: first-improvement sweeps
@@ -442,6 +573,21 @@ class LocalSearch:
 
         scan = self._scan_simulate if self.mode == "simulate" else self._scan_fast
         per_launch_kernel = None  # lazily computed, reused (depends on n only)
+
+        def _maybe_checkpoint() -> None:
+            if (checkpoint_path is None or checkpoint_every is None
+                    or scans % checkpoint_every != 0):
+                return
+            save_checkpoint(
+                checkpoint_path, self._CHECKPOINT_KIND,
+                self._scan_checkpoint_payload(
+                    n=n, order=order, length=length,
+                    initial_length=initial_length,
+                    moves_applied=moves_applied, scans=scans,
+                    launches=launches, modeled=modeled, kernel_s=kernel_s,
+                    transfer=transfer, trace=trace,
+                ),
+            )
 
         while True:
             if max_scans is not None and scans >= max_scans:
@@ -490,6 +636,7 @@ class LocalSearch:
                     if tracer.enabled:
                         ssp.set_attr("moves", len(batch))
                     trace.append((modeled, length))
+                _maybe_checkpoint()
                 continue
 
             with tracer.span("scan", category="local_search") as ssp:
@@ -499,8 +646,16 @@ class LocalSearch:
                 launches += 1
                 if per_launch_kernel is None:
                     per_launch_kernel = self.scan_seconds(n)
-                modeled += per_launch_kernel
-                kernel_s += per_launch_kernel
+                step_kernel = per_launch_kernel
+                if (self._executor is not None
+                        and self._executor.fault_injection_active
+                        and self._last_sweep_seconds is not None):
+                    # under fault injection the real sweep makespan
+                    # includes retries, backoff, and recovery dispatch —
+                    # book that, not the fault-free closed form
+                    step_kernel = self._last_sweep_seconds
+                modeled += step_kernel
+                kernel_s += step_kernel
                 # simulate mode records the real launches in the executor
                 if self.mode == "fast":
                     self._emit_modeled_launches(tracer, n, per_launch_kernel, 1)
@@ -518,6 +673,7 @@ class LocalSearch:
                 if tracer.enabled:
                     ssp.set_attr("delta", int(mv.delta))
                 trace.append((modeled, length))
+            _maybe_checkpoint()
 
         return LocalSearchResult(
             order=order, initial_length=initial_length, final_length=length,

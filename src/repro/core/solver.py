@@ -23,7 +23,9 @@ from repro.core.local_search import (
     Mode,
     Strategy,
 )
+from repro.core.checkpoint import Checkpoint, PathLike
 from repro.errors import SolverError
+from repro.gpusim.faults import FaultPlan, RetryPolicy
 from repro.gpusim.kernel import LaunchConfig
 from repro.telemetry import get_tracer
 from repro.tour.tour import Tour, validate_tour
@@ -64,13 +66,19 @@ class TwoOptSolver:
         launch: Optional[LaunchConfig] = None,
         threads: Optional[int] = None,
         host_engine: str = "exhaustive",
+        retry: Optional["RetryPolicy"] = None,
+        faults: Union[str, "FaultPlan", None] = None,
     ) -> None:
         # a device *pool* implies the sharded multi-GPU backend
         if not isinstance(device, str) and backend == "gpu":
             backend = "multi-gpu"
+        # fault injection runs the real (simulated) kernels
+        if faults is not None and mode == "fast":
+            mode = "simulate"
         self._search = LocalSearch(
             device, backend=backend, mode=mode, strategy=strategy,
             launch=launch, threads=threads, host_engine=host_engine,  # type: ignore[arg-type]
+            retry=retry, faults=faults,
         )
 
     @property
@@ -109,8 +117,18 @@ class TwoOptSolver:
         seed: SeedLike = 0,
         max_moves: Optional[int] = None,
         max_scans: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[PathLike] = None,
+        resume_from: Union[Checkpoint, PathLike, None] = None,
     ) -> SolveResult:
-        """Optimize *instance* to a 2-opt local minimum (or a cap)."""
+        """Optimize *instance* to a 2-opt local minimum (or a cap).
+
+        ``checkpoint_every``/``checkpoint_path``/``resume_from`` forward
+        to :meth:`LocalSearch.run` scan-boundary checkpointing; a
+        resumed solve must use the same instance, initial tour, and
+        seed, since the checkpointed permutation is relative to that
+        initial ordering.
+        """
         if instance.coords is None:
             raise SolverError("solver requires coordinate instances")
         from repro.tsplib.distances import EdgeWeightType
@@ -131,7 +149,9 @@ class TwoOptSolver:
                 order0 = self.build_initial(instance, initial, seed=seed)
             coords_ordered = instance.coords[order0]
             result = self._search.run(
-                coords_ordered, max_moves=max_moves, max_scans=max_scans
+                coords_ordered, max_moves=max_moves, max_scans=max_scans,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path, resume_from=resume_from,
             )
             # result.order permutes *positions* of the initial tour
             final_order = order0[result.order]

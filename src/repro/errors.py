@@ -47,6 +47,34 @@ class DeviceNotFoundError(GpuSimError, KeyError):
     """Raised when a device name is not present in the catalog."""
 
 
+class FaultError(GpuSimError):
+    """Base class for injected-fault and recovery errors."""
+
+
+class FaultSpecError(FaultError):
+    """Raised for malformed ``--inject-faults`` specifications."""
+
+
+class TransientKernelFault(FaultError):
+    """An injected transient kernel failure (retryable)."""
+
+
+class TransferCorruptionError(FaultError):
+    """A staged PCIe transfer failed its checksum (retryable)."""
+
+
+class DeviceLostError(FaultError):
+    """A pool member dropped out permanently mid-sweep."""
+
+
+class RetryExhaustedError(FaultError):
+    """A retryable fault persisted past the policy's attempt budget."""
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable, corrupt, or mismatched checkpoints."""
+
+
 class SolverError(ReproError):
     """Raised when a solver is misconfigured or cannot make progress."""
 

@@ -26,6 +26,7 @@ from repro.experiments.extensions import (
 )
 from repro.experiments.metaheuristics import run_metaheuristic_comparison
 from repro.experiments.robustness import run_robustness
+from repro.experiments.fault_recovery import run_fault_recovery, FaultRecoveryRow
 from repro.experiments.report import ReportConfig, generate_report, write_report
 
 __all__ = [
@@ -51,6 +52,8 @@ __all__ = [
     "run_two_half_opt",
     "run_metaheuristic_comparison",
     "run_robustness",
+    "run_fault_recovery",
+    "FaultRecoveryRow",
     "ReportConfig",
     "generate_report",
     "write_report",

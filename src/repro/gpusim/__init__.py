@@ -30,7 +30,15 @@ from repro.gpusim.device import (
 )
 from repro.gpusim.stats import KernelStats
 from repro.gpusim.kernel import Kernel, KernelContext, LaunchConfig
-from repro.gpusim.executor import KernelResult, launch_kernel
+from repro.gpusim.executor import GPUExecutor, KernelResult, launch_kernel
+from repro.gpusim.faults import (
+    FaultCounters,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    buffer_checksum,
+)
 from repro.gpusim.memory import GlobalArray, SharedArray
 from repro.gpusim.coalescing import count_transactions
 from repro.gpusim.bank_conflicts import count_bank_conflicts
@@ -62,6 +70,13 @@ __all__ = [
     "LaunchConfig",
     "KernelResult",
     "launch_kernel",
+    "GPUExecutor",
+    "FaultCounters",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "buffer_checksum",
     "GlobalArray",
     "SharedArray",
     "count_transactions",

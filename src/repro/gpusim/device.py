@@ -198,8 +198,13 @@ def get_device(key: str) -> DeviceSpec:
     try:
         return DEVICES[key]
     except KeyError:
+        import difflib
+
+        close = difflib.get_close_matches(key, DEVICES, n=1, cutoff=0.4)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise DeviceNotFoundError(
-            f"unknown device {key!r}; known: {', '.join(sorted(DEVICES))}"
+            f"unknown device {key!r}{hint}; "
+            f"known: {', '.join(sorted(DEVICES))}"
         ) from None
 
 

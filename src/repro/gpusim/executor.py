@@ -1,14 +1,38 @@
-"""Kernel launch machinery: run a kernel, collect stats, predict time."""
+"""Kernel launch machinery: run a kernel, collect stats, predict time.
+
+Two layers:
+
+* :func:`launch_kernel` — one fault-free simulated launch (the primitive
+  every backend uses).
+* :class:`GPUExecutor` — a per-device launch engine that adds the
+  robustness contract: consult a :class:`~repro.gpusim.faults.
+  FaultInjector` before trusting a result, retry transient faults under
+  a :class:`~repro.gpusim.faults.RetryPolicy` with exponential backoff
+  charged to the *modeled* clock, verify staged uploads by checksum, and
+  keep per-device :class:`~repro.gpusim.faults.FaultCounters` that flow
+  into telemetry.  :class:`~repro.gpusim.sharded.MultiDeviceExecutor`
+  runs one ``GPUExecutor`` per pool member.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Optional
 
+import numpy as np
+
+from repro.errors import DeviceLostError, RetryExhaustedError
 from repro.gpusim.device import GPUDeviceSpec
+from repro.gpusim.faults import (
+    FaultCounters,
+    FaultInjector,
+    RetryPolicy,
+    buffer_checksum,
+)
 from repro.gpusim.kernel import Kernel, KernelContext, LaunchConfig
 from repro.gpusim.stats import KernelStats
 from repro.gpusim.timing_model import TimeBreakdown, predict_kernel_time
+from repro.gpusim.transfer import transfer_time
 from repro.telemetry import get_metrics, get_tracer
 
 
@@ -70,3 +94,174 @@ def launch_kernel(
     if stats is not None:
         stats += local
     return KernelResult(output=output, stats=local, time=time)
+
+
+class GPUExecutor:
+    """One device's launch engine with fault detection, retry, and backoff.
+
+    Without an injector this is a thin stateful wrapper over
+    :func:`launch_kernel` that accumulates a modeled clock.  With one,
+    every launch first runs, then asks the injector whether this attempt
+    faulted; faulted attempts are discarded (their kernel time is still
+    charged — the work happened before the failure was detected), the
+    policy's backoff is charged to the modeled clock, and the launch is
+    retried up to ``retry.max_attempts`` total tries before
+    :class:`~repro.errors.RetryExhaustedError` surfaces.  Permanent
+    dropout checks live in :meth:`check_dropout`; a dead executor raises
+    :class:`~repro.errors.DeviceLostError` on further launches.
+
+    Parameters
+    ----------
+    device / launch:
+        The pool member's spec and launch geometry.
+    retry:
+        Retry/backoff policy; defaults to :class:`RetryPolicy()`.
+    injector:
+        Shared :class:`FaultInjector` for the run, or ``None`` for
+        fault-free execution.
+    device_index:
+        This member's pool index — the identity faults are planned
+        against.
+    track:
+        Telemetry device lane for launches and fault counters.
+    """
+
+    def __init__(
+        self,
+        device: GPUDeviceSpec,
+        launch: Optional[LaunchConfig] = None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        device_index: int = 0,
+        track: str = "device",
+    ) -> None:
+        self.device = device
+        self.launch_config = launch or LaunchConfig.default_for(device)
+        self.retry = retry or RetryPolicy()
+        self.injector = injector
+        self.device_index = device_index
+        self.track = track
+        #: modeled seconds on this device (kernels + backoff + re-uploads)
+        self.clock = 0.0
+        #: successful logical launches (the default fault key sequence)
+        self.launches = 0
+        self.counters = FaultCounters()
+
+    @property
+    def alive(self) -> bool:
+        return self.injector is None or not self.injector.is_dead(self.device_index)
+
+    def record_fault_metric(self, name: str, amount: float = 1.0) -> None:
+        """Bump ``gpusim.fault.<name>`` (pool total and this device's lane)."""
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(f"gpusim.fault.{name}").inc(amount)
+            metrics.counter(f"gpusim.fault.{name}.{self.track}").inc(amount)
+
+    def _backoff(self, failure_index: int) -> None:
+        wait = self.retry.backoff_s(failure_index)
+        self.clock += wait
+        self.counters.retries += 1
+        self.counters.backoff_seconds += wait
+        self.record_fault_metric("retries")
+        self.record_fault_metric("backoff_seconds", wait)
+
+    def check_dropout(self, completed: Optional[int] = None) -> bool:
+        """Consult the injector: does this device die now?
+
+        *completed* defaults to the executor's own successful-launch
+        count; sharded sweeps pass their per-sweep tile counts instead.
+        Returns True (and books the dropout) the first time the device
+        dies; later calls keep returning True without re-counting.
+        """
+        if self.injector is None:
+            return False
+        was_dead = self.injector.is_dead(self.device_index)
+        done = self.launches if completed is None else completed
+        if not self.injector.should_drop(self.device_index, done):
+            return False
+        if not was_dead:
+            self.counters.dropouts += 1
+            self.record_fault_metric("dropouts")
+        return True
+
+    def stage_upload(self, coords: np.ndarray) -> np.ndarray:
+        """Stage a device-global copy of *coords*, checksum-verified.
+
+        Models the PCIe upload each pool member needs before a sweep: a
+        corrupted staged buffer fails its CRC-32 against the host copy
+        and is re-transferred (one full transfer charge + backoff per
+        retry) under the retry policy.  The returned buffer is always
+        bit-identical to the host copy — corruption never reaches a
+        kernel.  Only *retry* transfers are charged here; the fault-free
+        upload is accounted by the caller's transfer model.
+        """
+        if self.injector is not None and self.injector.is_dead(self.device_index):
+            raise DeviceLostError(f"device {self.track} is lost")
+        reference = buffer_checksum(coords)
+        for attempt in range(self.retry.max_attempts):
+            staged = np.array(coords, copy=True)
+            if (self.injector is not None
+                    and self.injector.upload_fault(self.device_index, attempt)):
+                self.injector.corrupt(staged)
+            if buffer_checksum(staged) == reference:
+                return staged
+            self.counters.faults_injected += 1
+            self.counters.corrupt_transfers += 1
+            self.record_fault_metric("injected")
+            self.record_fault_metric("corrupt_transfers")
+            if attempt + 1 >= self.retry.max_attempts:
+                raise RetryExhaustedError(
+                    f"upload to {self.track} still corrupt after "
+                    f"{self.retry.max_attempts} attempts"
+                )
+            self._backoff(attempt)
+            # the re-transfer itself is charged to this device's clock
+            self.clock += transfer_time(
+                self.device, staged.nbytes, track=self.track
+            ).total
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def launch(
+        self,
+        kernel: Kernel,
+        *,
+        stats: Optional[KernelStats] = None,
+        fault_key: Optional[int] = None,
+        dispatch_overhead_s: float = 0.0,
+        **kwargs: Any,
+    ) -> KernelResult:
+        """Run *kernel*, retrying injected transient faults.
+
+        ``fault_key`` identifies the launch to the fault plan (sharded
+        sweeps pass the schedule tile index; standalone use defaults to
+        the launch ordinal).  Every attempt — failed or not — charges
+        its kernel time plus *dispatch_overhead_s* to the clock and
+        accumulates into *stats*; only the successful attempt's output
+        is returned.
+        """
+        if self.injector is not None and self.injector.is_dead(self.device_index):
+            raise DeviceLostError(f"device {self.track} is lost")
+        key = self.launches if fault_key is None else fault_key
+        for attempt in range(self.retry.max_attempts):
+            res = launch_kernel(
+                kernel, self.device, self.launch_config,
+                stats=stats, track=self.track, **kwargs,
+            )
+            self.clock += res.time.total + dispatch_overhead_s
+            if (self.injector is None
+                    or not self.injector.kernel_fault(self.device_index, key, attempt)):
+                self.launches += 1
+                return res
+            self.counters.faults_injected += 1
+            self.counters.transient_faults += 1
+            self.record_fault_metric("injected")
+            self.record_fault_metric("transient_faults")
+            if attempt + 1 >= self.retry.max_attempts:
+                raise RetryExhaustedError(
+                    f"kernel {kernel.name} on {self.track} failed "
+                    f"{self.retry.max_attempts} attempts (fault key {key})"
+                )
+            self._backoff(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover

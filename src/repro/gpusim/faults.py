@@ -1,0 +1,368 @@
+"""Deterministic fault injection for the simulated GPU fleet.
+
+Real GPU pools fail in ways the closed-form model never sees: a kernel
+launch returns garbage once and succeeds on retry, a PCIe transfer lands
+corrupted, a board falls off the bus mid-sweep. This module provides a
+*seeded, reproducible* model of those failures so the recovery machinery
+(:class:`repro.gpusim.executor.GPUExecutor` retries,
+:class:`repro.gpusim.sharded.MultiDeviceExecutor` tile reassignment) can
+be exercised and tested bit-for-bit:
+
+* :class:`FaultEvent` — one planned fault: a transient kernel failure on
+  a chosen tile, a corrupted coordinate upload, or a permanent device
+  dropout after a chosen number of completed tiles.
+* :class:`FaultPlan` — a set of planned events plus optional per-launch
+  random fault rates, all derived from one seed.  ``FaultPlan.parse``
+  reads the CLI ``--inject-faults`` spec grammar.
+* :class:`FaultInjector` — the per-run stateful oracle the executors
+  consult.  Given the same plan and the same (deterministic) query
+  order, two runs inject exactly the same faults.
+* :class:`RetryPolicy` — bounded attempts with exponential backoff; the
+  backoff is charged to the *modeled* device clock, not wall time.
+* :class:`FaultCounters` — per-device ``faults_injected`` / ``retries``
+  / ``tiles_reassigned`` accounting surfaced through telemetry.
+
+Injected faults are always *detectable*: a transient fault is reported
+by the (simulated) driver, a corrupted transfer fails its CRC-32
+checksum before any kernel reads it.  Recovery therefore never lets a
+wrong value into the reduction, which is what keeps recovered sweeps
+bit-identical to fault-free ones (see docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, fields
+from typing import Literal, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import FaultSpecError
+
+FaultKind = Literal["transient", "corruption", "dropout"]
+
+_KINDS = ("transient", "corruption", "dropout")
+
+
+def buffer_checksum(array: np.ndarray) -> int:
+    """CRC-32 of *array*'s raw bytes — the staged-transfer integrity check."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff on the modeled clock.
+
+    ``max_attempts`` counts *total* tries (first attempt included), so
+    ``max_attempts=3`` allows two retries.  The k-th failure (k = 0, 1,
+    ...) waits ``base_backoff_s * multiplier**k`` seconds, capped at
+    ``max_backoff_s``; the wait is charged to the faulting device's
+    modeled clock so recovery overhead shows up in makespans.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 100e-6
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def backoff_s(self, failure_index: int) -> float:
+        """Modeled wait before retry number ``failure_index + 1``."""
+        return min(self.base_backoff_s * self.multiplier**failure_index,
+                   self.max_backoff_s)
+
+
+@dataclass
+class FaultCounters:
+    """Per-device fault/recovery accounting for one executor."""
+
+    faults_injected: int = 0
+    transient_faults: int = 0
+    corrupt_transfers: int = 0
+    dropouts: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    tiles_reassigned: int = 0
+
+    def __iadd__(self, other: "FaultCounters") -> "FaultCounters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> dict:
+        """Counters as a plain dict (JSON payloads, telemetry snapshots)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault.
+
+    Parameters
+    ----------
+    kind:
+        ``"transient"`` — the kernel launch with fault key ``tile`` on
+        pool member ``device`` fails ``count`` consecutive attempts.
+        ``"corruption"`` — ``device``'s staged coordinate upload arrives
+        corrupted on ``count`` consecutive attempts.
+        ``"dropout"`` — ``device`` dies permanently once it has
+        completed ``after`` tiles of the sweep.
+    device:
+        Pool index (0-based) of the member the fault targets.
+    sweep:
+        Sweep index (0-based) the event arms on.  Dropouts are permanent
+        from that sweep onward; transient/corruption events fire only on
+        their exact sweep.
+    tile:
+        Fault key for transient events: the schedule tile index in a
+        sharded sweep, or the launch ordinal for a standalone
+        :class:`~repro.gpusim.executor.GPUExecutor`.
+    after:
+        For dropouts: tiles completed by the device before it dies.
+    count:
+        Consecutive failing attempts (transient/corruption); a count at
+        or above the retry policy's ``max_attempts`` makes the fault
+        unrecoverable.
+    """
+
+    kind: FaultKind
+    device: int
+    sweep: int = 0
+    tile: Optional[int] = None
+    after: Optional[int] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise FaultSpecError(f"unknown fault kind {self.kind!r}")
+        if self.device < 0:
+            raise FaultSpecError("device index must be >= 0")
+        if self.kind == "transient" and self.tile is None:
+            raise FaultSpecError("transient faults need tile=INDEX")
+        if self.kind == "dropout" and self.after is None:
+            raise FaultSpecError("dropout faults need after=TILES")
+        if self.count < 1:
+            raise FaultSpecError("count must be >= 1")
+
+
+def _parse_clause(clause: str) -> Union[FaultEvent, dict]:
+    kind, _, body = clause.partition(":")
+    kind = kind.strip().lower()
+    kv: dict[str, str] = {}
+    if body.strip():
+        for item in body.split(","):
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise FaultSpecError(
+                    f"expected key=value in fault clause, got {item!r}")
+            kv[key.strip().lower()] = value.strip()
+
+    def _num(key: str, cast, default=None):
+        if key not in kv:
+            if default is None:
+                raise FaultSpecError(f"{kind!r} fault clause needs {key}=...")
+            return default
+        try:
+            return cast(kv.pop(key))
+        except ValueError:
+            raise FaultSpecError(
+                f"bad value for {key!r} in fault clause {clause!r}") from None
+
+    if kind == "rate":
+        rates = {
+            "transient_rate": _num("transient", float, 0.0),
+            "corruption_rate": _num("corruption", float, 0.0),
+            "dropout_rate": _num("dropout", float, 0.0),
+            "seed": _num("seed", int, 0),
+        }
+        if kv:
+            raise FaultSpecError(f"unknown rate keys: {sorted(kv)}")
+        return rates
+    if kind == "transient":
+        ev = FaultEvent(kind="transient", device=_num("device", int),
+                        tile=_num("tile", int), sweep=_num("sweep", int, 0),
+                        count=_num("count", int, 1))
+    elif kind == "corruption":
+        ev = FaultEvent(kind="corruption", device=_num("device", int),
+                        sweep=_num("sweep", int, 0), count=_num("count", int, 1))
+    elif kind == "dropout":
+        ev = FaultEvent(kind="dropout", device=_num("device", int),
+                        after=_num("after", int), sweep=_num("sweep", int, 0))
+    else:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r} (expected transient/corruption/"
+            f"dropout/rate)")
+    if kv:
+        raise FaultSpecError(f"unknown keys in {kind!r} clause: {sorted(kv)}")
+    return ev
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults: planned events + seeded rates.
+
+    Random rates draw from one ``numpy`` PCG64 stream seeded with
+    ``seed``; because the executors query the injector in a fixed order,
+    the same plan injects the same faults on every run.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    transient_rate: float = 0.0
+    corruption_rate: float = 0.0
+    dropout_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for rate in (self.transient_rate, self.corruption_rate,
+                     self.dropout_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise FaultSpecError("fault rates must lie in [0, 1]")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the CLI ``--inject-faults`` grammar.
+
+        ``SPEC`` is ``;``-separated clauses::
+
+            transient:device=0,tile=3[,sweep=0][,count=1]
+            corruption:device=1[,sweep=0][,count=1]
+            dropout:device=2,after=5[,sweep=0]
+            rate:transient=0.01[,corruption=0.005][,dropout=0.001][,seed=42]
+
+        e.g. ``"dropout:device=2,after=1;transient:device=0,tile=0"``.
+        """
+        if not spec or not spec.strip():
+            raise FaultSpecError("empty fault spec")
+        events: list[FaultEvent] = []
+        rates: dict = {}
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            parsed = _parse_clause(clause)
+            if isinstance(parsed, dict):
+                rates.update(parsed)
+            else:
+                events.append(parsed)
+        return cls(events=tuple(events), **rates)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events and not (
+            self.transient_rate or self.corruption_rate or self.dropout_rate)
+
+    def injector(self) -> "FaultInjector":
+        """A fresh stateful injector for one run of this plan."""
+        return FaultInjector(self)
+
+
+def as_fault_plan(
+    faults: Union["FaultPlan", str, Sequence[FaultEvent], None],
+) -> Optional["FaultPlan"]:
+    """Normalize user-facing fault inputs (spec string, events, plan)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, str):
+        return FaultPlan.parse(faults)
+    return FaultPlan(events=tuple(faults))
+
+
+class FaultInjector:
+    """Stateful fault oracle consumed by the executors.
+
+    One injector lives for one run (possibly many sweeps).  Executors
+    call :meth:`begin_sweep` once per sweep, then consult
+    :meth:`kernel_fault` / :meth:`upload_fault` / :meth:`should_drop`
+    in their (deterministic) dispatch order.  Dead devices stay dead
+    across sweeps.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.sweep = -1
+        self.dead: set[int] = set()
+        #: injections per device index, summed over the whole run
+        self.injected: dict[int, int] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def begin_sweep(self) -> int:
+        """Advance to (and return) the next sweep index."""
+        self.sweep += 1
+        return self.sweep
+
+    def _record(self, device: int) -> None:
+        self.injected[device] = self.injected.get(device, 0) + 1
+
+    def is_dead(self, device: int) -> bool:
+        """Has *device* permanently dropped out earlier in this run?"""
+        return device in self.dead
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # -- queries (deterministic given call order) --------------------------
+
+    def kernel_fault(self, device: int, key: int, attempt: int) -> bool:
+        """Should the launch with fault key *key* fail this *attempt*?"""
+        for ev in self.plan.events:
+            if (ev.kind == "transient" and ev.device == device
+                    and ev.tile == key and ev.sweep == max(self.sweep, 0)
+                    and attempt < ev.count):
+                self._record(device)
+                return True
+        if (self.plan.transient_rate and attempt == 0
+                and self.rng.random() < self.plan.transient_rate):
+            self._record(device)
+            return True
+        return False
+
+    def upload_fault(self, device: int, attempt: int) -> bool:
+        """Should *device*'s staged upload arrive corrupted this attempt?"""
+        for ev in self.plan.events:
+            if (ev.kind == "corruption" and ev.device == device
+                    and ev.sweep == max(self.sweep, 0) and attempt < ev.count):
+                self._record(device)
+                return True
+        if (self.plan.corruption_rate and attempt == 0
+                and self.rng.random() < self.plan.corruption_rate):
+            self._record(device)
+            return True
+        return False
+
+    def corrupt(self, staged: np.ndarray) -> None:
+        """Flip one value of the staged buffer in place (detectable)."""
+        flat = staged.reshape(-1).view(np.uint32)
+        pos = int(self.rng.integers(0, flat.size))
+        flat[pos] ^= np.uint32(0x0008_0000)  # single bit flip mid-mantissa
+
+    def should_drop(self, device: int, completed: int) -> bool:
+        """Does *device* die now, having completed *completed* tiles?
+
+        Once this returns True for a device it is permanently dead.
+        """
+        if device in self.dead:
+            return True
+        for ev in self.plan.events:
+            if (ev.kind == "dropout" and ev.device == device
+                    and ev.sweep <= max(self.sweep, 0)
+                    and completed >= (ev.after or 0)):
+                self.dead.add(device)
+                self._record(device)
+                return True
+        if self.plan.dropout_rate and self.rng.random() < self.plan.dropout_rate:
+            self.dead.add(device)
+            self._record(device)
+            return True
+        return False

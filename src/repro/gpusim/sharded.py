@@ -30,6 +30,13 @@ Transfers: each pool member needs its own copy of the coordinate array
 (stage-A/B tile loads read device-global memory), so uploads are charged
 per device on its own clock/lane; the pool-level charge is the slowest
 member's copy (the links overlap), not the sum.
+
+Robustness: an optional :class:`~repro.gpusim.faults.FaultPlan` arms a
+deterministic injector; sweeps then survive transient kernel faults
+(bounded retries, exponential backoff on the modeled clock), corrupted
+uploads (checksum + re-transfer), and permanent dropouts (remaining
+tiles reassigned to survivors) while returning a best move bit-identical
+to the fault-free sweep.  See docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
@@ -40,8 +47,16 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import GpuSimError
+from repro.errors import DeviceLostError, GpuSimError
 from repro.gpusim.device import DeviceSpec, GPUDeviceSpec, get_device
+from repro.gpusim.faults import (
+    FaultCounters,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    as_fault_plan,
+)
 from repro.gpusim.kernel import LaunchConfig
 from repro.gpusim.multidevice import DISPATCH_OVERHEAD_S, DeviceLoad, Policy
 from repro.gpusim.stats import KernelStats
@@ -100,6 +115,9 @@ class ShardedSweep:
     loads: list[DeviceLoad] = field(default_factory=list)
     #: per-device instrumented stats, pool order
     device_stats: list[KernelStats] = field(default_factory=list)
+    #: per-device fault/recovery accounting, pool order (all zero when
+    #: no fault plan is active)
+    fault_counters: list[FaultCounters] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -108,6 +126,18 @@ class ShardedSweep:
     @property
     def total_work(self) -> float:
         return sum(l.busy_seconds for l in self.loads)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(c.faults_injected for c in self.fault_counters)
+
+    @property
+    def retries(self) -> int:
+        return sum(c.retries for c in self.fault_counters)
+
+    @property
+    def tiles_reassigned(self) -> int:
+        return sum(c.tiles_reassigned for c in self.fault_counters)
 
 
 class MultiDeviceExecutor:
@@ -129,6 +159,16 @@ class MultiDeviceExecutor:
     range_size:
         Optional explicit tile range size (tests); defaults to the
         pool-minimum shared-memory capacity.
+    retry:
+        :class:`~repro.gpusim.faults.RetryPolicy` for transient kernel
+        faults and corrupted uploads; backoff is charged to the faulting
+        member's modeled clock.
+    faults:
+        Optional fault schedule — a :class:`~repro.gpusim.faults.
+        FaultPlan`, a spec string (``FaultPlan.parse`` grammar), or a
+        sequence of :class:`~repro.gpusim.faults.FaultEvent`.  One
+        injector spans all sweeps this executor runs, so dropouts are
+        permanent across scans.
     """
 
     def __init__(
@@ -139,6 +179,8 @@ class MultiDeviceExecutor:
         launch: Optional[LaunchConfig] = None,
         range_size: Optional[int] = None,
         dispatch_overhead_s: float = DISPATCH_OVERHEAD_S,
+        retry: Optional[RetryPolicy] = None,
+        faults: Union[FaultPlan, str, Sequence[FaultEvent], None] = None,
     ) -> None:
         if policy not in ("round-robin", "lpt", "dynamic"):
             raise GpuSimError(f"unknown policy {policy!r}")
@@ -152,9 +194,22 @@ class MultiDeviceExecutor:
         self.dispatch_overhead_s = dispatch_overhead_s
         #: telemetry lane per pool member: "<key>#<index>"
         self.lanes = [f"{k}#{i}" for i, k in enumerate(self.keys)]
+        self.retry = retry or RetryPolicy()
+        self.faults = as_fault_plan(faults)
+        self._injector: Optional[FaultInjector] = (
+            self.faults.injector()
+            if self.faults is not None and not self.faults.is_empty else None
+        )
+        #: lifetime fault/recovery totals per pool member (all sweeps)
+        self.fault_counters = [FaultCounters() for _ in self.devices]
         self._plans: dict[int, SweepPlan] = {}
 
     # -- schedule ----------------------------------------------------------
+
+    @property
+    def fault_injection_active(self) -> bool:
+        """True when sweeps run under a (non-empty) fault plan."""
+        return self._injector is not None
 
     @property
     def pool_size(self) -> int:
@@ -283,44 +338,101 @@ class MultiDeviceExecutor:
         kernel time plus the dispatch overhead, and the cross-device
         reduction uses the exact ``(delta, linear index)`` tie-break of
         ``tiled_best_move``. Returns the sweep's best move plus
-        per-device loads and stats.
+        per-device loads, stats, and fault counters.
+
+        With a fault plan active, each pool member runs behind a
+        :class:`~repro.gpusim.executor.GPUExecutor`: staged uploads are
+        checksum-verified, transient kernel faults retry with backoff
+        charged to the member's clock, and a permanent dropout hands the
+        dead member's remaining tiles to the least-loaded survivor.
+        Because the ``(delta, linear index)`` reduction is
+        order-independent and every tile still runs exactly once on an
+        uncorrupted buffer, a recovered sweep returns the *same best
+        move, bit for bit,* as the fault-free sweep — only its makespan
+        and counters differ.  :class:`~repro.errors.DeviceLostError`
+        surfaces only if every pool member is lost;
+        :class:`~repro.errors.RetryExhaustedError` if a fault outlives
+        the retry budget.
         """
         from repro.core.pair_indexing import linear_from_pair
         from repro.core.tiling import TwoOptKernelTiled
-        from repro.gpusim.executor import launch_kernel
+        from repro.gpusim.executor import GPUExecutor
 
         c = np.ascontiguousarray(coords_ordered, dtype=np.float32)
         n = c.shape[0]
         plan = self.plan(n)
         tiles = list(self.schedule(n).tiles())
         kernel = TwoOptKernelTiled()
+        inj = self._injector
+        if inj is not None:
+            inj.begin_sweep()
+
+        execs = [
+            GPUExecutor(self.devices[d], self.launches[d], retry=self.retry,
+                        injector=inj, device_index=d, track=self.lanes[d])
+            for d in range(self.pool_size)
+        ]
+        device_stats = [KernelStats() for _ in range(self.pool_size)]
+        buffers: list[Optional[np.ndarray]] = [None] * self.pool_size
+        completed = [0] * self.pool_size
 
         best = (np.iinfo(np.int64).max, np.iinfo(np.int64).max, -1, -1)
-        loads: list[DeviceLoad] = []
-        device_stats: list[KernelStats] = []
+
+        def run_tile(d: int, t_idx: int) -> None:
+            nonlocal best
+            if buffers[d] is None:
+                buffers[d] = (execs[d].stage_upload(c)
+                              if inj is not None else c)
+            res = execs[d].launch(
+                kernel, stats=device_stats[d], fault_key=t_idx,
+                dispatch_overhead_s=self.dispatch_overhead_s,
+                coords_ordered=buffers[d], tile=tiles[t_idx],
+            )
+            completed[d] += 1
+            delta, i, j = res.output
+            if i < 0:
+                return
+            key = (delta, linear_from_pair(i, j), i, j)
+            if key < best:
+                best = key
+
+        orphans: list[int] = []
         for d in range(self.pool_size):
-            dev_stats = KernelStats()
-            clock = 0.0
-            for t_idx in plan.assignment[d]:
-                res = launch_kernel(
-                    kernel, self.devices[d], self.launches[d],
-                    stats=dev_stats, track=self.lanes[d],
-                    coords_ordered=c, tile=tiles[t_idx],
-                )
-                clock += res.time.total + self.dispatch_overhead_s
-                delta, i, j = res.output
-                if i < 0:
-                    continue
-                key = (delta, linear_from_pair(i, j), i, j)
-                if key < best:
-                    best = key
+            pending = list(plan.assignment[d])
+            while pending:
+                if inj is not None and execs[d].check_dropout(completed[d]):
+                    orphans.extend(pending)
+                    break
+                run_tile(d, pending.pop(0))
+
+        # Recovery: a dead member's remaining tiles go, in schedule
+        # order, to the least-loaded survivor (modeled clock, then pool
+        # index).  The reduction is order-independent, so reassignment
+        # cannot change the sweep's best move.
+        for t_idx in orphans:
+            while True:
+                alive = [d for d in range(self.pool_size) if execs[d].alive]
+                if not alive:
+                    raise DeviceLostError("all pool members lost mid-sweep")
+                d = min(alive, key=lambda m: (execs[m].clock, m))
+                if execs[d].check_dropout(completed[d]):
+                    continue  # this survivor just died too; pick another
+                run_tile(d, t_idx)
+                execs[d].counters.tiles_reassigned += 1
+                execs[d].record_fault_metric("tiles_reassigned")
+                break
+
+        loads: list[DeviceLoad] = []
+        counters: list[FaultCounters] = []
+        for d in range(self.pool_size):
             loads.append(DeviceLoad(
-                device_key=self.keys[d], tiles=len(plan.assignment[d]),
-                busy_seconds=clock,
+                device_key=self.keys[d], tiles=completed[d],
+                busy_seconds=execs[d].clock,
             ))
-            device_stats.append(dev_stats)
+            counters.append(execs[d].counters)
+            self.fault_counters[d] += execs[d].counters
             if stats is not None:
-                stats += dev_stats
+                stats += device_stats[d]
 
         found = best[2] >= 0
         return ShardedSweep(
@@ -328,4 +440,5 @@ class MultiDeviceExecutor:
             delta=int(best[0]) if found else 0,
             i=best[2], j=best[3],
             loads=loads, device_stats=device_stats,
+            fault_counters=counters,
         )

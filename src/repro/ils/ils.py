@@ -21,12 +21,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.checkpoint import (
+    Checkpoint,
+    PathLike,
+    decode_array,
+    decode_rng,
+    encode_array,
+    encode_rng,
+    resolve_checkpoint,
+    save_checkpoint,
+)
 from repro.core.local_search import LocalSearch, LocalSearchResult
-from repro.errors import SolverError
+from repro.errors import CheckpointError, SolverError
 from repro.ils.acceptance import AcceptanceCriterion, BetterAcceptance
 from repro.ils.perturbation import DoubleBridgePerturbation, Perturbation
 from repro.ils.termination import IterationLimit, TerminationCondition
@@ -106,12 +116,44 @@ class IteratedLocalSearch:
         res = self.local_search.run(coords, max_moves=max_moves)
         return order[res.order], res.final_length, res
 
+    # -- checkpointing -----------------------------------------------------
+
+    _CHECKPOINT_KIND = "ils"
+
+    def _checkpoint_payload(
+        self, instance: TSPInstance, *, iterations: int, accepted: int,
+        stall: int, modeled: float, initial_length: int,
+        best_order: np.ndarray, best_length: int,
+        trace: list[tuple[float, int]], reg: MetricsRegistry,
+    ) -> dict:
+        """Everything a resumed run needs to continue bit-identically."""
+        payload = {
+            "instance": {"name": instance.name, "n": instance.n},
+            "iterations": iterations,
+            "accepted": accepted,
+            "stall": stall,
+            "modeled_seconds": modeled,
+            "initial_length": int(initial_length),
+            "best_length": int(best_length),
+            "best_order": encode_array(best_order),
+            "trace": [[t, int(length)] for t, length in trace],
+            "rng": encode_rng(self.rng),
+            "counters": {n_: c.value for n_, c in reg.counters.items()},
+        }
+        state_fn = getattr(self.perturbation, "state_dict", None)
+        if callable(state_fn):
+            payload["perturbation"] = state_fn()
+        return payload
+
     def run(
         self,
         instance: TSPInstance,
         *,
         initial_order: Optional[np.ndarray] = None,
         max_moves_per_search: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[PathLike] = None,
+        resume_from: Union[Checkpoint, PathLike, None] = None,
     ) -> ILSResult:
         """Run ILS on *instance* from a random tour (the paper's s0).
 
@@ -119,35 +161,71 @@ class IteratedLocalSearch:
         a telemetry span and charges an ``ils.*`` counter in the result's
         :class:`~repro.telemetry.MetricsRegistry`, so the §I time-share
         claim is a derived metric rather than a hand-rolled sum.
+
+        Checkpointing: with ``checkpoint_every=k`` and
+        ``checkpoint_path``, the full loop state (incumbent, RNG stream,
+        modeled clock, phase counters, Fig. 11 trace) is atomically
+        written every k iterations; ``resume_from`` (a path or a loaded
+        :class:`~repro.core.checkpoint.Checkpoint`) continues such a run
+        and — because the RNG stream is restored exactly — reaches the
+        same final tour as the uninterrupted run with the same seed.
         """
         if instance.coords is None:
             raise SolverError("ILS requires coordinate instances")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise SolverError("checkpoint_every must be >= 1")
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise SolverError("checkpoint_every needs a checkpoint_path")
+        cp = resolve_checkpoint(resume_from, kind=self._CHECKPOINT_KIND)
         t0 = time.perf_counter()
         tracer = get_tracer()
         reg = MetricsRegistry()
         n = instance.n
-        if initial_order is None:
-            order = self.rng.permutation(n).astype(np.int64)
-        else:
-            order = validate_tour(initial_order, n)
 
         modeled = 0.0
         trace: list[tuple[float, int]] = []
 
         with tracer.span("ils", category="ils", instance=instance.name,
                          n=n) as ils_span:
-            order, length, res = self._optimize(
-                instance, order, max_moves_per_search
-            )
-            initial_length = res.initial_length
-            modeled += res.modeled_seconds
-            reg.counter("ils.local_search.modeled_seconds").inc(res.modeled_seconds)
-            trace.append((modeled, length))
+            if cp is not None:
+                p = cp.payload
+                meta = p.get("instance", {})
+                if meta.get("name") != instance.name or meta.get("n") != n:
+                    raise CheckpointError(
+                        f"checkpoint is for {meta.get('name')!r} "
+                        f"(n={meta.get('n')}), not {instance.name!r} (n={n})")
+                best_order = validate_tour(decode_array(p["best_order"]), n)
+                best_length = int(p["best_length"])
+                initial_length = int(p["initial_length"])
+                iterations = int(p["iterations"])
+                accepted = int(p["accepted"])
+                stall = int(p["stall"])
+                modeled = float(p["modeled_seconds"])
+                trace = [(float(t), int(length)) for t, length in p["trace"]]
+                self.rng = decode_rng(p["rng"])
+                for name, value in p.get("counters", {}).items():
+                    reg.counter(name).inc(value)
+                pstate = p.get("perturbation")
+                load_fn = getattr(self.perturbation, "load_state_dict", None)
+                if pstate is not None and callable(load_fn):
+                    load_fn(pstate)
+            else:
+                if initial_order is None:
+                    order = self.rng.permutation(n).astype(np.int64)
+                else:
+                    order = validate_tour(initial_order, n)
+                order, length, res = self._optimize(
+                    instance, order, max_moves_per_search
+                )
+                initial_length = res.initial_length
+                modeled += res.modeled_seconds
+                reg.counter("ils.local_search.modeled_seconds").inc(res.modeled_seconds)
+                trace.append((modeled, length))
 
-            best_order, best_length = order, length
-            iterations = 0
-            accepted = 0
-            stall = 0
+                best_order, best_length = order, length
+                iterations = 0
+                accepted = 0
+                stall = 0
             while not self.termination.should_stop(
                 iteration=iterations, modeled_seconds=modeled,
                 wall_seconds=time.perf_counter() - t0,
@@ -191,6 +269,18 @@ class IteratedLocalSearch:
                 if callable(notify):
                     notify(improved)
                 trace.append((modeled, best_length))
+                if (checkpoint_path is not None and checkpoint_every is not None
+                        and iterations % checkpoint_every == 0):
+                    save_checkpoint(
+                        checkpoint_path, self._CHECKPOINT_KIND,
+                        self._checkpoint_payload(
+                            instance, iterations=iterations, accepted=accepted,
+                            stall=stall, modeled=modeled,
+                            initial_length=initial_length,
+                            best_order=best_order, best_length=best_length,
+                            trace=trace, reg=reg,
+                        ),
+                    )
 
             reg.counter("ils.iterations").inc(iterations)
             reg.counter("ils.accepted").inc(accepted)

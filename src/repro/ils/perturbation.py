@@ -81,6 +81,16 @@ class AdaptivePerturbation:
             out = double_bridge(out, rng)
         return out
 
+    # -- checkpoint protocol (duck-typed by IteratedLocalSearch) -----------
+
+    def state_dict(self) -> dict:
+        """Adaptive state captured into ILS checkpoints."""
+        return {"kicks": self.kicks, "stall": self._stall}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.kicks = int(state.get("kicks", 1))
+        self._stall = int(state.get("stall", 0))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"AdaptivePerturbation(kicks={self.kicks}, "
                 f"patience={self.patience}, max_kicks={self.max_kicks})")

@@ -12,7 +12,11 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.errors import TSPLIBFormatError, UnsupportedEdgeWeightError
+from repro.errors import (
+    TSPLIBError,
+    TSPLIBFormatError,
+    UnsupportedEdgeWeightError,
+)
 from repro.tsplib.distances import EdgeWeightType
 from repro.tsplib.instance import TSPInstance
 
@@ -167,9 +171,21 @@ def _assemble_matrix(values: list[int], n: int, fmt: str) -> np.ndarray:
 
 
 def load_tsplib(path: str | os.PathLike) -> TSPInstance:
-    """Load a ``.tsp`` file from disk."""
-    with open(path, "r", encoding="utf-8") as fh:
-        text = fh.read()
+    """Load a ``.tsp`` file from disk.
+
+    Unreadable paths and non-text content surface as :class:`TSPLIBError`
+    (not bare ``OSError``/``UnicodeDecodeError``) so callers can treat
+    every malformed-input failure uniformly.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise TSPLIBError(f"cannot read TSPLIB file {path!r}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise TSPLIBError(
+            f"TSPLIB file {path!r} is not UTF-8 text: {exc}"
+        ) from exc
     base = os.path.splitext(os.path.basename(os.fspath(path)))[0]
     return loads_tsplib(text, name=base)
 

@@ -1,0 +1,206 @@
+"""Checkpoint/resume: format integrity and the round-trip guarantee.
+
+The guarantee under test: ``resume(checkpoint(run))`` is indistinguishable
+from the uninterrupted run — same tour, same RNG stream, same modeled
+clock, same trace.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import (
+    Checkpoint,
+    CHECKPOINT_VERSION,
+    decode_array,
+    decode_rng,
+    encode_array,
+    encode_rng,
+    load_checkpoint,
+    payload_digest,
+    save_checkpoint,
+)
+from repro.core.local_search import LocalSearch
+from repro.errors import CheckpointError
+from repro.ils.ils import IteratedLocalSearch
+from repro.ils.termination import IterationLimit
+from repro.tsplib.generators import generate_instance
+
+
+class TestFormat:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        payload = {"x": 1, "arr": encode_array(np.arange(5, dtype=np.int64))}
+        save_checkpoint(path, "test", payload)
+        cp = load_checkpoint(path, kind="test")
+        assert cp.kind == "test"
+        assert cp.version == CHECKPOINT_VERSION
+        assert cp.payload["x"] == 1
+        assert np.array_equal(decode_array(cp.payload["arr"]), np.arange(5))
+
+    def test_digest_tamper_detected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, "test", {"length": 100})
+        doc = json.loads(path.read_text())
+        doc["payload"]["length"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(path)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, "ils", {"a": 1})
+        with pytest.raises(CheckpointError, match="kind"):
+            load_checkpoint(path, kind="local-search")
+
+    def test_unreadable_and_malformed(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(wrong)
+
+    def test_atomic_save_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "ck.json"
+        for i in range(3):
+            save_checkpoint(path, "test", {"i": i})
+        assert sorted(os.listdir(tmp_path)) == ["ck.json"]
+        assert load_checkpoint(path).payload["i"] == 2
+
+    def test_unserializable_payload_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            save_checkpoint(tmp_path / "ck.json", "test",
+                            {"arr": np.arange(3)})
+
+    def test_digest_is_canonical(self):
+        a = {"b": 1, "a": [1, 2]}
+        b = {"a": [1, 2], "b": 1}
+        assert payload_digest(a) == payload_digest(b)
+        assert Checkpoint(kind="k", payload=a).payload is a
+
+
+class TestRngRoundTrip:
+    @given(seed=st.integers(0, 2**32 - 1), pre=st.integers(0, 64),
+           post=st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_stream_continues_exactly(self, seed, pre, post):
+        rng = np.random.default_rng(seed)
+        rng.random(pre)
+        restored = decode_rng(json.loads(json.dumps(encode_rng(rng))))
+        assert np.array_equal(rng.random(post), restored.random(post))
+        assert np.array_equal(rng.permutation(10), restored.permutation(10))
+
+
+class TestLocalSearchResume:
+    @pytest.mark.parametrize("strategy", ["best", "batch"])
+    def test_resume_equals_uninterrupted(self, tmp_path, strategy):
+        inst = generate_instance(150, seed=2)
+        c = inst.coords_float32()
+        full = LocalSearch("gtx680-cuda", strategy=strategy).run(c.copy())
+
+        path = tmp_path / "ls.json"
+        ls = LocalSearch("gtx680-cuda", strategy=strategy)
+        partial = ls.run(c.copy(), max_scans=4, checkpoint_every=1,
+                         checkpoint_path=path)
+        assert partial.scans == 4
+        resumed = LocalSearch("gtx680-cuda", strategy=strategy).run(
+            c.copy(), resume_from=path)
+
+        assert resumed.final_length == full.final_length
+        assert np.array_equal(resumed.order, full.order)
+        assert resumed.scans == full.scans
+        assert resumed.moves_applied == full.moves_applied
+        assert resumed.modeled_seconds == pytest.approx(full.modeled_seconds)
+        assert resumed.trace == full.trace
+
+    def test_wrong_instance_rejected(self, tmp_path):
+        path = tmp_path / "ls.json"
+        c = generate_instance(120, seed=0).coords_float32()
+        LocalSearch("gtx680-cuda").run(c.copy(), max_scans=3,
+                                       checkpoint_every=1,
+                                       checkpoint_path=path)
+        other = generate_instance(120, seed=1).coords_float32()
+        with pytest.raises(CheckpointError):
+            LocalSearch("gtx680-cuda").run(other, resume_from=path)
+
+    def test_wrong_config_rejected(self, tmp_path):
+        path = tmp_path / "ls.json"
+        c = generate_instance(120, seed=0).coords_float32()
+        LocalSearch("gtx680-cuda", strategy="best").run(
+            c.copy(), max_scans=3, checkpoint_every=1, checkpoint_path=path)
+        with pytest.raises(CheckpointError, match="strategy"):
+            LocalSearch("gtx680-cuda", strategy="batch").run(
+                c.copy(), resume_from=path)
+
+
+class TestIlsResume:
+    @given(seed=st.integers(0, 10_000), total=st.integers(3, 7),
+           cut=st.integers(1, 6))
+    @settings(max_examples=8, deadline=None)
+    def test_resume_equals_uninterrupted(self, tmp_path_factory, seed,
+                                         total, cut):
+        cut = min(cut, total - 1) or 1
+        inst = generate_instance(80, seed=3)
+
+        def search():
+            return LocalSearch("gtx680-cuda", strategy="batch")
+
+        full = IteratedLocalSearch(
+            search(), termination=IterationLimit(total), seed=seed,
+        ).run(inst)
+
+        path = tmp_path_factory.mktemp("ils") / "ck.json"
+        IteratedLocalSearch(
+            search(), termination=IterationLimit(cut), seed=seed,
+        ).run(inst, checkpoint_every=1, checkpoint_path=path)
+        resumed = IteratedLocalSearch(
+            search(), termination=IterationLimit(total), seed=seed,
+        ).run(inst, resume_from=path)
+
+        assert resumed.iterations == full.iterations
+        assert resumed.best_length == full.best_length
+        assert np.array_equal(resumed.best_order, full.best_order)
+        assert resumed.modeled_seconds == pytest.approx(full.modeled_seconds)
+        assert resumed.trace == full.trace
+
+    def test_wrong_instance_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ls = LocalSearch("gtx680-cuda", strategy="batch")
+        ils = IteratedLocalSearch(ls, termination=IterationLimit(2), seed=0)
+        ils.run(generate_instance(80, seed=0), checkpoint_every=1,
+                checkpoint_path=path)
+        other = generate_instance(90, seed=0)
+        fresh = IteratedLocalSearch(
+            LocalSearch("gtx680-cuda", strategy="batch"),
+            termination=IterationLimit(4), seed=0,
+        )
+        with pytest.raises(CheckpointError):
+            fresh.run(other, resume_from=path)
+
+
+class TestSolverResume:
+    def test_solver_level_round_trip(self, tmp_path):
+        from repro.core.solver import TwoOptSolver
+
+        inst = generate_instance(150, seed=4)
+        full = TwoOptSolver("gtx680-cuda", strategy="best").solve(inst)
+
+        path = tmp_path / "solve.json"
+        TwoOptSolver("gtx680-cuda", strategy="best").solve(
+            inst, max_scans=5, checkpoint_every=1, checkpoint_path=path)
+        resumed = TwoOptSolver("gtx680-cuda", strategy="best").solve(
+            inst, resume_from=path)
+
+        assert resumed.final_length == full.final_length
+        assert np.array_equal(resumed.tour.order, full.tour.order)
+        assert resumed.search.modeled_seconds == pytest.approx(
+            full.search.modeled_seconds)

@@ -143,6 +143,125 @@ class TestSolveJson:
         assert "telemetry" not in payload
 
 
+class TestErrorHandling:
+    """Expected failures exit 2 with one line on stderr (satellite 1)."""
+
+    def test_bad_device_key(self, capsys):
+        assert main(["solve", "--n", "50", "--device", "gtx680cuda"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+        assert "did you mean 'gtx680-cuda'" in err
+
+    def test_malformed_tsplib_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tsp"
+        bad.write_bytes(b"\x80\x81\xff\xfe not text")
+        assert main(["solve", "--file", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not UTF-8" in err
+
+    def test_missing_tsplib_file(self, capsys):
+        assert main(["solve", "--file", "/nonexistent/x.tsp"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch):
+        """A KeyboardInterrupt in any handler maps to exit code 130."""
+        import repro.cli as cli_mod
+
+        real = cli_mod.build_parser
+
+        def patched():
+            p = real()
+            sub = p._subparsers._group_actions[0]
+            for sp in sub.choices.values():
+                sp.set_defaults(func=lambda a: (_ for _ in ()).throw(
+                    KeyboardInterrupt()))
+            return p
+
+        monkeypatch.setattr(cli_mod, "build_parser", patched)
+        assert cli_mod.main(["devices"]) == 130
+
+
+class TestFaultFlags:
+    def test_inject_faults_single_device_pool(self, capsys):
+        import json
+
+        assert main([
+            "solve", "--n", "150", "--seed", "1", "--json",
+            "--inject-faults", "rate:transient=0.3,seed=4", "--retries", "4",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "multi-gpu"   # pool of one
+        assert payload["strategy"] == "best"       # forced by fault injection
+        total = sum(c["faults_injected"] for c in payload["faults"])
+        assert total > 0
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        assert main(["solve", "--n", "50",
+                     "--inject-faults", "meteor:device=0"]) == 2
+        assert "fault" in capsys.readouterr().err
+
+    def test_exhausted_retries_exit_2(self, capsys):
+        assert main([
+            "solve", "--n", "220", "--devices", "gtx680-cuda,gtx680-cuda",
+            "--inject-faults", "corruption:device=0,count=9", "--retries", "2",
+        ]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_fault_recovery_command(self, capsys):
+        assert main(["fault-recovery", "--n", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault recovery" in out
+        assert "bit-identical" in out
+
+
+class TestCheckpointFlags:
+    def test_solve_checkpoint_then_resume(self, tmp_path, capsys):
+        import json
+
+        ck = tmp_path / "ck.json"
+        base = ["solve", "--n", "150", "--seed", "6", "--strategy", "best",
+                "--json"]
+        assert main(base) == 0
+        full = json.loads(capsys.readouterr().out)
+
+        assert main(base + ["--checkpoint", str(ck),
+                            "--checkpoint-every", "2"]) == 0
+        capsys.readouterr()
+        assert ck.exists()
+        assert main(base + ["--resume", str(ck)]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["final_length"] == full["final_length"]
+        assert resumed["modeled_seconds"] == pytest.approx(
+            full["modeled_seconds"])
+
+    def test_profile_checkpoint_then_resume(self, tmp_path, capsys):
+        import json
+
+        ck = tmp_path / "ils.json"
+        assert main(["profile", "--n", "100", "--iterations", "2",
+                     "--checkpoint", str(ck), "--json"]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--n", "100", "--iterations", "5",
+                     "--resume", str(ck), "--json"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert main(["profile", "--n", "100", "--iterations", "5",
+                     "--json"]) == 0
+        full = json.loads(capsys.readouterr().out)
+        assert resumed["iterations"] == 5
+        assert resumed["best_length"] == full["best_length"]
+        assert resumed["modeled_seconds"] == pytest.approx(
+            full["modeled_seconds"])
+
+    def test_corrupt_checkpoint_exits_2(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        ck.write_text("{broken")
+        assert main(["solve", "--n", "100", "--strategy", "best",
+                     "--resume", str(ck)]) == 2
+        assert "checkpoint" in capsys.readouterr().err.lower()
+
+
 class TestProfileCommand:
     def test_registered_in_parser(self):
         args = build_parser().parse_args(["profile", "--n", "50"])

@@ -40,11 +40,56 @@ class TestPublicAPI:
 
     def test_errors_inherit_reproerror(self):
         from repro.errors import (
+            CheckpointError,
+            DeviceLostError,
+            FaultError,
             GpuSimError,
+            RetryExhaustedError,
             SolverError,
             TourError,
+            TransferCorruptionError,
+            TransientKernelFault,
             TSPLIBError,
         )
 
-        for exc in (GpuSimError, SolverError, TourError, TSPLIBError):
+        for exc in (GpuSimError, SolverError, TourError, TSPLIBError,
+                    FaultError, CheckpointError):
             assert issubclass(exc, repro.ReproError)
+        for exc in (DeviceLostError, RetryExhaustedError,
+                    TransferCorruptionError, TransientKernelFault):
+            assert issubclass(exc, FaultError)
+
+    def test_fault_api_exposed(self):
+        from repro.gpusim import (
+            FaultCounters,
+            FaultEvent,
+            FaultInjector,
+            FaultPlan,
+            GPUExecutor,
+            RetryPolicy,
+            buffer_checksum,
+        )
+
+        plan = FaultPlan.parse("transient:device=0,tile=1")
+        assert isinstance(plan.injector(), FaultInjector)
+        assert plan.events == (FaultEvent("transient", 0, tile=1),)
+        assert RetryPolicy().max_attempts == 3
+        assert FaultCounters().faults_injected == 0
+        assert buffer_checksum(np.zeros(4, dtype=np.float32)) == \
+            buffer_checksum(np.zeros(4, dtype=np.float32))
+        assert GPUExecutor is not None
+
+    def test_checkpoint_api_exposed(self, tmp_path):
+        from repro.core import (
+            CHECKPOINT_VERSION,
+            Checkpoint,
+            load_checkpoint,
+            save_checkpoint,
+        )
+
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, "test", {"x": 1})
+        cp = load_checkpoint(path, kind="test")
+        assert isinstance(cp, Checkpoint)
+        assert cp.version == CHECKPOINT_VERSION
+        assert cp.payload == {"x": 1}
