@@ -4,6 +4,14 @@ from repro.analysis.memory_table import memory_requirements, MemoryRow
 from repro.analysis.flops import scan_flops, gflops_for_scan
 from repro.analysis.speedup import speedup_series, SpeedupPoint
 from repro.analysis.convergence import ConvergenceCurve, downsample_trace
+from repro.analysis.roofline import (
+    DeviceRoofline,
+    LaunchSample,
+    aggregate,
+    launch_samples,
+    render_roofline,
+    run_recorded_sweep,
+)
 
 __all__ = [
     "memory_requirements",
@@ -14,4 +22,10 @@ __all__ = [
     "SpeedupPoint",
     "ConvergenceCurve",
     "downsample_trace",
+    "LaunchSample",
+    "DeviceRoofline",
+    "launch_samples",
+    "aggregate",
+    "render_roofline",
+    "run_recorded_sweep",
 ]

@@ -64,11 +64,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             max_attempts=args.retries if args.retries is not None else 3,
             base_backoff_s=args.backoff if args.backoff is not None else 100e-6,
         )
-    # fault injection needs the real sweeps: strategy 'best' unless the
-    # user explicitly asked otherwise
-    strategy = args.strategy or ("best" if args.inject_faults else "batch")
+    # fault injection and simulate mode need the real sweeps: strategy
+    # 'best' unless the user explicitly asked otherwise
+    simulate = args.inject_faults or args.mode == "simulate"
+    strategy = args.strategy or ("best" if simulate else "batch")
     solver_kw = dict(strategy=strategy, retry=retry,
-                     faults=args.inject_faults)
+                     faults=args.inject_faults, mode=args.mode)
     if getattr(args, "devices", None):
         pool = [d.strip() for d in args.devices.split(",") if d.strip()]
         solver = TwoOptSolver(pool, **solver_kw)
@@ -323,6 +324,69 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the bench suite; optionally gate against a baseline (exit 3)."""
+    import json
+
+    from repro.telemetry.bench import (
+        BenchRunner,
+        append_ledger,
+        compare_runs,
+        load_run,
+        render_comparison,
+        render_run,
+        run_to_dict,
+        save_run,
+    )
+
+    runner = BenchRunner(smoke=args.smoke, label=args.label,
+                         scenarios=args.scenario or None)
+    run = runner.run()
+    path = save_run(run, args.out_dir)
+    if not args.no_ledger:
+        ledger = append_ledger(run, args.ledger)
+    if args.json:
+        print(json.dumps(run_to_dict(run), indent=2))
+    else:
+        print(render_run(run))
+        print(f"\nbench file : {path}")
+        if not args.no_ledger:
+            print(f"ledger     : {ledger}")
+    report = None
+    if args.against:
+        report = compare_runs(load_run(args.against), run)
+        if not args.json:
+            print()
+            print(render_comparison(report))
+    if report is not None and not report.ok:
+        return 3
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the observatory dashboard from recorded artifacts."""
+    from repro.telemetry.bench import compare_runs, load_ledger, load_run
+    from repro.telemetry.dashboard import (
+        load_trace,
+        render_dashboard_ascii,
+        write_dashboard,
+    )
+
+    runs = load_ledger(args.ledger)
+    trace = load_trace(args.trace) if args.trace else None
+    comparison = None
+    if args.against and runs:
+        comparison = compare_runs(load_run(args.against), runs[-1])
+    if args.ascii:
+        print(render_dashboard_ascii(runs, trace=trace,
+                                     comparison=comparison))
+        return 0
+    path = write_dashboard(args.out, runs, trace=trace,
+                           comparison=comparison)
+    print(f"dashboard written to {path}")
+    return 0
+
+
 def _cmd_devices(args: argparse.Namespace) -> int:
     from repro.gpusim.device import DEVICES
     from repro.utils.tables import render_table
@@ -349,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="GPU-accelerated 2-opt TSP local optimization "
                     "(Rocki & Suda, IPDPSW 2013) — simulated reproduction.",
     )
+    p.add_argument("--log-level", default=None, metavar="LEVEL",
+                   choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+                   help="bridge telemetry spans and fault events to stderr "
+                        "logging at LEVEL (DEBUG shows span opens)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit log records as one JSON object per line "
+                        "(implies --log-level INFO unless given)")
     sub = p.add_subparsers(dest="command", required=True)
 
     s = sub.add_parser("solve", help="optimize one instance")
@@ -364,6 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--strategy", choices=["best", "batch"], default=None,
                    help="move application strategy (default: batch; "
                         "best when --inject-faults is given)")
+    s.add_argument("--mode", choices=["fast", "simulate"], default="fast",
+                   help="'simulate' runs every scan through the "
+                        "instrumented SIMT executor (slower; records "
+                        "per-launch roofline samples for the dashboard)")
     s.add_argument("--initial", default="greedy",
                    choices=["greedy", "nearest-neighbor", "random", "identity"])
     s.add_argument("--json", action="store_true",
@@ -460,6 +535,48 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(func=_cmd_fault_recovery)
 
+    s = sub.add_parser(
+        "bench",
+        help="run the bench suite; write BENCH_<label>.json + ledger line; "
+             "--against gates on a baseline (exit 3 on regression)",
+    )
+    s.add_argument("--smoke", action="store_true",
+                   help="run only the fast smoke subset of the suite")
+    s.add_argument("--label", default=None,
+                   help="run label (default: 'smoke' or 'full')")
+    s.add_argument("--scenario", action="append", default=None,
+                   metavar="KEY", help="run only this scenario (repeatable)")
+    s.add_argument("--against", default=None, metavar="BENCH_FILE",
+                   help="baseline BENCH_*.json to gate against; any "
+                        "regression exits with code 3")
+    s.add_argument("--out-dir", default=".", metavar="DIR",
+                   help="directory for the BENCH_<label>.json file")
+    s.add_argument("--ledger", default="benchmarks/ledger.jsonl",
+                   metavar="FILE", help="append-only run ledger")
+    s.add_argument("--no-ledger", action="store_true",
+                   help="skip the ledger append")
+    s.add_argument("--json", action="store_true",
+                   help="print the run as JSON instead of the table")
+    s.set_defaults(func=_cmd_bench)
+
+    s = sub.add_parser(
+        "dashboard",
+        help="render the run dashboard (HTML, or --ascii for terminals) "
+             "from the bench ledger and an optional Chrome trace",
+    )
+    s.add_argument("--ledger", default="benchmarks/ledger.jsonl",
+                   metavar="FILE", help="bench ledger to chart")
+    s.add_argument("--trace", default=None, metavar="FILE",
+                   help="Chrome trace JSON for the roofline scatter and "
+                        "span waterfall (e.g. from solve --trace-out)")
+    s.add_argument("--against", default=None, metavar="BENCH_FILE",
+                   help="baseline to compare the ledger's latest run to")
+    s.add_argument("--out", default="dashboard.html", metavar="FILE",
+                   help="output HTML path")
+    s.add_argument("--ascii", action="store_true",
+                   help="print the terminal fallback instead of HTML")
+    s.set_defaults(func=_cmd_dashboard)
+
     s = sub.add_parser("devices", help="list the simulated device catalog")
     s.set_defaults(func=_cmd_devices)
     return p
@@ -471,13 +588,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     Expected failures (bad device key, malformed TSPLIB file, exhausted
     retries, corrupt checkpoint, ...) surface as :class:`ReproError`
     subclasses and become a one-line message on stderr with exit code 2;
-    Ctrl-C exits 130 per shell convention.  Anything else is a bug and
-    keeps its traceback.
+    Ctrl-C exits 130 per shell convention; ``bench --against`` reserves
+    exit code 3 for a failed regression gate.  Anything else is a bug
+    and keeps its traceback.
     """
     from repro.errors import ReproError
 
     try:
         args = build_parser().parse_args(argv)
+        if args.log_level is not None or args.log_json:
+            from repro.telemetry.logbridge import install_log_bridge
+
+            install_log_bridge(args.log_level or "INFO",
+                               json_output=args.log_json)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -16,6 +16,7 @@ Two layers:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -30,10 +31,14 @@ from repro.gpusim.faults import (
     buffer_checksum,
 )
 from repro.gpusim.kernel import Kernel, KernelContext, LaunchConfig
+from repro.gpusim.occupancy import occupancy
 from repro.gpusim.stats import KernelStats
 from repro.gpusim.timing_model import TimeBreakdown, predict_kernel_time
 from repro.gpusim.transfer import transfer_time
 from repro.telemetry import get_metrics, get_tracer
+from repro.telemetry.logbridge import log_fault_event
+
+_fault_log = logging.getLogger("repro.gpusim.fault")
 
 
 @dataclass
@@ -79,17 +84,43 @@ def launch_kernel(
         local, device, ctx.launch, shared_bytes=ctx.shared_bytes_used
     )
     tracer = get_tracer()
+    metrics = get_metrics()
+    if tracer.enabled or metrics.enabled:
+        # per-launch roofline/occupancy sample: what this launch attained
+        # vs what the device could do (analysis.roofline aggregates these)
+        occ = occupancy(
+            device, block_dim=ctx.launch.block_dim,
+            grid_dim=ctx.launch.grid_dim,
+            shared_bytes_per_block=ctx.shared_bytes_used,
+        )
+        attained_gflops = local.total_flops / time.total / 1e9
+        attained_bw_gbps = local.global_transactions * 128.0 / time.total / 1e9
+        intensity = (local.total_flops / local.global_bytes
+                     if local.global_bytes > 0 else 0.0)
     if tracer.enabled:
         tracer.device_event(
             kernel.name, time.total, track=track, device=device.name,
             grid_dim=ctx.launch.grid_dim, block_dim=ctx.launch.block_dim,
             compute_ms=time.compute * 1e3, memory_ms=time.memory * 1e3,
             pair_checks=local.pair_checks,
+            flops=local.total_flops,
+            global_bytes=local.global_bytes,
+            attained_gflops=attained_gflops,
+            attained_bandwidth_gbps=attained_bw_gbps,
+            arithmetic_intensity=intensity,
+            occupancy=occ.occupancy,
+            occupancy_limited_by=occ.limited_by,
+            utilization=time.utilization,
+            shared_bytes=ctx.shared_bytes_used,
         )
-    metrics = get_metrics()
     if metrics.enabled:
         metrics.counter("gpusim.launches").inc()
+        metrics.counter("gpusim.kernel_seconds").inc(time.total)
         metrics.histogram("gpusim.launch_seconds").observe(time.total)
+        metrics.histogram("gpusim.roofline.attained_gflops").observe(attained_gflops)
+        metrics.histogram("gpusim.roofline.bandwidth_gbps").observe(attained_bw_gbps)
+        metrics.histogram("gpusim.roofline.intensity").observe(intensity)
+        metrics.gauge(f"gpusim.occupancy.{track}").set(occ.occupancy)
         metrics.record_kernel_stats(local)
     if stats is not None:
         stats += local
@@ -153,11 +184,17 @@ class GPUExecutor:
         return self.injector is None or not self.injector.is_dead(self.device_index)
 
     def record_fault_metric(self, name: str, amount: float = 1.0) -> None:
-        """Bump ``gpusim.fault.<name>`` (pool total and this device's lane)."""
+        """Bump ``gpusim.fault.<name>`` (pool total and this device's lane).
+
+        Also emits one WARNING record through the ``repro.gpusim.fault``
+        logger when the log bridge (or any handler) has it enabled.
+        """
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter(f"gpusim.fault.{name}").inc(amount)
             metrics.counter(f"gpusim.fault.{name}.{self.track}").inc(amount)
+        if _fault_log.isEnabledFor(logging.WARNING):
+            log_fault_event(name, self.track, amount)
 
     def _backoff(self, failure_index: int) -> None:
         wait = self.retry.backoff_s(failure_index)

@@ -62,6 +62,7 @@ from repro.gpusim.multidevice import DISPATCH_OVERHEAD_S, DeviceLoad, Policy
 from repro.gpusim.stats import KernelStats
 from repro.gpusim.timing_model import predict_kernel_time
 from repro.gpusim.transfer import transfer_time
+from repro.telemetry import get_metrics
 
 DeviceLike = Union[str, GPUDeviceSpec]
 
@@ -422,6 +423,7 @@ class MultiDeviceExecutor:
                 execs[d].record_fault_metric("tiles_reassigned")
                 break
 
+        metrics = get_metrics()
         loads: list[DeviceLoad] = []
         counters: list[FaultCounters] = []
         for d in range(self.pool_size):
@@ -433,6 +435,14 @@ class MultiDeviceExecutor:
             self.fault_counters[d] += execs[d].counters
             if stats is not None:
                 stats += device_stats[d]
+            if metrics.enabled:
+                # one lane per pool member: load-balance visible in metrics
+                metrics.gauge(
+                    f"gpusim.pool.busy_seconds.{self.lanes[d]}"
+                ).set(execs[d].clock)
+                metrics.counter(
+                    f"gpusim.pool.tiles.{self.lanes[d]}"
+                ).inc(completed[d])
 
         found = best[2] >= 0
         return ShardedSweep(

@@ -15,7 +15,13 @@ observable in one place:
   (host spans and modeled device launches on separate tracks), and ASCII
   tree/table reports;
 * :mod:`repro.telemetry.profiler` — :class:`Profiler`, the context
-  manager that wires it all together (CLI: ``repro solve --profile``).
+  manager that wires it all together (CLI: ``repro solve --profile``);
+* :mod:`repro.telemetry.logbridge` — span/fault/bench events through
+  stdlib ``logging`` (CLI: ``repro --log-level INFO ...``);
+* :mod:`repro.telemetry.bench` — the bench ledger and regression gate
+  (CLI: ``repro bench --against BENCH_baseline.json``);
+* :mod:`repro.telemetry.dashboard` — the HTML/ASCII run dashboard over
+  the ledger and recorded traces (CLI: ``repro dashboard``).
 """
 
 from repro.telemetry.span import (
@@ -24,6 +30,7 @@ from repro.telemetry.span import (
     Span,
     Tracer,
     get_tracer,
+    set_span_listener,
     set_tracer,
 )
 from repro.telemetry.metrics import (
@@ -43,6 +50,33 @@ from repro.telemetry.export import (
     to_chrome_trace,
 )
 from repro.telemetry.profiler import Profiler
+from repro.telemetry.logbridge import (
+    JsonLogFormatter,
+    SpanLogListener,
+    install_log_bridge,
+    log_fault_event,
+    uninstall_log_bridge,
+)
+from repro.telemetry.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRun,
+    BenchRunner,
+    ComparisonReport,
+    ScenarioResult,
+    append_ledger,
+    compare_runs,
+    load_ledger,
+    load_run,
+    render_comparison,
+    render_run,
+    save_run,
+)
+from repro.telemetry.dashboard import (
+    load_trace,
+    render_dashboard_ascii,
+    render_dashboard_html,
+    write_dashboard,
+)
 
 __all__ = [
     "Span",
@@ -51,6 +85,7 @@ __all__ = [
     "NoopTracer",
     "get_tracer",
     "set_tracer",
+    "set_span_listener",
     "Counter",
     "Gauge",
     "Histogram",
@@ -64,4 +99,25 @@ __all__ = [
     "render_span_tree",
     "render_metrics",
     "Profiler",
+    "JsonLogFormatter",
+    "SpanLogListener",
+    "install_log_bridge",
+    "uninstall_log_bridge",
+    "log_fault_event",
+    "BENCH_SCHEMA_VERSION",
+    "BenchRun",
+    "BenchRunner",
+    "ScenarioResult",
+    "ComparisonReport",
+    "compare_runs",
+    "save_run",
+    "load_run",
+    "append_ledger",
+    "load_ledger",
+    "render_run",
+    "render_comparison",
+    "load_trace",
+    "render_dashboard_html",
+    "render_dashboard_ascii",
+    "write_dashboard",
 ]

@@ -1,0 +1,554 @@
+"""Bench ledger and regression gate: the performance-regression observatory.
+
+Three pieces:
+
+* **Bench runner** — :class:`BenchRunner` executes a declared suite of
+  solver scenarios (sequential baseline, simulated GPU, tiled
+  large-instance, sharded multi-GPU, faulted pool) over synthetic
+  stand-ins for the paper's berlin52→pr2392-class instances, each under
+  its own :class:`~repro.telemetry.profiler.Profiler`, and collects wall
+  + modeled timings, Table II checks/s, Fig. 9 GFLOP/s, transfer bytes,
+  and fault/retry counters into one schema-versioned :class:`BenchRun`.
+* **Ledger** — :func:`save_run` writes ``BENCH_<label>.json`` (exact
+  JSON round-trip: ``run_from_dict(run_to_dict(run)) == run``) and
+  :func:`append_ledger` appends one JSON line per run to an append-only
+  ``benchmarks/ledger.jsonl``, the data source for trend sparklines in
+  :mod:`repro.telemetry.dashboard`.
+* **Regression gate** — :func:`compare_runs` diffs two runs metric by
+  metric under per-metric policies (better direction, relative
+  tolerance, absolute noise floor); ``repro bench --against BASELINE``
+  exits non-zero when any gated metric regressed.
+
+Everything modeled is deterministic, so the gate can hold modeled
+seconds, tour lengths, and fault counters to tight tolerances; only wall
+seconds carries a wide noise floor.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.errors import ExperimentError
+
+#: bump when the BENCH_*.json / ledger line layout changes
+BENCH_SCHEMA_VERSION = 1
+
+#: default append-only ledger location, relative to the working directory
+DEFAULT_LEDGER = Path("benchmarks") / "ledger.jsonl"
+
+_log = logging.getLogger("repro.telemetry.bench")
+
+
+# -- run model ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's collected metrics within a bench run."""
+
+    scenario: str
+    n: int
+    device: str
+    backend: str
+    metrics: dict
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """One complete bench-suite execution (the unit the ledger stores)."""
+
+    label: str
+    created: str                     # ISO-8601 UTC, second resolution
+    smoke: bool
+    results: tuple
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def result(self, scenario: str) -> Optional[ScenarioResult]:
+        """The named scenario's result, or ``None`` if absent."""
+        for r in self.results:
+            if r.scenario == scenario:
+                return r
+        return None
+
+    @property
+    def scenario_keys(self) -> list[str]:
+        """Scenario keys in suite order."""
+        return [r.scenario for r in self.results]
+
+
+def run_to_dict(run: BenchRun) -> dict:
+    """Plain-dict form of *run* (the BENCH_*.json / ledger-line layout)."""
+    return {
+        "schema_version": run.schema_version,
+        "label": run.label,
+        "created": run.created,
+        "smoke": run.smoke,
+        "results": [
+            {"scenario": r.scenario, "n": r.n, "device": r.device,
+             "backend": r.backend, "metrics": dict(r.metrics)}
+            for r in run.results
+        ],
+    }
+
+
+def run_from_dict(data: dict) -> BenchRun:
+    """Rebuild a :class:`BenchRun` from its dict form; validates schema."""
+    try:
+        version = int(data["schema_version"])
+    except (KeyError, TypeError, ValueError):
+        raise ExperimentError("bench file has no schema_version") from None
+    if version != BENCH_SCHEMA_VERSION:
+        raise ExperimentError(
+            f"bench schema version {version} unsupported "
+            f"(this build reads version {BENCH_SCHEMA_VERSION})"
+        )
+    try:
+        results = tuple(
+            ScenarioResult(
+                scenario=str(r["scenario"]), n=int(r["n"]),
+                device=str(r["device"]), backend=str(r["backend"]),
+                metrics=dict(r["metrics"]),
+            )
+            for r in data["results"]
+        )
+        return BenchRun(
+            label=str(data["label"]), created=str(data["created"]),
+            smoke=bool(data["smoke"]), results=results,
+            schema_version=version,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(f"malformed bench file: {exc}") from None
+
+
+def bench_path(label: str, directory: Union[str, Path] = ".") -> Path:
+    """The conventional ``BENCH_<label>.json`` path for *label*."""
+    return Path(directory) / f"BENCH_{label}.json"
+
+
+def save_run(run: BenchRun, directory: Union[str, Path] = ".") -> Path:
+    """Write ``BENCH_<label>.json`` under *directory*; returns the path."""
+    path = bench_path(run.label, directory)
+    path.write_text(json.dumps(run_to_dict(run), indent=2) + "\n")
+    _log.info("bench run %s written to %s", run.label, path,
+              extra={"repro_fields": {"event": "bench_write",
+                                      "label": run.label, "path": str(path)}})
+    return path
+
+
+def load_run(path: Union[str, Path]) -> BenchRun:
+    """Load a ``BENCH_*.json`` file written by :func:`save_run`."""
+    p = Path(path)
+    if not p.exists():
+        raise ExperimentError(f"bench file not found: {p}")
+    try:
+        data = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"bench file {p} is not valid JSON: {exc}") from None
+    return run_from_dict(data)
+
+
+def append_ledger(run: BenchRun,
+                  path: Union[str, Path] = DEFAULT_LEDGER) -> Path:
+    """Append *run* as one JSON line to the append-only ledger."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a") as fh:
+        fh.write(json.dumps(run_to_dict(run)) + "\n")
+    _log.info("bench run %s appended to ledger %s", run.label, p,
+              extra={"repro_fields": {"event": "ledger_append",
+                                      "label": run.label, "path": str(p)}})
+    return p
+
+
+def load_ledger(path: Union[str, Path] = DEFAULT_LEDGER) -> list[BenchRun]:
+    """All runs in the ledger, oldest first (empty list if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    runs = []
+    for i, line in enumerate(p.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            runs.append(run_from_dict(json.loads(line)))
+        except (json.JSONDecodeError, ExperimentError) as exc:
+            raise ExperimentError(f"ledger {p} line {i}: {exc}") from None
+    return runs
+
+
+# -- scenario suite ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One declared entry of the bench suite."""
+
+    key: str
+    description: str
+    n: int
+    smoke: bool
+    build: Callable[[], ScenarioResult]
+
+
+def _collect_metrics(res, profiler) -> dict:
+    """Fold a solve result + its profiler into the flat metric dict."""
+    s = res.search
+    gflops = (s.stats.total_flops / s.kernel_seconds / 1e9
+              if s.kernel_seconds > 0 else 0.0)
+    metrics = {
+        "final_length": float(res.final_length),
+        "moves_applied": float(s.moves_applied),
+        "scans": float(s.scans),
+        "launches": float(s.launches),
+        "modeled_seconds": s.modeled_seconds,
+        "kernel_seconds": s.kernel_seconds,
+        "transfer_seconds": s.transfer_seconds,
+        "wall_seconds": s.wall_seconds,
+        "pair_checks": float(s.stats.pair_checks),
+        "checks_per_second": s.checks_per_second,
+        "gflops": gflops,
+    }
+    snap = profiler.metrics.snapshot()
+    counters = snap["counters"]
+    metrics["transfer_bytes"] = float(counters.get("transfer.bytes", 0.0))
+    metrics["faults_injected"] = float(counters.get("gpusim.fault.injected", 0.0))
+    metrics["retries"] = float(counters.get("gpusim.fault.retries", 0.0))
+    hist = snap["histograms"].get("gpusim.roofline.attained_gflops")
+    if hist is not None and hist["count"]:
+        metrics["roofline_attained_gflops_p50"] = hist["p50"]
+    return metrics
+
+
+def _run_solver(key: str, n: int, *, device="gtx680-cuda",
+                backend: str = "gpu", solver_kwargs: Optional[dict] = None,
+                solve_kwargs: Optional[dict] = None) -> ScenarioResult:
+    """Run one scenario: seeded instance, fresh profiler, metric sweep."""
+    from repro.core.solver import TwoOptSolver
+    from repro.telemetry.profiler import Profiler
+    from repro.tsplib.generators import generate_instance
+
+    inst = generate_instance(n, seed=n)
+    solver = TwoOptSolver(device, backend=backend, **(solver_kwargs or {}))
+    with Profiler() as prof:
+        res = solver.solve(inst, **(solve_kwargs or {}))
+    return ScenarioResult(
+        scenario=key, n=n,
+        device=solver.local_search.device_description,
+        backend=solver.local_search.backend,
+        metrics=_collect_metrics(res, prof),
+    )
+
+
+def _scenario_seq_berlin52() -> ScenarioResult:
+    return _run_solver("seq-berlin52", 52, device="cpu-sequential",
+                       backend="cpu-sequential")
+
+
+def _scenario_gpu_sim_kroa200() -> ScenarioResult:
+    return _run_solver("gpu-sim-kroA200", 200,
+                       solver_kwargs={"mode": "simulate"})
+
+
+def _scenario_multi_gpu_pr1002() -> ScenarioResult:
+    return _run_solver(
+        "multi-gpu-pr1002", 1002,
+        device=["gtx680-cuda", "gtx680-cuda", "hd7970-opencl"],
+        backend="multi-gpu", solver_kwargs={"strategy": "batch"},
+    )
+
+
+def _scenario_faulted_pool_a280() -> ScenarioResult:
+    return _run_solver(
+        "faulted-pool-a280", 280, device=["gtx680-cuda", "gtx680-cuda"],
+        backend="multi-gpu",
+        solver_kwargs={"mode": "simulate", "strategy": "best",
+                       "faults": "rate:transient=0.05,seed=7"},
+    )
+
+
+def _scenario_gpu_batch_pr2392() -> ScenarioResult:
+    return _run_solver("gpu-batch-pr2392", 2392,
+                       solver_kwargs={"strategy": "batch"})
+
+
+def _scenario_tiled_pla7397() -> ScenarioResult:
+    # n > the GTX 680 ordered kernel's 6144-city shared-memory capacity,
+    # so every scan takes the tiled division-scheme path
+    return _run_solver("tiled-pla7397", 7397,
+                       solve_kwargs={"max_scans": 3})
+
+
+#: the declared suite, execution order
+SCENARIOS: tuple = (
+    BenchScenario("seq-berlin52",
+                  "sequential CPU baseline to a local minimum (n=52)",
+                  52, True, _scenario_seq_berlin52),
+    BenchScenario("gpu-sim-kroA200",
+                  "instrumented SIMT kernels to a local minimum (n=200)",
+                  200, True, _scenario_gpu_sim_kroa200),
+    BenchScenario("multi-gpu-pr1002",
+                  "sharded 3-GPU pool, batch strategy (n=1002)",
+                  1002, True, _scenario_multi_gpu_pr1002),
+    BenchScenario("faulted-pool-a280",
+                  "2-GPU pool under 5% transient fault injection (n=280)",
+                  280, True, _scenario_faulted_pool_a280),
+    BenchScenario("gpu-batch-pr2392",
+                  "single GPU, batch strategy, pr2392-class (n=2392)",
+                  2392, False, _scenario_gpu_batch_pr2392),
+    BenchScenario("tiled-pla7397",
+                  "tiled division scheme beyond shared-memory capacity "
+                  "(n=7397, 3 scans)",
+                  7397, False, _scenario_tiled_pla7397),
+)
+
+
+class BenchRunner:
+    """Executes the declared scenario suite into one :class:`BenchRun`.
+
+    Parameters
+    ----------
+    smoke:
+        Run only the scenarios flagged for the smoke suite (the fast
+        subset CI gates on).
+    label:
+        Ledger label; defaults to ``"smoke"`` / ``"full"``.
+    scenarios:
+        Optional explicit scenario-key subset (order preserved from the
+        declared suite); unknown keys raise :class:`ExperimentError`.
+    """
+
+    def __init__(self, *, smoke: bool = False, label: Optional[str] = None,
+                 scenarios: Optional[Sequence[str]] = None) -> None:
+        selected = [s for s in SCENARIOS if not smoke or s.smoke]
+        if scenarios is not None:
+            known = {s.key for s in SCENARIOS}
+            unknown = [k for k in scenarios if k not in known]
+            if unknown:
+                raise ExperimentError(
+                    f"unknown bench scenario(s) {unknown}; "
+                    f"known: {sorted(known)}"
+                )
+            selected = [s for s in SCENARIOS if s.key in set(scenarios)]
+        self.scenarios = selected
+        self.smoke = smoke
+        self.label = label or ("smoke" if smoke else "full")
+
+    def run(self) -> BenchRun:
+        """Execute every selected scenario and assemble the run."""
+        results = []
+        for sc in self.scenarios:
+            _log.info("bench scenario %s starting", sc.key,
+                      extra={"repro_fields": {"event": "bench_scenario",
+                                              "scenario": sc.key}})
+            t0 = time.perf_counter()
+            result = sc.build()
+            result.metrics["scenario_wall_seconds"] = time.perf_counter() - t0
+            results.append(result)
+        created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        return BenchRun(label=self.label, created=created, smoke=self.smoke,
+                        results=tuple(results))
+
+
+# -- regression gate ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How the gate judges one metric.
+
+    ``better`` is the good direction (``"lower"`` or ``"higher"``);
+    ``rel_tol`` the allowed relative worsening; ``abs_floor`` a noise
+    floor — absolute changes at or below it never regress, whatever the
+    relative change says (guards tiny denominators).
+    """
+
+    better: str
+    rel_tol: float
+    abs_floor: float
+
+
+#: gate policies per metric; metrics not listed are informational only
+METRIC_POLICIES: dict = {
+    # deterministic modeled quantities: exact, tiny float-noise floor
+    "final_length": MetricPolicy("lower", 0.0, 0.0),
+    "moves_applied": MetricPolicy("lower", 0.0, 0.0),
+    "scans": MetricPolicy("lower", 0.0, 0.0),
+    "launches": MetricPolicy("lower", 0.0, 0.0),
+    "pair_checks": MetricPolicy("lower", 0.0, 0.0),
+    "modeled_seconds": MetricPolicy("lower", 0.01, 1e-9),
+    "kernel_seconds": MetricPolicy("lower", 0.01, 1e-9),
+    "transfer_seconds": MetricPolicy("lower", 0.01, 1e-12),
+    "transfer_bytes": MetricPolicy("lower", 0.0, 0.0),
+    "faults_injected": MetricPolicy("lower", 0.0, 0.0),
+    "retries": MetricPolicy("lower", 0.0, 0.0),
+    # throughput: higher is better, small relative slack
+    "checks_per_second": MetricPolicy("higher", 0.02, 0.0),
+    "gflops": MetricPolicy("higher", 0.02, 0.0),
+    "roofline_attained_gflops_p50": MetricPolicy("higher", 0.02, 0.0),
+    # wall clock is machine noise: generous slack + wide floor
+    "wall_seconds": MetricPolicy("lower", 1.0, 0.25),
+    "scenario_wall_seconds": MetricPolicy("lower", 1.0, 0.25),
+}
+
+
+@dataclass(frozen=True)
+class ComparisonEntry:
+    """One (scenario, metric) cell of a baseline/candidate comparison."""
+
+    scenario: str
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    status: str          # "ok" | "improved" | "regressed" | "missing" | "new"
+
+    @property
+    def rel_change(self) -> float:
+        """Relative change candidate vs baseline (0 when undefined)."""
+        if self.baseline in (None, 0.0) or self.candidate is None:
+            return 0.0
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Outcome of :func:`compare_runs`."""
+
+    baseline_label: str
+    candidate_label: str
+    entries: tuple
+
+    @property
+    def regressions(self) -> list[ComparisonEntry]:
+        """Entries that fail the gate (regressed or missing)."""
+        return [e for e in self.entries
+                if e.status in ("regressed", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        """True when no gated metric regressed and none went missing."""
+        return not self.regressions
+
+
+def _judge(policy: MetricPolicy, baseline: float, candidate: float) -> str:
+    """Classify one gated metric movement: ok / improved / regressed."""
+    delta = candidate - baseline
+    worse = delta > 0 if policy.better == "lower" else delta < 0
+    # inside the noise floor or relative tolerance: neither direction counts
+    if abs(delta) <= policy.abs_floor:
+        return "ok"
+    if abs(delta) <= policy.rel_tol * abs(baseline):
+        return "ok"
+    return "regressed" if worse else "improved"
+
+
+def compare_runs(
+    baseline: BenchRun,
+    candidate: BenchRun,
+    *,
+    policies: Optional[dict] = None,
+) -> ComparisonReport:
+    """Diff *candidate* against *baseline* under the per-metric policies.
+
+    Every gated metric present in the baseline must be present and
+    no-worse in the candidate; a scenario or gated metric that vanished
+    is itself a failure (``"missing"``). Metrics new in the candidate,
+    or without a policy, are informational (``"new"`` / ``"ok"``).
+    """
+    pol = METRIC_POLICIES if policies is None else policies
+    entries: list[ComparisonEntry] = []
+    for base_res in baseline.results:
+        cand_res = candidate.result(base_res.scenario)
+        for metric, base_val in base_res.metrics.items():
+            policy = pol.get(metric)
+            cand_val = (cand_res.metrics.get(metric)
+                        if cand_res is not None else None)
+            if cand_val is None:
+                status = "missing" if policy is not None else "ok"
+            elif policy is None:
+                status = "ok"
+            else:
+                status = _judge(policy, float(base_val), float(cand_val))
+            entries.append(ComparisonEntry(
+                scenario=base_res.scenario, metric=metric,
+                baseline=float(base_val),
+                candidate=None if cand_val is None else float(cand_val),
+                status=status,
+            ))
+        if cand_res is not None:
+            for metric in cand_res.metrics:
+                if metric not in base_res.metrics:
+                    entries.append(ComparisonEntry(
+                        scenario=base_res.scenario, metric=metric,
+                        baseline=None,
+                        candidate=float(cand_res.metrics[metric]),
+                        status="new",
+                    ))
+    report = ComparisonReport(
+        baseline_label=baseline.label, candidate_label=candidate.label,
+        entries=tuple(entries),
+    )
+    _log.info(
+        "bench gate %s vs %s: %s", candidate.label, baseline.label,
+        "ok" if report.ok else f"{len(report.regressions)} regression(s)",
+        extra={"repro_fields": {"event": "bench_gate", "ok": report.ok,
+                                "regressions": len(report.regressions)}},
+    )
+    return report
+
+
+# -- reports -----------------------------------------------------------------
+
+def render_run(run: BenchRun) -> str:
+    """ASCII summary of one bench run (headline metrics per scenario)."""
+    from repro.utils.tables import render_table
+
+    headers = ["scenario", "n", "backend", "modeled s", "kernel s",
+               "checks/s", "GF/s", "length", "faults"]
+    rows = []
+    for r in run.results:
+        m = r.metrics
+        rows.append([
+            r.scenario, r.n, r.backend,
+            f"{m.get('modeled_seconds', 0.0):.6f}",
+            f"{m.get('kernel_seconds', 0.0):.6f}",
+            f"{m.get('checks_per_second', 0.0):.3g}",
+            f"{m.get('gflops', 0.0):.1f}",
+            f"{m.get('final_length', 0.0):.0f}",
+            f"{m.get('faults_injected', 0.0):.0f}",
+        ])
+    return render_table(
+        headers, rows,
+        title=f"Bench run {run.label!r} ({run.created}, "
+              f"{'smoke' if run.smoke else 'full'} suite)",
+    )
+
+
+def render_comparison(report: ComparisonReport,
+                      *, show_ok: bool = False) -> str:
+    """ASCII regression table; by default only non-ok entries are listed."""
+    from repro.utils.tables import render_table
+
+    shown = [e for e in report.entries
+             if show_ok or e.status != "ok"]
+    lines = [f"bench gate: {report.candidate_label!r} vs baseline "
+             f"{report.baseline_label!r} — "
+             + ("PASS" if report.ok
+                else f"FAIL ({len(report.regressions)} regression(s))")]
+    if shown:
+        rows = []
+        for e in shown:
+            rows.append([
+                e.scenario, e.metric,
+                "-" if e.baseline is None else f"{e.baseline:.6g}",
+                "-" if e.candidate is None else f"{e.candidate:.6g}",
+                f"{e.rel_change:+.2%}", e.status,
+            ])
+        lines.append(render_table(
+            ["scenario", "metric", "baseline", "candidate", "change",
+             "status"], rows,
+        ))
+    elif not show_ok:
+        lines.append("(all metrics within tolerance)")
+    return "\n".join(lines)

@@ -1,0 +1,533 @@
+"""Run dashboard: ledger trends, roofline scatter, span waterfall.
+
+``repro dashboard`` folds the observatory's recorded artifacts into one
+self-contained HTML page (no external assets, dark-mode aware):
+
+* **metric trajectories** — one sparkline per (scenario, headline
+  metric) across the bench ledger's runs, latest value called out;
+* **roofline scatter** — per-device attained GFLOP/s vs arithmetic
+  intensity from a recorded Chrome trace's per-launch samples, with
+  each device's roof (bandwidth slope + compute ceiling) drawn behind
+  the points;
+* **span waterfall** — the trace's host wall-clock spans and modeled
+  device lanes as horizontal bars, one group per trace process;
+* **regression table** — the latest gate verdict when a comparison is
+  supplied.
+
+Everything here consumes *recorded* data (``benchmarks/ledger.jsonl``
+lines, ``BENCH_*.json`` files, Chrome trace JSON) — the dashboard never
+runs the solver. :func:`render_dashboard_ascii` is the terminal
+fallback: block-character sparklines and plain tables.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.telemetry.bench import BenchRun, ComparisonReport
+
+#: headline metrics charted per scenario, in display order
+TREND_METRICS = (
+    "modeled_seconds",
+    "kernel_seconds",
+    "checks_per_second",
+    "gflops",
+    "final_length",
+)
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+# -- trace parsing -----------------------------------------------------------
+
+def load_trace(path: Union[str, Path]) -> dict:
+    """Load a Chrome trace JSON file (as written by the profiler)."""
+    return json.loads(Path(path).read_text())
+
+
+def trace_roofline_points(trace: dict) -> list[dict]:
+    """Per-launch roofline samples recorded in a Chrome trace.
+
+    Launch events carry ``attained_gflops`` / ``arithmetic_intensity``
+    in their ``args`` (see :func:`repro.gpusim.executor.launch_kernel`).
+    """
+    points = []
+    for e in trace.get("traceEvents", []):
+        args = e.get("args")
+        if e.get("ph") != "X" or not isinstance(args, dict):
+            continue
+        if "attained_gflops" not in args:
+            continue
+        points.append({
+            "kernel": e.get("name", ""),
+            "device": args.get("device", ""),
+            "intensity": float(args.get("arithmetic_intensity", 0.0)),
+            "gflops": float(args["attained_gflops"]),
+            "occupancy": float(args.get("occupancy", 0.0)),
+        })
+    return points
+
+
+def trace_lanes(trace: dict) -> list[dict]:
+    """Group a Chrome trace's complete events into named, ordered lanes.
+
+    Returns one entry per (pid, tid): process/thread names from the
+    metadata events, viewer order from the ``*_sort_index`` metadata,
+    and the lane's ``(ts, dur, name)`` bars in microseconds.
+    """
+    process_names: dict[int, str] = {}
+    process_order: dict[int, int] = {}
+    thread_names: dict[tuple, str] = {}
+    thread_order: dict[tuple, int] = {}
+    bars: dict[tuple, list[tuple]] = {}
+    for e in trace.get("traceEvents", []):
+        pid, tid = e.get("pid", 0), e.get("tid", 0)
+        if e.get("ph") == "M":
+            args = e.get("args", {})
+            if e.get("name") == "process_name":
+                process_names[pid] = args.get("name", str(pid))
+            elif e.get("name") == "process_sort_index":
+                process_order[pid] = args.get("sort_index", pid)
+            elif e.get("name") == "thread_name":
+                thread_names[(pid, tid)] = args.get("name", str(tid))
+            elif e.get("name") == "thread_sort_index":
+                thread_order[(pid, tid)] = args.get("sort_index", tid)
+        elif e.get("ph") == "X":
+            bars.setdefault((pid, tid), []).append(
+                (float(e.get("ts", 0.0)), float(e.get("dur", 0.0)),
+                 e.get("name", ""))
+            )
+    lanes = []
+    for key, events in bars.items():
+        pid, tid = key
+        lanes.append({
+            "pid": pid,
+            "tid": tid,
+            "process": process_names.get(pid, str(pid)),
+            "lane": thread_names.get(key, f"tid {tid}"),
+            "order": (process_order.get(pid, pid),
+                      thread_order.get(key, tid)),
+            "bars": sorted(events),
+        })
+    lanes.sort(key=lambda l: l["order"])
+    return lanes
+
+
+# -- trend extraction --------------------------------------------------------
+
+def trend_series(runs: Sequence[BenchRun]) -> list[dict]:
+    """Per-(scenario, metric) value series across the ledger's runs."""
+    scenarios: list[str] = []
+    for run in runs:
+        for key in run.scenario_keys:
+            if key not in scenarios:
+                scenarios.append(key)
+    series = []
+    for scenario in scenarios:
+        for metric in TREND_METRICS:
+            values: list[Optional[float]] = []
+            for run in runs:
+                res = run.result(scenario)
+                v = res.metrics.get(metric) if res is not None else None
+                values.append(None if v is None else float(v))
+            if any(v is not None for v in values):
+                series.append({"scenario": scenario, "metric": metric,
+                               "labels": [r.label for r in runs],
+                               "values": values})
+    return series
+
+
+# -- ASCII fallback ----------------------------------------------------------
+
+def ascii_sparkline(values: Sequence[Optional[float]]) -> str:
+    """Block-character sparkline; gaps render as spaces."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append(" ")
+            continue
+        frac = 0.5 if span <= 0 else (v - lo) / span
+        out.append(_SPARK_BLOCKS[min(len(_SPARK_BLOCKS) - 1,
+                                     int(frac * len(_SPARK_BLOCKS)))])
+    return "".join(out)
+
+
+def render_dashboard_ascii(
+    runs: Sequence[BenchRun],
+    *,
+    trace: Optional[dict] = None,
+    comparison: Optional[ComparisonReport] = None,
+) -> str:
+    """Terminal dashboard: sparkline trends, roofline table, gate verdict."""
+    from repro.analysis.roofline import LaunchSample, aggregate, render_roofline
+    from repro.telemetry.bench import render_comparison
+    from repro.utils.tables import render_table
+
+    parts = [f"bench ledger: {len(runs)} run(s)"]
+    if runs:
+        rows = []
+        for s in trend_series(runs):
+            latest = next((v for v in reversed(s["values"])
+                           if v is not None), 0.0)
+            rows.append([s["scenario"], s["metric"],
+                         ascii_sparkline(s["values"]), f"{latest:.6g}"])
+        parts.append(render_table(
+            ["scenario", "metric", "trend", "latest"], rows,
+            title="Metric trajectories (oldest → newest)",
+        ))
+    if trace is not None:
+        samples = [
+            LaunchSample(
+                kernel=p["kernel"], device=p["device"], track="",
+                seconds=1.0, flops=p["gflops"] * 1e9,
+                global_bytes=(p["gflops"] * 1e9 / p["intensity"]
+                              if p["intensity"] > 0 else 0.0),
+                attained_gflops=p["gflops"],
+                attained_bandwidth_gbps=0.0,
+                arithmetic_intensity=p["intensity"],
+                occupancy=p["occupancy"], limited_by="", utilization=0.0,
+            )
+            for p in trace_roofline_points(trace)
+        ]
+        parts.append("")
+        parts.append(render_roofline(aggregate(samples)))
+    if comparison is not None:
+        parts.append("")
+        parts.append(render_comparison(comparison))
+    return "\n".join(parts)
+
+
+# -- HTML rendering ----------------------------------------------------------
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --ink: #1f1e1d; --ink-2: #6e6b66;
+  --grid: #e1e0d9; --accent: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #ebe9e6; --ink-2: #a5a29c;
+    --grid: #3a3936; --accent: #3987e5;
+  }
+}
+html { background: var(--surface); }
+body {
+  font: 14px/1.5 system-ui, sans-serif; color: var(--ink);
+  max-width: 1080px; margin: 2rem auto; padding: 0 1rem;
+}
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+.meta { color: var(--ink-2); }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { text-align: left; padding: .2rem .7rem .2rem 0;
+         border-bottom: 1px solid var(--grid); font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 500; }
+.trend td:nth-child(4) { text-align: right; }
+.status-regressed, .status-missing { font-weight: 600; }
+svg text { fill: var(--ink-2); font: 11px system-ui, sans-serif; }
+svg .value { fill: var(--ink); }
+svg .lane-label { fill: var(--ink); }
+"""
+
+
+def _fmt(v: float) -> str:
+    """Compact numeric label for chart callouts."""
+    if v != 0 and (abs(v) >= 1e5 or abs(v) < 1e-3):
+        return f"{v:.3g}"
+    return f"{v:,.4g}"
+
+
+def _svg_sparkline(values: Sequence[Optional[float]],
+                   labels: Sequence[str],
+                   *, width: int = 220, height: int = 36) -> str:
+    """One metric's trajectory as an inline SVG sparkline."""
+    pts = [(i, v) for i, v in enumerate(values) if v is not None]
+    if not pts:
+        return ""
+    lo = min(v for _, v in pts)
+    hi = max(v for _, v in pts)
+    span = hi - lo
+    pad = 4
+    n = max(1, len(values) - 1)
+
+    def xy(i: int, v: float) -> tuple[float, float]:
+        x = pad + (width - 2 * pad) * (i / n if n else 0.5)
+        frac = 0.5 if span <= 0 else (v - lo) / span
+        y = height - pad - (height - 2 * pad) * frac
+        return x, y
+
+    path = " ".join(f"{'M' if k == 0 else 'L'}{x:.1f},{y:.1f}"
+                    for k, (x, y) in enumerate(xy(i, v) for i, v in pts))
+    circles = []
+    for i, v in pts:
+        x, y = xy(i, v)
+        label = html.escape(f"{labels[i]}: {_fmt(v)}")
+        r = 3.5 if (i, v) == pts[-1] else 2.5
+        circles.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" '
+            f'fill="var(--accent)"><title>{label}</title></circle>'
+        )
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<path d="{path}" fill="none" stroke="var(--accent)" '
+        f'stroke-width="2" stroke-linejoin="round"/>'
+        + "".join(circles) + "</svg>"
+    )
+
+
+def _trend_section(runs: Sequence[BenchRun]) -> str:
+    rows = []
+    for s in trend_series(runs):
+        latest = next((v for v in reversed(s["values"]) if v is not None),
+                      0.0)
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(s['scenario'])}</td>"
+            f"<td>{html.escape(s['metric'])}</td>"
+            f"<td>{_svg_sparkline(s['values'], s['labels'])}</td>"
+            f"<td>{_fmt(latest)}</td>"
+            "</tr>"
+        )
+    return (
+        "<h2>Metric trajectories</h2>"
+        f'<p class="meta">{len(runs)} ledger run(s), oldest → newest; '
+        "hover a point for the run label.</p>"
+        '<table class="trend"><tr><th>scenario</th><th>metric</th>'
+        "<th>trend</th><th>latest</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def _roofline_section(trace: dict) -> str:
+    """Log-log roofline scatter: attained GF/s vs intensity, per device.
+
+    One hue for all points (identity is carried by direct device labels
+    and per-point tooltips, not by color); each device's roof — the
+    bandwidth slope meeting its compute ceiling — is drawn as a hairline
+    behind the points.
+    """
+    from repro.analysis.roofline import _spec_for
+
+    points = trace_roofline_points(trace)
+    points = [p for p in points if p["gflops"] > 0 and p["intensity"] > 0]
+    if not points:
+        return ("<h2>Roofline</h2>"
+                '<p class="meta">no per-launch roofline samples in the '
+                "trace.</p>")
+    devices: list[str] = []
+    for p in points:
+        if p["device"] not in devices:
+            devices.append(p["device"])
+    specs = {d: _spec_for(d) for d in devices}
+
+    width, height = 640, 360
+    ml, mr, mt, mb = 56, 140, 16, 40
+    xs = [p["intensity"] for p in points]
+    ys = [p["gflops"] for p in points]
+    peaks = [s.peak_gflops for s in specs.values() if s is not None]
+    x_lo = 10 ** math.floor(math.log10(min(xs)))
+    x_hi = 10 ** math.ceil(math.log10(max(xs) * 2))
+    y_lo = 10 ** math.floor(math.log10(min(ys)))
+    y_hi = 10 ** math.ceil(math.log10(max(ys + peaks)))
+
+    def X(v: float) -> float:
+        return ml + (width - ml - mr) * (
+            (math.log10(v) - math.log10(x_lo))
+            / (math.log10(x_hi) - math.log10(x_lo))
+        )
+
+    def Y(v: float) -> float:
+        return height - mb - (height - mt - mb) * (
+            (math.log10(v) - math.log10(y_lo))
+            / (math.log10(y_hi) - math.log10(y_lo))
+        )
+
+    parts = [f'<svg width="{width}" height="{height}" role="img">']
+    # hairline log-decade grid
+    d = x_lo
+    while d <= x_hi:
+        parts.append(f'<line x1="{X(d):.1f}" y1="{mt}" x2="{X(d):.1f}" '
+                     f'y2="{height - mb}" stroke="var(--grid)"/>')
+        parts.append(f'<text x="{X(d):.1f}" y="{height - mb + 14}" '
+                     f'text-anchor="middle">{_fmt(d)}</text>')
+        d *= 10
+    d = y_lo
+    while d <= y_hi:
+        parts.append(f'<line x1="{ml}" y1="{Y(d):.1f}" x2="{width - mr}" '
+                     f'y2="{Y(d):.1f}" stroke="var(--grid)"/>')
+        parts.append(f'<text x="{ml - 6}" y="{Y(d):.1f}" dy="4" '
+                     f'text-anchor="end">{_fmt(d)}</text>')
+        d *= 10
+    parts.append(f'<text x="{(ml + width - mr) / 2:.0f}" '
+                 f'y="{height - 6}" text-anchor="middle">'
+                 "arithmetic intensity (flops / global byte)</text>")
+    # per-device roofs (hairline) + direct labels at the right margin
+    label_y = mt + 10
+    for device in devices:
+        spec = specs[device]
+        if spec is None:
+            continue
+        ridge = spec.peak_gflops / spec.mem_bandwidth_gbps
+        x0 = max(x_lo, y_lo / spec.mem_bandwidth_gbps)
+        pieces = [f"M{X(x0):.1f},{Y(spec.mem_bandwidth_gbps * x0):.1f}"]
+        if ridge < x_hi:
+            pieces.append(f"L{X(ridge):.1f},{Y(spec.peak_gflops):.1f}")
+            pieces.append(f"L{X(x_hi):.1f},{Y(spec.peak_gflops):.1f}")
+        else:
+            pieces.append(
+                f"L{X(x_hi):.1f},{Y(spec.mem_bandwidth_gbps * x_hi):.1f}")
+        title = html.escape(
+            f"{device} roof: {spec.peak_gflops:.0f} GF/s, "
+            f"{spec.mem_bandwidth_gbps:.0f} GB/s")
+        parts.append(f'<path d="{" ".join(pieces)}" fill="none" '
+                     f'stroke="var(--grid)" stroke-width="1.5">'
+                     f"<title>{title}</title></path>")
+        parts.append(f'<text x="{width - mr + 8}" y="{label_y}" '
+                     f'class="lane-label">{html.escape(device)}</text>')
+        label_y += 16
+    # points: single accent hue, identity via tooltip + device labels
+    for p in points:
+        title = html.escape(
+            f"{p['device']} · {p['kernel']}: {p['gflops']:.1f} GF/s @ "
+            f"AI {p['intensity']:.1f}, occupancy {p['occupancy']:.2f}")
+        parts.append(
+            f'<circle cx="{X(p["intensity"]):.1f}" '
+            f'cy="{Y(p["gflops"]):.1f}" r="4" fill="var(--accent)" '
+            f'fill-opacity="0.75" stroke="var(--surface)" '
+            f'stroke-width="2"><title>{title}</title></circle>'
+        )
+    parts.append("</svg>")
+    return (
+        "<h2>Roofline — attained vs ceiling</h2>"
+        '<p class="meta">per-launch samples from the recorded trace; '
+        "hairlines are each device's memory/compute roof.</p>"
+        + "".join(parts)
+    )
+
+
+def _waterfall_section(trace: dict) -> str:
+    """Span waterfall: one bar row per trace lane, grouped by process."""
+    lanes = trace_lanes(trace)
+    if not lanes:
+        return ""
+    out = ["<h2>Span waterfall</h2>",
+           '<p class="meta">host rows are wall-clock; modeled-device '
+           "rows are predicted seconds — the two timelines are "
+           "independent.</p>"]
+    by_process: dict[str, list[dict]] = {}
+    for lane in lanes:
+        by_process.setdefault(lane["process"], []).append(lane)
+    for process, group in by_process.items():
+        t_end = max((b[0] + b[1] for lane in group for b in lane["bars"]),
+                    default=0.0)
+        if t_end <= 0:
+            continue
+        width, row_h, label_w = 900, 22, 190
+        height = row_h * len(group) + 24
+        scale = (width - label_w - 10) / t_end
+        parts = [f'<svg width="{width}" height="{height}" role="img">']
+        for i, lane in enumerate(group):
+            y = 4 + i * row_h
+            parts.append(f'<text x="0" y="{y + 13}" class="lane-label">'
+                         f'{html.escape(str(lane["lane"]))}</text>')
+            parts.append(f'<line x1="{label_w}" y1="{y + row_h - 3}" '
+                         f'x2="{width - 10}" y2="{y + row_h - 3}" '
+                         f'stroke="var(--grid)"/>')
+            for ts, dur, name in lane["bars"]:
+                x = label_w + ts * scale
+                w = max(1.5, dur * scale)
+                title = html.escape(f"{name}: {dur / 1e3:.3f} ms @ "
+                                    f"{ts / 1e3:.3f} ms")
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                    f'height="{row_h - 8}" rx="2" fill="var(--accent)" '
+                    f'fill-opacity="0.8"><title>{title}</title></rect>'
+                )
+        axis_y = height - 6
+        parts.append(f'<text x="{label_w}" y="{axis_y}">0</text>')
+        parts.append(f'<text x="{width - 10}" y="{axis_y}" '
+                     f'text-anchor="end">{t_end / 1e3:.2f} ms</text>')
+        parts.append("</svg>")
+        out.append(f"<h3>{html.escape(process)}</h3>")
+        out.extend(parts)
+    return "".join(out)
+
+
+def _comparison_section(comparison: ComparisonReport) -> str:
+    verdict = ("PASS" if comparison.ok
+               else f"FAIL — {len(comparison.regressions)} regression(s)")
+    shown = [e for e in comparison.entries if e.status != "ok"]
+    rows = []
+    for e in shown:
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(e.scenario)}</td>"
+            f"<td>{html.escape(e.metric)}</td>"
+            f"<td>{'-' if e.baseline is None else _fmt(e.baseline)}</td>"
+            f"<td>{'-' if e.candidate is None else _fmt(e.candidate)}</td>"
+            f"<td>{e.rel_change:+.2%}</td>"
+            f'<td class="status-{e.status}">{e.status}</td>'
+            "</tr>"
+        )
+    table = ("" if not rows else
+             "<table><tr><th>scenario</th><th>metric</th><th>baseline</th>"
+             "<th>candidate</th><th>change</th><th>status</th></tr>"
+             + "".join(rows) + "</table>")
+    return (
+        "<h2>Regression gate</h2>"
+        f"<p>{html.escape(comparison.candidate_label)} vs baseline "
+        f"{html.escape(comparison.baseline_label)}: <strong>{verdict}"
+        "</strong></p>" + table
+    )
+
+
+def render_dashboard_html(
+    runs: Sequence[BenchRun],
+    *,
+    trace: Optional[dict] = None,
+    comparison: Optional[ComparisonReport] = None,
+    title: str = "repro performance observatory",
+) -> str:
+    """Render the self-contained dashboard page (no external assets)."""
+    latest = runs[-1].created if runs else "n/a"
+    sections = []
+    if runs:
+        sections.append(_trend_section(runs))
+    else:
+        sections.append('<p class="meta">bench ledger is empty — run '
+                        "<code>repro bench</code> first.</p>")
+    if comparison is not None:
+        sections.append(_comparison_section(comparison))
+    if trace is not None:
+        sections.append(_roofline_section(trace))
+        sections.append(_waterfall_section(trace))
+    return (
+        "<!doctype html><html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f'<p class="meta">{len(runs)} ledger run(s), latest {latest}.</p>'
+        + "".join(sections) + "</body></html>"
+    )
+
+
+def write_dashboard(
+    path: Union[str, Path],
+    runs: Sequence[BenchRun],
+    *,
+    trace: Optional[dict] = None,
+    comparison: Optional[ComparisonReport] = None,
+) -> Path:
+    """Write the HTML dashboard to *path*; returns the path."""
+    p = Path(path)
+    p.write_text(render_dashboard_html(runs, trace=trace,
+                                       comparison=comparison))
+    return p

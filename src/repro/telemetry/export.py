@@ -45,6 +45,19 @@ def _json_safe(value: object) -> object:
     return str(value)
 
 
+def _lane_sort_key(lane: str) -> tuple:
+    """Deterministic ordering key for device lanes.
+
+    Pool-member lanes ``<key>#<i>`` sort by base name then *numeric*
+    index, so ``gtx680-cuda#2`` precedes ``gtx680-cuda#10`` regardless
+    of first-appearance order in the span stream.
+    """
+    base, sep, idx = lane.rpartition("#")
+    if sep and idx.isdigit():
+        return (base, int(idx), lane)
+    return (lane, -1, lane)
+
+
 def to_chrome_trace(tracer: Tracer) -> dict:
     """Convert a tracer's spans to a ``chrome://tracing``-loadable dict.
 
@@ -56,35 +69,58 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     on a named track (multi-device lanes such as ``gtx680-cuda#1``) get
     one thread row per track, so a sharded sweep shows one lane per pool
     member with its launches and transfers interleaved.
+
+    Lane order is **deterministic across runs**: tids are assigned by
+    sorted lane name (numeric-aware for ``<key>#<i>`` pool lanes), and
+    every process/thread carries explicit ``process_sort_index`` /
+    ``thread_sort_index`` metadata so viewers render host above the
+    modeled-device track and pool members in index order, independent of
+    event arrival order.
     """
     events: list[dict] = [
         {"ph": "M", "pid": HOST_PID, "tid": 0, "name": "process_name",
          "args": {"name": "host (wall clock)"}},
+        {"ph": "M", "pid": HOST_PID, "tid": 0, "name": "process_sort_index",
+         "args": {"sort_index": 0}},
         {"ph": "M", "pid": HOST_PID, "tid": 1, "name": "thread_name",
          "args": {"name": "driver"}},
+        {"ph": "M", "pid": HOST_PID, "tid": 1, "name": "thread_sort_index",
+         "args": {"sort_index": 0}},
         {"ph": "M", "pid": DEVICE_PID, "tid": 0, "name": "process_name",
          "args": {"name": "modeled device (predicted seconds)"}},
+        {"ph": "M", "pid": DEVICE_PID, "tid": 0, "name": "process_sort_index",
+         "args": {"sort_index": 1}},
     ]
-    device_tids: dict[str, int] = {}
+    # pre-scan for device lanes so tids follow sorted-lane order, not
+    # first-appearance order
+    lanes: set[str] = set()
+    for s in tracer.spans:
+        if s.track != "host":
+            lanes.add(s.name if s.track == "device" else s.track)
+    device_tids = {
+        lane: tid
+        for tid, lane in enumerate(sorted(lanes, key=_lane_sort_key), start=1)
+    }
+    for lane, tid in device_tids.items():
+        events.append({
+            "ph": "M", "pid": DEVICE_PID, "tid": tid,
+            "name": "thread_name", "args": {"name": lane},
+        })
+        events.append({
+            "ph": "M", "pid": DEVICE_PID, "tid": tid,
+            "name": "thread_sort_index", "args": {"sort_index": tid},
+        })
     for s in tracer.spans:
         args = {k: _json_safe(v) for k, v in s.attrs.items()}
         if s.track != "host":
             # default track: one row per kernel/transfer name;
             # named tracks (multi-device lanes): one row per track
             lane = s.name if s.track == "device" else s.track
-            tid = device_tids.get(lane)
-            if tid is None:
-                tid = len(device_tids) + 1
-                device_tids[lane] = tid
-                events.append({
-                    "ph": "M", "pid": DEVICE_PID, "tid": tid,
-                    "name": "thread_name", "args": {"name": lane},
-                })
             events.append({
                 "name": s.name, "cat": s.category or "device", "ph": "X",
                 "ts": s.start_modeled * 1e6,
                 "dur": (s.end_modeled - s.start_modeled) * 1e6,
-                "pid": DEVICE_PID, "tid": tid, "args": args,
+                "pid": DEVICE_PID, "tid": device_tids[lane], "args": args,
             })
         else:
             args["modeled_ms"] = s.modeled_seconds * 1e3

@@ -1,0 +1,188 @@
+"""Structured-logging bridge: telemetry events through stdlib ``logging``.
+
+The tracer/metrics subsystem is deliberately self-contained; operations
+teams, however, live in log pipelines. This module bridges the two
+without coupling them: installing the bridge attaches a handler to the
+``repro`` logger hierarchy and registers a span listener
+(:func:`repro.telemetry.span.set_span_listener`) so every span open /
+close on a *real* tracer, every fault/retry event in the GPU executors,
+and every bench-ledger write emits one log record under a ``repro.*``
+logger:
+
+===============================  ============================================
+logger                           events
+===============================  ============================================
+``repro.telemetry.span``         span open (DEBUG) / close (INFO) with wall +
+                                 modeled seconds
+``repro.gpusim.fault``           injected faults, retries, backoff, dropouts,
+                                 tile reassignments (WARNING)
+``repro.telemetry.bench``        bench runs, ledger appends, regression gate
+                                 verdicts (INFO)
+===============================  ============================================
+
+With no bridge installed nothing changes: the default ``NoopTracer``
+never opens spans, and the executors guard their log calls with
+``isEnabledFor`` so the hot path pays one level check.
+
+CLI: ``repro --log-level INFO <command>`` installs the bridge for any
+subcommand; ``--log-json`` switches the handler to one-JSON-object-per-
+line formatting for log shippers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+from repro.telemetry.span import set_span_listener
+
+#: logger names used by the bridge (and by the instrumented layers)
+SPAN_LOGGER = "repro.telemetry.span"
+FAULT_LOGGER = "repro.gpusim.fault"
+BENCH_LOGGER = "repro.telemetry.bench"
+
+#: attribute carrying structured fields on a LogRecord (see JsonFormatter)
+FIELDS_ATTR = "repro_fields"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message, fields.
+
+    Structured fields attached via ``extra={"repro_fields": {...}}`` are
+    merged into the top-level object, so downstream pipelines can index
+    span names, durations, and fault counters without parsing message
+    strings.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render *record* as a compact JSON line."""
+        payload = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, FIELDS_ATTR, None)
+        if fields:
+            payload.update(fields)
+        return json.dumps(payload, default=str)
+
+
+class SpanLogListener:
+    """Routes span open/close through ``repro.telemetry.span``.
+
+    Open is DEBUG (high volume — one per scan), close is INFO with both
+    time channels so a log pipeline can reconstruct the paper's
+    time-attribution story without the Chrome trace.
+    """
+
+    def __init__(self, logger: Optional[logging.Logger] = None) -> None:
+        self._log = logger or logging.getLogger(SPAN_LOGGER)
+
+    def on_open(self, span) -> None:
+        """Log one span-open record (DEBUG)."""
+        if self._log.isEnabledFor(logging.DEBUG):
+            self._log.debug(
+                "span open %s", span.name,
+                extra={FIELDS_ATTR: {
+                    "event": "span_open", "span": span.name,
+                    "category": span.category, "span_id": span.span_id,
+                    "depth": span.depth,
+                }},
+            )
+
+    def on_close(self, span) -> None:
+        """Log one span-close record (INFO) with wall + modeled seconds."""
+        if self._log.isEnabledFor(logging.INFO):
+            self._log.info(
+                "span close %s wall=%.6fs modeled=%.6fs",
+                span.name, span.wall_seconds, span.modeled_seconds,
+                extra={FIELDS_ATTR: {
+                    "event": "span_close", "span": span.name,
+                    "category": span.category, "span_id": span.span_id,
+                    "depth": span.depth,
+                    "wall_seconds": span.wall_seconds,
+                    "modeled_seconds": span.modeled_seconds,
+                }},
+            )
+
+
+def log_fault_event(name: str, track: str, amount: float = 1.0) -> None:
+    """Route one fault/retry counter bump through ``repro.gpusim.fault``.
+
+    Called by the executors next to their metric bump; guarded here (not
+    at the call site) so the executors stay logging-agnostic.
+    """
+    log = logging.getLogger(FAULT_LOGGER)
+    if log.isEnabledFor(logging.WARNING):
+        log.warning(
+            "fault event %s on %s (+%g)", name, track, amount,
+            extra={FIELDS_ATTR: {
+                "event": "fault", "kind": name, "track": track,
+                "amount": amount,
+            }},
+        )
+
+
+# library etiquette: a NullHandler on the hierarchy root means un-bridged
+# fault warnings don't fall through to logging.lastResort, while an
+# application-configured root logger still receives them via propagation
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+_installed_handler: Optional[logging.Handler] = None
+
+
+def install_log_bridge(
+    level: str = "INFO",
+    *,
+    json_output: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Wire ``repro.*`` loggers to *stream* and start bridging spans.
+
+    Parameters
+    ----------
+    level:
+        Threshold for the ``repro`` logger hierarchy (``"DEBUG"`` shows
+        span opens; ``"INFO"`` span closes and bench events;
+        ``"WARNING"`` only faults).
+    json_output:
+        Use :class:`JsonLogFormatter` (one JSON object per line) instead
+        of the human-readable format.
+    stream:
+        Destination, default ``sys.stderr`` (keeps stdout clean for
+        ``--json`` results and reports).
+
+    Returns the configured ``repro`` logger. Idempotent: re-installing
+    replaces the bridge handler rather than stacking duplicates.
+    """
+    global _installed_handler
+    root = logging.getLogger("repro")
+    if _installed_handler is not None:
+        root.removeHandler(_installed_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_output:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        ))
+    root.addHandler(handler)
+    root.setLevel(level.upper() if isinstance(level, str) else level)
+    root.propagate = False  # don't double-print through the stdlib root
+    _installed_handler = handler
+    set_span_listener(SpanLogListener())
+    return root
+
+
+def uninstall_log_bridge() -> None:
+    """Detach the bridge handler and span listener (tests, teardown)."""
+    global _installed_handler
+    root = logging.getLogger("repro")
+    if _installed_handler is not None:
+        root.removeHandler(_installed_handler)
+        _installed_handler = None
+    set_span_listener(None)

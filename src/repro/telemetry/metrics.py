@@ -14,6 +14,8 @@ installed by :class:`repro.telemetry.profiler.Profiler`.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from dataclasses import fields, is_dataclass
 from typing import Optional
 
@@ -51,13 +53,22 @@ class Gauge:
 class Histogram:
     """Distribution summary with bounded sample retention.
 
-    Count / sum / min / max are exact over every observation; percentiles
-    are computed over the first ``max_samples`` retained values (bounded
-    memory, like ``TraceCollector``).
+    Count / sum / min / max are exact over every observation. Percentiles
+    are computed over a bounded sample of at most ``max_samples`` values
+    (bounded memory, like ``TraceCollector``). Beyond ``max_samples``
+    observations, retention switches to **deterministic reservoir
+    sampling** (Vitter's Algorithm R with an RNG seeded from the
+    histogram's name): every observation has equal probability of being
+    retained, so percentiles stay representative of the whole stream —
+    not just its first ``max_samples`` values — and two runs that feed
+    the same sequence into the same histogram name retain the *same*
+    sample. ``dropped`` counts observations absent from the retained
+    sample (``count - len(sample)``), regardless of whether they were
+    discarded on arrival or displaced a retained value.
     """
 
     __slots__ = ("name", "max_samples", "count", "total", "min", "max",
-                 "_samples", "dropped")
+                 "_samples", "dropped", "_rng")
 
     def __init__(self, name: str, *, max_samples: int = 4096) -> None:
         if max_samples < 1:
@@ -70,6 +81,8 @@ class Histogram:
         self.max = -math.inf
         self._samples: list[float] = []
         self.dropped = 0
+        # seeded from the name: deterministic across runs and processes
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -83,6 +96,11 @@ class Histogram:
         if len(self._samples) < self.max_samples:
             self._samples.append(v)
         else:
+            # Algorithm R: keep each of the count observations with
+            # probability max_samples/count, deterministically seeded
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self._samples[slot] = v
             self.dropped += 1
 
     @property
@@ -104,15 +122,21 @@ class Histogram:
         return ordered[rank - 1]
 
     def summary(self) -> dict:
-        """count/sum/min/mean/p50/p90/p99/max snapshot."""
+        """count/sum/min/mean/p10/p50/p90/p99/max snapshot.
+
+        ``p10`` and ``p90`` bracket the spread both ways, so dashboards
+        can draw a symmetric band around the median.
+        """
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "mean": 0.0,
-                    "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+                    "p10": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                    "max": 0.0}
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "mean": self.mean,
+            "p10": self.percentile(10),
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),

@@ -42,21 +42,20 @@ class Profiler:
     def __init__(self, *, max_spans: int = 100_000) -> None:
         self.tracer = Tracer(max_spans=max_spans)
         self.metrics = MetricsRegistry()
-        self._prev_tracer = None
-        self._prev_metrics = None
+        # a stack, so re-entering the *same* profiler (nested ``with``)
+        # still restores the original defaults on the outermost exit
+        self._previous: list[tuple] = []
 
     def __enter__(self) -> "Profiler":
-        self._prev_tracer = set_tracer(self.tracer)
-        self._prev_metrics = set_metrics(self.metrics)
+        self._previous.append((set_tracer(self.tracer),
+                               set_metrics(self.metrics)))
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        if self._prev_tracer is not None:
-            set_tracer(self._prev_tracer)
-            self._prev_tracer = None
-        if self._prev_metrics is not None:
-            set_metrics(self._prev_metrics)
-            self._prev_metrics = None
+        if self._previous:
+            prev_tracer, prev_metrics = self._previous.pop()
+            set_tracer(prev_tracer)
+            set_metrics(prev_metrics)
         return False
 
     # -- derived views -----------------------------------------------------

@@ -149,6 +149,8 @@ class Tracer:
         span.start_wall = time.perf_counter() - self._epoch
         span.start_modeled = self.modeled_clock
         self._stack.append(span)
+        if _span_listener is not None:
+            _span_listener.on_open(span)
 
     def _close(self, span: Span) -> None:
         span.end_wall = time.perf_counter() - self._epoch
@@ -159,6 +161,8 @@ class Tracer:
             while self._stack and self._stack.pop() is not span:
                 pass
         self._record(span)
+        if _span_listener is not None:
+            _span_listener.on_close(span)
 
     def _record(self, span: Span) -> None:
         if len(self.spans) >= self.max_spans:
@@ -266,6 +270,27 @@ class NoopTracer:
                      category: str = "device", track: str = "device",
                      **attrs: Any) -> None:
         """Discard the event."""
+
+
+#: optional process-wide span open/close observer (see telemetry.logbridge)
+_span_listener: Optional[Any] = None
+
+
+def set_span_listener(listener: Optional[Any]) -> Optional[Any]:
+    """Install a process-wide span open/close observer; returns the old one.
+
+    The *listener* must expose ``on_open(span)`` and ``on_close(span)``;
+    pass ``None`` to remove it. Real :class:`Tracer` instances notify the
+    listener on every span boundary — the structured-logging bridge
+    (:mod:`repro.telemetry.logbridge`) uses this to route spans through
+    stdlib ``logging`` without the tracer importing it. The default
+    :class:`NoopTracer` never opens spans, so an installed listener costs
+    nothing until a profiler installs a real tracer.
+    """
+    global _span_listener
+    previous = _span_listener
+    _span_listener = listener
+    return previous
 
 
 _default_tracer: "Tracer | NoopTracer" = NoopTracer()

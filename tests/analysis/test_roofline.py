@@ -1,0 +1,162 @@
+"""Tests for recorded roofline/occupancy analytics (analysis.roofline)."""
+
+import pytest
+
+from repro.analysis.roofline import (
+    RECORDED_SWEEP_DEVICES,
+    DeviceRoofline,
+    LaunchSample,
+    aggregate,
+    launch_samples,
+    render_roofline,
+    run_recorded_sweep,
+)
+from repro.core.local_search import LocalSearch
+from repro.errors import GpuSimError
+from repro.gpusim.device import get_device
+from repro.telemetry import Profiler
+
+
+def sample(device="A", seconds=1.0, flops=4e9, global_bytes=4e8,
+           occupancy=0.5, limited_by="blocks"):
+    """A hand-built LaunchSample with consistent derived rates."""
+    return LaunchSample(
+        kernel="k", device=device, track="t", seconds=seconds, flops=flops,
+        global_bytes=global_bytes,
+        attained_gflops=flops / seconds / 1e9,
+        attained_bandwidth_gbps=global_bytes / seconds / 1e9,
+        arithmetic_intensity=flops / global_bytes,
+        occupancy=occupancy, limited_by=limited_by, utilization=1.0,
+    )
+
+
+class TestLaunchSamples:
+    def test_recorded_from_instrumented_run(self, gtx680, inst100):
+        search = LocalSearch(gtx680, backend="gpu", mode="simulate",
+                             include_transfers=False)
+        with Profiler() as prof:
+            search.run(inst100.coords, max_scans=2)
+        samples = launch_samples(prof.tracer)
+        assert samples
+        for s in samples:
+            assert s.device == gtx680.name
+            assert s.seconds > 0
+            assert 0 < s.occupancy <= 1
+            assert s.limited_by in ("blocks", "threads", "shared", "grid")
+            assert s.attained_gflops == pytest.approx(
+                s.flops / s.seconds / 1e9)
+            # the model can never beat the device's compute roof
+            assert s.attained_gflops <= gtx680.peak_gflops
+
+    def test_host_spans_are_skipped(self, gtx680, inst100):
+        search = LocalSearch(gtx680, backend="gpu", mode="simulate",
+                             include_transfers=False)
+        with Profiler() as prof:
+            search.run(inst100.coords, max_scans=1)
+        names = {s.kernel for s in launch_samples(prof.tracer)}
+        assert "local_search" not in names
+
+    def test_accepts_plain_span_iterable(self, gtx680, inst100):
+        search = LocalSearch(gtx680, backend="gpu", mode="simulate",
+                             include_transfers=False)
+        with Profiler() as prof:
+            search.run(inst100.coords, max_scans=1)
+        assert (launch_samples(list(prof.tracer.spans))
+                == launch_samples(prof.tracer))
+
+    def test_fast_mode_yields_no_samples(self, gtx680, inst100):
+        search = LocalSearch(gtx680, backend="gpu", mode="fast")
+        with Profiler() as prof:
+            search.run(inst100.coords, max_scans=2)
+        assert launch_samples(prof.tracer) == []
+
+
+class TestAggregate:
+    def test_groups_by_device_in_first_sample_order(self):
+        rows = aggregate([sample("B"), sample("A"), sample("B")])
+        assert [r.device for r in rows] == ["B", "A"]
+        assert rows[0].launches == 2
+        assert rows[1].launches == 1
+
+    def test_time_weighted_occupancy_and_dominant_limiter(self):
+        rows = aggregate([
+            sample("A", seconds=3.0, occupancy=1.0, limited_by="shared"),
+            sample("A", seconds=1.0, occupancy=0.2, limited_by="blocks"),
+        ])
+        (row,) = rows
+        assert row.occupancy == pytest.approx((3.0 * 1.0 + 1.0 * 0.2) / 4.0)
+        assert row.limited_by == "shared"      # holds 3 of 4 modeled seconds
+        assert row.seconds == pytest.approx(4.0)
+        assert row.sustained_gflops == pytest.approx(8e9 / 4.0 / 1e9)
+
+    def test_known_device_gets_catalog_roofs(self, gtx680):
+        rows = aggregate([sample(gtx680.name)])
+        (row,) = rows
+        assert row.peak_gflops == gtx680.peak_gflops
+        assert row.peak_bandwidth_gbps == gtx680.mem_bandwidth_gbps
+        assert row.model_sustained_gflops == gtx680.sustained_gflops
+
+    def test_unknown_device_has_zero_roofs(self):
+        (row,) = aggregate([sample("no-such-gpu")])
+        assert row.peak_gflops == 0.0
+        assert row.roof_gflops == 0.0
+        assert row.roof_fraction == 0.0
+
+    def test_ridge_and_bound(self):
+        row = DeviceRoofline(
+            device="X", launches=1, flops=1.0, global_bytes=1.0,
+            seconds=1.0, sustained_gflops=50.0, arithmetic_intensity=2.0,
+            occupancy=1.0, limited_by="blocks", peak_gflops=1000.0,
+            peak_bandwidth_gbps=100.0, model_sustained_gflops=500.0,
+        )
+        assert row.ridge_intensity == pytest.approx(10.0)
+        assert row.bound == "memory"           # AI 2 < ridge 10
+        assert row.roof_gflops == pytest.approx(200.0)  # bw * AI
+        assert row.roof_fraction == pytest.approx(0.25)
+        compute_bound = DeviceRoofline(
+            device="X", launches=1, flops=1.0, global_bytes=1.0,
+            seconds=1.0, sustained_gflops=800.0, arithmetic_intensity=20.0,
+            occupancy=1.0, limited_by="blocks", peak_gflops=1000.0,
+            peak_bandwidth_gbps=100.0, model_sustained_gflops=500.0,
+        )
+        assert compute_bound.bound == "compute"
+        assert compute_bound.roof_gflops == pytest.approx(1000.0)
+
+
+class TestRecordedSweep:
+    def test_single_device_sweep(self):
+        rows = run_recorded_sweep(200, devices=("gtx680-cuda",), max_scans=1)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.device == get_device("gtx680-cuda").name
+        assert row.launches >= 1
+        assert 0 < row.sustained_gflops <= row.roof_gflops
+        assert 0 < row.occupancy <= 1
+
+    def test_cpu_device_rejected(self):
+        with pytest.raises(GpuSimError, match="CPU"):
+            run_recorded_sweep(100, devices=("i7-3960x-opencl",))
+
+    def test_sweep_legend_is_all_gpus(self):
+        from repro.gpusim.device import GPUDeviceSpec
+
+        for key in RECORDED_SWEEP_DEVICES:
+            assert isinstance(get_device(key), GPUDeviceSpec)
+
+    @pytest.mark.bench
+    def test_full_fig9_legend_sweep(self):
+        rows = run_recorded_sweep(400, max_scans=1)
+        assert len(rows) == len(RECORDED_SWEEP_DEVICES)
+        # every device attains a distinct, sub-roof rate
+        for row in rows:
+            assert 0 < row.sustained_gflops <= row.roof_gflops
+
+
+class TestRender:
+    def test_table_contains_devices_and_bounds(self):
+        out = render_roofline(aggregate([sample("A"), sample("B")]))
+        assert "A" in out and "B" in out
+        assert "attained GF/s" in out
+
+    def test_empty(self):
+        assert "no roofline samples" in render_roofline([])

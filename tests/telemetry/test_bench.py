@@ -1,0 +1,339 @@
+"""Tests for the bench ledger, runner, and regression gate."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.telemetry import (
+    BENCH_SCHEMA_VERSION,
+    BenchRun,
+    BenchRunner,
+    ScenarioResult,
+    append_ledger,
+    compare_runs,
+    load_ledger,
+    load_run,
+    render_comparison,
+    render_run,
+    save_run,
+)
+from repro.telemetry.bench import (
+    METRIC_POLICIES,
+    SCENARIOS,
+    MetricPolicy,
+    bench_path,
+    run_from_dict,
+    run_to_dict,
+)
+
+
+def make_run(label="base", **overrides):
+    """A small two-scenario run with hand-picked metric values."""
+    metrics_a = {"final_length": 1000.0, "modeled_seconds": 0.5,
+                 "checks_per_second": 2e9, "wall_seconds": 1.0}
+    metrics_b = {"final_length": 2000.0, "faults_injected": 2.0}
+    metrics_a.update(overrides.get("a", {}))
+    metrics_b.update(overrides.get("b", {}))
+    return BenchRun(
+        label=label, created="2026-01-01T00:00:00Z", smoke=True,
+        results=(
+            ScenarioResult("alpha", 100, "GTX", "gpu", metrics_a),
+            ScenarioResult("beta", 200, "GTX+GTX", "multi-gpu", metrics_b),
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_exact(self):
+        run = make_run()
+        assert run_from_dict(run_to_dict(run)) == run
+
+    def test_file_round_trip_exact(self, tmp_path):
+        run = make_run()
+        path = save_run(run, tmp_path)
+        assert path == bench_path("base", tmp_path)
+        assert path.name == "BENCH_base.json"
+        assert load_run(path) == run
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=12),
+        st.floats(allow_nan=False, allow_infinity=False),
+        max_size=6,
+    ))
+    def test_float_metrics_survive_json(self, metrics):
+        run = BenchRun(
+            label="h", created="2026-01-01T00:00:00Z", smoke=False,
+            results=(ScenarioResult("s", 1, "d", "gpu", metrics),),
+        )
+        # through an actual JSON byte round-trip, as the ledger does
+        data = json.loads(json.dumps(run_to_dict(run)))
+        assert run_from_dict(data) == run
+
+
+class TestSchemaValidation:
+    def test_missing_schema_version(self):
+        with pytest.raises(ExperimentError, match="schema_version"):
+            run_from_dict({"label": "x"})
+
+    def test_unsupported_schema_version(self):
+        data = run_to_dict(make_run())
+        data["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ExperimentError, match="unsupported"):
+            run_from_dict(data)
+
+    def test_malformed_results(self):
+        data = run_to_dict(make_run())
+        data["results"] = [{"scenario": "x"}]  # missing n/device/...
+        with pytest.raises(ExperimentError, match="malformed"):
+            run_from_dict(data)
+
+    def test_load_run_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError, match="not found"):
+            load_run(tmp_path / "BENCH_nope.json")
+
+    def test_load_run_invalid_json(self, tmp_path):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text("{broken")
+        with pytest.raises(ExperimentError, match="not valid JSON"):
+            load_run(p)
+
+
+class TestLedger:
+    def test_append_and_load_preserves_order(self, tmp_path):
+        ledger = tmp_path / "benchmarks" / "ledger.jsonl"
+        first, second = make_run("one"), make_run("two")
+        append_ledger(first, ledger)
+        append_ledger(second, ledger)
+        runs = load_ledger(ledger)
+        assert [r.label for r in runs] == ["one", "two"]
+        assert runs[0] == first and runs[1] == second
+
+    def test_missing_ledger_is_empty(self, tmp_path):
+        assert load_ledger(tmp_path / "absent.jsonl") == []
+
+    def test_corrupt_line_reports_line_number(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_ledger(make_run(), ledger)
+        with ledger.open("a") as fh:
+            fh.write("not json\n")
+        with pytest.raises(ExperimentError, match="line 2"):
+            load_ledger(ledger)
+
+
+class TestRunner:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown bench scenario"):
+            BenchRunner(scenarios=["no-such-scenario"])
+
+    def test_subset_preserves_declared_order(self):
+        runner = BenchRunner(scenarios=["gpu-sim-kroA200", "seq-berlin52"])
+        assert [s.key for s in runner.scenarios] == [
+            "seq-berlin52", "gpu-sim-kroA200"]
+
+    def test_smoke_selects_flagged_subset(self):
+        smoke_keys = [s.key for s in BenchRunner(smoke=True).scenarios]
+        assert "seq-berlin52" in smoke_keys
+        assert "gpu-batch-pr2392" not in smoke_keys
+        assert len(smoke_keys) < len(SCENARIOS)
+
+    def test_default_labels(self):
+        assert BenchRunner(smoke=True).label == "smoke"
+        assert BenchRunner().label == "full"
+        assert BenchRunner(label="nightly").label == "nightly"
+
+    def test_single_scenario_collects_metrics(self):
+        run = BenchRunner(scenarios=["seq-berlin52"], label="t").run()
+        assert run.scenario_keys == ["seq-berlin52"]
+        res = run.result("seq-berlin52")
+        assert res.backend == "cpu-sequential"
+        m = res.metrics
+        for key in ("final_length", "modeled_seconds", "kernel_seconds",
+                    "wall_seconds", "checks_per_second", "pair_checks",
+                    "transfer_bytes", "faults_injected",
+                    "scenario_wall_seconds"):
+            assert key in m
+        assert m["modeled_seconds"] > 0
+        assert m["faults_injected"] == 0.0
+
+    @pytest.mark.bench
+    def test_smoke_suite_end_to_end(self):
+        run = BenchRunner(smoke=True).run()
+        assert run.smoke is True
+        # the faulted scenario actually injected faults
+        faulted = run.result("faulted-pool-a280")
+        assert faulted.metrics["faults_injected"] > 0
+        # the instrumented GPU scenario recorded roofline percentiles
+        simulated = run.result("gpu-sim-kroA200")
+        assert simulated.metrics["roofline_attained_gflops_p50"] > 0
+        # identical re-run of a deterministic scenario gates clean
+        again = BenchRunner(scenarios=["seq-berlin52"]).run()
+        report = compare_runs(run, again)
+        gated = [e for e in report.entries if e.scenario == "seq-berlin52"]
+        assert all(e.status != "regressed" for e in gated)
+
+
+class TestGate:
+    def test_identical_runs_pass(self):
+        report = compare_runs(make_run("a"), make_run("b"))
+        assert report.ok
+        assert report.regressions == []
+
+    def test_worse_deterministic_metric_fails(self):
+        report = compare_runs(
+            make_run("a"), make_run("b", a={"final_length": 1001.0}))
+        assert not report.ok
+        bad = report.regressions
+        assert [(e.scenario, e.metric) for e in bad] == [
+            ("alpha", "final_length")]
+        assert bad[0].rel_change == pytest.approx(0.001)
+
+    def test_improvement_is_not_a_failure(self):
+        report = compare_runs(
+            make_run("a"), make_run("b", a={"final_length": 900.0,
+                                            "checks_per_second": 3e9}))
+        assert report.ok
+        statuses = {(e.metric): e.status for e in report.entries
+                    if e.scenario == "alpha"}
+        assert statuses["final_length"] == "improved"
+        assert statuses["checks_per_second"] == "improved"
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        report = compare_runs(
+            make_run("a"), make_run("b", a={"checks_per_second": 1.9e9}))
+        assert not report.ok  # -5% > the 2% slack
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        report = compare_runs(
+            make_run("a"), make_run("b", a={"checks_per_second": 1.99e9}))
+        assert report.ok
+
+    def test_wall_noise_floor_forgives(self):
+        # +0.2 s is inside the 0.25 s absolute floor even though it is
+        # +20% relative
+        report = compare_runs(
+            make_run("a"), make_run("b", a={"wall_seconds": 1.2}))
+        assert report.ok
+
+    def test_missing_scenario_fails(self):
+        candidate = BenchRun(
+            label="c", created="2026-01-01T00:00:00Z", smoke=True,
+            results=(make_run().results[0],),  # "beta" vanished
+        )
+        report = compare_runs(make_run(), candidate)
+        assert not report.ok
+        assert any(e.scenario == "beta" and e.status == "missing"
+                   for e in report.regressions)
+
+    def test_missing_gated_metric_fails_but_ungated_does_not(self):
+        base = make_run("a", a={"unknown_extra": 5.0})
+        cand = make_run("b")
+        del_metric = dict(cand.results[0].metrics)
+        del_metric.pop("modeled_seconds")
+        cand = BenchRun(
+            label="b", created=cand.created, smoke=True,
+            results=(ScenarioResult("alpha", 100, "GTX", "gpu", del_metric),
+                     cand.results[1]),
+        )
+        report = compare_runs(base, cand)
+        statuses = {e.metric: e.status for e in report.entries
+                    if e.scenario == "alpha"}
+        assert statuses["modeled_seconds"] == "missing"   # gated: fails
+        assert statuses["unknown_extra"] == "ok"          # ungated: fine
+        assert not report.ok
+
+    def test_new_candidate_metric_is_informational(self):
+        report = compare_runs(
+            make_run("a"), make_run("b", a={"brand_new": 1.0}))
+        assert report.ok
+        new = next(e for e in report.entries if e.metric == "brand_new")
+        assert new.status == "new"
+        assert new.baseline is None
+
+    def test_custom_policy_overrides_default(self):
+        strict = dict(METRIC_POLICIES)
+        strict["wall_seconds"] = MetricPolicy("lower", 0.0, 0.0)
+        report = compare_runs(
+            make_run("a"), make_run("b", a={"wall_seconds": 1.01}),
+            policies=strict,
+        )
+        assert not report.ok
+
+
+class TestRenderers:
+    def test_render_run_lists_scenarios(self):
+        out = render_run(make_run())
+        assert "alpha" in out and "beta" in out
+        assert "smoke suite" in out
+
+    def test_render_comparison_pass_and_fail(self):
+        ok = render_comparison(compare_runs(make_run("a"), make_run("b")))
+        assert "PASS" in ok
+        bad = render_comparison(compare_runs(
+            make_run("a"), make_run("b", a={"final_length": 1100.0})))
+        assert "FAIL" in bad
+        assert "final_length" in bad
+
+
+class TestCli:
+    def test_bench_cli_writes_run_and_ledger(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--scenario", "seq-berlin52",
+                     "--label", "one"]) == 0
+        assert (tmp_path / "BENCH_one.json").exists()
+        runs = load_ledger(tmp_path / "benchmarks" / "ledger.jsonl")
+        assert [r.label for r in runs] == ["one"]
+        assert "seq-berlin52" in capsys.readouterr().out
+
+    def test_bench_cli_gate_pass_and_fail_exit_codes(self, tmp_path, capsys,
+                                                     monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--scenario", "seq-berlin52",
+                     "--label", "base", "--no-ledger"]) == 0
+        capsys.readouterr()
+        # identical re-run gates clean
+        assert main(["bench", "--scenario", "seq-berlin52", "--label",
+                     "cand", "--against", "BENCH_base.json",
+                     "--no-ledger"]) == 0
+        assert "PASS" in capsys.readouterr().out
+        # doctor the baseline so the candidate must regress → exit 3
+        doctored = load_run(tmp_path / "BENCH_base.json")
+        metrics = dict(doctored.results[0].metrics)
+        metrics["final_length"] -= 1.0
+        save_run(BenchRun(
+            label="tight", created=doctored.created, smoke=doctored.smoke,
+            results=(ScenarioResult(
+                "seq-berlin52", doctored.results[0].n,
+                doctored.results[0].device, doctored.results[0].backend,
+                metrics),),
+        ), tmp_path)
+        assert main(["bench", "--scenario", "seq-berlin52", "--label",
+                     "cand2", "--against", "BENCH_tight.json",
+                     "--no-ledger"]) == 3
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_cli_json_output(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--scenario", "seq-berlin52", "--json",
+                     "--no-ledger"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["results"][0]["scenario"] == "seq-berlin52"
+
+    def test_bench_cli_unknown_scenario_exits_2(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--scenario", "bogus"]) == 2
+        assert "unknown bench scenario" in capsys.readouterr().err

@@ -1,0 +1,177 @@
+"""Tests for the HTML/ASCII run dashboard over ledger + trace artifacts."""
+
+import pytest
+
+from repro.telemetry import (
+    BenchRun,
+    ScenarioResult,
+    compare_runs,
+    render_dashboard_ascii,
+    render_dashboard_html,
+    write_dashboard,
+)
+from repro.telemetry.dashboard import (
+    TREND_METRICS,
+    ascii_sparkline,
+    trace_lanes,
+    trace_roofline_points,
+    trend_series,
+)
+
+
+def ledger_runs(count=3):
+    """A synthetic ledger: one scenario drifting across *count* runs."""
+    runs = []
+    for i in range(count):
+        runs.append(BenchRun(
+            label=f"r{i}", created=f"2026-01-0{i + 1}T00:00:00Z", smoke=True,
+            results=(ScenarioResult("alpha", 100, "GTX", "gpu", {
+                "modeled_seconds": 0.5 + 0.1 * i,
+                "kernel_seconds": 0.4 + 0.1 * i,
+                "checks_per_second": 1e9 * (1 + i),
+                "gflops": 100.0 + i,
+                "final_length": 1000.0,
+            }),),
+        ))
+    return runs
+
+
+def sample_trace():
+    """A minimal Chrome trace: metadata, host span, two roofline launches."""
+    return {"traceEvents": [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": "host (wall)"}},
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_sort_index",
+         "args": {"sort_index": 0}},
+        {"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+         "args": {"name": "modeled device"}},
+        {"ph": "M", "pid": 2, "tid": 0, "name": "process_sort_index",
+         "args": {"sort_index": 1}},
+        {"ph": "M", "pid": 2, "tid": 1, "name": "thread_name",
+         "args": {"name": "gtx680-cuda#0"}},
+        {"ph": "M", "pid": 2, "tid": 1, "name": "thread_sort_index",
+         "args": {"sort_index": 1}},
+        {"ph": "M", "pid": 2, "tid": 2, "name": "thread_name",
+         "args": {"name": "gtx680-cuda#1"}},
+        {"ph": "M", "pid": 2, "tid": 2, "name": "thread_sort_index",
+         "args": {"sort_index": 2}},
+        {"ph": "X", "pid": 1, "tid": 0, "name": "local_search",
+         "ts": 0.0, "dur": 900.0, "args": {}},
+        {"ph": "X", "pid": 2, "tid": 1, "name": "2opt-ordered",
+         "ts": 0.0, "dur": 120.0,
+         "args": {"device": "GeForce GTX 680", "attained_gflops": 500.0,
+                  "arithmetic_intensity": 12.0, "occupancy": 0.8}},
+        {"ph": "X", "pid": 2, "tid": 2, "name": "2opt-ordered",
+         "ts": 50.0, "dur": 100.0,
+         "args": {"device": "GeForce GTX 680", "attained_gflops": 450.0,
+                  "arithmetic_intensity": 11.0, "occupancy": 0.75}},
+    ]}
+
+
+class TestTraceParsing:
+    def test_roofline_points_only_from_instrumented_launches(self):
+        points = trace_roofline_points(sample_trace())
+        assert len(points) == 2  # the host span carries no roofline args
+        assert {p["device"] for p in points} == {"GeForce GTX 680"}
+        assert points[0]["gflops"] == 500.0
+        assert points[0]["intensity"] == 12.0
+
+    def test_lanes_named_and_ordered_by_sort_index(self):
+        lanes = trace_lanes(sample_trace())
+        assert [l["lane"] for l in lanes] == [
+            "tid 0", "gtx680-cuda#0", "gtx680-cuda#1"]
+        assert lanes[0]["process"] == "host (wall)"
+        assert lanes[1]["process"] == "modeled device"
+        assert lanes[1]["bars"] == [(0.0, 120.0, "2opt-ordered")]
+
+    def test_empty_trace(self):
+        assert trace_roofline_points({}) == []
+        assert trace_lanes({}) == []
+
+
+class TestTrends:
+    def test_trend_series_covers_headline_metrics(self):
+        series = trend_series(ledger_runs())
+        keys = {(s["scenario"], s["metric"]) for s in series}
+        assert keys == {("alpha", m) for m in TREND_METRICS}
+        modeled = next(s for s in series if s["metric"] == "modeled_seconds")
+        assert modeled["values"] == pytest.approx([0.5, 0.6, 0.7])
+
+    def test_trend_series_gap_for_absent_scenario(self):
+        runs = ledger_runs(2)
+        runs.append(BenchRun(
+            label="r2", created="2026-01-03T00:00:00Z", smoke=True,
+            results=(ScenarioResult("other", 50, "CPU", "cpu-sequential",
+                                    {"modeled_seconds": 1.0}),),
+        ))
+        series = trend_series(runs)
+        alpha = next(s for s in series if s["scenario"] == "alpha"
+                     and s["metric"] == "modeled_seconds")
+        assert alpha["values"] == [0.5, 0.6, None]
+
+    def test_ascii_sparkline_shape(self):
+        line = ascii_sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+        assert ascii_sparkline([None, 1.0])[0] == " "
+        assert ascii_sparkline([None, None]) == ""
+        # a flat series renders, it does not divide by zero
+        assert len(ascii_sparkline([2.0, 2.0])) == 2
+
+
+class TestAsciiDashboard:
+    def test_contains_trends_roofline_and_gate(self):
+        runs = ledger_runs()
+        report = compare_runs(runs[-2], runs[-1])
+        out = render_dashboard_ascii(runs, trace=sample_trace(),
+                                     comparison=report)
+        assert "alpha" in out
+        assert "modeled_seconds" in out
+        assert "GeForce GTX 680" in out      # roofline table row
+        assert "bench gate" in out
+
+    def test_empty_ledger_message(self):
+        out = render_dashboard_ascii([])
+        assert "0 run(s)" in out
+
+
+class TestHtmlDashboard:
+    def test_sections_present(self):
+        runs = ledger_runs()
+        html_out = render_dashboard_html(
+            runs, trace=sample_trace(),
+            comparison=compare_runs(runs[0], runs[-1]),
+        )
+        assert html_out.lower().startswith("<!doctype html>")
+        assert "Metric trajectories" in html_out
+        assert "Roofline" in html_out
+        assert "Span waterfall" in html_out
+        assert "Regression gate" in html_out
+        assert "<svg" in html_out
+        # dark mode is selected, not an automatic inversion
+        assert "prefers-color-scheme" in html_out
+        # device identity is direct-labeled on the roofline scatter
+        assert "GeForce GTX 680" in html_out
+
+    def test_no_trace_shows_trends_only(self):
+        html_out = render_dashboard_html(ledger_runs())
+        assert "Metric trajectories" in html_out
+        assert "Span waterfall" not in html_out
+
+    def test_trace_without_samples_shows_empty_state(self):
+        trace = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 0, "name": "host", "ts": 0.0,
+             "dur": 10.0, "args": {}},
+        ]}
+        html_out = render_dashboard_html(ledger_runs(), trace=trace)
+        assert "no per-launch roofline samples" in html_out
+
+    def test_self_contained_no_external_assets(self):
+        html_out = render_dashboard_html(ledger_runs(), trace=sample_trace())
+        assert "http://" not in html_out and "https://" not in html_out
+        assert "<script src" not in html_out
+
+    def test_write_dashboard(self, tmp_path):
+        path = write_dashboard(tmp_path / "dash.html", ledger_runs())
+        assert path.exists()
+        assert "Metric trajectories" in path.read_text()

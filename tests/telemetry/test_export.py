@@ -82,6 +82,56 @@ class TestChromeTrace:
         assert_valid_chrome_trace(to_chrome_trace(tracer))
 
 
+class TestLaneOrdering:
+    """Stable viewer ordering: sort-index metadata, sorted lane tids."""
+
+    def test_process_sort_indices_put_host_first(self):
+        events = to_chrome_trace(build_tracer())["traceEvents"]
+        order = {e["pid"]: e["args"]["sort_index"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_sort_index"}
+        assert order[HOST_PID] == 0
+        assert order[DEVICE_PID] == 1
+
+    def test_every_device_lane_has_thread_sort_index(self):
+        events = to_chrome_trace(build_tracer())["traceEvents"]
+        named = {e["tid"] for e in events if e["ph"] == "M"
+                 and e["pid"] == DEVICE_PID and e["name"] == "thread_name"}
+        sorted_idx = {e["tid"]: e["args"]["sort_index"] for e in events
+                      if e["ph"] == "M" and e["pid"] == DEVICE_PID
+                      and e["name"] == "thread_sort_index"}
+        assert named and named == set(sorted_idx)
+        assert all(sorted_idx[tid] == tid for tid in named)
+
+    def test_pool_lane_tids_numeric_aware_not_arrival_order(self):
+        tracer = Tracer()
+        # arrival order deliberately scrambled, with a double-digit index
+        for lane in ("gtx680-cuda#10", "gtx680-cuda#2", "gtx680-cuda#1"):
+            tracer.device_event("2opt-tiled", 1e-4, track=lane)
+        events = to_chrome_trace(tracer)["traceEvents"]
+        names = {e["tid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["pid"] == DEVICE_PID
+                 and e["name"] == "thread_name"}
+        by_tid = [names[tid] for tid in sorted(names)]
+        assert by_tid == ["gtx680-cuda#1", "gtx680-cuda#2", "gtx680-cuda#10"]
+
+    def test_lane_assignment_deterministic_across_arrival_orders(self):
+        def trace_for(order):
+            tracer = Tracer()
+            for lane in order:
+                tracer.device_event("k", 1e-4, track=lane)
+            return to_chrome_trace(tracer)["traceEvents"]
+
+        lanes = ("a#1", "b#1", "a#2")
+        meta_a = [(e["tid"], e["args"]["name"]) for e in trace_for(lanes)
+                  if e["ph"] == "M" and e["name"] == "thread_name"
+                  and e["pid"] == DEVICE_PID]
+        meta_b = [(e["tid"], e["args"]["name"])
+                  for e in trace_for(tuple(reversed(lanes)))
+                  if e["ph"] == "M" and e["name"] == "thread_name"
+                  and e["pid"] == DEVICE_PID]
+        assert sorted(meta_a) == sorted(meta_b)
+
+
 class TestCollectorBridge:
     def test_collector_exports_to_chrome(self):
         tc = TraceCollector()

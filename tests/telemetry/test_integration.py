@@ -103,6 +103,44 @@ class TestProfiledSimulateMode:
         assert ev[0].attrs["bytes"] == 4096
         assert prof.metrics.counter("transfer.bytes").value == 4096
 
+    def test_launch_events_carry_roofline_and_occupancy(self, inst100):
+        ls = LocalSearch("gtx680-cuda", mode="simulate")
+        with Profiler() as prof:
+            ls.run(inst100.coords_float32(), max_moves=2)
+        launch = next(s for s in prof.spans if s.name == "2opt-ordered"
+                      and s.track == "device")
+        for key in ("attained_gflops", "attained_bandwidth_gbps",
+                    "arithmetic_intensity", "occupancy",
+                    "occupancy_limited_by", "flops", "global_bytes",
+                    "shared_bytes", "utilization"):
+            assert key in launch.attrs
+        assert 0 < launch.attrs["occupancy"] <= 1
+        assert prof.metrics.histogram(
+            "gpusim.roofline.attained_gflops").count > 0
+        assert prof.metrics.gauge("gpusim.occupancy.device").value > 0
+
+
+class TestProfilerReentrancy:
+    def test_nested_with_on_same_profiler_restores_defaults(self):
+        prof = Profiler()
+        with prof:
+            with prof:  # e.g. a helper that also wraps in the profiler
+                assert get_tracer() is prof.tracer
+            # inner exit must NOT tear down the outer installation
+            assert get_tracer() is prof.tracer
+            assert get_metrics() is prof.metrics
+        assert get_tracer().enabled is False
+        assert get_metrics().enabled is False
+
+    def test_nested_distinct_profilers_restore_in_order(self):
+        outer, inner = Profiler(), Profiler()
+        with outer:
+            with inner:
+                assert get_tracer() is inner.tracer
+            assert get_tracer() is outer.tracer
+            assert get_metrics() is outer.metrics
+        assert isinstance(get_tracer(), NoopTracer)
+
 
 class TestProfiledILS:
     @pytest.fixture(scope="class")

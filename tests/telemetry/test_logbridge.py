@@ -1,0 +1,177 @@
+"""Tests for the structured-logging bridge (spans/faults through logging)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import (
+    JsonLogFormatter,
+    SpanLogListener,
+    Tracer,
+    install_log_bridge,
+    log_fault_event,
+    uninstall_log_bridge,
+)
+from repro.telemetry.logbridge import (
+    BENCH_LOGGER,
+    FAULT_LOGGER,
+    FIELDS_ATTR,
+    SPAN_LOGGER,
+)
+from repro.telemetry.span import _span_listener  # noqa: F401 (import check)
+
+
+@pytest.fixture()
+def bridge_stream():
+    """Install the bridge on a StringIO; always uninstall afterwards."""
+    stream = io.StringIO()
+    try:
+        yield stream
+    finally:
+        uninstall_log_bridge()
+        logging.getLogger("repro").setLevel(logging.NOTSET)
+
+
+class TestInstall:
+    def test_span_close_logged_at_info(self, bridge_stream):
+        install_log_bridge("INFO", stream=bridge_stream)
+        tracer = Tracer()
+        with tracer.span("local_search", category="core"):
+            tracer.advance_modeled(0.25)
+        out = bridge_stream.getvalue()
+        assert "span close local_search" in out
+        assert "modeled=0.250000s" in out
+        # opens are DEBUG — suppressed at INFO
+        assert "span open" not in out
+
+    def test_debug_level_shows_opens(self, bridge_stream):
+        install_log_bridge("DEBUG", stream=bridge_stream)
+        with Tracer().span("scan"):
+            pass
+        assert "span open scan" in bridge_stream.getvalue()
+
+    def test_idempotent_reinstall_single_handler(self, bridge_stream):
+        install_log_bridge("INFO", stream=bridge_stream)
+        install_log_bridge("INFO", stream=bridge_stream)
+        root = logging.getLogger("repro")
+        stream_handlers = [h for h in root.handlers
+                           if isinstance(h, logging.StreamHandler)
+                           and not isinstance(h, logging.NullHandler)]
+        assert len(stream_handlers) == 1
+        with Tracer().span("once"):
+            pass
+        assert bridge_stream.getvalue().count("span close once") == 1
+
+    def test_uninstall_silences_spans(self, bridge_stream):
+        install_log_bridge("INFO", stream=bridge_stream)
+        uninstall_log_bridge()
+        with Tracer().span("quiet"):
+            pass
+        assert "quiet" not in bridge_stream.getvalue()
+
+    def test_noop_tracer_never_notifies(self, bridge_stream):
+        from repro.telemetry import get_tracer
+
+        install_log_bridge("DEBUG", stream=bridge_stream)
+        with get_tracer().span("invisible"):  # default NoopTracer
+            pass
+        assert bridge_stream.getvalue() == ""
+
+
+class TestJsonFormatter:
+    def test_fields_merged_into_payload(self):
+        fmt = JsonLogFormatter()
+        record = logging.LogRecord(
+            SPAN_LOGGER, logging.INFO, __file__, 1, "span close %s",
+            ("scan",), None,
+        )
+        setattr(record, FIELDS_ATTR, {"event": "span_close", "span": "scan",
+                                      "wall_seconds": 0.5})
+        payload = json.loads(fmt.format(record))
+        assert payload["message"] == "span close scan"
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == SPAN_LOGGER
+        assert payload["event"] == "span_close"
+        assert payload["wall_seconds"] == 0.5
+
+    def test_json_mode_end_to_end(self, bridge_stream):
+        install_log_bridge("INFO", json_output=True, stream=bridge_stream)
+        tracer = Tracer()
+        with tracer.span("solve", category="api"):
+            pass
+        lines = [json.loads(line)
+                 for line in bridge_stream.getvalue().splitlines()]
+        close = next(o for o in lines if o.get("event") == "span_close")
+        assert close["span"] == "solve"
+        assert close["category"] == "api"
+        assert "modeled_seconds" in close
+
+
+class TestFaultEvents:
+    def test_fault_event_is_warning_with_fields(self, bridge_stream):
+        install_log_bridge("WARNING", json_output=True, stream=bridge_stream)
+        log_fault_event("gpusim.fault.injected", "gtx680-cuda#0", 1.0)
+        payload = json.loads(bridge_stream.getvalue())
+        assert payload["level"] == "WARNING"
+        assert payload["logger"] == FAULT_LOGGER
+        assert payload["event"] == "fault"
+        assert payload["kind"] == "gpusim.fault.injected"
+        assert payload["track"] == "gtx680-cuda#0"
+
+    def test_warning_level_hides_span_closes(self, bridge_stream):
+        install_log_bridge("WARNING", stream=bridge_stream)
+        with Tracer().span("hidden"):
+            pass
+        log_fault_event("gpusim.fault.retries", "pool#1")
+        out = bridge_stream.getvalue()
+        assert "hidden" not in out
+        assert "fault event" in out
+
+    def test_faulted_solve_emits_fault_records(self, bridge_stream):
+        from repro.core.solver import TwoOptSolver
+        from repro.tsplib.generators import generate_instance
+
+        install_log_bridge("WARNING", stream=bridge_stream)
+        solver = TwoOptSolver(
+            ["gtx680-cuda", "gtx680-cuda"], backend="multi-gpu",
+            mode="simulate", strategy="best",
+            faults="rate:transient=0.3,seed=4",
+        )
+        solver.solve(generate_instance(150, seed=1), max_scans=4)
+        assert "fault event injected" in bridge_stream.getvalue()
+
+
+class TestListenerUnit:
+    def test_listener_uses_named_logger(self):
+        logger = logging.getLogger("test.spanbridge")
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = Capture(level=logging.DEBUG)
+        logger.addHandler(handler)
+        logger.setLevel(logging.DEBUG)
+        logger.propagate = False
+        try:
+            from repro.telemetry import set_span_listener
+
+            previous = set_span_listener(SpanLogListener(logger))
+            try:
+                with Tracer().span("unit"):
+                    pass
+            finally:
+                set_span_listener(previous)
+        finally:
+            logger.removeHandler(handler)
+        events = [getattr(r, FIELDS_ATTR)["event"] for r in records]
+        assert events == ["span_open", "span_close"]
+
+    def test_bench_logger_name_reserved(self):
+        # the bench module logs under the documented name
+        import repro.telemetry.bench as bench
+
+        assert bench._log.name == BENCH_LOGGER

@@ -69,6 +69,37 @@ class TestHistogram:
         assert h.total == pytest.approx(106.0)
         assert h.dropped == 1
 
+    def test_summary_includes_p10(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["p10"] == 10.0
+        assert s["p90"] == 90.0
+        assert MetricsRegistry().histogram("x").summary()["p10"] == 0.0
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            h = MetricsRegistry().histogram(name, max_samples=16)
+            for v in range(1000):
+                h.observe(float(v))
+            return h
+
+        a, b = fill("same"), fill("same")
+        assert a._samples == b._samples          # seeded from the name
+        assert a.dropped == b.dropped == 1000 - 16
+        assert fill("other")._samples != a._samples
+
+    def test_reservoir_sample_is_representative_not_prefix(self):
+        h = MetricsRegistry().histogram("stream", max_samples=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        # first-N retention would cap the sampled p90 at 63; the
+        # reservoir keeps late observations reachable
+        assert h.percentile(90) > 1000.0
+        assert len(h._samples) == 64
+        assert h.count == 10_000
+
 
 class TestRegistry:
     def test_record_kernel_stats_prefixes_counters(self):
@@ -95,6 +126,33 @@ class TestRegistry:
         assert a.counter("c").value == 3.0
         assert a.gauge("g").value == 7.0
         assert a.histogram("h").count == 1
+
+    def test_merge_disjoint_names_keeps_both(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only.a").inc(1)
+        b.counter("only.b").inc(2)
+        a.histogram("h.a").observe(1.0)
+        b.histogram("h.b").observe(2.0)
+        a.merge(b)
+        assert a.counter("only.a").value == 1.0
+        assert a.counter("only.b").value == 2.0
+        assert set(a.histograms) == {"h.a", "h.b"}
+        # the source registry is untouched
+        assert "only.a" not in b.counters
+
+    def test_merge_overlapping_histograms_preserves_aggregates(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in [1.0, 2.0]:
+            a.histogram("h", max_samples=2).observe(v)
+        for v in [3.0, 4.0, 5.0]:
+            b.histogram("h", max_samples=2).observe(v)
+        a.merge(b)
+        h = a.histogram("h")
+        # exact aggregates survive even past both sample bounds
+        assert h.count == 5
+        assert h.total == pytest.approx(15.0)
+        assert h.min == 1.0 and h.max == 5.0
+        assert h.dropped == h.count - len(h._samples)
 
     def test_snapshot_shape(self):
         reg = MetricsRegistry()

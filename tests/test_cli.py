@@ -13,7 +13,7 @@ class TestParser:
     def test_all_commands_registered(self):
         p = build_parser()
         for cmd in ("solve", "table1", "table2", "fig9", "fig10", "fig11",
-                    "ablate", "devices"):
+                    "ablate", "devices", "bench", "dashboard"):
             args = p.parse_args([cmd] if cmd != "fig11" else [cmd, "--n", "100"])
             assert callable(args.func)
 
@@ -120,6 +120,108 @@ class TestNewCommands:
         )
         assert proc.returncode == 0
         assert "fnl4461" in proc.stdout
+
+
+class TestLogFlags:
+    def test_log_level_emits_span_records_on_stderr(self, capsys):
+        from repro.telemetry.logbridge import uninstall_log_bridge
+
+        try:
+            assert main(["--log-level", "INFO", "solve", "--n", "80",
+                         "--profile"]) == 0
+            assert "span close solve" in capsys.readouterr().err
+        finally:
+            uninstall_log_bridge()
+
+    def test_log_json_emits_json_lines(self, capsys):
+        import json
+        import logging
+
+        from repro.telemetry.logbridge import uninstall_log_bridge
+
+        try:
+            assert main(["--log-json", "solve", "--n", "80",
+                         "--profile"]) == 0
+            err_lines = capsys.readouterr().err.splitlines()
+            closes = [json.loads(line) for line in err_lines
+                      if '"span_close"' in line]
+            assert closes and closes[-1]["span"] == "solve"
+        finally:
+            uninstall_log_bridge()
+            logging.getLogger("repro").setLevel(logging.NOTSET)
+
+    def test_no_flag_no_bridge_no_stderr_noise(self, capsys):
+        assert main(["solve", "--n", "80", "--profile"]) == 0
+        assert "span close" not in capsys.readouterr().err
+
+
+class TestSolveModeFlag:
+    def test_simulate_mode_defaults_to_best_strategy(self, capsys):
+        import json
+
+        assert main(["solve", "--n", "100", "--seed", "2", "--mode",
+                     "simulate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "best"
+
+    def test_simulate_trace_carries_roofline_samples(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["solve", "--n", "100", "--seed", "2", "--mode",
+                     "simulate", "--trace-out", str(trace_path)]) == 0
+        trace = json.loads(trace_path.read_text())
+        launches = [e for e in trace["traceEvents"]
+                    if e.get("ph") == "X"
+                    and "attained_gflops" in e.get("args", {})]
+        assert launches
+
+    def test_fast_mode_trace_has_no_roofline_samples(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["solve", "--n", "100", "--seed", "2",
+                     "--trace-out", str(trace_path)]) == 0
+        trace = json.loads(trace_path.read_text())
+        assert not any("attained_gflops" in e.get("args", {})
+                       for e in trace["traceEvents"])
+
+
+class TestDashboardCommand:
+    def test_dashboard_html_and_ascii(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--scenario", "seq-berlin52",
+                     "--label", "base"]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "dash.html"
+        assert main(["dashboard", "--out", str(out_path)]) == 0
+        html = out_path.read_text()
+        assert "Metric trajectories" in html
+        assert "seq-berlin52" in html
+        capsys.readouterr()
+        assert main(["dashboard", "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "seq-berlin52" in out
+
+    def test_dashboard_with_trace_and_against(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--scenario", "seq-berlin52",
+                     "--label", "base"]) == 0
+        trace_path = tmp_path / "trace.json"
+        assert main(["solve", "--n", "100", "--mode", "simulate",
+                     "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["dashboard", "--trace", str(trace_path),
+                     "--against", "BENCH_base.json", "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "Recorded roofline" in out
+        assert "bench gate" in out
+
+    def test_dashboard_empty_ledger_ok(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["dashboard", "--ascii"]) == 0
+        assert "0 run(s)" in capsys.readouterr().out
 
 
 class TestSolveJson:
