@@ -332,6 +332,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         BenchRunner,
         append_ledger,
         compare_runs,
+        filter_run,
         load_run,
         render_comparison,
         render_run,
@@ -354,7 +355,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"ledger     : {ledger}")
     report = None
     if args.against:
-        report = compare_runs(load_run(args.against), run)
+        baseline = load_run(args.against)
+        if args.scenario:
+            # gate only what was actually run; scenarios deliberately
+            # skipped must not count as "missing"
+            baseline = filter_run(baseline, args.scenario)
+        shared = [k for k in baseline.scenario_keys
+                  if run.result(k) is not None]
+        if not shared:
+            print(
+                f"error: baseline {args.against!r} shares no scenarios "
+                f"with this run (baseline has "
+                f"{baseline.scenario_keys or 'none'}, run has "
+                f"{run.scenario_keys}); nothing to gate",
+                file=sys.stderr,
+            )
+            return 4
+        report = compare_runs(baseline, run)
         if not args.json:
             print()
             print(render_comparison(report))
@@ -363,8 +380,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a JSONL manifest through the batch-solve service.
+
+    Streams one JSON result line per job to stdout in completion order
+    (unless ``--json`` asks for a single report document), then prints a
+    one-line summary to stderr. Exit 0 when every job completed, 1 when
+    any job failed/expired/was rejected, 2 for a bad manifest.
+    """
+    import contextlib
+    import json
+
+    from repro.service import ArtifactCache, load_manifest, run_batch
+    from repro.telemetry import Profiler
+
+    requests = load_manifest(args.manifest)
+    cache = ArtifactCache(max_bytes=args.cache_bytes)
+    profiling = args.profile or args.trace_out is not None
+    profiler = Profiler() if profiling else None
+
+    def stream(result) -> None:
+        print(json.dumps(result.as_dict()), flush=True)
+
+    with profiler if profiler is not None else contextlib.nullcontext():
+        report = run_batch(
+            requests,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            default_deadline_s=args.deadline,
+            cache=cache,
+            on_full="reject" if args.reject_when_full else "wait",
+            on_result=None if args.json else stream,
+        )
+    if args.trace_out:
+        profiler.write_chrome_trace(args.trace_out)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    counts = report.counts
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    c = report.cache
+    print(
+        f"batch: {len(report.results)} job(s) ({summary}) in "
+        f"{report.wall_seconds:.2f}s wall; cache {c['hits']} hit(s) / "
+        f"{c['misses']} miss(es) on {args.workers} worker(s)",
+        file=sys.stderr,
+    )
+    if profiling and args.trace_out:
+        print(f"chrome trace written to {args.trace_out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
-    """Render the observatory dashboard from recorded artifacts."""
+    """Render the observatory dashboard from recorded artifacts.
+
+    An empty (or absent) ledger with nothing else to chart is a
+    diagnostic, not a dashboard: one line on stderr and exit code 4, so
+    a dashboard cron job distinguishes "no data yet" from a render bug.
+    """
+    from pathlib import Path
+
     from repro.telemetry.bench import compare_runs, load_ledger, load_run
     from repro.telemetry.dashboard import (
         load_trace,
@@ -373,6 +447,17 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     )
 
     runs = load_ledger(args.ledger)
+    if not runs and (args.against or not args.trace):
+        missing = not Path(args.ledger).exists()
+        state = "does not exist" if missing else "contains no runs"
+        why = ("--against needs a ledger run to compare"
+               if args.against else "no --trace was given")
+        print(
+            f"error: bench ledger {args.ledger!r} {state} and {why}; "
+            f"run 'repro-tsp bench' first to record one",
+            file=sys.stderr,
+        )
+        return 4
     trace = load_trace(args.trace) if args.trace else None
     comparison = None
     if args.against and runs:
@@ -560,6 +645,38 @@ def build_parser() -> argparse.ArgumentParser:
     s.set_defaults(func=_cmd_bench)
 
     s = sub.add_parser(
+        "batch",
+        help="run a JSONL manifest of solve jobs through the batch "
+             "service (worker pool + artifact cache); streams one JSON "
+             "result line per job",
+    )
+    s.add_argument("manifest", help="JSONL manifest: one solve request "
+                                    "object per line (see docs/SERVICE.md)")
+    s.add_argument("--workers", type=int, default=4,
+                   help="worker threads (default 4; results are identical "
+                        "for any worker count)")
+    s.add_argument("--queue-depth", type=int, default=64,
+                   help="max queued jobs before admission control engages")
+    s.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="default per-job deadline in wall seconds "
+                        "(jobs may override via 'deadline_s')")
+    s.add_argument("--reject-when-full", action="store_true",
+                   help="reject jobs when the queue is full instead of "
+                        "applying backpressure")
+    s.add_argument("--cache-bytes", type=int, default=256 * 1024 * 1024,
+                   help="artifact cache capacity in bytes")
+    s.add_argument("--json", action="store_true",
+                   help="print one final report document instead of "
+                        "streaming JSONL result lines")
+    s.add_argument("--profile", action="store_true",
+                   help="collect service telemetry (queue waits, cache "
+                        "counters, per-worker lanes)")
+    s.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a chrome://tracing trace with one lane per "
+                        "worker (implies --profile)")
+    s.set_defaults(func=_cmd_batch)
+
+    s = sub.add_parser(
         "dashboard",
         help="render the run dashboard (HTML, or --ascii for terminals) "
              "from the bench ledger and an optional Chrome trace",
@@ -586,11 +703,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Parse *argv* and dispatch to the selected command.
 
     Expected failures (bad device key, malformed TSPLIB file, exhausted
-    retries, corrupt checkpoint, ...) surface as :class:`ReproError`
-    subclasses and become a one-line message on stderr with exit code 2;
-    Ctrl-C exits 130 per shell convention; ``bench --against`` reserves
-    exit code 3 for a failed regression gate.  Anything else is a bug
-    and keeps its traceback.
+    retries, corrupt checkpoint, malformed batch manifest, ...) surface
+    as :class:`ReproError` subclasses and become a one-line message on
+    stderr with exit code 2; Ctrl-C exits 130 per shell convention;
+    ``bench --against`` reserves exit code 3 for a failed regression
+    gate; exit code 4 means "nothing to compare or chart" (empty bench
+    ledger, baseline sharing no scenarios with the run); ``batch`` exits
+    1 when any job failed, expired, or was rejected.  Anything else is a
+    bug and keeps its traceback.
     """
     from repro.errors import ReproError
 

@@ -55,6 +55,7 @@ Strategies
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Literal, Optional, Sequence, Union
@@ -393,11 +394,14 @@ class LocalSearch:
         self, *, n: int, order: np.ndarray, length: int, initial_length: int,
         moves_applied: int, scans: int, launches: int, modeled: float,
         kernel_s: float, transfer: float, trace: list[tuple[float, int]],
+        instance: Optional[str] = None, coords_digest: Optional[str] = None,
     ) -> dict:
         return {
             "n": n,
             "backend": self.backend,
             "strategy": self.strategy,
+            "instance": instance,
+            "coords_digest": coords_digest,
             "order": encode_array(order),
             "length": int(length),
             "initial_length": int(initial_length),
@@ -420,6 +424,7 @@ class LocalSearch:
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[PathLike] = None,
         resume_from: Union[Checkpoint, PathLike, None] = None,
+        instance: Optional[str] = None,
     ) -> LocalSearchResult:
         """Optimize until a local minimum (or a cap) is reached.
 
@@ -438,6 +443,15 @@ class LocalSearch:
             descent being deterministic — finishes exactly where the
             uninterrupted run would have.  Not supported by the one-shot
             engines (``host_engine='dlb'``, simulated ``cpu-sequential``).
+            Checkpoints record a SHA-256 digest of the input coordinates
+            (and the ``instance`` label, when given); resuming against
+            different coordinates or a different instance raises a clean
+            :class:`~repro.errors.CheckpointError` *before* any state is
+            restored.
+        instance:
+            Optional instance label stored in (and verified against)
+            checkpoints; :class:`~repro.core.solver.TwoOptSolver` passes
+            the instance name automatically.
 
         The run reports into the process telemetry tracer (one
         ``local_search`` span, one ``scan`` span per scan, modeled device
@@ -455,6 +469,7 @@ class LocalSearch:
                 max_scans=max_scans, target_length=target_length,
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path, resume_from=resume_from,
+                instance=instance,
             )
             span.set_attr("scans", result.scans)
             span.set_attr("moves", result.moves_applied)
@@ -472,6 +487,7 @@ class LocalSearch:
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[PathLike] = None,
         resume_from: Union[Checkpoint, PathLike, None] = None,
+        instance: Optional[str] = None,
     ) -> LocalSearchResult:
         t_wall = time.perf_counter()
         checkpointing = (checkpoint_every is not None
@@ -492,6 +508,10 @@ class LocalSearch:
         # private working copy: the search reverses segments in place
         c = np.array(coords_ordered, dtype=np.float32, copy=True, order="C")
         n = c.shape[0]
+        # identity of the *input* coordinates, taken before any reversal;
+        # stored in checkpoints and verified on resume
+        coords_digest = (hashlib.sha256(c.tobytes()).hexdigest()
+                         if checkpointing else None)
         if n < 4:
             raise SolverError("need at least 4 cities")
         order = np.arange(n, dtype=np.int64)
@@ -517,6 +537,23 @@ class LocalSearch:
                     f"checkpoint was taken with backend={p.get('backend')!r} "
                     f"strategy={p.get('strategy')!r}; this search runs "
                     f"{self.backend!r}/{self.strategy!r}")
+            # instance identity — verified BEFORE restoring any state, so
+            # a wrong-instance resume fails cleanly instead of descending
+            # from a nonsense permutation
+            cp_instance = p.get("instance")
+            if (cp_instance is not None and instance is not None
+                    and cp_instance != instance):
+                raise CheckpointError(
+                    f"checkpoint was taken for instance {cp_instance!r}; "
+                    f"this run solves {instance!r}")
+            cp_digest = p.get("coords_digest")
+            if cp_digest is not None and cp_digest != coords_digest:
+                raise CheckpointError(
+                    "checkpoint coordinate digest does not match this "
+                    "run's input coordinates — different instance, "
+                    "initial tour, or seed"
+                    + (f" (checkpoint instance: {cp_instance!r})"
+                       if cp_instance else ""))
             from repro.tour.tour import validate_tour
 
             order = validate_tour(decode_array(p["order"]), n)
@@ -586,6 +623,7 @@ class LocalSearch:
                     moves_applied=moves_applied, scans=scans,
                     launches=launches, modeled=modeled, kernel_s=kernel_s,
                     transfer=transfer, trace=trace,
+                    instance=instance, coords_digest=coords_digest,
                 ),
             )
 

@@ -30,6 +30,24 @@ def pair_count(n: int) -> int:
     return n * (n - 1) // 2
 
 
+#: largest job index the float64-sqrt vectorized decode handles exactly.
+#: Beyond 2**52 consecutive integers are no longer representable in
+#: float64, so ``sqrt(1 + 8k)`` can silently land in the wrong row.
+EXACT_FLOAT_MAX = 1 << 52
+
+
+def _pair_from_linear_int(k: int) -> tuple[int, int]:
+    """Exact integer decode of one linear index via :func:`math.isqrt`.
+
+    With an exact integer square root the row is simply
+    ``j = (1 + isqrt(1 + 8k)) // 2`` — no floating-point rounding to fix
+    up, and correct for arbitrarily large Python ints (the float64 path
+    corrupts decodes from ``k = 2**52`` on).
+    """
+    j = (1 + math.isqrt(1 + 8 * k)) // 2
+    return k - j * (j - 1) // 2, j
+
+
 def pair_from_linear(k, n: int | None = None):
     """Decode linear job indices *k* into (i, j) pairs, ``i < j``.
 
@@ -37,13 +55,33 @@ def pair_from_linear(k, n: int | None = None):
     ``(0, j) … (j-1, j)``. The decode inverts the triangular number:
     ``j = floor((1 + sqrt(1 + 8k)) / 2)``, ``i = k - j(j-1)/2``.
 
-    Works on scalars and arrays. ``n`` (if given) bounds-checks the input.
+    Works on scalars and arrays. ``n`` (if given) bounds-checks the
+    input. Scalars decode through an exact :func:`math.isqrt` path that
+    is correct for arbitrarily large indices; the vectorized float64
+    path raises :class:`ValueError` for any ``k >= 2**52``, where float
+    rounding would silently corrupt the decode — decode such indices one
+    at a time instead.
     """
+    if isinstance(k, (int, np.integer)):
+        k_int = int(k)
+        if k_int < 0:
+            raise ValueError("linear index must be non-negative")
+        if n is not None and k_int >= pair_count(n):
+            raise ValueError(f"linear index out of range for n={n}")
+        return _pair_from_linear_int(k_int)
     k_arr = np.asarray(k, dtype=np.int64)
+    if k_arr.ndim == 0:
+        return pair_from_linear(int(k_arr), n)
     if np.any(k_arr < 0):
         raise ValueError("linear index must be non-negative")
     if n is not None and np.any(k_arr >= pair_count(n)):
         raise ValueError(f"linear index out of range for n={n}")
+    if np.any(k_arr >= EXACT_FLOAT_MAX):
+        raise ValueError(
+            f"vectorized decode is only exact for k < 2**52; "
+            f"got max k = {int(k_arr.max())} — decode scalar indices "
+            f"through the exact integer path instead"
+        )
     # float64 sqrt is exact enough for k < 2^52; fix up rounding explicitly.
     j = ((1.0 + np.sqrt(1.0 + 8.0 * k_arr.astype(np.float64))) / 2.0).astype(np.int64)
     # correct possible off-by-one from floating-point rounding
@@ -55,13 +93,20 @@ def pair_from_linear(k, n: int | None = None):
     j = j + too_small.astype(np.int64)
     tri = j * (j - 1) // 2
     i = k_arr - tri
-    if np.isscalar(k) or k_arr.ndim == 0:
-        return int(i), int(j)
     return i, j
 
 
 def linear_from_pair(i, j):
-    """Inverse of :func:`pair_from_linear`: ``k = j(j-1)/2 + i``."""
+    """Inverse of :func:`pair_from_linear`: ``k = j(j-1)/2 + i``.
+
+    Scalar int pairs are encoded with exact Python integer arithmetic
+    (no int64 overflow for huge rows); arrays use int64.
+    """
+    if isinstance(i, (int, np.integer)) and isinstance(j, (int, np.integer)):
+        i_int, j_int = int(i), int(j)
+        if i_int < 0 or i_int >= j_int:
+            raise ValueError("pairs must satisfy 0 <= i < j")
+        return j_int * (j_int - 1) // 2 + i_int
     i_arr = np.asarray(i, dtype=np.int64)
     j_arr = np.asarray(j, dtype=np.int64)
     if np.any(i_arr < 0) or np.any(i_arr >= j_arr):

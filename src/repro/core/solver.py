@@ -152,6 +152,7 @@ class TwoOptSolver:
                 coords_ordered, max_moves=max_moves, max_scans=max_scans,
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path, resume_from=resume_from,
+                instance=instance.name,
             )
             # result.order permutes *positions* of the initial tour
             final_order = order0[result.order]

@@ -79,5 +79,25 @@ class SolverError(ReproError):
     """Raised when a solver is misconfigured or cannot make progress."""
 
 
+class ServiceError(ReproError):
+    """Base class for batch-solve service errors (:mod:`repro.service`)."""
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected a job: the queue is at max depth."""
+
+
+class QueueClosedError(ServiceError):
+    """A job was submitted to (or pulled from) a closed queue."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A job's deadline expired before a worker could finish it."""
+
+
+class ManifestError(ServiceError):
+    """Raised for malformed batch manifests (bad JSONL, unknown fields)."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment driver receives inconsistent parameters."""

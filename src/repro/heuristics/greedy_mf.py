@@ -41,12 +41,17 @@ def multiple_fragment_tour(
     instance: TSPInstance,
     *,
     neighbor_k: int = 10,
+    candidate_pairs: np.ndarray | None = None,
 ) -> np.ndarray:
     """Build a Multiple Fragment tour for *instance*.
 
     ``neighbor_k`` bounds the candidate edge set (k-NN lists); 10 is the
     customary value and leaves only a few endpoints for the stitching
-    phase even on clustered instances.
+    phase even on clustered instances. ``candidate_pairs`` injects a
+    precomputed :func:`neighbor_pairs_sorted` edge stream (the
+    batch-solve service caches these per instance) — it must be the
+    length-sorted ``(m, 2)`` array that ``neighbor_pairs_sorted(coords,
+    neighbor_k)`` would return, or the construction changes.
     """
     coords = instance.coords
     if coords is None:
@@ -76,7 +81,9 @@ def multiple_fragment_tour(
         edges_taken += 1
         return True
 
-    for a, b in neighbor_pairs_sorted(coords, neighbor_k):
+    if candidate_pairs is None:
+        candidate_pairs = neighbor_pairs_sorted(coords, neighbor_k)
+    for a, b in candidate_pairs:
         if edges_taken == n - 1:
             break
         try_add(int(a), int(b))

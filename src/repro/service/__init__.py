@@ -1,0 +1,52 @@
+"""Batch-solve service layer: job queue, worker pool, artifact cache.
+
+The ROADMAP's north star is a system serving heavy solve traffic, but
+the CLI and the experiment drivers all solve exactly one instance per
+process invocation — every request re-parses its TSPLIB file, rebuilds
+k-nearest-neighbor candidate lists, and re-runs the construction
+heuristic even when a hundred requests target the same instance. This
+package amortizes that O(n²)-ish setup across requests:
+
+* :mod:`repro.service.jobs` — the :class:`SolveRequest` /
+  :class:`SolveResult` job model (one JSONL manifest line each way);
+* :mod:`repro.service.cache` — :class:`ArtifactCache`, a size-bounded
+  LRU over parsed instances, k-NN candidate edges, and construction
+  tours, with hit/miss accounting and in-flight request coalescing;
+* :mod:`repro.service.queue` — :class:`JobQueue`, a bounded queue with
+  admission control (max depth, per-job deadlines);
+* :mod:`repro.service.pool` — :class:`WorkerPool`, threads that drive
+  jobs through the existing :class:`~repro.core.solver.TwoOptSolver`
+  stack with per-job retry/fault policies;
+* :mod:`repro.service.batch` — manifest loading and the streaming
+  :func:`run_batch` driver behind the ``repro batch`` CLI subcommand.
+
+Results are deterministic in everything modeled: the same request (same
+instance, seed, config) produces bit-identical tours whether it runs
+alone, behind a cold cache, behind a warm cache, or interleaved with
+other jobs on any number of workers. Only wall-clock fields (queue
+wait, job wall seconds) vary between runs. See docs/SERVICE.md.
+"""
+
+from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.jobs import SolveRequest, SolveResult
+from repro.service.queue import JobQueue
+from repro.service.pool import WorkerPool
+from repro.service.batch import (
+    BatchReport,
+    iter_batch,
+    load_manifest,
+    run_batch,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "SolveRequest",
+    "SolveResult",
+    "JobQueue",
+    "WorkerPool",
+    "BatchReport",
+    "iter_batch",
+    "load_manifest",
+    "run_batch",
+]

@@ -1,0 +1,235 @@
+"""Manifest loading and the streaming batch driver behind ``repro batch``.
+
+A manifest is JSON Lines: one :class:`~repro.service.jobs.SolveRequest`
+object per line (blank lines and ``#`` comment lines are skipped).
+:func:`run_batch` is the coordinator: it submits jobs to a bounded
+:class:`~repro.service.queue.JobQueue`, streams results back in
+completion order, and — because it is the only thread allowed to touch
+the process-default tracer — books all service telemetry as results
+arrive:
+
+* ``service.queue_wait`` histogram (admission → dequeue, wall seconds);
+* ``service.jobs.{ok,failed,expired,rejected}`` counters;
+* ``service.cache.{hits,misses,evictions,coalesced}`` counters plus
+  per-kind ``service.cache.<kind>.{hits,misses}`` after the batch;
+* one ``service.job`` device event per job on a ``worker#<i>`` lane, so
+  the Chrome trace renders per-worker modeled timelines side by side.
+
+Backpressure vs. admission control: with ``on_full="wait"`` (the
+default) a full queue stalls submission until a result frees capacity;
+with ``on_full="reject"`` the surplus job is immediately reported with
+status ``rejected`` — the behavior a latency-bound service front-end
+wants.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as stdlib_queue
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.errors import ManifestError, QueueFullError
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import (
+    STATUS_REJECTED,
+    SolveRequest,
+    SolveResult,
+)
+from repro.service.queue import JobQueue
+from repro.service.pool import WorkerPool
+from repro.telemetry import get_metrics, get_tracer
+
+
+def load_manifest(path) -> list[SolveRequest]:
+    """Parse a JSONL manifest into validated :class:`SolveRequest` rows.
+
+    Any malformed line raises :class:`~repro.errors.ManifestError`
+    naming the line number; an unreadable path raises it too, so the
+    CLI reports one clean diagnostic instead of a traceback.
+    """
+    p = Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ManifestError(f"cannot read manifest {path}: {exc}") from exc
+    requests: list[SolveRequest] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            raw = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(
+                f"{p.name}:{lineno}: invalid JSON: {exc.msg}"
+            ) from exc
+        try:
+            requests.append(
+                SolveRequest.from_dict(raw, default_id=f"job{lineno}")
+            )
+        except ManifestError as exc:
+            raise ManifestError(f"{p.name}:{lineno}: {exc}") from exc
+    if not requests:
+        raise ManifestError(f"manifest {path} contains no jobs")
+    return requests
+
+
+def iter_batch(
+    requests: Sequence[SolveRequest],
+    *,
+    workers: int = 4,
+    queue_depth: int = 64,
+    default_deadline_s: Optional[float] = None,
+    cache: Optional[ArtifactCache] = None,
+    on_full: str = "wait",
+    clock: Callable[[], float] = time.monotonic,
+) -> Iterator[SolveResult]:
+    """Run *requests* through a worker pool, yielding completion-order results.
+
+    Per-job telemetry (queue-wait histogram, status counters, the
+    ``worker#<i>`` trace lane) is booked here, on the consuming thread,
+    as each result is yielded. Exactly one result is yielded per
+    request. The pool always shuts down, even if the consumer abandons
+    the generator early.
+    """
+    if on_full not in ("wait", "reject"):
+        raise ValueError(f"on_full must be 'wait' or 'reject', got {on_full!r}")
+    cache = cache if cache is not None else ArtifactCache()
+    jobs = JobQueue(max_depth=queue_depth, clock=clock)
+    results: "stdlib_queue.Queue[SolveResult]" = stdlib_queue.Queue()
+    pool = WorkerPool(jobs, cache, workers=workers, results=results,
+                      clock=clock)
+    pool.start()
+    pending = 0
+    try:
+        for index, request in enumerate(requests):
+            while True:
+                try:
+                    jobs.submit(request, default_deadline_s=default_deadline_s,
+                                index=index)
+                    pending += 1
+                    break
+                except QueueFullError as exc:
+                    if on_full == "reject":
+                        rejected = SolveResult(
+                            job_id=request.job_id,
+                            status=STATUS_REJECTED,
+                            instance=request.instance_label(),
+                            error=str(exc),
+                            index=index,
+                        )
+                        yield _book_job(rejected)
+                        break
+                    # backpressure: wait for one completion, then retry
+                    yield _book_job(results.get())
+                    pending -= 1
+        jobs.close()
+        while pending:
+            yield _book_job(results.get())
+            pending -= 1
+    finally:
+        jobs.close()
+        # drain whatever was in flight so join() cannot hang
+        while pending:
+            results.get()
+            pending -= 1
+        pool.join()
+
+
+def _book_job(result: SolveResult) -> SolveResult:
+    """Record one finished job's telemetry (coordinator thread only)."""
+    metrics = get_metrics()
+    metrics.histogram("service.queue_wait").observe(result.queue_wait_s)
+    metrics.counter(f"service.jobs.{result.status}").inc()
+    if result.worker >= 0:
+        get_tracer().device_event(
+            "service.job", result.modeled_seconds,
+            category="service", track=f"worker#{result.worker}",
+            job=result.job_id, instance=result.instance,
+            status=result.status, queue_wait_s=result.queue_wait_s,
+        )
+    return result
+
+
+def _book_cache(cache: ArtifactCache) -> None:
+    """Export final cache accounting as ``service.cache.*`` counters."""
+    metrics = get_metrics()
+    stats = cache.stats
+    metrics.counter("service.cache.hits").inc(stats.hits)
+    metrics.counter("service.cache.misses").inc(stats.misses)
+    metrics.counter("service.cache.evictions").inc(stats.evictions)
+    metrics.counter("service.cache.coalesced").inc(stats.coalesced)
+    for kind, per in sorted(stats.by_kind.items()):
+        metrics.counter(f"service.cache.{kind}.hits").inc(per["hits"])
+        metrics.counter(f"service.cache.{kind}.misses").inc(per["misses"])
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch run produced, in manifest order."""
+
+    results: list = field(default_factory=list)
+    cache: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def counts(self) -> dict:
+        """Result counts by status."""
+        out: dict = {}
+        for r in self.results:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """True when every job completed successfully."""
+        return all(r.ok for r in self.results)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable summary (the ``repro batch`` trailer)."""
+        return {
+            "jobs": len(self.results),
+            "counts": self.counts,
+            "wall_seconds": self.wall_seconds,
+            "cache": dict(self.cache),
+            "results": [r.as_dict() for r in self.results],
+        }
+
+
+def run_batch(
+    requests: Sequence[SolveRequest],
+    *,
+    workers: int = 4,
+    queue_depth: int = 64,
+    default_deadline_s: Optional[float] = None,
+    cache: Optional[ArtifactCache] = None,
+    on_full: str = "wait",
+    on_result: Optional[Callable[[SolveResult], None]] = None,
+) -> BatchReport:
+    """Run a whole batch; returns a manifest-ordered :class:`BatchReport`.
+
+    *on_result* (if given) is called with each result in completion
+    order — the CLI uses it to stream JSONL while the batch is still
+    running. Final cache accounting is booked into the metrics registry
+    and echoed in the report.
+    """
+    cache = cache if cache is not None else ArtifactCache()
+    started = time.perf_counter()
+    collected: list[SolveResult] = []
+    for result in iter_batch(
+        requests, workers=workers, queue_depth=queue_depth,
+        default_deadline_s=default_deadline_s, cache=cache, on_full=on_full,
+    ):
+        collected.append(result)
+        if on_result is not None:
+            on_result(result)
+    _book_cache(cache)
+    collected.sort(key=lambda r: (r.index, r.job_id))
+    return BatchReport(
+        results=collected,
+        cache=cache.snapshot(),
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,309 @@
+"""Size-bounded LRU cache for solve artifacts, with request coalescing.
+
+Three artifact kinds are cached, keyed so that equal keys guarantee
+bit-identical values:
+
+* ``instance`` — parsed/generated :class:`~repro.tsplib.instance.TSPInstance`
+  objects. Files key on ``(realpath, mtime_ns, size)`` so an edited
+  ``.tsp`` file misses instead of serving stale coordinates; synthetic
+  instances key on ``(n, seed)``; paper stand-ins on ``(name, max_n)``.
+* ``knn`` — sorted k-nearest-neighbor candidate edges
+  (:func:`~repro.tsplib.neighbors.neighbor_pairs_sorted`), keyed on the
+  instance key plus ``k``. Building these is the expensive half of
+  greedy construction.
+* ``tour`` — construction tours, keyed on the instance key, the
+  construction name, and (for seed-sensitive constructions) the seed.
+  ``greedy`` and ``identity`` ignore the seed, so their keys normalize
+  it away — ``seed=1`` and ``seed=2`` greedy requests share one entry.
+
+**Coalescing:** when two workers want the same missing artifact
+concurrently, the first builds it and the rest block on an event and
+reuse the result. The waiters count as *hits* — so hit/miss totals
+depend only on the request multiset, never on worker count or
+scheduling. That determinism is what lets the bench regression gate
+assert exact cache counters.
+
+Eviction is LRU by estimated byte size; in-flight entries are never
+evicted. All accounting lives in :class:`CacheStats` and is exported by
+:meth:`ArtifactCache.snapshot`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.service.jobs import SolveRequest
+
+#: default capacity — generous; tests shrink it to exercise eviction
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting, total and per artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: hits that waited on another worker's in-flight build
+    coalesced: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, kind: str, *, hit: bool, coalesced: bool = False) -> None:
+        """Book one lookup outcome for *kind*."""
+        per = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        if hit:
+            self.hits += 1
+            per["hits"] += 1
+            if coalesced:
+                self.coalesced += 1
+        else:
+            self.misses += 1
+            per["misses"] += 1
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for results and metrics export."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "coalesced": self.coalesced,
+            "by_kind": {k: dict(v) for k, v in sorted(self.by_kind.items())},
+        }
+
+
+class _Entry:
+    """One cache slot: the value once built, or an in-flight placeholder."""
+
+    __slots__ = ("value", "nbytes", "ready", "error", "event")
+
+    def __init__(self) -> None:
+        self.value = None
+        self.nbytes = 0
+        self.ready = False
+        self.error: Optional[BaseException] = None
+        self.event = threading.Event()
+
+
+class ArtifactCache:
+    """Keyed, size-bounded, thread-safe LRU cache over solve artifacts."""
+
+    def __init__(self, *, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._total_bytes = 0
+        self._local = threading.local()
+
+    # -- per-job event capture ---------------------------------------------
+
+    @contextlib.contextmanager
+    def job_events(self) -> Iterator[dict]:
+        """Capture this thread's lookup outcomes into the yielded dict.
+
+        Workers wrap each job in this so results can report exactly
+        which artifacts that job hit or missed (keys like
+        ``"tour.hit"``, ``"instance.miss"``). Lookups — including the
+        hit a coalescing waiter books — always happen on the looking
+        thread, so thread-local capture attributes them correctly.
+        """
+        events: dict = {}
+        self._local.events = events
+        try:
+            yield events
+        finally:
+            self._local.events = None
+
+    def _note(self, kind: str, outcome: str) -> None:
+        events = getattr(self._local, "events", None)
+        if events is not None:
+            key = f"{kind}.{outcome}"
+            events[key] = events.get(key, 0) + 1
+
+    # -- generic lookup ----------------------------------------------------
+
+    def get_or_create(self, kind: str, key: tuple,
+                      builder: Callable[[], object],
+                      size_of: Callable[[object], int]) -> object:
+        """Return the cached value for ``(kind, key)``, building on miss.
+
+        The builder runs outside the lock (builds are slow — that is the
+        point of the cache); concurrent requests for the same key block
+        until the first build finishes and count as coalesced hits. A
+        failing build propagates its exception to the builder *and*
+        every waiter, and leaves no entry behind.
+        """
+        full_key = (kind,) + key
+        with self._lock:
+            entry = self._entries.get(full_key)
+            if entry is not None:
+                self._entries.move_to_end(full_key)
+                self.stats.record(kind, hit=True, coalesced=not entry.ready)
+                self._note(kind, "hit")
+                if entry.ready:
+                    return entry.value
+                waiting = True
+            else:
+                self.stats.record(kind, hit=False)
+                self._note(kind, "miss")
+                entry = _Entry()
+                self._entries[full_key] = entry
+                waiting = False
+
+        if waiting:
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            return entry.value
+
+        try:
+            value = builder()
+            nbytes = max(1, int(size_of(value)))
+        except BaseException as exc:
+            with self._lock:
+                entry.error = exc
+                self._entries.pop(full_key, None)
+            entry.event.set()
+            raise
+        with self._lock:
+            entry.value = value
+            entry.nbytes = nbytes
+            entry.ready = True
+            self._total_bytes += nbytes
+            self._evict_locked(keep=full_key)
+        entry.event.set()
+        return value
+
+    def _evict_locked(self, *, keep: tuple) -> None:
+        """Drop least-recently-used ready entries until under the bound.
+
+        The just-inserted *keep* entry and in-flight builds are never
+        evicted, so a single oversized artifact still caches (it just
+        evicts everything else).
+        """
+        if self._total_bytes <= self.max_bytes:
+            return
+        for full_key in list(self._entries):
+            if self._total_bytes <= self.max_bytes:
+                break
+            entry = self._entries[full_key]
+            if full_key == keep or not entry.ready:
+                continue
+            del self._entries[full_key]
+            self._total_bytes -= entry.nbytes
+            self.stats.evictions += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated bytes of all ready entries."""
+        return self._total_bytes
+
+    def snapshot(self) -> dict:
+        """Stats plus occupancy, for metrics export and debugging."""
+        with self._lock:
+            snap = self.stats.as_dict()
+            snap["entries"] = len(self._entries)
+            snap["total_bytes"] = self._total_bytes
+            snap["max_bytes"] = self.max_bytes
+        return snap
+
+    # -- artifact helpers --------------------------------------------------
+
+    @staticmethod
+    def instance_key(request: SolveRequest) -> tuple:
+        """Cache key identifying the instance a request targets.
+
+        File-backed instances include mtime and size so an edited file
+        is a miss, not a stale hit.
+        """
+        if request.file is not None:
+            path = os.path.realpath(request.file)
+            try:
+                st = os.stat(path)
+                return ("file", path, st.st_mtime_ns, st.st_size)
+            except OSError:
+                # let the parser raise its own (better) error on build
+                return ("file", path, -1, -1)
+        if request.paper_instance is not None:
+            return ("paper", request.paper_instance, request.max_n)
+        return ("synthetic", request.n, request.seed)
+
+    def instance(self, request: SolveRequest):
+        """Parsed/generated :class:`TSPInstance` for *request* (cached)."""
+        key = self.instance_key(request)
+
+        def build():
+            if request.file is not None:
+                from repro.tsplib.parser import load_tsplib
+
+                return load_tsplib(request.file)
+            if request.paper_instance is not None:
+                from repro.tsplib.generators import synthesize_paper_instance
+
+                return synthesize_paper_instance(
+                    request.paper_instance, max_n=request.max_n
+                )
+            from repro.tsplib.generators import generate_instance
+
+            return generate_instance(request.n, seed=request.seed)
+
+        def size_of(inst) -> int:
+            coords = getattr(inst, "coords", None)
+            base = 512  # object overhead estimate
+            return base + (int(coords.nbytes) if coords is not None else 0)
+
+        return self.get_or_create("instance", key, build, size_of)
+
+    def knn_pairs(self, inst, inst_key: tuple, k: int) -> np.ndarray:
+        """Sorted k-NN candidate edges for *inst* (cached)."""
+        from repro.tsplib.neighbors import neighbor_pairs_sorted
+
+        return self.get_or_create(
+            "knn", inst_key + (k,),
+            lambda: neighbor_pairs_sorted(inst.coords, k),
+            lambda pairs: int(pairs.nbytes),
+        )
+
+    def initial_tour(self, request: SolveRequest, inst,
+                     inst_key: tuple) -> np.ndarray:
+        """Construction tour for *request* (cached; greedy reuses k-NN).
+
+        The tour key folds the seed to ``None`` for seed-insensitive
+        constructions (greedy, identity) so differently-seeded requests
+        share the entry.
+        """
+        seed_key = (request.seed
+                    if request.initial in ("random", "nearest-neighbor")
+                    else None)
+        key = inst_key + (request.initial, seed_key, request.neighbor_k)
+
+        def build() -> np.ndarray:
+            if request.initial == "greedy":
+                from repro.heuristics.greedy_mf import multiple_fragment_tour
+
+                pairs = self.knn_pairs(inst, inst_key, request.neighbor_k)
+                return multiple_fragment_tour(inst, candidate_pairs=pairs)
+            from repro.core.solver import TwoOptSolver
+
+            return TwoOptSolver().build_initial(
+                inst, request.initial, seed=request.seed
+            )
+
+        return self.get_or_create(
+            "tour", key, build, lambda tour: int(tour.nbytes)
+        )

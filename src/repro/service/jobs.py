@@ -1,0 +1,248 @@
+"""The batch-solve job model: :class:`SolveRequest` and :class:`SolveResult`.
+
+One manifest line (JSON object) becomes one :class:`SolveRequest`; one
+finished job becomes one :class:`SolveResult` streamed back as a JSON
+line. Requests deliberately mirror the ``repro solve`` CLI flags so a
+manifest row and a CLI invocation describe the same work:
+
+.. code-block:: json
+
+    {"id": "a-1", "n": 120, "seed": 3, "initial": "greedy"}
+    {"id": "berlin", "file": "data/berlin52.tsp", "deadline_s": 5.0}
+
+Validation is strict — unknown keys, missing instance sources, and type
+errors all raise :class:`~repro.errors.ManifestError` naming the
+offending field, because a silently-dropped manifest key means a job
+silently solving the wrong thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ManifestError
+
+#: job statuses a worker can report
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_EXPIRED = "expired"
+STATUS_REJECTED = "rejected"
+
+_VALID_INITIALS = ("greedy", "nearest-neighbor", "random", "identity")
+_VALID_MODES = ("fast", "simulate")
+_VALID_STRATEGIES = ("best", "batch")
+
+#: manifest keys accepted by :meth:`SolveRequest.from_dict`
+_REQUEST_KEYS = frozenset({
+    "id", "file", "paper_instance", "n", "max_n", "seed", "device",
+    "devices", "initial", "strategy", "mode", "max_moves", "max_scans",
+    "inject_faults", "retries", "backoff", "deadline_s", "neighbor_k",
+    "return_tour",
+})
+
+
+def _require_int(raw: dict, key: str, *, minimum: Optional[int] = None):
+    """Fetch an optional integer field, raising :class:`ManifestError`."""
+    value = raw.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ManifestError(f"field {key!r} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ManifestError(f"field {key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _require_number(raw: dict, key: str, *, positive: bool = False):
+    """Fetch an optional float field, raising :class:`ManifestError`."""
+    value = raw.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ManifestError(f"field {key!r} must be a number, got {value!r}")
+    if positive and value <= 0:
+        raise ManifestError(f"field {key!r} must be positive, got {value}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One batch job: which instance to solve, and how.
+
+    Exactly one instance source must be set: ``file`` (a TSPLIB path),
+    ``paper_instance`` (a synthetic stand-in by name), or ``n`` (a
+    seeded synthetic instance — the same coordinates ``repro solve --n
+    N --seed S`` would generate). Everything else mirrors the solver
+    configuration of the ``solve`` subcommand.
+    """
+
+    job_id: str = "job"
+    #: instance source (exactly one of the three)
+    file: Optional[str] = None
+    paper_instance: Optional[str] = None
+    n: Optional[int] = None
+    max_n: Optional[int] = None
+    #: construction + RNG seed (also seeds synthetic coordinates)
+    seed: int = 0
+    device: str = "gtx680-cuda"
+    devices: tuple = ()
+    initial: str = "greedy"
+    strategy: Optional[str] = None
+    mode: str = "fast"
+    max_moves: Optional[int] = None
+    max_scans: Optional[int] = None
+    inject_faults: Optional[str] = None
+    retries: Optional[int] = None
+    backoff: Optional[float] = None
+    #: per-job deadline in wall seconds, measured from admission
+    deadline_s: Optional[float] = None
+    #: candidate-list width for the greedy (multiple-fragment) initial
+    neighbor_k: int = 10
+    #: include the final tour permutation in the result payload
+    return_tour: bool = False
+
+    def __post_init__(self) -> None:
+        sources = sum(1 for s in (self.file, self.paper_instance, self.n)
+                      if s is not None)
+        if sources != 1:
+            raise ManifestError(
+                f"job {self.job_id!r}: exactly one of 'file', "
+                f"'paper_instance', or 'n' must be set (got {sources})"
+            )
+        if self.initial not in _VALID_INITIALS:
+            raise ManifestError(
+                f"job {self.job_id!r}: unknown initial {self.initial!r}; "
+                f"expected one of {_VALID_INITIALS}"
+            )
+        if self.mode not in _VALID_MODES:
+            raise ManifestError(
+                f"job {self.job_id!r}: unknown mode {self.mode!r}"
+            )
+        if self.strategy is not None and self.strategy not in _VALID_STRATEGIES:
+            raise ManifestError(
+                f"job {self.job_id!r}: unknown strategy {self.strategy!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, raw: Any, *, default_id: str = "job") -> "SolveRequest":
+        """Build a request from one parsed manifest object.
+
+        Raises :class:`~repro.errors.ManifestError` on non-objects,
+        unknown keys, or ill-typed fields — manifest rows fail loudly
+        rather than solving something other than what was written.
+        """
+        if not isinstance(raw, dict):
+            raise ManifestError(
+                f"manifest lines must be JSON objects, got {type(raw).__name__}"
+            )
+        unknown = set(raw) - _REQUEST_KEYS
+        if unknown:
+            raise ManifestError(
+                f"unknown manifest field(s): {', '.join(sorted(unknown))}"
+            )
+        devices = raw.get("devices") or ()
+        if isinstance(devices, str):
+            devices = tuple(d.strip() for d in devices.split(",") if d.strip())
+        elif isinstance(devices, (list, tuple)):
+            devices = tuple(str(d) for d in devices)
+        else:
+            raise ManifestError(
+                f"field 'devices' must be a list or comma string, got {devices!r}"
+            )
+        return cls(
+            job_id=str(raw.get("id", default_id)),
+            file=raw.get("file"),
+            paper_instance=raw.get("paper_instance"),
+            n=_require_int(raw, "n", minimum=2),
+            max_n=_require_int(raw, "max_n", minimum=2),
+            seed=_require_int(raw, "seed") or 0,
+            device=str(raw.get("device", "gtx680-cuda")),
+            devices=devices,
+            initial=str(raw.get("initial", "greedy")),
+            strategy=raw.get("strategy"),
+            mode=str(raw.get("mode", "fast")),
+            max_moves=_require_int(raw, "max_moves", minimum=0),
+            max_scans=_require_int(raw, "max_scans", minimum=0),
+            inject_faults=raw.get("inject_faults"),
+            retries=_require_int(raw, "retries", minimum=1),
+            backoff=_require_number(raw, "backoff", positive=True),
+            deadline_s=_require_number(raw, "deadline_s", positive=True),
+            neighbor_k=_require_int(raw, "neighbor_k", minimum=1) or 10,
+            return_tour=bool(raw.get("return_tour", False)),
+        )
+
+    def instance_label(self) -> str:
+        """Human-readable instance description for logs and results."""
+        if self.file is not None:
+            return self.file
+        if self.paper_instance is not None:
+            return self.paper_instance
+        return f"synthetic-{self.n}-seed{self.seed}"
+
+
+@dataclass
+class SolveResult:
+    """One finished (or refused) batch job, as streamed back to the caller.
+
+    ``status`` is one of ``ok`` / ``failed`` / ``expired`` /
+    ``rejected``. Solver outputs are only populated for ``ok`` jobs;
+    ``error`` carries the one-line failure reason otherwise. Everything
+    except the wall-clock fields (``queue_wait_s``, ``wall_seconds``,
+    ``worker``) is deterministic for a given request.
+    """
+
+    job_id: str
+    status: str
+    instance: str = ""
+    n: int = 0
+    initial_length: int = 0
+    final_length: int = 0
+    canonical_length: int = 0
+    improvement_percent: float = 0.0
+    moves_applied: int = 0
+    scans: int = 0
+    modeled_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    queue_wait_s: float = 0.0
+    worker: int = -1
+    error: str = ""
+    tour: Optional[list] = None
+    #: artifact-cache hits/misses attributable to this job, by kind
+    cache_events: dict = field(default_factory=dict)
+    #: batch position (not serialized; restores manifest order in reports)
+    index: int = -1
+
+    @property
+    def ok(self) -> bool:
+        """True when the job ran to completion."""
+        return self.status == STATUS_OK
+
+    def as_dict(self) -> dict:
+        """JSON-serializable payload (one ``repro batch`` output line)."""
+        payload = {
+            "id": self.job_id,
+            "status": self.status,
+            "instance": self.instance,
+            "n": self.n,
+            "queue_wait_s": self.queue_wait_s,
+            "worker": self.worker,
+        }
+        if self.status == STATUS_OK:
+            payload.update({
+                "initial_length": self.initial_length,
+                "final_length": self.final_length,
+                "canonical_length": self.canonical_length,
+                "improvement_percent": self.improvement_percent,
+                "moves_applied": self.moves_applied,
+                "scans": self.scans,
+                "modeled_seconds": self.modeled_seconds,
+                "wall_seconds": self.wall_seconds,
+            })
+            if self.tour is not None:
+                payload["tour"] = list(self.tour)
+        else:
+            payload["error"] = self.error
+        if self.cache_events:
+            payload["cache"] = dict(self.cache_events)
+        return payload

@@ -1,0 +1,199 @@
+"""Worker threads that drive queued jobs through the solver stack.
+
+Each worker loops: pull a :class:`~repro.service.queue.QueuedJob`, check
+its deadline, resolve artifacts through the shared
+:class:`~repro.service.cache.ArtifactCache`, run the existing
+:class:`~repro.core.solver.TwoOptSolver` (including per-job fault
+injection and retry policies), and push a
+:class:`~repro.service.jobs.SolveResult` onto the results queue.
+
+**Telemetry isolation:** a :class:`~repro.telemetry.span.Tracer` is not
+thread-safe (one span stack), and a profiling coordinator installs a
+real tracer as the *process* default. So the first thing every worker
+does is install thread-local no-op telemetry
+(:func:`~repro.telemetry.span.set_thread_tracer` /
+:func:`~repro.telemetry.metrics.set_thread_metrics`): the solver's
+instrumentation quietly no-ops on worker threads, and the coordinator —
+the only thread touching the real tracer — books per-job lane events
+and service metrics as results arrive. This also keeps results
+deterministic: nothing a worker records depends on scheduling.
+
+Deadlines are enforced at dequeue: a job whose deadline passed while it
+waited is reported ``expired`` without running (a deliberately simple
+admission-to-start deadline; jobs are not killed mid-solve).
+"""
+
+from __future__ import annotations
+
+import queue as stdlib_queue
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import DeadlineExceededError, ReproError
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import (
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    STATUS_OK,
+    SolveRequest,
+    SolveResult,
+)
+from repro.service.queue import JobQueue, QueuedJob
+from repro.telemetry.metrics import NoopMetricsRegistry, set_thread_metrics
+from repro.telemetry.span import NoopTracer, set_thread_tracer
+
+
+def build_solver(request: SolveRequest):
+    """Construct the :class:`TwoOptSolver` a request describes.
+
+    Mirrors the ``repro solve`` CLI conventions exactly: a ``devices``
+    pool (or any fault injection) routes through the sharded multi-GPU
+    backend; fault injection and simulate mode default to the ``best``
+    strategy unless the request says otherwise.
+    """
+    from repro.core.solver import TwoOptSolver
+
+    retry = None
+    if request.retries is not None or request.backoff is not None:
+        from repro.gpusim.faults import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=request.retries if request.retries is not None else 3,
+            base_backoff_s=request.backoff if request.backoff is not None else 100e-6,
+        )
+    simulate = bool(request.inject_faults) or request.mode == "simulate"
+    strategy = request.strategy or ("best" if simulate else "batch")
+    kwargs = dict(strategy=strategy, retry=retry,
+                  faults=request.inject_faults, mode=request.mode)
+    if request.devices:
+        return TwoOptSolver(list(request.devices), **kwargs)
+    if request.inject_faults:
+        # fault injection routes through the sharded executor; a single
+        # device becomes a pool of one (same as the CLI)
+        return TwoOptSolver([request.device], **kwargs)
+    return TwoOptSolver(request.device, **kwargs)
+
+
+def run_request(request: SolveRequest, cache: ArtifactCache) -> SolveResult:
+    """Solve one request through the cache; deterministic given the request.
+
+    Expected failures (bad device key, malformed file, exhausted
+    retries, ...) become a ``failed`` result carrying the error text;
+    they never kill the worker.
+    """
+    try:
+        with cache.job_events() as events:
+            solver = build_solver(request)
+            inst = cache.instance(request)
+            inst_key = cache.instance_key(request)
+            tour0 = cache.initial_tour(request, inst, inst_key)
+            res = solver.solve(
+                inst, initial=tour0.copy(), seed=request.seed,
+                max_moves=request.max_moves, max_scans=request.max_scans,
+            )
+    except ReproError as exc:
+        return SolveResult(job_id=request.job_id, status=STATUS_FAILED,
+                           instance=request.instance_label(),
+                           error=str(exc))
+    except Exception as exc:  # worker must survive; surface the bug in-band
+        return SolveResult(job_id=request.job_id, status=STATUS_FAILED,
+                           instance=request.instance_label(),
+                           error=f"{type(exc).__name__}: {exc}")
+    s = res.search
+    return SolveResult(
+        job_id=request.job_id,
+        status=STATUS_OK,
+        instance=inst.name,
+        n=inst.n,
+        initial_length=res.initial_length,
+        final_length=res.final_length,
+        canonical_length=res.canonical_length,
+        improvement_percent=res.improvement_percent,
+        moves_applied=s.moves_applied,
+        scans=s.scans,
+        modeled_seconds=s.modeled_seconds,
+        wall_seconds=s.wall_seconds,
+        tour=[int(c) for c in res.tour.order] if request.return_tour else None,
+        cache_events=events,
+    )
+
+
+class WorkerPool:
+    """A fixed set of threads draining a :class:`JobQueue`.
+
+    Results land on the ``results`` queue (an unbounded stdlib
+    :class:`queue.Queue`) so workers never block on the consumer. The
+    pool does no telemetry of its own — the coordinator consuming
+    ``results`` books queue waits, job counters, and worker lanes.
+    """
+
+    def __init__(self, jobs: JobQueue, cache: ArtifactCache, *,
+                 workers: int = 4,
+                 results: Optional["stdlib_queue.Queue"] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.jobs = jobs
+        self.cache = cache
+        self.workers = workers
+        self.results: "stdlib_queue.Queue" = (
+            results if results is not None else stdlib_queue.Queue()
+        )
+        self._clock = clock
+        self._threads: list[threading.Thread] = []
+
+    def start(self) -> "WorkerPool":
+        """Spawn the worker threads (idempotent); returns ``self``."""
+        if self._threads:
+            return self
+        for idx in range(self.workers):
+            t = threading.Thread(
+                target=self._worker, args=(idx,),
+                name=f"repro-service-worker-{idx}", daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for every worker to exit (queue must be closed first)."""
+        deadline = (self._clock() + timeout) if timeout is not None else None
+        for t in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - self._clock())
+            t.join(remaining)
+
+    # -- worker body -------------------------------------------------------
+
+    def _worker(self, idx: int) -> None:
+        """Worker loop: isolate telemetry, then drain the queue."""
+        set_thread_tracer(NoopTracer())
+        set_thread_metrics(NoopMetricsRegistry())
+        while True:
+            job = self.jobs.pull()
+            if job is None:
+                return
+            self.results.put(self._execute(idx, job))
+
+    def _execute(self, idx: int, job: QueuedJob) -> SolveResult:
+        """Run (or expire) one dequeued job and stamp its bookkeeping."""
+        now = self._clock()
+        if job.expired(now):
+            result = SolveResult(
+                job_id=job.request.job_id,
+                status=STATUS_EXPIRED,
+                instance=job.request.instance_label(),
+                error=str(DeadlineExceededError(
+                    f"job {job.request.job_id!r} deadline "
+                    f"({job.deadline_at - job.submitted_at:.3f}s) expired "
+                    f"after {now - job.submitted_at:.3f}s in queue"
+                )),
+            )
+        else:
+            result = run_request(job.request, self.cache)
+        result.queue_wait_s = max(0.0, now - job.submitted_at)
+        result.worker = idx
+        result.index = job.index
+        return result

@@ -1,0 +1,137 @@
+"""Bounded job queue with admission control for the batch-solve service.
+
+A :class:`JobQueue` is a FIFO of :class:`QueuedJob` wrappers with a hard
+depth bound. Admission control is explicit: a non-blocking
+:meth:`JobQueue.submit` on a full queue raises
+:class:`~repro.errors.QueueFullError` (the caller decides whether that
+means "reject the job" or "apply backpressure and wait"), and every job
+is stamped with its admission time so queue wait and per-job deadlines
+are measured from the moment the service accepted the work, not from
+when a worker happened to pick it up.
+
+The queue is closed exactly once, after the last submit; workers then
+drain the remainder and :meth:`JobQueue.pull` returns ``None``, which is
+the worker shutdown signal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import QueueClosedError, QueueFullError
+from repro.service.jobs import SolveRequest
+
+
+@dataclass
+class QueuedJob:
+    """A request plus its admission bookkeeping.
+
+    ``deadline_at`` is an absolute monotonic-clock instant (or ``None``)
+    computed at admission from the request's ``deadline_s``.
+    """
+
+    request: SolveRequest
+    submitted_at: float
+    deadline_at: Optional[float]
+    #: position in the submitting batch (restores manifest order)
+    index: int = -1
+
+    def expired(self, now: float) -> bool:
+        """Whether the job's deadline has passed at monotonic time *now*."""
+        return self.deadline_at is not None and now > self.deadline_at
+
+
+class JobQueue:
+    """Bounded FIFO of solve jobs with explicit admission control."""
+
+    def __init__(self, *, max_depth: int = 64,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self._clock = clock
+        self._jobs: "deque[QueuedJob]" = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side -----------------------------------------------------
+
+    def submit(self, request: SolveRequest, *, block: bool = False,
+               default_deadline_s: Optional[float] = None,
+               index: int = -1) -> QueuedJob:
+        """Admit *request*; returns the stamped :class:`QueuedJob`.
+
+        With ``block=False`` (the default) a full queue raises
+        :class:`QueueFullError` immediately — that is the admission-
+        control path. With ``block=True`` the submit waits for a slot
+        (producer backpressure). ``default_deadline_s`` applies to
+        requests that carry no deadline of their own. Raises
+        :class:`QueueClosedError` after :meth:`close`.
+        """
+        with self._lock:
+            while len(self._jobs) >= self.max_depth and not self._closed:
+                if not block:
+                    raise QueueFullError(
+                        f"job {request.job_id!r} rejected: queue at max "
+                        f"depth {self.max_depth}"
+                    )
+                self._not_full.wait()
+            if self._closed:
+                raise QueueClosedError(
+                    f"job {request.job_id!r} submitted to a closed queue"
+                )
+            now = self._clock()
+            deadline_s = (request.deadline_s if request.deadline_s is not None
+                          else default_deadline_s)
+            job = QueuedJob(
+                request=request,
+                submitted_at=now,
+                deadline_at=(now + deadline_s) if deadline_s is not None else None,
+                index=index,
+            )
+            self._jobs.append(job)
+            self._not_empty.notify()
+            return job
+
+    def close(self) -> None:
+        """Stop admissions; queued jobs still drain, then pulls return None."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- consumer side -----------------------------------------------------
+
+    def pull(self) -> Optional[QueuedJob]:
+        """Take the oldest job, blocking while the queue is open but empty.
+
+        Returns ``None`` once the queue is closed and drained — the
+        worker shutdown signal.
+        """
+        with self._lock:
+            while not self._jobs and not self._closed:
+                self._not_empty.wait()
+            if not self._jobs:
+                return None
+            job = self._jobs.popleft()
+            self._not_full.notify()
+            return job
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting for a worker."""
+        with self._lock:
+            return len(self._jobs)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed

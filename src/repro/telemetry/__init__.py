@@ -31,6 +31,7 @@ from repro.telemetry.span import (
     Tracer,
     get_tracer,
     set_span_listener,
+    set_thread_tracer,
     set_tracer,
 )
 from repro.telemetry.metrics import (
@@ -41,6 +42,7 @@ from repro.telemetry.metrics import (
     NoopMetricsRegistry,
     get_metrics,
     set_metrics,
+    set_thread_metrics,
 )
 from repro.telemetry.export import (
     chrome_trace_from_collector,
@@ -85,6 +87,7 @@ __all__ = [
     "NoopTracer",
     "get_tracer",
     "set_tracer",
+    "set_thread_tracer",
     "set_span_listener",
     "Counter",
     "Gauge",
@@ -93,6 +96,7 @@ __all__ = [
     "NoopMetricsRegistry",
     "get_metrics",
     "set_metrics",
+    "set_thread_metrics",
     "spans_to_jsonl",
     "to_chrome_trace",
     "chrome_trace_from_collector",

@@ -269,6 +269,45 @@ def _scenario_faulted_pool_a280() -> ScenarioResult:
     )
 
 
+def _scenario_service_batch() -> ScenarioResult:
+    """Batch-solve service: 8 jobs over 2 instances through the cache.
+
+    Every gated metric here is deterministic: tours and work counters
+    because the solver is seeded, cache hits/misses because the
+    artifact cache coalesces in-flight builds (hit totals depend only
+    on the request multiset, not on worker scheduling).
+    """
+    from repro.service import ArtifactCache, SolveRequest, run_batch
+
+    sizes = (120, 160)
+    requests = [
+        SolveRequest(job_id=f"svc-{i}", n=sizes[i % 2], seed=sizes[i % 2])
+        for i in range(8)
+    ]
+    report = run_batch(requests, workers=2, queue_depth=8,
+                       cache=ArtifactCache())
+    ok = [r for r in report.results if r.ok]
+    cache = report.cache
+    metrics = {
+        "jobs_ok": float(len(ok)),
+        "jobs_total": float(len(report.results)),
+        "cache_hits": float(cache["hits"]),
+        "cache_misses": float(cache["misses"]),
+        "cache_evictions": float(cache["evictions"]),
+        "final_length_total": float(sum(r.final_length for r in ok)),
+        "moves_applied": float(sum(r.moves_applied for r in ok)),
+        "scans": float(sum(r.scans for r in ok)),
+        "modeled_seconds": float(sum(r.modeled_seconds for r in ok)),
+        # wall-clock figures are informational (no gate policy)
+        "queue_wait_mean_s": (sum(r.queue_wait_s for r in report.results)
+                              / max(1, len(report.results))),
+        "wall_seconds": report.wall_seconds,
+    }
+    return ScenarioResult(scenario="service-batch", n=max(sizes),
+                          device="gtx680-cuda", backend="service",
+                          metrics=metrics)
+
+
 def _scenario_gpu_batch_pr2392() -> ScenarioResult:
     return _run_solver("gpu-batch-pr2392", 2392,
                        solver_kwargs={"strategy": "batch"})
@@ -295,6 +334,10 @@ SCENARIOS: tuple = (
     BenchScenario("faulted-pool-a280",
                   "2-GPU pool under 5% transient fault injection (n=280)",
                   280, True, _scenario_faulted_pool_a280),
+    BenchScenario("service-batch",
+                  "batch-solve service: 8 jobs / 2 instances, 2 workers, "
+                  "artifact cache (n=120/160)",
+                  160, True, _scenario_service_batch),
     BenchScenario("gpu-batch-pr2392",
                   "single GPU, batch strategy, pr2392-class (n=2392)",
                   2392, False, _scenario_gpu_batch_pr2392),
@@ -390,6 +433,13 @@ METRIC_POLICIES: dict = {
     # wall clock is machine noise: generous slack + wide floor
     "wall_seconds": MetricPolicy("lower", 1.0, 0.25),
     "scenario_wall_seconds": MetricPolicy("lower", 1.0, 0.25),
+    # batch-solve service: all deterministic (coalesced cache accounting)
+    "jobs_ok": MetricPolicy("higher", 0.0, 0.0),
+    "jobs_total": MetricPolicy("higher", 0.0, 0.0),
+    "cache_hits": MetricPolicy("higher", 0.0, 0.0),
+    "cache_misses": MetricPolicy("lower", 0.0, 0.0),
+    "cache_evictions": MetricPolicy("lower", 0.0, 0.0),
+    "final_length_total": MetricPolicy("lower", 0.0, 0.0),
 }
 
 
@@ -429,6 +479,21 @@ class ComparisonReport:
     def ok(self) -> bool:
         """True when no gated metric regressed and none went missing."""
         return not self.regressions
+
+
+def filter_run(run: BenchRun, scenarios: Sequence[str]) -> BenchRun:
+    """A copy of *run* keeping only the named scenarios (order preserved).
+
+    Used when ``repro bench --scenario KEY --against BASELINE`` gates a
+    subset: the baseline is filtered to the same keys so the scenarios
+    deliberately not run don't report as "missing".
+    """
+    keep = set(scenarios)
+    return BenchRun(
+        label=run.label, created=run.created, smoke=run.smoke,
+        results=tuple(r for r in run.results if r.scenario in keep),
+        schema_version=run.schema_version,
+    )
 
 
 def _judge(policy: MetricPolicy, baseline: float, candidate: float) -> str:

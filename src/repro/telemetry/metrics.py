@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 import zlib
 from dataclasses import fields, is_dataclass
 from typing import Optional
@@ -288,9 +289,17 @@ _NOOP_HISTOGRAM = _NoopHistogram("noop")
 
 _default_metrics: MetricsRegistry = NoopMetricsRegistry()
 
+#: per-thread registry overrides (mirrors repro.telemetry.span's
+#: thread-local tracer: concurrent service workers record into private
+#: registries that are merged into the main one after each job)
+_thread_metrics = threading.local()
+
 
 def get_metrics() -> MetricsRegistry:
-    """The process-wide default registry (a no-op until one is installed)."""
+    """The current registry: this thread's override, else the process default."""
+    override = getattr(_thread_metrics, "registry", None)
+    if override is not None:
+        return override
     return _default_metrics
 
 
@@ -299,4 +308,19 @@ def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     global _default_metrics
     previous = _default_metrics
     _default_metrics = registry
+    return previous
+
+
+def set_thread_metrics(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Install *registry* as this thread's override; returns the previous one.
+
+    Pass ``None`` to remove the override. Worker threads of the
+    batch-solve service use this so concurrent jobs never mutate the
+    main thread's registry mid-snapshot; their private registries are
+    folded back via :meth:`MetricsRegistry.merge` when each job ends.
+    """
+    previous = getattr(_thread_metrics, "registry", None)
+    _thread_metrics.registry = registry
     return previous

@@ -24,6 +24,7 @@ installed (see :class:`repro.telemetry.profiler.Profiler`).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Optional
 
@@ -295,9 +296,24 @@ def set_span_listener(listener: Optional[Any]) -> Optional[Any]:
 
 _default_tracer: "Tracer | NoopTracer" = NoopTracer()
 
+#: per-thread tracer overrides (a :class:`Tracer` is not thread-safe, so
+#: concurrent workers each install their own instead of sharing the
+#: process default — see repro.service.pool.WorkerPool)
+_thread_tracers = threading.local()
+
 
 def get_tracer() -> "Tracer | NoopTracer":
-    """The process-wide default tracer (a no-op until one is installed)."""
+    """The current tracer: this thread's override, else the process default.
+
+    Single-threaded code never sets an override and sees the process
+    default installed by :class:`~repro.telemetry.profiler.Profiler`.
+    Worker threads (the batch-solve service) install a private tracer
+    via :func:`set_thread_tracer` so concurrent spans never interleave
+    on the shared (non-thread-safe) span stack.
+    """
+    override = getattr(_thread_tracers, "tracer", None)
+    if override is not None:
+        return override
     return _default_tracer
 
 
@@ -306,4 +322,18 @@ def set_tracer(tracer: "Tracer | NoopTracer") -> "Tracer | NoopTracer":
     global _default_tracer
     previous = _default_tracer
     _default_tracer = tracer
+    return previous
+
+
+def set_thread_tracer(
+    tracer: "Tracer | NoopTracer | None",
+) -> "Tracer | NoopTracer | None":
+    """Install *tracer* as this thread's override; returns the previous one.
+
+    Pass ``None`` to remove the override and fall back to the process
+    default. Only the calling thread is affected; the main thread's
+    profiler keeps collecting its own spans undisturbed.
+    """
+    previous = getattr(_thread_tracers, "tracer", None)
+    _thread_tracers.tracer = tracer
     return previous

@@ -187,6 +187,61 @@ class TestIlsResume:
             fresh.run(other, resume_from=path)
 
 
+class TestCheckpointIdentity:
+    """Wrong-instance resumes must fail *before* any state is restored."""
+
+    def checkpoint_for(self, tmp_path, seed=0, instance=None):
+        path = tmp_path / "ls.json"
+        c = generate_instance(120, seed=seed).coords_float32()
+        LocalSearch("gtx680-cuda").run(c.copy(), max_scans=3,
+                                       checkpoint_every=1,
+                                       checkpoint_path=path,
+                                       instance=instance)
+        return path
+
+    def test_payload_records_identity(self, tmp_path):
+        path = self.checkpoint_for(tmp_path, instance="synthetic-120")
+        payload = load_checkpoint(path).payload
+        assert payload["instance"] == "synthetic-120"
+        assert isinstance(payload["coords_digest"], str)
+        assert len(payload["coords_digest"]) == 64
+
+    def test_same_n_different_seed_rejected_by_digest(self, tmp_path):
+        path = self.checkpoint_for(tmp_path, seed=0)
+        other = generate_instance(120, seed=99).coords_float32()
+        with pytest.raises(CheckpointError, match="coordinate digest"):
+            LocalSearch("gtx680-cuda").run(other, resume_from=path)
+
+    def test_instance_label_mismatch_rejected(self, tmp_path):
+        path = self.checkpoint_for(tmp_path, instance="alpha")
+        c = generate_instance(120, seed=0).coords_float32()
+        with pytest.raises(CheckpointError,
+                           match="taken for instance 'alpha'"):
+            LocalSearch("gtx680-cuda").run(c, resume_from=path,
+                                           instance="beta")
+
+    def test_matching_identity_resumes(self, tmp_path):
+        path = self.checkpoint_for(tmp_path, instance="alpha")
+        c = generate_instance(120, seed=0).coords_float32()
+        res = LocalSearch("gtx680-cuda").run(c, resume_from=path,
+                                             instance="alpha")
+        assert res.reached_minimum
+
+    def test_legacy_checkpoint_without_identity_still_resumes(self, tmp_path):
+        # checkpoints written before the identity fields existed fall
+        # back to the n/backend/length checks
+        path = self.checkpoint_for(tmp_path)
+        cp = load_checkpoint(path)
+        payload = dict(cp.payload)
+        payload.pop("instance")
+        payload.pop("coords_digest")
+        save_checkpoint(path, "local-search", payload)
+        c = generate_instance(120, seed=0).coords_float32()
+        res = LocalSearch("gtx680-cuda").run(c, resume_from=path,
+                                             instance="anything")
+        assert res.reached_minimum
+
+
 class TestSolverResume:
     def test_solver_level_round_trip(self, tmp_path):
         from repro.core.solver import TwoOptSolver

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.pair_indexing import (
+    EXACT_FLOAT_MAX,
     iterations_per_thread,
     linear_from_pair,
     pair_count,
@@ -95,6 +96,47 @@ class TestRoundTrip:
         for k in [pair_count(n) - 1, pair_count(n) // 2, 10**11]:
             i, j = pair_from_linear(k)
             assert linear_from_pair(i, j) == k
+
+
+class TestFloat64Boundary:
+    """Scalar decode must survive the 2**52 float64 cliff; the
+    vectorized path must refuse rather than silently corrupt."""
+
+    BOUNDARY_KS = [
+        EXACT_FLOAT_MAX - 1,
+        EXACT_FLOAT_MAX,
+        EXACT_FLOAT_MAX + 1,
+        (1 << 60) + 12345,
+    ]
+
+    def test_scalar_exact_across_boundary(self):
+        for k in self.BOUNDARY_KS:
+            i, j = pair_from_linear(k)
+            assert 0 <= i < j
+            assert linear_from_pair(i, j) == k
+
+    def test_scalar_consecutive_indices_stay_distinct(self):
+        # the float path collapses neighbors here; the exact path must not
+        decoded = {pair_from_linear(EXACT_FLOAT_MAX + d) for d in range(8)}
+        assert len(decoded) == 8
+
+    def test_vectorized_guard_raises(self):
+        ks = np.array([0, EXACT_FLOAT_MAX], dtype=np.int64)
+        with pytest.raises(ValueError, match="2\\*\\*52"):
+            pair_from_linear(ks)
+
+    def test_vectorized_ok_just_below_boundary(self):
+        ks = np.array([EXACT_FLOAT_MAX - 2, EXACT_FLOAT_MAX - 1],
+                      dtype=np.int64)
+        i, j = pair_from_linear(ks)
+        for idx in range(len(ks)):
+            assert (int(i[idx]), int(j[idx])) == pair_from_linear(int(ks[idx]))
+
+    def test_encode_huge_row_is_exact(self):
+        j = 1 << 30
+        k = linear_from_pair(j - 1, j)
+        assert isinstance(k, int)
+        assert pair_from_linear(k) == (j - 1, j)
 
 
 class TestIterations:

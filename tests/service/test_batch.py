@@ -1,0 +1,159 @@
+"""End-to-end batch driver behavior: determinism, deadlines, backpressure."""
+
+import pytest
+
+from repro.errors import ManifestError
+from repro.service import (
+    ArtifactCache,
+    SolveRequest,
+    load_manifest,
+    run_batch,
+)
+from repro.service.jobs import STATUS_EXPIRED, STATUS_REJECTED
+
+pytestmark = pytest.mark.service
+
+
+def synthetic_requests():
+    """Six jobs over two synthetic instances — repeats exercise the cache."""
+    sizes = (80, 110)
+    return [
+        SolveRequest(job_id=f"j{i}", n=sizes[i % 2], seed=sizes[i % 2])
+        for i in range(6)
+    ]
+
+
+class TestDeterminism:
+    def test_results_identical_across_worker_counts(self):
+        runs = {}
+        for workers in (1, 4):
+            report = run_batch(synthetic_requests(), workers=workers,
+                               cache=ArtifactCache())
+            assert report.ok
+            runs[workers] = [
+                (r.job_id, r.status, r.final_length, r.canonical_length,
+                 r.moves_applied, r.scans)
+                for r in report.results
+            ]
+        assert runs[1] == runs[4]
+
+    def test_cache_counts_independent_of_workers(self):
+        # 2 distinct instances x (instance + tour + knn) = 6 misses;
+        # 4 repeat jobs x (instance + tour) = 8 hits — regardless of
+        # worker count, thanks to coalescing-as-hit accounting.
+        for workers in (1, 3):
+            cache = ArtifactCache()
+            report = run_batch(synthetic_requests(), workers=workers,
+                               cache=cache)
+            assert report.ok
+            assert cache.stats.misses == 6
+            assert cache.stats.hits == 8
+
+    def test_report_in_manifest_order(self):
+        report = run_batch(synthetic_requests(), workers=4)
+        assert [r.job_id for r in report.results] == [
+            f"j{i}" for i in range(6)
+        ]
+
+    def test_matches_direct_solver(self):
+        from repro.core.solver import TwoOptSolver
+        from repro.tsplib.generators import generate_instance
+
+        report = run_batch(
+            [SolveRequest(job_id="solo", n=80, seed=80, return_tour=True)]
+        )
+        direct = TwoOptSolver(strategy="batch").solve(
+            generate_instance(80, seed=80)
+        )
+        r = report.results[0]
+        assert r.final_length == direct.final_length
+        assert r.tour == [int(c) for c in direct.tour.order]
+
+
+class TestFailureModes:
+    def test_failed_job_does_not_sink_batch(self):
+        reqs = [
+            SolveRequest(job_id="ok", n=60, seed=1),
+            SolveRequest(job_id="bad", file="data/no-such-file.tsp"),
+        ]
+        report = run_batch(reqs)
+        assert not report.ok
+        by_id = {r.job_id: r for r in report.results}
+        assert by_id["ok"].status == "ok"
+        assert by_id["bad"].status == "failed"
+        assert by_id["bad"].error
+
+    def test_expired_deadline_reported_not_run(self):
+        # a deadline so small the job expires while queued behind another
+        reqs = [SolveRequest(job_id="doomed", n=60, seed=1,
+                             deadline_s=1e-9)]
+        ticks = [0.0]
+
+        def clock():
+            # each call advances 10 "seconds": admission at t=0, the
+            # worker's deadline check at t=10 — long past 1e-9
+            now = ticks[0]
+            ticks[0] += 10.0
+            return now
+
+        from repro.service.batch import iter_batch
+
+        results = list(iter_batch(reqs, workers=1, clock=clock))
+        assert results[0].status == STATUS_EXPIRED
+        assert "deadline" in results[0].error
+
+    def test_reject_when_full(self):
+        reqs = [SolveRequest(job_id=f"r{i}", n=60, seed=1) for i in range(8)]
+        report = run_batch(reqs, workers=1, queue_depth=1, on_full="reject")
+        statuses = {r.status for r in report.results}
+        assert STATUS_REJECTED in statuses
+        rejected = [r for r in report.results if r.status == STATUS_REJECTED]
+        assert all("queue at max depth" in r.error for r in rejected)
+        # every job got exactly one result
+        assert len(report.results) == 8
+
+    def test_backpressure_completes_everything(self):
+        reqs = [SolveRequest(job_id=f"w{i}", n=60, seed=1) for i in range(8)]
+        report = run_batch(reqs, workers=2, queue_depth=1, on_full="wait")
+        assert report.ok
+        assert len(report.results) == 8
+
+    def test_bad_on_full_rejected(self):
+        with pytest.raises(ValueError, match="on_full"):
+            run_batch([SolveRequest(n=60)], on_full="explode")
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        m = tmp_path / "jobs.jsonl"
+        m.write_text(
+            "# comment line\n"
+            '{"id": "a", "n": 64, "seed": 1}\n'
+            "\n"
+            '{"id": "b", "n": 72, "seed": 2, "deadline_s": 30}\n'
+        )
+        reqs = load_manifest(m)
+        assert [r.job_id for r in reqs] == ["a", "b"]
+        assert reqs[1].deadline_s == 30.0
+
+    def test_bad_json_names_line(self, tmp_path):
+        m = tmp_path / "jobs.jsonl"
+        m.write_text('{"id": "a", "n": 64}\n{oops\n')
+        with pytest.raises(ManifestError, match="jobs.jsonl:2"):
+            load_manifest(m)
+
+    def test_bad_field_names_line(self, tmp_path):
+        m = tmp_path / "jobs.jsonl"
+        m.write_text('{"id": "a", "n": 64, "velocity": 9}\n')
+        with pytest.raises(ManifestError, match="jobs.jsonl:1.*velocity"):
+            load_manifest(m)
+
+    def test_empty_manifest_is_an_error(self, tmp_path):
+        m = tmp_path / "jobs.jsonl"
+        m.write_text("# nothing here\n")
+        with pytest.raises(ManifestError, match="contains no jobs"):
+            load_manifest(m)
+
+    def test_missing_manifest_is_an_error(self, tmp_path):
+        with pytest.raises(ManifestError, match="cannot read"):
+            load_manifest(tmp_path / "nope.jsonl")

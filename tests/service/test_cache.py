@@ -1,0 +1,169 @@
+"""ArtifactCache accounting: hits, misses, eviction, coalescing."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import SolveRequest
+
+pytestmark = pytest.mark.service
+
+
+def blob(nbytes):
+    return np.zeros(nbytes, dtype=np.uint8)
+
+
+def put(cache, key, nbytes=100, kind="instance"):
+    return cache.get_or_create(kind, (key,), lambda: blob(nbytes),
+                               lambda v: v.nbytes)
+
+
+class TestAccounting:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        a1 = put(cache, "a")
+        a2 = put(cache, "a")
+        assert a1 is a2
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert cache.stats.by_kind["instance"] == {"hits": 1, "misses": 1}
+
+    def test_distinct_keys_and_kinds_do_not_collide(self):
+        cache = ArtifactCache()
+        put(cache, "a", kind="instance")
+        put(cache, "a", kind="knn")
+        put(cache, "b", kind="instance")
+        assert cache.stats.misses == 3 and cache.stats.hits == 0
+        assert len(cache) == 3
+
+    def test_snapshot_reports_occupancy(self):
+        cache = ArtifactCache(max_bytes=10_000)
+        put(cache, "a", nbytes=300)
+        snap = cache.snapshot()
+        assert snap["entries"] == 1
+        assert snap["total_bytes"] == 300
+        assert snap["max_bytes"] == 10_000
+
+    def test_job_events_capture_per_thread(self):
+        cache = ArtifactCache()
+        with cache.job_events() as events:
+            put(cache, "a")
+            put(cache, "a")
+        assert events == {"instance.miss": 1, "instance.hit": 1}
+        # outside the context, lookups are not captured
+        put(cache, "a")
+        assert events == {"instance.miss": 1, "instance.hit": 1}
+
+
+class TestEviction:
+    def test_lru_eviction_under_pressure(self):
+        cache = ArtifactCache(max_bytes=250)
+        put(cache, "a", nbytes=100)
+        put(cache, "b", nbytes=100)
+        put(cache, "a")                      # touch: b is now LRU
+        put(cache, "c", nbytes=100)          # 300 > 250 -> evict b
+        assert cache.stats.evictions == 1
+        assert cache.total_bytes == 200
+        put(cache, "a")
+        put(cache, "c")
+        assert cache.stats.misses == 3       # a, b, c initial builds only
+        put(cache, "b")                      # evicted -> rebuilt
+        assert cache.stats.misses == 4
+
+    def test_oversized_entry_still_caches(self):
+        cache = ArtifactCache(max_bytes=50)
+        put(cache, "big", nbytes=400)
+        assert len(cache) == 1
+        put(cache, "big")
+        assert cache.stats.hits == 1
+
+
+class TestFailuresAndCoalescing:
+    def test_failing_builder_leaves_no_entry(self):
+        cache = ArtifactCache()
+
+        def explode():
+            raise RuntimeError("parse error")
+
+        for _ in range(2):
+            with pytest.raises(RuntimeError, match="parse error"):
+                cache.get_or_create("instance", ("bad",), explode, len)
+        assert len(cache) == 0
+        assert cache.stats.misses == 2      # sequential retries re-miss
+
+    def test_concurrent_same_key_coalesces(self):
+        cache = ArtifactCache()
+        release = threading.Event()
+        builds = []
+
+        def slow_build():
+            release.wait(5.0)
+            builds.append(1)
+            return blob(64)
+
+        results = []
+
+        def lookup():
+            results.append(cache.get_or_create(
+                "knn", ("k",), slow_build, lambda v: v.nbytes))
+
+        threads = [threading.Thread(target=lookup) for _ in range(4)]
+        for t in threads:
+            t.start()
+        # let every thread reach the cache before the build completes
+        deadline = time.monotonic() + 5.0
+        while (cache.stats.hits + cache.stats.misses < 4
+               and time.monotonic() < deadline):
+            time.sleep(0.001)
+        release.set()
+        for t in threads:
+            t.join(5.0)
+        assert builds == [1]                 # exactly one build ran
+        assert all(r is results[0] for r in results)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 3
+        assert cache.stats.coalesced == 3
+
+
+class TestArtifactKeys:
+    def test_synthetic_key_is_n_and_seed(self):
+        a = ArtifactCache.instance_key(SolveRequest(n=100, seed=1))
+        b = ArtifactCache.instance_key(SolveRequest(n=100, seed=1, job_id="other"))
+        c = ArtifactCache.instance_key(SolveRequest(n=100, seed=2))
+        assert a == b != c
+
+    def test_file_key_tracks_mtime(self, tmp_path):
+        p = tmp_path / "t.tsp"
+        p.write_text("NAME: t\n")
+        key1 = ArtifactCache.instance_key(SolveRequest(file=str(p)))
+        p.write_text("NAME: t2\nCOMMENT: edited\n")
+        key2 = ArtifactCache.instance_key(SolveRequest(file=str(p)))
+        assert key1 != key2
+
+    def test_greedy_tour_key_ignores_seed(self):
+        from repro.tsplib.generators import generate_instance
+
+        cache = ArtifactCache()
+        inst = generate_instance(60, seed=0)
+        key = ("synthetic", 60, 0)
+        t1 = cache.initial_tour(SolveRequest(n=60, seed=1), inst, key)
+        t2 = cache.initial_tour(SolveRequest(n=60, seed=2), inst, key)
+        assert t1 is t2
+        # random construction is seed-sensitive: different entries
+        r1 = cache.initial_tour(
+            SolveRequest(n=60, seed=1, initial="random"), inst, key)
+        r2 = cache.initial_tour(
+            SolveRequest(n=60, seed=2, initial="random"), inst, key)
+        assert not np.array_equal(r1, r2)
+
+    def test_greedy_tour_populates_knn(self):
+        from repro.tsplib.generators import generate_instance
+
+        cache = ArtifactCache()
+        inst = generate_instance(60, seed=0)
+        key = ("synthetic", 60, 0)
+        cache.initial_tour(SolveRequest(n=60), inst, key)
+        assert cache.stats.by_kind["knn"] == {"hits": 0, "misses": 1}
+        assert cache.stats.by_kind["tour"] == {"hits": 0, "misses": 1}

@@ -1,0 +1,103 @@
+"""CLI round-trip for ``repro batch`` on the bundled TSPLIB data."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.service
+
+DATA = Path(__file__).resolve().parents[2] / "data" / "sample52-uniform.tsp"
+
+
+def write_manifest(tmp_path, lines):
+    m = tmp_path / "jobs.jsonl"
+    m.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    return m
+
+
+class TestBatchCommand:
+    def test_round_trip_with_cache_hits(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [
+            {"id": "a", "file": str(DATA)},
+            {"id": "b", "file": str(DATA)},   # repeat -> cache hits
+            {"id": "c", "n": 64, "seed": 3},
+        ])
+        assert main(["batch", str(m), "--workers", "2"]) == 0
+        out, err = capsys.readouterr()
+        results = [json.loads(line) for line in out.splitlines() if line]
+        assert len(results) == 3
+        by_id = {r["id"]: r for r in results}
+        assert all(r["status"] == "ok" for r in results)
+        assert by_id["a"]["final_length"] == by_id["b"]["final_length"]
+        # repeated file instance must hit the artifact cache
+        assert "cache" in err
+        hits = int(err.split("cache ")[1].split(" hit")[0])
+        assert hits >= 1
+        assert "3 job(s)" in err
+
+    def test_tours_match_sequential_solve(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [
+            {"id": "a", "file": str(DATA), "return_tour": True},
+        ])
+        assert main(["batch", str(m)]) == 0
+        batch_out = capsys.readouterr().out
+        batch_result = json.loads(batch_out.splitlines()[0])
+
+        assert main(["solve", "--file", str(DATA), "--json"]) == 0
+        solo = json.loads(capsys.readouterr().out)
+        assert batch_result["final_length"] == solo["final_length"]
+        assert batch_result["canonical_length"] == solo["canonical_length"]
+        assert batch_result["moves_applied"] == solo["moves_applied"]
+
+        # the tour itself matches the solver API run the same way
+        from repro.core.solver import TwoOptSolver
+        from repro.tsplib.parser import load_tsplib
+
+        direct = TwoOptSolver(strategy="batch").solve(load_tsplib(DATA))
+        assert batch_result["tour"] == [int(c) for c in direct.tour.order]
+
+    def test_json_report_document(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [{"id": "a", "n": 64, "seed": 1}])
+        assert main(["batch", str(m), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["jobs"] == 1
+        assert report["counts"] == {"ok": 1}
+        assert report["cache"]["misses"] >= 1
+
+    def test_failing_job_exits_1(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [
+            {"id": "good", "n": 64, "seed": 1},
+            {"id": "bad", "file": str(tmp_path / "ghost.tsp")},
+        ])
+        assert main(["batch", str(m)]) == 1
+        out, _ = capsys.readouterr()
+        statuses = {json.loads(l)["id"]: json.loads(l)["status"]
+                    for l in out.splitlines() if l}
+        assert statuses == {"good": "ok", "bad": "failed"}
+
+    def test_bad_manifest_exits_2(self, tmp_path, capsys):
+        m = tmp_path / "jobs.jsonl"
+        m.write_text('{"n": 64, "warp_factor": 9}\n')
+        assert main(["batch", str(m)]) == 2
+        assert "warp_factor" in capsys.readouterr().err
+
+    def test_trace_out_has_worker_lanes(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [
+            {"id": f"j{i}", "n": 64, "seed": 1} for i in range(4)
+        ])
+        trace = tmp_path / "trace.json"
+        assert main(["batch", str(m), "--workers", "2",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        jobs = [e for e in events if e.get("name") == "service.job"]
+        assert len(jobs) == 4
+        lanes = {e["args"]["track"] for e in jobs if "track" in e.get("args", {})}
+        names = {e["args"]["name"] for e in events
+                 if e.get("name") == "thread_name"}
+        assert any(n.startswith("worker#") for n in names) or any(
+            l.startswith("worker#") for l in lanes)

@@ -1,0 +1,85 @@
+"""Manifest/job-model validation for the batch-solve service."""
+
+import pytest
+
+from repro.errors import ManifestError
+from repro.service.jobs import SolveRequest, SolveResult
+
+pytestmark = pytest.mark.service
+
+
+class TestFromDict:
+    def test_minimal_synthetic(self):
+        req = SolveRequest.from_dict({"n": 120, "seed": 3}, default_id="job7")
+        assert req.job_id == "job7"
+        assert req.n == 120 and req.seed == 3
+        assert req.initial == "greedy" and req.mode == "fast"
+
+    def test_file_request(self):
+        req = SolveRequest.from_dict(
+            {"id": "b52", "file": "data/sample52-uniform.tsp"}
+        )
+        assert req.file == "data/sample52-uniform.tsp"
+        assert req.instance_label() == "data/sample52-uniform.tsp"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ManifestError, match="unknown manifest field"):
+            SolveRequest.from_dict({"n": 50, "moar_speed": True})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ManifestError, match="JSON objects"):
+            SolveRequest.from_dict([1, 2, 3])
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(ManifestError, match="exactly one of"):
+            SolveRequest.from_dict({"seed": 1})
+
+    def test_two_sources_rejected(self):
+        with pytest.raises(ManifestError, match="exactly one of"):
+            SolveRequest.from_dict({"n": 50, "file": "x.tsp"})
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(ManifestError, match="'n' must be an integer"):
+            SolveRequest.from_dict({"n": "fifty"})
+        with pytest.raises(ManifestError, match="'deadline_s' must be"):
+            SolveRequest.from_dict({"n": 50, "deadline_s": "soon"})
+        with pytest.raises(ManifestError, match="positive"):
+            SolveRequest.from_dict({"n": 50, "deadline_s": -1})
+        # booleans must not masquerade as integers
+        with pytest.raises(ManifestError, match="'retries'"):
+            SolveRequest.from_dict({"n": 50, "retries": True})
+
+    def test_bad_enums_rejected(self):
+        with pytest.raises(ManifestError, match="unknown initial"):
+            SolveRequest.from_dict({"n": 50, "initial": "psychic"})
+        with pytest.raises(ManifestError, match="unknown mode"):
+            SolveRequest.from_dict({"n": 50, "mode": "warp"})
+        with pytest.raises(ManifestError, match="unknown strategy"):
+            SolveRequest.from_dict({"n": 50, "strategy": "luck"})
+
+    def test_devices_comma_string_and_list(self):
+        a = SolveRequest.from_dict({"n": 50, "devices": "gtx680-cuda, hd7970-opencl"})
+        b = SolveRequest.from_dict({"n": 50, "devices": ["gtx680-cuda", "hd7970-opencl"]})
+        assert a.devices == b.devices == ("gtx680-cuda", "hd7970-opencl")
+
+    def test_synthetic_label(self):
+        req = SolveRequest.from_dict({"n": 90, "seed": 4})
+        assert req.instance_label() == "synthetic-90-seed4"
+
+
+class TestSolveResult:
+    def test_ok_payload_carries_solver_fields(self):
+        r = SolveResult(job_id="a", status="ok", instance="x", n=10,
+                        final_length=42, tour=[0, 1, 2])
+        d = r.as_dict()
+        assert r.ok
+        assert d["final_length"] == 42
+        assert d["tour"] == [0, 1, 2]
+        assert "error" not in d
+
+    def test_failed_payload_carries_error_only(self):
+        r = SolveResult(job_id="a", status="failed", error="boom")
+        d = r.as_dict()
+        assert not r.ok
+        assert d["error"] == "boom"
+        assert "final_length" not in d

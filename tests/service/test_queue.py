@@ -1,0 +1,80 @@
+"""Admission control and deadline stamping in :class:`JobQueue`."""
+
+import pytest
+
+from repro.errors import QueueClosedError, QueueFullError
+from repro.service.jobs import SolveRequest
+from repro.service.queue import JobQueue
+
+pytestmark = pytest.mark.service
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests can advance by hand."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def req(job_id="j", n=50):
+    return SolveRequest(job_id=job_id, n=n)
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        q = JobQueue(max_depth=4)
+        for i in range(3):
+            q.submit(req(f"j{i}"), index=i)
+        assert [q.pull().request.job_id for _ in range(3)] == ["j0", "j1", "j2"]
+
+    def test_full_queue_rejects_nonblocking(self):
+        q = JobQueue(max_depth=2)
+        q.submit(req("a"))
+        q.submit(req("b"))
+        with pytest.raises(QueueFullError, match="max depth 2"):
+            q.submit(req("c"))
+        assert q.depth == 2
+
+    def test_closed_queue_rejects(self):
+        q = JobQueue(max_depth=2)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.submit(req("late"))
+
+    def test_pull_returns_none_when_closed_and_drained(self):
+        q = JobQueue(max_depth=2)
+        q.submit(req("a"))
+        q.close()
+        assert q.pull().request.job_id == "a"
+        assert q.pull() is None
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+
+
+class TestDeadlines:
+    def test_deadline_stamped_from_admission(self):
+        clock = FakeClock(100.0)
+        q = JobQueue(max_depth=4, clock=clock)
+        job = q.submit(SolveRequest(job_id="d", n=50, deadline_s=2.5))
+        assert job.submitted_at == 100.0
+        assert job.deadline_at == 102.5
+        assert not job.expired(102.5)
+        assert job.expired(102.51)
+
+    def test_default_deadline_applies_only_without_own(self):
+        clock = FakeClock(10.0)
+        q = JobQueue(max_depth=4, clock=clock)
+        own = q.submit(SolveRequest(job_id="a", n=50, deadline_s=1.0),
+                       default_deadline_s=9.0)
+        inherited = q.submit(SolveRequest(job_id="b", n=50),
+                             default_deadline_s=9.0)
+        unbounded = q.submit(SolveRequest(job_id="c", n=50))
+        assert own.deadline_at == 11.0
+        assert inherited.deadline_at == 19.0
+        assert unbounded.deadline_at is None
+        assert not unbounded.expired(1e9)

@@ -25,6 +25,7 @@ from repro.telemetry.bench import (
     SCENARIOS,
     MetricPolicy,
     bench_path,
+    filter_run,
     run_from_dict,
     run_to_dict,
 )
@@ -337,3 +338,73 @@ class TestCli:
         monkeypatch.chdir(tmp_path)
         assert main(["bench", "--scenario", "bogus"]) == 2
         assert "unknown bench scenario" in capsys.readouterr().err
+
+    def test_bench_cli_no_overlap_baseline_exits_4(self, tmp_path, capsys,
+                                                   monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        save_run(BenchRun(
+            label="phantom", created="2026-01-01T00:00:00Z", smoke=True,
+            results=(ScenarioResult("retired-scenario", 1, "X", "gpu",
+                                    {"final_length": 1.0}),),
+        ), tmp_path)
+        capsys.readouterr()
+        assert main(["bench", "--scenario", "seq-berlin52", "--label",
+                     "cand", "--against", "BENCH_phantom.json",
+                     "--no-ledger"]) == 4
+        err = capsys.readouterr().err
+        assert "shares no scenarios" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bench_cli_scenario_subset_gates_clean(self, tmp_path, capsys,
+                                                   monkeypatch):
+        # baseline covers two scenarios; gating a one-scenario run must
+        # not report the deliberately-skipped one as missing
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--scenario", "seq-berlin52", "--scenario",
+                     "gpu-sim-kroA200", "--label", "base",
+                     "--no-ledger"]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--scenario", "seq-berlin52", "--label",
+                     "cand", "--against", "BENCH_base.json",
+                     "--no-ledger"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "missing" not in out
+
+
+class TestFilterRun:
+    def test_keeps_only_named_scenarios(self):
+        run = make_run()
+        sub = filter_run(run, ["beta"])
+        assert sub.scenario_keys == ["beta"]
+        assert sub.label == run.label
+        assert run.scenario_keys == ["alpha", "beta"]  # original untouched
+
+    def test_unknown_names_filter_to_empty(self):
+        assert filter_run(make_run(), ["gamma"]).scenario_keys == []
+
+
+class TestServiceScenario:
+    def test_registered_with_smoke_flag(self):
+        byname = {s.key: s for s in SCENARIOS}
+        assert "service-batch" in byname
+        assert byname["service-batch"].smoke
+
+    def test_deterministic_cache_metrics(self):
+        run = BenchRunner(scenarios=["service-batch"], label="svc").run()
+        m = run.result("service-batch").metrics
+        # 8 jobs over 2 instances: 3 misses per instance (instance,
+        # tour, knn), 6 hits per instance (3 repeat jobs x instance+tour)
+        assert m["jobs_ok"] == 8.0
+        assert m["jobs_total"] == 8.0
+        assert m["cache_hits"] == 12.0
+        assert m["cache_misses"] == 6.0
+        assert m["cache_evictions"] == 0.0
+
+    def test_gate_policies_cover_service_metrics(self):
+        for name in ("jobs_ok", "cache_hits", "cache_misses"):
+            assert name in METRIC_POLICIES

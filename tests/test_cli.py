@@ -12,9 +12,10 @@ class TestParser:
 
     def test_all_commands_registered(self):
         p = build_parser()
+        extra_args = {"fig11": ["--n", "100"], "batch": ["jobs.jsonl"]}
         for cmd in ("solve", "table1", "table2", "fig9", "fig10", "fig11",
-                    "ablate", "devices", "bench", "dashboard"):
-            args = p.parse_args([cmd] if cmd != "fig11" else [cmd, "--n", "100"])
+                    "ablate", "devices", "bench", "batch", "dashboard"):
+            args = p.parse_args([cmd] + extra_args.get(cmd, []))
             assert callable(args.func)
 
 
@@ -218,10 +219,37 @@ class TestDashboardCommand:
         assert "Recorded roofline" in out
         assert "bench gate" in out
 
-    def test_dashboard_empty_ledger_ok(self, tmp_path, capsys, monkeypatch):
+    def test_dashboard_empty_ledger_is_diagnostic(self, tmp_path, capsys,
+                                                  monkeypatch):
+        # an empty observatory is a one-line diagnostic + exit 4, not a
+        # blank dashboard
         monkeypatch.chdir(tmp_path)
-        assert main(["dashboard", "--ascii"]) == 0
-        assert "0 run(s)" in capsys.readouterr().out
+        assert main(["dashboard", "--ascii"]) == 4
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_dashboard_ledger_with_no_runs(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        ledger = tmp_path / "benchmarks" / "ledger.jsonl"
+        ledger.parent.mkdir()
+        ledger.write_text("")
+        assert main(["dashboard", "--ascii"]) == 4
+        assert "contains no runs" in capsys.readouterr().err
+
+    def test_dashboard_against_needs_ledger_run(self, tmp_path, capsys,
+                                                monkeypatch):
+        # --against with an empty ledger cannot compare, even if a trace
+        # would otherwise render
+        monkeypatch.chdir(tmp_path)
+        trace_path = tmp_path / "trace.json"
+        assert main(["solve", "--n", "80", "--trace-out",
+                     str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["dashboard", "--ascii", "--trace", str(trace_path),
+                     "--against", "whatever.json"]) == 4
+        assert "--against needs a ledger run" in capsys.readouterr().err
 
 
 class TestSolveJson:
@@ -361,6 +389,28 @@ class TestCheckpointFlags:
         ck.write_text("{broken")
         assert main(["solve", "--n", "100", "--strategy", "best",
                      "--resume", str(ck)]) == 2
+        assert "checkpoint" in capsys.readouterr().err.lower()
+
+    def test_resume_wrong_seed_exits_2(self, tmp_path, capsys):
+        # same n, different seed: the coordinate digest must catch it
+        # before any checkpointed state is restored
+        ck = tmp_path / "ck.json"
+        assert main(["solve", "--n", "150", "--seed", "6", "--strategy",
+                     "best", "--checkpoint", str(ck),
+                     "--checkpoint-every", "2"]) == 0
+        capsys.readouterr()
+        assert main(["solve", "--n", "150", "--seed", "7", "--strategy",
+                     "best", "--resume", str(ck)]) == 2
+        assert "digest" in capsys.readouterr().err.lower()
+
+    def test_resume_wrong_instance_size_exits_2(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        assert main(["solve", "--n", "150", "--seed", "6", "--strategy",
+                     "best", "--checkpoint", str(ck),
+                     "--checkpoint-every", "2"]) == 0
+        capsys.readouterr()
+        assert main(["solve", "--n", "140", "--seed", "6", "--strategy",
+                     "best", "--resume", str(ck)]) == 2
         assert "checkpoint" in capsys.readouterr().err.lower()
 
 
