@@ -32,6 +32,7 @@ def _solve_json_payload(inst, solver, res) -> dict:
         "device": solver.local_search.device_description,
         "backend": solver.local_search.backend,
         "strategy": solver.local_search.strategy,
+        "host_engine": solver.local_search.host_engine,
         "initial_length": res.initial_length,
         "final_length": res.final_length,
         "canonical_length": res.canonical_length,
@@ -67,8 +68,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     # fault injection and simulate mode need the real sweeps: strategy
     # 'best' unless the user explicitly asked otherwise
     simulate = args.inject_faults or args.mode == "simulate"
-    strategy = args.strategy or ("best" if simulate else "batch")
-    solver_kw = dict(strategy=strategy, retry=retry,
+    host_engine = getattr(args, "host_engine", "exhaustive")
+    # dlb/subq run one move per scan by design — they need strategy 'best'
+    strategy = args.strategy or (
+        "best" if simulate or host_engine != "exhaustive" else "batch")
+    solver_kw = dict(strategy=strategy, retry=retry, host_engine=host_engine,
                      faults=args.inject_faults, mode=args.mode)
     if getattr(args, "devices", None):
         pool = [d.strip() for d in args.devices.split(",") if d.strip()]
@@ -519,7 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "multi-GPU backend (overrides --device)")
     s.add_argument("--strategy", choices=["best", "batch"], default=None,
                    help="move application strategy (default: batch; "
-                        "best when --inject-faults is given)")
+                        "best when --inject-faults or a non-exhaustive "
+                        "--host-engine is given)")
+    s.add_argument("--host-engine", choices=["exhaustive", "dlb", "subq"],
+                   default="exhaustive",
+                   help="fast-mode move source: 'exhaustive' full scans, "
+                        "'subq' exact sorted-edge pruned scans (same final "
+                        "tour, far fewer pair checks), 'dlb' approximate "
+                        "don't-look-bits descent")
     s.add_argument("--mode", choices=["fast", "simulate"], default="fast",
                    help="'simulate' runs every scan through the "
                         "instrumented SIMT executor (slower; records "

@@ -47,6 +47,7 @@ from repro.core.checkpoint import (
 from repro.core.local_search import LocalSearch, LocalSearchResult
 from repro.core.pruned import PrunedTwoOpt, PrunedSearchResult, pruned_scan_stats
 from repro.core.dont_look import DontLookTwoOpt, DontLookResult
+from repro.core.subq import SubQuadraticTwoOpt, SubQSearchResult, subq_scan_stats
 from repro.core.two_half_opt import (
     TwoHalfOptKernel,
     TwoHalfOptSearch,
@@ -82,6 +83,9 @@ __all__ = [
     "pruned_scan_stats",
     "DontLookTwoOpt",
     "DontLookResult",
+    "SubQuadraticTwoOpt",
+    "SubQSearchResult",
+    "subq_scan_stats",
     "TwoHalfOptKernel",
     "TwoHalfOptSearch",
     "best_two_h_move",

@@ -8,12 +8,36 @@ vs. clever-sequential comparison can be made concrete (see the
 ``smart_sequential`` extension experiment).
 
 Algorithm: every city starts "active". Pop an active city *a*; for each
-of its k nearest neighbors *b*, evaluate the two 2-opt moves that would
+city *b* on its candidate list, evaluate the two 2-opt moves that would
 create edge (a, b) (pairing the successor edges and the predecessor
-edges). Apply the first improving move, reactivate the four endpoint
-cities, and clear *a*'s bit if nothing improved. Terminates when no city
-is active. With geometric instances the work is near-linear in n, at the
-cost of a (slightly) weaker local minimum than the exhaustive scan.
+edges). Apply the first improving move and clear *a*'s bit if nothing
+improved. Terminates when no city is active. With geometric instances
+the work is near-linear in n, at the cost of a (slightly) weaker local
+minimum than the exhaustive scan.
+
+Reset semantics (the part that is easy to get wrong): candidate lists
+are the *symmetrised* k-NN relation — b is on a's list iff a is within
+b's k nearest or vice versa — and an applied move reactivates the four
+endpoint cities of the exchanged edges *and every city on their
+candidate lists*. Both halves are needed for soundness: the scan at an
+origin x prunes moves through distance gates against x's current tour
+edges (``d(x,b) < d(x, succ(x))`` / ``d(x,b) < d(pred(x), x)``), so when
+a move changes the tour edges around some candidate y of x, the move
+(x, y) may become improving even though x's own edges never changed.
+Resetting only the scan origin (the old behavior, kept as
+``wake_policy="origin"`` for the regression test) leaves such an x
+asleep and the search can declare convergence at a tour that still
+admits improving candidate moves — see the regression test.
+
+One approximation remains even with full endpoint wake-ups: reversing
+an arc swaps successor and predecessor for every city *inside* it
+without changing that city's edge set, so interior cities are not
+woken. A candidate move that is only expressible when two cities share
+a relative orientation can therefore go unseen (Bentley-style
+don't-look bits over an array tour all share this hole). Empirically
+the remaining gap is small — tours land within a fraction of a percent
+of a fixed point — and the engine stays a heuristic baseline, never a
+parity reference.
 
 The tour is an array plus a position index; reversals always flip the
 shorter arc (cyclically), bounding each application at n/2.
@@ -47,13 +71,39 @@ class DontLookResult:
 class DontLookTwoOpt:
     """First-improvement 2-opt with candidate lists and don't-look bits."""
 
-    def __init__(self, coords: np.ndarray, *, k: int = 10) -> None:
+    def __init__(self, coords: np.ndarray, *, k: int = 10,
+                 wake_policy: str = "neighborhood") -> None:
         self.coords = np.ascontiguousarray(coords, dtype=np.float32)
         self.n = self.coords.shape[0]
         if self.n < 4:
             raise ValueError("need at least 4 cities")
+        if wake_policy not in ("neighborhood", "origin"):
+            raise ValueError(
+                f"unknown wake_policy {wake_policy!r}; "
+                "expected 'neighborhood' or 'origin'"
+            )
         self.k = min(max(1, k), self.n - 1)
+        self.wake_policy = wake_policy
         self.knn = k_nearest_neighbors(self.coords, self.k)
+        self.adj = self._symmetric_adjacency(self.knn)
+
+    def _symmetric_adjacency(self, knn: np.ndarray) -> list[np.ndarray]:
+        """Symmetrised candidate lists: b in adj[a] iff a in knn[b] or
+        b in knn[a]; each row ordered by (distance, index) so the sorted
+        early-break in the scan stays valid."""
+        n = self.n
+        src = np.repeat(np.arange(n), knn.shape[1])
+        dst = knn.ravel()
+        keys = np.unique(np.concatenate([src * n + dst, dst * n + src]))
+        s = keys // n
+        t = keys % n
+        c64 = self.coords.astype(np.float64)
+        d2 = ((c64[s] - c64[t]) ** 2).sum(axis=1)
+        by = np.lexsort((t, d2, s))
+        s, t = s[by], t[by]
+        starts = np.searchsorted(s, np.arange(n))
+        ends = np.searchsorted(s, np.arange(n), side="right")
+        return [t[starts[r]:ends[r]] for r in range(n)]
 
     # -- helpers ------------------------------------------------------------
 
@@ -105,6 +155,25 @@ class DontLookTwoOpt:
         def pred(city: int) -> int:
             return int(order[(pos[city] - 1) % n])
 
+        def wake(endpoints: tuple[int, ...]) -> None:
+            # endpoints of the exchanged edges, plus every origin whose
+            # candidate list contains one of them (symmetric lists make
+            # those exactly the endpoints' own rows)
+            if self.wake_policy == "origin":
+                # legacy semantics: the scan origin keeps descending via
+                # the inner loop; nobody else is reactivated
+                return
+            for c in endpoints:
+                c = int(c)
+                if not active[c]:
+                    active[c] = True
+                    queue.append(c)
+                for nb in self.adj[c]:
+                    nb = int(nb)
+                    if not active[nb]:
+                        active[nb] = True
+                        queue.append(nb)
+
         while queue:
             a = queue.popleft()
             if not active[a]:
@@ -117,7 +186,7 @@ class DontLookTwoOpt:
                 a_prev = pred(a)
                 d_a_next = self._d(a, a_next)
                 d_a_prev = self._d(a_prev, a)
-                for b in self.knn[a]:
+                for b in self.adj[a]:
                     b = int(b)
                     checks += 2
                     d_ab = self._d(a, b)
@@ -134,10 +203,7 @@ class DontLookTwoOpt:
                                 )
                                 length += delta
                                 moves += 1
-                                for c in (a, b, a_next, b_next):
-                                    if not active[c]:
-                                        active[c] = True
-                                        queue.append(int(c))
+                                wake((a, b, a_next, b_next))
                                 improved = True
                                 break
                     # predecessor variant: remove (a-,a), (b-,b); add (a-,b-),(a,b)
@@ -153,10 +219,7 @@ class DontLookTwoOpt:
                                 )
                                 length += delta
                                 moves += 1
-                                for c in (a, b, a_prev, b_prev):
-                                    if not active[c]:
-                                        active[c] = True
-                                        queue.append(int(c))
+                                wake((a, b, a_prev, b_prev))
                                 improved = True
                                 break
                     # neighbor lists are sorted by distance: once d(a,b)

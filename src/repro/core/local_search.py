@@ -40,6 +40,14 @@ Host engines (``fast`` mode only)
     large instances. Tour quality matches exhaustive 2-opt within ~1 %
     and each applied move is still charged one full modeled launch, but
     the move *sequence* differs from strict best-improvement.
+``subq``
+    The Lancia–Vidoni sorted-edge search (:mod:`repro.core.subq`):
+    *exact* best moves — bit-identical trajectory and final tour to
+    ``exhaustive`` — found while examining only the edge pairs whose
+    combined removed length can still beat the best gain seen so far.
+    Requires ``strategy='best'``. Stats and the modeled clock are scaled
+    to the pairs actually examined, so checks/sec stays honest and
+    time-to-minimum reflects the pruning.
 
 Strategies
 ----------
@@ -78,6 +86,7 @@ from repro.core.moves import (
     next_distances,
 )
 from repro.core.pair_indexing import pair_count
+from repro.core.subq import SubQuadraticTwoOpt
 from repro.core.tiling import TileSchedule, TwoOptKernelTiled, tiled_best_move
 from repro.core.two_opt_cpu import cpu_scan_stats, sequential_two_opt
 from repro.core.two_opt_gpu import TwoOptKernelOrdered
@@ -150,7 +159,7 @@ class LocalSearch:
         include_transfers: bool = True,
         include_host_apply: bool = True,
         trace: Optional["TraceCollector"] = None,
-        host_engine: Literal["exhaustive", "dlb"] = "exhaustive",
+        host_engine: Literal["exhaustive", "dlb", "subq"] = "exhaustive",
         policy: str = "dynamic",
         retry: Optional[RetryPolicy] = None,
         faults: Union[FaultPlan, str, None] = None,
@@ -190,17 +199,24 @@ class LocalSearch:
         self.include_transfers = include_transfers
         self.include_host_apply = include_host_apply
         self.trace = trace
-        if host_engine not in ("exhaustive", "dlb"):
+        if host_engine not in ("exhaustive", "dlb", "subq"):
             raise SolverError(f"unknown host_engine {host_engine!r}")
-        if host_engine == "dlb" and mode == "simulate":
-            raise SolverError("host_engine='dlb' requires mode='fast'")
+        if host_engine in ("dlb", "subq") and mode == "simulate":
+            raise SolverError(f"host_engine={host_engine!r} requires mode='fast'")
         if host_engine == "dlb" and strategy == "batch":
             raise SolverError(
                 "host_engine='dlb' applies its moves in one descent and "
                 "cannot honour strategy='batch'; use strategy='best'"
             )
+        if host_engine == "subq" and strategy == "batch":
+            raise SolverError(
+                "host_engine='subq' finds the single exact best move per "
+                "scan; use strategy='best'"
+            )
         self.host_engine = host_engine
         self._last_sweep_seconds: Optional[float] = None
+        self._subq: Optional["SubQuadraticTwoOpt"] = None
+        self._last_scan_pairs: Optional[int] = None
         self._executor: Optional[MultiDeviceExecutor] = None
         if backend == "gpu":
             if not isinstance(self.device, GPUDeviceSpec):
@@ -325,7 +341,29 @@ class LocalSearch:
             return self._gpu_scan_estimate(n)[0]
         return cpu_scan_stats(n, threads=self.threads or self.device.cores)
 
+    def _subq_scan_stats(self, n: int, pairs: int) -> KernelStats:
+        """Backend scan stats scaled to the pairs the subq engine examined.
+
+        Scaling the closed form keeps flops / memory traffic / roofline
+        accounting proportional to real work; ``pair_checks`` is then
+        pinned to the exact examined count and ``launches`` stays the
+        backend's integral launch count (the scan still happens, it is
+        just shorter).
+        """
+        base = self._scan_work(n)
+        frac = pairs / pair_count(n)
+        s = base.scaled(frac)
+        s.launches = base.launches
+        s.threads_launched = base.threads_launched
+        s.pair_checks = float(pairs)
+        return s
+
     def _scan_fast(self, coords: np.ndarray, stats: KernelStats) -> Move:
+        if self._subq is not None:
+            mv, pairs = self._subq.best_move()
+            self._last_scan_pairs = pairs
+            stats += self._subq_scan_stats(coords.shape[0], pairs)
+            return mv
         mv = best_move(coords)
         stats += self._scan_work(coords.shape[0])
         return mv
@@ -400,6 +438,7 @@ class LocalSearch:
             "n": n,
             "backend": self.backend,
             "strategy": self.strategy,
+            "host_engine": self.host_engine,
             "instance": instance,
             "coords_digest": coords_digest,
             "order": encode_array(order),
@@ -462,7 +501,7 @@ class LocalSearch:
         with tracer.span(
             "local_search", category="core", n=len(coords_ordered),
             backend=self.backend, mode=self.mode, strategy=self.strategy,
-            device=self.device_description,
+            host_engine=self.host_engine, device=self.device_description,
         ) as span:
             result = self._run(
                 coords_ordered, tracer, max_moves=max_moves,
@@ -537,6 +576,15 @@ class LocalSearch:
                     f"checkpoint was taken with backend={p.get('backend')!r} "
                     f"strategy={p.get('strategy')!r}; this search runs "
                     f"{self.backend!r}/{self.strategy!r}")
+            # engine identity: the modeled clock depends on the host
+            # engine (subq scans are cheaper), so resuming with a
+            # different engine would splice two incompatible timelines.
+            # Absent in pre-subq checkpoints — then skip the check.
+            cp_engine = p.get("host_engine")
+            if cp_engine is not None and cp_engine != self.host_engine:
+                raise CheckpointError(
+                    f"checkpoint was taken with host_engine={cp_engine!r}; "
+                    f"this search runs {self.host_engine!r}")
             # instance identity — verified BEFORE restoring any state, so
             # a wrong-instance resume fails cleanly instead of descending
             # from a nonsense permutation
@@ -610,6 +658,16 @@ class LocalSearch:
 
         scan = self._scan_simulate if self.mode == "simulate" else self._scan_fast
         per_launch_kernel = None  # lazily computed, reused (depends on n only)
+        # per-run engine state: built from the (possibly resumed) tour.
+        # c is always route-ordered here, so the engine starts from the
+        # identity permutation over the current coordinates; the sorted
+        # edge list's canonical total order makes this reconstruction
+        # identical to the incrementally-maintained state of an
+        # uninterrupted run (resume parity).
+        self._subq = (SubQuadraticTwoOpt(c)
+                      if self.host_engine == "subq" and self.mode == "fast"
+                      else None)
+        self._last_scan_pairs = None
 
         def _maybe_checkpoint() -> None:
             if (checkpoint_path is None or checkpoint_every is None
@@ -692,11 +750,17 @@ class LocalSearch:
                     # includes retries, backoff, and recovery dispatch —
                     # book that, not the fault-free closed form
                     step_kernel = self._last_sweep_seconds
+                if self._subq is not None and self._last_scan_pairs is not None:
+                    # the pruned scan only evaluates this fraction of the
+                    # pair space; charge modeled time proportionally so
+                    # checks/sec is unchanged but time-to-minimum shrinks
+                    step_kernel = per_launch_kernel * (
+                        self._last_scan_pairs / pair_count(n))
                 modeled += step_kernel
                 kernel_s += step_kernel
                 # simulate mode records the real launches in the executor
                 if self.mode == "fast":
-                    self._emit_modeled_launches(tracer, n, per_launch_kernel, 1)
+                    self._emit_modeled_launches(tracer, n, step_kernel, 1)
                 if mv.i < 0 or mv.delta >= 0:
                     reached_minimum = True
                     tracer.advance_modeled(modeled - step_start)
@@ -704,12 +768,16 @@ class LocalSearch:
                     break
                 c[mv.i + 1 : mv.j + 1] = c[mv.i + 1 : mv.j + 1][::-1]
                 order[mv.i + 1 : mv.j + 1] = order[mv.i + 1 : mv.j + 1][::-1]
+                if self._subq is not None:
+                    self._subq.apply(mv.i, mv.j)
                 modeled += self._host_apply_seconds(mv.j - mv.i)
                 length += mv.delta
                 moves_applied += 1
                 tracer.advance_modeled(modeled - step_start)
                 if tracer.enabled:
                     ssp.set_attr("delta", int(mv.delta))
+                    if self._last_scan_pairs is not None:
+                        ssp.set_attr("pairs", int(self._last_scan_pairs))
                 trace.append((modeled, length))
             _maybe_checkpoint()
 

@@ -9,6 +9,13 @@ classical candidate-list restriction (cf. Johnson & McGeoch). Work per
 scan drops from O(n²) to O(nk); the price is that the search stops at a
 *pruned* local minimum (no improving candidate move), which may still
 admit improving non-candidate moves.
+
+Accounting: ``pair_checks`` counts the pairs a scan actually evaluates —
+the k-NN lists are symmetrised and deduplicated up front (a appearing in
+b's list and b in a's collapse to one candidate), and tour-adjacent
+pairs (whose 2-opt delta is identically zero) are dropped per scan — so
+checks/sec benchmarks divide by real work, not the flat ``n*k`` upper
+bound the old code booked.
 """
 
 from __future__ import annotations
@@ -19,15 +26,17 @@ from typing import Optional
 import numpy as np
 
 from repro.core.moves import Move, delta_for_pairs, next_distances
+from repro.core.pair_indexing import linear_from_pair
 from repro.core.two_opt_gpu import _EXTRA_FLOPS_PER_PAIR
 from repro.gpusim.kernel import FLOPS_PER_DISTANCE, SPECIAL_PER_DISTANCE
 from repro.gpusim.stats import KernelStats
 from repro.tsplib.neighbors import k_nearest_neighbors
 
 
-def pruned_scan_stats(n: int, k: int) -> KernelStats:
-    """Closed-form work for one pruned scan (n·k candidate pairs)."""
-    pairs = n * k
+def pruned_scan_stats(pairs: int) -> KernelStats:
+    """Work for one pruned scan that evaluated *pairs* candidate pairs."""
+    if pairs < 0:
+        raise ValueError("pairs must be >= 0")
     s = KernelStats(launches=1)
     s.pair_checks = pairs
     s.flops = pairs * (4 * FLOPS_PER_DISTANCE + _EXTRA_FLOPS_PER_PAIR)
@@ -67,25 +76,49 @@ class PrunedTwoOpt:
         hi = np.maximum(a, b)
         self.candidates = np.unique(np.column_stack([lo, hi]), axis=0)
 
+    @property
+    def candidate_pair_count(self) -> int:
+        """Deduplicated candidate city pairs (before adjacency filtering)."""
+        return int(self.candidates.shape[0])
+
     def _candidate_position_pairs(self, pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """City candidates -> current tour-position pairs (i < j)."""
+        """City candidates -> evaluable tour-position pairs (i < j).
+
+        Tour-adjacent pairs (j == i+1, and the wrap pair (0, n-1)) are
+        excluded: exchanging edges around an existing tour edge is the
+        identity move, delta == 0 by construction.
+        """
         pi = pos[self.candidates[:, 0]]
         pj = pos[self.candidates[:, 1]]
         i = np.minimum(pi, pj)
         j = np.maximum(pi, pj)
-        valid = i < j  # equal never happens; guard anyway
+        valid = (j - i > 1) & ~((i == 0) & (j == self.n - 1))
         return i[valid], j[valid]
 
-    def best_move(self, order: np.ndarray) -> Move:
-        """Best candidate move for the tour *order* (positions)."""
+    def best_move_scan(self, order: np.ndarray) -> tuple[Move, int]:
+        """Best candidate move plus the number of pairs evaluated.
+
+        Ties on delta break toward the lowest linear pair index — the
+        same Fig.-3 j-major order the exhaustive engine uses — so with
+        k = n-1 this engine is bit-identical to ``moves.best_move``.
+        """
         c = self.city_coords[order]
         pos = np.empty(self.n, dtype=np.int64)
         pos[order] = np.arange(self.n)
         i, j = self._candidate_position_pairs(pos)
+        if i.size == 0:
+            return Move(i=-1, j=-1, delta=0), 0
         dn = next_distances(c)
         deltas = delta_for_pairs(c, i, j, dn)
-        kbest = int(np.argmin(deltas))
-        return Move(i=int(i[kbest]), j=int(j[kbest]), delta=int(deltas[kbest]))
+        dmin = deltas.min()
+        ties = np.nonzero(deltas == dmin)[0]
+        kbest = int(ties[np.argmin(linear_from_pair(i[ties], j[ties]))])
+        move = Move(i=int(i[kbest]), j=int(j[kbest]), delta=int(dmin))
+        return move, int(i.size)
+
+    def best_move(self, order: np.ndarray) -> Move:
+        """Best candidate move for the tour *order* (positions)."""
+        return self.best_move_scan(order)[0]
 
     def run(
         self,
@@ -103,10 +136,10 @@ class PrunedTwoOpt:
         moves = 0
         scans = 0
         while True:
-            mv = self.best_move(order)
+            mv, pairs = self.best_move_scan(order)
             scans += 1
-            stats += pruned_scan_stats(self.n, self.k)
-            if mv.delta >= 0:
+            stats += pruned_scan_stats(pairs)
+            if mv.i < 0 or mv.delta >= 0:
                 break
             order[mv.i + 1 : mv.j + 1] = order[mv.i + 1 : mv.j + 1][::-1]
             length += mv.delta

@@ -154,14 +154,16 @@ def run_pruned_ablation(
     for k in ks:
         pruned = PrunedTwoOpt(coords, k=k)
         res = pruned.run()
-        stats = pruned_scan_stats(n, pruned.k)
+        # average evaluated pairs per scan, as actually booked by the run
+        per_scan = res.pair_checks // max(res.scans, 1)
+        stats = pruned_scan_stats(per_scan)
         stats.threads_launched = launch.total_threads
         t = predict_kernel_time(stats, device, launch,
                                 shared_bytes=8 * min(n, 6144)).total
         rows.append(
             PrunedRow(
                 k=k,
-                pair_checks_per_scan=n * pruned.k,
+                pair_checks_per_scan=per_scan,
                 modeled_scan_s=t,
                 final_length=res.final_length,
                 quality_loss_pct=100.0 * (res.final_length - full.final_length)

@@ -308,6 +308,57 @@ def _scenario_service_batch() -> ScenarioResult:
                           metrics=metrics)
 
 
+def _subq_parity_scenario(key: str, n: int,
+                          max_scans: Optional[int]) -> ScenarioResult:
+    """Exhaustive-best vs subq-best on the same instance and caps.
+
+    The subq engine's contract is bit-identical trajectories, so the
+    parity metrics are exactly zero by construction and gated at zero:
+    ``length_parity`` / ``scans_parity`` (absolute differences) and
+    ``pairs_over_exhaustive`` (examined pairs beyond the exhaustive
+    count, i.e. the pairs-examined <= exhaustive budget). The standard
+    metric block (checks/s, kernel seconds, pair_checks) describes the
+    subq run; ``pairs_fraction`` is the measured pruning ratio.
+    """
+    from repro.core.solver import TwoOptSolver
+    from repro.telemetry.profiler import Profiler
+    from repro.tsplib.generators import generate_instance
+
+    inst = generate_instance(n, seed=n)
+    solve_kwargs = {} if max_scans is None else {"max_scans": max_scans}
+    ex = TwoOptSolver("gtx680-cuda", strategy="best").solve(
+        inst, **solve_kwargs)
+    solver = TwoOptSolver("gtx680-cuda", strategy="best",
+                          host_engine="subq")
+    with Profiler() as prof:
+        res = solver.solve(inst, **solve_kwargs)
+    metrics = _collect_metrics(res, prof)
+    sq, xs = res.search, ex.search
+    metrics["length_parity"] = float(abs(res.final_length - ex.final_length))
+    metrics["scans_parity"] = float(abs(sq.scans - xs.scans))
+    metrics["pairs_over_exhaustive"] = float(
+        max(0.0, sq.stats.pair_checks - xs.stats.pair_checks))
+    metrics["pairs_fraction"] = (sq.stats.pair_checks
+                                 / max(1.0, xs.stats.pair_checks))
+    return ScenarioResult(
+        scenario=key, n=n,
+        device=solver.local_search.device_description,
+        backend=solver.local_search.backend,
+        metrics=metrics,
+    )
+
+
+def _scenario_subq_parity_pr1002() -> ScenarioResult:
+    return _subq_parity_scenario("subq-parity-pr1002", 1002, 40)
+
+
+def _scenario_subq_rl11849() -> ScenarioResult:
+    # n >= 10k: the class the sub-quadratic scan exists for; 3 capped
+    # sweeps keep the exhaustive comparator affordable while the subq
+    # side examines ~0.06% of the pair space
+    return _subq_parity_scenario("subq-rl11849", 11849, 3)
+
+
 def _scenario_gpu_batch_pr2392() -> ScenarioResult:
     return _run_solver("gpu-batch-pr2392", 2392,
                        solver_kwargs={"strategy": "batch"})
@@ -338,6 +389,14 @@ SCENARIOS: tuple = (
                   "batch-solve service: 8 jobs / 2 instances, 2 workers, "
                   "artifact cache (n=120/160)",
                   160, True, _scenario_service_batch),
+    BenchScenario("subq-parity-pr1002",
+                  "sub-quadratic exact best-move engine vs exhaustive, "
+                  "parity-gated (n=1002, 40 sweeps)",
+                  1002, True, _scenario_subq_parity_pr1002),
+    BenchScenario("subq-rl11849",
+                  "sub-quadratic engine at large n vs exhaustive, "
+                  "parity-gated (n=11849, 3 sweeps)",
+                  11849, False, _scenario_subq_rl11849),
     BenchScenario("gpu-batch-pr2392",
                   "single GPU, batch strategy, pr2392-class (n=2392)",
                   2392, False, _scenario_gpu_batch_pr2392),
@@ -433,6 +492,11 @@ METRIC_POLICIES: dict = {
     # wall clock is machine noise: generous slack + wide floor
     "wall_seconds": MetricPolicy("lower", 1.0, 0.25),
     "scenario_wall_seconds": MetricPolicy("lower", 1.0, 0.25),
+    # subq parity gates: exact-zero by the engine's bit-identity contract
+    "length_parity": MetricPolicy("lower", 0.0, 0.0),
+    "scans_parity": MetricPolicy("lower", 0.0, 0.0),
+    "pairs_over_exhaustive": MetricPolicy("lower", 0.0, 0.0),
+    "pairs_fraction": MetricPolicy("lower", 0.0, 0.0),
     # batch-solve service: all deterministic (coalesced cache accounting)
     "jobs_ok": MetricPolicy("higher", 0.0, 0.0),
     "jobs_total": MetricPolicy("higher", 0.0, 0.0),

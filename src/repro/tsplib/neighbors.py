@@ -4,6 +4,13 @@ Used by the greedy / multiple-fragment construction heuristic (Bentley's
 "Experiments on traveling salesman heuristics", the paper's initial-tour
 source for Table II) and by the neighborhood-pruned 2-opt extension the
 paper suggests in §V/"Future work".
+
+Determinism contract: for a given coordinate array the returned lists
+are a pure function of the input — every row is ordered by
+``(distance, index)`` with exact ties broken toward the lower city
+index, never by kd-tree traversal order. This is what makes cached
+k-NN artifacts (:class:`repro.service.cache.ArtifactCache`) reproducible
+across NumPy/SciPy versions.
 """
 
 from __future__ import annotations
@@ -12,29 +19,47 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 
+def _row_select(coords: np.ndarray, row: int, cand: np.ndarray,
+                k: int) -> np.ndarray:
+    """The k nearest of *cand* to city *row*, ordered by (distance, index)."""
+    cand = cand[cand != row]
+    d2 = ((coords[cand] - coords[row]) ** 2).sum(axis=1)
+    return cand[np.lexsort((cand, d2))[:k]]
+
+
 def k_nearest_neighbors(coords: np.ndarray, k: int) -> np.ndarray:
     """Return an ``(n, k)`` int array: the *k* nearest cities of each city.
 
     Distances are true Euclidean (ordering is identical under EUC_2D's
     monotone rounding for ties apart). The city itself is excluded.
+    ``k`` is clamped to ``n - 1`` (the largest possible neighborhood);
+    ``k < 1`` raises. Ties are broken deterministically by a stable
+    ``(distance, index)`` order, independent of kd-tree internals.
     """
     coords = np.asarray(coords, dtype=np.float64)
     n = coords.shape[0]
     if n < 2:
         raise ValueError("need at least 2 points")
+    if k < 1:
+        raise ValueError("k must be >= 1")
     k = min(k, n - 1)
     tree = cKDTree(coords)
-    # query k+1 because the nearest point of each city is itself
-    _, idx = tree.query(coords, k=k + 1)
+    # query k+1 because the nearest point of each city is itself, then
+    # widen each row to *every* point within its k+1-th distance so that
+    # boundary ties are resolved by our own (distance, index) sort, not
+    # by whatever order the tree happened to visit equidistant leaves
+    dist, idx = tree.query(coords, k=k + 1)
+    dist = np.atleast_2d(dist)
     idx = np.atleast_2d(idx)
+    radius = np.nextafter(dist[:, -1], np.inf)
+    grouped = tree.query_ball_point(coords, radius)
     out = np.empty((n, k), dtype=np.int64)
-    for row in range(n):  # small cleanup loop; k+1 columns, not O(n^2)
-        neighbors = idx[row]
-        neighbors = neighbors[neighbors != row][:k]
-        out[row, : neighbors.size] = neighbors
-        if neighbors.size < k:  # duplicate-point corner case
-            fill = [c for c in range(n) if c != row][: k - neighbors.size]
-            out[row, neighbors.size:] = fill
+    for row in range(n):
+        sel = _row_select(coords, row, np.asarray(grouped[row], dtype=np.int64), k)
+        if sel.size < k:  # radius under-covered (degenerate geometry):
+            # fall back to an exact full-row scan, same deterministic order
+            sel = _row_select(coords, row, np.arange(n, dtype=np.int64), k)
+        out[row] = sel
     return out
 
 
@@ -42,8 +67,9 @@ def neighbor_pairs_sorted(coords: np.ndarray, k: int) -> np.ndarray:
     """All (i, j) candidate edges from k-NN lists, sorted by length.
 
     Returns an ``(m, 2)`` array with i < j, deduplicated, ordered by the
-    true edge length — the edge stream consumed by the greedy matching
-    construction.
+    true edge length with exact ties broken by ``(i, j)`` — the edge
+    stream consumed by the greedy matching construction, deterministic
+    for artifact caching.
     """
     coords = np.asarray(coords, dtype=np.float64)
     knn = k_nearest_neighbors(coords, k)
@@ -54,5 +80,5 @@ def neighbor_pairs_sorted(coords: np.ndarray, k: int) -> np.ndarray:
     hi = np.maximum(src, dst)
     pairs = np.unique(np.column_stack([lo, hi]), axis=0)
     d = np.linalg.norm(coords[pairs[:, 0]] - coords[pairs[:, 1]], axis=1)
-    order = np.argsort(d, kind="stable")
+    order = np.lexsort((pairs[:, 1], pairs[:, 0], d))
     return pairs[order]

@@ -64,8 +64,10 @@ class TestDontLookTwoOpt:
         c = coords_of(500, seed=2)
         dlb = DontLookTwoOpt(c, k=10).run()
         full = LocalSearch("gtx680-cuda", strategy="batch").run(c)
-        rel = abs(dlb.final_length - full.final_length) / full.final_length
-        assert rel < 0.03
+        rel = (dlb.final_length - full.final_length) / full.final_length
+        # different trajectories: the candidate-list descent may land on a
+        # better minimum than the batch engine, never a much worse one
+        assert -0.06 <= rel < 0.03
 
     def test_checks_scale_near_linearly(self):
         """The whole point of don't-look bits: far fewer checks than the
@@ -104,3 +106,40 @@ class TestDontLookTwoOpt:
     def test_minimum_size(self):
         with pytest.raises(ValueError):
             DontLookTwoOpt(coords_of(4)[:3], k=2)
+
+    def test_unknown_wake_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DontLookTwoOpt(coords_of(50), k=5, wake_policy="everything")
+
+
+class TestWakeSemantics:
+    """Regression: the old reset semantics reactivated only the scan
+    origin after a move. That terminates at tours far above the
+    candidate-list local minimum."""
+
+    def test_origin_only_wake_stops_at_non_local_minimum(self):
+        c = coords_of(200, seed=0)
+        old = DontLookTwoOpt(c, k=8, wake_policy="origin").run()
+        # the engine's own move space still improves the old fixed point:
+        # a fresh descent started from it keeps finding candidate moves
+        resumed = DontLookTwoOpt(c, k=8).run(old.order)
+        assert resumed.final_length < old.final_length
+
+    def test_endpoint_wake_beats_origin_only(self):
+        for seed in range(3):
+            c = coords_of(200, seed=seed)
+            old = DontLookTwoOpt(c, k=8, wake_policy="origin").run()
+            new = DontLookTwoOpt(c, k=8).run()
+            assert new.final_length < old.final_length
+
+    def test_symmetric_adjacency(self):
+        eng = DontLookTwoOpt(coords_of(150, seed=1), k=6)
+        adj = [set(map(int, row)) for row in eng.adj]
+        for a, row in enumerate(adj):
+            assert a not in row
+            for b in row:
+                assert a in adj[b]
+        # every knn edge is represented
+        for a in range(150):
+            for b in eng.knn[a]:
+                assert int(b) in adj[a]

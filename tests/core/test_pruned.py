@@ -83,13 +83,71 @@ class TestPrunedTwoOpt:
 
 class TestPrunedScanStats:
     def test_counts(self):
-        s = pruned_scan_stats(100, 8)
+        s = pruned_scan_stats(800)
         assert s.pair_checks == 800
         assert s.flops > 0
+        assert s.launches == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pruned_scan_stats(-1)
 
     def test_much_cheaper_than_full(self):
         from repro.core.two_opt_cpu import cpu_scan_stats
 
-        pruned = pruned_scan_stats(1000, 8)
+        pruned = pruned_scan_stats(1000 * 8)
         full = cpu_scan_stats(1000)
         assert pruned.flops < full.flops / 20
+
+
+class TestHonestAccounting:
+    """pair_checks must equal the evaluations the scans actually ran."""
+
+    def test_pair_checks_match_scan_evaluations(self):
+        c = coords_of(200, seed=8)
+        p = PrunedTwoOpt(c, k=6)
+        res = p.run()
+        # replay the run and count what best_move_scan reports
+        order = np.arange(200, dtype=np.int64)
+        total = 0
+        while True:
+            mv, pairs = p.best_move_scan(order)
+            total += pairs
+            if mv.i < 0 or mv.delta >= 0:
+                break
+            order[mv.i + 1 : mv.j + 1] = order[mv.i + 1 : mv.j + 1][::-1]
+        assert res.pair_checks == total
+
+    def test_count_is_deduplicated_not_flat_nk(self):
+        """The flat n*k booking double-counts symmetric candidates."""
+        c = coords_of(150, seed=9)
+        p = PrunedTwoOpt(c, k=8)
+        _, pairs = p.best_move_scan(np.arange(150, dtype=np.int64))
+        assert pairs <= p.candidate_pair_count
+        assert p.candidate_pair_count < 150 * 8  # mutual pairs collapsed
+
+    def test_adjacent_pairs_not_evaluated(self):
+        """Tour-adjacent candidate pairs are identity moves; skip them."""
+        c = coords_of(60, seed=10)
+        p = PrunedTwoOpt(c, k=59)  # clamp to full neighborhood
+        pos = np.arange(60, dtype=np.int64)
+        i, j = p._candidate_position_pairs(pos)
+        assert np.all(j - i > 1)
+        assert not np.any((i == 0) & (j == 59))
+        # full neighborhood: all pairs minus the n tour-adjacent ones
+        assert i.size == 60 * 59 // 2 - 60
+
+    def test_tie_break_matches_exhaustive_when_unpruned(self):
+        """k = n-1 makes the candidate scan the exhaustive scan."""
+        for seed in range(5):
+            c = coords_of(48, seed=seed)
+            p = PrunedTwoOpt(c, k=47)
+            order = np.arange(48, dtype=np.int64)
+            while True:
+                mv = p.best_move(order)
+                ref = best_move(c[order])
+                if ref.delta >= 0:
+                    assert mv.i < 0 or mv.delta >= 0
+                    break
+                assert (mv.i, mv.j, mv.delta) == (ref.i, ref.j, ref.delta)
+                order[mv.i + 1 : mv.j + 1] = order[mv.i + 1 : mv.j + 1][::-1]

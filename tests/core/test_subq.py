@@ -1,0 +1,243 @@
+"""Tests for the sub-quadratic exact best-move engine (Lancia-Vidoni).
+
+The headline guarantee: every scan returns the *same* move as the
+exhaustive ``moves.best_move`` — ties included — so a subq descent is
+bit-identical to the exhaustive descent while examining fewer pairs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.local_search import LocalSearch
+from repro.core.moves import best_move, next_distances
+from repro.core.pair_indexing import pair_count
+from repro.core.pruned import PrunedTwoOpt
+from repro.core.subq import SubQuadraticTwoOpt, subq_scan_stats
+from repro.errors import CheckpointError, SolverError
+from repro.tsplib.generators import generate_instance
+
+
+def coords_of(n, seed=0):
+    return generate_instance(n, seed=seed).coords_float32()
+
+
+def random_coords(n, seed):
+    return np.random.default_rng(seed).uniform(0, 5000, (n, 2)).astype(np.float32)
+
+
+class TestSubqScanStats:
+    def test_counts(self):
+        s = subq_scan_stats(1234)
+        assert s.pair_checks == 1234
+        assert s.launches == 1
+        assert s.flops > 0
+        assert s.special_ops > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subq_scan_stats(-1)
+
+    def test_scales_linearly_in_pairs(self):
+        a = subq_scan_stats(100)
+        b = subq_scan_stats(200)
+        assert b.flops == 2 * a.flops
+
+
+class TestEngineConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubQuadraticTwoOpt(np.zeros((3, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            SubQuadraticTwoOpt(np.zeros((10, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            SubQuadraticTwoOpt(coords_of(10), order=np.zeros(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            SubQuadraticTwoOpt(coords_of(10), rank_block=0)
+
+    def test_private_coordinate_copy(self):
+        """Regression: the engine must not alias the caller's buffer.
+
+        LocalSearch reverses its route-ordered coordinates in place; an
+        aliased engine would silently lose the city -> coordinate map.
+        """
+        c = coords_of(60, seed=1)
+        eng = SubQuadraticTwoOpt(c)
+        ref, _ = eng.best_move()
+        c[:] = 0.0  # caller scribbles over its buffer
+        again, _ = eng.best_move()
+        assert (ref.i, ref.j, ref.delta) == (again.i, again.j, again.delta)
+
+    def test_custom_start_order(self):
+        c = coords_of(40, seed=2)
+        start = np.random.default_rng(3).permutation(40)
+        eng = SubQuadraticTwoOpt(c, order=start)
+        assert eng.tour_length == int(next_distances(c[start]).sum())
+        eng.verify_consistency()
+
+
+class TestIncrementalStructure:
+    def test_apply_keeps_structure_exact(self):
+        c = coords_of(120, seed=4)
+        eng = SubQuadraticTwoOpt(c)
+        for _ in range(25):
+            mv, _ = eng.best_move()
+            if mv.i < 0 or mv.delta >= 0:
+                break
+            eng.apply(mv.i, mv.j)
+            eng.verify_consistency()
+
+    def test_apply_validates_move(self):
+        eng = SubQuadraticTwoOpt(coords_of(20))
+        with pytest.raises(ValueError):
+            eng.apply(5, 5)
+        with pytest.raises(ValueError):
+            eng.apply(-1, 4)
+        with pytest.raises(ValueError):
+            eng.apply(3, 20)
+
+    def test_rank_block_does_not_change_the_move(self):
+        """Blocking trades extra examined pairs for vectorization; the
+        returned move must be identical for any block size."""
+        c = coords_of(150, seed=5)
+        moves = []
+        for rb in (1, 7, 64, 4096):
+            mv, _ = SubQuadraticTwoOpt(c, rank_block=rb).best_move()
+            moves.append((mv.i, mv.j, mv.delta))
+        assert len(set(moves)) == 1
+
+    def test_examines_fewer_pairs_than_exhaustive(self):
+        c = coords_of(400, seed=6)
+        res = SubQuadraticTwoOpt(c).run()
+        assert res.pair_checks < res.scans * pair_count(400)
+        # the final confirming scan (G stays 0) is the only full one
+        assert res.final_length == int(
+            next_distances(c[res.order]).sum())
+
+
+class TestExactParity:
+    @given(st.integers(8, 256), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_every_scan_matches_exhaustive(self, n, seed):
+        """Move-by-move: subq == moves.best_move, ties included."""
+        c = random_coords(n, seed).copy()
+        eng = SubQuadraticTwoOpt(c)
+        for _ in range(10_000):
+            mv, pairs = eng.best_move()
+            ref = best_move(c)
+            if ref.delta >= 0:
+                assert mv.i < 0 or mv.delta >= 0
+                break
+            assert (mv.i, mv.j, mv.delta) == (ref.i, ref.j, ref.delta)
+            assert pairs <= pair_count(n)
+            eng.apply(mv.i, mv.j)
+            c[mv.i + 1 : mv.j + 1] = c[mv.i + 1 : mv.j + 1][::-1]
+        else:
+            raise AssertionError("descent did not terminate")
+
+    @given(st.integers(8, 128), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_three_engines_agree_where_guaranteed(self, n, seed):
+        """subq == exhaustive bit-identically; pruned with k = n-1 (its
+        candidate scan degenerates to the exhaustive scan) matches too."""
+        c = random_coords(n, seed)
+        sub = SubQuadraticTwoOpt(c).run()
+        ref = c.copy()
+        for _ in range(10_000):
+            mv = best_move(ref)
+            if mv.delta >= 0:
+                break
+            ref[mv.i + 1 : mv.j + 1] = ref[mv.i + 1 : mv.j + 1][::-1]
+        ref_len = int(next_distances(ref).sum())
+        assert sub.final_length == ref_len
+        assert np.array_equal(c[sub.order], ref)
+        pruned = PrunedTwoOpt(c, k=n - 1).run()
+        assert pruned.final_length == ref_len
+
+
+class TestLocalSearchIntegration:
+    def test_solver_parity_with_exhaustive(self):
+        c = coords_of(240, seed=7)
+        ex = LocalSearch("gtx680-cuda", strategy="best").run(c)
+        sq = LocalSearch("gtx680-cuda", strategy="best",
+                         host_engine="subq").run(c)
+        assert sq.final_length == ex.final_length
+        assert np.array_equal(sq.order, ex.order)
+        assert sq.scans == ex.scans
+        assert sq.moves_applied == ex.moves_applied
+        assert sq.reached_minimum and ex.reached_minimum
+        # fewer pairs, proportionally less modeled kernel time ...
+        assert sq.stats.pair_checks < ex.stats.pair_checks
+        assert sq.kernel_seconds < ex.kernel_seconds
+        # ... at the same modeled scan rate (Table II honesty)
+        assert sq.checks_per_second == pytest.approx(
+            ex.checks_per_second, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda", host_engine="warp-speed")
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda", mode="simulate", host_engine="subq")
+        with pytest.raises(SolverError):
+            LocalSearch("gtx680-cuda", strategy="batch", host_engine="subq")
+
+    def test_solver_facade_passthrough(self):
+        from repro.core.solver import TwoOptSolver
+
+        inst = generate_instance(120, seed=8)
+        ref = TwoOptSolver("gtx680-cuda", strategy="best").solve(inst)
+        sub = TwoOptSolver("gtx680-cuda", strategy="best",
+                           host_engine="subq").solve(inst)
+        assert sub.final_length == ref.final_length
+        assert np.array_equal(sub.search.order, ref.search.order)
+        assert sub.search.stats.pair_checks < ref.search.stats.pair_checks
+
+
+class TestCheckpointResume:
+    def _search(self):
+        return LocalSearch("gtx680-cuda", strategy="best",
+                           host_engine="subq")
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        c = coords_of(180, seed=9)
+        full = self._search().run(c)
+        path = tmp_path / "ck.json"
+        part = self._search().run(
+            c, max_scans=5, checkpoint_every=2, checkpoint_path=path)
+        assert part.scans == 5
+        resumed = self._search().run(c, resume_from=path)
+        assert resumed.final_length == full.final_length
+        assert np.array_equal(resumed.order, full.order)
+        assert resumed.scans == full.scans
+        assert resumed.moves_applied == full.moves_applied
+        # the modeled clock and the whole trace splice exactly: the
+        # examined pair set per scan is a function of tour geometry
+        # alone, so resumed scans cost exactly what they would have
+        assert resumed.modeled_seconds == full.modeled_seconds
+        assert resumed.trace == full.trace
+
+    def test_engine_mismatch_rejected(self, tmp_path):
+        c = coords_of(100, seed=10)
+        path = tmp_path / "ck.json"
+        self._search().run(c, max_scans=4, checkpoint_every=2,
+                           checkpoint_path=path)
+        with pytest.raises(CheckpointError, match="host_engine"):
+            LocalSearch("gtx680-cuda", strategy="best").run(
+                c, resume_from=path)
+
+    @given(n=st.integers(16, 72), seed=st.integers(0, 10**4),
+           cut=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_resume_identity_property(self, tmp_path_factory, n, seed, cut):
+        c = random_coords(n, seed)
+        full = self._search().run(c)
+        path = tmp_path_factory.mktemp("subq-ck") / "ck.json"
+        self._search().run(c, max_scans=cut, checkpoint_every=1,
+                           checkpoint_path=path)
+        assume(path.exists())  # descent may finish before the first write
+        resumed = self._search().run(c, resume_from=path)
+        assert resumed.final_length == full.final_length
+        assert np.array_equal(resumed.order, full.order)
+        assert resumed.modeled_seconds == full.modeled_seconds
+        assert resumed.trace == full.trace

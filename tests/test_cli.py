@@ -63,6 +63,39 @@ class TestCommands:
         assert payload["device"] == "gtx680-cuda + hd7970ghz-opencl"
         assert payload["final_length"] < payload["initial_length"]
 
+    def test_solve_host_engine_subq(self, capsys):
+        import json
+
+        assert main([
+            "solve", "--n", "150", "--seed", "4",
+            "--host-engine", "subq", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["host_engine"] == "subq"
+        assert payload["strategy"] == "best"
+        assert payload["reached_minimum"] is True
+
+    def test_solve_host_engine_parity(self, capsys):
+        import json
+
+        assert main([
+            "solve", "--n", "150", "--seed", "4",
+            "--strategy", "best", "--json",
+        ]) == 0
+        ref = json.loads(capsys.readouterr().out)
+        assert main([
+            "solve", "--n", "150", "--seed", "4",
+            "--host-engine", "subq", "--json",
+        ]) == 0
+        sub = json.loads(capsys.readouterr().out)
+        assert sub["final_length"] == ref["final_length"]
+
+    def test_solve_rejects_subq_with_batch(self, capsys):
+        assert main([
+            "solve", "--n", "100", "--host-engine", "subq",
+            "--strategy", "batch",
+        ]) != 0
+
     def test_table2_smoke(self, capsys):
         assert main(["table2", "--max-solve-n", "150", "--max-table-n", "300"]) == 0
         assert "berlin52" in capsys.readouterr().out

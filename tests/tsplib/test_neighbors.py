@@ -45,6 +45,44 @@ class TestKNearestNeighbors:
         with pytest.raises(ValueError):
             k_nearest_neighbors(np.zeros((1, 2)), 1)
 
+    def test_k_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            k_nearest_neighbors(np.zeros((5, 2)), 0)
+
+    def test_k_equal_n_minus_1_full_neighborhood(self):
+        rng = np.random.default_rng(6)
+        c = rng.uniform(0, 100, (25, 2))
+        knn = k_nearest_neighbors(c, 24)
+        for i in range(25):
+            assert set(knn[i]) == set(range(25)) - {i}
+
+    def test_ties_break_by_lower_index(self):
+        """Equidistant neighbors must come out lowest-index-first, so
+        cached k-NN artifacts are identical across runs and platforms."""
+        # city 0 at the center of a square: 4 equidistant corners
+        c = np.array([[0.0, 0], [1, 1], [-1, 1], [1, -1], [-1, -1],
+                      [9, 9], [10, 10]])
+        knn = k_nearest_neighbors(c, 4)
+        assert list(knn[0]) == [1, 2, 3, 4]
+
+    def test_deterministic_across_calls(self):
+        rng = np.random.default_rng(7)
+        # integer grid coordinates force many exact distance ties
+        c = rng.integers(0, 12, (80, 2)).astype(np.float64)
+        c += rng.integers(0, 2, (80, 2)) * 0.0  # keep exact ties
+        a = k_nearest_neighbors(c, 6)
+        b = k_nearest_neighbors(np.ascontiguousarray(c[::-1])[::-1], 6)
+        assert np.array_equal(a, b)
+
+    def test_rows_sorted_by_distance_then_index(self):
+        rng = np.random.default_rng(8)
+        c = rng.integers(0, 10, (60, 2)).astype(np.float64)
+        knn = k_nearest_neighbors(c, 8)
+        for i in range(60):
+            d2 = ((c[knn[i]] - c[i]) ** 2).sum(axis=1)
+            keys = list(zip(d2.tolist(), knn[i].tolist()))
+            assert keys == sorted(keys)
+
 
 class TestNeighborPairs:
     def test_pairs_are_canonical_and_unique(self):
@@ -66,3 +104,12 @@ class TestNeighborPairs:
         c = rng.uniform(0, 100, (40, 2))
         pairs = neighbor_pairs_sorted(c, 4)
         assert set(pairs.ravel()) == set(range(40))
+
+    def test_tied_lengths_ordered_canonically(self):
+        rng = np.random.default_rng(9)
+        c = rng.integers(0, 8, (50, 2)).astype(np.float64)
+        pairs = neighbor_pairs_sorted(c, 5)
+        d = np.linalg.norm(c[pairs[:, 0]] - c[pairs[:, 1]], axis=1)
+        keys = list(zip(d.tolist(), pairs[:, 0].tolist(),
+                        pairs[:, 1].tolist()))
+        assert keys == sorted(keys)
