@@ -59,11 +59,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     inst = _load_instance(args)
     retry = None
     if args.retries is not None or args.backoff is not None:
-        from repro.gpusim.faults import RetryPolicy
+        from repro.gpusim.faults import (
+            DEFAULT_BASE_BACKOFF_S,
+            DEFAULT_MAX_ATTEMPTS,
+            RetryPolicy,
+        )
 
         retry = RetryPolicy(
-            max_attempts=args.retries if args.retries is not None else 3,
-            base_backoff_s=args.backoff if args.backoff is not None else 100e-6,
+            max_attempts=(args.retries if args.retries is not None
+                          else DEFAULT_MAX_ATTEMPTS),
+            base_backoff_s=(args.backoff if args.backoff is not None
+                            else DEFAULT_BASE_BACKOFF_S),
         )
     # fault injection and simulate mode need the real sweeps: strategy
     # 'best' unless the user explicitly asked otherwise
@@ -390,32 +396,82 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     Streams one JSON result line per job to stdout in completion order
     (unless ``--json`` asks for a single report document), then prints a
     one-line summary to stderr. Exit 0 when every job completed, 1 when
-    any job failed/expired/was rejected, 2 for a bad manifest.
+    any job failed/expired/was rejected, 2 for a bad manifest or
+    journal, 5 when a SIGTERM/SIGINT drain cut the run short (resume
+    with ``--resume-journal``), 6 when the run completed but quarantined
+    poison jobs.
+
+    SIGTERM/SIGINT trigger a graceful drain: admissions stop, in-flight
+    jobs get up to ``--drain-timeout`` seconds to finish, the journal
+    records the cut. A second signal aborts immediately (exit 130).
     """
     import contextlib
     import json
+    import signal
+    import threading
 
+    from repro.errors import ManifestError
     from repro.service import ArtifactCache, load_manifest, run_batch
     from repro.telemetry import Profiler
 
-    requests = load_manifest(args.manifest)
+    if args.resume_journal is not None and args.manifest is not None:
+        raise ManifestError(
+            "give a MANIFEST or --resume-journal, not both")
+    if args.resume_journal is None and args.manifest is None:
+        raise ManifestError(
+            "batch needs a MANIFEST (or --resume-journal PATH)")
+
+    requests = (load_manifest(args.manifest)
+                if args.manifest is not None else None)
     cache = ArtifactCache(max_bytes=args.cache_bytes)
     profiling = args.profile or args.trace_out is not None
     profiler = Profiler() if profiling else None
 
+    stop = threading.Event()
+    previous_handlers = {}
+
+    def _on_signal(signum, frame) -> None:
+        """First signal: drain gracefully. Second: abort (KeyboardInterrupt)."""
+        if stop.is_set():
+            raise KeyboardInterrupt
+        stop.set()
+        print(
+            f"batch: received signal {signum}; draining (deadline "
+            f"{args.drain_timeout:.0f}s, second signal aborts)",
+            file=sys.stderr,
+        )
+
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[sig] = signal.signal(sig, _on_signal)
+    except ValueError:
+        previous_handlers = {}  # not the main thread; run unguarded
+
     def stream(result) -> None:
         print(json.dumps(result.as_dict()), flush=True)
 
-    with profiler if profiler is not None else contextlib.nullcontext():
-        report = run_batch(
-            requests,
-            workers=args.workers,
-            queue_depth=args.queue_depth,
-            default_deadline_s=args.deadline,
-            cache=cache,
-            on_full="reject" if args.reject_when_full else "wait",
-            on_result=None if args.json else stream,
-        )
+    try:
+        with profiler if profiler is not None else contextlib.nullcontext():
+            report = run_batch(
+                requests,
+                workers=args.workers,
+                queue_depth=args.queue_depth,
+                default_deadline_s=args.deadline,
+                cache=cache,
+                on_full="reject" if args.reject_when_full else "wait",
+                on_result=None if args.json else stream,
+                journal_path=args.journal,
+                resume_from=args.resume_journal,
+                chaos=args.chaos,
+                breaker_failures=args.breaker_failures,
+                breaker_cooldown_s=args.breaker_cooldown,
+                max_restarts=args.max_restarts,
+                stop=stop,
+                drain_timeout_s=args.drain_timeout,
+            )
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
     if args.trace_out:
         profiler.write_chrome_trace(args.trace_out)
     if args.json:
@@ -423,14 +479,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     counts = report.counts
     summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
     c = report.cache
+    sup = report.supervisor
+    healing = ""
+    if sup and (sup.get("crashes") or sup.get("restarts")):
+        healing = (f"; {sup['crashes']} crash(es) / {sup['restarts']} "
+                   f"restart(s)")
     print(
         f"batch: {len(report.results)} job(s) ({summary}) in "
         f"{report.wall_seconds:.2f}s wall; cache {c['hits']} hit(s) / "
-        f"{c['misses']} miss(es) on {args.workers} worker(s)",
+        f"{c['misses']} miss(es) on {args.workers} worker(s){healing}",
         file=sys.stderr,
     )
     if profiling and args.trace_out:
         print(f"chrome trace written to {args.trace_out}", file=sys.stderr)
+    if report.drained:
+        where = args.journal or args.resume_journal
+        hint = (f"; resume with --resume-journal {where}" if where else "")
+        print(f"batch: drained before completion{hint}", file=sys.stderr)
+        return 5
+    if report.has_quarantined:
+        print("batch: poison job(s) quarantined "
+              "(see <journal>.quarantine.jsonl)", file=sys.stderr)
+        return 6
     return 0 if report.ok else 1
 
 
@@ -661,8 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
              "service (worker pool + artifact cache); streams one JSON "
              "result line per job",
     )
-    s.add_argument("manifest", help="JSONL manifest: one solve request "
-                                    "object per line (see docs/SERVICE.md)")
+    s.add_argument("manifest", nargs="?", default=None,
+                   help="JSONL manifest: one solve request object per "
+                        "line (see docs/SERVICE.md); omit when resuming "
+                        "with --resume-journal")
     s.add_argument("--workers", type=int, default=4,
                    help="worker threads (default 4; results are identical "
                         "for any worker count)")
@@ -685,6 +757,30 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write a chrome://tracing trace with one lane per "
                         "worker (implies --profile)")
+    s.add_argument("--journal", default=None, metavar="FILE",
+                   help="write a durable fsync'd job journal (WAL); an "
+                        "interrupted run resumes with --resume-journal")
+    s.add_argument("--resume-journal", default=None, metavar="FILE",
+                   help="replay a journal from an interrupted run: "
+                        "finished jobs are emitted verbatim, unfinished "
+                        "jobs re-run (mutually exclusive with MANIFEST)")
+    s.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                   help="seconds to let in-flight jobs finish after "
+                        "SIGTERM/SIGINT before abandoning them (default 30)")
+    s.add_argument("--breaker-failures", type=int, default=None, metavar="K",
+                   help="consecutive device failures that open a device's "
+                        "circuit breaker (default 5; 0 disables breakers)")
+    s.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   metavar="S",
+                   help="open->half-open cool-down before a probe job is "
+                        "admitted (default 30)")
+    s.add_argument("--max-restarts", type=int, default=None, metavar="N",
+                   help="supervisor restart budget for crashed workers "
+                        "(default 2x --workers)")
+    s.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="chaos plan: kill workers on schedule, e.g. "
+                        "'kill:worker=0,pull=2;rate:kill=0.01,seed=7' "
+                        "(testing the supervision layer)")
     s.set_defaults(func=_cmd_batch)
 
     s = sub.add_parser(
@@ -720,8 +816,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ``bench --against`` reserves exit code 3 for a failed regression
     gate; exit code 4 means "nothing to compare or chart" (empty bench
     ledger, baseline sharing no scenarios with the run); ``batch`` exits
-    1 when any job failed, expired, or was rejected.  Anything else is a
-    bug and keeps its traceback.
+    1 when any job failed, expired, or was rejected, 5 when a graceful
+    drain (SIGTERM/SIGINT) cut the run short before every job finished,
+    and 6 when the run completed but poison jobs were quarantined.
+    Anything else is a bug and keeps its traceback.
     """
     from repro.errors import ReproError
 

@@ -99,5 +99,17 @@ class ManifestError(ServiceError):
     """Raised for malformed batch manifests (bad JSONL, unknown fields)."""
 
 
+class JournalError(ServiceError):
+    """Raised for unreadable, corrupt, or version-mismatched job journals."""
+
+
+class WorkerLostError(ServiceError):
+    """A service worker died while a job was in flight (supervisor-detected)."""
+
+
+class CircuitOpenError(ServiceError):
+    """A job was failed fast because its device's circuit breaker is open."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment driver receives inconsistent parameters."""

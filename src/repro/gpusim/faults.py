@@ -43,6 +43,13 @@ FaultKind = Literal["transient", "corruption", "dropout"]
 
 _KINDS = ("transient", "corruption", "dropout")
 
+#: Shared retry defaults. Every entry point that builds a
+#: :class:`RetryPolicy` (the ``solve`` CLI, the batch service's
+#: ``build_solver``) must source its defaults from here so the two
+#: cannot drift apart.
+DEFAULT_MAX_ATTEMPTS = 3
+DEFAULT_BASE_BACKOFF_S = 100e-6
+
 
 def buffer_checksum(array: np.ndarray) -> int:
     """CRC-32 of *array*'s raw bytes — the staged-transfer integrity check."""
@@ -60,8 +67,8 @@ class RetryPolicy:
     modeled clock so recovery overhead shows up in makespans.
     """
 
-    max_attempts: int = 3
-    base_backoff_s: float = 100e-6
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base_backoff_s: float = DEFAULT_BASE_BACKOFF_S
     multiplier: float = 2.0
     max_backoff_s: float = 0.1
 
@@ -152,7 +159,14 @@ class FaultEvent:
             raise FaultSpecError("count must be >= 1")
 
 
-def _parse_clause(clause: str) -> Union[FaultEvent, dict]:
+def split_spec_clause(clause: str) -> tuple[str, dict[str, str]]:
+    """Split one ``kind:key=value,key=value`` spec clause.
+
+    Shared tokenizer for the fault-spec grammars (``--inject-faults``
+    fault plans, ``--chaos`` chaos plans). Returns the lower-cased
+    clause kind and a dict of lower-cased keys to raw string values;
+    raises :class:`~repro.errors.FaultSpecError` on malformed items.
+    """
     kind, _, body = clause.partition(":")
     kind = kind.strip().lower()
     kv: dict[str, str] = {}
@@ -163,17 +177,34 @@ def _parse_clause(clause: str) -> Union[FaultEvent, dict]:
                 raise FaultSpecError(
                     f"expected key=value in fault clause, got {item!r}")
             kv[key.strip().lower()] = value.strip()
+    return kind, kv
+
+
+def clause_value(kv: dict[str, str], kind: str, clause: str, key: str,
+                 cast, default=None):
+    """Pop and cast one value from a tokenized spec clause.
+
+    A missing *key* returns *default*, or raises
+    :class:`~repro.errors.FaultSpecError` when no default was given;
+    a value *cast* refuses also raises. Used by both the fault-plan
+    and chaos-plan parsers so their error messages stay uniform.
+    """
+    if key not in kv:
+        if default is None:
+            raise FaultSpecError(f"{kind!r} fault clause needs {key}=...")
+        return default
+    try:
+        return cast(kv.pop(key))
+    except ValueError:
+        raise FaultSpecError(
+            f"bad value for {key!r} in fault clause {clause!r}") from None
+
+
+def _parse_clause(clause: str) -> Union[FaultEvent, dict]:
+    kind, kv = split_spec_clause(clause)
 
     def _num(key: str, cast, default=None):
-        if key not in kv:
-            if default is None:
-                raise FaultSpecError(f"{kind!r} fault clause needs {key}=...")
-            return default
-        try:
-            return cast(kv.pop(key))
-        except ValueError:
-            raise FaultSpecError(
-                f"bad value for {key!r} in fault clause {clause!r}") from None
+        return clause_value(kv, kind, clause, key, cast, default)
 
     if kind == "rate":
         rates = {

@@ -18,7 +18,18 @@ package amortizes that O(n²)-ish setup across requests:
   jobs through the existing :class:`~repro.core.solver.TwoOptSolver`
   stack with per-job retry/fault policies;
 * :mod:`repro.service.batch` — manifest loading and the streaming
-  :func:`run_batch` driver behind the ``repro batch`` CLI subcommand.
+  :func:`run_batch` driver behind the ``repro batch`` CLI subcommand;
+* :mod:`repro.service.journal` — :class:`JournalWriter` /
+  :func:`read_journal`, the durable fsync'd write-ahead job journal
+  behind ``repro batch --journal`` / ``--resume-journal``;
+* :mod:`repro.service.supervisor` — :class:`Supervisor` /
+  :class:`WorkerState`, coordinator-driven dead-worker detection,
+  bounded respawn, and poison-job quarantine;
+* :mod:`repro.service.breaker` — :class:`CircuitBreaker` /
+  :class:`BreakerBoard`, per-device closed/open/half-open breakers fed
+  by job-level device faults;
+* :mod:`repro.service.chaos` — :class:`ChaosPlan` / :class:`ChaosMonkey`,
+  the seeded worker-kill harness that proves the above actually works.
 
 Results are deterministic in everything modeled: the same request (same
 instance, seed, config) produces bit-identical tours whether it runs
@@ -33,10 +44,15 @@ from repro.service.queue import JobQueue
 from repro.service.pool import WorkerPool
 from repro.service.batch import (
     BatchReport,
+    BatchStats,
     iter_batch,
     load_manifest,
     run_batch,
 )
+from repro.service.breaker import BreakerBoard, CircuitBreaker
+from repro.service.chaos import ChaosMonkey, ChaosPlan, corrupt_journal_tail
+from repro.service.journal import JournalReplay, JournalWriter, read_journal
+from repro.service.supervisor import Supervisor, WorkerState
 
 __all__ = [
     "ArtifactCache",
@@ -46,7 +62,18 @@ __all__ = [
     "JobQueue",
     "WorkerPool",
     "BatchReport",
+    "BatchStats",
     "iter_batch",
     "load_manifest",
     "run_batch",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "corrupt_journal_tail",
+    "JournalReplay",
+    "JournalWriter",
+    "read_journal",
+    "Supervisor",
+    "WorkerState",
 ]

@@ -1,7 +1,8 @@
 """Manifest loading and the streaming batch driver behind ``repro batch``.
 
 A manifest is JSON Lines: one :class:`~repro.service.jobs.SolveRequest`
-object per line (blank lines and ``#`` comment lines are skipped).
+object per line (blank lines and ``#`` comment lines are skipped),
+parsed streaming so million-job manifests never sit in memory twice.
 :func:`run_batch` is the coordinator: it submits jobs to a bounded
 :class:`~repro.service.queue.JobQueue`, streams results back in
 completion order, and — because it is the only thread allowed to touch
@@ -9,17 +10,28 @@ the process-default tracer — books all service telemetry as results
 arrive:
 
 * ``service.queue_wait`` histogram (admission → dequeue, wall seconds);
-* ``service.jobs.{ok,failed,expired,rejected}`` counters;
+* ``service.jobs.{ok,failed,expired,rejected,crashed,quarantined}``
+  counters;
 * ``service.cache.{hits,misses,evictions,coalesced}`` counters plus
   per-kind ``service.cache.<kind>.{hits,misses}`` after the batch;
 * one ``service.job`` device event per job on a ``worker#<i>`` lane, so
-  the Chrome trace renders per-worker modeled timelines side by side.
+  the Chrome trace renders per-worker modeled timelines side by side;
+* ``service.supervisor.{crashes,restarts,quarantined}`` and
+  ``service.breaker.{opened,fast_fails}`` counters plus one
+  ``service.breaker`` trace event per breaker state transition.
 
 Backpressure vs. admission control: with ``on_full="wait"`` (the
 default) a full queue stalls submission until a result frees capacity;
 with ``on_full="reject"`` the surplus job is immediately reported with
 status ``rejected`` — the behavior a latency-bound service front-end
 wants.
+
+**Hang-proofness.** The drain loop never blocks unboundedly: results
+are polled with a timeout, and every timeout runs a
+:class:`~repro.service.supervisor.Supervisor` check that converts dead
+workers' orphaned jobs into requeues, quarantines, or synthetic
+``crashed`` results. Exactly one result is yielded per admitted job,
+under every failure schedule the chaos harness can produce.
 """
 
 from __future__ import annotations
@@ -32,49 +44,78 @@ from pathlib import Path
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import ManifestError, QueueFullError
+from repro.service.breaker import BreakerBoard
 from repro.service.cache import ArtifactCache
+from repro.service.chaos import as_chaos_plan
 from repro.service.jobs import (
+    STATUS_QUARANTINED,
     STATUS_REJECTED,
     SolveRequest,
     SolveResult,
 )
+from repro.service.journal import JournalWriter, quarantine_path_for, read_journal
 from repro.service.queue import JobQueue
 from repro.service.pool import WorkerPool
+from repro.service.supervisor import DEFAULT_POISON_KILLS, Supervisor
 from repro.telemetry import get_metrics, get_tracer
+
+#: how often the drain loop wakes to run a supervision pass (wall s)
+DEFAULT_POLL_INTERVAL_S = 0.05
+#: default drain budget after a stop signal (wall seconds)
+DEFAULT_DRAIN_TIMEOUT_S = 30.0
 
 
 def load_manifest(path) -> list[SolveRequest]:
     """Parse a JSONL manifest into validated :class:`SolveRequest` rows.
 
-    Any malformed line raises :class:`~repro.errors.ManifestError`
-    naming the line number; an unreadable path raises it too, so the
-    CLI reports one clean diagnostic instead of a traceback.
+    Reads the file line by line (never the whole text at once — the
+    always-on service targets million-job manifests). Any malformed
+    line raises :class:`~repro.errors.ManifestError` naming the line
+    number; an unreadable path raises it too, so the CLI reports one
+    clean diagnostic instead of a traceback.
     """
     p = Path(path)
-    try:
-        text = p.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise ManifestError(f"cannot read manifest {path}: {exc}") from exc
     requests: list[SolveRequest] = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        try:
-            raw = json.loads(stripped)
-        except json.JSONDecodeError as exc:
-            raise ManifestError(
-                f"{p.name}:{lineno}: invalid JSON: {exc.msg}"
-            ) from exc
-        try:
-            requests.append(
-                SolveRequest.from_dict(raw, default_id=f"job{lineno}")
-            )
-        except ManifestError as exc:
-            raise ManifestError(f"{p.name}:{lineno}: {exc}") from exc
+    try:
+        with p.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                try:
+                    raw = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    raise ManifestError(
+                        f"{p.name}:{lineno}: invalid JSON: {exc.msg}"
+                    ) from exc
+                try:
+                    requests.append(
+                        SolveRequest.from_dict(raw, default_id=f"job{lineno}")
+                    )
+                except ManifestError as exc:
+                    raise ManifestError(f"{p.name}:{lineno}: {exc}") from exc
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ManifestError(f"cannot read manifest {path}: {exc}") from exc
     if not requests:
         raise ManifestError(f"manifest {path} contains no jobs")
     return requests
+
+
+@dataclass
+class BatchStats:
+    """Mutable out-params :func:`iter_batch` fills in for its caller.
+
+    A generator cannot hand back side-band state through its yields, so
+    the caller passes one of these in and reads it after iteration:
+    whether the run was drained early, how many in-flight jobs were
+    abandoned at the drain deadline, and the supervision / breaker
+    snapshots for the report.
+    """
+
+    drained: bool = False
+    abandoned: int = 0
+    supervisor: dict = field(default_factory=dict)
+    breakers: dict = field(default_factory=dict)
 
 
 def iter_batch(
@@ -86,26 +127,79 @@ def iter_batch(
     cache: Optional[ArtifactCache] = None,
     on_full: str = "wait",
     clock: Callable[[], float] = time.monotonic,
+    indices: Optional[Sequence[int]] = None,
+    chaos=None,
+    breakers: Optional[BreakerBoard] = None,
+    journal: Optional[JournalWriter] = None,
+    max_restarts: Optional[int] = None,
+    poison_kills: int = DEFAULT_POISON_KILLS,
+    quarantine_path=None,
+    poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+    stop=None,
+    drain_timeout_s: Optional[float] = None,
+    stats: Optional[BatchStats] = None,
 ) -> Iterator[SolveResult]:
-    """Run *requests* through a worker pool, yielding completion-order results.
+    """Run *requests* through a supervised worker pool, yielding results.
 
     Per-job telemetry (queue-wait histogram, status counters, the
     ``worker#<i>`` trace lane) is booked here, on the consuming thread,
     as each result is yielded. Exactly one result is yielded per
-    request. The pool always shuts down, even if the consumer abandons
-    the generator early.
+    admitted request — worker deaths are recovered by the supervisor —
+    except for jobs abandoned at an explicit drain deadline (counted in
+    ``stats.abandoned``). The pool always shuts down, even if the
+    consumer abandons the generator early.
+
+    *indices* overrides the batch position stamped on each request
+    (resume runs re-submit surviving jobs under their original
+    indices). *stop* is a :class:`threading.Event`: once set, no
+    further requests are admitted and the in-flight remainder is
+    drained for at most *drain_timeout_s* wall seconds. *chaos* is a
+    :class:`~repro.service.chaos.ChaosPlan` (or spec string) used by
+    the chaos harness to kill workers on schedule.
     """
     if on_full not in ("wait", "reject"):
         raise ValueError(f"on_full must be 'wait' or 'reject', got {on_full!r}")
     cache = cache if cache is not None else ArtifactCache()
+    stats = stats if stats is not None else BatchStats()
     jobs = JobQueue(max_depth=queue_depth, clock=clock)
     results: "stdlib_queue.Queue[SolveResult]" = stdlib_queue.Queue()
+    plan = as_chaos_plan(chaos)
+    monkey = plan.monkey() if plan is not None and not plan.is_empty else None
     pool = WorkerPool(jobs, cache, workers=workers, results=results,
-                      clock=clock)
+                      clock=clock, chaos=monkey, breakers=breakers,
+                      journal=journal)
+    supervisor = Supervisor(pool, max_restarts=max_restarts,
+                            poison_kills=poison_kills,
+                            quarantine_path=quarantine_path, clock=clock)
     pool.start()
     pending = 0
+
+    def get_result(deadline: Optional[float]) -> Optional[SolveResult]:
+        """Bounded result poll with supervision; ``None`` past *deadline*.
+
+        Termination: every admitted job eventually yields a result —
+        workers deliver, or the supervisor requeues / quarantines /
+        synthesizes on each empty poll — so with ``deadline=None`` this
+        returns as soon as recovery has run its course.
+        """
+        while True:
+            timeout = poll_interval_s
+            if deadline is not None:
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    return None
+                timeout = min(timeout, remaining)
+            try:
+                return results.get(timeout=timeout)
+            except stdlib_queue.Empty:
+                supervisor.check()
+
     try:
-        for index, request in enumerate(requests):
+        for position, request in enumerate(requests):
+            if stop is not None and stop.is_set():
+                stats.drained = True
+                break
+            index = indices[position] if indices is not None else position
             while True:
                 try:
                     jobs.submit(request, default_deadline_s=default_deadline_s,
@@ -124,19 +218,40 @@ def iter_batch(
                         yield _book_job(rejected)
                         break
                     # backpressure: wait for one completion, then retry
-                    yield _book_job(results.get())
+                    yield _book_job(get_result(None))
                     pending -= 1
         jobs.close()
+        deadline = None
+        if stats.drained and drain_timeout_s is not None:
+            deadline = clock() + drain_timeout_s
         while pending:
-            yield _book_job(results.get())
+            result = get_result(deadline)
+            if result is None:
+                # drain deadline expired with jobs still in flight; the
+                # journal keeps them pending so a resume completes them
+                stats.abandoned = pending
+                pending = 0
+                break
+            yield _book_job(result)
             pending -= 1
     finally:
         jobs.close()
-        # drain whatever was in flight so join() cannot hang
+        # consumer abandoned the generator early (or we cut the drain):
+        # soak up whatever is still in flight so join() cannot hang, but
+        # never unboundedly — supervision keeps recovery moving
+        soak_deadline = clock() + (drain_timeout_s
+                                   if drain_timeout_s is not None
+                                   else DEFAULT_DRAIN_TIMEOUT_S)
         while pending:
-            results.get()
+            if get_result(soak_deadline) is None:
+                stats.abandoned += pending
+                break
             pending -= 1
-        pool.join()
+        pool.join(timeout=poll_interval_s if stats.abandoned else None)
+        stats.supervisor = supervisor.as_dict()
+        if breakers is not None:
+            stats.breakers = breakers.as_dict()
+        _book_supervision(stats, breakers)
 
 
 def _book_job(result: SolveResult) -> SolveResult:
@@ -167,6 +282,29 @@ def _book_cache(cache: ArtifactCache) -> None:
         metrics.counter(f"service.cache.{kind}.misses").inc(per["misses"])
 
 
+def _book_supervision(stats: BatchStats,
+                      breakers: Optional[BreakerBoard]) -> None:
+    """Export supervision + breaker accounting (coordinator thread only)."""
+    metrics = get_metrics()
+    sup = stats.supervisor
+    if sup:
+        metrics.counter("service.supervisor.crashes").inc(sup["crashes"])
+        metrics.counter("service.supervisor.restarts").inc(sup["restarts"])
+        metrics.counter("service.supervisor.quarantined").inc(
+            sup["quarantined"])
+    if breakers is not None:
+        board = stats.breakers
+        metrics.counter("service.breaker.opened").inc(board.get("opened", 0))
+        metrics.counter("service.breaker.fast_fails").inc(
+            board.get("fast_fails", 0))
+        tracer = get_tracer()
+        for device, frm, to, when in breakers.transitions():
+            tracer.device_event(
+                "service.breaker", 0.0, category="service",
+                track=device, transition=f"{frm}->{to}", at=when,
+            )
+
+
 @dataclass
 class BatchReport:
     """Everything one batch run produced, in manifest order."""
@@ -174,6 +312,16 @@ class BatchReport:
     results: list = field(default_factory=list)
     cache: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: True when a stop signal (or drain deadline) cut the run short
+    drained: bool = False
+    #: jobs still in flight when the drain deadline expired (no result)
+    abandoned: int = 0
+    #: results replayed verbatim from a resume journal
+    replayed: int = 0
+    #: supervision counters (crashes, restarts, quarantined, ...)
+    supervisor: dict = field(default_factory=dict)
+    #: circuit-breaker board snapshot (per-device states, fast fails)
+    breakers: dict = field(default_factory=dict)
 
     @property
     def counts(self) -> dict:
@@ -186,21 +334,37 @@ class BatchReport:
     @property
     def ok(self) -> bool:
         """True when every job completed successfully."""
-        return all(r.ok for r in self.results)
+        return all(r.ok for r in self.results) and not self.drained
+
+    @property
+    def has_quarantined(self) -> bool:
+        """True when any job was quarantined as poison."""
+        return any(r.status == STATUS_QUARANTINED for r in self.results)
 
     def as_dict(self) -> dict:
         """JSON-serializable summary (the ``repro batch`` trailer)."""
-        return {
+        out = {
             "jobs": len(self.results),
             "counts": self.counts,
             "wall_seconds": self.wall_seconds,
             "cache": dict(self.cache),
             "results": [r.as_dict() for r in self.results],
         }
+        if self.drained:
+            out["drained"] = True
+        if self.abandoned:
+            out["abandoned"] = self.abandoned
+        if self.replayed:
+            out["replayed"] = self.replayed
+        if self.supervisor:
+            out["supervisor"] = dict(self.supervisor)
+        if self.breakers:
+            out["breakers"] = dict(self.breakers)
+        return out
 
 
 def run_batch(
-    requests: Sequence[SolveRequest],
+    requests: Optional[Sequence[SolveRequest]] = None,
     *,
     workers: int = 4,
     queue_depth: int = 64,
@@ -208,6 +372,17 @@ def run_batch(
     cache: Optional[ArtifactCache] = None,
     on_full: str = "wait",
     on_result: Optional[Callable[[SolveResult], None]] = None,
+    journal_path=None,
+    resume_from=None,
+    chaos=None,
+    breaker_failures: Optional[int] = None,
+    breaker_cooldown_s: float = 30.0,
+    max_restarts: Optional[int] = None,
+    poison_kills: int = DEFAULT_POISON_KILLS,
+    stop=None,
+    drain_timeout_s: Optional[float] = None,
+    poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+    clock: Callable[[], float] = time.monotonic,
 ) -> BatchReport:
     """Run a whole batch; returns a manifest-ordered :class:`BatchReport`.
 
@@ -215,21 +390,97 @@ def run_batch(
     order — the CLI uses it to stream JSONL while the batch is still
     running. Final cache accounting is booked into the metrics registry
     and echoed in the report.
+
+    With *journal_path* every admitted job and every result is written
+    through a durable :class:`~repro.service.journal.JournalWriter`
+    before the run proceeds. With *resume_from* (mutually exclusive
+    with *requests*) a previous journal is replayed: recorded results
+    are re-emitted verbatim (``report.replayed`` counts them) and only
+    the jobs without a ``finished`` event are re-run, appending to the
+    same journal — the resumed report equals the uninterrupted one on
+    all non-wall fields because the solver stack is deterministic.
+
+    *breaker_failures* enables per-device circuit breakers (``None``
+    uses the board default; ``0`` disables them). *chaos*, *stop*, and
+    *drain_timeout_s* pass through to :func:`iter_batch`.
     """
     cache = cache if cache is not None else ArtifactCache()
     started = time.perf_counter()
+
+    replayed: list[SolveResult] = []
+    indices: Optional[list[int]] = None
+    writer: Optional[JournalWriter] = None
+    if resume_from is not None:
+        if requests is not None:
+            raise ManifestError(
+                "pass a manifest or resume_from, not both")
+        replay = read_journal(resume_from)
+        pending = replay.pending
+        requests = [replay.requests[i] for i in pending]
+        indices = pending
+        replayed = [replay.finished[i] for i in sorted(replay.finished)]
+        journal_path = resume_from
+    elif requests is None:
+        raise ManifestError("run_batch needs a manifest or resume_from")
+
+    if journal_path is not None:
+        writer = JournalWriter(journal_path)
+        if resume_from is not None:
+            writer.resumed(pending=len(requests))
+        else:
+            writer.batch(jobs=len(requests))
+            # admit every job up front: an interruption at any later
+            # point leaves a journal from which resume is self-contained
+            for index, request in enumerate(requests):
+                writer.admitted(index, request)
+
+    breakers: Optional[BreakerBoard] = None
+    if breaker_failures is None:
+        breakers = BreakerBoard(cooldown_s=breaker_cooldown_s, clock=clock)
+    elif breaker_failures > 0:
+        breakers = BreakerBoard(failure_threshold=breaker_failures,
+                                cooldown_s=breaker_cooldown_s, clock=clock)
+
+    metrics = get_metrics()
     collected: list[SolveResult] = []
-    for result in iter_batch(
-        requests, workers=workers, queue_depth=queue_depth,
-        default_deadline_s=default_deadline_s, cache=cache, on_full=on_full,
-    ):
+    for result in replayed:
+        metrics.counter("service.jobs.replayed").inc()
         collected.append(result)
         if on_result is not None:
             on_result(result)
+
+    stats = BatchStats()
+    try:
+        for result in iter_batch(
+            requests, workers=workers, queue_depth=queue_depth,
+            default_deadline_s=default_deadline_s, cache=cache,
+            on_full=on_full, clock=clock, indices=indices, chaos=chaos,
+            breakers=breakers, journal=writer, max_restarts=max_restarts,
+            poison_kills=poison_kills,
+            quarantine_path=quarantine_path_for(journal_path),
+            poll_interval_s=poll_interval_s, stop=stop,
+            drain_timeout_s=drain_timeout_s, stats=stats,
+        ):
+            collected.append(result)
+            if writer is not None:
+                writer.finished(result)
+            if on_result is not None:
+                on_result(result)
+    finally:
+        if writer is not None:
+            finished = len(collected) - len(replayed)
+            writer.cut("drained" if stats.drained else "complete",
+                       finished=finished)
+            writer.close()
     _book_cache(cache)
     collected.sort(key=lambda r: (r.index, r.job_id))
     return BatchReport(
         results=collected,
         cache=cache.snapshot(),
         wall_seconds=time.perf_counter() - started,
+        drained=stats.drained,
+        abandoned=stats.abandoned,
+        replayed=len(replayed),
+        supervisor=stats.supervisor,
+        breakers=stats.breakers,
     )

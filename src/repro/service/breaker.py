@@ -1,0 +1,201 @@
+"""Per-device circuit breakers for the batch service.
+
+A permanently-dropped device used to be assigned job after job, each one
+burning a full retry budget before failing. The breaker layer watches
+*job-level* device failures (fed by the fault taxonomy PR 3 introduced:
+a job whose error is a :class:`~repro.errors.FaultError` — retry
+exhaustion, device loss — counts against every device in its pool) and
+trips per device key:
+
+* **closed** — healthy; jobs flow. ``failure_threshold`` *consecutive*
+  device failures open the breaker.
+* **open** — jobs naming the device are failed fast (status ``failed``,
+  error naming :class:`~repro.errors.CircuitOpenError`) without touching
+  the solver stack. After ``cooldown_s`` on the monotonic clock the
+  breaker admits a single probe.
+* **half-open** — exactly one probe job is in flight; its success closes
+  the breaker, its failure re-opens it with a fresh cool-down. A probe
+  that never reports (worker crash) is re-allowed after another
+  cool-down, so a lost probe cannot wedge the breaker.
+
+The coordinator books ``service.breaker.*`` metrics and one trace event
+per state transition at the end of the batch (see docs/SERVICE.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable, Optional
+
+#: breaker state names
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: default consecutive-failure threshold before a breaker opens
+DEFAULT_FAILURE_THRESHOLD = 5
+#: default open→half-open cool-down, seconds on the monotonic clock
+DEFAULT_COOLDOWN_S = 30.0
+
+
+class CircuitBreaker:
+    """Failure-counting state machine for one device key.
+
+    Not thread-safe on its own — :class:`BreakerBoard` serializes all
+    access under its lock. All times come from the injected monotonic
+    clock so tests can drive transitions with a fake clock.
+    """
+
+    def __init__(self, key: str, *, failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+                 cooldown_s: float = DEFAULT_COOLDOWN_S) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.key = key
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.probe_started_at: Optional[float] = None
+        #: (from_state, to_state, monotonic_time) tuples, in order
+        self.transitions: list = []
+
+    def _transition(self, to_state: str, now: float) -> None:
+        self.transitions.append((self.state, to_state, now))
+        self.state = to_state
+
+    def allow(self, now: float) -> bool:
+        """May a job on this device proceed at monotonic time *now*?
+
+        Open breakers admit one probe per cool-down window (moving to
+        half-open); everything else is failed fast by the caller.
+        """
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_OPEN:
+            if now - self.opened_at >= self.cooldown_s:
+                self._transition(STATE_HALF_OPEN, now)
+                self.probe_started_at = now
+                return True
+            return False
+        # half-open: one probe in flight; re-probe if it went silent
+        if (self.probe_started_at is not None
+                and now - self.probe_started_at < self.cooldown_s):
+            return False
+        self.probe_started_at = now
+        return True
+
+    def record_success(self, now: float) -> None:
+        """A job on this device completed: reset failures, close if probing."""
+        self.consecutive_failures = 0
+        self.probe_started_at = None
+        if self.state != STATE_CLOSED:
+            self._transition(STATE_CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        """A job on this device hit a device fault: count, maybe open."""
+        self.consecutive_failures += 1
+        if self.state == STATE_HALF_OPEN:
+            self.probe_started_at = None
+            self._transition(STATE_OPEN, now)
+            self.opened_at = now
+        elif (self.state == STATE_CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self._transition(STATE_OPEN, now)
+            self.opened_at = now
+
+    def as_dict(self) -> dict:
+        """Snapshot for reports and telemetry."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": len(self.transitions),
+        }
+
+
+class BreakerBoard:
+    """Thread-safe registry of per-device circuit breakers.
+
+    Workers consult :meth:`admit` before running a job and report
+    outcomes through :meth:`report`; both touch every device key in the
+    job's pool. Attribution is exact for single-device jobs; for
+    multi-device pools a job-level fault charges every member (the
+    executor does not say which member died), which is deliberately
+    conservative — a noisy pool trips all its breakers rather than none.
+    """
+
+    def __init__(self, *, failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+                 cooldown_s: float = DEFAULT_COOLDOWN_S,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.fast_fails = 0
+
+    def _breaker(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(key, failure_threshold=self.failure_threshold,
+                                     cooldown_s=self.cooldown_s)
+            self._breakers[key] = breaker
+        return breaker
+
+    def admit(self, devices: Iterable[str]) -> Optional[str]:
+        """Admit a job touching *devices*, or return the blocking key.
+
+        Returns ``None`` when every breaker allows the job (possibly as
+        a half-open probe); otherwise the first open device key, with
+        the fast-fail counted.
+        """
+        with self._lock:
+            now = self._clock()
+            for key in devices:
+                if not self._breaker(key).allow(now):
+                    self.fast_fails += 1
+                    return key
+            return None
+
+    def report(self, devices: Iterable[str], *, ok: bool,
+               device_fault: bool) -> None:
+        """Feed a finished job's outcome back into its devices' breakers.
+
+        Successes reset; failures count only when *device_fault* is set
+        (a manifest typo or missing file says nothing about device
+        health).
+        """
+        with self._lock:
+            now = self._clock()
+            for key in devices:
+                breaker = self._breaker(key)
+                if ok:
+                    breaker.record_success(now)
+                elif device_fault:
+                    breaker.record_failure(now)
+
+    @property
+    def opened(self) -> int:
+        """Total closed/half-open → open transitions across all devices."""
+        with self._lock:
+            return sum(1 for b in self._breakers.values()
+                       for (_frm, to, _t) in b.transitions if to == STATE_OPEN)
+
+    def transitions(self) -> list:
+        """All (device, from_state, to_state, time) transitions, by device."""
+        with self._lock:
+            return [(key, frm, to, t) for key, b in sorted(self._breakers.items())
+                    for (frm, to, t) in b.transitions]
+
+    def as_dict(self) -> dict:
+        """Snapshot of every breaker plus board-level counters."""
+        with self._lock:
+            return {
+                "devices": {key: b.as_dict()
+                            for key, b in sorted(self._breakers.items())},
+                "fast_fails": self.fast_fails,
+                "opened": sum(1 for b in self._breakers.values()
+                              for (_f, to, _t) in b.transitions
+                              if to == STATE_OPEN),
+            }

@@ -1,0 +1,190 @@
+"""Seeded chaos harness for the batch service: planned worker kills.
+
+The fault plans of :mod:`repro.gpusim.faults` break the *simulated
+hardware* under the solver; a :class:`ChaosPlan` breaks the *service
+itself*, killing worker threads mid-job so the supervision layer can be
+exercised deterministically. The grammar extends the ``--inject-faults``
+clause style (same tokenizer, same error taxonomy)::
+
+    kill:worker=0,pull=2[,phase=start]   # kill slot 0 on its 2nd pull
+    rate:kill=0.05[,seed=7]              # seeded random kill per pull
+
+A *kill* makes the worker thread return from its loop right after
+pulling a job (``phase=start``, the default — the job never runs and no
+result is enqueued, modeling an OOM-kill or stuck thread) or right
+after computing the result but before enqueuing it (``phase=end`` — the
+work is lost, modeling a crash in the reply path). Either way the
+worker dies holding a job, which is exactly the hole the supervisor
+must cover. Pull ordinals are per worker *slot* and keep counting
+across respawns, so one clause can target the respawned incarnation.
+
+:func:`corrupt_journal_tail` damages a journal's final bytes the way a
+``kill -9`` mid-append would, for replay tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import FaultSpecError
+from repro.gpusim.faults import clause_value, split_spec_clause
+
+_PHASES = ("start", "end")
+
+
+@dataclass(frozen=True)
+class ChaosKill:
+    """One planned worker kill: slot ``worker``, its ``pull``-th pull."""
+
+    worker: int
+    pull: int
+    phase: str = "start"
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise FaultSpecError("kill worker index must be >= 0")
+        if self.pull < 1:
+            raise FaultSpecError("kill pull ordinal must be >= 1 (1-based)")
+        if self.phase not in _PHASES:
+            raise FaultSpecError(
+                f"kill phase must be one of {_PHASES}, got {self.phase!r}")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic schedule of worker kills: planned + seeded random.
+
+    Random kills draw one value per (worker slot, pull ordinal) from a
+    per-slot PCG64 stream seeded with ``(seed, worker)``, so the kill
+    schedule is a function of the plan alone — not of thread timing.
+    """
+
+    kills: tuple = ()
+    kill_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kill_rate <= 1.0:
+            raise FaultSpecError("kill rate must lie in [0, 1]")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPlan":
+        """Parse the CLI ``--chaos`` grammar (``;``-separated clauses)."""
+        if not spec or not spec.strip():
+            raise FaultSpecError("empty chaos spec")
+        kills: list = []
+        kill_rate = 0.0
+        seed = 0
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, kv = split_spec_clause(clause)
+            if kind == "kill":
+                kills.append(ChaosKill(
+                    worker=clause_value(kv, kind, clause, "worker", int),
+                    pull=clause_value(kv, kind, clause, "pull", int),
+                    phase=clause_value(kv, kind, clause, "phase", str, "start"),
+                ))
+            elif kind == "rate":
+                kill_rate = clause_value(kv, kind, clause, "kill", float, 0.0)
+                seed = clause_value(kv, kind, clause, "seed", int, 0)
+            else:
+                raise FaultSpecError(
+                    f"unknown chaos clause kind {kind!r} (expected kill/rate)")
+            if kv:
+                raise FaultSpecError(
+                    f"unknown keys in {kind!r} chaos clause: {sorted(kv)}")
+        return cls(kills=tuple(kills), kill_rate=kill_rate, seed=seed)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules nothing."""
+        return not self.kills and not self.kill_rate
+
+    def monkey(self) -> "ChaosMonkey":
+        """A fresh stateful kill oracle for one run of this plan."""
+        return ChaosMonkey(self)
+
+
+def as_chaos_plan(
+    chaos: Union["ChaosPlan", str, None],
+) -> Optional["ChaosPlan"]:
+    """Normalize user-facing chaos inputs (spec string or plan)."""
+    if chaos is None:
+        return None
+    if isinstance(chaos, ChaosPlan):
+        return chaos
+    return ChaosPlan.parse(chaos)
+
+
+class ChaosMonkey:
+    """Stateful kill oracle the worker loop consults once per pull.
+
+    Thread-safe by construction: each worker slot only ever queries its
+    own ``(worker, pull)`` coordinates, and random draws come from
+    per-slot streams, so no cross-thread state is shared.
+    """
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        self._rngs: dict[int, np.random.Generator] = {}
+        self.kills_delivered = 0
+
+    def _rng(self, worker: int) -> np.random.Generator:
+        rng = self._rngs.get(worker)
+        if rng is None:
+            rng = np.random.default_rng([self.plan.seed, worker])
+            self._rngs[worker] = rng
+        return rng
+
+    def should_kill(self, worker: int, pull: int, phase: str) -> bool:
+        """Does worker slot *worker* die at (*pull*, *phase*)?"""
+        for kill in self.plan.kills:
+            if (kill.worker == worker and kill.pull == pull
+                    and kill.phase == phase):
+                self.kills_delivered += 1
+                return True
+        if (self.plan.kill_rate and phase == "start"
+                and self._rng(worker).random() < self.plan.kill_rate):
+            self.kills_delivered += 1
+            return True
+        return False
+
+
+def corrupt_journal_tail(path: Union[str, Path], *, mode: str = "truncate",
+                         seed: int = 0) -> None:
+    """Damage a journal's tail the way an unclean death would.
+
+    Modes: ``truncate`` cuts the file mid-way through its final line;
+    ``garbage`` appends a partial, unterminated junk line; ``flip``
+    bit-flips one byte inside the final line (a torn sector). All three
+    must be survivable by :func:`repro.service.journal.read_journal`'s
+    torn-tail rule.
+    """
+    p = Path(path)
+    data = p.read_bytes()
+    if not data:
+        return
+    rng = np.random.default_rng(seed)
+    # locate the final non-empty line
+    stripped = data.rstrip(b"\n")
+    last_nl = stripped.rfind(b"\n")
+    line_start = last_nl + 1
+    if mode == "truncate":
+        cut = line_start + max(1, (len(stripped) - line_start) // 2)
+        p.write_bytes(data[:cut])
+    elif mode == "garbage":
+        junk = bytes(rng.integers(33, 126, size=17, dtype=np.uint8))
+        p.write_bytes(data + b'{"v": 1, "seq": ' + junk)
+    elif mode == "flip":
+        pos = int(rng.integers(line_start, len(stripped)))
+        mutated = bytearray(data)
+        mutated[pos] ^= 0x20
+        p.write_bytes(bytes(mutated))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")

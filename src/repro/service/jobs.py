@@ -28,6 +28,13 @@ STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_EXPIRED = "expired"
 STATUS_REJECTED = "rejected"
+#: statuses synthesized by the supervisor (no worker survived to report)
+STATUS_CRASHED = "crashed"
+STATUS_QUARANTINED = "quarantined"
+
+#: every status a batch report can contain, in display order
+ALL_STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_EXPIRED, STATUS_REJECTED,
+                STATUS_CRASHED, STATUS_QUARANTINED)
 
 _VALID_INITIALS = ("greedy", "nearest-neighbor", "random", "identity")
 _VALID_MODES = ("fast", "simulate")
@@ -180,16 +187,42 @@ class SolveRequest:
             return self.paper_instance
         return f"synthetic-{self.n}-seed{self.seed}"
 
+    def as_manifest_dict(self) -> dict:
+        """Serialize back to a manifest row (journal ``admitted`` events).
+
+        Round-trips exactly through :meth:`from_dict`: defaults are
+        omitted, set fields keep their manifest spellings, so a journal
+        replay reconstructs a request equal to the one admitted.
+        """
+        out: dict[str, Any] = {"id": self.job_id}
+        for key, attr, default in (
+            ("file", "file", None), ("paper_instance", "paper_instance", None),
+            ("n", "n", None), ("max_n", "max_n", None), ("seed", "seed", 0),
+            ("device", "device", "gtx680-cuda"), ("initial", "initial", "greedy"),
+            ("strategy", "strategy", None), ("mode", "mode", "fast"),
+            ("max_moves", "max_moves", None), ("max_scans", "max_scans", None),
+            ("inject_faults", "inject_faults", None), ("retries", "retries", None),
+            ("backoff", "backoff", None), ("deadline_s", "deadline_s", None),
+            ("neighbor_k", "neighbor_k", 10), ("return_tour", "return_tour", False),
+        ):
+            value = getattr(self, attr)
+            if value != default:
+                out[key] = value
+        if self.devices:
+            out["devices"] = list(self.devices)
+        return out
+
 
 @dataclass
 class SolveResult:
     """One finished (or refused) batch job, as streamed back to the caller.
 
     ``status`` is one of ``ok`` / ``failed`` / ``expired`` /
-    ``rejected``. Solver outputs are only populated for ``ok`` jobs;
-    ``error`` carries the one-line failure reason otherwise. Everything
-    except the wall-clock fields (``queue_wait_s``, ``wall_seconds``,
-    ``worker``) is deterministic for a given request.
+    ``rejected`` / ``crashed`` / ``quarantined``. Solver outputs are
+    only populated for ``ok`` jobs; ``error`` carries the one-line
+    failure reason otherwise. Everything except the wall-clock fields
+    (``queue_wait_s``, ``wall_seconds``, ``worker``) is deterministic
+    for a given request.
     """
 
     job_id: str
@@ -212,6 +245,9 @@ class SolveResult:
     cache_events: dict = field(default_factory=dict)
     #: batch position (not serialized; restores manifest order in reports)
     index: int = -1
+    #: True when a failure was attributable to the (simulated) device —
+    #: feeds the per-device circuit breakers, not user-facing payloads
+    device_fault: bool = False
 
     @property
     def ok(self) -> bool:
@@ -243,6 +279,42 @@ class SolveResult:
                 payload["tour"] = list(self.tour)
         else:
             payload["error"] = self.error
+            if self.device_fault:
+                payload["device_fault"] = True
         if self.cache_events:
             payload["cache"] = dict(self.cache_events)
         return payload
+
+    @classmethod
+    def from_dict(cls, raw: dict, *, index: int = -1) -> "SolveResult":
+        """Rebuild a result from an :meth:`as_dict` payload.
+
+        Used by journal replay: a ``finished`` event carries the
+        serialized result, and this reconstructs it (including the
+        recorded wall-clock fields) so a resumed batch can emit the
+        already-finished jobs verbatim.
+        """
+        if not isinstance(raw, dict):
+            raise ManifestError(
+                f"result payloads must be JSON objects, got {type(raw).__name__}")
+        return cls(
+            job_id=str(raw.get("id", "job")),
+            status=str(raw.get("status", STATUS_FAILED)),
+            instance=str(raw.get("instance", "")),
+            n=int(raw.get("n", 0)),
+            initial_length=int(raw.get("initial_length", 0)),
+            final_length=int(raw.get("final_length", 0)),
+            canonical_length=int(raw.get("canonical_length", 0)),
+            improvement_percent=float(raw.get("improvement_percent", 0.0)),
+            moves_applied=int(raw.get("moves_applied", 0)),
+            scans=int(raw.get("scans", 0)),
+            modeled_seconds=float(raw.get("modeled_seconds", 0.0)),
+            wall_seconds=float(raw.get("wall_seconds", 0.0)),
+            queue_wait_s=float(raw.get("queue_wait_s", 0.0)),
+            worker=int(raw.get("worker", -1)),
+            error=str(raw.get("error", "")),
+            tour=list(raw["tour"]) if raw.get("tour") is not None else None,
+            cache_events=dict(raw.get("cache", {})),
+            index=index,
+            device_fault=bool(raw.get("device_fault", False)),
+        )

@@ -1,0 +1,253 @@
+"""Durable job journal: an append-only write-ahead log for ``repro batch``.
+
+A crashed batch process used to lose every accepted job. The journal
+fixes that with the cheapest durable structure that works: one JSONL
+file, appended and fsync'd line by line, recording the life of every
+job — ``admitted`` (the full request, written before any work starts),
+``started`` (a worker picked it up), ``finished`` (the full result).
+``repro batch --journal PATH`` writes it; ``--resume-journal PATH``
+replays it, re-emitting recorded results and re-running only the jobs
+with no ``finished`` event. Because the solver stack is deterministic,
+the resumed report equals the uninterrupted one on every non-wall field
+— the same resume ≡ uninterrupted discipline the checkpoint layer
+proves per-solve, lifted to the service (see docs/SERVICE.md).
+
+Line format: one JSON object per line carrying a schema version ``v``,
+a writer sequence number ``seq``, the event payload, and a ``crc``
+field — the CRC-32 of the canonical JSON encoding of the rest of the
+object. Replay is *torn-tail tolerant*: a process killed mid-append
+leaves at most a truncated or garbled final region, so trailing lines
+that fail to parse or checksum are dropped (and counted); a bad line
+*followed by a good line* is real corruption and raises
+:class:`~repro.errors.JournalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import JournalError
+from repro.service.jobs import SolveRequest, SolveResult
+
+#: journal schema version; bumped on incompatible event-shape changes
+JOURNAL_SCHEMA_VERSION = 1
+
+#: event kinds a journal line may carry
+EVENT_BATCH = "batch"
+EVENT_ADMITTED = "admitted"
+EVENT_STARTED = "started"
+EVENT_FINISHED = "finished"
+EVENT_RESUMED = "resumed"
+EVENT_CUT = "cut"
+
+_KNOWN_EVENTS = frozenset({
+    EVENT_BATCH, EVENT_ADMITTED, EVENT_STARTED, EVENT_FINISHED,
+    EVENT_RESUMED, EVENT_CUT,
+})
+
+
+def _line_crc(body: dict) -> int:
+    """CRC-32 of the canonical JSON encoding of a journal line body."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+class JournalWriter:
+    """Append-only, fsync'd JSONL writer for the batch job journal.
+
+    Thread-safe: the coordinator writes ``admitted``/``finished``/``cut``
+    events while workers write ``started`` stamps, all serialized under
+    one lock so lines never interleave. Every line is flushed and
+    fsync'd before :meth:`write` returns — an ``admitted`` or
+    ``finished`` event is on disk before the caller proceeds, which is
+    what makes the resume guarantee hold across ``kill -9``.
+    """
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._seq = 0
+        try:
+            self._fh = self.path.open("a", encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
+
+    def write(self, event: str, **payload) -> None:
+        """Append one CRC-stamped *event* line and force it to disk."""
+        with self._lock:
+            body = {"v": JOURNAL_SCHEMA_VERSION, "seq": self._seq,
+                    "event": event, **payload}
+            body["crc"] = _line_crc(body)
+            self._fh.write(json.dumps(body, sort_keys=True) + "\n")
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+            self._seq += 1
+
+    # -- event helpers -----------------------------------------------------
+
+    def batch(self, jobs: int) -> None:
+        """Record the start of a fresh batch of *jobs* admitted jobs."""
+        self.write(EVENT_BATCH, jobs=jobs)
+
+    def admitted(self, index: int, request: SolveRequest) -> None:
+        """Record job *index*'s full request, before any work starts."""
+        self.write(EVENT_ADMITTED, index=index,
+                   request=request.as_manifest_dict())
+
+    def started(self, index: int, job_id: str, *, worker: int) -> None:
+        """Record that *worker* pulled job *index* off the queue."""
+        self.write(EVENT_STARTED, index=index, job_id=job_id, worker=worker)
+
+    def finished(self, result: SolveResult) -> None:
+        """Record a job's final result (any status, including synthetic)."""
+        self.write(EVENT_FINISHED, index=result.index, result=result.as_dict())
+
+    def resumed(self, pending: int) -> None:
+        """Record the start of a resume run with *pending* jobs left."""
+        self.write(EVENT_RESUMED, pending=pending)
+
+    def cut(self, reason: str, finished: int) -> None:
+        """Record the end of a run segment (``complete`` or ``drained``)."""
+        self.write(EVENT_CUT, reason=reason, finished=finished)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        """Context-manager entry: the writer itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the journal file."""
+        self.close()
+
+
+@dataclass
+class JournalReplay:
+    """Everything a resume run needs, reconstructed from one journal.
+
+    ``requests`` maps job index to the admitted request; ``finished``
+    maps job index to its recorded result (latest wins when a job
+    appears twice across run segments); ``pending`` lists the indices
+    admitted but never finished — the jobs a resume run re-executes.
+    """
+
+    requests: dict = field(default_factory=dict)
+    finished: dict = field(default_factory=dict)
+    started: dict = field(default_factory=dict)
+    #: torn-tail lines dropped at EOF (0 on a cleanly-closed journal)
+    dropped_lines: int = 0
+    #: ``cut`` reasons seen, in order (``complete`` / ``drained``)
+    cuts: list = field(default_factory=list)
+
+    @property
+    def pending(self) -> list:
+        """Indices admitted but not finished, in admission order."""
+        return [i for i in sorted(self.requests) if i not in self.finished]
+
+    @property
+    def total_jobs(self) -> int:
+        """Number of distinct jobs the journal admitted."""
+        return len(self.requests)
+
+
+def read_journal(path: Union[str, Path]) -> JournalReplay:
+    """Replay a job journal into a :class:`JournalReplay`.
+
+    Tolerates a torn tail (trailing lines that fail JSON parsing or
+    their CRC are dropped and counted in ``dropped_lines``); any bad
+    line *followed by* a good one, an unsupported schema version, or a
+    journal with no admitted jobs raises
+    :class:`~repro.errors.JournalError`.
+    """
+    p = Path(path)
+    try:
+        raw_bytes = p.read_bytes()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {p}: {exc}") from exc
+
+    parsed: list = []  # (lineno, body) for good lines
+    bad: list = []  # linenos of undecodable / checksum-failing lines
+    for lineno, raw_line in enumerate(raw_bytes.splitlines(), start=1):
+        try:
+            # a torn write can leave arbitrary bytes, not just bad JSON
+            line = raw_line.decode("utf-8")
+        except UnicodeDecodeError:
+            bad.append(lineno)
+            continue
+        if not line.strip():
+            continue
+        body = None
+        try:
+            body = json.loads(line)
+        except json.JSONDecodeError:
+            bad.append(lineno)
+            continue
+        if not isinstance(body, dict) or "crc" not in body:
+            bad.append(lineno)
+            continue
+        crc = body.pop("crc")
+        if _line_crc(body) != crc:
+            bad.append(lineno)
+            continue
+        if body.get("v") != JOURNAL_SCHEMA_VERSION:
+            raise JournalError(
+                f"{p}:{lineno}: unsupported journal schema version "
+                f"{body.get('v')!r} (expected {JOURNAL_SCHEMA_VERSION})")
+        parsed.append((lineno, body))
+
+    if bad:
+        last_good = parsed[-1][0] if parsed else 0
+        interior = [n for n in bad if n < last_good]
+        if interior:
+            raise JournalError(
+                f"{p}:{interior[0]}: corrupt journal line followed by valid "
+                f"lines — refusing to resume from a damaged journal")
+
+    replay = JournalReplay(dropped_lines=len(bad))
+    for lineno, body in parsed:
+        event = body.get("event")
+        if event not in _KNOWN_EVENTS:
+            raise JournalError(f"{p}:{lineno}: unknown journal event {event!r}")
+        if event == EVENT_ADMITTED:
+            try:
+                request = SolveRequest.from_dict(body["request"])
+            except Exception as exc:
+                raise JournalError(
+                    f"{p}:{lineno}: bad admitted request: {exc}") from exc
+            replay.requests[int(body["index"])] = request
+        elif event == EVENT_STARTED:
+            replay.started[int(body["index"])] = int(body.get("worker", -1))
+        elif event == EVENT_FINISHED:
+            index = int(body["index"])
+            try:
+                result = SolveResult.from_dict(body["result"], index=index)
+            except Exception as exc:
+                raise JournalError(
+                    f"{p}:{lineno}: bad finished result: {exc}") from exc
+            replay.finished[index] = result
+        elif event == EVENT_CUT:
+            replay.cuts.append(str(body.get("reason", "")))
+
+    if not replay.requests:
+        raise JournalError(f"{p}: journal contains no admitted jobs")
+    return replay
+
+
+def quarantine_path_for(journal_path: Union[str, Path, None]) -> Optional[Path]:
+    """The quarantine sidecar path for a journal (``<journal>.quarantine.jsonl``)."""
+    if journal_path is None:
+        return None
+    return Path(str(journal_path) + ".quarantine.jsonl")

@@ -18,6 +18,16 @@ the only thread touching the real tracer — books per-job lane events
 and service metrics as results arrive. This also keeps results
 deterministic: nothing a worker records depends on scheduling.
 
+**Crash safety:** the worker body guarantees one result per pulled job.
+Ordinary exceptions become ``failed`` results inside
+:func:`run_request`; anything that escapes — including
+:class:`BaseException` — is converted to a ``crashed`` result *before*
+the thread dies (:meth:`WorkerPool._safe_execute`). The one hole left
+is a thread killed without unwinding at all (modeled by the chaos
+harness); :mod:`repro.service.supervisor` covers that from the
+coordinator side using the per-slot :class:`~repro.service.supervisor.
+WorkerState` stamps maintained here.
+
 Deadlines are enforced at dequeue: a job whose deadline passed while it
 waited is reported ``expired`` without running (a deliberately simple
 admission-to-start deadline; jobs are not killed mid-solve).
@@ -30,9 +40,16 @@ import threading
 import time
 from typing import Callable, Optional
 
-from repro.errors import DeadlineExceededError, ReproError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultError,
+    ReproError,
+)
+from repro.gpusim.faults import DEFAULT_BASE_BACKOFF_S, DEFAULT_MAX_ATTEMPTS
 from repro.service.cache import ArtifactCache
 from repro.service.jobs import (
+    STATUS_CRASHED,
     STATUS_EXPIRED,
     STATUS_FAILED,
     STATUS_OK,
@@ -40,6 +57,7 @@ from repro.service.jobs import (
     SolveResult,
 )
 from repro.service.queue import JobQueue, QueuedJob
+from repro.service.supervisor import WorkerState
 from repro.telemetry.metrics import NoopMetricsRegistry, set_thread_metrics
 from repro.telemetry.span import NoopTracer, set_thread_tracer
 
@@ -50,7 +68,10 @@ def build_solver(request: SolveRequest):
     Mirrors the ``repro solve`` CLI conventions exactly: a ``devices``
     pool (or any fault injection) routes through the sharded multi-GPU
     backend; fault injection and simulate mode default to the ``best``
-    strategy unless the request says otherwise.
+    strategy unless the request says otherwise. Retry defaults come
+    from the shared :data:`~repro.gpusim.faults.DEFAULT_MAX_ATTEMPTS` /
+    :data:`~repro.gpusim.faults.DEFAULT_BASE_BACKOFF_S` constants so
+    the CLI and the service cannot drift.
     """
     from repro.core.solver import TwoOptSolver
 
@@ -59,8 +80,10 @@ def build_solver(request: SolveRequest):
         from repro.gpusim.faults import RetryPolicy
 
         retry = RetryPolicy(
-            max_attempts=request.retries if request.retries is not None else 3,
-            base_backoff_s=request.backoff if request.backoff is not None else 100e-6,
+            max_attempts=(request.retries if request.retries is not None
+                          else DEFAULT_MAX_ATTEMPTS),
+            base_backoff_s=(request.backoff if request.backoff is not None
+                            else DEFAULT_BASE_BACKOFF_S),
         )
     simulate = bool(request.inject_faults) or request.mode == "simulate"
     strategy = request.strategy or ("best" if simulate else "batch")
@@ -75,12 +98,20 @@ def build_solver(request: SolveRequest):
     return TwoOptSolver(request.device, **kwargs)
 
 
+def request_devices(request: SolveRequest) -> tuple:
+    """The device keys a request will touch (pool members, or the single)."""
+    return tuple(request.devices) if request.devices else (request.device,)
+
+
 def run_request(request: SolveRequest, cache: ArtifactCache) -> SolveResult:
     """Solve one request through the cache; deterministic given the request.
 
     Expected failures (bad device key, malformed file, exhausted
     retries, ...) become a ``failed`` result carrying the error text;
-    they never kill the worker.
+    they never kill the worker. Failures whose cause is a
+    :class:`~repro.errors.FaultError` (retry exhaustion, device loss)
+    are stamped ``device_fault`` so the circuit breakers can count them
+    against the device rather than the manifest.
     """
     try:
         with cache.job_events() as events:
@@ -95,7 +126,8 @@ def run_request(request: SolveRequest, cache: ArtifactCache) -> SolveResult:
     except ReproError as exc:
         return SolveResult(job_id=request.job_id, status=STATUS_FAILED,
                            instance=request.instance_label(),
-                           error=str(exc))
+                           error=str(exc),
+                           device_fault=isinstance(exc, FaultError))
     except Exception as exc:  # worker must survive; surface the bug in-band
         return SolveResult(job_id=request.job_id, status=STATUS_FAILED,
                            instance=request.instance_label(),
@@ -126,12 +158,21 @@ class WorkerPool:
     :class:`queue.Queue`) so workers never block on the consumer. The
     pool does no telemetry of its own — the coordinator consuming
     ``results`` books queue waits, job counters, and worker lanes.
+
+    Optional collaborators wire in the self-healing layer: ``chaos`` (a
+    :class:`~repro.service.chaos.ChaosMonkey`) kills workers on
+    schedule, ``breakers`` (a :class:`~repro.service.breaker.
+    BreakerBoard`) fast-fails jobs on open devices, ``journal`` (a
+    :class:`~repro.service.journal.JournalWriter`) receives ``started``
+    stamps. Each worker slot owns a :class:`~repro.service.supervisor.
+    WorkerState` the supervisor reads.
     """
 
     def __init__(self, jobs: JobQueue, cache: ArtifactCache, *,
                  workers: int = 4,
                  results: Optional["stdlib_queue.Queue"] = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 chaos=None, breakers=None, journal=None) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
         self.jobs = jobs
@@ -141,25 +182,50 @@ class WorkerPool:
             results if results is not None else stdlib_queue.Queue()
         )
         self._clock = clock
-        self._threads: list[threading.Thread] = []
+        self.chaos = chaos
+        self.breakers = breakers
+        self.journal = journal
+        self.states = [WorkerState(idx) for idx in range(workers)]
+        self.started = False
 
     def start(self) -> "WorkerPool":
         """Spawn the worker threads (idempotent); returns ``self``."""
-        if self._threads:
+        if self.started:
             return self
+        self.started = True
         for idx in range(self.workers):
-            t = threading.Thread(
-                target=self._worker, args=(idx,),
-                name=f"repro-service-worker-{idx}", daemon=True,
-            )
-            self._threads.append(t)
-            t.start()
+            self.respawn(idx)
         return self
 
+    def respawn(self, idx: int) -> None:
+        """(Re)spawn worker slot *idx*; the supervisor's restart path."""
+        t = threading.Thread(
+            target=self._worker, args=(idx,),
+            name=f"repro-service-worker-{idx}", daemon=True,
+        )
+        self.states[idx].attach(t)
+        t.start()
+
+    def any_alive(self) -> bool:
+        """Is at least one worker thread currently running?"""
+        return any(state.alive for state in self.states)
+
+    def alive_count(self) -> int:
+        """Number of worker threads currently running."""
+        return sum(1 for state in self.states if state.alive)
+
     def join(self, timeout: Optional[float] = None) -> None:
-        """Wait for every worker to exit (queue must be closed first)."""
+        """Wait for every worker to exit (queue must be closed first).
+
+        With a *timeout*, returns once the budget is spent even if
+        stragglers are still alive — the threads are daemons, so an
+        abandoned drain cannot keep the process hostage.
+        """
         deadline = (self._clock() + timeout) if timeout is not None else None
-        for t in self._threads:
+        for state in self.states:
+            t = state.thread
+            if t is None:
+                continue
             remaining = None
             if deadline is not None:
                 remaining = max(0.0, deadline - self._clock())
@@ -168,17 +234,67 @@ class WorkerPool:
     # -- worker body -------------------------------------------------------
 
     def _worker(self, idx: int) -> None:
-        """Worker loop: isolate telemetry, then drain the queue."""
+        """Worker loop: isolate telemetry, then drain the queue.
+
+        Guarantees one result per pulled job unless the thread is killed
+        without unwinding (the chaos model), which the supervisor
+        recovers. The chaos hooks sit exactly at the two places a real
+        abrupt death hurts: right after taking a job (it never runs) and
+        right before delivering the result (the work is lost).
+        """
         set_thread_tracer(NoopTracer())
         set_thread_metrics(NoopMetricsRegistry())
+        state = self.states[idx]
         while True:
             job = self.jobs.pull()
             if job is None:
                 return
-            self.results.put(self._execute(idx, job))
+            pull_no = state.note_pull(job, self._clock())
+            if (self.chaos is not None
+                    and self.chaos.should_kill(idx, pull_no, "start")):
+                return  # abrupt death: job outstanding, no result
+            if self.journal is not None:
+                self.journal.started(job.index, job.request.job_id, worker=idx)
+            result = self._safe_execute(idx, state, job)
+            if result is None:
+                return  # crashed result already delivered; retire the thread
+            if (self.chaos is not None
+                    and self.chaos.should_kill(idx, pull_no, "end")):
+                return  # abrupt death: result computed but never delivered
+            self.results.put(result)
+            state.note_done(self._clock())
+
+    def _safe_execute(self, idx: int, state: WorkerState,
+                      job: QueuedJob) -> Optional[SolveResult]:
+        """Run one job; a ``BaseException`` still delivers a result.
+
+        ``Exception`` escapes from :meth:`_execute` are already handled
+        inside :func:`run_request`; this net catches what is left —
+        ``KeyboardInterrupt``, ``SystemExit``, ``MemoryError`` raised
+        mid-framework — enqueues a ``crashed`` result, clears the slot
+        (so the supervisor will not recover the job a second time), and
+        lets the thread die. Returns ``None`` in that case.
+        """
+        try:
+            return self._execute(idx, job)
+        except BaseException as exc:
+            result = SolveResult(
+                job_id=job.request.job_id,
+                status=STATUS_CRASHED,
+                instance=job.request.instance_label(),
+                error=f"worker {idx} crashed: {type(exc).__name__}: {exc}",
+                queue_wait_s=max(0.0, self._clock() - job.submitted_at),
+                worker=idx,
+                index=job.index,
+            )
+            self.results.put(result)
+            state.note_done(self._clock())
+            if not isinstance(exc, Exception):
+                raise
+            return None
 
     def _execute(self, idx: int, job: QueuedJob) -> SolveResult:
-        """Run (or expire) one dequeued job and stamp its bookkeeping."""
+        """Run (or expire, or fast-fail) one dequeued job and stamp it."""
         now = self._clock()
         if job.expired(now):
             result = SolveResult(
@@ -192,7 +308,23 @@ class WorkerPool:
                 )),
             )
         else:
-            result = run_request(job.request, self.cache)
+            devices = request_devices(job.request)
+            blocked = (self.breakers.admit(devices)
+                       if self.breakers is not None else None)
+            if blocked is not None:
+                result = SolveResult(
+                    job_id=job.request.job_id,
+                    status=STATUS_FAILED,
+                    instance=job.request.instance_label(),
+                    error=str(CircuitOpenError(
+                        f"job {job.request.job_id!r} failed fast: circuit "
+                        f"breaker open for device {blocked!r}")),
+                )
+            else:
+                result = run_request(job.request, self.cache)
+                if self.breakers is not None:
+                    self.breakers.report(devices, ok=result.ok,
+                                         device_fault=result.device_fault)
         result.queue_wait_s = max(0.0, now - job.submitted_at)
         result.worker = idx
         result.index = job.index

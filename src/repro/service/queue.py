@@ -106,6 +106,34 @@ class JobQueue:
             self._not_empty.notify_all()
             self._not_full.notify_all()
 
+    def requeue(self, job: QueuedJob) -> None:
+        """Re-admit *job* after its worker died holding it.
+
+        Supervisor-only path: bypasses both the depth bound and the
+        closed check (the job was already admitted once and is owed a
+        result), appending at the tail so surviving workers make
+        progress on fresh work first. Admission stamps (``submitted_at``,
+        ``deadline_at``) are preserved — a requeued job's deadline still
+        counts from its original admission.
+        """
+        with self._lock:
+            self._jobs.append(job)
+            self._not_empty.notify()
+
+    def drain_nowait(self) -> list:
+        """Atomically remove and return every queued job.
+
+        The supervisor's last resort: when no worker is left alive and
+        the restart budget is spent, the coordinator drains the queue
+        and synthesizes ``crashed`` results so exactly-one-result-per-job
+        still holds.
+        """
+        with self._lock:
+            out = list(self._jobs)
+            self._jobs.clear()
+            self._not_full.notify_all()
+            return out
+
     # -- consumer side -----------------------------------------------------
 
     def pull(self) -> Optional[QueuedJob]:
@@ -133,5 +161,16 @@ class JobQueue:
 
     @property
     def closed(self) -> bool:
-        """Whether :meth:`close` has been called."""
-        return self._closed
+        """Whether :meth:`close` has been called (read under the lock)."""
+        with self._lock:
+            return self._closed
+
+    @property
+    def closed_and_empty(self) -> bool:
+        """Closed with nothing left to drain — the worker shutdown state.
+
+        One atomic read: checking ``closed`` and ``depth`` separately
+        would race against a concurrent :meth:`requeue`.
+        """
+        with self._lock:
+            return self._closed and not self._jobs

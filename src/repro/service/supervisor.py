@@ -1,0 +1,246 @@
+"""Worker supervision: dead-worker detection, respawn, poison quarantine.
+
+The invariant the whole batch layer rests on is *exactly one result per
+admitted job*. The worker loop's safety net (``pool._safe_execute``)
+covers exceptions, but a thread can still die without delivering — the
+chaos harness models this directly (an OOM-killed or stuck worker), and
+real thread pools hit it through C-extension aborts. The supervisor
+closes that hole from the coordinator side:
+
+* every worker stamps a heartbeat and its in-flight job into a
+  :class:`WorkerState` slot (lock-protected, one per worker);
+* the coordinator's drain loop polls ``results`` with a bounded timeout
+  and calls :meth:`Supervisor.check` whenever the poll comes up empty;
+* ``check`` finds threads that exited with a job outstanding, claims the
+  orphaned job atomically, and either **requeues** it (first death) or
+  **quarantines** it (a job that has killed workers ``poison_kills``
+  times is reported ``quarantined``, appended to the quarantine sidecar,
+  and never retried again this run);
+* dead workers are respawned under a bounded restart budget; once the
+  budget is spent and no worker is alive, the queue is drained and every
+  leftover job gets a synthetic ``crashed`` result — the drain loop can
+  therefore never hang.
+
+No monitor thread exists: supervision is driven entirely by the
+coordinator between result polls, which keeps the failure handling
+deterministic and the no-chaos hot path free of extra threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.errors import WorkerLostError
+from repro.service.jobs import (
+    STATUS_CRASHED,
+    STATUS_QUARANTINED,
+    SolveResult,
+)
+from repro.service.queue import QueuedJob
+
+#: a job that has killed this many workers is quarantined, not requeued
+DEFAULT_POISON_KILLS = 2
+
+
+class WorkerState:
+    """Lock-protected mortality bookkeeping for one worker slot.
+
+    The worker stamps pulls and completions; the supervisor reads the
+    thread's liveness and — when the thread is dead — atomically claims
+    the outstanding job via :meth:`take_current` so a job can never be
+    double-recovered.
+    """
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self._lock = threading.Lock()
+        self.thread: Optional[threading.Thread] = None
+        self._current: Optional[QueuedJob] = None
+        self.heartbeat = 0.0
+        self.pulls = 0
+        self.completed = 0
+        self.deaths = 0
+
+    def attach(self, thread: threading.Thread) -> None:
+        """Bind a (re)spawned thread to this slot."""
+        with self._lock:
+            self.thread = thread
+
+    def note_pull(self, job: QueuedJob, now: float) -> int:
+        """Stamp a pulled job; returns this slot's 1-based pull ordinal."""
+        with self._lock:
+            self.pulls += 1
+            self._current = job
+            self.heartbeat = now
+            return self.pulls
+
+    def note_done(self, now: float) -> None:
+        """Clear the in-flight job after its result was enqueued."""
+        with self._lock:
+            self._current = None
+            self.completed += 1
+            self.heartbeat = now
+
+    def take_current(self) -> Optional[QueuedJob]:
+        """Atomically claim (and clear) the outstanding job, if any."""
+        with self._lock:
+            job, self._current = self._current, None
+            return job
+
+    @property
+    def alive(self) -> bool:
+        """Is a thread bound to this slot and still running?"""
+        with self._lock:
+            return self.thread is not None and self.thread.is_alive()
+
+    @property
+    def busy(self) -> bool:
+        """Does this slot currently hold an in-flight job?"""
+        with self._lock:
+            return self._current is not None
+
+    def as_dict(self) -> dict:
+        """Snapshot for reports and debugging."""
+        with self._lock:
+            return {
+                "worker": self.worker_id,
+                "alive": self.thread is not None and self.thread.is_alive(),
+                "pulls": self.pulls,
+                "completed": self.completed,
+                "deaths": self.deaths,
+                "heartbeat": self.heartbeat,
+            }
+
+
+class Supervisor:
+    """Coordinator-driven dead-worker recovery for one batch run.
+
+    Construct with the pool; call :meth:`check` whenever the result poll
+    times out (and once more before declaring the batch stuck). All
+    counters are read/written on the coordinator thread only.
+    """
+
+    def __init__(self, pool, *, max_restarts: Optional[int] = None,
+                 poison_kills: int = DEFAULT_POISON_KILLS,
+                 quarantine_path=None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if poison_kills < 1:
+            raise ValueError("poison_kills must be >= 1")
+        self.pool = pool
+        self.max_restarts = (2 * pool.workers if max_restarts is None
+                             else max_restarts)
+        self.poison_kills = poison_kills
+        self.quarantine_path = (Path(quarantine_path)
+                                if quarantine_path is not None else None)
+        self._clock = clock
+        #: job index -> number of workers it has killed
+        self._kill_counts: dict[int, int] = {}
+        self.crashes = 0
+        self.restarts = 0
+        self.quarantined = 0
+        self.requeued = 0
+        self.synthesized = 0
+
+    # -- the one entry point ----------------------------------------------
+
+    def check(self) -> int:
+        """Inspect worker slots; recover orphans. Returns actions taken.
+
+        Idempotent between failures: a healthy pool costs a few
+        ``Thread.is_alive`` reads. Never blocks.
+        """
+        actions = 0
+        for state in self.pool.states:
+            if state.alive:
+                continue
+            job = state.take_current()
+            if job is not None:
+                # thread exited while holding a job: a worker crash
+                self.crashes += 1
+                state.deaths += 1
+                actions += 1
+                self._recover(job, state)
+            if self.pool.started and not self.pool.jobs.closed_and_empty:
+                # dead slot with work remaining: respawn under budget
+                if self.restarts < self.max_restarts:
+                    self.restarts += 1
+                    actions += 1
+                    self.pool.respawn(state.worker_id)
+        if not self.pool.any_alive():
+            # no workers and no restart budget: fail the backlog fast so
+            # the drain loop terminates instead of waiting forever
+            for job in self.pool.jobs.drain_nowait():
+                actions += 1
+                self._emit(self._synthesize(
+                    job, STATUS_CRASHED,
+                    WorkerLostError(
+                        f"job {job.request.job_id!r} abandoned: no live "
+                        f"workers and restart budget "
+                        f"({self.max_restarts}) exhausted")))
+        return actions
+
+    # -- recovery paths ----------------------------------------------------
+
+    def _recover(self, job: QueuedJob, state: WorkerState) -> None:
+        """Requeue a crash-orphaned job, or quarantine a poison one."""
+        kills = self._kill_counts.get(job.index, 0) + 1
+        self._kill_counts[job.index] = kills
+        if kills >= self.poison_kills:
+            self.quarantined += 1
+            result = self._synthesize(
+                job, STATUS_QUARANTINED,
+                WorkerLostError(
+                    f"job {job.request.job_id!r} quarantined: killed "
+                    f"{kills} workers (last: worker {state.worker_id})"))
+            self._write_quarantine(job, result)
+            self._emit(result)
+        else:
+            self.requeued += 1
+            self.pool.jobs.requeue(job)
+
+    def _synthesize(self, job: QueuedJob, status: str,
+                    error: Exception) -> SolveResult:
+        """Build the supervisor-side result for a job no worker survived."""
+        self.synthesized += 1
+        now = self._clock()
+        return SolveResult(
+            job_id=job.request.job_id,
+            status=status,
+            instance=job.request.instance_label(),
+            error=str(error),
+            queue_wait_s=max(0.0, now - job.submitted_at),
+            index=job.index,
+        )
+
+    def _emit(self, result: SolveResult) -> None:
+        """Deliver a synthetic result through the normal results queue."""
+        self.pool.results.put(result)
+
+    def _write_quarantine(self, job: QueuedJob, result: SolveResult) -> None:
+        """Append one quarantine record to the ``.quarantine.jsonl`` sidecar."""
+        if self.quarantine_path is None:
+            return
+        record = {
+            "id": job.request.job_id,
+            "index": job.index,
+            "error": result.error,
+            "request": job.request.as_manifest_dict(),
+        }
+        with self.quarantine_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- reporting ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Supervision counters for the batch report and telemetry."""
+        return {
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "quarantined": self.quarantined,
+            "requeued": self.requeued,
+            "max_restarts": self.max_restarts,
+        }

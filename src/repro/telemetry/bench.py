@@ -308,6 +308,51 @@ def _scenario_service_batch() -> ScenarioResult:
                           metrics=metrics)
 
 
+def _scenario_service_chaos() -> ScenarioResult:
+    """Supervised batch under a fixed seeded ChaosPlan (poison job).
+
+    One worker, six jobs, two planned kills aimed so the same job (the
+    worker's 2nd pull, requeued to the tail and pulled again 7th) kills
+    its worker twice and is quarantined. With ``workers=1`` the pull
+    order is the queue order, so the whole failure schedule — crashes,
+    the restart, the requeue, the quarantine, and every surviving job's
+    result — is exactly reproducible and gated exactly.
+    """
+    from repro.service import SolveRequest, run_batch
+
+    requests = [SolveRequest(job_id=f"cx-{i}", n=100, seed=i)
+                for i in range(6)]
+    report = run_batch(
+        requests, workers=1, queue_depth=8,
+        chaos="kill:worker=0,pull=2;kill:worker=0,pull=7",
+        poll_interval_s=0.01,
+    )
+    ok = [r for r in report.results if r.ok]
+    counts = report.counts
+    sup = report.supervisor
+    metrics = {
+        # exact result counts under the chaos schedule
+        "jobs_ok": float(len(ok)),
+        "jobs_quarantined": float(counts.get("quarantined", 0)),
+        "jobs_crashed": float(counts.get("crashed", 0)),
+        "jobs_total": float(len(report.results)),
+        # supervision accounting (gated: a self-healing regression shows
+        # up as extra crashes/restarts or a lost quarantine)
+        "supervisor_crashes": float(sup.get("crashes", 0)),
+        "supervisor_restarts": float(sup.get("restarts", 0)),
+        "supervisor_requeued": float(sup.get("requeued", 0)),
+        # the survivors' solver work is still deterministic
+        "final_length_total": float(sum(r.final_length for r in ok)),
+        "moves_applied": float(sum(r.moves_applied for r in ok)),
+        "scans": float(sum(r.scans for r in ok)),
+        # wall-clock figures are informational (no gate policy)
+        "wall_seconds": report.wall_seconds,
+    }
+    return ScenarioResult(scenario="service-chaos", n=100,
+                          device="gtx680-cuda", backend="service",
+                          metrics=metrics)
+
+
 def _subq_parity_scenario(key: str, n: int,
                           max_scans: Optional[int]) -> ScenarioResult:
     """Exhaustive-best vs subq-best on the same instance and caps.
@@ -389,6 +434,10 @@ SCENARIOS: tuple = (
                   "batch-solve service: 8 jobs / 2 instances, 2 workers, "
                   "artifact cache (n=120/160)",
                   160, True, _scenario_service_batch),
+    BenchScenario("service-chaos",
+                  "supervised batch under a seeded chaos plan: 2 worker "
+                  "kills, 1 restart, 1 poison job quarantined (n=100)",
+                  100, True, _scenario_service_chaos),
     BenchScenario("subq-parity-pr1002",
                   "sub-quadratic exact best-move engine vs exhaustive, "
                   "parity-gated (n=1002, 40 sweeps)",
@@ -504,6 +553,16 @@ METRIC_POLICIES: dict = {
     "cache_misses": MetricPolicy("lower", 0.0, 0.0),
     "cache_evictions": MetricPolicy("lower", 0.0, 0.0),
     "final_length_total": MetricPolicy("lower", 0.0, 0.0),
+    # self-healing service: the chaos schedule is seeded, so crash /
+    # restart / quarantine counts are exact (a supervision regression
+    # moves one of them)
+    "jobs_quarantined": MetricPolicy("lower", 0.0, 0.0),
+    "jobs_crashed": MetricPolicy("lower", 0.0, 0.0),
+    "supervisor_crashes": MetricPolicy("lower", 0.0, 0.0),
+    "supervisor_restarts": MetricPolicy("lower", 0.0, 0.0),
+    "supervisor_requeued": MetricPolicy("lower", 0.0, 0.0),
+    "breaker_opened": MetricPolicy("lower", 0.0, 0.0),
+    "breaker_fast_fails": MetricPolicy("lower", 0.0, 0.0),
 }
 
 

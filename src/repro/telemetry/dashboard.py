@@ -41,6 +41,19 @@ TREND_METRICS = (
 
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
+#: service-health metrics surfaced in the dashboard panel, display order
+HEALTH_METRICS = (
+    "jobs_ok",
+    "jobs_total",
+    "jobs_crashed",
+    "jobs_quarantined",
+    "supervisor_crashes",
+    "supervisor_restarts",
+    "supervisor_requeued",
+    "breaker_opened",
+    "breaker_fast_fails",
+)
+
 
 # -- trace parsing -----------------------------------------------------------
 
@@ -141,6 +154,29 @@ def trend_series(runs: Sequence[BenchRun]) -> list[dict]:
     return series
 
 
+def service_health_rows(runs: Sequence[BenchRun]) -> list[dict]:
+    """Self-healing service vitals from the latest ledger run.
+
+    One row per service-backend scenario (``service-batch``,
+    ``service-chaos``, ...) carrying whichever :data:`HEALTH_METRICS`
+    the scenario recorded — job counts by outcome, supervisor
+    crash/restart/quarantine totals, breaker activity. Empty when the
+    latest run has no service scenarios.
+    """
+    if not runs:
+        return []
+    latest = runs[-1]
+    rows = []
+    for res in latest.results:
+        if res.backend != "service":
+            continue
+        vitals = {m: res.metrics[m] for m in HEALTH_METRICS
+                  if m in res.metrics}
+        if vitals:
+            rows.append({"scenario": res.scenario, "vitals": vitals})
+    return rows
+
+
 # -- ASCII fallback ----------------------------------------------------------
 
 def ascii_sparkline(values: Sequence[Optional[float]]) -> str:
@@ -183,6 +219,16 @@ def render_dashboard_ascii(
         parts.append(render_table(
             ["scenario", "metric", "trend", "latest"], rows,
             title="Metric trajectories (oldest → newest)",
+        ))
+    health = service_health_rows(runs)
+    if health:
+        rows = [[row["scenario"], metric, f"{value:g}"]
+                for row in health
+                for metric, value in row["vitals"].items()]
+        parts.append("")
+        parts.append(render_table(
+            ["scenario", "vital", "value"], rows,
+            title="Service health (latest run)",
         ))
     if trace is not None:
         samples = [
@@ -461,6 +507,36 @@ def _waterfall_section(trace: dict) -> str:
     return "".join(out)
 
 
+def _health_section(runs: Sequence[BenchRun]) -> str:
+    """Service-health panel: supervision and breaker vitals per scenario."""
+    health = service_health_rows(runs)
+    if not health:
+        return ""
+    rows = []
+    for row in health:
+        vitals = row["vitals"]
+        crashes = vitals.get("supervisor_crashes", 0.0)
+        quarantined = vitals.get("jobs_quarantined", 0.0)
+        opened = vitals.get("breaker_opened", 0.0)
+        hot = crashes or quarantined or opened
+        cells = "".join(
+            f"<td>{vitals[m]:g}</td>" if m in vitals else "<td>-</td>"
+            for m in HEALTH_METRICS
+        )
+        marker = " ⚠" if hot else ""
+        rows.append(f"<tr><td>{html.escape(row['scenario'])}{marker}</td>"
+                    f"{cells}</tr>")
+    headers = "".join(f"<th>{html.escape(m)}</th>" for m in HEALTH_METRICS)
+    return (
+        "<h2>Service health</h2>"
+        '<p class="meta">latest run\'s self-healing vitals: job outcomes, '
+        "supervisor crash/restart/quarantine totals, circuit-breaker "
+        "activity. ⚠ marks scenarios that exercised a recovery path.</p>"
+        f"<table><tr><th>scenario</th>{headers}</tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
 def _comparison_section(comparison: ComparisonReport) -> str:
     verdict = ("PASS" if comparison.ok
                else f"FAIL — {len(comparison.regressions)} regression(s)")
@@ -501,6 +577,9 @@ def render_dashboard_html(
     sections = []
     if runs:
         sections.append(_trend_section(runs))
+        health = _health_section(runs)
+        if health:
+            sections.append(health)
     else:
         sections.append('<p class="meta">bench ledger is empty — run '
                         "<code>repro bench</code> first.</p>")

@@ -1,0 +1,136 @@
+"""Circuit-breaker state machine: open/half-open/probe transitions."""
+
+import pytest
+
+from repro.service.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+pytestmark = pytest.mark.service
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = CircuitBreaker("dev", failure_threshold=3, cooldown_s=10.0)
+        for t in range(2):
+            b.record_failure(float(t))
+            assert b.state == STATE_CLOSED
+        b.record_failure(2.0)
+        assert b.state == STATE_OPEN
+        assert b.transitions == [(STATE_CLOSED, STATE_OPEN, 2.0)]
+
+    def test_success_resets_the_count(self):
+        b = CircuitBreaker("dev", failure_threshold=2)
+        b.record_failure(0.0)
+        b.record_success(1.0)
+        b.record_failure(2.0)
+        assert b.state == STATE_CLOSED
+        assert b.consecutive_failures == 1
+
+    def test_open_blocks_until_cooldown_then_probes(self):
+        b = CircuitBreaker("dev", failure_threshold=1, cooldown_s=10.0)
+        b.record_failure(0.0)
+        assert b.state == STATE_OPEN
+        assert not b.allow(5.0)
+        assert b.allow(10.0)  # the single half-open probe
+        assert b.state == STATE_HALF_OPEN
+        # a second job while the probe is in flight is still blocked
+        assert not b.allow(11.0)
+
+    def test_probe_success_closes(self):
+        b = CircuitBreaker("dev", failure_threshold=1, cooldown_s=10.0)
+        b.record_failure(0.0)
+        assert b.allow(10.0)
+        b.record_success(11.0)
+        assert b.state == STATE_CLOSED
+        assert b.allow(11.0)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        b = CircuitBreaker("dev", failure_threshold=1, cooldown_s=10.0)
+        b.record_failure(0.0)
+        assert b.allow(10.0)
+        b.record_failure(12.0)
+        assert b.state == STATE_OPEN
+        assert not b.allow(20.0)   # cooldown restarted at t=12
+        assert b.allow(22.0)
+
+    def test_silent_probe_is_reallowed(self):
+        # a probe whose worker died never reports; after another
+        # cooldown the breaker must allow a fresh probe, not wedge
+        b = CircuitBreaker("dev", failure_threshold=1, cooldown_s=10.0)
+        b.record_failure(0.0)
+        assert b.allow(10.0)
+        assert not b.allow(15.0)
+        assert b.allow(20.0)
+        assert b.state == STATE_HALF_OPEN
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker("dev", failure_threshold=0)
+
+
+class TestBreakerBoard:
+    def test_admit_counts_fast_fails_and_names_the_device(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=1, cooldown_s=10.0,
+                             clock=clock)
+        board.report(["d0"], ok=False, device_fault=True)
+        assert board.admit(["d0"]) == "d0"
+        assert board.admit(["d0"]) == "d0"
+        assert board.fast_fails == 2
+        assert board.opened == 1
+
+    def test_manifest_failures_do_not_trip_breakers(self):
+        board = BreakerBoard(failure_threshold=1, clock=FakeClock())
+        board.report(["d0"], ok=False, device_fault=False)
+        assert board.admit(["d0"]) is None
+        assert board.opened == 0
+
+    def test_multi_device_pool_charges_every_member(self):
+        board = BreakerBoard(failure_threshold=1, clock=FakeClock())
+        board.report(["d0", "d1"], ok=False, device_fault=True)
+        snap = board.as_dict()
+        assert snap["devices"]["d0"]["state"] == STATE_OPEN
+        assert snap["devices"]["d1"]["state"] == STATE_OPEN
+        assert snap["opened"] == 2
+
+    def test_probe_flows_through_admit_and_report(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=1, cooldown_s=10.0,
+                             clock=clock)
+        board.report(["d0"], ok=False, device_fault=True)
+        assert board.admit(["d0"]) == "d0"
+        clock.now = 10.0
+        assert board.admit(["d0"]) is None  # the probe
+        board.report(["d0"], ok=True, device_fault=False)
+        assert board.admit(["d0"]) is None
+        assert board.as_dict()["devices"]["d0"]["state"] == STATE_CLOSED
+
+    def test_transitions_listing_is_per_device(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=1, cooldown_s=5.0,
+                             clock=clock)
+        board.report(["d0"], ok=False, device_fault=True)
+        clock.now = 5.0
+        board.admit(["d0"])
+        board.report(["d0"], ok=True, device_fault=False)
+        trans = board.transitions()
+        assert [(d, frm, to) for d, frm, to, _t in trans] == [
+            ("d0", STATE_CLOSED, STATE_OPEN),
+            ("d0", STATE_OPEN, STATE_HALF_OPEN),
+            ("d0", STATE_HALF_OPEN, STATE_CLOSED),
+        ]

@@ -1,0 +1,262 @@
+"""Chaos harness properties: one result per job, resume convergence.
+
+These are the tests the whole self-healing layer answers to. Worker
+kills are scheduled deterministically (a :class:`ChaosPlan`), journals
+are torn the way ``kill -9`` tears them, and the invariants must hold:
+every admitted job gets exactly one result (no hangs, no duplicates),
+and a resumed run equals the uninterrupted one on every non-wall field.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultSpecError
+from repro.service import SolveRequest, run_batch
+from repro.service.chaos import (
+    ChaosKill,
+    ChaosMonkey,
+    ChaosPlan,
+    as_chaos_plan,
+    corrupt_journal_tail,
+)
+from repro.service.journal import read_journal
+
+pytestmark = [pytest.mark.service, pytest.mark.chaos]
+
+#: fields legitimately differing between otherwise-identical runs: wall
+#: clocks, worker assignment, and cache attribution (a recovered job
+#: re-runs against whatever the cache already holds)
+VARIABLE_FIELDS = ("queue_wait_s", "worker", "wall_seconds", "cache")
+
+
+def reqs(count, n=40):
+    return [SolveRequest(job_id=f"j{i}", n=n, seed=1 + i)
+            for i in range(count)]
+
+
+def stripped(report):
+    """Result dicts in index order with wall-clock fields removed."""
+    out = []
+    for r in report.results:
+        d = r.as_dict()
+        for key in VARIABLE_FIELDS:
+            d.pop(key, None)
+        out.append(d)
+    return out
+
+
+def journal_prefix(src, dst, upto_finished):
+    """Copy *src* up to its ``upto_finished``-th finished event.
+
+    ``0`` keeps only the admission prologue — the journal an admission-
+    complete but work-free interruption leaves behind. Always cuts at an
+    event boundary (whole lines).
+    """
+    lines = src.read_text().splitlines()
+    if upto_finished == 0:
+        keep = []
+        for line in lines:
+            if json.loads(line)["event"] not in ("batch", "admitted"):
+                break
+            keep.append(line)
+    else:
+        keep = []
+        count = 0
+        for line in lines:
+            keep.append(line)
+            if json.loads(line)["event"] == "finished":
+                count += 1
+                if count == upto_finished:
+                    break
+    dst.write_text("\n".join(keep) + "\n")
+    return dst
+
+
+class TestPlanGrammar:
+    def test_parse_kill_and_rate_clauses(self):
+        plan = ChaosPlan.parse(
+            "kill:worker=0,pull=2;kill:worker=1,pull=3,phase=end;"
+            "rate:kill=0.25,seed=7")
+        assert plan.kills == (ChaosKill(0, 2), ChaosKill(1, 3, "end"))
+        assert plan.kill_rate == 0.25 and plan.seed == 7
+        assert not plan.is_empty
+
+    def test_as_chaos_plan_normalizes(self):
+        assert as_chaos_plan(None) is None
+        plan = ChaosPlan(kills=(ChaosKill(0, 1),))
+        assert as_chaos_plan(plan) is plan
+        assert as_chaos_plan("kill:worker=0,pull=1").kills == (ChaosKill(0, 1),)
+
+    def test_empty_plan_is_empty(self):
+        assert ChaosPlan().is_empty
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(FaultSpecError, match="empty chaos spec"):
+            ChaosPlan.parse("  ")
+        with pytest.raises(FaultSpecError, match="unknown chaos clause"):
+            ChaosPlan.parse("explode:worker=0")
+        with pytest.raises(FaultSpecError, match="unknown keys"):
+            ChaosPlan.parse("kill:worker=0,pull=1,how=hard")
+        with pytest.raises(FaultSpecError, match="phase"):
+            ChaosPlan.parse("kill:worker=0,pull=1,phase=middle")
+        with pytest.raises(FaultSpecError, match="pull ordinal"):
+            ChaosKill(worker=0, pull=0)
+        with pytest.raises(FaultSpecError, match="rate"):
+            ChaosPlan(kill_rate=1.5)
+
+
+class TestMonkey:
+    def test_planned_kill_fires_at_exact_coordinates(self):
+        monkey = ChaosPlan.parse("kill:worker=1,pull=2,phase=end").monkey()
+        assert not monkey.should_kill(1, 2, "start")
+        assert not monkey.should_kill(0, 2, "end")
+        assert monkey.should_kill(1, 2, "end")
+        assert monkey.kills_delivered == 1
+
+    def test_rate_kills_are_deterministic_per_slot(self):
+        plan = ChaosPlan(kill_rate=0.3, seed=42)
+        draws = [
+            [plan.monkey().should_kill(w, p, "start") for w in range(3)
+             for p in range(1, 15)]
+            for _ in range(2)
+        ]
+        # same plan, same coordinates -> identical kill schedule
+        assert draws[0] == draws[1]
+        assert any(draws[0])
+
+    def test_rate_never_fires_on_phase_end(self):
+        monkey = ChaosPlan(kill_rate=1.0, seed=0).monkey()
+        assert not monkey.should_kill(0, 1, "end")
+        assert monkey.should_kill(0, 1, "start")
+
+
+KILL_SCHEDULES = [
+    "",
+    "kill:worker=0,pull=1",
+    "kill:worker=0,pull=2,phase=end",
+    "kill:worker=0,pull=1;kill:worker=1,pull=1",
+    "kill:worker=0,pull=1;kill:worker=0,pull=3;kill:worker=1,pull=2",
+]
+
+
+class TestOneResultPerJob:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("schedule", KILL_SCHEDULES)
+    def test_exactly_one_result_per_job(self, workers, schedule):
+        jobs = reqs(5)
+        report = run_batch(jobs, workers=workers,
+                           chaos=schedule or None,
+                           poll_interval_s=0.01)
+        ids = [r.job_id for r in report.results]
+        assert sorted(ids) == sorted(j.job_id for j in jobs)
+        assert len(ids) == len(set(ids))
+        assert report.abandoned == 0
+
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        kills=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(1, 6),
+                      st.sampled_from(["start", "end"])),
+            max_size=3, unique=True),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_no_schedule_breaks_the_invariant(self, workers, kills):
+        plan = ChaosPlan(kills=tuple(
+            ChaosKill(worker=w, pull=p, phase=ph) for w, p, ph in kills))
+        jobs = reqs(4)
+        report = run_batch(jobs, workers=workers, chaos=plan,
+                           poll_interval_s=0.01)
+        ids = sorted(r.job_id for r in report.results)
+        assert ids == sorted(j.job_id for j in jobs)
+        assert report.abandoned == 0
+
+    def test_chaos_results_match_calm_results(self):
+        # recovery must not change any modeled field: kills only cost
+        # wall time, never answers
+        calm = run_batch(reqs(4), workers=1)
+        stormy = run_batch(reqs(4), workers=1,
+                           chaos="kill:worker=0,pull=1;kill:worker=0,pull=4,phase=end",
+                           poll_interval_s=0.01)
+        assert stormy.supervisor["crashes"] == 2
+        assert stripped(stormy) == stripped(calm)
+
+
+class TestResumeConvergence:
+    def run_baseline(self, tmp_path, count=4):
+        journal = tmp_path / "full.journal"
+        report = run_batch(reqs(count), workers=1, journal_path=journal,
+                           poll_interval_s=0.01)
+        assert report.ok
+        return report, journal
+
+    @pytest.mark.parametrize("upto_finished", [0, 1, 2, 4])
+    def test_resume_equals_uninterrupted(self, tmp_path, upto_finished):
+        baseline, journal = self.run_baseline(tmp_path)
+        cut = journal_prefix(journal, tmp_path / "cut.journal",
+                             upto_finished)
+        resumed = run_batch(resume_from=cut, poll_interval_s=0.01)
+        assert resumed.ok
+        assert resumed.replayed == upto_finished
+        assert stripped(resumed) == stripped(baseline)
+        # the resumed journal is itself complete: nothing left pending
+        replay = read_journal(cut)
+        assert replay.pending == []
+        assert replay.cuts[-1] == "complete"
+
+    @pytest.mark.parametrize("mode", ["truncate", "garbage", "flip"])
+    def test_resume_survives_torn_tail(self, tmp_path, mode):
+        baseline, journal = self.run_baseline(tmp_path)
+        cut = journal_prefix(journal, tmp_path / "torn.journal", 2)
+        corrupt_journal_tail(cut, mode=mode, seed=3)
+        replay = read_journal(cut)
+        assert replay.dropped_lines == 1
+        resumed = run_batch(resume_from=cut, poll_interval_s=0.01)
+        assert resumed.ok
+        assert stripped(resumed) == stripped(baseline)
+
+    def test_predrained_run_resumes_to_completion(self, tmp_path):
+        import threading
+
+        baseline = run_batch(reqs(4), workers=1)
+        journal = tmp_path / "drained.journal"
+        stop = threading.Event()
+        stop.set()  # drain before the first admission
+        first = run_batch(reqs(4), workers=1, journal_path=journal,
+                          stop=stop, poll_interval_s=0.01)
+        assert first.drained and not first.ok
+        assert first.results == []
+        replay = read_journal(journal)
+        assert replay.pending == [0, 1, 2, 3]  # admitted up front
+        assert replay.cuts == ["drained"]
+        resumed = run_batch(resume_from=journal, poll_interval_s=0.01)
+        assert resumed.ok and resumed.replayed == 0
+        assert stripped(resumed) == stripped(baseline)
+
+    def test_chaos_kills_leave_a_resumable_journal(self, tmp_path):
+        # a run that needed recovery still journals one finished event
+        # per job; a resume of its complete journal replays everything
+        journal = tmp_path / "stormy.journal"
+        report = run_batch(reqs(4), workers=1, journal_path=journal,
+                           chaos="kill:worker=0,pull=2",
+                           poll_interval_s=0.01)
+        assert report.ok
+        replay = read_journal(journal)
+        assert replay.pending == []
+        assert len(replay.finished) == 4
+
+
+class TestCorruptionTool:
+    def test_unknown_mode_rejected(self, tmp_path):
+        p = tmp_path / "j.journal"
+        p.write_text("line\n")
+        with pytest.raises(ValueError, match="unknown corruption mode"):
+            corrupt_journal_tail(p, mode="shred")
+
+    def test_empty_file_is_a_noop(self, tmp_path):
+        p = tmp_path / "empty.journal"
+        p.write_text("")
+        corrupt_journal_tail(p, mode="flip")
+        assert p.read_bytes() == b""

@@ -9,7 +9,8 @@ from repro.cli import main
 
 pytestmark = pytest.mark.service
 
-DATA = Path(__file__).resolve().parents[2] / "data" / "sample52-uniform.tsp"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DATA = REPO_ROOT / "data" / "sample52-uniform.tsp"
 
 
 def write_manifest(tmp_path, lines):
@@ -101,3 +102,146 @@ class TestBatchCommand:
                  if e.get("name") == "thread_name"}
         assert any(n.startswith("worker#") for n in names) or any(
             l.startswith("worker#") for l in lanes)
+
+
+class TestRobustnessFlags:
+    def test_journal_written_and_resume_replays(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [
+            {"id": f"j{i}", "n": 64, "seed": i} for i in range(3)
+        ])
+        journal = tmp_path / "run.journal"
+        assert main(["batch", str(m), "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        events = [json.loads(line)["event"]
+                  for line in journal.read_text().splitlines()]
+        assert events[0] == "batch"
+        assert events.count("admitted") == 3
+        assert events.count("finished") == 3
+        assert events[-1] == "cut"
+
+        # resuming a complete journal replays every result verbatim
+        assert main(["batch", "--resume-journal", str(journal)]) == 0
+        out, _ = capsys.readouterr()
+        replayed = [json.loads(line) for line in out.splitlines() if line]
+        assert sorted(r["id"] for r in replayed) == ["j0", "j1", "j2"]
+        assert all(r["status"] == "ok" for r in replayed)
+
+    def test_manifest_and_resume_conflict_exits_2(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [{"id": "a", "n": 64}])
+        assert main(["batch", str(m),
+                     "--resume-journal", str(tmp_path / "j")]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_manifest_nor_resume_exits_2(self, capsys):
+        assert main(["batch"]) == 2
+        assert "needs a MANIFEST" in capsys.readouterr().err
+
+    def test_missing_resume_journal_exits_2(self, tmp_path, capsys):
+        assert main(["batch", "--resume-journal",
+                     str(tmp_path / "ghost.journal")]) == 2
+        assert "cannot read journal" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_exits_2(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [{"id": "a", "n": 64}])
+        assert main(["batch", str(m), "--chaos", "explode:now=1"]) == 2
+        assert "chaos" in capsys.readouterr().err
+
+    def test_poison_job_quarantine_exits_6(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [
+            {"id": f"j{i}", "n": 64, "seed": i} for i in range(3)
+        ])
+        journal = tmp_path / "run.journal"
+        # slot 0's pulls 1 and 4 are the same requeued job: poison
+        assert main(["batch", str(m), "--workers", "1",
+                     "--journal", str(journal),
+                     "--chaos", "kill:worker=0,pull=1;kill:worker=0,pull=4",
+                     ]) == 6
+        out, err = capsys.readouterr()
+        statuses = [json.loads(l)["status"] for l in out.splitlines() if l]
+        assert statuses.count("quarantined") == 1
+        assert statuses.count("ok") == 2
+        assert "quarantined" in err
+        sidecar = Path(str(journal) + ".quarantine.jsonl")
+        assert sidecar.exists()
+        assert len(sidecar.read_text().splitlines()) == 1
+
+    def test_breaker_fast_fails_open_device(self, tmp_path, capsys):
+        # every job hard-drops its only device; after the first real
+        # failure the breaker opens and the rest fail fast
+        m = write_manifest(tmp_path, [
+            {"id": f"j{i}", "n": 64, "seed": i,
+             "inject_faults": "dropout:device=0,after=0", "retries": 1}
+            for i in range(3)
+        ])
+        assert main(["batch", str(m), "--workers", "1",
+                     "--breaker-failures", "1"]) == 1
+        out, _ = capsys.readouterr()
+        errors = [json.loads(l)["error"] for l in out.splitlines() if l]
+        assert len(errors) == 3
+        assert sum("circuit breaker open" in e for e in errors) == 2
+
+    def test_breaker_zero_disables(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [
+            {"id": f"j{i}", "n": 64, "seed": i,
+             "inject_faults": "dropout:device=0,after=0", "retries": 1}
+            for i in range(3)
+        ])
+        assert main(["batch", str(m), "--workers", "1",
+                     "--breaker-failures", "0"]) == 1
+        out, _ = capsys.readouterr()
+        errors = [json.loads(l)["error"] for l in out.splitlines() if l]
+        assert not any("circuit breaker" in e for e in errors)
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_exit_5_then_resume_completes(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        m = write_manifest(tmp_path, [
+            {"id": f"j{i}", "n": 300, "seed": i} for i in range(40)
+        ])
+        journal = tmp_path / "run.journal"
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.Popen(
+            # a shallow queue paces admissions, so the stop signal still
+            # has admissions left to cut (a full-depth queue would have
+            # admitted everything up front and completed normally)
+            [sys.executable, "-m", "repro.cli", "batch", str(m),
+             "--journal", str(journal), "--workers", "1",
+             "--queue-depth", "2"],
+            cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        try:
+            # wait for the first finished event, then ask for the drain
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if journal.exists() and b'"finished"' in journal.read_bytes():
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("batch never finished a single job")
+            proc.send_signal(signal.SIGTERM)
+            _out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 5, err.decode()
+        assert b"draining" in err
+        assert b"resume with --resume-journal" in err
+
+        # the journal records the cut; a resume finishes the batch
+        events = [json.loads(line) for line in
+                  journal.read_text().splitlines()]
+        cuts = [e for e in events if e["event"] == "cut"]
+        assert cuts and cuts[-1]["reason"] == "drained"
+        assert main(["batch", "--resume-journal", str(journal)]) == 0
+        finished = {e["index"] for e in
+                    [json.loads(line) for line in
+                     journal.read_text().splitlines()]
+                    if e["event"] == "finished"}
+        assert finished == set(range(40))

@@ -1,0 +1,166 @@
+"""Durable job journal: write/replay round-trips and corruption rules."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.service.jobs import SolveRequest, SolveResult
+from repro.service.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalWriter,
+    quarantine_path_for,
+    read_journal,
+)
+
+pytestmark = pytest.mark.service
+
+
+def write_small_journal(path, jobs=3, finish=(0, 2)):
+    """A journal with *jobs* admitted jobs and ``finish`` finished ones."""
+    with JournalWriter(path) as w:
+        w.batch(jobs=jobs)
+        for i in range(jobs):
+            w.admitted(i, SolveRequest(job_id=f"j{i}", n=50 + i, seed=i))
+        for i in finish:
+            w.started(i, f"j{i}", worker=0)
+            w.finished(SolveResult(job_id=f"j{i}", status="ok",
+                                   instance=f"synthetic-{50 + i}-seed{i}",
+                                   final_length=100.0 + i, index=i))
+    return path
+
+
+class TestRoundTrip:
+    def test_replay_reconstructs_requests_and_results(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        replay = read_journal(p)
+        assert replay.total_jobs == 3
+        assert sorted(replay.requests) == [0, 1, 2]
+        assert replay.requests[1].job_id == "j1"
+        assert replay.requests[1].n == 51
+        assert replay.finished[0].final_length == 100.0
+        assert replay.pending == [1]
+        assert replay.dropped_lines == 0
+        assert replay.started == {0: 0, 2: 0}
+
+    def test_every_line_carries_valid_crc(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        import zlib
+        for line in p.read_text().splitlines():
+            body = json.loads(line)
+            crc = body.pop("crc")
+            canonical = json.dumps(body, sort_keys=True,
+                                   separators=(",", ":"))
+            assert zlib.crc32(canonical.encode()) == crc
+            assert body["v"] == JOURNAL_SCHEMA_VERSION
+
+    def test_sequence_numbers_are_contiguous(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        seqs = [json.loads(line)["seq"] for line in p.read_text().splitlines()]
+        assert seqs == list(range(len(seqs)))
+
+    def test_latest_finished_event_wins(self, tmp_path):
+        p = tmp_path / "run.journal"
+        with JournalWriter(p) as w:
+            w.batch(jobs=1)
+            w.admitted(0, SolveRequest(job_id="j0", n=50))
+            w.finished(SolveResult(job_id="j0", status="failed",
+                                   error="first try", index=0))
+            # a resume segment re-ran the job successfully
+            w.resumed(pending=1)
+            w.finished(SolveResult(job_id="j0", status="ok",
+                                   final_length=7.0, index=0))
+            w.cut("complete", finished=1)
+        replay = read_journal(p)
+        assert replay.finished[0].status == "ok"
+        assert replay.pending == []
+        assert replay.cuts == ["complete"]
+
+    def test_writer_close_is_idempotent(self, tmp_path):
+        w = JournalWriter(tmp_path / "run.journal")
+        w.batch(jobs=0)
+        w.close()
+        w.close()
+
+    def test_unwritable_path_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot open journal"):
+            JournalWriter(tmp_path / "no" / "such" / "dir" / "run.journal")
+
+
+class TestTornTail:
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        data = p.read_bytes()
+        p.write_bytes(data[:-20])
+        replay = read_journal(p)
+        assert replay.dropped_lines == 1
+        # the torn line was j2's finished event, so j2 is pending again
+        assert replay.pending == [1, 2]
+
+    def test_appended_garbage_is_dropped(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        with p.open("ab") as fh:
+            fh.write(b'{"v": 1, "seq": \xff\xfe junk')
+        replay = read_journal(p)
+        assert replay.dropped_lines == 1
+        assert replay.pending == [1]
+
+    def test_checksum_failing_tail_is_dropped(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        lines = p.read_text().splitlines()
+        # valid JSON, wrong crc: a torn sector that still parses
+        tampered = json.loads(lines[-1])
+        tampered["index"] = 99
+        lines[-1] = json.dumps(tampered, sort_keys=True)
+        p.write_text("\n".join(lines) + "\n")
+        replay = read_journal(p)
+        assert replay.dropped_lines == 1
+
+    def test_interior_corruption_refuses_resume(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        lines = p.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # damage a middle line
+        p.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="followed by valid"):
+            read_journal(p)
+
+
+class TestRejection:
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot read"):
+            read_journal(tmp_path / "ghost.journal")
+
+    def test_no_admitted_jobs_raises(self, tmp_path):
+        p = tmp_path / "empty.journal"
+        with JournalWriter(p) as w:
+            w.batch(jobs=0)
+        with pytest.raises(JournalError, match="no admitted jobs"):
+            read_journal(p)
+
+    def test_future_schema_version_raises(self, tmp_path):
+        p = tmp_path / "future.journal"
+        from repro.service.journal import _line_crc
+        body = {"v": JOURNAL_SCHEMA_VERSION + 1, "seq": 0, "event": "batch",
+                "jobs": 1}
+        body["crc"] = _line_crc(body)
+        p.write_text(json.dumps(body, sort_keys=True) + "\n")
+        with pytest.raises(JournalError, match="schema version"):
+            read_journal(p)
+
+    def test_unknown_event_raises(self, tmp_path):
+        p = tmp_path / "odd.journal"
+        from repro.service.journal import _line_crc
+        body = {"v": JOURNAL_SCHEMA_VERSION, "seq": 0, "event": "levitated"}
+        body["crc"] = _line_crc(body)
+        p.write_text(json.dumps(body, sort_keys=True) + "\n")
+        with pytest.raises(JournalError, match="unknown journal event"):
+            read_journal(p)
+
+
+class TestQuarantinePath:
+    def test_sidecar_name(self, tmp_path):
+        j = tmp_path / "run.journal"
+        assert quarantine_path_for(j) == tmp_path / "run.journal.quarantine.jsonl"
+
+    def test_none_passes_through(self):
+        assert quarantine_path_for(None) is None

@@ -1,4 +1,6 @@
-"""Admission control and deadline stamping in :class:`JobQueue`."""
+"""Admission control, deadline stamping, and shutdown races in :class:`JobQueue`."""
+
+import threading
 
 import pytest
 
@@ -78,3 +80,82 @@ class TestDeadlines:
         assert inherited.deadline_at == 19.0
         assert unbounded.deadline_at is None
         assert not unbounded.expired(1e9)
+
+
+class TestShutdownRaces:
+    def test_blocked_submit_raises_when_closed_underneath(self):
+        # a producer stuck in submit(block=True) on a full queue must be
+        # woken by close() and refused, not left waiting forever
+        q = JobQueue(max_depth=1)
+        q.submit(req("a"))
+        outcome = {}
+
+        def producer():
+            try:
+                q.submit(req("late"), block=True)
+                outcome["result"] = "admitted"
+            except QueueClosedError:
+                outcome["result"] = "refused"
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        # give the producer time to park inside the full-queue wait
+        # (close() refuses the submit on either side of the race)
+        import time
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert outcome["result"] == "refused"
+        assert q.depth == 1  # the blocked job was never admitted
+
+    def test_blocked_pull_wakes_on_close(self):
+        q = JobQueue(max_depth=2)
+        pulled = {}
+
+        def consumer():
+            pulled["job"] = q.pull()
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        q.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert pulled["job"] is None
+
+    def test_close_drains_queued_work_before_none(self):
+        q = JobQueue(max_depth=4)
+        q.submit(req("a"))
+        q.submit(req("b"))
+        q.close()
+        assert q.pull().request.job_id == "a"
+        assert not q.closed_and_empty
+        assert q.pull().request.job_id == "b"
+        assert q.closed_and_empty
+        assert q.pull() is None
+
+    def test_closed_and_empty_is_one_atomic_read(self):
+        q = JobQueue(max_depth=2)
+        assert not q.closed_and_empty  # open
+        q.submit(req("a"))
+        q.close()
+        assert q.closed  # closed but not empty
+        assert not q.closed_and_empty
+        q.pull()
+        assert q.closed_and_empty
+
+    def test_pool_join_timeout_returns_with_stragglers(self):
+        # a worker parked in pull() on an open queue is a straggler;
+        # join(timeout=...) must hand control back instead of hanging
+        from repro.service.cache import ArtifactCache
+        from repro.service.pool import WorkerPool
+
+        q = JobQueue(max_depth=2)
+        pool = WorkerPool(q, ArtifactCache(), workers=2)
+        pool.start()
+        pool.join(timeout=0.1)
+        assert pool.any_alive()  # stragglers survived the bounded join
+        assert pool.alive_count() == 2
+        q.close()
+        pool.join(timeout=5.0)
+        assert not pool.any_alive()

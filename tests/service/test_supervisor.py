@@ -1,0 +1,154 @@
+"""Dead-worker recovery: requeue, respawn budget, poison quarantine."""
+
+import json
+
+import pytest
+
+from repro.service import ArtifactCache, SolveRequest, run_batch
+from repro.service.batch import BatchStats, iter_batch
+from repro.service.jobs import STATUS_CRASHED, STATUS_QUARANTINED
+from repro.service.queue import JobQueue, QueuedJob
+from repro.service.supervisor import Supervisor, WorkerState
+
+pytestmark = pytest.mark.service
+
+
+def reqs(count, n=60):
+    return [SolveRequest(job_id=f"j{i}", n=n, seed=1) for i in range(count)]
+
+
+class TestWorkerState:
+    def test_take_current_claims_exactly_once(self):
+        state = WorkerState(0)
+        job = QueuedJob(request=SolveRequest(job_id="x", n=50),
+                        submitted_at=0.0, deadline_at=None, index=0)
+        assert state.note_pull(job, 1.0) == 1
+        assert state.busy
+        assert state.take_current() is job
+        assert state.take_current() is None
+        assert not state.busy
+
+    def test_pull_ordinals_count_across_notes(self):
+        state = WorkerState(0)
+        job = QueuedJob(request=SolveRequest(job_id="x", n=50),
+                        submitted_at=0.0, deadline_at=None, index=0)
+        for expected in (1, 2, 3):
+            assert state.note_pull(job, 0.0) == expected
+            state.note_done(0.0)
+        snap = state.as_dict()
+        assert snap["pulls"] == 3 and snap["completed"] == 3
+
+    def test_poison_kills_must_be_positive(self):
+        class PoolStub:
+            """Minimal pool shape the Supervisor constructor touches."""
+            workers = 1
+        with pytest.raises(ValueError, match="poison_kills"):
+            Supervisor(PoolStub(), poison_kills=0)
+
+
+class TestRecovery:
+    def test_killed_job_is_requeued_and_completes(self):
+        # slot 0's first pull dies before the job runs; the supervisor
+        # requeues it and respawns the worker, so everything finishes ok
+        report = run_batch(reqs(3), workers=1,
+                           chaos="kill:worker=0,pull=1",
+                           poll_interval_s=0.01)
+        assert report.ok
+        assert len(report.results) == 3
+        assert report.supervisor["crashes"] == 1
+        assert report.supervisor["restarts"] == 1
+        assert report.supervisor["requeued"] == 1
+        assert report.supervisor["quarantined"] == 0
+
+    def test_phase_end_kill_loses_the_work_not_the_job(self):
+        # the result was computed but never delivered; the re-run must
+        # produce the identical answer (determinism) with one crash
+        baseline = run_batch(reqs(2), workers=1)
+        report = run_batch(reqs(2), workers=1,
+                           chaos="kill:worker=0,pull=2,phase=end",
+                           poll_interval_s=0.01)
+        assert report.ok
+        assert report.supervisor["crashes"] == 1
+        assert ([r.final_length for r in report.results]
+                == [r.final_length for r in baseline.results])
+
+    def test_poison_job_is_quarantined_with_sidecar(self, tmp_path):
+        # job at index 1 kills its worker on both attempts (pulls 2 and
+        # 3 of slot 0 are the same requeued job)
+        sidecar = tmp_path / "q.jsonl"
+        stats = BatchStats()
+        results = list(iter_batch(
+            reqs(4), workers=1, chaos="kill:worker=0,pull=2;kill:worker=0,pull=5",
+            poison_kills=2, quarantine_path=sidecar,
+            poll_interval_s=0.01, stats=stats,
+        ))
+        assert len(results) == 4
+        statuses = {r.job_id: r.status for r in results}
+        assert STATUS_QUARANTINED in statuses.values()
+        assert stats.supervisor["crashes"] == 2
+        assert stats.supervisor["quarantined"] == 1
+        assert stats.supervisor["requeued"] == 1
+        records = [json.loads(line) for line in
+                   sidecar.read_text().splitlines()]
+        assert len(records) == 1
+        quarantined_id = next(j for j, s in statuses.items()
+                              if s == STATUS_QUARANTINED)
+        assert records[0]["id"] == quarantined_id
+        assert records[0]["request"]["n"] == 60
+
+    def test_exhausted_restart_budget_synthesizes_crashed(self):
+        # one worker, zero restarts: its death strands the backlog, and
+        # the supervisor must fail every leftover job instead of hanging
+        stats = BatchStats()
+        results = list(iter_batch(
+            reqs(3), workers=1, chaos="kill:worker=0,pull=1",
+            max_restarts=0, poll_interval_s=0.01, stats=stats,
+        ))
+        assert len(results) == 3  # exactly one result per job, no hang
+        assert all(r.status == STATUS_CRASHED for r in results)
+        assert all("restart budget" in r.error for r in results)
+        assert stats.supervisor["restarts"] == 0
+
+    def test_survivors_cover_for_a_dead_peer(self):
+        # two workers, one dies and cannot respawn: the survivor must
+        # finish the whole batch including the requeued orphan. Jobs are
+        # sized well above the poll interval so the supervision pass that
+        # requeues the orphan runs while the survivor is still working.
+        report = run_batch(reqs(6, n=250), workers=2,
+                           chaos="kill:worker=0,pull=1",
+                           max_restarts=0, poll_interval_s=0.001)
+        assert report.ok
+        assert len(report.results) == 6
+        assert report.supervisor["crashes"] == 1
+        assert report.supervisor["requeued"] == 1
+        assert report.supervisor["restarts"] == 0
+
+    def test_healthy_pool_reports_quiet_supervision(self):
+        report = run_batch(reqs(4), workers=2, cache=ArtifactCache())
+        assert report.ok
+        assert report.supervisor == {
+            "crashes": 0, "restarts": 0, "quarantined": 0,
+            "requeued": 0, "max_restarts": 4,
+        }
+
+
+class TestQueueRecoveryPaths:
+    def test_requeue_bypasses_close_and_depth(self):
+        q = JobQueue(max_depth=1)
+        job = q.submit(SolveRequest(job_id="a", n=50))
+        pulled = q.pull()
+        q.close()
+        q.requeue(pulled)  # owed a result: re-admission must succeed
+        assert q.depth == 1
+        assert not q.closed_and_empty
+        assert q.pull() is job
+        assert q.closed_and_empty
+
+    def test_drain_nowait_empties_atomically(self):
+        q = JobQueue(max_depth=4)
+        for i in range(3):
+            q.submit(SolveRequest(job_id=f"j{i}", n=50))
+        drained = q.drain_nowait()
+        assert [j.request.job_id for j in drained] == ["j0", "j1", "j2"]
+        assert q.depth == 0
+        assert q.drain_nowait() == []

@@ -11,8 +11,10 @@ from repro.telemetry import (
     write_dashboard,
 )
 from repro.telemetry.dashboard import (
+    HEALTH_METRICS,
     TREND_METRICS,
     ascii_sparkline,
+    service_health_rows,
     trace_lanes,
     trace_roofline_points,
     trend_series,
@@ -117,6 +119,62 @@ class TestTrends:
         assert ascii_sparkline([None, None]) == ""
         # a flat series renders, it does not divide by zero
         assert len(ascii_sparkline([2.0, 2.0])) == 2
+
+
+def service_run(label="svc", **overrides):
+    """A ledger run with one service scenario carrying health vitals."""
+    vitals = {
+        "jobs_ok": 5.0, "jobs_total": 6.0, "jobs_crashed": 0.0,
+        "jobs_quarantined": 1.0, "supervisor_crashes": 2.0,
+        "supervisor_restarts": 1.0, "supervisor_requeued": 1.0,
+        "breaker_opened": 0.0, "breaker_fast_fails": 0.0,
+        "wall_seconds": 0.4,  # non-health metric: must not leak into vitals
+    }
+    vitals.update(overrides)
+    return BenchRun(
+        label=label, created="2026-02-01T00:00:00Z", smoke=True,
+        results=(ScenarioResult("service-chaos", 100, "host", "service",
+                                vitals),),
+    )
+
+
+class TestServiceHealth:
+    def test_rows_from_latest_run_service_scenarios_only(self):
+        runs = ledger_runs(2) + [service_run()]
+        rows = service_health_rows(runs)
+        assert len(rows) == 1
+        assert rows[0]["scenario"] == "service-chaos"
+        assert set(rows[0]["vitals"]) <= set(HEALTH_METRICS)
+        assert rows[0]["vitals"]["jobs_quarantined"] == 1.0
+        assert "wall_seconds" not in rows[0]["vitals"]
+
+    def test_no_service_scenarios_means_no_rows(self):
+        assert service_health_rows(ledger_runs()) == []
+        assert service_health_rows([]) == []
+        # service run present but not latest: the panel shows the latest
+        assert service_health_rows([service_run()] + ledger_runs(1)) == []
+
+    def test_ascii_dashboard_renders_health_table(self):
+        out = render_dashboard_ascii(ledger_runs(1) + [service_run()])
+        assert "Service health" in out
+        assert "service-chaos" in out
+        assert "jobs_quarantined" in out
+
+    def test_html_panel_flags_recovery_activity(self):
+        html_out = render_dashboard_html(ledger_runs(1) + [service_run()])
+        assert "Service health" in html_out
+        assert "service-chaos ⚠" in html_out   # quarantine fired
+
+    def test_html_panel_quiet_run_unflagged_with_gaps(self):
+        run = service_run(jobs_quarantined=0.0, supervisor_crashes=0.0)
+        del run.results[0].metrics["breaker_fast_fails"]
+        html_out = render_dashboard_html([run])
+        assert "Service health" in html_out
+        assert "service-chaos ⚠" not in html_out  # legend keeps the glyph
+        assert "<td>-</td>" in html_out       # absent vital renders as a gap
+
+    def test_html_without_service_rows_omits_panel(self):
+        assert "Service health" not in render_dashboard_html(ledger_runs())
 
 
 class TestAsciiDashboard:
