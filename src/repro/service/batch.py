@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import queue as stdlib_queue
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,7 +54,12 @@ from repro.service.jobs import (
     SolveRequest,
     SolveResult,
 )
-from repro.service.journal import JournalWriter, quarantine_path_for, read_journal
+from repro.service.journal import (
+    JournalWriter,
+    quarantine_path_for,
+    read_journal,
+    repair_torn_tail,
+)
 from repro.service.queue import JobQueue
 from repro.service.pool import WorkerPool
 from repro.service.supervisor import DEFAULT_POISON_KILLS, Supervisor
@@ -147,7 +153,10 @@ def iter_batch(
     admitted request — worker deaths are recovered by the supervisor —
     except for jobs abandoned at an explicit drain deadline (counted in
     ``stats.abandoned``). The pool always shuts down, even if the
-    consumer abandons the generator early.
+    consumer abandons the generator early; an abort (``GeneratorExit``,
+    ``KeyboardInterrupt``, or any other ``BaseException``) skips the
+    drain soak entirely and abandons in-flight jobs immediately — the
+    journal keeps them pending, so a resume completes them.
 
     *indices* overrides the batch position stamped on each request
     (resume runs re-submit surviving jobs under their original
@@ -194,6 +203,7 @@ def iter_batch(
             except stdlib_queue.Empty:
                 supervisor.check()
 
+    aborted = False
     try:
         for position, request in enumerate(requests):
             if stop is not None and stop.is_set():
@@ -234,11 +244,22 @@ def iter_batch(
                 break
             yield _book_job(result)
             pending -= 1
+    except BaseException:
+        # KeyboardInterrupt (second-signal abort), GeneratorExit (the
+        # consumer closed us), SystemExit: leave fast, don't soak
+        aborted = True
+        raise
     finally:
         jobs.close()
-        # consumer abandoned the generator early (or we cut the drain):
-        # soak up whatever is still in flight so join() cannot hang, but
-        # never unboundedly — supervision keeps recovery moving
+        if aborted:
+            # abort means *now*: abandon in-flight work instead of
+            # waiting out the drain budget; the journal keeps the jobs
+            # pending so a resume completes them
+            stats.abandoned += pending
+            pending = 0
+        # normal exit with leftovers (we cut the drain): soak up what is
+        # still in flight so join() cannot hang, but never unboundedly —
+        # supervision keeps recovery moving
         soak_deadline = clock() + (drain_timeout_s
                                    if drain_timeout_s is not None
                                    else DEFAULT_DRAIN_TIMEOUT_S)
@@ -247,7 +268,8 @@ def iter_batch(
                 stats.abandoned += pending
                 break
             pending -= 1
-        pool.join(timeout=poll_interval_s if stats.abandoned else None)
+        pool.join(timeout=poll_interval_s
+                  if (stats.abandoned or aborted) else None)
         stats.supervisor = supervisor.as_dict()
         if breakers is not None:
             stats.breakers = breakers.as_dict()
@@ -393,12 +415,17 @@ def run_batch(
 
     With *journal_path* every admitted job and every result is written
     through a durable :class:`~repro.service.journal.JournalWriter`
-    before the run proceeds. With *resume_from* (mutually exclusive
-    with *requests*) a previous journal is replayed: recorded results
-    are re-emitted verbatim (``report.replayed`` counts them) and only
-    the jobs without a ``finished`` event are re-run, appending to the
-    same journal — the resumed report equals the uninterrupted one on
-    all non-wall fields because the solver stack is deterministic.
+    before the run proceeds — except ``rejected`` results: a job turned
+    away for transient queue capacity stays pending in the journal so a
+    resume re-runs it instead of freezing the hiccup into a permanent
+    non-result. With *resume_from* (mutually exclusive with *requests*)
+    a previous journal is replayed: any torn tail is truncated off the
+    file first (so the resumed journal stays readable and re-resumable),
+    recorded results are re-emitted verbatim (``report.replayed`` counts
+    them) and only the jobs without a ``finished`` event are re-run,
+    appending to the same journal — the resumed report equals the
+    uninterrupted one on all non-wall fields because the solver stack is
+    deterministic.
 
     *breaker_failures* enables per-device circuit breakers (``None``
     uses the board default; ``0`` disables them). *chaos*, *stop*, and
@@ -415,6 +442,10 @@ def run_batch(
             raise ManifestError(
                 "pass a manifest or resume_from, not both")
         replay = read_journal(resume_from)
+        # truncate any torn tail before appending: new lines after
+        # leftover garbage would turn a tolerated tail into interior
+        # corruption and make a second resume impossible
+        repair_torn_tail(resume_from, replay)
         pending = replay.pending
         requests = [replay.requests[i] for i in pending]
         indices = pending
@@ -443,34 +474,51 @@ def run_batch(
 
     metrics = get_metrics()
     collected: list[SolveResult] = []
-    for result in replayed:
-        metrics.counter("service.jobs.replayed").inc()
-        collected.append(result)
-        if on_result is not None:
-            on_result(result)
-
     stats = BatchStats()
+    journaled = 0
+    batch = iter_batch(
+        requests, workers=workers, queue_depth=queue_depth,
+        default_deadline_s=default_deadline_s, cache=cache,
+        on_full=on_full, clock=clock, indices=indices, chaos=chaos,
+        breakers=breakers, journal=writer, max_restarts=max_restarts,
+        poison_kills=poison_kills,
+        quarantine_path=quarantine_path_for(journal_path),
+        poll_interval_s=poll_interval_s, stop=stop,
+        drain_timeout_s=drain_timeout_s, stats=stats,
+    )
     try:
-        for result in iter_batch(
-            requests, workers=workers, queue_depth=queue_depth,
-            default_deadline_s=default_deadline_s, cache=cache,
-            on_full=on_full, clock=clock, indices=indices, chaos=chaos,
-            breakers=breakers, journal=writer, max_restarts=max_restarts,
-            poison_kills=poison_kills,
-            quarantine_path=quarantine_path_for(journal_path),
-            poll_interval_s=poll_interval_s, stop=stop,
-            drain_timeout_s=drain_timeout_s, stats=stats,
-        ):
+        # re-emit recorded results inside the guarded block: even if the
+        # consumer's on_result raises mid-replay, the finally still cuts
+        # and closes the journal
+        for result in replayed:
+            metrics.counter("service.jobs.replayed").inc()
             collected.append(result)
-            if writer is not None:
+            if on_result is not None:
+                on_result(result)
+        for result in batch:
+            collected.append(result)
+            if writer is not None and result.status != STATUS_REJECTED:
+                # a capacity rejection is transient: leave the job
+                # pending in the journal so a resume re-runs it
                 writer.finished(result)
+                journaled += 1
             if on_result is not None:
                 on_result(result)
     finally:
+        # close the generator *before* the journal: its cleanup (fast on
+        # abort) runs while workers can still stamp `started` events,
+        # and the cut below must be the journal's last line
+        batch.close()
         if writer is not None:
-            finished = len(collected) - len(replayed)
-            writer.cut("drained" if stats.drained else "complete",
-                       finished=finished)
+            if sys.exc_info()[1] is not None:
+                reason = "aborted"
+            elif journaled == len(requests):
+                reason = "complete"
+            elif stats.drained:
+                reason = "drained"
+            else:
+                reason = "incomplete"
+            writer.cut(reason, finished=journaled)
             writer.close()
     _book_cache(cache)
     collected.sort(key=lambda r: (r.index, r.job_id))

@@ -65,25 +65,39 @@ class CircuitBreaker:
         self.transitions.append((self.state, to_state, now))
         self.state = to_state
 
+    def peek(self, now: float) -> bool:
+        """Would a job on this device be admitted at *now*? No state change.
+
+        Admission is split into :meth:`peek` and :meth:`commit` so the
+        board can evaluate every device in a multi-device pool before
+        claiming any half-open probe slot — a pool blocked by one device
+        must not leave phantom in-flight probes on the others.
+        """
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_OPEN:
+            return now - self.opened_at >= self.cooldown_s
+        # half-open: one probe in flight; re-probe if it went silent
+        return (self.probe_started_at is None
+                or now - self.probe_started_at >= self.cooldown_s)
+
+    def commit(self, now: float) -> None:
+        """Claim the admission :meth:`peek` granted (probe bookkeeping)."""
+        if self.state == STATE_OPEN:
+            self._transition(STATE_HALF_OPEN, now)
+            self.probe_started_at = now
+        elif self.state == STATE_HALF_OPEN:
+            self.probe_started_at = now
+
     def allow(self, now: float) -> bool:
         """May a job on this device proceed at monotonic time *now*?
 
         Open breakers admit one probe per cool-down window (moving to
         half-open); everything else is failed fast by the caller.
         """
-        if self.state == STATE_CLOSED:
-            return True
-        if self.state == STATE_OPEN:
-            if now - self.opened_at >= self.cooldown_s:
-                self._transition(STATE_HALF_OPEN, now)
-                self.probe_started_at = now
-                return True
+        if not self.peek(now):
             return False
-        # half-open: one probe in flight; re-probe if it went silent
-        if (self.probe_started_at is not None
-                and now - self.probe_started_at < self.cooldown_s):
-            return False
-        self.probe_started_at = now
+        self.commit(now)
         return True
 
     def record_success(self, now: float) -> None:
@@ -148,14 +162,20 @@ class BreakerBoard:
 
         Returns ``None`` when every breaker allows the job (possibly as
         a half-open probe); otherwise the first open device key, with
-        the fast-fail counted.
+        the fast-fail counted. Admission is all-or-nothing: probes are
+        only claimed once every device in the pool admits the job, so a
+        blocked (or fast-failed) job never strands a half-open breaker
+        with a phantom in-flight probe that no one will ever report.
         """
         with self._lock:
             now = self._clock()
-            for key in devices:
-                if not self._breaker(key).allow(now):
+            breakers = [self._breaker(key) for key in devices]
+            for breaker in breakers:
+                if not breaker.peek(now):
                     self.fast_fails += 1
-                    return key
+                    return breaker.key
+            for breaker in breakers:
+                breaker.commit(now)
             return None
 
     def report(self, devices: Iterable[str], *, ok: bool,

@@ -20,6 +20,15 @@ leaves at most a truncated or garbled final region, so trailing lines
 that fail to parse or checksum are dropped (and counted); a bad line
 *followed by a good line* is real corruption and raises
 :class:`~repro.errors.JournalError`.
+
+Tolerating a torn tail on *read* is not enough for *resume*: appending
+to a journal whose last line is garbage would concatenate the new
+``resumed`` event onto the leftover bytes, turning a harmless tail into
+interior corruption that poisons every later read. So replay also
+records ``valid_bytes`` — the byte offset just past the last valid line
+— and :func:`repair_torn_tail` truncates the file there before a
+resume's :class:`JournalWriter` opens it for append. A repaired journal
+stays readable (and resumable) any number of times.
 """
 
 from __future__ import annotations
@@ -80,8 +89,16 @@ class JournalWriter:
             raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
 
     def write(self, event: str, **payload) -> None:
-        """Append one CRC-stamped *event* line and force it to disk."""
+        """Append one CRC-stamped *event* line and force it to disk.
+
+        A no-op once the journal is closed: on an aborted run the
+        coordinator may close the writer while worker threads are still
+        finishing their last job, and a worker's late ``started`` stamp
+        must not crash the job it belongs to.
+        """
         with self._lock:
+            if self._fh.closed:
+                return
             body = {"v": JOURNAL_SCHEMA_VERSION, "seq": self._seq,
                     "event": event, **payload}
             body["crc"] = _line_crc(body)
@@ -115,7 +132,14 @@ class JournalWriter:
         self.write(EVENT_RESUMED, pending=pending)
 
     def cut(self, reason: str, finished: int) -> None:
-        """Record the end of a run segment (``complete`` or ``drained``)."""
+        """Record the end of a run segment.
+
+        *reason* is ``complete`` (every admitted job has a finished
+        event), ``drained`` (a stop signal or drain deadline cut the
+        segment), ``aborted`` (an exception — second signal, coordinator
+        crash — ended it), or ``incomplete`` (the segment ran to its end
+        but jobs are still pending, e.g. capacity rejections).
+        """
         self.write(EVENT_CUT, reason=reason, finished=finished)
 
     def close(self) -> None:
@@ -149,7 +173,10 @@ class JournalReplay:
     started: dict = field(default_factory=dict)
     #: torn-tail lines dropped at EOF (0 on a cleanly-closed journal)
     dropped_lines: int = 0
-    #: ``cut`` reasons seen, in order (``complete`` / ``drained``)
+    #: byte offset just past the last valid line (newline included) —
+    #: where :func:`repair_torn_tail` truncates before a resume appends
+    valid_bytes: int = 0
+    #: ``cut`` reasons seen, in order (see :meth:`JournalWriter.cut`)
     cuts: list = field(default_factory=list)
 
     @property
@@ -180,7 +207,16 @@ def read_journal(path: Union[str, Path]) -> JournalReplay:
 
     parsed: list = []  # (lineno, body) for good lines
     bad: list = []  # linenos of undecodable / checksum-failing lines
-    for lineno, raw_line in enumerate(raw_bytes.splitlines(), start=1):
+    valid_bytes = 0  # byte offset just past the last good line
+    pos = 0
+    lineno = 0
+    total = len(raw_bytes)
+    while pos < total:
+        nl = raw_bytes.find(b"\n", pos)
+        end = total if nl == -1 else nl + 1
+        raw_line = raw_bytes[pos : total if nl == -1 else nl]
+        pos = end
+        lineno += 1
         try:
             # a torn write can leave arbitrary bytes, not just bad JSON
             line = raw_line.decode("utf-8")
@@ -207,6 +243,7 @@ def read_journal(path: Union[str, Path]) -> JournalReplay:
                 f"{p}:{lineno}: unsupported journal schema version "
                 f"{body.get('v')!r} (expected {JOURNAL_SCHEMA_VERSION})")
         parsed.append((lineno, body))
+        valid_bytes = end
 
     if bad:
         last_good = parsed[-1][0] if parsed else 0
@@ -216,7 +253,7 @@ def read_journal(path: Union[str, Path]) -> JournalReplay:
                 f"{p}:{interior[0]}: corrupt journal line followed by valid "
                 f"lines — refusing to resume from a damaged journal")
 
-    replay = JournalReplay(dropped_lines=len(bad))
+    replay = JournalReplay(dropped_lines=len(bad), valid_bytes=valid_bytes)
     for lineno, body in parsed:
         event = body.get("event")
         if event not in _KNOWN_EVENTS:
@@ -244,6 +281,36 @@ def read_journal(path: Union[str, Path]) -> JournalReplay:
     if not replay.requests:
         raise JournalError(f"{p}: journal contains no admitted jobs")
     return replay
+
+
+def repair_torn_tail(path: Union[str, Path], replay: JournalReplay) -> int:
+    """Truncate a journal to its last valid line; returns bytes removed.
+
+    Must run before a resume's :class:`JournalWriter` opens the file for
+    append: appending after leftover torn-tail bytes would concatenate
+    the new line onto the garbage, turning a tolerated tail into
+    interior corruption that makes every later :func:`read_journal`
+    (and therefore any second resume) fail. Also restores the trailing
+    newline if the last valid line lost it, so the next append starts on
+    a fresh line. A no-op (returns 0) on an intact journal.
+    """
+    p = Path(path)
+    try:
+        size = p.stat().st_size
+        with p.open("rb+") as fh:
+            removed = 0
+            if size > replay.valid_bytes:
+                fh.truncate(replay.valid_bytes)
+                removed = size - replay.valid_bytes
+            if replay.valid_bytes:
+                fh.seek(replay.valid_bytes - 1)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+    except OSError as exc:
+        raise JournalError(f"cannot repair journal {p}: {exc}") from exc
+    return removed
 
 
 def quarantine_path_for(journal_path: Union[str, Path, None]) -> Optional[Path]:

@@ -120,7 +120,23 @@ class TestBreakerBoard:
         assert board.admit(["d0"]) is None
         assert board.as_dict()["devices"]["d0"]["state"] == STATE_CLOSED
 
-    def test_transitions_listing_is_per_device(self):
+    def test_blocked_pool_claims_no_phantom_probe(self):
+        # d0 is past cooldown (probe-ready), d1 is still open: admitting
+        # a job touching both must NOT consume d0's probe slot, or d0
+        # stays blocked a whole extra cooldown for a job that never ran
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=1, cooldown_s=10.0,
+                             clock=clock)
+        board.report(["d0"], ok=False, device_fault=True)
+        clock.now = 8.0
+        board.report(["d1"], ok=False, device_fault=True)
+        clock.now = 12.0  # d0 cooled down, d1 has not
+        assert board.admit(["d0", "d1"]) == "d1"
+        snap = board.as_dict()["devices"]
+        assert snap["d0"]["state"] == STATE_OPEN  # probe not claimed
+        # d0's probe is still available right now, not a cooldown later
+        assert board.admit(["d0"]) is None
+        assert board.as_dict()["devices"]["d0"]["state"] == STATE_HALF_OPEN
         clock = FakeClock()
         board = BreakerBoard(failure_threshold=1, cooldown_s=5.0,
                              clock=clock)

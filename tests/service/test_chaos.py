@@ -216,6 +216,37 @@ class TestResumeConvergence:
         resumed = run_batch(resume_from=cut, poll_interval_s=0.01)
         assert resumed.ok
         assert stripped(resumed) == stripped(baseline)
+        # resume repaired the tail before appending: the journal must
+        # still be fully readable — no interior corruption, nothing
+        # pending — and a *second* resume must work too
+        replay = read_journal(cut)
+        assert replay.dropped_lines == 0
+        assert replay.pending == []
+        assert replay.cuts[-1] == "complete"
+        again = run_batch(resume_from=cut, poll_interval_s=0.01)
+        assert again.ok and again.replayed == 4
+        assert stripped(again) == stripped(baseline)
+
+    @pytest.mark.parametrize("mode", ["truncate", "garbage", "flip"])
+    def test_torn_tail_resume_interrupted_again_still_resumes(
+            self, tmp_path, mode):
+        # tear the tail, resume but abort that resume, then resume once
+        # more: the documented drain → resume → drain → resume flow
+        baseline, journal = self.run_baseline(tmp_path)
+        cut = journal_prefix(journal, tmp_path / "torn.journal", 1)
+        corrupt_journal_tail(cut, mode=mode, seed=3)
+
+        def bail(result):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_batch(resume_from=cut, on_result=bail,
+                      poll_interval_s=0.01)
+        replay = read_journal(cut)  # journal must still be readable
+        assert replay.cuts[-1] == "aborted"
+        final = run_batch(resume_from=cut, poll_interval_s=0.01)
+        assert final.ok
+        assert stripped(final) == stripped(baseline)
 
     def test_predrained_run_resumes_to_completion(self, tmp_path):
         import threading
@@ -234,6 +265,27 @@ class TestResumeConvergence:
         resumed = run_batch(resume_from=journal, poll_interval_s=0.01)
         assert resumed.ok and resumed.replayed == 0
         assert stripped(resumed) == stripped(baseline)
+
+    def test_rejected_jobs_stay_pending_for_resume(self, tmp_path):
+        # a capacity rejection is transient: it must not be journaled as
+        # finished, or a queue hiccup becomes a permanent non-result
+        journal = tmp_path / "reject.journal"
+        jobs = [SolveRequest(job_id=f"r{i}", n=60, seed=1)
+                for i in range(8)]
+        first = run_batch(jobs, workers=1, queue_depth=1,
+                          on_full="reject", journal_path=journal,
+                          poll_interval_s=0.01)
+        rejected = sorted(r.index for r in first.results
+                          if r.status == "rejected")
+        assert rejected  # this config reliably overflows the queue
+        replay = read_journal(journal)
+        assert replay.pending == rejected
+        assert replay.cuts[-1] == "incomplete"
+        resumed = run_batch(resume_from=journal, poll_interval_s=0.01)
+        assert resumed.ok
+        assert len(resumed.results) == 8
+        assert {r.status for r in resumed.results} == {"ok"}
+        assert read_journal(journal).pending == []
 
     def test_chaos_kills_leave_a_resumable_journal(self, tmp_path):
         # a run that needed recovery still journals one finished event

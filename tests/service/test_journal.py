@@ -11,6 +11,7 @@ from repro.service.journal import (
     JournalWriter,
     quarantine_path_for,
     read_journal,
+    repair_torn_tail,
 )
 
 pytestmark = pytest.mark.service
@@ -115,6 +116,58 @@ class TestTornTail:
         p.write_text("\n".join(lines) + "\n")
         replay = read_journal(p)
         assert replay.dropped_lines == 1
+
+    def test_valid_bytes_marks_end_of_last_good_line(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        intact = p.stat().st_size
+        assert read_journal(p).valid_bytes == intact
+        with p.open("ab") as fh:
+            fh.write(b"torn garbage with no newline")
+        assert read_journal(p).valid_bytes == intact
+
+    def test_repair_truncates_torn_tail(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        intact = p.stat().st_size
+        with p.open("ab") as fh:
+            fh.write(b'{"v": 1, "seq": \xff\xfe junk')
+        replay = read_journal(p)
+        removed = repair_torn_tail(p, replay)
+        assert removed == len(b'{"v": 1, "seq": \xff\xfe junk')
+        assert p.stat().st_size == intact
+        assert read_journal(p).dropped_lines == 0
+
+    def test_repair_is_a_noop_on_an_intact_journal(self, tmp_path):
+        p = write_small_journal(tmp_path / "run.journal")
+        data = p.read_bytes()
+        assert repair_torn_tail(p, read_journal(p)) == 0
+        assert p.read_bytes() == data
+
+    def test_append_after_repair_does_not_concatenate(self, tmp_path):
+        # the exact failure mode: append after a torn tail used to glue
+        # the new line onto the garbage, poisoning every later read
+        p = write_small_journal(tmp_path / "run.journal")
+        with p.open("ab") as fh:
+            fh.write(b"half a li")
+        repair_torn_tail(p, read_journal(p))
+        with JournalWriter(p) as w:
+            w.resumed(pending=1)
+        replay = read_journal(p)
+        assert replay.dropped_lines == 0
+        assert replay.pending == [1]
+
+    def test_repair_restores_missing_trailing_newline(self, tmp_path):
+        # torn exactly between a line's last byte and its newline: the
+        # line is valid but unterminated, and an append must not fuse
+        # onto it
+        p = write_small_journal(tmp_path / "run.journal")
+        p.write_bytes(p.read_bytes()[:-1])  # strip the final newline
+        replay = read_journal(p)
+        assert replay.dropped_lines == 0
+        repair_torn_tail(p, replay)
+        assert p.read_bytes().endswith(b"\n")
+        with JournalWriter(p) as w:
+            w.resumed(pending=1)
+        assert read_journal(p).dropped_lines == 0
 
     def test_interior_corruption_refuses_resume(self, tmp_path):
         p = write_small_journal(tmp_path / "run.journal")
