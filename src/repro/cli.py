@@ -401,6 +401,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     with ``--resume-journal``), 6 when the run completed but quarantined
     poison jobs.
 
+    ``--events``/``--metrics-out``/``--slo`` turn on the live
+    observability layer (see docs/OBSERVABILITY.md): an ordered JSONL
+    progress-event stream (``-`` for stdout), a Prometheus-style metrics
+    snapshot rewritten as jobs finish, declarative SLO rules evaluated
+    per snapshot, and a crash flight recorder dumped to a
+    ``*.flight.jsonl`` sidecar on crash/quarantine/abort.
+
     SIGTERM/SIGINT trigger a graceful drain: admissions stop, in-flight
     jobs get up to ``--drain-timeout`` seconds to finish, the journal
     records the cut. A second signal aborts immediately (exit 130).
@@ -410,7 +417,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     import signal
     import threading
 
-    from repro.errors import ManifestError
+    from repro.errors import ManifestError, ReproError
     from repro.service import ArtifactCache, load_manifest, run_batch
     from repro.telemetry import Profiler
 
@@ -426,6 +433,40 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     cache = ArtifactCache(max_bytes=args.cache_bytes)
     profiling = args.profile or args.trace_out is not None
     profiler = Profiler() if profiling else None
+
+    observer = None
+    events_fh = None
+    observing = (args.events is not None or args.metrics_out is not None
+                 or args.slo)
+    if observing:
+        from repro.service.observe import BatchObserver
+        from repro.telemetry.live import JsonlSink, parse_slo
+
+        slos = None
+        if args.slo:
+            try:
+                slos = [parse_slo(spec) for spec in args.slo]
+            except ValueError as exc:
+                raise ReproError(str(exc)) from exc
+        flight_path = None
+        if args.journal is None and args.resume_journal is None \
+                and args.events not in (None, "-"):
+            # no journal to hang the sidecar off: derive it from the
+            # events path so crash recordings still land somewhere
+            flight_path = args.events + ".flight.jsonl"
+        observer = BatchObserver(slos=slos, metrics_path=args.metrics_out,
+                                 flight_path=flight_path,
+                                 flight_events=args.flight_events)
+        if args.events is not None:
+            if args.events == "-":
+                observer.bus.attach(JsonlSink(sys.stdout))
+            else:
+                events_fh = open(args.events, "w", encoding="utf-8")
+                observer.bus.attach(JsonlSink(events_fh))
+        if args.log_level is not None or args.log_json:
+            from repro.telemetry.logbridge import attach_bus_logging
+
+            attach_bus_logging(observer.bus)
 
     stop = threading.Event()
     previous_handlers = {}
@@ -468,10 +509,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 max_restarts=args.max_restarts,
                 stop=stop,
                 drain_timeout_s=args.drain_timeout,
+                observer=observer,
             )
     finally:
         for sig, handler in previous_handlers.items():
             signal.signal(sig, handler)
+        if events_fh is not None:
+            events_fh.close()
     if args.trace_out:
         profiler.write_chrome_trace(args.trace_out)
     if args.json:
@@ -492,6 +536,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     if profiling and args.trace_out:
         print(f"chrome trace written to {args.trace_out}", file=sys.stderr)
+    if observer is not None:
+        ev = report.events
+        breaches = report.slos.get("breaches", [])
+        slo_note = (f"; SLO breach(es): {', '.join(breaches)}"
+                    if breaches else "; all SLOs ok")
+        drop_note = (f" ({ev['dropped']} dropped)"
+                     if ev.get("dropped") else "")
+        print(
+            f"batch: {ev.get('published', 0)} event(s) "
+            f"published{drop_note}{slo_note}",
+            file=sys.stderr,
+        )
+        if ev.get("flight_dumps"):
+            print(f"batch: flight recordings written to "
+                  f"{ev.get('flight_path')}", file=sys.stderr)
+        if args.metrics_out:
+            print(f"batch: metrics snapshot at {args.metrics_out}",
+                  file=sys.stderr)
     if report.drained:
         where = args.journal or args.resume_journal
         hint = (f"; resume with --resume-journal {where}" if where else "")
@@ -521,11 +583,11 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     )
 
     runs = load_ledger(args.ledger)
-    if not runs and (args.against or not args.trace):
+    if not runs and (args.against or not (args.trace or args.flight)):
         missing = not Path(args.ledger).exists()
         state = "does not exist" if missing else "contains no runs"
         why = ("--against needs a ledger run to compare"
-               if args.against else "no --trace was given")
+               if args.against else "no --trace or --flight was given")
         print(
             f"error: bench ledger {args.ledger!r} {state} and {why}; "
             f"run 'repro-tsp bench' first to record one",
@@ -533,15 +595,20 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         )
         return 4
     trace = load_trace(args.trace) if args.trace else None
+    flight = None
+    if args.flight:
+        from repro.telemetry.live import read_flight
+
+        flight = read_flight(args.flight)
     comparison = None
     if args.against and runs:
         comparison = compare_runs(load_run(args.against), runs[-1])
     if args.ascii:
         print(render_dashboard_ascii(runs, trace=trace,
-                                     comparison=comparison))
+                                     comparison=comparison, flight=flight))
         return 0
     path = write_dashboard(args.out, runs, trace=trace,
-                           comparison=comparison)
+                           comparison=comparison, flight=flight)
     print(f"dashboard written to {path}")
     return 0
 
@@ -781,6 +848,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="chaos plan: kill workers on schedule, e.g. "
                         "'kill:worker=0,pull=2;rate:kill=0.01,seed=7' "
                         "(testing the supervision layer)")
+    s.add_argument("--events", default=None, metavar="FILE",
+                   help="stream ordered JSONL progress events to FILE "
+                        "('-' for stdout); turns on per-job trace "
+                        "propagation and the flight recorder")
+    s.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="rewrite a Prometheus-style text metrics snapshot "
+                        "at FILE as jobs finish")
+    s.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                   help="SLO rule, e.g. 'p99:service.queue_wait<=0.5' or "
+                        "'ratio:service.jobs.failed/service.jobs.ok<=0.05' "
+                        "(repeatable; default rules apply when any "
+                        "observability flag is set but no --slo given)")
+    s.add_argument("--flight-events", type=int, default=64, metavar="N",
+                   help="flight-recorder ring size: last N events per "
+                        "worker dumped on crash/quarantine/abort "
+                        "(default 64)")
     s.set_defaults(func=_cmd_batch)
 
     s = sub.add_parser(
@@ -795,6 +878,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "span waterfall (e.g. from solve --trace-out)")
     s.add_argument("--against", default=None, metavar="BENCH_FILE",
                    help="baseline to compare the ledger's latest run to")
+    s.add_argument("--flight", default=None, metavar="FILE",
+                   help="flight-recorder sidecar (<journal>.flight.jsonl) "
+                        "for the last-flight panel")
     s.add_argument("--out", default="dashboard.html", metavar="FILE",
                    help="output HTML path")
     s.add_argument("--ascii", action="store_true",
@@ -815,11 +901,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     stderr with exit code 2; Ctrl-C exits 130 per shell convention;
     ``bench --against`` reserves exit code 3 for a failed regression
     gate; exit code 4 means "nothing to compare or chart" (empty bench
-    ledger, baseline sharing no scenarios with the run); ``batch`` exits
-    1 when any job failed, expired, or was rejected, 5 when a graceful
-    drain (SIGTERM/SIGINT) cut the run short before every job finished,
-    and 6 when the run completed but poison jobs were quarantined.
-    Anything else is a bug and keeps its traceback.
+    ledger, baseline sharing no scenarios with the run, dashboard with
+    neither ledger runs nor a --trace/--flight artifact); ``batch``
+    exits 1 when any job failed, expired, or was rejected, 5 when a
+    graceful drain (SIGTERM/SIGINT) cut the run short before every job
+    finished, and 6 when the run completed but poison jobs were
+    quarantined. Anything else is a bug and keeps its traceback.
     """
     from repro.errors import ReproError
 

@@ -29,7 +29,11 @@ package amortizes that O(n²)-ish setup across requests:
   :class:`BreakerBoard`, per-device closed/open/half-open breakers fed
   by job-level device faults;
 * :mod:`repro.service.chaos` — :class:`ChaosPlan` / :class:`ChaosMonkey`,
-  the seeded worker-kill harness that proves the above actually works.
+  the seeded worker-kill harness that proves the above actually works;
+* :mod:`repro.service.observe` — :class:`BatchObserver`, the live
+  observability choreography: per-job trace propagation, the ordered
+  event stream behind ``repro batch --events``, SLO evaluation, and the
+  crash flight recorder.
 
 Results are deterministic in everything modeled: the same request (same
 instance, seed, config) produces bit-identical tours whether it runs
@@ -51,7 +55,14 @@ from repro.service.batch import (
 )
 from repro.service.breaker import BreakerBoard, CircuitBreaker
 from repro.service.chaos import ChaosMonkey, ChaosPlan, corrupt_journal_tail
-from repro.service.journal import JournalReplay, JournalWriter, read_journal
+from repro.service.journal import (
+    JournalReplay,
+    JournalWriter,
+    flight_path_for,
+    quarantine_path_for,
+    read_journal,
+)
+from repro.service.observe import DEFAULT_SLOS, BatchObserver
 from repro.service.supervisor import Supervisor, WorkerState
 
 __all__ = [
@@ -74,6 +85,10 @@ __all__ = [
     "JournalReplay",
     "JournalWriter",
     "read_journal",
+    "quarantine_path_for",
+    "flight_path_for",
+    "BatchObserver",
+    "DEFAULT_SLOS",
     "Supervisor",
     "WorkerState",
 ]

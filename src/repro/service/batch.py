@@ -56,6 +56,7 @@ from repro.service.jobs import (
 )
 from repro.service.journal import (
     JournalWriter,
+    flight_path_for,
     quarantine_path_for,
     read_journal,
     repair_torn_tail,
@@ -144,6 +145,7 @@ def iter_batch(
     stop=None,
     drain_timeout_s: Optional[float] = None,
     stats: Optional[BatchStats] = None,
+    observer=None,
 ) -> Iterator[SolveResult]:
     """Run *requests* through a supervised worker pool, yielding results.
 
@@ -164,7 +166,12 @@ def iter_batch(
     further requests are admitted and the in-flight remainder is
     drained for at most *drain_timeout_s* wall seconds. *chaos* is a
     :class:`~repro.service.chaos.ChaosPlan` (or spec string) used by
-    the chaos harness to kill workers on schedule.
+    the chaos harness to kill workers on schedule. *observer* is a
+    :class:`~repro.service.observe.BatchObserver`: it supplies the
+    workers' per-job telemetry factory, receives every admission /
+    start / finish / supervision transition as an ordered bus event,
+    and folds per-job metrics and spans back into the coordinator's
+    registry and trace lanes.
     """
     if on_full not in ("wait", "reject"):
         raise ValueError(f"on_full must be 'wait' or 'reject', got {on_full!r}")
@@ -176,12 +183,21 @@ def iter_batch(
     monkey = plan.monkey() if plan is not None and not plan.is_empty else None
     pool = WorkerPool(jobs, cache, workers=workers, results=results,
                       clock=clock, chaos=monkey, breakers=breakers,
-                      journal=journal)
+                      journal=journal, observer=observer)
     supervisor = Supervisor(pool, max_restarts=max_restarts,
                             poison_kills=poison_kills,
-                            quarantine_path=quarantine_path, clock=clock)
+                            quarantine_path=quarantine_path, clock=clock,
+                            observer=observer)
     pool.start()
+    if observer is not None:
+        observer.batch_begin(jobs=len(requests), workers=workers)
     pending = 0
+
+    def book(result: SolveResult) -> SolveResult:
+        """Book one result, flushing new breaker transitions first."""
+        if observer is not None:
+            observer.poll_breakers(breakers)
+        return _book_job(result, observer)
 
     def get_result(deadline: Optional[float]) -> Optional[SolveResult]:
         """Bounded result poll with supervision; ``None`` past *deadline*.
@@ -215,6 +231,8 @@ def iter_batch(
                     jobs.submit(request, default_deadline_s=default_deadline_s,
                                 index=index)
                     pending += 1
+                    if observer is not None:
+                        observer.job_admitted(request, index)
                     break
                 except QueueFullError as exc:
                     if on_full == "reject":
@@ -225,10 +243,10 @@ def iter_batch(
                             error=str(exc),
                             index=index,
                         )
-                        yield _book_job(rejected)
+                        yield book(rejected)
                         break
                     # backpressure: wait for one completion, then retry
-                    yield _book_job(get_result(None))
+                    yield book(get_result(None))
                     pending -= 1
         jobs.close()
         deadline = None
@@ -242,7 +260,7 @@ def iter_batch(
                 stats.abandoned = pending
                 pending = 0
                 break
-            yield _book_job(result)
+            yield book(result)
             pending -= 1
     except BaseException:
         # KeyboardInterrupt (second-signal abort), GeneratorExit (the
@@ -273,21 +291,43 @@ def iter_batch(
         stats.supervisor = supervisor.as_dict()
         if breakers is not None:
             stats.breakers = breakers.as_dict()
+        if observer is not None:
+            observer.poll_breakers(breakers)
+            if aborted:
+                observer.aborted()
         _book_supervision(stats, breakers)
 
 
-def _book_job(result: SolveResult) -> SolveResult:
-    """Record one finished job's telemetry (coordinator thread only)."""
+def _book_job(result: SolveResult, observer=None) -> SolveResult:
+    """Record one finished job's telemetry (coordinator thread only).
+
+    With an observer, the ``service.job`` envelope also carries
+    ``flow="end"`` so the Chrome exporter terminates the admission →
+    execution flow arrow opened by the ``service.admit`` span, and the
+    job's private telemetry (merged registries, adopted worker-lane
+    spans, the ``job.finished`` bus event) is folded in — nested inside
+    the envelope, which starts at the lane clock captured *before* the
+    envelope advances it.
+    """
     metrics = get_metrics()
     metrics.histogram("service.queue_wait").observe(result.queue_wait_s)
     metrics.counter(f"service.jobs.{result.status}").inc()
+    tracer = get_tracer()
+    lane: Optional[str] = None
+    lane_start = 0.0
     if result.worker >= 0:
-        get_tracer().device_event(
-            "service.job", result.modeled_seconds,
-            category="service", track=f"worker#{result.worker}",
-            job=result.job_id, instance=result.instance,
-            status=result.status, queue_wait_s=result.queue_wait_s,
-        )
+        lane = f"worker#{result.worker}"
+        if tracer.enabled:
+            lane_start = tracer.device_clocks.get(lane, 0.0)
+        attrs = dict(job=result.job_id, instance=result.instance,
+                     status=result.status, queue_wait_s=result.queue_wait_s)
+        if observer is not None:
+            attrs.update(flow="end", flow_id=result.index)
+        tracer.device_event("service.job", result.modeled_seconds,
+                            category="service", track=lane, **attrs)
+    if observer is not None:
+        observer.job_finished(result, tracer=tracer, lane=lane,
+                              lane_start=lane_start)
     return result
 
 
@@ -344,6 +384,10 @@ class BatchReport:
     supervisor: dict = field(default_factory=dict)
     #: circuit-breaker board snapshot (per-device states, fast fails)
     breakers: dict = field(default_factory=dict)
+    #: SLO rule statuses + breach names (observer runs only)
+    slos: dict = field(default_factory=dict)
+    #: event-bus counters: published / dropped / flight dumps (observer)
+    events: dict = field(default_factory=dict)
 
     @property
     def counts(self) -> dict:
@@ -382,6 +426,10 @@ class BatchReport:
             out["supervisor"] = dict(self.supervisor)
         if self.breakers:
             out["breakers"] = dict(self.breakers)
+        if self.slos:
+            out["slos"] = dict(self.slos)
+        if self.events:
+            out["events"] = dict(self.events)
         return out
 
 
@@ -405,6 +453,7 @@ def run_batch(
     drain_timeout_s: Optional[float] = None,
     poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
     clock: Callable[[], float] = time.monotonic,
+    observer=None,
 ) -> BatchReport:
     """Run a whole batch; returns a manifest-ordered :class:`BatchReport`.
 
@@ -430,6 +479,14 @@ def run_batch(
     *breaker_failures* enables per-device circuit breakers (``None``
     uses the board default; ``0`` disables them). *chaos*, *stop*, and
     *drain_timeout_s* pass through to :func:`iter_batch`.
+
+    *observer* (a :class:`~repro.service.observe.BatchObserver`) turns
+    on the live observability layer: per-job telemetry capture, the
+    ordered event stream, SLO evaluation (summarized in
+    ``report.slos``/``report.events``), and the flight recorder — whose
+    sidecar defaults to ``<journal>.flight.jsonl`` when a journal is in
+    play. The journal writer also echoes every appended line onto the
+    observer's bus.
     """
     cache = cache if cache is not None else ArtifactCache()
     started = time.perf_counter()
@@ -454,8 +511,13 @@ def run_batch(
     elif requests is None:
         raise ManifestError("run_batch needs a manifest or resume_from")
 
+    if observer is not None and journal_path is not None \
+            and observer.flight.path is None:
+        observer.flight.path = flight_path_for(journal_path)
     if journal_path is not None:
-        writer = JournalWriter(journal_path)
+        writer = JournalWriter(
+            journal_path,
+            listener=observer.journal_event if observer is not None else None)
         if resume_from is not None:
             writer.resumed(pending=len(requests))
         else:
@@ -475,7 +537,7 @@ def run_batch(
     metrics = get_metrics()
     collected: list[SolveResult] = []
     stats = BatchStats()
-    journaled = 0
+    finished = 0  # non-rejected live results (== journaled lines)
     batch = iter_batch(
         requests, workers=workers, queue_depth=queue_depth,
         default_deadline_s=default_deadline_s, cache=cache,
@@ -484,7 +546,7 @@ def run_batch(
         poison_kills=poison_kills,
         quarantine_path=quarantine_path_for(journal_path),
         poll_interval_s=poll_interval_s, stop=stop,
-        drain_timeout_s=drain_timeout_s, stats=stats,
+        drain_timeout_s=drain_timeout_s, stats=stats, observer=observer,
     )
     try:
         # re-emit recorded results inside the guarded block: even if the
@@ -492,16 +554,19 @@ def run_batch(
         # and closes the journal
         for result in replayed:
             metrics.counter("service.jobs.replayed").inc()
+            if observer is not None:
+                observer.job_replayed(result)
             collected.append(result)
             if on_result is not None:
                 on_result(result)
         for result in batch:
             collected.append(result)
-            if writer is not None and result.status != STATUS_REJECTED:
+            if result.status != STATUS_REJECTED:
                 # a capacity rejection is transient: leave the job
                 # pending in the journal so a resume re-runs it
-                writer.finished(result)
-                journaled += 1
+                finished += 1
+                if writer is not None:
+                    writer.finished(result)
             if on_result is not None:
                 on_result(result)
     finally:
@@ -509,17 +574,23 @@ def run_batch(
         # abort) runs while workers can still stamp `started` events,
         # and the cut below must be the journal's last line
         batch.close()
+        if sys.exc_info()[1] is not None:
+            reason = "aborted"
+        elif finished == len(requests):
+            reason = "complete"
+        elif stats.drained:
+            reason = "drained"
+        else:
+            reason = "incomplete"
         if writer is not None:
-            if sys.exc_info()[1] is not None:
-                reason = "aborted"
-            elif journaled == len(requests):
-                reason = "complete"
-            elif stats.drained:
-                reason = "drained"
-            else:
-                reason = "incomplete"
-            writer.cut(reason, finished=journaled)
+            writer.cut(reason, finished=finished)
             writer.close()
+        if observer is not None:
+            counts: dict = {}
+            for r in collected:
+                counts[r.status] = counts.get(r.status, 0) + 1
+            observer.batch_end(reason=reason, counts=counts,
+                               cache_stats=cache.stats)
     _book_cache(cache)
     collected.sort(key=lambda r: (r.index, r.job_id))
     return BatchReport(
@@ -531,4 +602,6 @@ def run_batch(
         replayed=len(replayed),
         supervisor=stats.supervisor,
         breakers=stats.breakers,
+        slos=observer.slo_summary() if observer is not None else {},
+        events=observer.events_summary() if observer is not None else {},
     )

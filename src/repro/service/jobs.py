@@ -248,6 +248,11 @@ class SolveResult:
     #: True when a failure was attributable to the (simulated) device —
     #: feeds the per-device circuit breakers, not user-facing payloads
     device_fault: bool = False
+    #: per-job telemetry context riding worker→coordinator (not
+    #: serialized; detached and merged when the coordinator books the
+    #: job — see repro.service.observe.BatchObserver.job_finished)
+    telemetry: Optional[object] = field(default=None, repr=False,
+                                        compare=False)
 
     @property
     def ok(self) -> bool:

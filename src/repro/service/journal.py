@@ -78,9 +78,14 @@ class JournalWriter:
     what makes the resume guarantee hold across ``kill -9``.
     """
 
-    def __init__(self, path: Union[str, Path], *, fsync: bool = True) -> None:
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True,
+                 listener=None) -> None:
         self.path = Path(path)
         self._fsync = fsync
+        #: optional ``listener(event, payload)`` called after each line
+        #: lands on disk (outside the writer lock) — the live event bus
+        #: uses this to echo journal activity as ``journal.*`` events
+        self.listener = listener
         self._lock = threading.Lock()
         self._seq = 0
         try:
@@ -107,6 +112,13 @@ class JournalWriter:
             if self._fsync:
                 os.fsync(self._fh.fileno())
             self._seq += 1
+        # notify outside the lock: a slow listener must not serialize
+        # the workers' started stamps, and durability already happened
+        if self.listener is not None:
+            try:
+                self.listener(event, payload)
+            except Exception:
+                pass  # observation must never fail the write it observed
 
     # -- event helpers -----------------------------------------------------
 
@@ -318,3 +330,10 @@ def quarantine_path_for(journal_path: Union[str, Path, None]) -> Optional[Path]:
     if journal_path is None:
         return None
     return Path(str(journal_path) + ".quarantine.jsonl")
+
+
+def flight_path_for(journal_path: Union[str, Path, None]) -> Optional[Path]:
+    """The flight-recorder sidecar for a journal (``<journal>.flight.jsonl``)."""
+    if journal_path is None:
+        return None
+    return Path(str(journal_path) + ".flight.jsonl")

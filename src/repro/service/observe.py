@@ -1,0 +1,326 @@
+"""Batch-service observability choreography: the :class:`BatchObserver`.
+
+:mod:`repro.telemetry.live` supplies the mechanisms (event bus, per-job
+telemetry contexts, flight recorder, SLO rules, Prometheus exposition);
+this module supplies the policy — which service transitions become
+events, when snapshots are taken, and how per-job telemetry flows from
+worker threads back into the coordinator's registry and trace lanes.
+
+One :class:`BatchObserver` instance accompanies one batch run:
+
+* the **coordinator** calls :meth:`batch_begin`, :meth:`job_admitted`,
+  :meth:`job_finished` (which merges the job's private registry into
+  the coordinator registry and re-lanes its kernel spans onto the
+  ``worker#<i>`` trace lane), :meth:`poll_breakers`, and
+  :meth:`batch_end`;
+* **worker threads** call :meth:`job_telemetry` (the per-job context
+  factory the pool installs thread-locally) and :meth:`job_started` —
+  the bus serializes concurrent publishes into one total order;
+* the **supervisor** calls :meth:`worker_crashed`, :meth:`job_requeued`,
+  :meth:`job_quarantined`, and :meth:`worker_respawned`, triggering
+  flight-recorder dumps whose sidecar path it cross-links from the
+  quarantine record;
+* the **journal writer** forwards every appended line through
+  :meth:`journal_event`.
+
+Everything is observation-only — no method here influences scheduling,
+solving, or results, so a batch with an observer attached produces
+bit-identical results to one without (asserted by the overhead test and
+the ``service-observe`` bench scenario).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.telemetry.live import (
+    DEFAULT_ADOPT_LIMIT,
+    DEFAULT_FLIGHT_EVENTS,
+    DEFAULT_JOB_SPANS,
+    EventBus,
+    FlightRecorder,
+    JobTelemetry,
+    PercentileSLO,
+    RatioSLO,
+    adopt_job_spans,
+    evaluate_slos,
+    write_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry, get_metrics
+from repro.telemetry.span import Tracer, get_tracer
+
+#: every terminal job status the service can report
+_JOB_STATUSES = ("ok", "failed", "expired", "rejected", "crashed",
+                 "quarantined")
+_STATUS_COUNTERS = tuple(f"service.jobs.{s}" for s in _JOB_STATUSES)
+_ERROR_COUNTERS = tuple(f"service.jobs.{s}" for s in
+                        ("failed", "expired", "crashed", "quarantined"))
+
+#: default SLO rules evaluated on every snapshot (all overridable via
+#: ``repro batch --slo``); thresholds are deliberately calm-path-safe:
+#: a healthy batch breaches none of them (the bench gate relies on it)
+DEFAULT_SLOS = (
+    PercentileSLO("queue-wait-p99", metric="service.queue_wait",
+                  stat="p99", threshold=60.0, op="<="),
+    RatioSLO("job-error-rate", _ERROR_COUNTERS, _STATUS_COUNTERS,
+             threshold=0.0, op="<="),
+    RatioSLO("breaker-open-ratio", ("service.breaker.opened",),
+             _STATUS_COUNTERS, threshold=0.0, op="<="),
+    RatioSLO("cache-hit-rate", ("service.cache.hits",),
+             ("service.cache.hits", "service.cache.misses"),
+             threshold=0.0, op=">="),
+)
+
+#: journal payload fields small enough to echo onto the event bus
+_JOURNAL_ECHO_FIELDS = ("index", "job_id", "worker", "jobs", "pending",
+                        "reason", "finished")
+
+
+class BatchObserver:
+    """Live observability for one batch run; see module docstring.
+
+    Thread-safety: the bus and the flight recorder are internally
+    locked; the observer's own registry and SLO state are touched only
+    from the coordinator thread (``job_finished``/``snapshot``/
+    ``poll_breakers``/``batch_end``), matching the service's existing
+    single-consumer telemetry discipline. Worker threads only publish
+    events and mint per-job contexts.
+    """
+
+    def __init__(self, *, bus: Optional[EventBus] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 slos: Optional[Sequence] = None,
+                 metrics_path: Union[str, Path, None] = None,
+                 flight_path: Union[str, Path, None] = None,
+                 flight_events: int = DEFAULT_FLIGHT_EVENTS,
+                 per_job_telemetry: bool = True,
+                 span_event_depth: int = 0,
+                 job_span_limit: int = DEFAULT_JOB_SPANS,
+                 adopt_limit: int = DEFAULT_ADOPT_LIMIT,
+                 snapshot_every: int = 1) -> None:
+        self.bus = bus if bus is not None else EventBus()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slos = tuple(DEFAULT_SLOS if slos is None else slos)
+        self.metrics_path = (Path(metrics_path)
+                             if metrics_path is not None else None)
+        self.flight = FlightRecorder(path=flight_path,
+                                     per_worker=flight_events)
+        self.bus.attach(self.flight)
+        self.per_job_telemetry = per_job_telemetry
+        self.span_event_depth = span_event_depth
+        self.job_span_limit = job_span_limit
+        self.adopt_limit = adopt_limit
+        self.snapshot_every = snapshot_every
+        self._finished = 0
+        self._breached: set = set()
+        self._slo_last: list = []
+        #: per-device count of breaker transitions already published
+        self._breaker_seen: dict = {}
+
+    # -- coordinator-side hooks --------------------------------------------
+
+    def batch_begin(self, *, jobs: int, workers: int) -> None:
+        """Announce the run: job count and worker count."""
+        self.bus.publish("batch.begin", jobs=jobs, workers=workers)
+
+    def job_admitted(self, request, index: int) -> None:
+        """One job entered the queue: event + flow-start admission span.
+
+        The zero-length ``service.admit`` host span carries
+        ``flow="start"``/``flow_id=index`` so the Chrome exporter opens
+        a flow arrow the job's worker-lane spans and ``service.job``
+        envelope terminate (admission → execution linkage).
+        """
+        self.bus.publish("job.admitted", job=request.job_id, index=index,
+                         instance=request.instance_label())
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("service.admit", category="service",
+                             job=request.job_id, index=index,
+                             flow="start", flow_id=index):
+                pass
+
+    def job_replayed(self, result) -> None:
+        """A resume run re-emitted a journaled result verbatim."""
+        self.bus.publish("job.replayed", job=result.job_id,
+                         index=result.index, status=result.status)
+
+    def job_finished(self, result, *, tracer: Optional[Tracer] = None,
+                     lane: Optional[str] = None,
+                     lane_start: float = 0.0) -> None:
+        """Fold one finished job's telemetry back in and publish the event.
+
+        Runs on the coordinator thread as each result is booked. The
+        job's private registry is merged into both the observer registry
+        (SLO/exposition source) and the process registry (so ``repro
+        batch --profile`` keeps per-job kernel counters); its recorded
+        spans are adopted onto the job's ``worker#<i>`` lane nested
+        inside the ``service.job`` envelope that starts at *lane_start*.
+        """
+        telemetry = getattr(result, "telemetry", None)
+        result.telemetry = None
+        self.metrics.histogram("service.queue_wait").observe(
+            result.queue_wait_s)
+        self.metrics.counter(f"service.jobs.{result.status}").inc()
+        event_fields = dict(job=result.job_id, index=result.index,
+                            worker=result.worker, status=result.status,
+                            queue_wait_s=result.queue_wait_s,
+                            modeled_s=result.modeled_seconds)
+        if isinstance(telemetry, JobTelemetry):
+            self.metrics.merge(telemetry.metrics)
+            get_metrics().merge(telemetry.metrics)
+            event_fields["trace"] = telemetry.trace_id
+            counters = {name: c.value for name, c
+                        in sorted(telemetry.metrics.counters.items())}
+            if counters:
+                event_fields["metrics"] = counters
+            if tracer is not None and tracer.enabled and lane:
+                adopt_job_spans(tracer, telemetry, lane=lane,
+                                base=lane_start, flow_id=result.index,
+                                limit=self.adopt_limit)
+        self.bus.publish("job.finished", **event_fields)
+        self._finished += 1
+        if self.snapshot_every and self._finished % self.snapshot_every == 0:
+            self.snapshot()
+
+    def poll_breakers(self, board) -> None:
+        """Publish breaker transitions not yet seen (coordinator thread).
+
+        Per-breaker transition lists are append-only, so a per-device
+        cursor over :meth:`~repro.service.breaker.BreakerBoard.
+        transitions` yields each transition exactly once, in order.
+        """
+        if board is None:
+            return
+        per_device: dict = {}
+        for device, frm, to, at in board.transitions():
+            per_device.setdefault(device, []).append((frm, to, at))
+        for device, transitions in per_device.items():
+            seen = self._breaker_seen.get(device, 0)
+            for frm, to, at in transitions[seen:]:
+                self.bus.publish("breaker.transition", device=device,
+                                 frm=frm, to=to, at=at)
+                if to == "open":
+                    self.metrics.counter("service.breaker.opened").inc()
+            self._breaker_seen[device] = len(transitions)
+
+    def aborted(self) -> None:
+        """The run is aborting (second signal / coordinator exception)."""
+        self.bus.publish("batch.abort")
+        self.flight.dump("abort")
+
+    def batch_end(self, *, reason: str, counts: Optional[dict] = None,
+                  cache_stats=None) -> None:
+        """Final accounting: cache counters, last snapshot, end event."""
+        if cache_stats is not None:
+            self.metrics.counter("service.cache.hits").inc(cache_stats.hits)
+            self.metrics.counter("service.cache.misses").inc(
+                cache_stats.misses)
+            self.metrics.counter("service.cache.evictions").inc(
+                cache_stats.evictions)
+        self.snapshot(force=True)
+        self.bus.publish("batch.end", reason=reason,
+                         counts=dict(counts or {}),
+                         breaches=len(self._breached))
+
+    # -- worker-side hooks --------------------------------------------------
+
+    def job_telemetry(self, job, worker: int) -> Optional[JobTelemetry]:
+        """Mint the per-job telemetry context a worker installs, or None."""
+        if not self.per_job_telemetry:
+            return None
+        return JobTelemetry.create(
+            job_id=job.request.job_id, index=job.index, worker=worker,
+            bus=self.bus, span_event_depth=self.span_event_depth,
+            max_spans=self.job_span_limit)
+
+    def job_started(self, job, worker: int) -> None:
+        """A worker pulled the job off the queue (worker thread)."""
+        self.bus.publish("job.started", job=job.request.job_id,
+                         index=job.index, worker=worker)
+
+    # -- supervisor-side hooks ----------------------------------------------
+
+    def worker_crashed(self, worker: int, job_id: Optional[str] = None,
+                       index: Optional[int] = None) -> Optional[Path]:
+        """A worker died holding a job: event + flight dump; returns path."""
+        self.bus.publish("worker.crashed", worker=worker, job=job_id,
+                         index=index)
+        path = self.flight.dump("crash", worker=worker, job_id=job_id)
+        if path is not None:
+            self.bus.publish("flight.dump", reason="crash", worker=worker,
+                             job=job_id, path=str(path))
+        return path
+
+    def job_requeued(self, job_id: str, index: int) -> None:
+        """A crash-orphaned job went back on the queue."""
+        self.bus.publish("job.requeued", job=job_id, index=index)
+
+    def job_quarantined(self, job_id: str, index: int,
+                        worker: Optional[int] = None) -> Optional[Path]:
+        """A poison job was quarantined: event + flight dump; returns path.
+
+        The returned sidecar path is what the supervisor cross-links
+        from its ``.quarantine.jsonl`` record.
+        """
+        self.bus.publish("job.quarantined", job=job_id, index=index,
+                         worker=worker)
+        path = self.flight.dump("quarantine", worker=worker, job_id=job_id)
+        if path is not None:
+            self.bus.publish("flight.dump", reason="quarantine",
+                             worker=worker, job=job_id, path=str(path))
+        return path
+
+    def worker_respawned(self, worker: int) -> None:
+        """The supervisor restarted a dead worker slot."""
+        self.bus.publish("worker.respawned", worker=worker)
+
+    # -- journal bridge ------------------------------------------------------
+
+    def journal_event(self, event: str, payload: dict) -> None:
+        """Echo one journal line onto the bus (small fields only)."""
+        fields = {k: payload[k] for k in _JOURNAL_ECHO_FIELDS
+                  if k in payload}
+        self.bus.publish(f"journal.{event}", **fields)
+
+    # -- snapshots & SLOs ----------------------------------------------------
+
+    def snapshot(self, force: bool = False) -> list:
+        """Evaluate SLOs (publishing new breaches) and expose metrics.
+
+        A rule publishes ``slo.breach`` only on its ok→breach
+        transition, so a calm run emits exactly zero breach events (the
+        bench gate counts them). Returns the rule statuses.
+        """
+        statuses = evaluate_slos(self.slos, self.metrics)
+        self._slo_last = statuses
+        for status in statuses:
+            if (status.applicable and not status.ok
+                    and status.name not in self._breached):
+                self._breached.add(status.name)
+                self.bus.publish("slo.breach", slo=status.name,
+                                 value=status.value,
+                                 threshold=status.threshold, op=status.op,
+                                 detail=status.detail)
+        if self.metrics_path is not None:
+            try:
+                write_prometheus(self.metrics, self.metrics_path)
+            except OSError:
+                pass  # exposition must never take down the batch
+        return statuses
+
+    def slo_summary(self) -> dict:
+        """SLO rule statuses + breach names for the batch report."""
+        return {
+            "rules": [s.as_dict() for s in self._slo_last],
+            "breaches": sorted(self._breached),
+        }
+
+    def events_summary(self) -> dict:
+        """Bus counters (published/dropped/pending) plus flight dumps."""
+        out = self.bus.summary()
+        out["flight_dumps"] = self.flight.dumps
+        if self.flight.path is not None:
+            out["flight_path"] = str(self.flight.path)
+        return out

@@ -13,10 +13,17 @@ real tracer as the *process* default. So the first thing every worker
 does is install thread-local no-op telemetry
 (:func:`~repro.telemetry.span.set_thread_tracer` /
 :func:`~repro.telemetry.metrics.set_thread_metrics`): the solver's
-instrumentation quietly no-ops on worker threads, and the coordinator —
-the only thread touching the real tracer — books per-job lane events
-and service metrics as results arrive. This also keeps results
-deterministic: nothing a worker records depends on scheduling.
+instrumentation never touches the coordinator's tracer, and the
+coordinator — the only thread touching the process default — books
+per-job lane events and service metrics as results arrive. With a
+*telemetry* factory (usually :meth:`~repro.service.observe.
+BatchObserver.job_telemetry`), each pulled job instead gets a private
+bounded :class:`~repro.telemetry.live.JobTelemetry` context installed
+for the duration of the job, so kernel spans and solver counters are
+captured per job and merged back by the coordinator at completion; the
+default (no factory) keeps the historical explicit no-op. Either way
+results stay deterministic: nothing a worker records feeds back into
+scheduling or solving.
 
 **Crash safety:** the worker body guarantees one result per pulled job.
 Ordinary exceptions become ``failed`` results inside
@@ -166,13 +173,22 @@ class WorkerPool:
     :class:`~repro.service.journal.JournalWriter`) receives ``started``
     stamps. Each worker slot owns a :class:`~repro.service.supervisor.
     WorkerState` the supervisor reads.
+
+    ``observer`` (a :class:`~repro.service.observe.BatchObserver`)
+    receives ``job.started`` events from worker threads; ``telemetry``
+    is the per-job context factory ``(job, worker) -> JobTelemetry |
+    None`` installed around each job's execution. When only an observer
+    is given the factory defaults to its
+    :meth:`~repro.service.observe.BatchObserver.job_telemetry`; with
+    neither, workers keep the explicit no-op telemetry.
     """
 
     def __init__(self, jobs: JobQueue, cache: ArtifactCache, *,
                  workers: int = 4,
                  results: Optional["stdlib_queue.Queue"] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 chaos=None, breakers=None, journal=None) -> None:
+                 chaos=None, breakers=None, journal=None,
+                 observer=None, telemetry=None) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
         self.jobs = jobs
@@ -185,6 +201,10 @@ class WorkerPool:
         self.chaos = chaos
         self.breakers = breakers
         self.journal = journal
+        self.observer = observer
+        if telemetry is None and observer is not None:
+            telemetry = observer.job_telemetry
+        self.telemetry = telemetry
         self.states = [WorkerState(idx) for idx in range(workers)]
         self.started = False
 
@@ -255,9 +275,25 @@ class WorkerPool:
                 return  # abrupt death: job outstanding, no result
             if self.journal is not None:
                 self.journal.started(job.index, job.request.job_id, worker=idx)
-            result = self._safe_execute(idx, state, job)
+            if self.observer is not None:
+                self.observer.job_started(job, idx)
+            context = (self.telemetry(job, idx)
+                       if self.telemetry is not None else None)
+            if context is not None:
+                set_thread_tracer(context.tracer)
+                set_thread_metrics(context.metrics)
+            try:
+                result = self._safe_execute(idx, state, job)
+            finally:
+                if context is not None:
+                    set_thread_tracer(NoopTracer())
+                    set_thread_metrics(NoopMetricsRegistry())
             if result is None:
                 return  # crashed result already delivered; retire the thread
+            if context is not None:
+                # ride the result back to the coordinator, which merges
+                # the private registry and re-lanes the recorded spans
+                result.telemetry = context
             if (self.chaos is not None
                     and self.chaos.should_kill(idx, pull_no, "end")):
                 return  # abrupt death: result computed but never delivered

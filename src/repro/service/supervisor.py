@@ -127,7 +127,8 @@ class Supervisor:
     def __init__(self, pool, *, max_restarts: Optional[int] = None,
                  poison_kills: int = DEFAULT_POISON_KILLS,
                  quarantine_path=None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 observer=None) -> None:
         if poison_kills < 1:
             raise ValueError("poison_kills must be >= 1")
         self.pool = pool
@@ -136,6 +137,9 @@ class Supervisor:
         self.poison_kills = poison_kills
         self.quarantine_path = (Path(quarantine_path)
                                 if quarantine_path is not None else None)
+        #: optional BatchObserver: crash/requeue/quarantine/respawn
+        #: transitions become bus events and flight-recorder dumps
+        self.observer = observer
         self._clock = clock
         #: job index -> number of workers it has killed
         self._kill_counts: dict[int, int] = {}
@@ -163,6 +167,9 @@ class Supervisor:
                 self.crashes += 1
                 state.deaths += 1
                 actions += 1
+                if self.observer is not None:
+                    self.observer.worker_crashed(
+                        state.worker_id, job.request.job_id, job.index)
                 self._recover(job, state)
             if self.pool.started and not self.pool.jobs.closed_and_empty:
                 # dead slot with work remaining: respawn under budget
@@ -170,6 +177,8 @@ class Supervisor:
                     self.restarts += 1
                     actions += 1
                     self.pool.respawn(state.worker_id)
+                    if self.observer is not None:
+                        self.observer.worker_respawned(state.worker_id)
         if not self.pool.any_alive():
             # no workers and no restart budget: fail the backlog fast so
             # the drain loop terminates instead of waiting forever
@@ -196,11 +205,17 @@ class Supervisor:
                 WorkerLostError(
                     f"job {job.request.job_id!r} quarantined: killed "
                     f"{kills} workers (last: worker {state.worker_id})"))
-            self._write_quarantine(job, result)
+            flight = None
+            if self.observer is not None:
+                flight = self.observer.job_quarantined(
+                    job.request.job_id, job.index, worker=state.worker_id)
+            self._write_quarantine(job, result, flight=flight)
             self._emit(result)
         else:
             self.requeued += 1
             self.pool.jobs.requeue(job)
+            if self.observer is not None:
+                self.observer.job_requeued(job.request.job_id, job.index)
 
     def _synthesize(self, job: QueuedJob, status: str,
                     error: Exception) -> SolveResult:
@@ -220,8 +235,14 @@ class Supervisor:
         """Deliver a synthetic result through the normal results queue."""
         self.pool.results.put(result)
 
-    def _write_quarantine(self, job: QueuedJob, result: SolveResult) -> None:
-        """Append one quarantine record to the ``.quarantine.jsonl`` sidecar."""
+    def _write_quarantine(self, job: QueuedJob, result: SolveResult,
+                          flight=None) -> None:
+        """Append one quarantine record to the ``.quarantine.jsonl`` sidecar.
+
+        *flight* (a path) cross-links the flight-recorder dump taken at
+        quarantine time, so the operator triaging the poison job can go
+        straight from the record to the black-box event recording.
+        """
         if self.quarantine_path is None:
             return
         record = {
@@ -230,6 +251,8 @@ class Supervisor:
             "error": result.error,
             "request": job.request.as_manifest_dict(),
         }
+        if flight is not None:
+            record["flight"] = str(flight)
         with self.quarantine_path.open("a", encoding="utf-8") as fh:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
 

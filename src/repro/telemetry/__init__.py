@@ -18,6 +18,10 @@ observable in one place:
   manager that wires it all together (CLI: ``repro solve --profile``);
 * :mod:`repro.telemetry.logbridge` — span/fault/bench events through
   stdlib ``logging`` (CLI: ``repro --log-level INFO ...``);
+* :mod:`repro.telemetry.live` — live observability primitives: the
+  ordered :class:`EventBus`, per-job :class:`JobTelemetry` contexts,
+  the crash :class:`FlightRecorder`, SLO rules, and Prometheus-style
+  exposition (CLI: ``repro batch --events/--metrics-out/--slo``);
 * :mod:`repro.telemetry.bench` — the bench ledger and regression gate
   (CLI: ``repro bench --against BENCH_baseline.json``);
 * :mod:`repro.telemetry.dashboard` — the HTML/ASCII run dashboard over
@@ -53,11 +57,29 @@ from repro.telemetry.export import (
 )
 from repro.telemetry.profiler import Profiler
 from repro.telemetry.logbridge import (
+    EventLogSink,
     JsonLogFormatter,
     SpanLogListener,
+    attach_bus_logging,
     install_log_bridge,
     log_fault_event,
     uninstall_log_bridge,
+)
+from repro.telemetry.live import (
+    EventBus,
+    FlightRecorder,
+    JobTelemetry,
+    JobTracer,
+    JsonlSink,
+    PercentileSLO,
+    RatioSLO,
+    SLOStatus,
+    adopt_job_spans,
+    evaluate_slos,
+    parse_slo,
+    read_flight,
+    render_prometheus,
+    write_prometheus,
 )
 from repro.telemetry.bench import (
     BENCH_SCHEMA_VERSION,
@@ -105,9 +127,25 @@ __all__ = [
     "Profiler",
     "JsonLogFormatter",
     "SpanLogListener",
+    "EventLogSink",
+    "attach_bus_logging",
     "install_log_bridge",
     "uninstall_log_bridge",
     "log_fault_event",
+    "EventBus",
+    "JsonlSink",
+    "JobTelemetry",
+    "JobTracer",
+    "FlightRecorder",
+    "SLOStatus",
+    "PercentileSLO",
+    "RatioSLO",
+    "parse_slo",
+    "evaluate_slos",
+    "adopt_job_spans",
+    "read_flight",
+    "render_prometheus",
+    "write_prometheus",
     "BENCH_SCHEMA_VERSION",
     "BenchRun",
     "BenchRunner",

@@ -393,6 +393,60 @@ def _subq_parity_scenario(key: str, n: int,
     )
 
 
+def _scenario_service_observe() -> ScenarioResult:
+    """Observed batch: the live event stream gated to exact counts.
+
+    Six jobs over two instances with a :class:`BatchObserver` streaming
+    to an in-memory sink. Event totals are deterministic by design —
+    one ``batch.begin``/``batch.end`` envelope, and exactly one
+    admitted / started / span.open / span.close / finished event per
+    job (only the depth-0 ``solve`` span publishes to the bus) — so the
+    gate pins them exactly: an accidental second root span, a dropped
+    admission event, or a calm-path SLO breach all move a gated number.
+    The solver results are gated too, proving observation stays
+    observation (no effect on the tours).
+    """
+    from repro.service import ArtifactCache, SolveRequest, run_batch
+    from repro.service.observe import BatchObserver
+
+    sizes = (120, 160)
+    requests = [
+        SolveRequest(job_id=f"obs-{i}", n=sizes[i % 2], seed=sizes[i % 2])
+        for i in range(6)
+    ]
+    events: list = []
+    observer = BatchObserver()
+    observer.bus.attach(events.append)
+    report = run_batch(requests, workers=2, queue_depth=8,
+                       cache=ArtifactCache(), observer=observer)
+    ok = [r for r in report.results if r.ok]
+    kinds: dict = {}
+    for e in events:
+        kinds[e.get("kind")] = kinds.get(e.get("kind"), 0) + 1
+    metrics = {
+        # exact event accounting (see docstring for the census)
+        "events_total": float(len(events)),
+        "events_admitted": float(kinds.get("job.admitted", 0)),
+        "events_started": float(kinds.get("job.started", 0)),
+        "events_finished": float(kinds.get("job.finished", 0)),
+        "events_spans": float(kinds.get("span.open", 0)
+                              + kinds.get("span.close", 0)),
+        "events_dropped": float(report.events.get("dropped", 0)),
+        "slo_breaches": float(len(report.slos.get("breaches", []))),
+        # the observed run's results stay deterministic
+        "jobs_ok": float(len(ok)),
+        "jobs_total": float(len(report.results)),
+        "cache_hits": float(report.cache["hits"]),
+        "cache_misses": float(report.cache["misses"]),
+        "final_length_total": float(sum(r.final_length for r in ok)),
+        # wall-clock figures are informational (no gate policy)
+        "wall_seconds": report.wall_seconds,
+    }
+    return ScenarioResult(scenario="service-observe", n=max(sizes),
+                          device="gtx680-cuda", backend="service",
+                          metrics=metrics)
+
+
 def _scenario_subq_parity_pr1002() -> ScenarioResult:
     return _subq_parity_scenario("subq-parity-pr1002", 1002, 40)
 
@@ -438,6 +492,10 @@ SCENARIOS: tuple = (
                   "supervised batch under a seeded chaos plan: 2 worker "
                   "kills, 1 restart, 1 poison job quarantined (n=100)",
                   100, True, _scenario_service_chaos),
+    BenchScenario("service-observe",
+                  "observed batch: live event stream + SLOs gated to "
+                  "exact counts (n=120/160)",
+                  160, True, _scenario_service_observe),
     BenchScenario("subq-parity-pr1002",
                   "sub-quadratic exact best-move engine vs exhaustive, "
                   "parity-gated (n=1002, 40 sweeps)",
@@ -509,10 +567,13 @@ class BenchRunner:
 class MetricPolicy:
     """How the gate judges one metric.
 
-    ``better`` is the good direction (``"lower"`` or ``"higher"``);
-    ``rel_tol`` the allowed relative worsening; ``abs_floor`` a noise
-    floor — absolute changes at or below it never regress, whatever the
-    relative change says (guards tiny denominators).
+    ``better`` is the good direction (``"lower"`` or ``"higher"``), or
+    ``"exact"`` for contract metrics that must not move in *either*
+    direction — any change beyond the floors regresses and nothing ever
+    counts as improved; ``rel_tol`` the allowed relative worsening;
+    ``abs_floor`` a noise floor — absolute changes at or below it never
+    regress, whatever the relative change says (guards tiny
+    denominators).
     """
 
     better: str
@@ -563,6 +624,16 @@ METRIC_POLICIES: dict = {
     "supervisor_requeued": MetricPolicy("lower", 0.0, 0.0),
     "breaker_opened": MetricPolicy("lower", 0.0, 0.0),
     "breaker_fast_fails": MetricPolicy("lower", 0.0, 0.0),
+    # live observability: the event census is a contract — fewer events
+    # means lost instrumentation, more means accidental double-publish,
+    # so the gate is exact in both directions
+    "events_total": MetricPolicy("exact", 0.0, 0.0),
+    "events_admitted": MetricPolicy("exact", 0.0, 0.0),
+    "events_started": MetricPolicy("exact", 0.0, 0.0),
+    "events_finished": MetricPolicy("exact", 0.0, 0.0),
+    "events_spans": MetricPolicy("exact", 0.0, 0.0),
+    "events_dropped": MetricPolicy("lower", 0.0, 0.0),
+    "slo_breaches": MetricPolicy("lower", 0.0, 0.0),
 }
 
 
@@ -622,12 +693,14 @@ def filter_run(run: BenchRun, scenarios: Sequence[str]) -> BenchRun:
 def _judge(policy: MetricPolicy, baseline: float, candidate: float) -> str:
     """Classify one gated metric movement: ok / improved / regressed."""
     delta = candidate - baseline
-    worse = delta > 0 if policy.better == "lower" else delta < 0
     # inside the noise floor or relative tolerance: neither direction counts
     if abs(delta) <= policy.abs_floor:
         return "ok"
     if abs(delta) <= policy.rel_tol * abs(baseline):
         return "ok"
+    if policy.better == "exact":
+        return "regressed"  # contract metric: any movement is a break
+    worse = delta > 0 if policy.better == "lower" else delta < 0
     return "regressed" if worse else "improved"
 
 

@@ -12,7 +12,11 @@ self-contained HTML page (no external assets, dark-mode aware):
 * **span waterfall** — the trace's host wall-clock spans and modeled
   device lanes as horizontal bars, one group per trace process;
 * **regression table** — the latest gate verdict when a comparison is
-  supplied.
+  supplied;
+* **last flight** — the most recent crash flight recording (the event
+  ring dumped by :class:`repro.telemetry.live.FlightRecorder` to a
+  ``*.flight.jsonl`` sidecar), so the events leading into a crash or
+  quarantine are one ``--flight FILE`` away.
 
 Everything here consumes *recorded* data (``benchmarks/ledger.jsonl``
 lines, ``BENCH_*.json`` files, Chrome trace JSON) — the dashboard never
@@ -197,11 +201,36 @@ def ascii_sparkline(values: Sequence[Optional[float]]) -> str:
     return "".join(out)
 
 
+def flight_summary_rows(flight: Sequence[dict]) -> list[dict]:
+    """Tabular view of the *last* flight record's event ring.
+
+    The dashboard charts only the most recent dump — that is the crash
+    being debugged; older dumps stay in the sidecar for ``read_flight``
+    consumers. Each row carries the event's bus sequence number, kind,
+    worker lane, and job id (when the event has one).
+    """
+    if not flight:
+        return []
+    last = flight[-1]
+    rows = []
+    for event in last.get("events", []):
+        if not isinstance(event, dict):
+            continue
+        rows.append({
+            "seq": event.get("seq", ""),
+            "kind": event.get("kind", ""),
+            "worker": event.get("worker", ""),
+            "job_id": event.get("job_id", ""),
+        })
+    return rows
+
+
 def render_dashboard_ascii(
     runs: Sequence[BenchRun],
     *,
     trace: Optional[dict] = None,
     comparison: Optional[ComparisonReport] = None,
+    flight: Optional[Sequence[dict]] = None,
 ) -> str:
     """Terminal dashboard: sparkline trends, roofline table, gate verdict."""
     from repro.analysis.roofline import LaunchSample, aggregate, render_roofline
@@ -249,6 +278,17 @@ def render_dashboard_ascii(
     if comparison is not None:
         parts.append("")
         parts.append(render_comparison(comparison))
+    if flight:
+        last = flight[-1]
+        rows = [[str(r["seq"]), str(r["kind"]), str(r["worker"]),
+                 str(r["job_id"])] for r in flight_summary_rows(flight)]
+        parts.append("")
+        parts.append(render_table(
+            ["seq", "event", "worker", "job"], rows,
+            title=(f"Last flight — {last.get('reason', '?')} "
+                   f"(worker {last.get('worker')}, job "
+                   f"{last.get('job')}; {len(flight)} recording(s))"),
+        ))
     return "\n".join(parts)
 
 
@@ -537,6 +577,36 @@ def _health_section(runs: Sequence[BenchRun]) -> str:
     )
 
 
+def _flight_section(flight: Sequence[dict]) -> str:
+    """Last-flight panel: the event ring leading into the latest crash."""
+    if not flight:
+        return ""
+    last = flight[-1]
+    rows = []
+    for r in flight_summary_rows(flight):
+        hot = str(r["kind"]) in ("worker.crashed", "job.quarantined",
+                                 "batch.abort", "slo.breach")
+        marker = " ⚠" if hot else ""
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(str(r['seq']))}</td>"
+            f"<td>{html.escape(str(r['kind']))}{marker}</td>"
+            f"<td>{html.escape(str(r['worker']))}</td>"
+            f"<td>{html.escape(str(r['job_id']))}</td>"
+            "</tr>"
+        )
+    head = (f"{last.get('reason', '?')} on worker {last.get('worker')}"
+            + (f", job {last.get('job')}" if last.get("job") else ""))
+    return (
+        "<h2>Last flight</h2>"
+        f'<p class="meta">{html.escape(head)} — the flight recorder\'s '
+        f"event ring at dump time ({len(flight)} recording(s) in the "
+        "sidecar, newest shown).</p>"
+        "<table><tr><th>seq</th><th>event</th><th>worker</th>"
+        "<th>job</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
 def _comparison_section(comparison: ComparisonReport) -> str:
     verdict = ("PASS" if comparison.ok
                else f"FAIL — {len(comparison.regressions)} regression(s)")
@@ -570,6 +640,7 @@ def render_dashboard_html(
     *,
     trace: Optional[dict] = None,
     comparison: Optional[ComparisonReport] = None,
+    flight: Optional[Sequence[dict]] = None,
     title: str = "repro performance observatory",
 ) -> str:
     """Render the self-contained dashboard page (no external assets)."""
@@ -585,6 +656,8 @@ def render_dashboard_html(
                         "<code>repro bench</code> first.</p>")
     if comparison is not None:
         sections.append(_comparison_section(comparison))
+    if flight:
+        sections.append(_flight_section(flight))
     if trace is not None:
         sections.append(_roofline_section(trace))
         sections.append(_waterfall_section(trace))
@@ -604,9 +677,11 @@ def write_dashboard(
     *,
     trace: Optional[dict] = None,
     comparison: Optional[ComparisonReport] = None,
+    flight: Optional[Sequence[dict]] = None,
 ) -> Path:
     """Write the HTML dashboard to *path*; returns the path."""
     p = Path(path)
     p.write_text(render_dashboard_html(runs, trace=trace,
-                                       comparison=comparison))
+                                       comparison=comparison,
+                                       flight=flight))
     return p

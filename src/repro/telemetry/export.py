@@ -45,6 +45,34 @@ def _json_safe(value: object) -> object:
     return str(value)
 
 
+#: span ``flow`` attribute value -> Chrome flow-event phase
+_FLOW_PHASES = {"start": "s", "step": "t", "end": "f"}
+
+
+def _flow_event(span: Span, *, pid: int, tid: int, ts: float) -> Optional[dict]:
+    """Build the flow event a span's ``flow``/``flow_id`` attrs ask for.
+
+    The batch service stamps ``flow="start"`` on the ``service.admit``
+    host span, ``flow="step"`` on the first worker-lane span adopted
+    from the job, and ``flow="end"`` on the coordinator's
+    ``service.job`` envelope — all sharing the job index as ``flow_id``
+    — so the trace viewer draws one arrow per job from admission on the
+    host timeline to execution on its ``worker#<i>`` lane. Returns
+    ``None`` for spans without flow attributes.
+    """
+    if not span.attrs:
+        return None
+    flow_id = span.attrs.get("flow_id")
+    if flow_id is None:
+        return None
+    phase = _FLOW_PHASES.get(str(span.attrs.get("flow", "step")), "t")
+    event = {"name": "job-flow", "cat": "service", "ph": phase,
+             "id": int(flow_id), "pid": pid, "tid": tid, "ts": ts}
+    if phase == "f":
+        event["bp"] = "e"  # bind to the enclosing slice, not the next
+    return event
+
+
 def _lane_sort_key(lane: str) -> tuple:
     """Deterministic ordering key for device lanes.
 
@@ -116,20 +144,27 @@ def to_chrome_trace(tracer: Tracer) -> dict:
             # default track: one row per kernel/transfer name;
             # named tracks (multi-device lanes): one row per track
             lane = s.name if s.track == "device" else s.track
+            pid, tid = DEVICE_PID, device_tids[lane]
+            ts = s.start_modeled * 1e6
             events.append({
                 "name": s.name, "cat": s.category or "device", "ph": "X",
-                "ts": s.start_modeled * 1e6,
+                "ts": ts,
                 "dur": (s.end_modeled - s.start_modeled) * 1e6,
-                "pid": DEVICE_PID, "tid": device_tids[lane], "args": args,
+                "pid": pid, "tid": tid, "args": args,
             })
         else:
             args["modeled_ms"] = s.modeled_seconds * 1e3
+            pid, tid = HOST_PID, 1
+            ts = s.start_wall * 1e6
             events.append({
                 "name": s.name, "cat": s.category or "host", "ph": "X",
-                "ts": s.start_wall * 1e6,
+                "ts": ts,
                 "dur": (s.end_wall - s.start_wall) * 1e6,
-                "pid": HOST_PID, "tid": 1, "args": args,
+                "pid": pid, "tid": tid, "args": args,
             })
+        flow = _flow_event(s, pid=pid, tid=tid, ts=ts)
+        if flow is not None:
+            events.append(flow)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

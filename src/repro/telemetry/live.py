@@ -1,0 +1,599 @@
+"""Live observability primitives: event bus, per-job telemetry, SLOs.
+
+The batch service used to be a black box while it ran: workers installed
+``NoopTracer`` instances, so every kernel span and solver counter built
+by the profiling stack was dropped the moment a job executed inside the
+pool, and the only progress signal was the final report. This module
+supplies the service-agnostic pieces of the live observability layer
+(the service-side choreography lives in :mod:`repro.service.observe`):
+
+* :class:`EventBus` — a thread-safe, bounded, drop-counting bus that
+  assigns every published event a global sequence number under one
+  lock, giving a *totally ordered* stream across coordinator and worker
+  threads. Sinks attached to the bus see events in that order.
+* :class:`JsonlSink` — streams bus events as one JSON object per line,
+  the wire format behind ``repro batch --events PATH|-``.
+* :class:`JobTelemetry` / :class:`JobTracer` — a bounded per-job
+  tracer + metrics registry pair carrying ``job_id``/``trace_id``
+  through queue → worker → solver → executor → kernel launches.
+* :class:`FlightRecorder` — per-worker ring buffers of recent events,
+  dumped to a ``*.flight.jsonl`` sidecar on crash/quarantine/abort.
+* SLO rules (:class:`PercentileSLO`, :class:`RatioSLO`) with a small
+  ``p99:service.queue_wait<=0.5`` spec grammar, evaluated against a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot.
+* Prometheus-style text exposition of a metrics registry
+  (:func:`render_prometheus` / :func:`write_prometheus`).
+
+Everything here is observation-only: publishing events never changes
+solver behaviour, so results stay bit-identical with the bus on or off
+(gated by the ``service-observe`` bench scenario and the overhead test
+in ``tests/service/test_observe.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, TextIO, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.span import Span, Tracer
+
+#: default bounded capacity of the bus's pending (pull-side) buffer
+DEFAULT_BUS_CAPACITY = 8192
+#: default per-worker flight-recorder ring size
+DEFAULT_FLIGHT_EVENTS = 64
+#: default cap on spans adopted from one job onto a coordinator lane
+DEFAULT_ADOPT_LIMIT = 256
+#: default bounded span capacity of one per-job tracer
+DEFAULT_JOB_SPANS = 10_000
+
+
+# ---------------------------------------------------------------------------
+# event bus
+# ---------------------------------------------------------------------------
+
+
+class EventBus:
+    """Thread-safe, bounded, drop-counting publish/subscribe event bus.
+
+    :meth:`publish` assigns a monotonically increasing ``seq`` under the
+    bus lock and delivers to every attached sink *inside* that lock, so
+    all consumers observe one total order even when coordinator and
+    worker threads publish concurrently. Events are also appended to a
+    bounded pending buffer for pull-style consumers (:meth:`drain`);
+    when the buffer is full the oldest pending event is evicted and
+    counted in :attr:`dropped` — publishing never blocks and never
+    raises, so instrumented code paths cannot be wedged by a slow or
+    broken consumer (sink exceptions are swallowed and counted too).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_BUS_CAPACITY,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._pending: deque = deque()
+        self._sinks: list = []
+        self._seq = 0
+        #: events evicted unread from the pending buffer
+        self.dropped = 0
+        #: total events published
+        self.published = 0
+        #: sink callables that raised (the events still count as published)
+        self.sink_errors = 0
+
+    def attach(self, sink: Callable[[dict], None]) -> None:
+        """Register *sink* to receive every future event, in bus order."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def publish(self, kind: str, **fields) -> dict:
+        """Publish one event; returns the stamped event dict.
+
+        The event carries ``seq`` (total order), ``t`` (wall seconds
+        since the bus was created) and ``kind`` ahead of the caller's
+        fields. Never blocks, never raises.
+        """
+        with self._lock:
+            event = {"seq": self._seq, "t": self._clock() - self._epoch,
+                     "kind": kind, **fields}
+            self._seq += 1
+            self.published += 1
+            for sink in self._sinks:
+                try:
+                    sink(event)
+                except Exception:
+                    self.sink_errors += 1
+            self._pending.append(event)
+            if len(self._pending) > self.capacity:
+                self._pending.popleft()
+                self.dropped += 1
+            return event
+
+    def drain(self) -> list:
+        """Return and clear all pending (not-yet-pulled) events, in order."""
+        with self._lock:
+            events = list(self._pending)
+            self._pending.clear()
+            return events
+
+    def summary(self) -> dict:
+        """Bus counters for reports: published / dropped / sink errors."""
+        with self._lock:
+            return {"published": self.published, "dropped": self.dropped,
+                    "pending": len(self._pending),
+                    "sink_errors": self.sink_errors}
+
+
+class JsonlSink:
+    """Bus sink writing one JSON object per line to a text stream.
+
+    Each line is flushed as it is written so a tailing consumer (or a
+    pipe on ``--events -``) sees progress live. Serialization failures
+    are reported to the bus as sink errors rather than raised.
+    """
+
+    def __init__(self, stream: TextIO) -> None:
+        self.stream = stream
+
+    def __call__(self, event: dict) -> None:
+        self.stream.write(json.dumps(event, sort_keys=True,
+                                     default=str) + "\n")
+        self.stream.flush()
+
+
+# ---------------------------------------------------------------------------
+# per-job telemetry
+# ---------------------------------------------------------------------------
+
+
+class JobTracer(Tracer):
+    """Bounded per-job tracer that streams shallow span edges to a bus.
+
+    Only spans at depth <= *span_event_depth* publish ``span.open`` /
+    ``span.close`` events (default 0: the per-job root — one open and
+    one close per job, a deterministic count the bench gate relies on).
+    Deeper spans are still recorded in the tracer and adopted onto the
+    coordinator's worker lane at job completion.
+    """
+
+    def __init__(self, *, job_id: str, trace_id: str, worker: int = -1,
+                 bus: Optional[EventBus] = None, span_event_depth: int = 0,
+                 max_spans: int = DEFAULT_JOB_SPANS) -> None:
+        super().__init__(max_spans=max_spans)
+        self.job_id = job_id
+        self.trace_id = trace_id
+        self.worker = worker
+        self.bus = bus
+        self.span_event_depth = span_event_depth
+
+    def _open(self, span: Span) -> None:
+        super()._open(span)
+        if self.bus is not None and span.depth <= self.span_event_depth:
+            self.bus.publish("span.open", job=self.job_id,
+                             trace=self.trace_id, worker=self.worker,
+                             span=span.name, depth=span.depth)
+
+    def _close(self, span: Span) -> None:
+        super()._close(span)
+        if self.bus is not None and span.depth <= self.span_event_depth:
+            self.bus.publish("span.close", job=self.job_id,
+                             trace=self.trace_id, worker=self.worker,
+                             span=span.name, depth=span.depth,
+                             wall_s=span.wall_seconds,
+                             modeled_s=span.modeled_seconds)
+
+
+@dataclass
+class JobTelemetry:
+    """One job's live telemetry context, created at queue pull time.
+
+    Carries the ``job_id``/``trace_id`` pair and a bounded tracer +
+    registry installed as the worker thread's telemetry for the duration
+    of the job, then merged into the coordinator registry and adopted
+    onto the job's ``worker#<i>`` Chrome-trace lane on completion.
+    """
+
+    job_id: str
+    trace_id: str
+    worker: int
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+    @classmethod
+    def create(cls, *, job_id: str, index: int, worker: int,
+               bus: Optional[EventBus] = None, span_event_depth: int = 0,
+               max_spans: int = DEFAULT_JOB_SPANS) -> "JobTelemetry":
+        """Build a fresh per-job context with a deterministic trace id."""
+        trace_id = f"{job_id}#{index}"
+        tracer = JobTracer(job_id=job_id, trace_id=trace_id, worker=worker,
+                           bus=bus, span_event_depth=span_event_depth,
+                           max_spans=max_spans)
+        return cls(job_id=job_id, trace_id=trace_id, worker=worker,
+                   tracer=tracer, metrics=MetricsRegistry())
+
+
+def adopt_job_spans(target: Tracer, telemetry: JobTelemetry, *, lane: str,
+                    base: float, flow_id: Optional[int] = None,
+                    limit: int = DEFAULT_ADOPT_LIMIT) -> int:
+    """Re-lane a finished job's modeled spans onto the coordinator tracer.
+
+    The job ran its own :class:`JobTracer`, so its kernel/transfer
+    device events sit on per-job tracks. This copies up to *limit* of
+    the job's non-host spans onto *target*'s ``worker#<i>`` lane
+    (*lane*), laid out sequentially from modeled offset *base* — the
+    lane position where the job's ``service.job`` envelope starts, so
+    the adopted spans render *nested inside* the envelope in the trace
+    viewer. Each adopted span is stamped with the job/trace ids and its
+    original track; the first one carries ``flow``/``flow_id`` so the
+    exporter links it into the admission→execution flow. Host-timeline
+    spans are not adopted (their wall timing belongs to the worker
+    thread, not the coordinator's trace). Returns the number adopted;
+    the remainder (if any) is counted on the target tracer's ``dropped``.
+    """
+    if not target.enabled:
+        return 0
+    adopted = 0
+    overflow = 0
+    cursor = float(base)
+    for span in telemetry.tracer.spans:
+        if span.track == "host":
+            continue
+        if adopted >= limit:
+            overflow += 1
+            continue
+        copy = Span(target, span.name, category=span.category, track=lane,
+                    attrs=dict(span.attrs or {}))
+        copy.span_id = target._next_id
+        target._next_id += 1
+        copy.start_wall = copy.end_wall = 0.0
+        copy.start_modeled = cursor
+        cursor += span.modeled_seconds
+        copy.end_modeled = cursor
+        copy.attrs.update(job=telemetry.job_id, trace=telemetry.trace_id,
+                          src_track=span.track)
+        if flow_id is not None and adopted == 0:
+            copy.attrs.update(flow="step", flow_id=flow_id)
+        target._record(copy)
+        adopted += 1
+    if overflow:
+        target.dropped += overflow
+    clock = target.device_clocks.get(lane, 0.0)
+    if cursor > clock:
+        target.device_clocks[lane] = cursor
+    return adopted
+
+
+# ---------------------------------------------------------------------------
+# flight recorder
+# ---------------------------------------------------------------------------
+
+
+class FlightRecorder:
+    """Ring buffers of recent bus events, dumped to a sidecar on demand.
+
+    Attached to an :class:`EventBus` as a sink, it keeps the last
+    *per_worker* events for each worker (events carrying a ``worker``
+    field) plus a coordinator ring for the rest. :meth:`dump` appends
+    one JSON record — reason, worker, job, and the recent events — to
+    ``path`` (``<journal>.flight.jsonl``) and returns the path, so a
+    crash or quarantine leaves a black-box recording of what the worker
+    was doing. With no path configured, :meth:`dump` is a no-op.
+    """
+
+    def __init__(self, *, path: Union[str, Path, None] = None,
+                 per_worker: int = DEFAULT_FLIGHT_EVENTS) -> None:
+        if per_worker < 1:
+            raise ValueError("per_worker must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.per_worker = per_worker
+        self._lock = threading.Lock()
+        self._rings: dict = {}  # worker index (or -1) -> deque of events
+        #: dump records appended so far
+        self.dumps = 0
+
+    def __call__(self, event: dict) -> None:
+        """Bus-sink entry point: file the event into its worker's ring."""
+        worker = event.get("worker", -1)
+        key = worker if isinstance(worker, int) else -1
+        with self._lock:
+            ring = self._rings.get(key)
+            if ring is None:
+                ring = deque(maxlen=self.per_worker)
+                self._rings[key] = ring
+            ring.append(event)
+
+    def recent(self, worker: Optional[int] = None) -> list:
+        """Recent events: one worker's ring, or all rings merged in order."""
+        with self._lock:
+            if worker is not None:
+                return list(self._rings.get(worker, ()))
+            merged = [e for ring in self._rings.values() for e in ring]
+        merged.sort(key=lambda e: e.get("seq", 0))
+        return merged
+
+    def dump(self, reason: str, *, worker: Optional[int] = None,
+             job_id: Optional[str] = None) -> Optional[Path]:
+        """Append one flight record for *reason*; returns the sidecar path.
+
+        The record carries the crashed worker's ring plus the
+        coordinator ring (merged, bus order) so the last admissions and
+        supervisor actions around the crash are visible too. Returns
+        ``None`` (and records nothing) when no path is configured; I/O
+        errors are swallowed — the flight recorder must never take down
+        the batch it is observing.
+        """
+        if self.path is None:
+            return None
+        with self._lock:
+            if worker is None:
+                events = [e for ring in self._rings.values() for e in ring]
+            else:
+                events = list(self._rings.get(worker, ()))
+                events.extend(self._rings.get(-1, ()))
+        events.sort(key=lambda e: e.get("seq", 0))
+        record = {"reason": reason, "worker": worker, "job": job_id,
+                  "events": events}
+        try:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True,
+                                    default=str) + "\n")
+                fh.flush()
+        except OSError:
+            return None
+        self.dumps += 1
+        return self.path
+
+
+def read_flight(path: Union[str, Path]) -> list:
+    """Read a flight-recorder sidecar: a list of dump records, in order.
+
+    Tolerant of a torn tail the same way the journal reader is — a
+    process dying mid-dump leaves at most one garbled trailing line,
+    which is dropped rather than raised on.
+    """
+    records: list = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            body = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(body, dict):
+            records.append(body)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# SLO rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One rule's verdict against one metrics snapshot."""
+
+    name: str
+    ok: bool
+    applicable: bool
+    value: Optional[float]
+    threshold: float
+    op: str
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form for reports and events."""
+        return {"name": self.name, "ok": self.ok,
+                "applicable": self.applicable, "value": self.value,
+                "threshold": self.threshold, "op": self.op,
+                "detail": self.detail}
+
+
+def _compare(value: float, op: str, threshold: float) -> bool:
+    if op == "<=":
+        return value <= threshold
+    if op == ">=":
+        return value >= threshold
+    raise ValueError(f"unsupported SLO operator {op!r}")
+
+
+@dataclass(frozen=True)
+class PercentileSLO:
+    """Bound a histogram statistic: ``p99:service.queue_wait<=0.5``.
+
+    *stat* is one of ``p50``/``p90``/``p99``/``mean``/``max``. The rule
+    is not applicable (neither ok nor breached) until the histogram has
+    at least one observation.
+    """
+
+    name: str
+    metric: str
+    stat: str
+    threshold: float
+    op: str = "<="
+
+    def evaluate(self, registry: MetricsRegistry) -> SLOStatus:
+        """Judge the rule against *registry*'s histogram state."""
+        hist = registry.histogram(self.metric)
+        if hist.count == 0:
+            return SLOStatus(self.name, ok=True, applicable=False,
+                             value=None, threshold=self.threshold,
+                             op=self.op, detail="no observations")
+        if self.stat == "mean":
+            value = hist.total / hist.count
+        elif self.stat == "max":
+            value = hist.max
+        elif self.stat in ("p50", "p90", "p99"):
+            value = hist.percentile(float(self.stat[1:]))
+        else:
+            raise ValueError(f"unsupported SLO stat {self.stat!r}")
+        ok = _compare(value, self.op, self.threshold)
+        return SLOStatus(self.name, ok=ok, applicable=True, value=value,
+                         threshold=self.threshold, op=self.op,
+                         detail=f"{self.stat}({self.metric})")
+
+    def spec(self) -> str:
+        """The rule back in ``stat:metric<=threshold`` spec form."""
+        return f"{self.stat}:{self.metric}{self.op}{self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class RatioSLO:
+    """Bound a counter ratio: ``ratio:a+b/c+d<=0.05``.
+
+    Numerator and denominator are sums of counters; the rule is not
+    applicable while the denominator is zero (no traffic yet — a batch
+    with no finished jobs has no error *rate*).
+    """
+
+    name: str
+    numerator: Sequence[str]
+    denominator: Sequence[str]
+    threshold: float
+    op: str = "<="
+
+    def evaluate(self, registry: MetricsRegistry) -> SLOStatus:
+        """Judge the rule against *registry*'s counter state."""
+        num = sum(registry.counter(n).value for n in self.numerator)
+        den = sum(registry.counter(n).value for n in self.denominator)
+        if den == 0:
+            return SLOStatus(self.name, ok=True, applicable=False,
+                             value=None, threshold=self.threshold,
+                             op=self.op, detail="denominator is zero")
+        value = num / den
+        ok = _compare(value, self.op, self.threshold)
+        return SLOStatus(self.name, ok=ok, applicable=True, value=value,
+                         threshold=self.threshold, op=self.op,
+                         detail=f"{num:g}/{den:g}")
+
+    def spec(self) -> str:
+        """The rule back in ``ratio:num/den<=threshold`` spec form."""
+        return (f"ratio:{'+'.join(self.numerator)}/"
+                f"{'+'.join(self.denominator)}{self.op}{self.threshold:g}")
+
+
+_SLO_OPS = ("<=", ">=")
+_PERCENTILE_STATS = frozenset({"p50", "p90", "p99", "mean", "max"})
+
+
+def parse_slo(spec: str, *, name: Optional[str] = None):
+    """Parse one SLO rule from its spec string.
+
+    Grammar (one rule per spec, operator splits rule from threshold)::
+
+        p99:service.queue_wait<=0.5
+        mean:service.queue_wait<=0.1
+        ratio:service.jobs.failed+service.jobs.crashed/service.jobs.ok<=0.05
+        ratio:service.cache.hits/service.cache.hits+service.cache.misses>=0.5
+
+    Raises :class:`ValueError` on a malformed spec.
+    """
+    text = spec.strip()
+    op = next((o for o in _SLO_OPS if o in text), None)
+    if op is None:
+        raise ValueError(f"SLO spec {spec!r} needs a <= or >= threshold")
+    lhs, _, rhs = text.partition(op)
+    try:
+        threshold = float(rhs)
+    except ValueError as exc:
+        raise ValueError(f"SLO spec {spec!r}: bad threshold {rhs!r}") from exc
+    stat, sep, expr = lhs.partition(":")
+    if not sep or not expr:
+        raise ValueError(
+            f"SLO spec {spec!r} needs the form stat:metric{op}threshold")
+    stat = stat.strip()
+    expr = expr.strip()
+    if stat == "ratio":
+        num_expr, sep, den_expr = expr.partition("/")
+        if not sep or not num_expr or not den_expr:
+            raise ValueError(f"SLO spec {spec!r}: ratio needs num/den")
+        numerator = tuple(p.strip() for p in num_expr.split("+") if p.strip())
+        denominator = tuple(p.strip() for p in den_expr.split("+")
+                            if p.strip())
+        if not numerator or not denominator:
+            raise ValueError(f"SLO spec {spec!r}: empty counter list")
+        return RatioSLO(name or text, numerator, denominator, threshold, op)
+    if stat not in _PERCENTILE_STATS:
+        raise ValueError(
+            f"SLO spec {spec!r}: unknown stat {stat!r} "
+            f"(expected one of {sorted(_PERCENTILE_STATS)} or 'ratio')")
+    return PercentileSLO(name or text, expr, stat, threshold, op)
+
+
+def evaluate_slos(rules: Iterable, registry: MetricsRegistry) -> list:
+    """Evaluate every rule against *registry*; a list of :class:`SLOStatus`."""
+    return [rule.evaluate(registry) for rule in rules]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus-style exposition
+# ---------------------------------------------------------------------------
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """Sanitize a registry metric name into a Prometheus metric name."""
+    return _PROM_BAD.sub("_", f"{prefix}_{name}" if prefix else name)
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      prefix: str = "repro") -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix, gauges pass
+    through, histograms are rendered as summaries (p50/p90/p99 quantile
+    samples plus ``_sum``/``_count``). Output order is deterministic
+    (sorted by metric name) so snapshots diff cleanly.
+    """
+    snap = registry.snapshot()
+    lines: list = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        metric = _prom_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value:g}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    for name, summary in sorted(snap.get("histograms", {}).items()):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, stat in (("0.5", "p50"), ("0.9", "p90"),
+                               ("0.99", "p99")):
+            value = summary.get(stat)
+            if value is not None:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} {value:g}')
+        lines.append(f"{metric}_sum {summary.get('sum', 0.0):g}")
+        lines.append(f"{metric}_count {summary.get('count', 0):g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: Union[str, Path],
+                     prefix: str = "repro") -> Path:
+    """Atomically write the exposition text to *path* (tmp + rename).
+
+    Scrapers and tailing readers never observe a half-written file; the
+    rename replaces the previous snapshot in one step.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(render_prometheus(registry, prefix), encoding="utf-8")
+    os.replace(tmp, target)
+    return target

@@ -42,6 +42,7 @@ from repro.telemetry.span import set_span_listener
 SPAN_LOGGER = "repro.telemetry.span"
 FAULT_LOGGER = "repro.gpusim.fault"
 BENCH_LOGGER = "repro.telemetry.bench"
+LIVE_LOGGER = "repro.telemetry.live"
 
 #: attribute carrying structured fields on a LogRecord (see JsonFormatter)
 FIELDS_ATTR = "repro_fields"
@@ -107,6 +108,41 @@ class SpanLogListener:
                     "modeled_seconds": span.modeled_seconds,
                 }},
             )
+
+
+class EventLogSink:
+    """Event-bus sink routing live service events through stdlib logging.
+
+    Attach to an :class:`~repro.telemetry.live.EventBus` (usually via
+    :func:`attach_bus_logging`) and every published event becomes one
+    record under ``repro.telemetry.live`` — ``slo.breach`` and
+    ``worker.crashed`` at WARNING, everything else at INFO — with the
+    full event dict in the structured-fields attribute, so the JSON
+    formatter round-trips it. The bus delivers to sinks in publication
+    (sequence) order, so log lines inherit the stream's total order.
+    """
+
+    _WARN_KINDS = frozenset({"slo.breach", "worker.crashed", "batch.abort",
+                             "job.quarantined", "breaker.transition"})
+
+    def __init__(self, logger: Optional[logging.Logger] = None) -> None:
+        self._log = logger or logging.getLogger(LIVE_LOGGER)
+
+    def __call__(self, event: dict) -> None:
+        """Log one bus event (bus-sink entry point)."""
+        kind = event.get("kind", "event")
+        level = (logging.WARNING if kind in self._WARN_KINDS
+                 else logging.INFO)
+        if self._log.isEnabledFor(level):
+            self._log.log(level, "live %s seq=%s", kind, event.get("seq"),
+                          extra={FIELDS_ATTR: dict(event)})
+
+
+def attach_bus_logging(bus, logger: Optional[logging.Logger] = None) -> EventLogSink:
+    """Attach an :class:`EventLogSink` to *bus*; returns the sink."""
+    sink = EventLogSink(logger)
+    bus.attach(sink)
+    return sink
 
 
 def log_fault_event(name: str, track: str, amount: float = 1.0) -> None:

@@ -245,3 +245,65 @@ class TestGracefulDrain:
                      journal.read_text().splitlines()]
                     if e["event"] == "finished"}
         assert finished == set(range(40))
+
+
+class TestBatchObservability:
+    """The --events / --metrics-out / --slo live-observability flags."""
+
+    def test_events_file_is_ordered_jsonl(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [
+            {"id": "a", "n": 64, "seed": 1},
+            {"id": "b", "n": 64, "seed": 1},
+        ])
+        events_path = tmp_path / "events.jsonl"
+        assert main(["batch", str(m), "--workers", "2",
+                     "--events", str(events_path)]) == 0
+        err = capsys.readouterr().err
+        events = [json.loads(line) for line in
+                  events_path.read_text().splitlines()]
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "batch.begin"
+        assert kinds[-1] == "batch.end"
+        assert kinds.count("job.finished") == 2
+        assert "event(s) published" in err
+        assert "all SLOs ok" in err
+
+    def test_events_stdout_interleaves_with_results(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [{"id": "a", "n": 64, "seed": 1}])
+        assert main(["batch", str(m), "--events", "-"]) == 0
+        out = capsys.readouterr().out
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert any(line.get("kind") == "batch.end" for line in lines)
+        assert any(line.get("status") == "ok" for line in lines)
+
+    def test_metrics_out_and_custom_slo(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [{"id": "a", "n": 64, "seed": 1}])
+        metrics = tmp_path / "metrics.prom"
+        assert main(["batch", str(m), "--metrics-out", str(metrics),
+                     "--slo", "p99:service.queue_wait<=60"]) == 0
+        assert "repro_service_jobs_ok_total 1" in metrics.read_text()
+        assert "metrics snapshot" in capsys.readouterr().err
+
+    def test_bad_slo_spec_exits_2(self, tmp_path, capsys):
+        m = write_manifest(tmp_path, [{"id": "a", "n": 64, "seed": 1}])
+        assert main(["batch", str(m), "--slo", "p42:nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_writes_flight_sidecar_next_to_journal(self, tmp_path,
+                                                         capsys):
+        from repro.service import flight_path_for
+
+        m = write_manifest(tmp_path, [
+            {"id": f"c{i}", "n": 64, "seed": i} for i in range(4)
+        ])
+        journal = tmp_path / "run.jsonl"
+        code = main(["batch", str(m), "--workers", "1",
+                     "--journal", str(journal),
+                     "--chaos", "kill:worker=0,pull=2",
+                     "--events", str(tmp_path / "ev.jsonl")])
+        assert code == 0
+        err = capsys.readouterr().err
+        sidecar = flight_path_for(journal)
+        assert sidecar.exists()
+        assert "flight recordings written to" in err

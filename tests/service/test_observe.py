@@ -1,0 +1,223 @@
+"""Tests for the live observability choreography (BatchObserver)."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    ArtifactCache,
+    BatchObserver,
+    SolveRequest,
+    flight_path_for,
+    quarantine_path_for,
+    run_batch,
+)
+from repro.telemetry.live import read_flight
+
+pytestmark = [pytest.mark.service, pytest.mark.observe]
+
+
+def _requests(n_jobs=4, sizes=(100, 120)):
+    return [SolveRequest(job_id=f"j{i}", n=sizes[i % len(sizes)],
+                         seed=sizes[i % len(sizes)])
+            for i in range(n_jobs)]
+
+
+def _observed_run(requests, **kwargs):
+    events = []
+    observer = BatchObserver()
+    observer.bus.attach(events.append)
+    report = run_batch(requests, observer=observer, **kwargs)
+    return report, events, observer
+
+
+class TestEventStream:
+    def test_calm_batch_event_census(self):
+        report, events, _ = _observed_run(_requests(4), workers=2,
+                                          cache=ArtifactCache())
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("batch.begin") == 1
+        assert kinds.count("batch.end") == 1
+        for kind in ("job.admitted", "job.started", "span.open",
+                     "span.close", "job.finished"):
+            assert kinds.count(kind) == 4, kind
+        assert len(events) == 22
+        assert report.ok
+
+    def test_totally_ordered_and_gapless(self):
+        _, events, _ = _observed_run(_requests(6), workers=3)
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_per_job_lifecycle_ordering(self):
+        """Every admitted job sees admission → start → finish, in that
+        order, each event stamped with its job id."""
+        _, events, _ = _observed_run(_requests(5), workers=2)
+        for job_id in (f"j{i}" for i in range(5)):
+            mine = [e["kind"] for e in events if e.get("job") == job_id]
+            assert mine.index("job.admitted") < mine.index("job.started")
+            assert mine.index("job.started") < mine.index("job.finished")
+
+    def test_finished_event_carries_trace_and_metrics(self):
+        _, events, _ = _observed_run(_requests(2), workers=1)
+        finished = [e for e in events if e["kind"] == "job.finished"]
+        for e in finished:
+            assert e["trace"] == f"{e['job']}#{e['index']}"
+            assert e["status"] == "ok"
+            assert e["worker"] == 0
+            assert "metrics" in e
+
+    def test_batch_end_reports_reason_and_counts(self):
+        _, events, _ = _observed_run(_requests(3), workers=1)
+        end = events[-1]
+        assert end["kind"] == "batch.end"
+        assert end["reason"] == "complete"
+        assert end["counts"] == {"ok": 3}
+        assert end["breaches"] == 0
+
+
+class TestDeterminism:
+    def test_results_bit_identical_events_on_vs_off(self):
+        """Observation is observation: the full observer stack changes
+        nothing about the tours, work counters, or modeled times."""
+        plain = run_batch(_requests(6), workers=2, cache=ArtifactCache())
+        observed, _, _ = _observed_run(_requests(6), workers=2,
+                                       cache=ArtifactCache())
+        key = lambda r: r.job_id
+        for a, b in zip(sorted(plain.results, key=key),
+                        sorted(observed.results, key=key)):
+            assert a.job_id == b.job_id
+            assert a.status == b.status
+            assert a.final_length == b.final_length
+            assert a.canonical_length == b.canonical_length
+            assert a.moves_applied == b.moves_applied
+            assert a.scans == b.scans
+            assert a.modeled_seconds == b.modeled_seconds
+
+
+class TestSLOs:
+    def test_calm_path_has_zero_breaches(self):
+        report, events, _ = _observed_run(_requests(4), workers=2)
+        assert not any(e["kind"] == "slo.breach" for e in events)
+        assert report.slos["breaches"] == []
+        rules = {r["name"]: r for r in report.slos["rules"]}
+        assert rules["job-error-rate"]["ok"] is True
+        assert rules["job-error-rate"]["applicable"] is True
+
+    def test_custom_slo_breach_published_once(self):
+        from repro.telemetry.live import parse_slo
+
+        events = []
+        # impossible bound: any finished job breaches immediately
+        observer = BatchObserver(slos=[
+            parse_slo("ratio:service.jobs.ok/service.jobs.ok<=0.5",
+                      name="always-breach")])
+        observer.bus.attach(events.append)
+        report = run_batch(_requests(4), workers=2, observer=observer)
+        breaches = [e for e in events if e["kind"] == "slo.breach"]
+        assert len(breaches) == 1  # edge-triggered, not re-published
+        assert breaches[0]["slo"] == "always-breach"
+        assert report.slos["breaches"] == ["always-breach"]
+
+    def test_metrics_snapshot_written(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        observer = BatchObserver(metrics_path=path)
+        run_batch(_requests(3), workers=1, observer=observer)
+        text = path.read_text()
+        assert "repro_service_jobs_ok_total 3" in text
+        assert "repro_service_queue_wait_count 3" in text
+
+
+class TestFlightRecorder:
+    CHAOS = "kill:worker=0,pull=2;kill:worker=0,pull=7"
+
+    def _chaos_run(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        requests = [SolveRequest(job_id=f"cx-{i}", n=100, seed=i)
+                    for i in range(6)]
+        events = []
+        observer = BatchObserver()
+        observer.bus.attach(events.append)
+        report = run_batch(requests, workers=1, queue_depth=8,
+                           journal_path=journal, chaos=self.CHAOS,
+                           poll_interval_s=0.01, observer=observer)
+        return report, events, observer, journal
+
+    def test_crash_dumps_flight_sidecar(self, tmp_path):
+        report, events, observer, journal = self._chaos_run(tmp_path)
+        sidecar = flight_path_for(journal)
+        assert observer.flight.path == sidecar  # auto-derived
+        records = read_flight(sidecar)
+        reasons = [r["reason"] for r in records]
+        assert reasons.count("crash") == 2
+        assert reasons.count("quarantine") == 1
+        # the crash record is the poison worker's black box: the kill
+        # fires at pull time, so the ring ends with the poison job
+        # admitted and the previous job's full lifecycle
+        crash = records[0]
+        assert crash["worker"] == 0
+        assert crash["job"] == "cx-1"
+        assert any(e["kind"] == "job.admitted" and e.get("job") == "cx-1"
+                   for e in crash["events"])
+        assert any(e["kind"] == "job.finished" and e.get("job") == "cx-0"
+                   for e in crash["events"])
+        seqs = [e["seq"] for e in crash["events"]]
+        assert seqs == sorted(seqs)  # merged rings keep bus order
+
+    def test_quarantine_record_cross_links_flight(self, tmp_path):
+        _, _, _, journal = self._chaos_run(tmp_path)
+        qpath = quarantine_path_for(journal)
+        lines = [json.loads(line) for line in
+                 qpath.read_text().splitlines() if line.strip()]
+        assert len(lines) == 1
+        record = lines[0]
+        assert record["id"] == "cx-1"
+        assert record["flight"] == str(flight_path_for(journal))
+
+    def test_chaos_event_stream_tells_the_story(self, tmp_path):
+        report, events, _, _ = self._chaos_run(tmp_path)
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("worker.crashed") == 2
+        assert kinds.count("worker.respawned") == 1
+        assert kinds.count("job.requeued") == 1
+        assert kinds.count("job.quarantined") == 1
+        assert kinds.count("flight.dump") == 3
+        # the journal's durable writes echo onto the stream
+        assert kinds.count("journal.finished") == len(report.results)
+        # crashes breach the zero-error SLO exactly once
+        assert kinds.count("slo.breach") == 1
+
+    def test_report_events_summary(self, tmp_path):
+        report, events, observer, journal = self._chaos_run(tmp_path)
+        assert report.events["published"] == len(events)
+        assert report.events["dropped"] == 0
+        assert report.events["flight_dumps"] == 3
+        assert report.events["flight_path"] == str(flight_path_for(journal))
+
+
+class TestReplayAndTelemetryPlumbing:
+    def test_replayed_jobs_publish_replay_events(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        requests = _requests(3)
+        run_batch(requests, workers=1, journal_path=journal)
+        events = []
+        observer = BatchObserver()
+        observer.bus.attach(events.append)
+        report = run_batch(None, resume_from=journal, workers=1,
+                           observer=observer)
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("job.replayed") == 3
+        assert kinds.count("job.admitted") == 0  # nothing left to run
+        assert len(report.results) == 3
+
+    def test_pool_without_observer_still_noop_tracer(self):
+        """The default path stays zero-cost: no observer, no per-job
+        telemetry contexts, no telemetry field on results."""
+        report = run_batch(_requests(2), workers=1)
+        assert all(r.telemetry is None for r in report.results)
+
+    def test_worker_metrics_merged_into_observer(self):
+        _, _, observer = _observed_run(_requests(3), workers=1)
+        snap = observer.metrics.snapshot()
+        assert snap["counters"].get("service.jobs.ok") == 3
+        # per-job solver-side counters folded in from worker threads
+        assert snap["counters"].get("transfer.bytes", 0) > 0

@@ -233,3 +233,48 @@ class TestHtmlDashboard:
         path = write_dashboard(tmp_path / "dash.html", ledger_runs())
         assert path.exists()
         assert "Metric trajectories" in path.read_text()
+
+
+def sample_flight():
+    """Two flight dump records; the newer one is the charted crash."""
+    return [
+        {"reason": "crash", "worker": 0, "job": "cx-1", "events": [
+            {"seq": 4, "kind": "job.admitted", "worker": -1,
+             "job_id": "cx-1"},
+        ]},
+        {"reason": "quarantine", "worker": 0, "job": "cx-1", "events": [
+            {"seq": 4, "kind": "job.admitted", "job_id": "cx-1"},
+            {"seq": 9, "kind": "worker.crashed", "worker": 0,
+             "job_id": "cx-1"},
+            {"seq": 12, "kind": "job.quarantined", "worker": 0,
+             "job_id": "cx-1"},
+        ]},
+    ]
+
+
+@pytest.mark.observe
+class TestFlightPanel:
+    def test_summary_rows_chart_only_the_latest_dump(self):
+        from repro.telemetry.dashboard import flight_summary_rows
+
+        rows = flight_summary_rows(sample_flight())
+        assert [r["seq"] for r in rows] == [4, 9, 12]
+        assert rows[1]["kind"] == "worker.crashed"
+        assert flight_summary_rows([]) == []
+
+    def test_html_last_flight_section(self):
+        html_out = render_dashboard_html(ledger_runs(), flight=sample_flight())
+        assert "Last flight" in html_out
+        assert "quarantine on worker 0, job cx-1" in html_out
+        assert "worker.crashed" in html_out
+        assert "2 recording(s)" in html_out
+
+    def test_ascii_last_flight_table(self):
+        text = render_dashboard_ascii(ledger_runs(), flight=sample_flight())
+        assert "Last flight" in text
+        assert "job.quarantined" in text
+
+    def test_no_flight_no_panel(self):
+        assert "Last flight" not in render_dashboard_html(ledger_runs())
+        assert "Last flight" not in render_dashboard_html(ledger_runs(),
+                                                          flight=[])

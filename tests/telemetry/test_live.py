@@ -1,0 +1,345 @@
+"""Tests for the live observability primitives (bus, traces, SLOs)."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, Tracer
+from repro.telemetry.live import (
+    EventBus,
+    FlightRecorder,
+    JobTelemetry,
+    JsonlSink,
+    PercentileSLO,
+    RatioSLO,
+    adopt_job_spans,
+    evaluate_slos,
+    parse_slo,
+    read_flight,
+    render_prometheus,
+    write_prometheus,
+)
+
+pytestmark = pytest.mark.observe
+
+
+class TestEventBus:
+    def test_sequential_total_order(self):
+        bus = EventBus()
+        seen = []
+        bus.attach(seen.append)
+        for i in range(5):
+            bus.publish("tick", i=i)
+        assert [e["seq"] for e in seen] == [0, 1, 2, 3, 4]
+        assert [e["i"] for e in seen] == [0, 1, 2, 3, 4]
+        assert bus.published == 5
+
+    def test_concurrent_publishers_one_total_order(self):
+        """Worker threads hammering publish still yield unique, gapless
+        seqs, and every sink observes the identical order."""
+        bus = EventBus()
+        sink_a, sink_b = [], []
+        bus.attach(sink_a.append)
+        bus.attach(sink_b.append)
+        n_threads, per_thread = 8, 50
+
+        def pound(tid):
+            for i in range(per_thread):
+                bus.publish("tick", tid=tid, i=i)
+
+        threads = [threading.Thread(target=pound, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        seqs = [e["seq"] for e in sink_a]
+        assert sorted(seqs) == list(range(total))
+        assert seqs == sorted(seqs)  # delivered in order, not just stamped
+        assert [e["seq"] for e in sink_b] == seqs
+        # per-publisher order is preserved inside the total order
+        for tid in range(n_threads):
+            mine = [e["i"] for e in sink_a if e["tid"] == tid]
+            assert mine == list(range(per_thread))
+
+    def test_bounded_pending_drops_oldest(self):
+        bus = EventBus(capacity=4)
+        for i in range(10):
+            bus.publish("tick", i=i)
+        pending = bus.drain()
+        assert [e["i"] for e in pending] == [6, 7, 8, 9]
+        assert bus.dropped == 6
+        assert bus.summary()["dropped"] == 6
+        assert bus.drain() == []  # drain clears
+
+    def test_broken_sink_is_counted_not_raised(self):
+        bus = EventBus()
+        good = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.attach(bad)
+        bus.attach(good.append)
+        bus.publish("tick")
+        bus.publish("tock")
+        assert bus.sink_errors == 2
+        assert [e["kind"] for e in good] == ["tick", "tock"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+
+class TestJsonlSink:
+    def test_one_json_object_per_line_in_order(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        bus.attach(JsonlSink(stream))
+        bus.publish("a", x=1)
+        bus.publish("b", y="two")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert (first["kind"], first["seq"], first["x"]) == ("a", 0, 1)
+        assert (second["kind"], second["seq"], second["y"]) == ("b", 1, "two")
+
+
+class TestJobTelemetry:
+    def test_root_span_publishes_open_and_close(self):
+        bus = EventBus()
+        jt = JobTelemetry.create(job_id="j1", index=3, worker=1, bus=bus)
+        assert jt.trace_id == "j1#3"
+        with jt.tracer.span("solve"):
+            with jt.tracer.span("scan"):  # depth 1: recorded, not published
+                jt.tracer.advance_modeled(0.1)
+        kinds = [e["kind"] for e in bus.drain()]
+        assert kinds == ["span.open", "span.close"]
+        assert len(jt.tracer.spans) == 2
+
+    def test_span_event_depth_widens_the_stream(self):
+        bus = EventBus()
+        jt = JobTelemetry.create(job_id="j1", index=0, worker=0, bus=bus,
+                                 span_event_depth=1)
+        with jt.tracer.span("solve"):
+            with jt.tracer.span("scan"):
+                pass
+        assert [e["kind"] for e in bus.drain()] == [
+            "span.open", "span.open", "span.close", "span.close"]
+
+    def test_close_event_carries_times_and_identity(self):
+        bus = EventBus()
+        jt = JobTelemetry.create(job_id="j9", index=2, worker=4, bus=bus)
+        with jt.tracer.span("solve"):
+            jt.tracer.advance_modeled(0.5)
+        close = bus.drain()[-1]
+        assert close["job"] == "j9"
+        assert close["trace"] == "j9#2"
+        assert close["worker"] == 4
+        assert close["modeled_s"] == pytest.approx(0.5)
+
+
+class TestAdoptJobSpans:
+    def _job_with_device_work(self):
+        jt = JobTelemetry.create(job_id="j1", index=0, worker=1)
+        jt.tracer.device_event("kernel", 0.2, track="gtx680-cuda")
+        jt.tracer.device_event("transfer", 0.1, track="pcie")
+        with jt.tracer.span("host-side"):  # host span: never adopted
+            pass
+        return jt
+
+    def test_spans_relaned_sequentially_from_base(self):
+        jt = self._job_with_device_work()
+        target = Tracer()
+        adopted = adopt_job_spans(target, jt, lane="worker#1", base=5.0,
+                                  flow_id=7)
+        assert adopted == 2
+        lane_spans = [s for s in target.spans if s.track == "worker#1"]
+        assert [s.name for s in lane_spans] == ["kernel", "transfer"]
+        first, second = lane_spans
+        assert first.start_modeled == pytest.approx(5.0)
+        assert first.end_modeled == pytest.approx(5.2)
+        assert second.start_modeled == pytest.approx(5.2)
+        assert second.end_modeled == pytest.approx(5.3)
+        assert target.device_clocks["worker#1"] == pytest.approx(5.3)
+
+    def test_identity_and_flow_attrs(self):
+        jt = self._job_with_device_work()
+        target = Tracer()
+        adopt_job_spans(target, jt, lane="worker#1", base=0.0, flow_id=7)
+        first, second = [s for s in target.spans if s.track == "worker#1"]
+        assert first.attrs["job"] == "j1"
+        assert first.attrs["trace"] == "j1#0"
+        assert first.attrs["src_track"] == "gtx680-cuda"
+        assert (first.attrs["flow"], first.attrs["flow_id"]) == ("step", 7)
+        assert "flow" not in second.attrs  # only the first span links
+
+    def test_overflow_counts_on_target_dropped(self):
+        jt = JobTelemetry.create(job_id="j1", index=0, worker=0)
+        for i in range(5):
+            jt.tracer.device_event(f"k{i}", 0.1, track="dev")
+        target = Tracer()
+        adopted = adopt_job_spans(target, jt, lane="w", base=0.0, limit=2)
+        assert adopted == 2
+        assert target.dropped == 3
+
+    def test_disabled_target_is_a_noop(self):
+        from repro.telemetry import NoopTracer
+
+        jt = self._job_with_device_work()
+        assert adopt_job_spans(NoopTracer(), jt, lane="w", base=0.0) == 0
+
+
+class TestFlightRecorder:
+    def test_rings_are_bounded_per_worker(self):
+        rec = FlightRecorder(per_worker=3)
+        for i in range(10):
+            rec({"seq": i, "kind": "tick", "worker": 0})
+        assert [e["seq"] for e in rec.recent(0)] == [7, 8, 9]
+
+    def test_dump_merges_worker_and_coordinator_rings(self, tmp_path):
+        path = tmp_path / "run.flight.jsonl"
+        rec = FlightRecorder(path=path)
+        rec({"seq": 0, "kind": "batch.begin"})  # coordinator ring (-1)
+        rec({"seq": 1, "kind": "job.started", "worker": 0})
+        rec({"seq": 2, "kind": "job.started", "worker": 1})  # other worker
+        out = rec.dump("crash", worker=0, job_id="j1")
+        assert out == path
+        assert rec.dumps == 1
+        records = read_flight(path)
+        assert len(records) == 1
+        record = records[0]
+        assert record["reason"] == "crash"
+        assert record["worker"] == 0
+        assert record["job"] == "j1"
+        # worker 0's ring + the coordinator ring, merged in seq order;
+        # worker 1's events stay out of worker 0's black box
+        assert [e["seq"] for e in record["events"]] == [0, 1]
+
+    def test_dump_without_path_is_noop(self):
+        rec = FlightRecorder()
+        rec({"seq": 0, "kind": "tick"})
+        assert rec.dump("crash") is None
+        assert rec.dumps == 0
+
+    def test_read_flight_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "x.flight.jsonl"
+        rec = FlightRecorder(path=path)
+        rec({"seq": 0, "kind": "tick"})
+        rec.dump("crash", worker=None)
+        with path.open("a") as fh:
+            fh.write('{"reason": "qu')  # process died mid-dump
+        records = read_flight(path)
+        assert len(records) == 1
+        assert records[0]["reason"] == "crash"
+
+    def test_read_flight_missing_file(self, tmp_path):
+        assert read_flight(tmp_path / "nope.jsonl") == []
+
+
+class TestSLOParsing:
+    def test_percentile_round_trip(self):
+        rule = parse_slo("p99:service.queue_wait<=0.5")
+        assert isinstance(rule, PercentileSLO)
+        assert rule.metric == "service.queue_wait"
+        assert rule.stat == "p99"
+        assert rule.threshold == 0.5
+        assert rule.spec() == "p99:service.queue_wait<=0.5"
+
+    def test_ratio_round_trip_with_sums(self):
+        rule = parse_slo("ratio:a+b/c+d<=0.05")
+        assert isinstance(rule, RatioSLO)
+        assert rule.numerator == ("a", "b")
+        assert rule.denominator == ("c", "d")
+        assert rule.spec() == "ratio:a+b/c+d<=0.05"
+
+    def test_ge_operator(self):
+        rule = parse_slo("ratio:hits/hits+misses>=0.5")
+        assert rule.op == ">="
+
+    @pytest.mark.parametrize("bad", [
+        "p99:service.queue_wait",      # no operator
+        "p99:x<=abc",                  # bad threshold
+        "p42:x<=1",                    # unknown stat
+        "ratio:onlynum<=1",            # ratio without /
+        "nocolon<=1",                  # missing stat:metric form
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+
+class TestSLOEvaluation:
+    def test_percentile_not_applicable_until_observed(self):
+        reg = MetricsRegistry()
+        rule = parse_slo("p99:wait<=0.5")
+        status = rule.evaluate(reg)
+        assert status.applicable is False
+        assert status.ok is True  # not-applicable never breaches
+
+    def test_percentile_breach(self):
+        reg = MetricsRegistry()
+        for v in (0.1, 0.2, 9.0):
+            reg.histogram("wait").observe(v)
+        assert parse_slo("p99:wait<=0.5").evaluate(reg).ok is False
+        assert parse_slo("max:wait<=10").evaluate(reg).ok is True
+        assert parse_slo("mean:wait<=5").evaluate(reg).ok is True
+
+    def test_ratio_not_applicable_on_zero_denominator(self):
+        reg = MetricsRegistry()
+        status = parse_slo("ratio:err/total<=0.0").evaluate(reg)
+        assert status.applicable is False
+        assert status.ok is True
+
+    def test_ratio_breach_and_pass(self):
+        reg = MetricsRegistry()
+        reg.counter("err").inc(1)
+        reg.counter("total").inc(10)
+        assert parse_slo("ratio:err/total<=0.05").evaluate(reg).ok is False
+        assert parse_slo("ratio:err/total<=0.2").evaluate(reg).ok is True
+
+    def test_evaluate_slos_preserves_rule_order(self):
+        reg = MetricsRegistry()
+        reg.counter("total").inc(1)
+        rules = [parse_slo("ratio:err/total<=0.5", name="errors"),
+                 parse_slo("p99:wait<=1", name="wait")]
+        statuses = evaluate_slos(rules, reg)
+        assert [s.name for s in statuses] == ["errors", "wait"]
+
+
+class TestPrometheus:
+    def test_render_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("service.jobs.ok").inc(3)
+        reg.gauge("queue.depth").set(2)
+        reg.histogram("service.queue_wait").observe(0.5)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_service_jobs_ok_total counter" in text
+        assert "repro_service_jobs_ok_total 3" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 2" in text
+        assert "# TYPE repro_service_queue_wait summary" in text
+        assert 'repro_service_queue_wait{quantile="0.99"} 0.5' in text
+        assert "repro_service_queue_wait_sum 0.5" in text
+        assert "repro_service_queue_wait_count 1" in text
+
+    def test_metric_names_sanitized_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b.metric").inc()
+        reg.counter("a-metric").inc()
+        text = render_prometheus(reg)
+        assert text.index("repro_a_metric_total") < text.index(
+            "repro_b_metric_total")
+
+    def test_write_is_atomic_and_replaces(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        path = tmp_path / "metrics.prom"
+        write_prometheus(reg, path)
+        reg.counter("x").inc()
+        write_prometheus(reg, path)
+        assert "repro_x_total 2" in path.read_text()
+        assert not (tmp_path / "metrics.prom.tmp").exists()

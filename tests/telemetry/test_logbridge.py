@@ -175,3 +175,80 @@ class TestListenerUnit:
         import repro.telemetry.bench as bench
 
         assert bench._log.name == BENCH_LOGGER
+
+
+@pytest.mark.observe
+class TestEventLogSink:
+    """Live bus events bridged through ``repro.telemetry.live`` logging."""
+
+    def _bus_and_records(self, level=logging.INFO):
+        from repro.telemetry.live import EventBus
+        from repro.telemetry.logbridge import LIVE_LOGGER, attach_bus_logging
+
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger(LIVE_LOGGER + ".test")
+        logger.handlers = [Capture()]
+        logger.setLevel(level)
+        logger.propagate = False
+        bus = EventBus()
+        attach_bus_logging(bus, logger)
+        return bus, records
+
+    def test_events_logged_in_bus_order(self):
+        bus, records = self._bus_and_records()
+        bus.publish("job.admitted", job="a")
+        bus.publish("job.started", job="a", worker=0)
+        bus.publish("job.finished", job="a", worker=0)
+        seqs = [getattr(r, FIELDS_ATTR)["seq"] for r in records]
+        assert seqs == [0, 1, 2]
+        assert [r.levelno for r in records] == [logging.INFO] * 3
+
+    def test_alarm_kinds_log_at_warning(self):
+        bus, records = self._bus_and_records(level=logging.WARNING)
+        bus.publish("job.finished", job="a")         # INFO: filtered out
+        bus.publish("slo.breach", slo="error-rate")  # WARNING: kept
+        bus.publish("worker.crashed", worker=1)
+        assert [getattr(r, FIELDS_ATTR)["kind"] for r in records] == [
+            "slo.breach", "worker.crashed"]
+        assert all(r.levelno == logging.WARNING for r in records)
+
+    def test_json_formatter_round_trips_event_fields(self):
+        bus, records = self._bus_and_records()
+        bus.publish("job.finished", job="a", worker=2, status="ok")
+        line = JsonLogFormatter().format(records[0])
+        payload = json.loads(line)
+        assert payload["kind"] == "job.finished"
+        assert payload["job"] == "a"
+        assert payload["worker"] == 2
+        assert payload["status"] == "ok"
+        assert payload["seq"] == 0
+        assert payload["logger"].startswith("repro.telemetry.live")
+
+    def test_full_bus_still_delivers_to_log_sink(self):
+        """Pending-buffer eviction (pull-side drops) never loses log
+        lines: sinks are push-side and see every published event."""
+        from repro.telemetry.live import EventBus
+        from repro.telemetry.logbridge import LIVE_LOGGER, attach_bus_logging
+
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger(LIVE_LOGGER + ".full")
+        logger.handlers = [Capture()]
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        bus = EventBus(capacity=2)
+        attach_bus_logging(bus, logger)
+        for i in range(10):
+            bus.publish("tick", i=i)
+        assert bus.dropped == 8          # pull-side accounting is honest
+        assert len(records) == 10        # push-side stream is complete
+        assert len(bus.drain()) == 2

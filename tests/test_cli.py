@@ -271,6 +271,24 @@ class TestDashboardCommand:
         assert main(["dashboard", "--ascii"]) == 4
         assert "contains no runs" in capsys.readouterr().err
 
+    def test_dashboard_flight_panel_without_ledger(self, tmp_path, capsys,
+                                                   monkeypatch):
+        # a flight sidecar alone is chartable (crash forensics), so no
+        # exit-4 diagnostic even with an empty observatory
+        import json as _json
+
+        monkeypatch.chdir(tmp_path)
+        flight = tmp_path / "run.jsonl.flight.jsonl"
+        flight.write_text(_json.dumps({
+            "reason": "crash", "worker": 0, "job": "cx-1",
+            "events": [{"seq": 3, "kind": "worker.crashed", "worker": 0,
+                        "job_id": "cx-1"}],
+        }) + "\n")
+        assert main(["dashboard", "--ascii", "--flight", str(flight)]) == 0
+        out = capsys.readouterr().out
+        assert "Last flight" in out
+        assert "worker.crashed" in out
+
     def test_dashboard_against_needs_ledger_run(self, tmp_path, capsys,
                                                 monkeypatch):
         # --against with an empty ledger cannot compare, even if a trace
