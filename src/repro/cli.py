@@ -566,6 +566,119 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on solve daemon behind a Unix socket.
+
+    The daemon accepts jobs over a JSONL protocol (see ``repro submit``
+    / ``status`` / ``cancel`` / ``drain`` and docs/SERVICE.md): bounded
+    fair-share scheduling across tenants, per-job deadlines enforced at
+    the solver's scan boundary, cancel/preempt with checkpointed resume,
+    worker autoscaling, and a durable journal. SIGTERM drains: running
+    jobs finish (up to ``--drain-timeout``), the journal is cut with
+    reason ``drained``, and the exit code is 0 — or 5 when pending jobs
+    were abandoned (restart with ``--resume-journal`` to finish them).
+    """
+    from repro.service import SolveDaemon
+
+    if args.checkpoint_dir is not None:
+        from pathlib import Path
+
+        Path(args.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+    daemon = SolveDaemon(
+        args.socket,
+        workers=args.workers,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        queue_depth=args.queue_depth,
+        journal_path=args.journal,
+        resume_journal=args.resume_journal,
+        checkpoint_dir=args.checkpoint_dir,
+        default_deadline_s=args.deadline,
+        breaker_failures=args.breaker_failures,
+        drain_timeout_s=args.drain_timeout,
+    )
+    print(f"serve: listening on {args.socket} "
+          f"({daemon.min_workers}..{daemon.max_workers} worker(s))",
+          file=sys.stderr)
+    code = daemon.serve()
+    pending = daemon._pending_count()
+    note = f"; {pending} job(s) still pending" if pending else ""
+    print(f"serve: drained{note}; exit {code}", file=sys.stderr)
+    return code
+
+
+def _daemon_client(args: argparse.Namespace):
+    from repro.service import DaemonClient
+
+    return DaemonClient(args.socket, tenant=getattr(args, "tenant", ""))
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit jobs to a running daemon (inline JSON or a manifest)."""
+    import json
+
+    from repro.errors import ManifestError
+    from repro.service import load_manifest
+
+    if (args.request is None) == (args.manifest is None):
+        raise ManifestError("submit needs a REQUEST json object or "
+                            "--manifest FILE (not both)")
+    if args.request is not None:
+        try:
+            rows = [json.loads(args.request)]
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"bad request JSON: {exc}") from exc
+    else:
+        rows = [r.as_manifest_dict() for r in load_manifest(args.manifest)]
+    with _daemon_client(args) as client:
+        ids = [client.submit(row, priority=args.priority) for row in rows]
+        if not args.wait:
+            for job_id in ids:
+                print(json.dumps({"id": job_id}), flush=True)
+            return 0
+        failed = 0
+        for job_id in ids:
+            result = client.wait(job_id, timeout=args.timeout)
+            result["id"] = job_id
+            print(json.dumps(result), flush=True)
+            if result.get("status") != "ok":
+                failed += 1
+    return 1 if failed else 0
+
+
+def _cmd_daemon_status(args: argparse.Namespace) -> int:
+    """Print daemon-wide (or one job's) status as JSON."""
+    import json
+
+    with _daemon_client(args) as client:
+        reply = client.status(args.id)
+    reply.pop("ok", None)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_daemon_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued job, or preempt a running one (checkpointed)."""
+    import json
+
+    with _daemon_client(args) as client:
+        reply = client.cancel(args.id)
+    reply.pop("ok", None)
+    print(json.dumps(reply))
+    return 0
+
+
+def _cmd_daemon_drain(args: argparse.Namespace) -> int:
+    """Ask a running daemon to drain gracefully and exit."""
+    import json
+
+    with _daemon_client(args) as client:
+        reply = client.drain()
+    reply.pop("ok", None)
+    print(json.dumps(reply))
+    return 0
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     """Render the observatory dashboard from recorded artifacts.
 
@@ -865,6 +978,97 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker dumped on crash/quarantine/abort "
                         "(default 64)")
     s.set_defaults(func=_cmd_batch)
+
+    s = sub.add_parser(
+        "serve",
+        help="run the always-on solve daemon on a Unix socket "
+             "(fair-share scheduling, streaming events, preemption; "
+             "drive it with submit/status/cancel/drain)",
+    )
+    s.add_argument("--socket", required=True, metavar="PATH",
+                   help="Unix socket path to listen on")
+    s.add_argument("--workers", type=int, default=2,
+                   help="initial worker threads (default 2)")
+    s.add_argument("--min-workers", type=int, default=None, metavar="N",
+                   help="autoscaler floor (default: --workers)")
+    s.add_argument("--max-workers", type=int, default=None, metavar="N",
+                   help="autoscaler ceiling (default: --workers, i.e. "
+                        "autoscaling off)")
+    s.add_argument("--queue-depth", type=int, default=512,
+                   help="max queued jobs; full-queue submits block the "
+                        "submitter, not the daemon (default 512)")
+    s.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="default per-job deadline in wall seconds, "
+                        "enforced at the solver's scan boundary "
+                        "(expired jobs keep a resumable checkpoint)")
+    s.add_argument("--journal", default=None, metavar="FILE",
+                   help="durable fsync'd job journal; a killed daemon "
+                        "restarts with --resume-journal")
+    s.add_argument("--resume-journal", default=None, metavar="FILE",
+                   help="replay a previous daemon journal: pending jobs "
+                        "are re-queued, the writer continues the seq")
+    s.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="directory for preemption/expiry checkpoints "
+                        "(created if missing; required for resumable "
+                        "cancel and mid-solve deadline stops)")
+    s.add_argument("--breaker-failures", type=int, default=None, metavar="K",
+                   help="consecutive device failures that open a "
+                        "breaker (default 5; 0 disables)")
+    s.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                   help="drain budget after SIGTERM or the drain op "
+                        "(default 30)")
+    s.set_defaults(func=_cmd_serve)
+
+    s = sub.add_parser(
+        "submit",
+        help="submit solve jobs to a running daemon (inline JSON "
+             "request or a JSONL manifest)",
+    )
+    s.add_argument("request", nargs="?", default=None,
+                   help="one solve request as a JSON object (same "
+                        "schema as a manifest line)")
+    s.add_argument("--manifest", default=None, metavar="FILE",
+                   help="submit every job in a JSONL manifest instead")
+    s.add_argument("--socket", required=True, metavar="PATH",
+                   help="daemon Unix socket path")
+    s.add_argument("--tenant", default="", metavar="NAME",
+                   help="tenant name for fair-share scheduling")
+    s.add_argument("--priority", type=int, default=0,
+                   help="dispatch priority (higher runs first)")
+    s.add_argument("--wait", action="store_true",
+                   help="block until each job finishes and print its "
+                        "result line (exit 1 if any job is not ok)")
+    s.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-job wait budget with --wait")
+    s.set_defaults(func=_cmd_submit)
+
+    s = sub.add_parser("status",
+                       help="print a running daemon's status as JSON")
+    s.add_argument("--socket", required=True, metavar="PATH",
+                   help="daemon Unix socket path")
+    s.add_argument("--id", type=int, default=None,
+                   help="report one job instead of the whole daemon")
+    s.set_defaults(func=_cmd_daemon_status)
+
+    s = sub.add_parser(
+        "cancel",
+        help="cancel a daemon job: removed if still queued, preempted "
+             "at the next scan boundary (with a resumable checkpoint) "
+             "if running",
+    )
+    s.add_argument("id", type=int, help="daemon job id (from submit)")
+    s.add_argument("--socket", required=True, metavar="PATH",
+                   help="daemon Unix socket path")
+    s.set_defaults(func=_cmd_daemon_cancel)
+
+    s = sub.add_parser(
+        "drain",
+        help="gracefully drain a running daemon: admissions stop, "
+             "in-flight jobs finish, the journal is cut 'drained'",
+    )
+    s.add_argument("--socket", required=True, metavar="PATH",
+                   help="daemon Unix socket path")
+    s.set_defaults(func=_cmd_daemon_drain)
 
     s = sub.add_parser(
         "dashboard",

@@ -29,15 +29,21 @@ Resetting only the scan origin (the old behavior, kept as
 asleep and the search can declare convergence at a tour that still
 admits improving candidate moves — see the regression test.
 
-One approximation remains even with full endpoint wake-ups: reversing
-an arc swaps successor and predecessor for every city *inside* it
-without changing that city's edge set, so interior cities are not
-woken. A candidate move that is only expressible when two cities share
-a relative orientation can therefore go unseen (Bentley-style
-don't-look bits over an array tour all share this hole). Empirically
-the remaining gap is small — tours land within a fraction of a percent
-of a fixed point — and the engine stays a heuristic baseline, never a
-parity reference.
+One approximation would remain even with full endpoint wake-ups:
+reversing an arc swaps successor and predecessor for every city
+*inside* it without changing that city's edge set, so interior cities
+are not woken. A candidate move that is only expressible when two
+cities share a relative orientation could therefore go unseen
+(Bentley-style don't-look bits over an array tour all share this
+hole). The engine closes it fail-safe: when the candidate queue
+drains under ``wake_policy="neighborhood"``, a final *exhaustive
+confirming sweep* (:func:`~repro.core.moves.best_move` over the whole
+pair space, charged honestly at ``pair_count(n)`` checks) verifies the
+tour really is a 2-opt local minimum; any move the candidate scan
+missed is applied, its endpoints are woken, and the candidate descent
+resumes — so convergence now certifies a true local minimum. The
+legacy ``wake_policy="origin"`` skips the sweep and keeps the old
+can-stop-early behavior for the regression test.
 
 The tour is an array plus a position index; reversals always flip the
 shorter arc (cyclically), bounding each application at n/2.
@@ -51,7 +57,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.moves import next_distances, rounded_euclidean
+from repro.core.moves import best_move, next_distances, rounded_euclidean
+from repro.core.pair_indexing import pair_count
 from repro.gpusim.stats import KernelStats
 from repro.tsplib.neighbors import k_nearest_neighbors
 
@@ -64,8 +71,13 @@ class DontLookResult:
     initial_length: int
     final_length: int
     moves_applied: int
+    #: total pair evaluations, confirming sweeps included (honest count)
     candidate_checks: int
     stats: KernelStats
+    #: exhaustive confirming sweeps run at convergence (0 under the
+    #: legacy ``wake_policy="origin"``); each one charged ``pair_count(n)``
+    #: inside ``candidate_checks``
+    confirm_sweeps: int = 0
 
 
 class DontLookTwoOpt:
@@ -148,6 +160,7 @@ class DontLookTwoOpt:
         queue: deque[int] = deque(int(c) for c in order)
         moves = 0
         checks = 0
+        sweeps = 0
 
         def succ(city: int) -> int:
             return int(order[(pos[city] + 1) % n])
@@ -174,58 +187,81 @@ class DontLookTwoOpt:
                         active[nb] = True
                         queue.append(nb)
 
-        while queue:
-            a = queue.popleft()
-            if not active[a]:
-                continue
-            active[a] = False
-            improved = True
-            while improved:
-                improved = False
-                a_next = succ(a)
-                a_prev = pred(a)
-                d_a_next = self._d(a, a_next)
-                d_a_prev = self._d(a_prev, a)
-                for b in self.adj[a]:
-                    b = int(b)
-                    checks += 2
-                    d_ab = self._d(a, b)
-                    # successor variant: remove (a,a+), (b,b+); add (a,b),(a+,b+)
-                    if d_ab < d_a_next:
-                        b_next = succ(b)
-                        if b != a_next and b_next != a:
-                            delta = (d_ab + self._d(a_next, b_next)
-                                     - d_a_next - self._d(b, b_next))
-                            if delta < 0:
-                                self._reverse_cyclic(
-                                    order, pos,
-                                    (pos[a] + 1) % n, pos[b],
-                                )
-                                length += delta
-                                moves += 1
-                                wake((a, b, a_next, b_next))
-                                improved = True
-                                break
-                    # predecessor variant: remove (a-,a), (b-,b); add (a-,b-),(a,b)
-                    if d_ab < d_a_prev:
-                        b_prev = pred(b)
-                        if b != a_prev and b_prev != a:
-                            delta = (d_ab + self._d(a_prev, b_prev)
-                                     - d_a_prev - self._d(b_prev, b))
-                            if delta < 0:
-                                self._reverse_cyclic(
-                                    order, pos,
-                                    pos[a], (pos[b] - 1) % n,
-                                )
-                                length += delta
-                                moves += 1
-                                wake((a, b, a_prev, b_prev))
-                                improved = True
-                                break
-                    # neighbor lists are sorted by distance: once d(a,b)
-                    # exceeds both tour edges at a, no later b can improve
-                    if d_ab >= d_a_next and d_ab >= d_a_prev:
-                        break
+        while True:
+            while queue:
+                a = queue.popleft()
+                if not active[a]:
+                    continue
+                active[a] = False
+                improved = True
+                while improved:
+                    improved = False
+                    a_next = succ(a)
+                    a_prev = pred(a)
+                    d_a_next = self._d(a, a_next)
+                    d_a_prev = self._d(a_prev, a)
+                    for b in self.adj[a]:
+                        b = int(b)
+                        checks += 2
+                        d_ab = self._d(a, b)
+                        # successor variant: remove (a,a+), (b,b+); add (a,b),(a+,b+)
+                        if d_ab < d_a_next:
+                            b_next = succ(b)
+                            if b != a_next and b_next != a:
+                                delta = (d_ab + self._d(a_next, b_next)
+                                         - d_a_next - self._d(b, b_next))
+                                if delta < 0:
+                                    self._reverse_cyclic(
+                                        order, pos,
+                                        (pos[a] + 1) % n, pos[b],
+                                    )
+                                    length += delta
+                                    moves += 1
+                                    wake((a, b, a_next, b_next))
+                                    improved = True
+                                    break
+                        # predecessor variant: remove (a-,a), (b-,b); add (a-,b-),(a,b)
+                        if d_ab < d_a_prev:
+                            b_prev = pred(b)
+                            if b != a_prev and b_prev != a:
+                                delta = (d_ab + self._d(a_prev, b_prev)
+                                         - d_a_prev - self._d(b_prev, b))
+                                if delta < 0:
+                                    self._reverse_cyclic(
+                                        order, pos,
+                                        pos[a], (pos[b] - 1) % n,
+                                    )
+                                    length += delta
+                                    moves += 1
+                                    wake((a, b, a_prev, b_prev))
+                                    improved = True
+                                    break
+                        # neighbor lists are sorted by distance: once d(a,b)
+                        # exceeds both tour edges at a, no later b can improve
+                        if d_ab >= d_a_next and d_ab >= d_a_prev:
+                            break
+
+            if self.wake_policy == "origin":
+                # legacy semantics: stop where the candidate scan stops,
+                # even if that is not a true 2-opt local minimum
+                break
+            # the orientation hole: a move improving only under one
+            # relative orientation is invisible to the candidate scan.
+            # Confirm convergence with one exhaustive sweep — charged
+            # honestly at the full pair count — and, if it finds a move
+            # the candidate scan missed, apply it, wake its endpoints,
+            # and resume the candidate descent.
+            checks += pair_count(n)
+            sweeps += 1
+            mv = best_move(self.coords[order])
+            if mv.i < 0 or mv.delta >= 0:
+                break  # certified: a genuine 2-opt local minimum
+            ends = (int(order[mv.i]), int(order[(mv.i + 1) % n]),
+                    int(order[mv.j]), int(order[(mv.j + 1) % n]))
+            self._reverse_cyclic(order, pos, (mv.i + 1) % n, mv.j)
+            length += int(mv.delta)
+            moves += 1
+            wake(ends)
 
         stats = KernelStats()
         stats.pair_checks = checks
@@ -237,4 +273,5 @@ class DontLookTwoOpt:
         return DontLookResult(
             order=order, initial_length=initial, final_length=final,
             moves_applied=moves, candidate_checks=checks, stats=stats,
+            confirm_sweeps=sweeps,
         )

@@ -126,6 +126,9 @@ class LocalSearchResult:
     kernel_seconds: float = 0.0
     #: (cumulative modeled seconds, tour length) after every scan
     trace: list[tuple[float, int]] = field(default_factory=list)
+    #: the run stopped because ``stop_check`` fired at a scan boundary
+    #: (deadline expiry / daemon preemption), not at a minimum or cap
+    preempted: bool = False
 
     @property
     def improvement(self) -> int:
@@ -464,6 +467,7 @@ class LocalSearch:
         checkpoint_path: Optional[PathLike] = None,
         resume_from: Union[Checkpoint, PathLike, None] = None,
         instance: Optional[str] = None,
+        stop_check=None,
     ) -> LocalSearchResult:
         """Optimize until a local minimum (or a cap) is reached.
 
@@ -491,6 +495,17 @@ class LocalSearch:
             Optional instance label stored in (and verified against)
             checkpoints; :class:`~repro.core.solver.TwoOptSolver` passes
             the instance name automatically.
+        stop_check:
+            Optional zero-argument callable consulted at every scan
+            boundary. When it returns true the run stops *preempted*:
+            the result carries ``preempted=True`` and — when
+            ``checkpoint_path`` is set — a checkpoint of the current
+            state is written first, so the run can resume exactly where
+            it stopped. This is how the service enforces deadlines on
+            in-flight jobs and how the daemon preempts them. The
+            one-shot engines (``host_engine='dlb'``, simulated
+            ``cpu-sequential``) have no scan boundary and run to
+            completion regardless.
 
         The run reports into the process telemetry tracer (one
         ``local_search`` span, one ``scan`` span per scan, modeled device
@@ -508,7 +523,7 @@ class LocalSearch:
                 max_scans=max_scans, target_length=target_length,
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path, resume_from=resume_from,
-                instance=instance,
+                instance=instance, stop_check=stop_check,
             )
             span.set_attr("scans", result.scans)
             span.set_attr("moves", result.moves_applied)
@@ -527,6 +542,7 @@ class LocalSearch:
         checkpoint_path: Optional[PathLike] = None,
         resume_from: Union[Checkpoint, PathLike, None] = None,
         instance: Optional[str] = None,
+        stop_check=None,
     ) -> LocalSearchResult:
         t_wall = time.perf_counter()
         checkpointing = (checkpoint_every is not None
@@ -669,10 +685,7 @@ class LocalSearch:
                       else None)
         self._last_scan_pairs = None
 
-        def _maybe_checkpoint() -> None:
-            if (checkpoint_path is None or checkpoint_every is None
-                    or scans % checkpoint_every != 0):
-                return
+        def _save_state() -> None:
             save_checkpoint(
                 checkpoint_path, self._CHECKPOINT_KIND,
                 self._scan_checkpoint_payload(
@@ -685,7 +698,22 @@ class LocalSearch:
                 ),
             )
 
+        def _maybe_checkpoint() -> None:
+            if (checkpoint_path is None or checkpoint_every is None
+                    or scans % checkpoint_every != 0):
+                return
+            _save_state()
+
+        preempted = False
         while True:
+            if stop_check is not None and stop_check():
+                # deadline expiry / daemon preemption: stop at this scan
+                # boundary, persisting resumable state first so the
+                # descent can be continued exactly where it stopped
+                preempted = True
+                if checkpoint_path is not None:
+                    _save_state()
+                break
             if max_scans is not None and scans >= max_scans:
                 break
             if max_moves is not None and moves_applied >= max_moves:
@@ -787,7 +815,7 @@ class LocalSearch:
             modeled_seconds=modeled, transfer_seconds=transfer,
             wall_seconds=time.perf_counter() - t_wall,
             reached_minimum=reached_minimum, stats=stats,
-            kernel_seconds=kernel_s, trace=trace,
+            kernel_seconds=kernel_s, trace=trace, preempted=preempted,
         )
 
     def _run_dlb(self, c, order, length, initial_length, stats, trace,

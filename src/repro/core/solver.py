@@ -120,6 +120,7 @@ class TwoOptSolver:
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[PathLike] = None,
         resume_from: Union[Checkpoint, PathLike, None] = None,
+        stop_check=None,
     ) -> SolveResult:
         """Optimize *instance* to a 2-opt local minimum (or a cap).
 
@@ -127,7 +128,10 @@ class TwoOptSolver:
         to :meth:`LocalSearch.run` scan-boundary checkpointing; a
         resumed solve must use the same instance, initial tour, and
         seed, since the checkpointed permutation is relative to that
-        initial ordering.
+        initial ordering. ``stop_check`` forwards to the same method:
+        when it fires at a scan boundary the solve returns with
+        ``result.search.preempted`` set (after writing a resumable
+        checkpoint if ``checkpoint_path`` was given).
         """
         if instance.coords is None:
             raise SolverError("solver requires coordinate instances")
@@ -152,7 +156,7 @@ class TwoOptSolver:
                 coords_ordered, max_moves=max_moves, max_scans=max_scans,
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path, resume_from=resume_from,
-                instance=instance.name,
+                instance=instance.name, stop_check=stop_check,
             )
             # result.order permutes *positions* of the initial tour
             final_order = order0[result.order]

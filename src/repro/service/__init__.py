@@ -33,7 +33,13 @@ package amortizes that O(n²)-ish setup across requests:
 * :mod:`repro.service.observe` — :class:`BatchObserver`, the live
   observability choreography: per-job trace propagation, the ordered
   event stream behind ``repro batch --events``, SLO evaluation, and the
-  crash flight recorder.
+  crash flight recorder;
+* :mod:`repro.service.protocol` — the JSONL-over-Unix-socket wire
+  protocol and the blocking :class:`DaemonClient`;
+* :mod:`repro.service.daemon` — :class:`SolveDaemon`, the always-on
+  solve service behind ``repro serve``: fair-share multi-tenant
+  scheduling, streaming progress events, deadline/cancel preemption
+  with checkpointed resume, worker autoscaling, and SIGTERM drain.
 
 Results are deterministic in everything modeled: the same request (same
 instance, seed, config) produces bit-identical tours whether it runs
@@ -43,8 +49,10 @@ wait, job wall seconds) vary between runs. See docs/SERVICE.md.
 """
 
 from repro.service.cache import ArtifactCache, CacheStats
+from repro.service.daemon import EXIT_PENDING, SolveDaemon
 from repro.service.jobs import SolveRequest, SolveResult
-from repro.service.queue import JobQueue
+from repro.service.protocol import PROTOCOL_VERSION, DaemonClient
+from repro.service.queue import RETIRE, FairShareQueue, JobQueue
 from repro.service.pool import WorkerPool
 from repro.service.batch import (
     BatchReport,
@@ -71,7 +79,13 @@ __all__ = [
     "SolveRequest",
     "SolveResult",
     "JobQueue",
+    "FairShareQueue",
+    "RETIRE",
     "WorkerPool",
+    "SolveDaemon",
+    "DaemonClient",
+    "PROTOCOL_VERSION",
+    "EXIT_PENDING",
     "BatchReport",
     "BatchStats",
     "iter_batch",

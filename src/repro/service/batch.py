@@ -494,6 +494,7 @@ def run_batch(
     replayed: list[SolveResult] = []
     indices: Optional[list[int]] = None
     writer: Optional[JournalWriter] = None
+    journal_seq = 0
     if resume_from is not None:
         if requests is not None:
             raise ManifestError(
@@ -508,6 +509,9 @@ def run_batch(
         indices = pending
         replayed = [replay.finished[i] for i in sorted(replay.finished)]
         journal_path = resume_from
+        # continue the file's writer sequence: restarting at 0 would make
+        # seq non-monotonic mid-file and fail the next read_journal
+        journal_seq = replay.last_seq + 1
     elif requests is None:
         raise ManifestError("run_batch needs a manifest or resume_from")
 
@@ -517,7 +521,8 @@ def run_batch(
     if journal_path is not None:
         writer = JournalWriter(
             journal_path,
-            listener=observer.journal_event if observer is not None else None)
+            listener=observer.journal_event if observer is not None else None,
+            start_seq=journal_seq)
         if resume_from is not None:
             writer.resumed(pending=len(requests))
         else:

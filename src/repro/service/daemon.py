@@ -1,0 +1,768 @@
+"""Always-on solve daemon: ``repro serve`` and the machinery behind it.
+
+:func:`~repro.service.batch.run_batch` runs one manifest and exits; the
+:class:`SolveDaemon` keeps the same supervised worker pool alive
+indefinitely behind a Unix-socket JSONL API
+(:mod:`repro.service.protocol`). It deliberately *reuses* — never forks
+— the service layers the batch driver built:
+
+* the bounded :class:`~repro.service.queue.FairShareQueue` (admission
+  control + the daemon's priority / fair-share scheduling policy);
+* the :class:`~repro.service.pool.WorkerPool` with its scan-boundary
+  ``stop_check`` (deadline expiry and preemption), per-job checkpoints
+  under ``checkpoint_dir``, and crash-safe one-result-per-job contract;
+* the :class:`~repro.service.supervisor.Supervisor` (worker restarts,
+  poison quarantine) and :class:`~repro.service.breaker.BreakerBoard`;
+* the durable :class:`~repro.service.journal.JournalWriter` — every
+  admitted request and final result is fsync'd before the daemon
+  acknowledges it, and ``--resume-journal`` replays pending jobs with
+  the writer continuing at ``last_seq + 1``;
+* the :class:`~repro.service.observe.BatchObserver`'s ordered
+  :class:`~repro.telemetry.live.EventBus`, which also feeds each
+  streaming connection through a private bounded
+  :class:`~repro.telemetry.live.BusSubscription`.
+
+Threading model: the asyncio event loop owns the socket and all
+protocol state transitions; worker threads solve; one *drainer* thread
+consumes the results queue (journal ``finished`` lines, observer
+bookkeeping, record updates, waiter wake-ups via
+``call_soon_threadsafe``) and doubles as the supervision / autoscaling
+heartbeat. Synthesized results (queued-job cancellations) go through
+the same results queue so every result — solved, crashed, canceled —
+takes exactly one path.
+
+Scheduling: highest priority first, then the tenant with the fewest
+dispatched jobs, then admission order (see :class:`FairShareQueue`).
+Preemption: ``cancel`` on a running job sets its ``preempt`` event; the
+solver stops at the next scan boundary, writes a checkpoint, and the
+job finishes ``preempted`` with the checkpoint path in its result;
+``resume`` re-enqueues it from that checkpoint and the spliced run
+finishes exactly where the uninterrupted one would have (the solver
+stack is deterministic). The same boundary enforces deadlines mid-solve
+(status ``expired``, still resumable).
+
+Shutdown: SIGTERM (or the ``drain`` op) stops admissions, lets queued
+and in-flight work finish within ``drain_timeout_s``, preempts
+stragglers past the budget, cuts the journal with reason ``drained``,
+and exits — code 0 when nothing was left pending, :data:`EXIT_PENDING`
+(5) when jobs were abandoned (the journal keeps them resumable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue as stdlib_queue
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.errors import (
+    JournalError,
+    ManifestError,
+    QueueClosedError,
+    QueueFullError,
+)
+from repro.service.batch import (
+    DEFAULT_DRAIN_TIMEOUT_S,
+    DEFAULT_POLL_INTERVAL_S,
+)
+from repro.service.breaker import BreakerBoard
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import (
+    STATUS_CANCELED,
+    STATUS_EXPIRED,
+    STATUS_PREEMPTED,
+    STATUS_REJECTED,
+    SolveRequest,
+    SolveResult,
+)
+from repro.service.journal import (
+    JournalWriter,
+    flight_path_for,
+    quarantine_path_for,
+    read_journal,
+    repair_torn_tail,
+)
+from repro.service.observe import BatchObserver
+from repro.service.pool import WorkerPool
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SERVER_NAME,
+    decode_message,
+    encode_message,
+)
+from repro.service.queue import FairShareQueue, QueuedJob
+from repro.service.supervisor import Supervisor
+
+#: exit code when a drain abandoned still-pending jobs (journal keeps
+#: them resumable); 0 means the drain completed everything
+EXIT_PENDING = 5
+
+#: job record states (protocol ``status`` replies)
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's protocol-side bookkeeping."""
+
+    index: int
+    request: SolveRequest
+    tenant: str = ""
+    priority: int = 0
+    state: str = STATE_QUEUED
+    #: the live queue entry while not done (owns the preempt event)
+    job: Optional[QueuedJob] = None
+    result: Optional[SolveResult] = None
+    #: submit + resume count (a resumed job runs more than once)
+    attempts: int = 1
+    #: asyncio events to set (via the loop) when the job finishes
+    waiters: list = field(default_factory=list)
+
+    def public_state(self) -> dict:
+        """The job as a ``status`` protocol reply (result once done)."""
+        out = {
+            "id": self.index,
+            "job_id": self.request.job_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "state": self.state,
+            "attempts": self.attempts,
+        }
+        if self.result is not None:
+            out["result"] = self.result.as_dict()
+            out["status"] = self.result.status
+        return out
+
+
+class SolveDaemon:
+    """The always-on solve service; see the module docstring.
+
+    Construct, then :meth:`serve` (blocking; returns the exit code).
+    Tests drive it from a background thread and talk to it through
+    :class:`~repro.service.protocol.DaemonClient`.
+    """
+
+    def __init__(self, socket_path: Union[str, Path], *,
+                 workers: int = 2,
+                 min_workers: Optional[int] = None,
+                 max_workers: Optional[int] = None,
+                 queue_depth: int = 512,
+                 journal_path=None,
+                 resume_journal=None,
+                 checkpoint_dir=None,
+                 default_deadline_s: Optional[float] = None,
+                 breaker_failures: Optional[int] = None,
+                 breaker_cooldown_s: float = 30.0,
+                 drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+                 poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+                 observer: Optional[BatchObserver] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.socket_path = str(socket_path)
+        self.min_workers = workers if min_workers is None else min_workers
+        self.max_workers = workers if max_workers is None else max_workers
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError(
+                f"need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers}..{self.max_workers}")
+        self.default_deadline_s = default_deadline_s
+        self.drain_timeout_s = drain_timeout_s
+        self.poll_interval_s = poll_interval_s
+        self._clock = clock
+
+        self.cache = ArtifactCache()
+        self.observer = observer if observer is not None else BatchObserver(
+            per_job_telemetry=False, snapshot_every=64)
+        self.bus = self.observer.bus
+
+        # ---- journal (fresh, or resumed at last_seq + 1) ----
+        self.journal: Optional[JournalWriter] = None
+        self._resume_pending: list = []
+        journal_seq = 0
+        if resume_journal is not None:
+            if journal_path is not None:
+                raise ManifestError("pass journal_path or resume_journal, "
+                                    "not both")
+            replay = read_journal(resume_journal)
+            repair_torn_tail(resume_journal, replay)
+            journal_path = resume_journal
+            journal_seq = replay.last_seq + 1
+            self._resume_pending = [(i, replay.requests[i])
+                                    for i in replay.pending]
+        self.journal_path = journal_path
+        if journal_path is not None:
+            if self.observer.flight.path is None:
+                self.observer.flight.path = flight_path_for(journal_path)
+            self.journal = JournalWriter(
+                journal_path, listener=self.observer.journal_event,
+                start_seq=journal_seq)
+            if resume_journal is not None:
+                self.journal.resumed(pending=len(self._resume_pending))
+
+        # ---- scheduling + execution (the batch stack, reused) ----
+        self.jobs = FairShareQueue(max_depth=queue_depth, clock=clock)
+        self.results: "stdlib_queue.Queue[SolveResult]" = stdlib_queue.Queue()
+        self.breakers: Optional[BreakerBoard] = None
+        if breaker_failures is None:
+            self.breakers = BreakerBoard(cooldown_s=breaker_cooldown_s,
+                                         clock=clock)
+        elif breaker_failures > 0:
+            self.breakers = BreakerBoard(failure_threshold=breaker_failures,
+                                         cooldown_s=breaker_cooldown_s,
+                                         clock=clock)
+        self.pool = WorkerPool(
+            self.jobs, self.cache, workers=self.min_workers,
+            results=self.results, clock=clock, breakers=self.breakers,
+            journal=self.journal, observer=self.observer,
+            checkpoint_dir=checkpoint_dir)
+        self.supervisor = Supervisor(
+            self.pool, quarantine_path=quarantine_path_for(journal_path),
+            clock=clock, observer=self.observer)
+
+        # ---- protocol state ----
+        self._records: dict = {}
+        self._records_lock = threading.Lock()
+        self._next_index = 0
+        self._submitted = 0
+        self._completed = 0
+        self._draining = False
+        self._exit_code = 0
+        self._retire_issued = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._conn_tasks: set = set()
+        self._stop_drainer = threading.Event()
+        self._drainer: Optional[threading.Thread] = None
+        #: set once the socket is listening (tests wait on it)
+        self.ready = threading.Event()
+
+    # ------------------------------------------------------------------
+    # bookkeeping shared between the loop thread and the drainer thread
+    # ------------------------------------------------------------------
+
+    def _pending_count(self) -> int:
+        with self._records_lock:
+            return self._submitted - self._completed
+
+    def _admit(self, request: SolveRequest, tenant: str, priority: int,
+               *, index: Optional[int] = None,
+               resume_from: Optional[str] = None,
+               block: bool = False) -> JobRecord:
+        """Journal + enqueue + record one request; raises queue errors."""
+        with self._records_lock:
+            if index is None:
+                index = self._next_index
+                self._next_index += 1
+            else:
+                self._next_index = max(self._next_index, index + 1)
+        if self.journal is not None and resume_from is None:
+            # on disk before the queue sees it: a crash after this line
+            # leaves the job pending in the journal, hence resumable
+            self.journal.admitted(index, request)
+        job = self.jobs.submit(
+            request, block=block, default_deadline_s=self.default_deadline_s,
+            index=index, tenant=tenant, priority=priority,
+            resume_from=resume_from)
+        with self._records_lock:
+            rec = self._records.get(index)
+            if rec is None:
+                rec = JobRecord(index=index, request=request, tenant=tenant,
+                                priority=priority)
+                self._records[index] = rec
+                self._submitted += 1
+            else:  # resume path: the record exists and is pending again
+                rec.state = STATE_QUEUED
+                rec.result = None
+                rec.attempts += 1
+                self._completed -= 1
+            rec.job = job
+        self.observer.job_admitted(request, index)
+        return rec
+
+    def _on_result(self, result: SolveResult) -> None:
+        """Drainer thread: book one finished result and wake waiters."""
+        if self.journal is not None and result.status != STATUS_REJECTED:
+            self.journal.finished(result)
+        self.observer.poll_breakers(self.breakers)
+        self.observer.job_finished(result)
+        waiters: list = []
+        with self._records_lock:
+            rec = self._records.get(result.index)
+            if rec is not None:
+                rec.result = result
+                rec.state = STATE_DONE
+                rec.job = None
+                waiters, rec.waiters = rec.waiters, []
+                self._completed += 1
+        loop = self._loop
+        if loop is not None:
+            for event in waiters:
+                try:
+                    loop.call_soon_threadsafe(event.set)
+                except RuntimeError:
+                    pass  # loop already closed during shutdown
+
+    def _mark_running(self) -> None:
+        """Promote records whose queue entry a worker has picked up.
+
+        The pool does not call back on dequeue, but each queued record
+        still holding a job that the queue no longer contains must be
+        running (or about to deliver). Approximated from worker states;
+        cheap, and only feeds ``status`` replies.
+        """
+        busy_indices = set()
+        for state in self.pool.states:
+            current = getattr(state, "_current", None)
+            if current is not None:
+                busy_indices.add(current.index)
+        with self._records_lock:
+            for idx in busy_indices:
+                rec = self._records.get(idx)
+                if rec is not None and rec.state == STATE_QUEUED:
+                    rec.state = STATE_RUNNING
+
+    # ------------------------------------------------------------------
+    # drainer thread: results, supervision, autoscaling
+    # ------------------------------------------------------------------
+
+    def _drain_results(self) -> None:
+        while not self._stop_drainer.is_set():
+            try:
+                result = self.results.get(timeout=self.poll_interval_s)
+            except stdlib_queue.Empty:
+                self.supervisor.check()
+                self._autoscale()
+                continue
+            self._on_result(result)
+        # final flush: everything already delivered must be booked
+        # before the journal is cut
+        while True:
+            try:
+                result = self.results.get_nowait()
+            except stdlib_queue.Empty:
+                break
+            self._on_result(result)
+
+    def _autoscale(self) -> None:
+        """Keep alive workers between the min/max bounds, demand-driven.
+
+        Scale up when jobs are waiting and capacity remains; scale down
+        (via retire tokens, so a worker exits cleanly between jobs) when
+        idle workers exceed the floor. Retire tokens already issued but
+        not yet taken are counted so a slow tick never over-retires.
+        """
+        if self._draining or self.max_workers == self.min_workers:
+            return
+        depth = self.jobs.depth
+        alive = self.pool.alive_count()
+        if depth > 0 and alive < self.max_workers:
+            added = self.pool.grow(min(depth, self.max_workers - alive))
+            if added:
+                self.bus.publish("daemon.scale_up", workers=len(added),
+                                 alive=self.pool.alive_count())
+            return
+        retired_seen = sum(1 for s in self.pool.states if s.retired)
+        outstanding = self._retire_issued - retired_seen
+        if depth == 0 and outstanding <= 0 and alive > self.min_workers:
+            busy = sum(1 for s in self.pool.states if s.busy)
+            excess = alive - max(self.min_workers, busy)
+            if excess > 0:
+                self.jobs.retire(excess)
+                self._retire_issued += excess
+                self.bus.publish("daemon.scale_down", workers=excess,
+                                 alive=alive)
+
+    # ------------------------------------------------------------------
+    # protocol ops (event-loop thread)
+    # ------------------------------------------------------------------
+
+    async def _op_submit(self, msg: dict, tenant: str) -> dict:
+        if self._draining:
+            return {"ok": False, "error": "daemon is draining"}
+        raw = msg.get("request")
+        if not isinstance(raw, dict):
+            return {"ok": False, "error": "submit needs a 'request' object"}
+        tenant = str(msg.get("tenant", tenant))
+        try:
+            priority = int(msg.get("priority", 0))
+        except (TypeError, ValueError):
+            return {"ok": False, "error": "priority must be an integer"}
+        with self._records_lock:
+            default_id = f"job{self._next_index}"
+        try:
+            request = SolveRequest.from_dict(raw, default_id=default_id)
+        except ManifestError as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        try:
+            rec = self._admit(request, tenant, priority)
+        except QueueFullError:
+            # backpressure, not rejection: block for a slot off-loop so
+            # the event loop keeps serving other connections meanwhile
+            loop = asyncio.get_running_loop()
+            try:
+                rec = await loop.run_in_executor(
+                    None, lambda: self._admit(request, tenant, priority,
+                                              block=True))
+            except (QueueFullError, QueueClosedError) as exc:
+                return {"ok": False, "error": str(exc)}
+        except QueueClosedError as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, "id": rec.index, "job_id": request.job_id}
+
+    def _op_status(self, msg: dict) -> dict:
+        if "id" in msg:
+            try:
+                index = int(msg["id"])
+            except (TypeError, ValueError):
+                return {"ok": False, "error": "id must be an integer"}
+            self._mark_running()
+            with self._records_lock:
+                rec = self._records.get(index)
+                if rec is None:
+                    return {"ok": False, "error": f"unknown job id {index}"}
+                out = rec.public_state()
+            out["ok"] = True
+            return out
+        self._mark_running()
+        with self._records_lock:
+            states: dict = {}
+            by_status: dict = {}
+            for rec in self._records.values():
+                states[rec.state] = states.get(rec.state, 0) + 1
+                if rec.result is not None:
+                    s = rec.result.status
+                    by_status[s] = by_status.get(s, 0) + 1
+            submitted, completed = self._submitted, self._completed
+        return {
+            "ok": True,
+            "server": SERVER_NAME,
+            "protocol": PROTOCOL_VERSION,
+            "draining": self._draining,
+            "jobs": {"submitted": submitted, "completed": completed,
+                     "pending": submitted - completed,
+                     "states": states, "by_status": by_status},
+            "queue": {"depth": self.jobs.depth,
+                      "dispatched": self.jobs.dispatched_by_tenant()},
+            "workers": {"alive": self.pool.alive_count(),
+                        "min": self.min_workers, "max": self.max_workers},
+        }
+
+    def _op_cancel(self, msg: dict) -> dict:
+        try:
+            index = int(msg.get("id"))
+        except (TypeError, ValueError):
+            return {"ok": False, "error": "cancel needs an integer 'id'"}
+        with self._records_lock:
+            rec = self._records.get(index)
+        if rec is None:
+            return {"ok": False, "error": f"unknown job id {index}"}
+        if rec.state == STATE_DONE:
+            return {"ok": False,
+                    "error": f"job {index} already finished "
+                             f"({rec.result.status})"}
+        queued = self.jobs.cancel(index)
+        if queued is not None:
+            # never started: synthesize the canceled result and route it
+            # through the drainer so journaling/accounting stay uniform
+            result = SolveResult(
+                job_id=rec.request.job_id, status=STATUS_CANCELED,
+                instance=rec.request.instance_label(),
+                error=f"job {rec.request.job_id!r} canceled while queued",
+                index=index,
+                queue_wait_s=max(0.0, self._clock() - queued.submitted_at))
+            self.bus.publish("job.canceled", job=rec.request.job_id,
+                             index=index, state=STATE_QUEUED)
+            self.results.put(result)
+            return {"ok": True, "id": index, "state": "canceled"}
+        # already picked up: preempt at the next scan boundary; the
+        # preempted result (with its checkpoint) arrives via the drainer
+        job = rec.job
+        if job is not None:
+            job.preempt.set()
+        self.bus.publish("job.canceled", job=rec.request.job_id,
+                         index=index, state=STATE_RUNNING)
+        return {"ok": True, "id": index, "state": "preempting"}
+
+    def _op_resume(self, msg: dict) -> dict:
+        if self._draining:
+            return {"ok": False, "error": "daemon is draining"}
+        try:
+            index = int(msg.get("id"))
+        except (TypeError, ValueError):
+            return {"ok": False, "error": "resume needs an integer 'id'"}
+        with self._records_lock:
+            rec = self._records.get(index)
+        if rec is None:
+            return {"ok": False, "error": f"unknown job id {index}"}
+        if rec.state != STATE_DONE or rec.result is None:
+            return {"ok": False, "error": f"job {index} is still {rec.state}"}
+        if rec.result.status not in (STATUS_PREEMPTED, STATUS_EXPIRED):
+            return {"ok": False,
+                    "error": f"job {index} finished {rec.result.status}; "
+                             f"only preempted/expired jobs resume"}
+        checkpoint = rec.result.checkpoint
+        if not checkpoint or not Path(checkpoint).exists():
+            return {"ok": False,
+                    "error": f"job {index} has no resumable checkpoint"}
+        try:
+            self._admit(rec.request, rec.tenant, rec.priority,
+                        index=index, resume_from=checkpoint)
+        except (QueueFullError, QueueClosedError) as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, "id": index, "state": STATE_QUEUED}
+
+    async def _op_wait(self, msg: dict) -> dict:
+        try:
+            index = int(msg.get("id"))
+        except (TypeError, ValueError):
+            return {"ok": False, "error": "wait needs an integer 'id'"}
+        timeout = msg.get("timeout")
+        deadline = (self._clock() + float(timeout)
+                    if timeout is not None else None)
+        while True:
+            with self._records_lock:
+                rec = self._records.get(index)
+                if rec is None:
+                    return {"ok": False, "error": f"unknown job id {index}"}
+                if rec.state == STATE_DONE and rec.result is not None:
+                    return {"ok": True, "id": index,
+                            "result": rec.result.as_dict()}
+                event = asyncio.Event()
+                rec.waiters.append(event)
+            budget = None
+            if deadline is not None:
+                budget = deadline - self._clock()
+                if budget <= 0:
+                    return {"ok": False,
+                            "error": f"timed out waiting for job {index}"}
+            try:
+                await asyncio.wait_for(event.wait(), timeout=budget)
+            except asyncio.TimeoutError:
+                return {"ok": False,
+                        "error": f"timed out waiting for job {index}"}
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        tenant = ""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    msg = decode_message(line)
+                except Exception as exc:
+                    await self._reply(writer, {"ok": False,
+                                               "error": str(exc)})
+                    continue
+                op = msg.get("op")
+                if op == "hello":
+                    tenant = str(msg.get("tenant", ""))
+                    reply = {"ok": True, "server": SERVER_NAME,
+                             "protocol": PROTOCOL_VERSION, "tenant": tenant}
+                elif op == "submit":
+                    reply = await self._op_submit(msg, tenant)
+                elif op == "status":
+                    reply = self._op_status(msg)
+                elif op == "cancel":
+                    reply = self._op_cancel(msg)
+                elif op == "resume":
+                    reply = self._op_resume(msg)
+                elif op == "wait":
+                    reply = await self._op_wait(msg)
+                elif op == "drain":
+                    reply = {"ok": True, "pending": self._pending_count(),
+                             "draining": True}
+                    await self._reply(writer, reply)
+                    asyncio.ensure_future(self._drain())
+                    continue
+                elif op == "subscribe":
+                    await self._reply(writer, {"ok": True})
+                    await self._stream_events(writer)
+                    return
+                else:
+                    reply = {"ok": False, "error": f"unknown op {op!r}"}
+                await self._reply(writer, reply)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(encode_message(payload))
+        await writer.drain()
+
+    async def _stream_events(self, writer: asyncio.StreamWriter) -> None:
+        """Pump this connection's private bus subscription to the socket.
+
+        Each connection gets its own bounded buffer, so events arrive in
+        bus order per connection and a slow consumer only drops its own
+        oldest events — the daemon and other subscribers never block.
+        """
+        loop = asyncio.get_running_loop()
+        wakeup = asyncio.Event()
+
+        def notify() -> None:
+            # called from publisher threads inside the bus lock: must be
+            # cheap, non-blocking, and never raise into the publisher
+            try:
+                loop.call_soon_threadsafe(wakeup.set)
+            except RuntimeError:
+                pass
+
+        from repro.telemetry.live import BusSubscription
+
+        sub = BusSubscription(self.bus, notify=notify)
+        try:
+            while True:
+                try:
+                    await asyncio.wait_for(wakeup.wait(),
+                                           timeout=self.poll_interval_s * 5)
+                except asyncio.TimeoutError:
+                    if self._shutdown is not None and self._shutdown.is_set():
+                        return
+                    continue
+                wakeup.clear()
+                for event in sub.take():
+                    writer.write(encode_message({"event": event}))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            sub.close()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def _drain(self) -> None:
+        """Graceful shutdown: finish what's in, then cut ``drained``."""
+        if self._draining:
+            return
+        self._draining = True
+        self.bus.publish("daemon.drain", pending=self._pending_count())
+        deadline = self._clock() + self.drain_timeout_s
+        while self._pending_count() and self._clock() < deadline:
+            await asyncio.sleep(self.poll_interval_s)
+        if self._pending_count():
+            # past the budget: stop in-flight solves at their next scan
+            # boundary (their preempted results still get journaled) …
+            with self._records_lock:
+                stragglers = [rec.job for rec in self._records.values()
+                              if rec.state != STATE_DONE
+                              and rec.job is not None]
+            for job in stragglers:
+                job.preempt.set()
+            grace = self._clock() + max(1.0, 10 * self.poll_interval_s)
+            while self._pending_count() and self._clock() < grace:
+                await asyncio.sleep(self.poll_interval_s)
+        pending = self._pending_count()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._finalize)
+        self._exit_code = 0 if pending == 0 else EXIT_PENDING
+        self.bus.publish("daemon.end", pending=pending,
+                         exit_code=self._exit_code)
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def _finalize(self) -> None:
+        """Blocking teardown (executor thread): pool, drainer, journal."""
+        self.jobs.close()
+        self.pool.join(timeout=self.drain_timeout_s)
+        self._stop_drainer.set()
+        if self._drainer is not None:
+            self._drainer.join(timeout=self.drain_timeout_s)
+        if self.journal is not None:
+            # the cut must be the journal's last line, after the drainer
+            # flushed every delivered result
+            self.journal.cut("drained", finished=self._completed)
+            self.journal.close()
+
+    async def _serve_async(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            # a previous daemon killed without cleanup leaves the socket
+            # file behind; binding over it needs the stale node gone
+            Path(self.socket_path).unlink()
+        except OSError:
+            pass
+        server = await asyncio.start_unix_server(self._handle_conn,
+                                                 path=self.socket_path)
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self._drain()))
+            except (ValueError, NotImplementedError, RuntimeError):
+                pass  # not the main thread (tests) or unsupported platform
+        self.bus.publish("daemon.start", socket=self.socket_path,
+                         workers=self.min_workers,
+                         max_workers=self.max_workers)
+        self.ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+
+    def serve(self) -> int:
+        """Run the daemon until drained; returns the process exit code."""
+        self.pool.start()
+        self._drainer = threading.Thread(target=self._drain_results,
+                                         name="repro-daemon-drainer",
+                                         daemon=True)
+        self._drainer.start()
+        # a resumed journal's pending jobs go back on the queue first,
+        # under their original indices
+        for index, request in self._resume_pending:
+            try:
+                self._admit(request, tenant="", priority=0, index=index,
+                            block=True)
+            except (QueueFullError, QueueClosedError) as exc:
+                raise JournalError(
+                    f"cannot re-admit pending job {index}: {exc}") from exc
+        try:
+            asyncio.run(self._serve_async())
+        finally:
+            self.ready.clear()
+            # belt and braces: if the loop died without a drain (crash,
+            # KeyboardInterrupt), the journal still gets closed
+            if not self._stop_drainer.is_set():
+                self.jobs.close()
+                self._stop_drainer.set()
+                if self._drainer is not None:
+                    self._drainer.join(timeout=self.drain_timeout_s)
+                if self.journal is not None:
+                    self.journal.cut("drained", finished=self._completed)
+                    self.journal.close()
+            try:
+                Path(self.socket_path).unlink()
+            except OSError:
+                pass
+        return self._exit_code

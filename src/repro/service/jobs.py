@@ -31,10 +31,16 @@ STATUS_REJECTED = "rejected"
 #: statuses synthesized by the supervisor (no worker survived to report)
 STATUS_CRASHED = "crashed"
 STATUS_QUARANTINED = "quarantined"
+#: the daemon preempted an in-flight job at a scan boundary (a resumable
+#: checkpoint exists — see ``SolveResult.checkpoint``)
+STATUS_PREEMPTED = "preempted"
+#: a queued job was canceled before any worker pulled it
+STATUS_CANCELED = "canceled"
 
 #: every status a batch report can contain, in display order
 ALL_STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_EXPIRED, STATUS_REJECTED,
-                STATUS_CRASHED, STATUS_QUARANTINED)
+                STATUS_CRASHED, STATUS_QUARANTINED, STATUS_PREEMPTED,
+                STATUS_CANCELED)
 
 _VALID_INITIALS = ("greedy", "nearest-neighbor", "random", "identity")
 _VALID_MODES = ("fast", "simulate")
@@ -218,7 +224,8 @@ class SolveResult:
     """One finished (or refused) batch job, as streamed back to the caller.
 
     ``status`` is one of ``ok`` / ``failed`` / ``expired`` /
-    ``rejected`` / ``crashed`` / ``quarantined``. Solver outputs are
+    ``rejected`` / ``crashed`` / ``quarantined`` / ``preempted`` /
+    ``canceled``. Solver outputs are
     only populated for ``ok`` jobs; ``error`` carries the one-line
     failure reason otherwise. Everything except the wall-clock fields
     (``queue_wait_s``, ``wall_seconds``, ``worker``) is deterministic
@@ -248,6 +255,9 @@ class SolveResult:
     #: True when a failure was attributable to the (simulated) device —
     #: feeds the per-device circuit breakers, not user-facing payloads
     device_fault: bool = False
+    #: path of the resumable checkpoint a preempted/expired job wrote at
+    #: its last scan boundary (empty when none was taken)
+    checkpoint: str = ""
     #: per-job telemetry context riding worker→coordinator (not
     #: serialized; detached and merged when the coordinator books the
     #: job — see repro.service.observe.BatchObserver.job_finished)
@@ -286,6 +296,8 @@ class SolveResult:
             payload["error"] = self.error
             if self.device_fault:
                 payload["device_fault"] = True
+        if self.checkpoint:
+            payload["checkpoint"] = self.checkpoint
         if self.cache_events:
             payload["cache"] = dict(self.cache_events)
         return payload
@@ -322,4 +334,5 @@ class SolveResult:
             cache_events=dict(raw.get("cache", {})),
             index=index,
             device_fault=bool(raw.get("device_fault", False)),
+            checkpoint=str(raw.get("checkpoint", "")),
         )

@@ -79,7 +79,7 @@ class JournalWriter:
     """
 
     def __init__(self, path: Union[str, Path], *, fsync: bool = True,
-                 listener=None) -> None:
+                 listener=None, start_seq: int = 0) -> None:
         self.path = Path(path)
         self._fsync = fsync
         #: optional ``listener(event, payload)`` called after each line
@@ -87,7 +87,10 @@ class JournalWriter:
         #: uses this to echo journal activity as ``journal.*`` events
         self.listener = listener
         self._lock = threading.Lock()
-        self._seq = 0
+        # a resume run appends to an existing journal, so its writer must
+        # continue the file's sequence (``replay.last_seq + 1``) — seq is
+        # strictly increasing across the whole file, not per segment
+        self._seq = int(start_seq)
         try:
             self._fh = self.path.open("a", encoding="utf-8")
         except OSError as exc:
@@ -190,6 +193,10 @@ class JournalReplay:
     valid_bytes: int = 0
     #: ``cut`` reasons seen, in order (see :meth:`JournalWriter.cut`)
     cuts: list = field(default_factory=list)
+    #: highest writer sequence number among valid lines (-1 when empty);
+    #: a resume's writer continues from ``last_seq + 1`` so seq stays
+    #: strictly increasing across run segments
+    last_seq: int = -1
 
     @property
     def pending(self) -> list:
@@ -254,6 +261,15 @@ def read_journal(path: Union[str, Path]) -> JournalReplay:
             raise JournalError(
                 f"{p}:{lineno}: unsupported journal schema version "
                 f"{body.get('v')!r} (expected {JOURNAL_SCHEMA_VERSION})")
+        # schema-current lines carry a writer sequence number that must
+        # be strictly increasing across the whole file — including across
+        # resume segments (the resumed writer continues, never restarts)
+        seq = body.get("seq")
+        if not isinstance(seq, int) or (parsed and seq <= parsed[-1][1]["seq"]):
+            prev = parsed[-1][1]["seq"] if parsed else None
+            raise JournalError(
+                f"{p}:{lineno}: non-monotonic journal seq {seq!r} "
+                f"(previous valid line had seq {prev!r})")
         parsed.append((lineno, body))
         valid_bytes = end
 
@@ -266,6 +282,8 @@ def read_journal(path: Union[str, Path]) -> JournalReplay:
                 f"lines — refusing to resume from a damaged journal")
 
     replay = JournalReplay(dropped_lines=len(bad), valid_bytes=valid_bytes)
+    if parsed:
+        replay.last_seq = parsed[-1][1]["seq"]
     for lineno, body in parsed:
         event = body.get("event")
         if event not in _KNOWN_EVENTS:

@@ -50,9 +50,10 @@ from repro.telemetry.live import (
 from repro.telemetry.metrics import MetricsRegistry, get_metrics
 from repro.telemetry.span import Tracer, get_tracer
 
-#: every terminal job status the service can report
+#: every terminal job status the service can report; ``preempted`` and
+#: ``canceled`` are daemon outcomes — deliberate, so not error-counted
 _JOB_STATUSES = ("ok", "failed", "expired", "rejected", "crashed",
-                 "quarantined")
+                 "quarantined", "preempted", "canceled")
 _STATUS_COUNTERS = tuple(f"service.jobs.{s}" for s in _JOB_STATUSES)
 _ERROR_COUNTERS = tuple(f"service.jobs.{s}" for s in
                         ("failed", "expired", "crashed", "quarantined"))

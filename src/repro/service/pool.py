@@ -35,9 +35,17 @@ harness); :mod:`repro.service.supervisor` covers that from the
 coordinator side using the per-slot :class:`~repro.service.supervisor.
 WorkerState` stamps maintained here.
 
-Deadlines are enforced at dequeue: a job whose deadline passed while it
-waited is reported ``expired`` without running (a deliberately simple
-admission-to-start deadline; jobs are not killed mid-solve).
+Deadlines are enforced twice. At dequeue, a job whose deadline passed
+while it waited is reported ``expired`` without running. In flight, the
+worker threads a stop check into the solver's scan boundary
+(:meth:`~repro.core.local_search.LocalSearch.run`'s ``stop_check``): a
+job whose deadline passes mid-solve stops at the next boundary and is
+reported ``expired`` — after writing a resumable checkpoint when the
+pool has a ``checkpoint_dir``. The same boundary is the daemon's
+preemption point: setting a queued job's ``preempt`` event makes the
+running solve stop with ``preempted`` status and a checkpoint path in
+the result, which a later resume submission continues exactly where it
+stopped.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from __future__ import annotations
 import queue as stdlib_queue
 import threading
 import time
+from pathlib import Path
 from typing import Callable, Optional
 
 from repro.errors import (
@@ -60,10 +69,11 @@ from repro.service.jobs import (
     STATUS_EXPIRED,
     STATUS_FAILED,
     STATUS_OK,
+    STATUS_PREEMPTED,
     SolveRequest,
     SolveResult,
 )
-from repro.service.queue import JobQueue, QueuedJob
+from repro.service.queue import RETIRE, JobQueue, QueuedJob
 from repro.service.supervisor import WorkerState
 from repro.telemetry.metrics import NoopMetricsRegistry, set_thread_metrics
 from repro.telemetry.span import NoopTracer, set_thread_tracer
@@ -110,7 +120,9 @@ def request_devices(request: SolveRequest) -> tuple:
     return tuple(request.devices) if request.devices else (request.device,)
 
 
-def run_request(request: SolveRequest, cache: ArtifactCache) -> SolveResult:
+def run_request(request: SolveRequest, cache: ArtifactCache, *,
+                stop_check=None, checkpoint_path=None,
+                resume_from=None) -> SolveResult:
     """Solve one request through the cache; deterministic given the request.
 
     Expected failures (bad device key, malformed file, exhausted
@@ -119,6 +131,14 @@ def run_request(request: SolveRequest, cache: ArtifactCache) -> SolveResult:
     :class:`~repro.errors.FaultError` (retry exhaustion, device loss)
     are stamped ``device_fault`` so the circuit breakers can count them
     against the device rather than the manifest.
+
+    ``stop_check`` is consulted at every scan boundary; when it fires
+    the result comes back ``preempted`` with the checkpoint path (a
+    checkpoint of the stopped state is written when ``checkpoint_path``
+    is set). ``resume_from`` continues a previously preempted solve of
+    the *same* request from its checkpoint — the solver stack being
+    deterministic, the spliced run finishes exactly where the
+    uninterrupted one would have.
     """
     try:
         with cache.job_events() as events:
@@ -129,6 +149,8 @@ def run_request(request: SolveRequest, cache: ArtifactCache) -> SolveResult:
             res = solver.solve(
                 inst, initial=tour0.copy(), seed=request.seed,
                 max_moves=request.max_moves, max_scans=request.max_scans,
+                checkpoint_path=checkpoint_path, resume_from=resume_from,
+                stop_check=stop_check,
             )
     except ReproError as exc:
         return SolveResult(job_id=request.job_id, status=STATUS_FAILED,
@@ -140,6 +162,17 @@ def run_request(request: SolveRequest, cache: ArtifactCache) -> SolveResult:
                            instance=request.instance_label(),
                            error=f"{type(exc).__name__}: {exc}")
     s = res.search
+    if s.preempted:
+        return SolveResult(
+            job_id=request.job_id,
+            status=STATUS_PREEMPTED,
+            instance=inst.name,
+            n=inst.n,
+            error=(f"job {request.job_id!r} preempted at scan boundary "
+                   f"(scan {s.scans}, {s.moves_applied} moves applied)"),
+            checkpoint=str(checkpoint_path) if checkpoint_path else "",
+            cache_events=events,
+        )
     return SolveResult(
         job_id=request.job_id,
         status=STATUS_OK,
@@ -188,7 +221,8 @@ class WorkerPool:
                  results: Optional["stdlib_queue.Queue"] = None,
                  clock: Callable[[], float] = time.monotonic,
                  chaos=None, breakers=None, journal=None,
-                 observer=None, telemetry=None) -> None:
+                 observer=None, telemetry=None,
+                 checkpoint_dir=None) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
         self.jobs = jobs
@@ -205,6 +239,9 @@ class WorkerPool:
         if telemetry is None and observer is not None:
             telemetry = observer.job_telemetry
         self.telemetry = telemetry
+        #: directory for preemption/expiry checkpoints; ``None`` (the
+        #: batch default) means preempted jobs stop without saving state
+        self.checkpoint_dir = checkpoint_dir
         self.states = [WorkerState(idx) for idx in range(workers)]
         self.started = False
 
@@ -223,8 +260,33 @@ class WorkerPool:
             target=self._worker, args=(idx,),
             name=f"repro-service-worker-{idx}", daemon=True,
         )
+        self.states[idx].retired = False
         self.states[idx].attach(t)
         t.start()
+
+    def grow(self, count: int = 1) -> list:
+        """Add *count* new worker slots (spawned if the pool is started).
+
+        The daemon autoscaler's scale-up primitive; returns the new slot
+        ids. Scale-down goes through :meth:`JobQueue.retire` instead —
+        a worker that takes a retire token marks its slot ``retired``
+        and exits, and the supervisor leaves retired slots alone.
+        """
+        new = []
+        for _ in range(max(0, count)):
+            idx = None
+            for state in self.states:
+                if state.retired and not state.alive:
+                    idx = state.worker_id  # reuse the retired slot
+                    break
+            if idx is None:
+                idx = len(self.states)
+                self.states.append(WorkerState(idx))
+                self.workers += 1
+            if self.started:
+                self.respawn(idx)
+            new.append(idx)
+        return new
 
     def any_alive(self) -> bool:
         """Is at least one worker thread currently running?"""
@@ -268,6 +330,11 @@ class WorkerPool:
         while True:
             job = self.jobs.pull()
             if job is None:
+                return
+            if job is RETIRE:
+                # deliberate scale-down: flag the slot *before* exiting
+                # so the supervisor never mistakes this for a crash
+                state.retired = True
                 return
             pull_no = state.note_pull(job, self._clock())
             if (self.chaos is not None
@@ -357,7 +424,33 @@ class WorkerPool:
                         f"breaker open for device {blocked!r}")),
                 )
             else:
-                result = run_request(job.request, self.cache)
+                checkpoint_path = None
+                if self.checkpoint_dir is not None:
+                    checkpoint_path = (
+                        Path(self.checkpoint_dir)
+                        / f"job-{job.index}-{job.request.job_id}.ckpt")
+
+                def stop_check(_job=job):
+                    # scan-boundary enforcement: the daemon's preempt
+                    # event, or the deadline passing mid-solve
+                    return (_job.preempt.is_set()
+                            or _job.expired(self._clock()))
+
+                result = run_request(
+                    job.request, self.cache, stop_check=stop_check,
+                    checkpoint_path=checkpoint_path,
+                    resume_from=job.resume_from)
+                if (result.status == STATUS_PREEMPTED
+                        and not job.preempt.is_set()
+                        and job.expired(self._clock())):
+                    # the stop fired because the deadline passed, not
+                    # because anyone asked: that is an expiry — but the
+                    # checkpoint still makes it resumable
+                    result.status = STATUS_EXPIRED
+                    result.error = str(DeadlineExceededError(
+                        f"job {job.request.job_id!r} deadline "
+                        f"({job.deadline_at - job.submitted_at:.3f}s) "
+                        f"expired mid-solve; stopped at scan boundary"))
                 if self.breakers is not None:
                     self.breakers.report(devices, ok=result.ok,
                                          device_fault=result.device_fault)

@@ -1,0 +1,211 @@
+"""Wire protocol for the always-on solve daemon (JSONL over a Unix socket).
+
+One connection carries a sequence of newline-delimited JSON objects in
+each direction. Every client message is an *op*:
+
+``hello``
+    ``{"op": "hello", "tenant": "a"}`` — names the tenant for later
+    submits on this connection; replies with the server identity and
+    protocol version.
+``submit``
+    ``{"op": "submit", "request": {<manifest row>}, "tenant": "a",
+    "priority": 0}`` — admits one job. The reply carries the daemon-
+    assigned ``id`` (a monotonically increasing integer, also the job's
+    journal index). ``tenant`` defaults to the connection's hello;
+    ``priority`` defaults to 0 (higher dispatches first).
+``status``
+    ``{"op": "status"}`` — daemon-wide counters (queued / running /
+    done, workers, per-tenant dispatch counts). With ``"id": N`` —
+    that job's state, plus its full result payload once finished.
+``cancel``
+    ``{"op": "cancel", "id": N}`` — a queued job is removed and
+    reported ``canceled``; a running job has its preempt event set and
+    finishes ``preempted`` with a resumable checkpoint path.
+``resume``
+    ``{"op": "resume", "id": N}`` — re-enqueues a preempted/expired
+    job from its checkpoint; the spliced run finishes exactly where the
+    uninterrupted one would have.
+``wait``
+    ``{"op": "wait", "id": N}`` — blocks until job N finishes and
+    returns its result (the submit-and-wait client path).
+``subscribe``
+    ``{"op": "subscribe"}`` — switches the connection to streaming:
+    every event published on the daemon's bus is written to this
+    connection as ``{"event": {...}}``, in bus order (each connection
+    gets a private bounded buffer; a lagging consumer drops oldest
+    first, never blocking the daemon). No further ops are read.
+``drain``
+    ``{"op": "drain"}`` — begins graceful shutdown: admissions stop,
+    in-flight jobs finish, the journal is cut with reason ``drained``,
+    and the server exits.
+
+Every non-streaming reply is one JSON object with ``"ok": true`` or
+``"ok": false, "error": "..."``. Unknown ops and malformed JSON get an
+error reply; the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import ServiceError
+
+#: bumped on incompatible wire-format changes
+PROTOCOL_VERSION = 1
+
+#: server identity string in the hello reply
+SERVER_NAME = "repro-daemon"
+
+
+def encode_message(payload: dict) -> bytes:
+    """One wire frame: canonical JSON plus the line terminator."""
+    return (json.dumps(payload, sort_keys=True, default=str) + "\n").encode(
+        "utf-8")
+
+
+def decode_message(line: Union[str, bytes]) -> dict:
+    """Parse one wire frame; raises :class:`ServiceError` on garbage."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"protocol messages must be JSON objects, got "
+            f"{type(payload).__name__}")
+    return payload
+
+
+class DaemonClient:
+    """Blocking JSONL client for one daemon connection.
+
+    The CLI's ``submit`` / ``status`` / ``cancel`` / ``drain``
+    subcommands and the tests drive the daemon through this. One
+    client = one socket connection; requests and replies alternate
+    strictly except after :meth:`subscribe`, which turns the connection
+    into a one-way event stream.
+    """
+
+    def __init__(self, socket_path: Union[str, Path], *,
+                 timeout: Optional[float] = 30.0,
+                 tenant: str = "") -> None:
+        self.socket_path = str(socket_path)
+        self.tenant = tenant
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(self.socket_path)
+        except OSError as exc:
+            self._sock.close()
+            raise ServiceError(
+                f"cannot connect to daemon at {self.socket_path}: {exc}"
+            ) from exc
+        self._rfile = self._sock.makefile("rb")
+        if tenant:
+            self.hello(tenant)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, payload: dict) -> None:
+        try:
+            self._sock.sendall(encode_message(payload))
+        except OSError as exc:
+            raise ServiceError(f"daemon connection lost: {exc}") from exc
+
+    def _recv(self) -> dict:
+        try:
+            line = self._rfile.readline()
+        except OSError as exc:
+            raise ServiceError(f"daemon connection lost: {exc}") from exc
+        if not line:
+            raise ServiceError("daemon closed the connection")
+        return decode_message(line)
+
+    def call(self, payload: dict) -> dict:
+        """One request/reply round-trip; raises on ``ok: false`` replies."""
+        self._send(payload)
+        reply = self._recv()
+        if not reply.get("ok", False):
+            raise ServiceError(
+                reply.get("error", "daemon refused the request"))
+        return reply
+
+    # -- ops ---------------------------------------------------------------
+
+    def hello(self, tenant: str = "") -> dict:
+        """Identify this connection's tenant; returns the server identity."""
+        self.tenant = tenant or self.tenant
+        return self.call({"op": "hello", "tenant": self.tenant})
+
+    def submit(self, request: dict, *, tenant: Optional[str] = None,
+               priority: int = 0) -> int:
+        """Admit one manifest-row *request*; returns the daemon job id."""
+        payload = {"op": "submit", "request": request, "priority": priority}
+        payload["tenant"] = self.tenant if tenant is None else tenant
+        return int(self.call(payload)["id"])
+
+    def status(self, job_id: Optional[int] = None) -> dict:
+        """Daemon-wide status, or one job's state/result with *job_id*."""
+        payload: dict = {"op": "status"}
+        if job_id is not None:
+            payload["id"] = int(job_id)
+        return self.call(payload)
+
+    def cancel(self, job_id: int) -> dict:
+        """Cancel a queued job or preempt a running one."""
+        return self.call({"op": "cancel", "id": int(job_id)})
+
+    def resume(self, job_id: int) -> dict:
+        """Re-enqueue a preempted/expired job from its checkpoint."""
+        return self.call({"op": "resume", "id": int(job_id)})
+
+    def wait(self, job_id: int, *, timeout: Optional[float] = None) -> dict:
+        """Block until job *job_id* finishes; returns its result payload."""
+        payload: dict = {"op": "wait", "id": int(job_id)}
+        if timeout is not None:
+            payload["timeout"] = float(timeout)
+        return self.call(payload)["result"]
+
+    def drain(self) -> dict:
+        """Ask the daemon to drain and exit; returns the pending count."""
+        return self.call({"op": "drain"})
+
+    def subscribe(self) -> Iterator[dict]:
+        """Switch to streaming mode; yields bus events until disconnect."""
+        self._send({"op": "subscribe"})
+        reply = self._recv()
+        if not reply.get("ok", False):
+            raise ServiceError(
+                reply.get("error", "daemon refused the subscription"))
+        while True:
+            try:
+                line = self._rfile.readline()
+            except OSError:
+                return
+            if not line:
+                return
+            frame = decode_message(line)
+            if "event" in frame:
+                yield frame["event"]
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -11,7 +11,18 @@ when a worker happened to pick it up.
 
 The queue is closed exactly once, after the last submit; workers then
 drain the remainder and :meth:`JobQueue.pull` returns ``None``, which is
-the worker shutdown signal.
+the worker shutdown signal. A second shutdown signal exists for the
+daemon's autoscaler: :meth:`JobQueue.retire` enqueues *retire tokens*,
+and a pull that takes one returns the :data:`RETIRE` sentinel — exactly
+one worker exits (marking its slot retired so the supervisor does not
+resurrect it) while the queue stays open.
+
+:class:`FairShareQueue` keeps the same bound, closing, and retire
+semantics but replaces FIFO dispatch with the daemon's scheduling
+policy: highest ``priority`` first, then the tenant with the fewest
+dispatched jobs, then admission order — so one chatty tenant cannot
+starve another at equal priority. It also supports :meth:`cancel` of a
+still-queued job by index.
 """
 
 from __future__ import annotations
@@ -19,11 +30,16 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import QueueClosedError, QueueFullError
 from repro.service.jobs import SolveRequest
+
+#: sentinel returned by :meth:`JobQueue.pull` when the puller should
+#: retire its worker slot (daemon scale-down); distinct from ``None``,
+#: which means the queue is closed and drained
+RETIRE = object()
 
 
 @dataclass
@@ -39,6 +55,15 @@ class QueuedJob:
     deadline_at: Optional[float]
     #: position in the submitting batch (restores manifest order)
     index: int = -1
+    #: submitting tenant (daemon fair-share scheduling; "" for batch)
+    tenant: str = ""
+    #: dispatch priority — higher runs first (fair-share within a level)
+    priority: int = 0
+    #: set by the daemon to preempt this job at its next scan boundary
+    preempt: threading.Event = field(default_factory=threading.Event,
+                                     repr=False, compare=False)
+    #: checkpoint path to resume the descent from (daemon resume op)
+    resume_from: Optional[str] = None
 
     def expired(self, now: float) -> bool:
         """Whether the job's deadline has passed at monotonic time *now*."""
@@ -59,12 +84,15 @@ class JobQueue:
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._closed = False
+        self._retire_tokens = 0
 
     # -- producer side -----------------------------------------------------
 
     def submit(self, request: SolveRequest, *, block: bool = False,
                default_deadline_s: Optional[float] = None,
-               index: int = -1) -> QueuedJob:
+               index: int = -1, tenant: str = "",
+               priority: int = 0,
+               resume_from: Optional[str] = None) -> QueuedJob:
         """Admit *request*; returns the stamped :class:`QueuedJob`.
 
         With ``block=False`` (the default) a full queue raises
@@ -72,7 +100,11 @@ class JobQueue:
         control path. With ``block=True`` the submit waits for a slot
         (producer backpressure). ``default_deadline_s`` applies to
         requests that carry no deadline of their own. Raises
-        :class:`QueueClosedError` after :meth:`close`.
+        :class:`QueueClosedError` after :meth:`close`. ``tenant`` and
+        ``priority`` only influence dispatch order on a
+        :class:`FairShareQueue`; the base queue records but ignores
+        them. ``resume_from`` (a checkpoint path) must be stamped at
+        admission — a worker may pull the job the instant it is visible.
         """
         with self._lock:
             while len(self._jobs) >= self.max_depth and not self._closed:
@@ -94,6 +126,9 @@ class JobQueue:
                 submitted_at=now,
                 deadline_at=(now + deadline_s) if deadline_s is not None else None,
                 index=index,
+                tenant=tenant,
+                priority=priority,
+                resume_from=resume_from,
             )
             self._jobs.append(job)
             self._not_empty.notify()
@@ -120,6 +155,20 @@ class JobQueue:
             self._jobs.append(job)
             self._not_empty.notify()
 
+    def retire(self, count: int = 1) -> None:
+        """Ask *count* workers to exit without closing the queue.
+
+        Each token makes exactly one subsequent :meth:`pull` return
+        :data:`RETIRE`; the worker taking it marks its slot retired and
+        exits while queued jobs keep flowing to the remaining workers.
+        This is the daemon autoscaler's scale-down primitive.
+        """
+        if count < 1:
+            return
+        with self._lock:
+            self._retire_tokens += count
+            self._not_empty.notify_all()
+
     def drain_nowait(self) -> list:
         """Atomically remove and return every queued job.
 
@@ -136,18 +185,31 @@ class JobQueue:
 
     # -- consumer side -----------------------------------------------------
 
-    def pull(self) -> Optional[QueuedJob]:
-        """Take the oldest job, blocking while the queue is open but empty.
+    def _pop_job(self) -> QueuedJob:
+        """Remove and return the next job to dispatch (lock held).
 
-        Returns ``None`` once the queue is closed and drained — the
-        worker shutdown signal.
+        The base queue is strict FIFO; :class:`FairShareQueue` overrides
+        this with the priority + fair-share selection.
+        """
+        return self._jobs.popleft()
+
+    def pull(self):
+        """Take the next job, blocking while the queue is open but empty.
+
+        Returns :data:`RETIRE` when a retire token is pending (the
+        puller should exit its worker slot), or ``None`` once the queue
+        is closed and drained — the worker shutdown signal.
         """
         with self._lock:
-            while not self._jobs and not self._closed:
+            while (not self._jobs and not self._retire_tokens
+                   and not self._closed):
                 self._not_empty.wait()
+            if self._retire_tokens:
+                self._retire_tokens -= 1
+                return RETIRE
             if not self._jobs:
                 return None
-            job = self._jobs.popleft()
+            job = self._pop_job()
             self._not_full.notify()
             return job
 
@@ -174,3 +236,54 @@ class JobQueue:
         """
         with self._lock:
             return self._closed and not self._jobs
+
+
+class FairShareQueue(JobQueue):
+    """A :class:`JobQueue` dispatching by priority, then tenant fairness.
+
+    Dispatch order among queued jobs: highest ``priority`` first; within
+    a priority level the tenant with the fewest *dispatched* jobs so far
+    (so a tenant that queued a thousand jobs shares workers equally with
+    one that queued ten); within a tenant, admission order. The depth
+    bound, closing, retire, requeue, and drain semantics are inherited
+    unchanged — the daemon layers scheduling policy on top of the same
+    admission control the batch service uses.
+    """
+
+    def __init__(self, *, max_depth: int = 64,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        super().__init__(max_depth=max_depth, clock=clock)
+        #: jobs dispatched per tenant over the queue's lifetime
+        self._dispatched: dict[str, int] = {}
+
+    def _pop_job(self) -> QueuedJob:
+        best_pos = 0
+        best_key = None
+        for pos, job in enumerate(self._jobs):
+            key = (-job.priority, self._dispatched.get(job.tenant, 0), pos)
+            if best_key is None or key < best_key:
+                best_pos, best_key = pos, key
+        job = self._jobs[best_pos]
+        del self._jobs[best_pos]
+        self._dispatched[job.tenant] = self._dispatched.get(job.tenant, 0) + 1
+        return job
+
+    def cancel(self, index: int) -> Optional[QueuedJob]:
+        """Remove and return the queued job with batch *index*, if any.
+
+        Only reaches jobs still waiting for a worker; an in-flight job
+        must be preempted through its ``preempt`` event instead. Returns
+        ``None`` when no queued job carries that index.
+        """
+        with self._lock:
+            for pos, job in enumerate(self._jobs):
+                if job.index == index:
+                    del self._jobs[pos]
+                    self._not_full.notify()
+                    return job
+        return None
+
+    def dispatched_by_tenant(self) -> dict:
+        """Snapshot of jobs dispatched per tenant (scheduling telemetry)."""
+        with self._lock:
+            return dict(self._dispatched)

@@ -64,6 +64,9 @@ class WorkerState:
         self.pulls = 0
         self.completed = 0
         self.deaths = 0
+        #: the worker took a retire token and exited deliberately — the
+        #: supervisor must neither recover nor respawn this slot
+        self.retired = False
 
     def attach(self, thread: threading.Thread) -> None:
         """Bind a (re)spawned thread to this slot."""
@@ -113,6 +116,7 @@ class WorkerState:
                 "completed": self.completed,
                 "deaths": self.deaths,
                 "heartbeat": self.heartbeat,
+                "retired": self.retired,
             }
 
 
@@ -159,6 +163,10 @@ class Supervisor:
         """
         actions = 0
         for state in self.pool.states:
+            if state.retired:
+                # a deliberate scale-down exit, not a crash: the slot
+                # stays dead until the autoscaler grows the pool again
+                continue
             if state.alive:
                 continue
             job = state.take_current()

@@ -66,6 +66,7 @@ from repro.telemetry.logbridge import (
     uninstall_log_bridge,
 )
 from repro.telemetry.live import (
+    BusSubscription,
     EventBus,
     FlightRecorder,
     JobTelemetry,
@@ -132,6 +133,7 @@ __all__ = [
     "install_log_bridge",
     "uninstall_log_bridge",
     "log_fault_event",
+    "BusSubscription",
     "EventBus",
     "JsonlSink",
     "JobTelemetry",

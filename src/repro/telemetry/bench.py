@@ -447,6 +447,81 @@ def _scenario_service_observe() -> ScenarioResult:
                           metrics=metrics)
 
 
+def _scenario_daemon_load() -> ScenarioResult:
+    """Always-on daemon under a two-tenant burst of tiny jobs.
+
+    240 jobs (120 per tenant) submitted through the Unix-socket
+    protocol against a 4-worker daemon. The solver outcomes are
+    deterministic and gated exactly (tour lengths, move/scan totals),
+    as is the fair-share invariant (equal tenants finish with equal
+    dispatch counts — spread pinned to 0). Queue-wait p99 and jobs/s
+    are wall-clock service-level figures, gated with the wide
+    machine-noise policies and stripped from the committed baseline.
+    """
+    import os
+    import tempfile
+    import threading
+
+    from repro.service import DaemonClient, SolveDaemon
+
+    jobs_per_tenant = 120
+    waits: list = []
+    ok = 0
+    length_total = 0
+    moves = 0
+    scans = 0
+    modeled = 0.0
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = os.path.join(tmp, "bench.sock")
+        daemon = SolveDaemon(sock, workers=4, queue_depth=64)
+        thread = threading.Thread(target=daemon.serve, daemon=True)
+        thread.start()
+        daemon.ready.wait(30)
+        t0 = time.perf_counter()
+        with DaemonClient(sock, tenant="a", timeout=300.0) as ca, \
+                DaemonClient(sock, tenant="b", timeout=300.0) as cb:
+            ids = []
+            for i in range(jobs_per_tenant):
+                req = {"n": 10 + (i % 3), "seed": i % 8,
+                       "device": "gtx680-cuda"}
+                ids.append(ca.submit(req))
+                ids.append(cb.submit(req))
+            for job_id in ids:
+                r = ca.wait(job_id, timeout=300)
+                waits.append(float(r.get("queue_wait_s", 0.0)))
+                if r["status"] == "ok":
+                    ok += 1
+                    length_total += int(r["final_length"])
+                    moves += int(r["moves_applied"])
+                    scans += int(r["scans"])
+                    modeled += float(r["modeled_seconds"])
+            wall = time.perf_counter() - t0
+            dispatched = ca.status()["queue"]["dispatched"]
+            ca.drain()
+        thread.join(timeout=60)
+    waits.sort()
+    p99 = waits[int(0.99 * (len(waits) - 1))] if waits else 0.0
+    total = 2 * jobs_per_tenant
+    metrics = {
+        "jobs_ok": float(ok),
+        "jobs_total": float(total),
+        # equal tenants, equal work: any imbalance is a scheduling bug
+        "tenant_dispatch_spread": float(abs(
+            dispatched.get("a", 0) - dispatched.get("b", 0))),
+        "final_length_total": float(length_total),
+        "moves_applied": float(moves),
+        "scans": float(scans),
+        "modeled_seconds": modeled,
+        # wall-clock service levels (wide machine-noise gates)
+        "queue_wait_p99_s": p99,
+        "jobs_per_second": total / max(wall, 1e-9),
+        "wall_seconds": wall,
+    }
+    return ScenarioResult(scenario="daemon-load", n=12,
+                          device="gtx680-cuda", backend="daemon",
+                          metrics=metrics)
+
+
 def _scenario_subq_parity_pr1002() -> ScenarioResult:
     return _subq_parity_scenario("subq-parity-pr1002", 1002, 40)
 
@@ -496,6 +571,11 @@ SCENARIOS: tuple = (
                   "observed batch: live event stream + SLOs gated to "
                   "exact counts (n=120/160)",
                   160, True, _scenario_service_observe),
+    BenchScenario("daemon-load",
+                  "always-on daemon: 240 tiny jobs from 2 tenants over "
+                  "the socket protocol, fair-share gated exactly, "
+                  "queue-wait p99 + jobs/s service levels (n=10-12)",
+                  12, True, _scenario_daemon_load),
     BenchScenario("subq-parity-pr1002",
                   "sub-quadratic exact best-move engine vs exhaustive, "
                   "parity-gated (n=1002, 40 sweeps)",
@@ -634,6 +714,13 @@ METRIC_POLICIES: dict = {
     "events_spans": MetricPolicy("exact", 0.0, 0.0),
     "events_dropped": MetricPolicy("lower", 0.0, 0.0),
     "slo_breaches": MetricPolicy("lower", 0.0, 0.0),
+    # always-on daemon: fair share is a contract (equal tenants must
+    # finish with equal dispatch counts); the service levels are wall
+    # clock, so they get the same wide machine-noise policy as
+    # wall_seconds and stay out of the committed baseline
+    "tenant_dispatch_spread": MetricPolicy("lower", 0.0, 0.0),
+    "queue_wait_p99_s": MetricPolicy("lower", 1.0, 0.25),
+    "jobs_per_second": MetricPolicy("higher", 0.5, 0.0),
 }
 
 

@@ -97,6 +97,18 @@ class EventBus:
         with self._lock:
             self._sinks.append(sink)
 
+    def detach(self, sink: Callable[[dict], None]) -> None:
+        """Unregister *sink*; a no-op when it was never attached.
+
+        Lets transient consumers (a daemon connection's
+        :class:`BusSubscription`) come and go without leaking sinks.
+        """
+        with self._lock:
+            try:
+                self._sinks.remove(sink)
+            except ValueError:
+                pass
+
     def publish(self, kind: str, **fields) -> dict:
         """Publish one event; returns the stamped event dict.
 
@@ -150,6 +162,62 @@ class JsonlSink:
         self.stream.write(json.dumps(event, sort_keys=True,
                                      default=str) + "\n")
         self.stream.flush()
+
+
+class BusSubscription:
+    """Bounded per-consumer event buffer attached to an :class:`EventBus`.
+
+    The daemon gives every streaming connection one of these: events
+    land in a private bounded deque in bus order (the oldest is evicted
+    and counted in :attr:`dropped` when the consumer lags), and an
+    optional *notify* callable fires after each append so an async
+    consumer can be woken (e.g. ``loop.call_soon_threadsafe``). Because
+    the sink is invoked inside the bus lock, *notify* must be cheap and
+    non-blocking. *filter* (``event -> bool``) keeps only matching
+    events. :meth:`take` drains atomically; :meth:`close` detaches from
+    the bus.
+    """
+
+    def __init__(self, bus: EventBus, *, capacity: int = 2048,
+                 notify: Optional[Callable[[], None]] = None,
+                 filter: Optional[Callable[[dict], bool]] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.bus = bus
+        self.capacity = capacity
+        self.notify = notify
+        self._filter = filter
+        self._lock = threading.Lock()
+        self._events: deque = deque()
+        #: events evicted unread because the consumer lagged
+        self.dropped = 0
+        bus.attach(self)
+
+    def __call__(self, event: dict) -> None:
+        if self._filter is not None:
+            try:
+                if not self._filter(event):
+                    return
+            except Exception:
+                return  # a broken filter must not poison the bus
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                self._events.popleft()
+                self.dropped += 1
+        if self.notify is not None:
+            self.notify()
+
+    def take(self) -> list:
+        """Return and clear the buffered events, in bus order."""
+        with self._lock:
+            out = list(self._events)
+            self._events.clear()
+            return out
+
+    def close(self) -> None:
+        """Detach from the bus; buffered events remain takeable."""
+        self.bus.detach(self)
 
 
 # ---------------------------------------------------------------------------

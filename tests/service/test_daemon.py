@@ -1,0 +1,434 @@
+"""Always-on daemon tests: socket protocol, fair-share scheduling,
+preemption/resume, autoscaling, drain, and the deadline scan-boundary
+stop that doubles as the daemon's preemption primitive."""
+
+import contextlib
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    DaemonClient,
+    JournalWriter,
+    SolveDaemon,
+    SolveRequest,
+    read_journal,
+    run_batch,
+)
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import (
+    STATUS_CANCELED,
+    STATUS_EXPIRED,
+    STATUS_OK,
+    STATUS_PREEMPTED,
+)
+from repro.service.pool import run_request
+from repro.service.protocol import decode_message, encode_message
+
+pytestmark = [pytest.mark.service, pytest.mark.daemon]
+
+TINY = {"n": 40, "seed": 1, "device": "gtx680-cuda"}
+BIG = {"n": 900, "seed": 3, "device": "gtx680-cuda"}
+
+
+@contextlib.contextmanager
+def running_daemon(tmp_path, **kwargs):
+    """A live daemon on a tmp socket; always drained on the way out."""
+    sock = str(tmp_path / "daemon.sock")
+    kwargs.setdefault("workers", 2)
+    if "checkpoint_dir" in kwargs:
+        os.makedirs(kwargs["checkpoint_dir"], exist_ok=True)
+    daemon = SolveDaemon(sock, **kwargs)
+    exit_code = {}
+    thread = threading.Thread(
+        target=lambda: exit_code.update(code=daemon.serve()), daemon=True)
+    thread.start()
+    assert daemon.ready.wait(10), "daemon never became ready"
+    try:
+        yield daemon, sock, exit_code
+    finally:
+        if thread.is_alive():
+            try:
+                with DaemonClient(sock, timeout=5.0) as client:
+                    client.drain()
+            except ServiceError:
+                pass
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestProtocol:
+    def test_submit_wait_status_lifecycle(self, tmp_path):
+        with running_daemon(tmp_path) as (daemon, sock, _):
+            with DaemonClient(sock, tenant="alice") as c:
+                hello = c.hello("alice")
+                assert hello["server"] == "repro-daemon"
+                assert hello["protocol"] == 1
+                job_id = c.submit(TINY)
+                result = c.wait(job_id, timeout=30)
+                assert result["status"] == STATUS_OK
+                assert result["final_length"] < result["initial_length"]
+                st = c.status(job_id)
+                assert st["state"] == "done"
+                assert st["tenant"] == "alice"
+                assert st["result"]["final_length"] == result["final_length"]
+                top = c.status()
+                assert top["jobs"]["submitted"] == 1
+                assert top["jobs"]["by_status"] == {"ok": 1}
+                assert top["queue"]["dispatched"] == {"alice": 1}
+
+    def test_malformed_and_unknown_ops_keep_connection_usable(self, tmp_path):
+        with running_daemon(tmp_path) as (daemon, sock, _):
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.settimeout(10.0)
+            raw.connect(sock)
+            rfile = raw.makefile("rb")
+            raw.sendall(b"this is not json\n")
+            reply = decode_message(rfile.readline())
+            assert reply["ok"] is False and "malformed" in reply["error"]
+            raw.sendall(encode_message({"op": "frobnicate"}))
+            reply = decode_message(rfile.readline())
+            assert reply["ok"] is False and "unknown op" in reply["error"]
+            # the connection survived both errors
+            raw.sendall(encode_message({"op": "status"}))
+            reply = decode_message(rfile.readline())
+            assert reply["ok"] is True
+            raw.close()
+
+    def test_bad_request_and_unknown_id_errors(self, tmp_path):
+        with running_daemon(tmp_path) as (daemon, sock, _):
+            with DaemonClient(sock) as c:
+                with pytest.raises(ServiceError, match="bad request"):
+                    c.submit({"n": 40, "bogus_field": 1})
+                with pytest.raises(ServiceError, match="unknown job id"):
+                    c.status(12345)
+                with pytest.raises(ServiceError, match="unknown job id"):
+                    c.cancel(12345)
+
+    def test_many_jobs_two_tenants(self, tmp_path):
+        """The load shape the daemon exists for: a thousand tiny jobs
+        from two tenants through one socket, every one accounted for."""
+        jobs_per_tenant = 500
+        req = {"n": 8, "seed": 0, "device": "gtx680-cuda"}
+        with running_daemon(tmp_path, workers=4,
+                            queue_depth=128) as (daemon, sock, _):
+            with DaemonClient(sock, tenant="a") as ca, \
+                    DaemonClient(sock, tenant="b") as cb:
+                ids = []
+                for _ in range(jobs_per_tenant):
+                    ids.append(ca.submit(req))
+                    ids.append(cb.submit(req))
+                assert len(set(ids)) == 2 * jobs_per_tenant
+                last = ids[-1]
+                ca.wait(last, timeout=120)
+                assert wait_until(
+                    lambda: daemon._pending_count() == 0, timeout=120)
+                top = ca.status()
+                assert top["jobs"]["submitted"] == 2 * jobs_per_tenant
+                assert top["jobs"]["by_status"] == {
+                    "ok": 2 * jobs_per_tenant}
+                dispatched = top["queue"]["dispatched"]
+                assert dispatched["a"] == jobs_per_tenant
+                assert dispatched["b"] == jobs_per_tenant
+
+
+class TestScheduling:
+    def test_fair_share_and_ordered_events_per_connection(self, tmp_path):
+        """One tenant floods the queue before the other's jobs arrive;
+        dispatch still alternates — observed through a streaming
+        subscription whose events arrive in bus order."""
+        with running_daemon(tmp_path, workers=1) as (daemon, sock, _):
+            baseline_sinks = len(daemon.bus._sinks)
+            sub_client = DaemonClient(sock, timeout=60.0)
+            sub_client._send({"op": "subscribe"})
+            assert sub_client._recv()["ok"] is True
+            # only submit once the server side attached its bus sink,
+            # so no admission event can slip past the stream
+            assert wait_until(
+                lambda: len(daemon.bus._sinks) > baseline_sinks)
+            events = []
+            seen_all = threading.Event()
+
+            def pump():
+                remaining = set(range(7))
+                try:
+                    while remaining:
+                        frame = decode_message(sub_client._rfile.readline())
+                        if "event" not in frame:
+                            continue
+                        event = frame["event"]
+                        events.append(event)
+                        if event.get("kind") == "job.finished":
+                            remaining.discard(event.get("index"))
+                    seen_all.set()
+                except (ServiceError, OSError):
+                    pass
+
+            pump_thread = threading.Thread(target=pump, daemon=True)
+            pump_thread.start()
+            with DaemonClient(sock, tenant="z") as cz, \
+                    DaemonClient(sock, tenant="a") as ca, \
+                    DaemonClient(sock, tenant="b") as cb:
+                blocker = cz.submit(BIG)  # index 0 occupies the only worker
+                a_ids = [ca.submit(TINY) for _ in range(4)]  # 1..4
+                b_ids = [cb.submit(TINY) for _ in range(2)]  # 5..6
+                for job_id in a_ids + b_ids + [blocker]:
+                    ca.wait(job_id, timeout=120)
+            assert seen_all.wait(60)
+            sub_client.close()
+            pump_thread.join(timeout=10)
+            started = [e["index"] for e in events
+                       if e.get("kind") == "job.started"
+                       and e.get("index") != 0]
+            # a=1,2,3,4  b=5,6: equal priority alternates tenants, then
+            # the flooding tenant finishes its backlog in FIFO order
+            assert started == [1, 5, 2, 6, 3, 4]
+            # the stream is ordered: bus seq strictly increasing
+            seqs = [e["seq"] for e in events if "seq" in e]
+            assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_priority_beats_fair_share(self, tmp_path):
+        with running_daemon(tmp_path, workers=1) as (daemon, sock, _):
+            with DaemonClient(sock, tenant="t") as c:
+                blocker = c.submit(BIG)
+                low = c.submit(TINY, priority=0)
+                high = c.submit(TINY, priority=9)
+                c.wait(blocker, timeout=120)
+                c.wait(low, timeout=60)
+                c.wait(high, timeout=60)
+                # dispatch order is visible in the started journal of
+                # worker pulls: the high-priority job ran first
+                st_low = c.status(low)
+                st_high = c.status(high)
+                assert st_high["result"]["queue_wait_s"] \
+                    <= st_low["result"]["queue_wait_s"]
+
+
+class TestPreemption:
+    def test_cancel_queued_job_is_canceled(self, tmp_path):
+        with running_daemon(tmp_path, workers=1) as (daemon, sock, _):
+            with DaemonClient(sock, tenant="t") as c:
+                blocker = c.submit(BIG)
+                victim = c.submit(TINY)
+                reply = c.cancel(victim)
+                assert reply["state"] == "canceled"
+                result = c.wait(victim, timeout=30)
+                assert result["status"] == STATUS_CANCELED
+                assert c.wait(blocker, timeout=120)["status"] == STATUS_OK
+
+    def test_preempt_then_resume_equals_uninterrupted(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        with running_daemon(tmp_path, workers=1,
+                            checkpoint_dir=ckpt) as (daemon, sock, _):
+            with DaemonClient(sock, tenant="t") as c:
+                ref = c.wait(c.submit(BIG), timeout=120)
+                assert ref["status"] == STATUS_OK
+
+                job_id = c.submit(BIG)
+                assert wait_until(
+                    lambda: c.status(job_id)["state"] != "queued")
+                time.sleep(0.1)  # let it get some scans in
+                reply = c.cancel(job_id)
+                assert reply["state"] == "preempting"
+                preempted = c.wait(job_id, timeout=60)
+                assert preempted["status"] == STATUS_PREEMPTED
+                assert preempted["checkpoint"]
+                assert os.path.exists(preempted["checkpoint"])
+
+                resume = c.resume(job_id)
+                assert resume["state"] == "queued"
+                final = c.wait(job_id, timeout=120)
+                assert final["status"] == STATUS_OK
+                # resume ≡ uninterrupted: the solver stack is
+                # deterministic, so the spliced run lands exactly where
+                # the uninterrupted one did
+                for key in ("final_length", "canonical_length",
+                            "moves_applied", "scans", "initial_length"):
+                    assert final[key] == ref[key], key
+                st = c.status(job_id)
+                assert st["attempts"] == 2
+
+    def test_resume_refuses_ok_jobs(self, tmp_path):
+        with running_daemon(tmp_path) as (daemon, sock, _):
+            with DaemonClient(sock, tenant="t") as c:
+                job_id = c.submit(TINY)
+                c.wait(job_id, timeout=60)
+                with pytest.raises(ServiceError, match="finished ok"):
+                    c.resume(job_id)
+
+
+class TestDeadlineScanBoundary:
+    """Satellite regression: a deadline passing *mid-solve* must stop
+    the job at the next scan boundary with a resumable checkpoint —
+    not run to completion on a long instance."""
+
+    def test_midrun_expiry_stops_with_resumable_checkpoint(self, tmp_path):
+        request = SolveRequest.from_dict(dict(BIG, deadline_s=0.05),
+                                         default_id="exp")
+        cache = ArtifactCache()
+        uninterrupted = run_request(
+            SolveRequest.from_dict(BIG, default_id="exp"), cache)
+        assert uninterrupted.status == STATUS_OK
+
+        from repro.service.queue import JobQueue
+        from repro.service.pool import WorkerPool
+
+        jobs = JobQueue(max_depth=4)
+        pool = WorkerPool(jobs, cache, workers=1,
+                          checkpoint_dir=tmp_path / "ckpt")
+        os.makedirs(tmp_path / "ckpt", exist_ok=True)
+        pool.start()
+        jobs.submit(request, index=0)
+        jobs.close()
+        result = pool.results.get(timeout=60)
+        pool.join(timeout=10)
+        assert result.status == STATUS_EXPIRED
+        assert "scan boundary" in result.error
+        assert result.checkpoint and os.path.exists(result.checkpoint)
+        # the expired job's checkpoint resumes to the uninterrupted end
+        resumed = run_request(
+            SolveRequest.from_dict(BIG, default_id="exp"), cache,
+            resume_from=result.checkpoint)
+        assert resumed.status == STATUS_OK
+        assert resumed.final_length == uninterrupted.final_length
+        assert resumed.moves_applied == uninterrupted.moves_applied
+        assert resumed.scans == uninterrupted.scans
+
+
+class TestAutoscale:
+    def test_grows_under_load_and_shrinks_idle(self, tmp_path):
+        # each job must outlast several drainer poll windows, or the
+        # autoscaler (which runs on idle polls) never gets a tick
+        medium = {"n": 600, "seed": 4, "device": "gtx680-cuda"}
+        with running_daemon(tmp_path, workers=1,
+                            max_workers=3) as (daemon, sock, _):
+            with DaemonClient(sock, tenant="t") as c:
+                ids = [c.submit(medium) for _ in range(4)]
+                for job_id in ids:
+                    assert c.wait(job_id, timeout=120)["status"] == STATUS_OK
+                # scale-up happened: slots were added beyond the floor
+                assert daemon.pool.workers > 1
+                # and idle capacity retires back down to the floor
+                assert wait_until(
+                    lambda: daemon.pool.alive_count() == 1, timeout=30)
+
+
+class TestDrain:
+    def test_drain_op_cuts_journal_drained_exit_zero(self, tmp_path):
+        journal = tmp_path / "daemon.journal.jsonl"
+        with running_daemon(tmp_path,
+                            journal_path=journal) as (daemon, sock, code):
+            with DaemonClient(sock, tenant="t") as c:
+                for _ in range(3):
+                    c.wait(c.submit(TINY), timeout=60)
+                reply = c.drain()
+                assert reply["draining"] is True
+        assert code["code"] == 0
+        replay = read_journal(journal)
+        assert replay.cuts == ["drained"]
+        assert replay.pending == []
+        assert len(replay.finished) == 3
+
+    def test_draining_daemon_refuses_submits(self, tmp_path):
+        with running_daemon(tmp_path, workers=1) as (daemon, sock, code):
+            with DaemonClient(sock, tenant="t") as c:
+                blocker = c.submit(BIG)
+                c.drain()
+                with pytest.raises(ServiceError, match="draining"):
+                    c.submit(TINY)
+
+    def test_sigterm_drains_with_exit_zero(self, tmp_path):
+        sock = str(tmp_path / "d.sock")
+        import repro
+        src = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in [src, env.get("PYTHONPATH", "")] if p)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
+             "--workers", "1", "--journal",
+             str(tmp_path / "term.journal.jsonl")],
+            env=env, stderr=subprocess.PIPE, text=True)
+        try:
+            assert wait_until(lambda: os.path.exists(sock), timeout=30)
+            with DaemonClient(sock, tenant="t") as c:
+                assert c.wait(c.submit(TINY), timeout=60)["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        replay = read_journal(tmp_path / "term.journal.jsonl")
+        assert replay.cuts == ["drained"]
+
+    def test_resume_journal_requeues_pending(self, tmp_path):
+        # a journal from a daemon killed mid-run: two admitted, one
+        # finished — the restarted daemon re-queues the pending job and
+        # the file stays strictly seq-monotonic across both segments
+        journal = tmp_path / "resume.journal.jsonl"
+        done = SolveRequest.from_dict(TINY, default_id="done")
+        todo = SolveRequest.from_dict(dict(TINY, seed=9), default_id="todo")
+        with JournalWriter(journal) as w:
+            w.batch(jobs=2)
+            w.admitted(0, done)
+            w.admitted(1, todo)
+            reference = run_request(done, ArtifactCache())
+            reference.index = 0
+            w.finished(reference)
+        first = read_journal(journal)
+        assert first.pending == [1]
+
+        with running_daemon(tmp_path,
+                            resume_journal=journal) as (daemon, sock, code):
+            with DaemonClient(sock, tenant="t") as c:
+                result = c.wait(1, timeout=60)
+                assert result["status"] == STATUS_OK
+                c.drain()
+        assert code["code"] == 0
+        replay = read_journal(journal)  # raises on any seq regression
+        assert replay.pending == []
+        assert replay.last_seq > first.last_seq
+        assert replay.cuts == ["drained"]
+
+
+class TestBatchParity:
+    def test_daemon_results_bit_identical_to_one_shot_batch(self, tmp_path):
+        rows = [dict(TINY, seed=s) for s in range(5)]
+        requests = [SolveRequest.from_dict(r, default_id=f"job{i}")
+                    for i, r in enumerate(rows)]
+        report = run_batch(requests, workers=2)
+        by_id = {r.job_id: r for r in report.results}
+        with running_daemon(tmp_path, workers=3) as (daemon, sock, _):
+            with DaemonClient(sock, tenant="t") as c:
+                ids = [c.submit(row) for row in rows]
+                for i, job_id in enumerate(ids):
+                    got = c.wait(job_id, timeout=120)
+                    ref = by_id[f"job{i}"]
+                    assert got["status"] == ref.status == STATUS_OK
+                    # everything modeled is bit-identical; only wall
+                    # fields (queue_wait, wall_seconds) may differ
+                    assert got["final_length"] == ref.final_length
+                    assert got["canonical_length"] == ref.canonical_length
+                    assert got["initial_length"] == ref.initial_length
+                    assert got["moves_applied"] == ref.moves_applied
+                    assert got["scans"] == ref.scans
+                    assert got["modeled_seconds"] == ref.modeled_seconds

@@ -148,8 +148,9 @@ class TestTornTail:
         p = write_small_journal(tmp_path / "run.journal")
         with p.open("ab") as fh:
             fh.write(b"half a li")
-        repair_torn_tail(p, read_journal(p))
-        with JournalWriter(p) as w:
+        before = read_journal(p)
+        repair_torn_tail(p, before)
+        with JournalWriter(p, start_seq=before.last_seq + 1) as w:
             w.resumed(pending=1)
         replay = read_journal(p)
         assert replay.dropped_lines == 0
@@ -165,7 +166,7 @@ class TestTornTail:
         assert replay.dropped_lines == 0
         repair_torn_tail(p, replay)
         assert p.read_bytes().endswith(b"\n")
-        with JournalWriter(p) as w:
+        with JournalWriter(p, start_seq=replay.last_seq + 1) as w:
             w.resumed(pending=1)
         assert read_journal(p).dropped_lines == 0
 
@@ -217,3 +218,50 @@ class TestQuarantinePath:
 
     def test_none_passes_through(self):
         assert quarantine_path_for(None) is None
+
+
+class TestResumeSeqMonotonicity:
+    """Regression: a resumed :class:`JournalWriter` used to restart
+    ``seq`` at 0, so the file went non-monotonic at the first resume
+    boundary and a *second* resume refused to read its own journal.
+    The writer now continues at ``last_seq + 1``; any number of resume
+    segments keeps one strictly increasing sequence across the file."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(jobs=st.integers(min_value=2, max_value=6),
+           finishes=st.lists(st.integers(min_value=0, max_value=3),
+                             min_size=2, max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_repeated_resume_keeps_seq_strictly_increasing(
+            self, jobs, finishes):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "resume.journal"
+            with JournalWriter(path) as w:
+                w.batch(jobs=jobs)
+                for i in range(jobs):
+                    w.admitted(i, SolveRequest(job_id=f"j{i}", n=50, seed=i))
+            last = -1
+            for finish_count in finishes:
+                # read_journal itself raises on any seq regression, so a
+                # clean read after each segment is the core assertion
+                replay = read_journal(path)
+                assert replay.last_seq > last
+                last = replay.last_seq
+                with JournalWriter(path,
+                                   start_seq=replay.last_seq + 1) as w:
+                    w.resumed(pending=len(replay.pending))
+                    for i in replay.pending[:finish_count]:
+                        w.finished(SolveResult(
+                            job_id=f"j{i}", status="ok",
+                            instance="synthetic", index=i))
+            final = read_journal(path)
+            seqs = [json.loads(line)["seq"]
+                    for line in path.read_text().splitlines()]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+            assert final.last_seq == seqs[-1]

@@ -1,4 +1,5 @@
-"""Admission control, deadline stamping, and shutdown races in :class:`JobQueue`."""
+"""Admission control, deadline stamping, shutdown races, and the
+fair-share dispatch policy in :class:`JobQueue`/:class:`FairShareQueue`."""
 
 import threading
 
@@ -6,7 +7,7 @@ import pytest
 
 from repro.errors import QueueClosedError, QueueFullError
 from repro.service.jobs import SolveRequest
-from repro.service.queue import JobQueue
+from repro.service.queue import RETIRE, FairShareQueue, JobQueue
 
 pytestmark = pytest.mark.service
 
@@ -159,3 +160,103 @@ class TestShutdownRaces:
         q.close()
         pool.join(timeout=5.0)
         assert not pool.any_alive()
+
+
+class TestRetire:
+    def test_retire_token_returns_sentinel_without_closing(self):
+        q = JobQueue(max_depth=4)
+        q.submit(req("a"))
+        q.retire()
+        # the token takes precedence, then queued work keeps flowing
+        assert q.pull() is RETIRE
+        assert q.pull().request.job_id == "a"
+        assert not q.closed
+
+    def test_retire_wakes_blocked_puller(self):
+        q = JobQueue(max_depth=2)
+        pulled = {}
+
+        def consumer():
+            pulled["value"] = q.pull()
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        q.retire()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert pulled["value"] is RETIRE
+
+    def test_retired_worker_slot_skipped_by_supervisor_and_reused(self):
+        from repro.service.cache import ArtifactCache
+        from repro.service.pool import WorkerPool
+        from repro.service.supervisor import Supervisor
+
+        q = JobQueue(max_depth=4)
+        pool = WorkerPool(q, ArtifactCache(), workers=2)
+        sup = Supervisor(pool)
+        pool.start()
+        q.retire()
+        deadline = 5.0
+        import time
+        t0 = time.monotonic()
+        while pool.alive_count() > 1 and time.monotonic() - t0 < deadline:
+            time.sleep(0.01)
+        assert pool.alive_count() == 1
+        assert sum(1 for s in pool.states if s.retired) == 1
+        # a retired slot is a deliberate exit, not a crash to restart
+        assert sup.check() == 0
+        assert pool.alive_count() == 1
+        # grow() reuses the retired slot before appending a new one
+        added = pool.grow(1)
+        assert len(added) == 1
+        t0 = time.monotonic()
+        while pool.alive_count() < 2 and time.monotonic() - t0 < deadline:
+            time.sleep(0.01)
+        assert pool.alive_count() == 2
+        assert len(pool.states) == 2  # reused, not appended
+        q.close()
+        pool.join(timeout=5.0)
+
+
+class TestFairShare:
+    def test_priority_dispatches_first(self):
+        q = FairShareQueue(max_depth=8)
+        q.submit(req("low"), tenant="a", priority=0)
+        q.submit(req("high"), tenant="a", priority=5)
+        q.submit(req("mid"), tenant="a", priority=3)
+        order = [q.pull().request.job_id for _ in range(3)]
+        assert order == ["high", "mid", "low"]
+
+    def test_equal_priority_interleaves_tenants(self):
+        # tenant a floods the queue before tenant b's two jobs arrive;
+        # fair-share still alternates instead of starving b
+        q = FairShareQueue(max_depth=16)
+        for i in range(4):
+            q.submit(req(f"a{i}"), tenant="a")
+        for i in range(2):
+            q.submit(req(f"b{i}"), tenant="b")
+        order = [q.pull().request.job_id for _ in range(6)]
+        assert order == ["a0", "b0", "a1", "b1", "a2", "a3"]
+        assert q.dispatched_by_tenant() == {"a": 4, "b": 2}
+
+    def test_same_tenant_keeps_admission_order(self):
+        q = FairShareQueue(max_depth=8)
+        for i in range(4):
+            q.submit(req(f"j{i}"), tenant="only")
+        assert [q.pull().request.job_id for _ in range(4)] == \
+            ["j0", "j1", "j2", "j3"]
+
+    def test_cancel_removes_queued_job_by_index(self):
+        q = FairShareQueue(max_depth=8)
+        q.submit(req("keep"), index=0, tenant="a")
+        victim = q.submit(req("gone"), index=1, tenant="a")
+        assert q.cancel(1) is victim
+        assert q.cancel(1) is None  # already removed
+        assert q.depth == 1
+        assert q.pull().request.job_id == "keep"
+
+    def test_resume_from_stamped_at_admission(self):
+        q = FairShareQueue(max_depth=4)
+        job = q.submit(req("r"), resume_from="/tmp/ck.ckpt")
+        assert job.resume_from == "/tmp/ck.ckpt"
+        assert q.pull().resume_from == "/tmp/ck.ckpt"
